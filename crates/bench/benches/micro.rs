@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the substrate layers: event queue, DAG analysis,
+//! workflow generation, transfer routing and full engine execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use helios_core::{Engine, EngineConfig};
+use helios_platform::{presets, DeviceId};
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_sim::{EventQueue, SimTime};
+use helios_workflow::generators::{montage, WorkflowClass};
+use helios_workflow::{analysis, Workflow};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Pseudo-random interleaving without an RNG in the loop.
+                    let t = ((i * 2_654_435_761) % 1_000_000) as f64 * 1e-3;
+                    q.push(SimTime::from_secs(t), i);
+                }
+                let mut count = 0usize;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let platform = presets::hpc_node();
+    let wf: Workflow = montage(1000, 7).expect("valid size");
+    let mut group = c.benchmark_group("dag_analysis");
+    group.bench_function("bottom_levels_1000", |b| {
+        b.iter(|| analysis::bottom_levels(&wf, &platform).expect("analyzes"))
+    });
+    group.bench_function("critical_path_1000", |b| {
+        b.iter(|| analysis::critical_path(&wf, &platform).expect("analyzes"))
+    });
+    group.bench_function("ccr_1000", |b| {
+        b.iter(|| analysis::ccr(&wf, &platform).expect("analyzes"))
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for class in WorkflowClass::ALL {
+        group.bench_function(format!("{class}_500"), |b| {
+            b.iter(|| class.generate(500, 3).expect("valid size"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let platform = presets::hpc_node();
+    c.bench_function("transfer_time_all_pairs", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for from in 0..platform.num_devices() {
+                for to in 0..platform.num_devices() {
+                    total += platform
+                        .transfer_time(1e8, DeviceId(from), DeviceId(to))
+                        .expect("routes exist")
+                        .as_secs();
+                }
+            }
+            total
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let platform = presets::hpc_node();
+    let wf = montage(500, 1).expect("valid size");
+    let plan = HeftScheduler::default()
+        .schedule(&wf, &platform)
+        .expect("schedules");
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("execute_plan_montage500", |b| {
+        b.iter(|| {
+            Engine::new(EngineConfig::default())
+                .execute_plan(&platform, &wf, &plan)
+                .expect("executes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_analysis,
+    bench_generators,
+    bench_transfers,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment F7 — scheduler runtime scalability.
+//!
+//! Criterion micro-benchmarks of scheduling time vs. DAG size for the
+//! main algorithms on the `hpc_node` (8 devices). Random layered DAGs
+//! of 100..2000 tasks. HEFT/CPOP/PEFT are near-quadratic in practice
+//! (EFT evaluation dominates); Min-Min is cubic-ish in the ready width;
+//! lookahead pays an extra device × children factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use helios_platform::presets;
+use helios_sched::{
+    CpopScheduler, HeftScheduler, LookaheadScheduler, MinMinScheduler, PeftScheduler, Scheduler,
+};
+use helios_workflow::generators::synthetic::{layered_random, LayeredConfig};
+use helios_workflow::Workflow;
+
+fn dag(tasks: usize) -> Workflow {
+    let width = (tasks as f64).sqrt().round() as usize;
+    let levels = tasks.div_ceil(width);
+    let config = LayeredConfig {
+        levels,
+        width,
+        edge_prob: 0.3,
+        ..LayeredConfig::default()
+    };
+    layered_random(&config, 42).expect("valid config")
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let platform = presets::hpc_node();
+    let mut group = c.benchmark_group("f7_sched_runtime");
+    group.sample_size(10);
+    for tasks in [100usize, 300, 1000, 2000] {
+        let wf = dag(tasks);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(HeftScheduler::default()),
+            Box::new(CpopScheduler::default()),
+            Box::new(PeftScheduler::default()),
+            Box::new(MinMinScheduler::default()),
+        ];
+        for s in schedulers {
+            group.bench_with_input(
+                BenchmarkId::new(s.name().to_owned(), tasks),
+                &wf,
+                |b, wf| b.iter(|| s.schedule(wf, &platform).expect("schedules")),
+            );
+        }
+        // Lookahead is markedly slower; cap its size to keep runs sane.
+        if tasks <= 1000 {
+            let s = LookaheadScheduler::default();
+            group.bench_with_input(BenchmarkId::new("lookahead", tasks), &wf, |b, wf| {
+                b.iter(|| s.schedule(wf, &platform).expect("schedules"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Experiment A14 — ablations of the engine's and schedulers' design
+//! choices (DESIGN.md §4 calls these out explicitly).
+//!
+//! Each row flips exactly one mechanism on the same workload
+//! (CyberShake-300 on `hpc_node`, 6 seeds) and reports the makespan
+//! impact:
+//!
+//! * HEFT gap-insertion vs. append-only placement,
+//! * data-product caching on vs. off (under link contention),
+//! * link contention modeled vs. ignored,
+//! * simulated-annealing refinement vs. plain HEFT,
+//! * online per-device calibration payoff under GPU throttling
+//!   (calibrated JIT vs. the static plan on the same degraded node).
+
+use helios_bench::{print_header, Agg};
+use helios_core::{Engine, EngineConfig, OnlinePolicy, OnlineRunner};
+use helios_sched::{AnnealingScheduler, HeftScheduler, Scheduler};
+use helios_platform::presets;
+use helios_workflow::generators::cybershake;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let seeds = 0..6u64;
+    print_header(&["ablation", "baseline (s)", "variant (s)", "delta %"]);
+
+    let report = |name: &str, base: &Agg, var: &Agg| {
+        println!(
+            "{name:>16}{:>16.4}{:>16.4}{:>16.2}",
+            base.mean(),
+            var.mean(),
+            (var.mean() / base.mean() - 1.0) * 100.0
+        );
+    };
+
+    // 1. Insertion policy.
+    {
+        let mut with = Agg::new();
+        let mut without = Agg::new();
+        for seed in seeds.clone() {
+            let wf = cybershake(300, seed)?;
+            with.push(
+                HeftScheduler::default()
+                    .schedule(&wf, &platform)?
+                    .makespan()
+                    .as_secs(),
+            );
+            without.push(
+                HeftScheduler { no_insertion: true }
+                    .schedule(&wf, &platform)?
+                    .makespan()
+                    .as_secs(),
+            );
+        }
+        report("no-insertion", &with, &without);
+    }
+
+    // 2. Data caching (under contention, where duplicate transfers bite).
+    {
+        let mut off = Agg::new();
+        let mut on = Agg::new();
+        for seed in seeds.clone() {
+            let wf = cybershake(300, seed)?;
+            let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+            let mut cfg = EngineConfig::default();
+            cfg.link_contention = true;
+            off.push(
+                Engine::new(cfg.clone())
+                    .execute_plan(&platform, &wf, &plan)?
+                    .makespan()
+                    .as_secs(),
+            );
+            cfg.data_caching = true;
+            on.push(
+                Engine::new(cfg)
+                    .execute_plan(&platform, &wf, &plan)?
+                    .makespan()
+                    .as_secs(),
+            );
+        }
+        report("data-caching", &off, &on);
+    }
+
+    // 3. Link contention modeling.
+    {
+        let mut free = Agg::new();
+        let mut contended = Agg::new();
+        for seed in seeds.clone() {
+            let wf = cybershake(300, seed)?;
+            let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+            free.push(
+                Engine::new(EngineConfig::default())
+                    .execute_plan(&platform, &wf, &plan)?
+                    .makespan()
+                    .as_secs(),
+            );
+            let mut cfg = EngineConfig::default();
+            cfg.link_contention = true;
+            contended.push(
+                Engine::new(cfg)
+                    .execute_plan(&platform, &wf, &plan)?
+                    .makespan()
+                    .as_secs(),
+            );
+        }
+        report("contention", &free, &contended);
+    }
+
+    // 4. Annealing refinement over HEFT (plans only).
+    {
+        let mut heft = Agg::new();
+        let mut sa = Agg::new();
+        for seed in seeds.clone() {
+            let wf = cybershake(300, seed)?;
+            heft.push(
+                HeftScheduler::default()
+                    .schedule(&wf, &platform)?
+                    .makespan()
+                    .as_secs(),
+            );
+            sa.push(
+                AnnealingScheduler::new(1000, seed)
+                    .schedule(&wf, &platform)?
+                    .makespan()
+                    .as_secs(),
+            );
+        }
+        report("annealing", &heft, &sa);
+    }
+
+    // 5. Online calibration payoff under 4x GPU throttling.
+    {
+        let mut slow = vec![1.0; platform.num_devices()];
+        slow[2] = 4.0;
+        slow[3] = 4.0;
+        let mut static_run = Agg::new();
+        let mut online = Agg::new();
+        for seed in seeds.clone() {
+            let wf = cybershake(300, seed)?;
+            let mut cfg = EngineConfig::default();
+            cfg.device_slowdown = Some(slow.clone());
+            let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+            static_run.push(
+                Engine::new(cfg.clone())
+                    .execute_plan(&platform, &wf, &plan)?
+                    .makespan()
+                    .as_secs(),
+            );
+            online.push(
+                OnlineRunner::new(cfg, OnlinePolicy::RankedJit)
+                    .run(&platform, &wf)?
+                    .makespan()
+                    .as_secs(),
+            );
+        }
+        report("calib@4x-gpu", &static_run, &online);
+    }
+    Ok(())
+}

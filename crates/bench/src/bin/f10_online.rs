@@ -1,0 +1,69 @@
+//! Experiment F10 — static plans vs. online dispatch under runtime
+//! degradation.
+//!
+//! SIPHT-500 on `hpc_node`. The planner believes the nominal platform;
+//! at run time two of the four GPUs are throttled by a sweep factor.
+//! Series: static HEFT plan execution, online JIT, online ranked-JIT
+//! (both with per-device calibration), 8 seeds each.
+
+use helios_bench::{print_series_table, Agg, Series};
+use helios_core::{Engine, EngineConfig, OnlinePolicy, OnlineRunner};
+use helios_platform::presets;
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_workflow::generators::sipht;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let seeds = 0..8u64;
+    let factors = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0];
+
+    let mut static_series = Series::new("static heft");
+    let mut jit_series = Series::new("online jit");
+    let mut ranked_series = Series::new("online ranked");
+
+    for &factor in &factors {
+        let mut slow = vec![1.0; platform.num_devices()];
+        slow[2] = factor; // gpu0
+        slow[3] = factor; // gpu1
+        let mut st = Agg::new();
+        let mut jit = Agg::new();
+        let mut ranked = Agg::new();
+        for seed in seeds.clone() {
+            let wf = sipht(500, seed)?;
+            let mut config = EngineConfig::default();
+            config.device_slowdown = Some(slow.clone());
+            config.seed = seed;
+            let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+            st.push(
+                Engine::new(config.clone())
+                    .execute_plan(&platform, &wf, &plan)?
+                    .makespan()
+                    .as_secs(),
+            );
+            jit.push(
+                OnlineRunner::new(config.clone(), OnlinePolicy::Jit)
+                    .run(&platform, &wf)?
+                    .makespan()
+                    .as_secs(),
+            );
+            ranked.push(
+                OnlineRunner::new(config, OnlinePolicy::RankedJit)
+                    .run(&platform, &wf)?
+                    .makespan()
+                    .as_secs(),
+            );
+        }
+        static_series.push(factor, st.mean());
+        jit_series.push(factor, jit.mean());
+        ranked_series.push(factor, ranked.mean());
+    }
+
+    println!(
+        "mean makespan (s) vs GPU throttle factor (gpu0+gpu1), sipht-500, 8 seeds"
+    );
+    print_series_table(
+        "throttle x",
+        &[static_series, jit_series, ranked_series],
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Experiment F12 — threaded-executor validation.
+//!
+//! The same HEFT plan is executed by the discrete-event engine and by
+//! the real thread-pool executor (durations compressed so each run
+//! takes ~200 ms of wall time). Columns: simulated makespan, threaded
+//! makespan (de-scaled), relative error. Agreement validates that the
+//! simulated orchestration logic matches a real runtime's behaviour.
+
+use helios_bench::print_header;
+use helios_core::executor::ThreadedExecutor;
+use helios_core::{Engine, EngineConfig};
+use helios_platform::presets;
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_workflow::generators::{montage, WorkflowClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::workstation();
+    print_header(&["workflow", "simulated (s)", "threaded (s)", "error %"]);
+    for class in WorkflowClass::ALL {
+        let wf = class.generate(100, 5)?;
+        let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+        let simulated = Engine::new(EngineConfig::default()).execute_plan(&platform, &wf, &plan)?;
+        let scale = 0.2 / simulated.makespan().as_secs();
+        let threaded = ThreadedExecutor::new(scale)?.execute_plan(&platform, &wf, &plan)?;
+        let sim = simulated.makespan().as_secs();
+        let wall = threaded.makespan().as_secs();
+        println!(
+            "{:>16}{:>16.4}{:>16.4}{:>16.2}",
+            class.as_str(),
+            sim,
+            wall,
+            (wall - sim) / sim * 100.0
+        );
+    }
+    let _ = montage(20, 0)?;
+    Ok(())
+}

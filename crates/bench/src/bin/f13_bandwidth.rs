@@ -1,0 +1,50 @@
+//! Experiment F13 — interconnect bandwidth sensitivity.
+//!
+//! Montage-500 with HEFT on `hpc_node` variants whose every link
+//! bandwidth is scaled ×{0.25 .. 4} (a PCIe-generation sweep). Reported
+//! per point: makespan, realized CCR, and the fraction of schedule time
+//! spent on transfers — with link contention enabled, so shared-link
+//! serialization shows up.
+
+use helios_bench::{print_series_table, Agg, Series};
+use helios_core::{Engine, EngineConfig};
+use helios_platform::presets;
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_workflow::{analysis, generators::montage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = presets::hpc_node();
+    let seeds = 0..8u64;
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+    let mut makespan_series = Series::new("makespan (s)");
+    let mut ccr_series = Series::new("ccr");
+    let mut transfer_series = Series::new("xfer time (s)");
+
+    for &f in &factors {
+        let platform = base.with_interconnect(base.interconnect().scaled_bandwidth(f)?);
+        let mut makespan = Agg::new();
+        let mut ccr = Agg::new();
+        let mut xfer = Agg::new();
+        for seed in seeds.clone() {
+            let wf = montage(500, seed)?;
+            let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+            let mut config = EngineConfig::default();
+            config.link_contention = true;
+            let report = Engine::new(config).execute_plan(&platform, &wf, &plan)?;
+            makespan.push(report.makespan().as_secs());
+            ccr.push(analysis::ccr(&wf, &platform)?);
+            xfer.push(report.transfers().total_secs);
+        }
+        makespan_series.push(f, makespan.mean());
+        ccr_series.push(f, ccr.mean());
+        transfer_series.push(f, xfer.mean());
+    }
+
+    println!("bandwidth sensitivity, montage-500, HEFT, link contention on, 8 seeds");
+    print_series_table(
+        "bw factor",
+        &[makespan_series, ccr_series, transfer_series],
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Experiment F16 — scheduler value vs. platform heterogeneity.
+//!
+//! The classic list-scheduling result: on a homogeneous machine the
+//! placement decision barely matters, so smart and naive schedulers
+//! tie; as machine speeds spread, a bad placement gets exponentially
+//! costlier and cost-aware schedulers pull away. Sweep the
+//! [`heterogeneous_node`](helios_platform::presets::heterogeneous_node)
+//! spread knob `h ∈ {0 .. 15}` on layered DAGs (8 seeds) and report the
+//! makespan of each scheduler normalized to HEFT's.
+
+use helios_bench::{print_series_table, Agg, Series};
+use helios_platform::presets;
+use helios_sched::{
+    HeftScheduler, MctScheduler, MinMinScheduler, OlbScheduler, RandomScheduler, Scheduler,
+};
+use helios_workflow::generators::synthetic::{layered_random, LayeredConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(MctScheduler::default()),
+        Box::new(MinMinScheduler::default()),
+        Box::new(OlbScheduler::default()),
+        Box::new(RandomScheduler::new(0)),
+    ];
+    let heft = HeftScheduler::default();
+    let hs = [0.0, 1.0, 3.0, 7.0, 15.0];
+    let seeds = 0..8u64;
+
+    let mut series: Vec<Series> = schedulers
+        .iter()
+        .map(|s| Series::new(format!("{}/heft", s.name())))
+        .collect();
+
+    for &h in &hs {
+        let mut aggs: Vec<Agg> = schedulers.iter().map(|_| Agg::new()).collect();
+        for seed in seeds.clone() {
+            let platform = presets::heterogeneous_node(8, h, seed);
+            let wf = layered_random(&LayeredConfig::default(), seed)?;
+            let base = heft.schedule(&wf, &platform)?.makespan().as_secs();
+            for (i, s) in schedulers.iter().enumerate() {
+                let m = s.schedule(&wf, &platform)?.makespan().as_secs();
+                aggs[i].push(m / base);
+            }
+        }
+        for (i, agg) in aggs.iter().enumerate() {
+            series[i].push(h, agg.mean());
+        }
+    }
+
+    println!("makespan relative to HEFT vs machine heterogeneity h, layered 10x10, 8 seeds");
+    print_series_table("h", &series);
+    Ok(())
+}

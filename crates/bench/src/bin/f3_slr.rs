@@ -1,0 +1,41 @@
+//! Experiment F3 — normalized makespan (SLR) per scheduler per workflow
+//! family.
+//!
+//! Every scheduler in the lineup schedules every scientific workflow
+//! family (n ≈ 300, 10 seeds) on the `hpc_node`; cells are mean SLR
+//! (lower is better, 1.0 is the heterogeneous critical-path bound).
+
+use helios_bench::Agg;
+use helios_platform::presets;
+use helios_sched::{all_schedulers, metrics};
+use helios_workflow::generators::WorkflowClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let seeds = 0..10u64;
+    let schedulers = all_schedulers();
+
+    print!("{:>12}", "scheduler");
+    for class in WorkflowClass::ALL {
+        print!(" {:>12}", class.as_str());
+    }
+    println!(" {:>12}", "mean");
+
+    for scheduler in &schedulers {
+        print!("{:>12}", scheduler.name());
+        let mut overall = Agg::new();
+        for class in WorkflowClass::ALL {
+            let mut agg = Agg::new();
+            for seed in seeds.clone() {
+                let wf = class.generate(300, seed)?;
+                let plan = scheduler.schedule(&wf, &platform)?;
+                let slr = metrics::slr(&plan, &wf, &platform)?;
+                agg.push(slr);
+                overall.push(slr);
+            }
+            print!(" {:>12.3}", agg.mean());
+        }
+        println!(" {:>12.3}", overall.mean());
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Experiment F4 — speedup vs. accelerator count.
+//!
+//! Montage-500 scheduled with HEFT on `hpc_node` variants with 0..8
+//! GPUs; speedup is relative to the best single device of the 0-GPU
+//! configuration. Saturation appears once the workflow's width or the
+//! PCIe links bottleneck.
+
+use helios_bench::{print_series_table, Agg, Series};
+use helios_core::{Engine, EngineConfig};
+use helios_platform::presets;
+use helios_sched::HeftScheduler;
+use helios_workflow::generators::montage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seeds = 0..8u64;
+    let mut makespan_series = Series::new("makespan (s)");
+    let mut speedup_series = Series::new("speedup vs 0-GPU");
+    let mut utilization_series = Series::new("mean GPU util");
+
+    // Baseline: the accelerator-free node.
+    let mut base = Agg::new();
+    for seed in seeds.clone() {
+        let wf = montage(500, seed)?;
+        let platform = presets::hpc_node_with_gpus(0);
+        let report = Engine::new(EngineConfig::default())
+            .run(&platform, &wf, &HeftScheduler::default())?;
+        base.push(report.makespan().as_secs());
+    }
+
+    for gpus in 0..=8usize {
+        let platform = presets::hpc_node_with_gpus(gpus);
+        let mut makespan = Agg::new();
+        let mut gpu_util = Agg::new();
+        for seed in seeds.clone() {
+            let wf = montage(500, seed)?;
+            let report = Engine::new(EngineConfig::default())
+                .run(&platform, &wf, &HeftScheduler::default())?;
+            makespan.push(report.makespan().as_secs());
+            let util = report.schedule().utilization(&platform);
+            for (i, d) in platform.devices().iter().enumerate() {
+                if d.kind() == helios_platform::DeviceKind::Gpu {
+                    gpu_util.push(util[i]);
+                }
+            }
+        }
+        makespan_series.push(gpus as f64, makespan.mean());
+        speedup_series.push(gpus as f64, base.mean() / makespan.mean());
+        utilization_series.push(
+            gpus as f64,
+            if gpus == 0 { 0.0 } else { gpu_util.mean() },
+        );
+    }
+
+    print_series_table(
+        "GPUs",
+        &[makespan_series, speedup_series, utilization_series],
+    );
+    Ok(())
+}

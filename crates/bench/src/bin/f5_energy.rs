@@ -1,0 +1,119 @@
+//! Experiment F5 — energy and energy-delay product per strategy.
+//!
+//! LIGO-500 on `hpc_node`, 8 seeds. Strategies: HEFT (performance
+//! first), energy-aware HEFT at three alphas, HEFT with DVFS slack
+//! reclamation (1.2× deadline), and online dispatch under the three
+//! DVFS governors. DRS (device sleep) accounting is reported for the
+//! HEFT row as the `+drs` variant.
+
+use helios_bench::{print_header, Agg};
+use helios_core::{Engine, EngineConfig, OnlinePolicy, OnlineRunner};
+use helios_energy::{account, reclaim_slack, EnergyAwareHeft, OnDemand, Performance, Powersave};
+use helios_platform::presets;
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_sim::SimTime;
+use helios_workflow::generators::ligo_inspiral;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let seeds = 0..8u64;
+    print_header(&["strategy", "makespan (s)", "active (J)", "total (J)", "EDP (J*s)"]);
+
+    let mut rows: Vec<(String, Agg, Agg, Agg, Agg)> = Vec::new();
+    let add = |label: &str,
+                   makespan: f64,
+                   active: f64,
+                   total: f64,
+                   edp: f64,
+                   rows: &mut Vec<(String, Agg, Agg, Agg, Agg)>| {
+        let row = match rows.iter_mut().find(|(l, ..)| l == label) {
+            Some(r) => r,
+            None => {
+                rows.push((label.to_owned(), Agg::new(), Agg::new(), Agg::new(), Agg::new()));
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.1.push(makespan);
+        row.2.push(active);
+        row.3.push(total);
+        row.4.push(edp);
+    };
+
+    for seed in seeds {
+        let wf = ligo_inspiral(500, seed)?;
+
+        // Static strategies.
+        let heft = HeftScheduler::default().schedule(&wf, &platform)?;
+        let e = account(&heft, &wf, &platform, false)?;
+        add("heft", e.makespan_secs, e.active_j, e.total_j(), e.edp(), &mut rows);
+        let e_drs = account(&heft, &wf, &platform, true)?;
+        add(
+            "heft+drs",
+            e_drs.makespan_secs,
+            e_drs.active_j,
+            e_drs.total_j(),
+            e_drs.edp(),
+            &mut rows,
+        );
+
+        for alpha in [0.7, 0.5, 0.3] {
+            let plan = EnergyAwareHeft::new(alpha).schedule(&wf, &platform)?;
+            let e = account(&plan, &wf, &platform, false)?;
+            add(
+                &format!("ea-heft({alpha})"),
+                e.makespan_secs,
+                e.active_j,
+                e.total_j(),
+                e.edp(),
+                &mut rows,
+            );
+        }
+
+        let deadline = SimTime::ZERO + heft.makespan() * 1.2;
+        let reclaimed = reclaim_slack(&heft, &wf, &platform, deadline)?;
+        let e = account(&reclaimed, &wf, &platform, false)?;
+        add(
+            "heft+slack(1.2x)",
+            e.makespan_secs,
+            e.active_j,
+            e.total_j(),
+            e.edp(),
+            &mut rows,
+        );
+
+        // Online governors.
+        for (label, runner) in [
+            (
+                "online/performance",
+                OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
+                    .with_governor(Box::new(Performance)),
+            ),
+            (
+                "online/ondemand",
+                OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
+                    .with_governor(Box::new(OnDemand::default())),
+            ),
+            (
+                "online/powersave",
+                OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
+                    .with_governor(Box::new(Powersave)),
+            ),
+        ] {
+            let report = runner.run(&platform, &wf)?;
+            let e = report.energy();
+            add(label, e.makespan_secs, e.active_j, e.total_j(), e.edp(), &mut rows);
+        }
+        let _ = Engine::new(EngineConfig::default());
+    }
+
+    for (label, makespan, active, total, edp) in rows {
+        println!(
+            "{label:>16}{:>16.4}{:>16.1}{:>16.1}{:>16.1}",
+            makespan.mean(),
+            active.mean(),
+            total.mean(),
+            edp.mean()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Experiment F6 — makespan sensitivity to the communication-to-
+//! computation ratio.
+//!
+//! A layered synthetic DAG (10×10) is rescaled to CCR ∈ {0.1 .. 10} on
+//! `hpc_node`; six schedulers run at each point (8 seeds). Expected
+//! shape: at low CCR the cost-matrix-aware schedulers dominate; as CCR
+//! rises communication swamps everything, makespans converge and
+//! locality-blind heuristics collapse first.
+
+use helios_bench::{print_series_table, Agg, Series};
+use helios_platform::presets;
+use helios_sched::{
+    CpopScheduler, HeftScheduler, MctScheduler, MinMinScheduler, OlbScheduler, PeftScheduler,
+    Scheduler,
+};
+use helios_workflow::generators::synthetic::{layered_random, scale_edges_to_ccr, LayeredConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(HeftScheduler::default()),
+        Box::new(CpopScheduler::default()),
+        Box::new(PeftScheduler::default()),
+        Box::new(MinMinScheduler::default()),
+        Box::new(MctScheduler::default()),
+        Box::new(OlbScheduler::default()),
+    ];
+    let ccrs = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0];
+    let seeds = 0..8u64;
+
+    let mut series: Vec<Series> = schedulers
+        .iter()
+        .map(|s| Series::new(s.name().to_owned()))
+        .collect();
+
+    for &ccr in &ccrs {
+        let mut aggs: Vec<Agg> = schedulers.iter().map(|_| Agg::new()).collect();
+        for seed in seeds.clone() {
+            let wf = layered_random(&LayeredConfig::default(), seed)?;
+            let wf = scale_edges_to_ccr(&wf, &platform, ccr)?;
+            for (i, s) in schedulers.iter().enumerate() {
+                let plan = s.schedule(&wf, &platform)?;
+                aggs[i].push(plan.makespan().as_secs());
+            }
+        }
+        for (i, agg) in aggs.iter().enumerate() {
+            series[i].push(ccr, agg.mean());
+        }
+    }
+
+    println!("mean makespan (s) vs CCR, layered 10x10 DAG, hpc_node, 8 seeds");
+    print_series_table("CCR", &series);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Experiment T11 — real-time schedulability: acceptance ratio per test
+//! across a utilization sweep.
+//!
+//! 500 random implicit-deadline tasksets (8 tasks, log-uniform periods)
+//! per utilization point; columns are the fraction accepted by each
+//! test. RTA (exact for fixed priority) dominates the closed-form
+//! bounds; EDF accepts everything up to U = 1. A mixed-criticality
+//! column reports AMC-rtb acceptance on two-level tasksets with HI
+//! budgets inflated 2×.
+
+use helios_bench::{print_series_table, Series};
+use helios_rt::{analysis, taskset};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let utils = [0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0];
+    let runs = 500u64;
+
+    let mut ll = Series::new("liu-layland");
+    let mut hyper = Series::new("hyperbolic");
+    let mut rta = Series::new("rta (exact)");
+    let mut edf = Series::new("edf");
+    let mut amc = Series::new("amc-rtb");
+
+    for &u in &utils {
+        let mut counts = [0u32; 5];
+        for seed in 0..runs {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed * 31 + (u * 1000.0) as u64);
+            let ts = taskset::random_taskset(8, u, 10.0, 1000.0, &mut rng)?;
+            if analysis::rm_utilization_test(&ts) {
+                counts[0] += 1;
+            }
+            if analysis::hyperbolic_test(&ts) {
+                counts[1] += 1;
+            }
+            if analysis::rta_fixed_priority(&ts)?.is_some() {
+                counts[2] += 1;
+            }
+            if analysis::edf_test(&ts) {
+                counts[3] += 1;
+            }
+            let mc = taskset::random_mc_taskset(8, u * 0.7, 0.5, 2.0, 10.0, 1000.0, &mut rng)?;
+            if analysis::amc_rtb_test(&mc) {
+                counts[4] += 1;
+            }
+        }
+        let ratio = |c: u32| f64::from(c) / runs as f64;
+        ll.push(u, ratio(counts[0]));
+        hyper.push(u, ratio(counts[1]));
+        rta.push(u, ratio(counts[2]));
+        edf.push(u, ratio(counts[3]));
+        amc.push(u, ratio(counts[4]));
+    }
+
+    println!("acceptance ratio vs total utilization, 8-task sets, 500 sets/point");
+    println!("(amc-rtb column: LO-mode utilization = 0.7 x U, HI budgets 2x)");
+    print_series_table("U", &[ll, hyper, rta, edf, amc]);
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Experiment T15 — ensemble arbitration policies.
+//!
+//! A campaign of four workflows (two CyberShake, one LIGO, one Montage)
+//! arrives over 0.3 s on the `hpc_node`; each arbitration policy runs
+//! the same campaign (6 seeds). Rows report mean turnaround of the
+//! high-priority member, mean turnaround across members, the spread
+//! between best- and worst-served member, and overall makespan.
+
+use helios_bench::{print_header, Agg};
+use helios_core::{EngineConfig, EnsembleMember, EnsemblePolicy, EnsembleRunner};
+use helios_platform::presets;
+use helios_sim::SimTime;
+use helios_workflow::generators::{cybershake, ligo_inspiral, montage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let seeds = 0..6u64;
+    print_header(&[
+        "policy", "VIP t/a (s)", "mean t/a (s)", "spread (s)", "makespan (s)",
+    ]);
+
+    for policy in [
+        EnsemblePolicy::Fifo,
+        EnsemblePolicy::Priority,
+        EnsemblePolicy::FairShare,
+    ] {
+        let mut vip = Agg::new();
+        let mut mean = Agg::new();
+        let mut spread = Agg::new();
+        let mut makespan = Agg::new();
+        for seed in seeds.clone() {
+            let members = [
+                EnsembleMember {
+                    workflow: cybershake(150, seed)?,
+                    arrival: SimTime::ZERO,
+                    priority: 1.0,
+                },
+                EnsembleMember {
+                    workflow: ligo_inspiral(150, seed + 100)?,
+                    arrival: SimTime::from_secs(0.1),
+                    priority: 10.0, // the VIP
+                },
+                EnsembleMember {
+                    workflow: montage(150, seed + 200)?,
+                    arrival: SimTime::from_secs(0.2),
+                    priority: 1.0,
+                },
+                EnsembleMember {
+                    workflow: cybershake(150, seed + 300)?,
+                    arrival: SimTime::from_secs(0.3),
+                    priority: 1.0,
+                },
+            ];
+            let report = EnsembleRunner::new(EngineConfig::default(), policy)
+                .run(&platform, &members)?;
+            vip.push(report.members[1].turnaround.as_secs());
+            mean.push(report.mean_turnaround.as_secs());
+            let tas: Vec<f64> = report
+                .members
+                .iter()
+                .map(|m| m.turnaround.as_secs())
+                .collect();
+            let max = tas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = tas.iter().copied().fold(f64::INFINITY, f64::min);
+            spread.push(max - min);
+            makespan.push(report.makespan.as_secs());
+        }
+        println!(
+            "{:>16}{:>16.4}{:>16.4}{:>16.4}{:>16.4}",
+            policy.as_str(),
+            vip.mean(),
+            mean.mean(),
+            spread.mean(),
+            makespan.mean()
+        );
+    }
+    Ok(())
+}

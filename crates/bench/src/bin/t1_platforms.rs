@@ -1,0 +1,41 @@
+//! Experiment T1 — platform configurations.
+//!
+//! Prints the device inventory of every preset platform: kind mix, peak
+//! throughput, memory bandwidth, power envelope and link inventory.
+
+use helios_platform::presets;
+
+fn main() {
+    for platform in presets::all() {
+        println!("== {} ==", platform.name());
+        println!(
+            "{:>12} {:>6} {:>12} {:>10} {:>10} {:>10} {:>8}",
+            "device", "kind", "GFLOP/s", "GB/s", "mem GB", "P_max W", "slots"
+        );
+        for d in platform.devices() {
+            let nominal = d
+                .dvfs_state(d.nominal_level())
+                .expect("nominal level exists");
+            println!(
+                "{:>12} {:>6} {:>12.0} {:>10.0} {:>10.1} {:>10.1} {:>8}",
+                d.name(),
+                d.kind(),
+                d.peak_gflops(),
+                d.mem_bandwidth_gbs(),
+                d.memory_gb(),
+                d.power_model().active_power(nominal),
+                d.execution_slots()
+            );
+        }
+        println!("  links:");
+        for l in platform.interconnect().links() {
+            println!(
+                "    {:<12} {:>8.1} GB/s  {:>8.1} µs",
+                l.name(),
+                l.bandwidth_gbs(),
+                l.latency().as_secs() * 1e6
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment T2 — workflow suite characteristics.
+//!
+//! Structural and platform-relative statistics of the five scientific
+//! workflow families at four sizes, on the reference `hpc_node`.
+
+use helios_bench::print_header;
+use helios_platform::presets;
+use helios_workflow::analysis::WorkflowStats;
+use helios_workflow::generators::WorkflowClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    print_header(&[
+        "workflow", "tasks", "edges", "depth", "width", "Gflop", "GB moved", "CCR",
+        "CP (s)",
+    ]);
+    for class in WorkflowClass::ALL {
+        for n in [50, 100, 500, 1000] {
+            let wf = class.generate(n, 1)?;
+            let s = WorkflowStats::compute(&wf, &platform)?;
+            println!(
+                "{:>16}{:>16}{:>16}{:>16}{:>16}{:>16.0}{:>16.2}{:>16.3}{:>16.4}",
+                format!("{class}-{n}"),
+                s.tasks,
+                s.edges,
+                s.depth,
+                s.width,
+                s.total_gflop,
+                s.total_bytes / 1e9,
+                s.ccr,
+                s.cp_seconds
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Experiment T8 — fault-tolerance overhead.
+//!
+//! CyberShake-500 on `hpc_node` under Poisson device failures at three
+//! MTBF settings, with and without checkpointing; rows report makespan
+//! overhead over the fault-free run, failures and retries (6 seeds).
+
+use helios_bench::{print_header, Agg};
+use helios_core::{CheckpointConfig, Engine, EngineConfig, FaultConfig};
+use helios_platform::presets;
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_sim::SimDuration;
+use helios_workflow::generators::cybershake;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let seeds = 0..6u64;
+    print_header(&[
+        "MTBF (s)", "checkpoint", "makespan (s)", "overhead %", "failures", "energy (J)",
+    ]);
+
+    // Fault-free baseline.
+    let mut base = Agg::new();
+    for seed in seeds.clone() {
+        let wf = cybershake(500, seed)?;
+        let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+        let report = Engine::new(EngineConfig::default()).execute_plan(&platform, &wf, &plan)?;
+        base.push(report.makespan().as_secs());
+    }
+    println!(
+        "{:>16}{:>16}{:>16.4}{:>16.1}{:>16}{:>16}",
+        "inf", "-", base.mean(), 0.0, 0, "-"
+    );
+
+    for mtbf in [1.0, 0.25, 0.1] {
+        for ckpt in [false, true] {
+            let mut makespan = Agg::new();
+            let mut failures = Agg::new();
+            let mut energy = Agg::new();
+            for seed in seeds.clone() {
+                let wf = cybershake(500, seed)?;
+                let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+                let mut config = EngineConfig::default();
+                config.seed = seed;
+                config.faults = Some(FaultConfig::new(
+                    mtbf,
+                    SimDuration::from_secs(0.005),
+                    10_000_000,
+                )?);
+                if ckpt {
+                    config.checkpointing = Some(CheckpointConfig::new(
+                        SimDuration::from_secs(0.01),
+                        SimDuration::from_secs(5e-4),
+                    )?);
+                }
+                let report = Engine::new(config).execute_plan(&platform, &wf, &plan)?;
+                makespan.push(report.makespan().as_secs());
+                failures.push(f64::from(report.failures()));
+                energy.push(report.energy().total_j());
+            }
+            println!(
+                "{:>16}{:>16}{:>16.4}{:>16.1}{:>16.1}{:>16.1}",
+                mtbf,
+                if ckpt { "yes" } else { "no" },
+                makespan.mean(),
+                (makespan.mean() / base.mean() - 1.0) * 100.0,
+                failures.mean(),
+                energy.mean()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! A small, dependency-free flag parser.
+//!
+//! Supports `--key value` options and boolean `--flag` switches; every
+//! command declares which names it accepts, so typos fail fast with the
+//! command's own usage string.
+
+use crate::CliError;
+
+/// Parsed arguments: `--key value` pairs (repeatable) plus boolean
+/// flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`, accepting only the declared option and flag names
+    /// (without the `--` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on unknown names, missing values, or
+    /// stray positional arguments.
+    pub fn parse(argv: &[String], options: &[&str], flags: &[&str]) -> Result<Args, CliError> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument {arg:?}"
+                )));
+            };
+            if flags.contains(&name) {
+                out.flags.push(name.to_owned());
+            } else if options.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                out.values.push((name.to_owned(), value.clone()));
+            } else {
+                return Err(CliError::Usage(format!("unknown option --{name}")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of `--name` (the last occurrence), if given.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of `--name`, in order.
+    #[must_use]
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.values
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// The value of a mandatory option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when absent.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    /// Whether the boolean `--name` flag was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses `--name` as `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when present but unparseable.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                CliError::Usage(format!("--{name} {v:?} is not a valid value"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|&x| x.to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let a = Args::parse(
+            &argv(&["--tasks", "100", "--gantt", "--seed", "7"]),
+            &["tasks", "seed"],
+            &["gantt"],
+        )
+        .unwrap();
+        assert_eq!(a.get("tasks"), Some("100"));
+        assert_eq!(a.parse_or("seed", 0u64).unwrap(), 7);
+        assert!(a.flag("gantt"));
+        assert!(!a.flag("other"));
+        assert_eq!(a.parse_or("missing", 5u32).unwrap(), 5);
+    }
+
+    #[test]
+    fn repeated_options_accumulate() {
+        let a = Args::parse(
+            &argv(&["--member", "a", "--member", "b", "--member", "c"]),
+            &["member"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(a.get_all("member"), vec!["a", "b", "c"]);
+        assert_eq!(a.get("member"), Some("c"), "get returns the last");
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Args::parse(&argv(&["--bogus"]), &[], &[]).is_err());
+        assert!(Args::parse(&argv(&["positional"]), &[], &[]).is_err());
+        assert!(Args::parse(&argv(&["--tasks"]), &["tasks"], &[]).is_err());
+        let a = Args::parse(&argv(&["--tasks", "abc"]), &["tasks"], &[]).unwrap();
+        assert!(a.parse_or("tasks", 0u32).is_err());
+        assert!(a.require("seed").is_err());
+        assert!(a.require("tasks").is_ok());
+    }
+}

@@ -1,0 +1,448 @@
+//! Command implementations.
+
+use std::io::Write;
+
+use helios_core::{Engine, EngineConfig, OnlinePolicy, OnlineRunner};
+use helios_platform::{presets, Platform};
+use helios_sched::{all_schedulers, metrics::ScheduleMetrics, Scheduler};
+use helios_workflow::generators::{synthetic, WorkflowClass};
+use helios_workflow::{analysis, io as wfio, Workflow};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Resolves a preset platform by name.
+fn platform_by_name(name: &str) -> Result<Platform, CliError> {
+    match name {
+        "workstation" => Ok(presets::workstation()),
+        "hpc_node" => Ok(presets::hpc_node()),
+        "edge_soc" => Ok(presets::edge_soc()),
+        other => {
+            if let Some(n) = other.strip_prefix("cluster") {
+                let nodes: usize = n
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad cluster size in {other:?}")))?;
+                if nodes == 0 {
+                    return Err(CliError::Usage("cluster needs >= 1 node".into()));
+                }
+                return Ok(presets::cluster(nodes));
+            }
+            Err(CliError::Usage(format!(
+                "unknown platform {other:?} (workstation, hpc_node, cluster<N>, edge_soc)"
+            )))
+        }
+    }
+}
+
+/// Resolves a scheduler by its report name.
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, CliError> {
+    all_schedulers()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<String> = all_schedulers()
+                .iter()
+                .map(|s| s.name().to_owned())
+                .collect();
+            CliError::Usage(format!(
+                "unknown scheduler {name:?} (available: {})",
+                names.join(", ")
+            ))
+        })
+}
+
+/// Loads a workflow from a JSON file.
+fn load_workflow(path: &str) -> Result<Workflow, CliError> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(wfio::from_json(&json)?)
+}
+
+/// `helios generate` — create a workflow file.
+pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(
+        argv,
+        &["family", "tasks", "seed", "out", "dot", "levels", "width", "ccr", "platform"],
+        &[],
+    )?;
+    let family = args.require("family")?;
+    let tasks = args.parse_or("tasks", 100usize)?;
+    let seed = args.parse_or("seed", 0u64)?;
+
+    let mut wf = match family {
+        "montage" | "cybershake" | "epigenomics" | "ligo" | "sipht" => {
+            let class = WorkflowClass::ALL
+                .into_iter()
+                .find(|c| c.as_str() == family)
+                .expect("names match WorkflowClass::as_str");
+            class.generate(tasks, seed)?
+        }
+        "layered" => {
+            let width = args.parse_or("width", 10usize)?;
+            let levels = args.parse_or("levels", tasks.div_ceil(width.max(1)))?;
+            let config = synthetic::LayeredConfig {
+                levels,
+                width,
+                ..synthetic::LayeredConfig::default()
+            };
+            synthetic::layered_random(&config, seed)?
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown family {other:?} (montage, cybershake, epigenomics, ligo, sipht, layered)"
+            )))
+        }
+    };
+    if let Some(ccr) = args.get("ccr") {
+        let target: f64 = ccr
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--ccr {ccr:?} is not a number")))?;
+        let platform = platform_by_name(args.get("platform").unwrap_or("hpc_node"))?;
+        wf = synthetic::scale_edges_to_ccr(&wf, &platform, target)?;
+    }
+
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, wfio::to_json(&wf)?)?;
+        writeln!(out, "wrote {} ({} tasks, {} edges)", path, wf.num_tasks(), wf.num_edges())?;
+    } else {
+        writeln!(out, "{}", wfio::to_json(&wf)?)?;
+    }
+    if let Some(path) = args.get("dot") {
+        std::fs::write(path, wfio::to_dot(&wf))?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+/// `helios analyze` — workflow statistics on a platform.
+pub fn analyze(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &["workflow", "platform"], &[])?;
+    let wf = load_workflow(args.require("workflow")?)?;
+    let platform = platform_by_name(args.get("platform").unwrap_or("hpc_node"))?;
+    let stats = analysis::WorkflowStats::compute(&wf, &platform)?;
+    writeln!(out, "workflow:  {}", stats.name)?;
+    writeln!(out, "tasks:     {}", stats.tasks)?;
+    writeln!(out, "edges:     {}", stats.edges)?;
+    writeln!(out, "depth:     {}", stats.depth)?;
+    writeln!(out, "width:     {}", stats.width)?;
+    writeln!(out, "work:      {:.1} Gflop", stats.total_gflop)?;
+    writeln!(out, "data:      {:.2} GB", stats.total_bytes / 1e9)?;
+    writeln!(out, "CCR:       {:.4} (on {})", stats.ccr, platform.name())?;
+    writeln!(out, "crit.path: {:.4} s", stats.cp_seconds)?;
+    Ok(())
+}
+
+/// `helios schedule` — plan a workflow and report metrics.
+pub fn schedule(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(
+        argv,
+        &["workflow", "platform", "scheduler", "out"],
+        &["gantt"],
+    )?;
+    let wf = load_workflow(args.require("workflow")?)?;
+    let platform = platform_by_name(args.get("platform").unwrap_or("hpc_node"))?;
+    let scheduler = scheduler_by_name(args.get("scheduler").unwrap_or("heft"))?;
+    let plan = scheduler.schedule(&wf, &platform)?;
+    plan.validate(&wf, &platform)?;
+    let m = ScheduleMetrics::compute(&plan, &wf, &platform)?;
+    writeln!(
+        out,
+        "{} on {}: makespan {:.6}s | SLR {:.3} | speedup {:.2} | efficiency {:.2}",
+        scheduler.name(),
+        platform.name(),
+        m.makespan_secs,
+        m.slr,
+        m.speedup,
+        m.efficiency
+    )?;
+    if args.flag("gantt") {
+        writeln!(out, "{}", plan.gantt(&wf, &platform))?;
+    }
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&plan)?)?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+/// `helios run` — execute a workflow and report the outcome.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(
+        argv,
+        &["workflow", "platform", "scheduler", "noise", "seed", "trace", "report"],
+        &["contention", "caching", "online", "gantt"],
+    )?;
+    let wf = load_workflow(args.require("workflow")?)?;
+    let platform = platform_by_name(args.get("platform").unwrap_or("hpc_node"))?;
+    let mut config = EngineConfig::default();
+    config.noise_cv = args.parse_or("noise", 0.0)?;
+    config.seed = args.parse_or("seed", 0u64)?;
+    config.link_contention = args.flag("contention");
+    config.data_caching = args.flag("caching");
+    config.tracing = args.get("trace").is_some();
+
+    let report = if args.flag("online") {
+        OnlineRunner::new(config, OnlinePolicy::RankedJit).run(&platform, &wf)?
+    } else {
+        let scheduler = scheduler_by_name(args.get("scheduler").unwrap_or("heft"))?;
+        Engine::new(config).run(&platform, &wf, scheduler.as_ref())?
+    };
+    writeln!(
+        out,
+        "makespan {:.6}s | energy {:.1} J (EDP {:.1}) | {} transfers ({:.1} MB) | {} failures",
+        report.makespan().as_secs(),
+        report.energy().total_j(),
+        report.energy().edp(),
+        report.transfers().count,
+        report.transfers().bytes / 1e6,
+        report.failures()
+    )?;
+    if args.flag("gantt") {
+        writeln!(out, "{}", report.gantt(&wf, &platform))?;
+    }
+    if let Some(path) = args.get("trace") {
+        match report.chrome_trace(&platform) {
+            Some(json) => {
+                std::fs::write(path, json)?;
+                writeln!(out, "wrote {path} (open in chrome://tracing)")?;
+            }
+            None => writeln!(out, "tracing produced no data")?,
+        }
+    }
+    if let Some(path) = args.get("report") {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+/// `helios campaign` — run a workflow ensemble.
+///
+/// Members are given as repeated `--member path[:arrival[:priority]]`
+/// options; arrival defaults to 0 s and priority to 1.
+pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use helios_core::{EnsembleMember, EnsemblePolicy, EnsembleRunner};
+    use helios_sim::SimTime;
+
+    let args = Args::parse(argv, &["member", "platform", "policy", "seed"], &[])?;
+    let specs = args.get_all("member");
+    if specs.is_empty() {
+        return Err(CliError::Usage(
+            "at least one --member path[:arrival[:priority]] is required".into(),
+        ));
+    }
+    let mut members = Vec::new();
+    for spec in specs {
+        let mut parts = spec.split(':');
+        let path = parts.next().expect("split yields at least one part");
+        let arrival: f64 = match parts.next() {
+            None => 0.0,
+            Some(v) => v.parse().map_err(|_| {
+                CliError::Usage(format!("bad arrival in --member {spec:?}"))
+            })?,
+        };
+        let priority: f64 = match parts.next() {
+            None => 1.0,
+            Some(v) => v.parse().map_err(|_| {
+                CliError::Usage(format!("bad priority in --member {spec:?}"))
+            })?,
+        };
+        members.push(EnsembleMember {
+            workflow: load_workflow(path)?,
+            arrival: SimTime::try_from_secs(arrival)
+                .map_err(|e| CliError::Usage(format!("bad arrival {arrival}: {e}")))?,
+            priority,
+        });
+    }
+    let policy = match args.get("policy").unwrap_or("fifo") {
+        "fifo" => EnsemblePolicy::Fifo,
+        "priority" => EnsemblePolicy::Priority,
+        "fair-share" => EnsemblePolicy::FairShare,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown policy {other:?} (fifo, priority, fair-share)"
+            )))
+        }
+    };
+    let platform = platform_by_name(args.get("platform").unwrap_or("hpc_node"))?;
+    let mut config = EngineConfig::default();
+    config.seed = args.parse_or("seed", 0u64)?;
+    let report = EnsembleRunner::new(config, policy).run(&platform, &members)?;
+    writeln!(
+        out,
+        "campaign of {} members on {} ({}): makespan {:.4}s, mean turnaround {:.4}s",
+        report.members.len(),
+        platform.name(),
+        policy.as_str(),
+        report.makespan.as_secs(),
+        report.mean_turnaround.as_secs()
+    )?;
+    for (i, m) in report.members.iter().enumerate() {
+        writeln!(
+            out,
+            "  member {i}: started {:.4}s finished {:.4}s turnaround {:.4}s",
+            m.started.as_secs(),
+            m.finished.as_secs(),
+            m.turnaround.as_secs()
+        )?;
+    }
+    Ok(())
+}
+
+/// `helios platforms` — list the presets.
+pub fn platforms(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let _ = Args::parse(argv, &[], &[])?;
+    for platform in presets::all() {
+        writeln!(out, "{platform}")?;
+        for d in platform.devices() {
+            writeln!(out, "  {d}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|&x| x.to_owned()).collect()
+    }
+
+    fn run_cmd(f: impl Fn(&[String], &mut dyn Write) -> Result<(), CliError>, a: &[&str]) -> String {
+        let mut buf = Vec::new();
+        f(&argv(a), &mut buf).expect("command succeeds");
+        String::from_utf8(buf).expect("utf8 output")
+    }
+
+    #[test]
+    fn platform_resolution() {
+        assert!(platform_by_name("workstation").is_ok());
+        assert!(platform_by_name("hpc_node").is_ok());
+        assert!(platform_by_name("cluster4").is_ok());
+        assert!(platform_by_name("cluster0").is_err());
+        assert!(platform_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn scheduler_resolution() {
+        assert!(scheduler_by_name("heft").is_ok());
+        assert!(scheduler_by_name("min-min").is_ok());
+        match scheduler_by_name("sjf") {
+            Err(e) => assert!(e.to_string().contains("available")),
+            Ok(_) => panic!("sjf must not resolve"),
+        }
+    }
+
+    #[test]
+    fn generate_analyze_schedule_run_roundtrip() {
+        let dir = std::env::temp_dir().join("helios-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wf_path = dir.join("wf.json");
+        let wf_str = wf_path.to_str().unwrap();
+
+        let out = run_cmd(generate, &[
+            "--family", "montage", "--tasks", "40", "--seed", "3", "--out", wf_str,
+        ]);
+        assert!(out.contains("wrote"));
+
+        let out = run_cmd(analyze, &["--workflow", wf_str, "--platform", "workstation"]);
+        assert!(out.contains("CCR"), "{out}");
+
+        let out = run_cmd(schedule, &[
+            "--workflow", wf_str, "--platform", "workstation", "--scheduler", "heft", "--gantt",
+        ]);
+        assert!(out.contains("makespan") && out.contains("SLR"), "{out}");
+
+        let trace_path = dir.join("trace.json");
+        let out = run_cmd(run, &[
+            "--workflow", wf_str, "--platform", "workstation",
+            "--noise", "0.1", "--seed", "4", "--contention", "--caching",
+            "--trace", trace_path.to_str().unwrap(),
+        ]);
+        assert!(out.contains("makespan"), "{out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(serde_json::from_str::<serde_json::Value>(&trace).is_ok());
+    }
+
+    #[test]
+    fn generate_supports_layered_with_ccr() {
+        let mut buf = Vec::new();
+        generate(
+            &argv(&["--family", "layered", "--width", "4", "--levels", "3", "--ccr", "2.0"]),
+            &mut buf,
+        )
+        .unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        let wf = wfio::from_json(json.lines().collect::<Vec<_>>().join("\n").as_str());
+        assert!(wf.is_ok());
+    }
+
+    #[test]
+    fn online_run_works() {
+        let dir = std::env::temp_dir().join("helios-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wf_path = dir.join("wf.json");
+        run_cmd(generate, &[
+            "--family", "sipht", "--tasks", "30", "--out", wf_path.to_str().unwrap(),
+        ]);
+        let out = run_cmd(run, &[
+            "--workflow", wf_path.to_str().unwrap(), "--online",
+        ]);
+        assert!(out.contains("makespan"));
+    }
+
+    #[test]
+    fn platforms_lists_presets() {
+        let out = run_cmd(platforms, &[]);
+        assert!(out.contains("workstation") && out.contains("edge_soc"));
+    }
+}
+
+#[cfg(test)]
+mod campaign_tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|&x| x.to_owned()).collect()
+    }
+
+    #[test]
+    fn campaign_runs_multiple_members() {
+        let dir = std::env::temp_dir().join("helios-cli-campaign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        for (path, family) in [(&a, "montage"), (&b, "sipht")] {
+            let mut buf = Vec::new();
+            generate(
+                &argv(&["--family", family, "--tasks", "30", "--out", path.to_str().unwrap()]),
+                &mut buf,
+            )
+            .unwrap();
+        }
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "--member", a.to_str().unwrap(),
+                "--member", &format!("{}:0.01:5", b.to_str().unwrap()),
+                "--policy", "fair-share",
+                "--platform", "workstation",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("campaign of 2 members"), "{out}");
+        assert!(out.contains("member 1"), "{out}");
+    }
+
+    #[test]
+    fn campaign_argument_validation() {
+        let mut buf = Vec::new();
+        assert!(campaign(&argv(&[]), &mut buf).is_err());
+        assert!(campaign(&argv(&["--member", "x.json:notanumber"]), &mut buf).is_err());
+        assert!(
+            campaign(&argv(&["--member", "x.json", "--policy", "lifo"]), &mut buf).is_err()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end tests of the compiled `helios` binary.
+
+use std::process::Command;
+
+fn helios() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_helios"))
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = helios().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("generate"));
+
+    let out = helios().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let out = helios().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = std::env::temp_dir().join("helios-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wf = dir.join("wf.json");
+
+    let out = helios()
+        .args([
+            "generate", "--family", "cybershake", "--tasks", "60",
+            "--seed", "9", "--out", wf.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = helios()
+        .args(["schedule", "--workflow", wf.to_str().unwrap(), "--scheduler", "peft"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("peft on hpc_node"));
+
+    let report = dir.join("report.json");
+    let out = helios()
+        .args([
+            "run", "--workflow", wf.to_str().unwrap(), "--caching",
+            "--report", report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+}
+
+#[test]
+fn bad_workflow_file_is_reported() {
+    let out = helios()
+        .args(["analyze", "--workflow", "/nonexistent/wf.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("io error"));
+}

@@ -1,0 +1,201 @@
+//! Engine configuration.
+
+use helios_sim::SimDuration;
+
+use crate::error::EngineError;
+
+/// Device fault injection: each device fails as a Poisson process with
+/// the given mean time between failures; a failure aborts the task
+/// executing at that moment (idle devices shrug failures off).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Mean time between failures per device, seconds (the default for
+    /// devices without an override).
+    pub mtbf_secs: f64,
+    /// Fixed recovery/restart overhead paid before a retry begins.
+    pub restart_overhead: SimDuration,
+    /// Retry budget per task; exceeding it aborts the run.
+    pub max_retries: u32,
+    /// Optional per-device MTBF overrides, indexed by device id; `None`
+    /// entries fall back to [`FaultConfig::mtbf_secs`]. Lets flaky
+    /// accelerators coexist with dependable hosts, matching the rate
+    /// vectors of
+    /// [`helios_sched::reliability`](../helios_sched/reliability/index.html).
+    pub per_device_mtbf: Option<Vec<Option<f64>>>,
+}
+
+impl FaultConfig {
+    /// Creates a fault model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for a non-positive MTBF.
+    pub fn new(
+        mtbf_secs: f64,
+        restart_overhead: SimDuration,
+        max_retries: u32,
+    ) -> Result<FaultConfig, EngineError> {
+        if !(mtbf_secs.is_finite() && mtbf_secs > 0.0) {
+            return Err(EngineError::Config(format!(
+                "mtbf_secs must be positive, got {mtbf_secs}"
+            )));
+        }
+        Ok(FaultConfig {
+            mtbf_secs,
+            restart_overhead,
+            max_retries,
+            per_device_mtbf: None,
+        })
+    }
+
+    /// Sets per-device MTBF overrides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if any override is non-positive.
+    pub fn with_per_device_mtbf(
+        mut self,
+        overrides: Vec<Option<f64>>,
+    ) -> Result<FaultConfig, EngineError> {
+        for (i, o) in overrides.iter().enumerate() {
+            if let Some(m) = o {
+                if !(m.is_finite() && *m > 0.0) {
+                    return Err(EngineError::Config(format!(
+                        "per_device_mtbf[{i}] must be positive, got {m}"
+                    )));
+                }
+            }
+        }
+        self.per_device_mtbf = Some(overrides);
+        Ok(self)
+    }
+
+    /// The effective MTBF for device `device_id`.
+    #[must_use]
+    pub fn mtbf_for(&self, device_id: usize) -> f64 {
+        self.per_device_mtbf
+            .as_ref()
+            .and_then(|v| v.get(device_id).copied().flatten())
+            .unwrap_or(self.mtbf_secs)
+    }
+}
+
+/// Checkpointing: tasks snapshot their progress every `interval`; a
+/// retry resumes from the last snapshot instead of from scratch, at the
+/// cost of `overhead` added per completed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointConfig {
+    /// Time between snapshots, in task-execution seconds.
+    pub interval: SimDuration,
+    /// Cost of writing one snapshot.
+    pub overhead: SimDuration,
+}
+
+impl CheckpointConfig {
+    /// Creates a checkpoint policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for a zero interval.
+    pub fn new(interval: SimDuration, overhead: SimDuration) -> Result<CheckpointConfig, EngineError> {
+        if interval.as_secs() <= 0.0 {
+            return Err(EngineError::Config(
+                "checkpoint interval must be positive".into(),
+            ));
+        }
+        Ok(CheckpointConfig { interval, overhead })
+    }
+}
+
+/// Complete engine configuration.
+///
+/// The default is the *ideal* execution: no noise, no faults, no link
+/// contention — under it, executing a plan reproduces the plan's timing
+/// exactly (a property the test suite pins down).
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Coefficient of variation of actual vs. modeled task duration
+    /// (log-free multiplicative noise, clamped at 5% of the model).
+    pub noise_cv: f64,
+    /// Seed for all stochastic behaviour (noise, faults).
+    pub seed: u64,
+    /// Serialize transfers crossing the same link (FIFO per link)
+    /// instead of letting them overlap freely.
+    pub link_contention: bool,
+    /// Cache data products at destination devices: when several
+    /// consumers of one output run on the same device, only the first
+    /// pays the transfer (the workflow-data-staging optimization of
+    /// production workflow managers).
+    pub data_caching: bool,
+    /// Per-device runtime slowdown factors (thermal throttling,
+    /// co-tenant interference), indexed by device id; a factor of 2.0
+    /// makes every task on that device take twice its modeled time.
+    /// Planners and dispatchers do not see these — only execution does.
+    pub device_slowdown: Option<Vec<f64>>,
+    /// Fault injection, if any.
+    pub faults: Option<FaultConfig>,
+    /// Checkpoint/restart policy, if any (only meaningful with faults).
+    pub checkpointing: Option<CheckpointConfig>,
+    /// Record an execution trace (task spans + transfer spans) in the
+    /// report, exportable to Chrome trace JSON.
+    pub tracing: bool,
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for a negative or non-finite
+    /// noise coefficient.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if !self.noise_cv.is_finite() || self.noise_cv < 0.0 {
+            return Err(EngineError::Config(format!(
+                "noise_cv must be non-negative, got {}",
+                self.noise_cv
+            )));
+        }
+        if let Some(slow) = &self.device_slowdown {
+            for (i, &f) in slow.iter().enumerate() {
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(EngineError::Config(format!(
+                        "device_slowdown[{i}] must be positive, got {f}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ideal() {
+        let c = EngineConfig::default();
+        assert_eq!(c.noise_cv, 0.0);
+        assert!(c.faults.is_none());
+        assert!(!c.link_contention);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = EngineConfig::default();
+        c.noise_cv = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = EngineConfig::default();
+        c.device_slowdown = Some(vec![1.0, 0.0]);
+        assert!(c.validate().is_err());
+        c.device_slowdown = Some(vec![1.0, 2.0]);
+        assert!(c.validate().is_ok());
+        assert!(FaultConfig::new(0.0, SimDuration::ZERO, 1).is_err());
+        assert!(FaultConfig::new(100.0, SimDuration::ZERO, 1).is_ok());
+        assert!(CheckpointConfig::new(SimDuration::ZERO, SimDuration::ZERO).is_err());
+        assert!(
+            CheckpointConfig::new(SimDuration::from_secs(1.0), SimDuration::ZERO).is_ok()
+        );
+    }
+}

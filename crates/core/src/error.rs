@@ -1,0 +1,106 @@
+//! Error type for the execution engine.
+
+use std::fmt;
+
+use helios_platform::PlatformError;
+use helios_sched::SchedError;
+use helios_workflow::{TaskId, WorkflowError};
+
+/// Errors produced while executing a workflow.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A scheduling error while planning or validating.
+    Sched(SchedError),
+    /// A platform model error during execution.
+    Platform(PlatformError),
+    /// A workflow structural error during execution.
+    Workflow(WorkflowError),
+    /// A task exhausted its retry budget.
+    RetriesExhausted {
+        /// The failing task.
+        task: TaskId,
+        /// Retries attempted.
+        attempts: u32,
+    },
+    /// The engine's event loop drained without completing every task —
+    /// an internal invariant violation.
+    Stalled {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
+    /// Invalid engine configuration.
+    Config(String),
+    /// A worker thread panicked or disconnected in the threaded executor.
+    Executor(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sched(e) => write!(f, "scheduling error: {e}"),
+            EngineError::Platform(e) => write!(f, "platform error: {e}"),
+            EngineError::Workflow(e) => write!(f, "workflow error: {e}"),
+            EngineError::RetriesExhausted { task, attempts } => {
+                write!(f, "task {task} failed permanently after {attempts} attempts")
+            }
+            EngineError::Stalled { completed, total } => {
+                write!(f, "engine stalled after {completed}/{total} tasks")
+            }
+            EngineError::Config(msg) => write!(f, "invalid engine config: {msg}"),
+            EngineError::Executor(msg) => write!(f, "threaded executor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Sched(e) => Some(e),
+            EngineError::Platform(e) => Some(e),
+            EngineError::Workflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedError> for EngineError {
+    fn from(e: SchedError) -> Self {
+        EngineError::Sched(e)
+    }
+}
+
+impl From<PlatformError> for EngineError {
+    fn from(e: PlatformError) -> Self {
+        EngineError::Platform(e)
+    }
+}
+
+impl From<WorkflowError> for EngineError {
+    fn from(e: WorkflowError) -> Self {
+        EngineError::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: EngineError = PlatformError::Empty.into();
+        assert!(e.to_string().contains("platform"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EngineError::RetriesExhausted {
+            task: TaskId(2),
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("t2"));
+        let e = EngineError::Stalled {
+            completed: 1,
+            total: 5,
+        };
+        assert!(e.to_string().contains("1/5"));
+    }
+}

@@ -1,0 +1,68 @@
+//! The `helios` orchestration engine — executing scientific workflows on
+//! heterogeneous platforms.
+//!
+//! Where `helios-sched` produces *plans*, this crate produces *runs*. The
+//! [`Engine`] executes a workflow on a platform in simulated time,
+//! modeling everything a plan abstracts away:
+//!
+//! * **runtime variability** — actual task durations deviate from the
+//!   model by a configurable noise coefficient,
+//! * **data movement** — every data product is transferred when its
+//!   producer finishes, optionally with per-link contention (transfers
+//!   queue on shared links instead of overlapping freely),
+//! * **faults** — devices fail as Poisson processes; failed tasks retry,
+//!   either from scratch or from their last checkpoint,
+//! * **DVFS** — placements execute at their planned DVFS level; online
+//!   mode consults a [`DvfsGovernor`](helios_energy::DvfsGovernor),
+//! * **online rescheduling** — instead of following a static plan, the
+//!   [`online`] dispatcher assigns ready tasks to devices just-in-time
+//!   using observed (not modeled) history, calibrating per-device
+//!   performance as it goes,
+//! * **data-product caching** — outputs consumed by several tasks on
+//!   one device transfer once,
+//! * **workflow ensembles** — the [`ensemble`] runner shares the
+//!   platform between several workflows arriving over time (FIFO /
+//!   priority / fair-share arbitration).
+//!
+//! A run yields an [`ExecutionReport`]: realized placements, makespan,
+//! energy (via `helios-energy` accounting), transfer and fault
+//! statistics.
+//!
+//! The [`executor`] module is the reality check: it runs the same
+//! workflow on real OS threads (one worker pool per modeled device,
+//! crossbeam channels, scaled-down durations) and confirms the simulated
+//! makespan matches wall-clock behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_core::{Engine, EngineConfig};
+//! use helios_platform::presets;
+//! use helios_sched::HeftScheduler;
+//! use helios_workflow::generators::montage;
+//!
+//! let platform = presets::hpc_node();
+//! let wf = montage(50, 1)?;
+//! let report = Engine::new(EngineConfig::default())
+//!     .run(&platform, &wf, &HeftScheduler::default())?;
+//! assert!(report.makespan().as_secs() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+pub mod ensemble;
+mod error;
+pub mod executor;
+pub mod online;
+mod report;
+
+pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
+pub use ensemble::{EnsembleMember, EnsemblePolicy, EnsembleReport, EnsembleRunner, MemberReport};
+pub use engine::Engine;
+pub use error::EngineError;
+pub use online::{OnlinePolicy, OnlineRunner};
+pub use report::{ExecutionReport, TransferStats};

@@ -1,0 +1,493 @@
+//! Online (just-in-time) workflow execution.
+//!
+//! Instead of following a static plan, the [`OnlineRunner`] assigns ready
+//! tasks to devices at event time, using *observed* history — the remedy
+//! the online-scheduling literature prescribes when task durations are
+//! noisy and static plans go stale. A [`DvfsGovernor`] may be attached;
+//! it picks the DVFS level per dispatch from the current load pressure.
+
+use helios_energy::{account, DvfsGovernor};
+use helios_platform::{DeviceId, Platform};
+use helios_sched::{Placement, Schedule};
+use helios_sim::{EventQueue, SimRng, SimTime};
+use helios_workflow::{analysis, TaskId, Workflow};
+
+use crate::config::EngineConfig;
+use crate::engine::{occupancy_on, LinkState};
+use crate::error::EngineError;
+use crate::report::{ExecutionReport, TransferStats};
+
+/// Task-selection policy for the online dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnlinePolicy {
+    /// Pick the globally best (ready task, idle device) pair by
+    /// predicted completion time.
+    #[default]
+    Jit,
+    /// Pick the highest upward-rank ready task first (HEFT priorities),
+    /// then its best idle device.
+    RankedJit,
+}
+
+impl OnlinePolicy {
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OnlinePolicy::Jit => "online-jit",
+            OnlinePolicy::RankedJit => "online-ranked",
+        }
+    }
+}
+
+/// Online executor: dispatches tasks just-in-time as devices free up.
+pub struct OnlineRunner {
+    config: EngineConfig,
+    policy: OnlinePolicy,
+    governor: Option<Box<dyn DvfsGovernor>>,
+    estimates: Option<Workflow>,
+}
+
+impl std::fmt::Debug for OnlineRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineRunner")
+            .field("config", &self.config)
+            .field("policy", &self.policy)
+            .field(
+                "governor",
+                &self.governor.as_ref().map(|g| g.name().to_owned()),
+            )
+            .finish()
+    }
+}
+
+impl OnlineRunner {
+    /// Creates a runner with the given configuration and policy.
+    #[must_use]
+    pub fn new(config: EngineConfig, policy: OnlinePolicy) -> OnlineRunner {
+        OnlineRunner {
+            config,
+            policy,
+            governor: None,
+            estimates: None,
+        }
+    }
+
+    /// Attaches the *planner's view* of the workflow: task costs the
+    /// dispatcher believes, which may differ from the costs actually
+    /// executed. Models stale or mis-calibrated performance estimates —
+    /// the regime where online rescheduling earns its keep. The
+    /// estimate workflow must be structurally identical to the executed
+    /// one (same tasks and edges; only costs may differ).
+    #[must_use]
+    pub fn with_estimates(mut self, estimates: Workflow) -> OnlineRunner {
+        self.estimates = Some(estimates);
+        self
+    }
+
+    /// Attaches a DVFS governor consulted at every dispatch.
+    #[must_use]
+    pub fn with_governor(mut self, governor: Box<dyn DvfsGovernor>) -> OnlineRunner {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// Executes `wf` on `platform` with just-in-time dispatching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::RetriesExhausted`] under fault injection
+    /// when a task exceeds its retry budget, or propagates model errors.
+    pub fn run(&self, platform: &Platform, wf: &Workflow) -> Result<ExecutionReport, EngineError> {
+        self.config.validate()?;
+        let n = wf.num_tasks();
+        // The dispatcher's beliefs come from the estimate view when one
+        // is attached; execution always uses the true costs in `wf`.
+        let believed = self.estimates.as_ref().unwrap_or(wf);
+        if believed.num_tasks() != n || believed.num_edges() != wf.num_edges() {
+            return Err(EngineError::Config(
+                "estimate workflow differs structurally from the executed one".into(),
+            ));
+        }
+        let ranks = match self.policy {
+            OnlinePolicy::RankedJit => analysis::bottom_levels(believed, platform)?,
+            OnlinePolicy::Jit => vec![0.0; n],
+        };
+
+        let mut preds_left: Vec<usize> = (0..n)
+            .map(|i| wf.predecessors(TaskId(i)).len())
+            .collect();
+        let mut finished = vec![false; n];
+        let mut producer_device = vec![DeviceId(0); n];
+        let mut realized: Vec<Option<Placement>> = vec![None; n];
+        let mut ready: Vec<TaskId> = (0..n)
+            .filter(|&i| preds_left[i] == 0)
+            .map(TaskId)
+            .collect();
+        let mut device_idle = vec![true; platform.num_devices()];
+
+        let base_rng = SimRng::seed_from(self.config.seed);
+        let mut noise_rng = base_rng.fork(1);
+        let mut fault_rng = base_rng.fork(2);
+        let mut links = LinkState::new(platform);
+        let mut stats = TransferStats::default();
+        let mut trace = self.config.tracing.then(helios_sim::trace::Trace::new);
+        // data_caching: (producer, destination) -> availability instant.
+        let mut delivered: std::collections::BTreeMap<(TaskId, DeviceId), SimTime> =
+            std::collections::BTreeMap::new();
+        let mut failures = 0u32;
+        let mut retries = 0u32;
+        let mut completed = 0usize;
+        let mut queue: EventQueue<TaskId> = EventQueue::new();
+
+        // Per-device calibration: an exponentially weighted running
+        // ratio of observed to believed duration. This is how adaptive
+        // runtimes keep their performance models honest — a throttled
+        // or misestimated device is quickly predicted as slow and work
+        // routes around it.
+        let mut calibration = vec![1.0f64; platform.num_devices()];
+        let mut believed_dur = vec![0.0f64; n];
+        const CALIBRATION_EWMA: f64 = 0.5;
+
+        // Predicted completion of `task` on `device`, using believed
+        // costs scaled by the device's learned calibration (the
+        // dispatcher cannot see the noise it is about to suffer).
+        let predict = |task: TaskId,
+                       device: DeviceId,
+                       now: SimTime,
+                       producer_device: &[DeviceId],
+                       calibration: &[f64],
+                       level: helios_platform::DvfsLevel|
+         -> Result<f64, EngineError> {
+            let mut data_at = now;
+            for &e in wf.predecessors(task) {
+                let edge = wf.edge(e);
+                let t =
+                    platform.transfer_time(edge.bytes, producer_device[edge.src.0], device)?;
+                data_at = data_at.max(now + t);
+            }
+            let exec = platform
+                .device(device)?
+                .execution_time(believed.task(task)?.cost(), level)?;
+            Ok((data_at + exec * calibration[device.0]).as_secs())
+        };
+
+        // Predicted instant each device frees up (modeled, since a real
+        // runtime cannot observe the noise ahead of time).
+        let mut device_free_pred = vec![SimTime::ZERO; platform.num_devices()];
+
+        macro_rules! dispatch {
+            ($now:expr) => {{
+                let now: SimTime = $now;
+                // Keep committing until no task's *best* device is idle.
+                // A task whose best device is busy waits — forcing it onto
+                // a slow idle device (OLB behaviour) is the failure mode
+                // this dispatcher exists to avoid.
+                'rounds: loop {
+                    let idle_count = device_idle.iter().filter(|&&i| i).count();
+                    if idle_count == 0 || ready.is_empty() {
+                        break;
+                    }
+                    let pressure = ready.len() as f64 / idle_count as f64;
+
+                    // Candidate tasks per policy.
+                    let tasks: Vec<TaskId> = match self.policy {
+                        OnlinePolicy::Jit => ready.clone(),
+                        OnlinePolicy::RankedJit => {
+                            let mut sorted = ready.clone();
+                            sorted.sort_by(|a, b| {
+                                ranks[b.0].total_cmp(&ranks[a.0]).then(a.0.cmp(&b.0))
+                            });
+                            sorted
+                        }
+                    };
+                    for task in tasks {
+                        // Best device over ALL devices, busy ones at their
+                        // predicted free time.
+                        let mut best: Option<(DeviceId, helios_platform::DvfsLevel, f64)> =
+                            None;
+                        for d in 0..platform.num_devices() {
+                            let dev = DeviceId(d);
+                            let device = platform.device(dev)?;
+                            if !helios_sched::placement_feasible(device, wf.task(task)?) {
+                                continue;
+                            }
+                            let level = match &self.governor {
+                                Some(g) => g.select_level(device, pressure),
+                                None => device.nominal_level(),
+                            };
+                            let est = now.max(device_free_pred[d]);
+                            let score =
+                                predict(task, dev, est, &producer_device, &calibration, level)?;
+                            if best.map_or(true, |(_, _, b)| score < b) {
+                                best = Some((dev, level, score));
+                            }
+                        }
+                        let (dev, level, score) = best.ok_or(EngineError::Sched(
+                            helios_sched::SchedError::NoFeasibleDevice(task),
+                        ))?;
+                        if !device_idle[dev.0] {
+                            // Best device busy: wait for it (this task will
+                            // be reconsidered at the next event).
+                            continue;
+                        }
+                        let task_commit = task;
+                        let dev_commit = dev;
+                        let level_commit = level;
+                        let _ = score;
+                        let (task, dev, level) = (task_commit, dev_commit, level_commit);
+                        ready.retain(|&t| t != task);
+                        device_idle[dev.0] = false;
+
+                    // Pull inputs now; execution starts when the last
+                    // arrives.
+                    let mut start = now;
+                    for &e in wf.predecessors(task) {
+                        let edge = wf.edge(e);
+                        if self.config.data_caching {
+                            if let Some(&at) = delivered.get(&(edge.src, dev)) {
+                                start = start.max(at);
+                                continue;
+                            }
+                        }
+                        let label = format!("{}->{}", edge.src, edge.dst);
+                        let arrival = links.transfer_arrival(
+                            platform,
+                            self.config.link_contention,
+                            edge.bytes,
+                            producer_device[edge.src.0],
+                            dev,
+                            now,
+                            &mut stats,
+                            trace.as_mut().map(|t| (t, label.as_str())),
+                        )?;
+                        if self.config.data_caching {
+                            delivered.insert((edge.src, dev), arrival);
+                        }
+                        start = start.max(arrival);
+                    }
+                    let device = platform.device(dev)?;
+                    let believed_exec =
+                        device.execution_time(believed.task(task)?.cost(), level)?;
+                    let modeled = device.execution_time(wf.task(task)?.cost(), level)?;
+                    let slow = self
+                        .config
+                        .device_slowdown
+                        .as_ref()
+                        .and_then(|v| v.get(dev.0))
+                        .copied()
+                        .unwrap_or(1.0);
+                    let noise = if self.config.noise_cv > 0.0 {
+                        noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
+                    } else {
+                        1.0
+                    };
+                    let occ = occupancy_on(
+                        &self.config,
+                        modeled * noise * slow,
+                        task,
+                        dev.0,
+                        &mut fault_rng,
+                    )?;
+                    failures += occ.failures;
+                    retries += occ.retries;
+                    let finish = start + occ.total;
+                    device_free_pred[dev.0] =
+                        start + believed_exec * calibration[dev.0];
+                    believed_dur[task.0] = believed_exec.as_secs();
+                    realized[task.0] = Some(Placement {
+                        task,
+                        device: dev,
+                        level,
+                        start,
+                        finish,
+                    });
+                    producer_device[task.0] = dev;
+                    queue.push(finish, task);
+                        // A commitment changed the state: restart the
+                        // round so remaining tasks see the new free times.
+                        continue 'rounds;
+                    }
+                    // No task could commit this round.
+                    break;
+                }
+            }};
+        }
+
+        dispatch!(SimTime::ZERO);
+        while let Some((now, task)) = queue.pop() {
+            finished[task.0] = true;
+            completed += 1;
+            let placement = realized[task.0].expect("placed before finishing");
+            let dev = placement.device;
+            device_idle[dev.0] = true;
+            // Learn from the observation.
+            if believed_dur[task.0] > 0.0 {
+                let observed = placement.duration().as_secs();
+                let ratio = observed / believed_dur[task.0];
+                calibration[dev.0] = (1.0 - CALIBRATION_EWMA) * calibration[dev.0]
+                    + CALIBRATION_EWMA * ratio;
+            }
+            for succ in wf.successor_tasks(task) {
+                preds_left[succ.0] -= 1;
+                if preds_left[succ.0] == 0 {
+                    ready.push(succ);
+                }
+            }
+            dispatch!(now);
+        }
+
+        if completed != n {
+            return Err(EngineError::Stalled {
+                completed,
+                total: n,
+            });
+        }
+        let placements: Vec<Placement> = realized
+            .into_iter()
+            .map(|p| p.expect("all tasks completed"))
+            .collect();
+        if let Some(trace) = trace.as_mut() {
+            for p in &placements {
+                trace.record(
+                    wf.task(p.task)?.name().to_owned(),
+                    helios_sim::trace::TraceKind::Execution,
+                    p.device.0,
+                    p.start,
+                    p.finish,
+                );
+            }
+        }
+        let schedule = Schedule::new(placements)?;
+        let energy = account(&schedule, wf, platform, false)?;
+        Ok(ExecutionReport::new(
+            schedule, energy, stats, failures, retries, trace,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use helios_energy::{OnDemand, Powersave};
+    use helios_platform::presets;
+    use helios_sched::{HeftScheduler, Scheduler};
+    use helios_workflow::generators::{montage, sipht};
+
+    #[test]
+    fn online_completes_all_tasks() {
+        let p = presets::hpc_node();
+        let wf = montage(60, 1).unwrap();
+        for policy in [OnlinePolicy::Jit, OnlinePolicy::RankedJit] {
+            let r = OnlineRunner::new(EngineConfig::default(), policy)
+                .run(&p, &wf)
+                .unwrap();
+            assert_eq!(r.schedule().placements().len(), wf.num_tasks());
+            assert!(r.makespan().as_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn online_respects_precedence() {
+        let p = presets::hpc_node();
+        let wf = sipht(50, 2).unwrap();
+        let r = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+            .run(&p, &wf)
+            .unwrap();
+        for pl in r.schedule().placements() {
+            for &e in wf.predecessors(pl.task) {
+                let edge = wf.edge(e);
+                let pred = r.schedule().placement(edge.src).unwrap();
+                assert!(
+                    pred.finish.as_secs() <= pl.start.as_secs() + 1e-9,
+                    "{} started before {} finished",
+                    pl.task,
+                    edge.src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_is_competitive_without_noise() {
+        let p = presets::hpc_node();
+        let wf = montage(80, 3).unwrap();
+        let static_report = Engine::default()
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        let online = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
+            .run(&p, &wf)
+            .unwrap();
+        let ratio = online.makespan().as_secs() / static_report.makespan().as_secs();
+        assert!(ratio < 2.0, "online {ratio}x of static HEFT");
+    }
+
+    #[test]
+    fn online_gains_under_heavy_noise() {
+        // Average over several seeds: with large duration noise the
+        // static plan's device order goes stale, while JIT adapts.
+        let p = presets::hpc_node();
+        let mut static_total = 0.0;
+        let mut online_total = 0.0;
+        for seed in 0..8 {
+            let wf = sipht(60, seed).unwrap();
+            let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
+            let mut cfg = EngineConfig::default();
+            cfg.noise_cv = 0.6;
+            cfg.seed = seed;
+            static_total += Engine::new(cfg.clone())
+                .execute_plan(&p, &wf, &plan)
+                .unwrap()
+                .makespan()
+                .as_secs();
+            online_total += OnlineRunner::new(cfg, OnlinePolicy::RankedJit)
+                .run(&p, &wf)
+                .unwrap()
+                .makespan()
+                .as_secs();
+        }
+        assert!(
+            online_total < 1.35 * static_total,
+            "online {online_total} should track static {static_total} under noise"
+        );
+    }
+
+    #[test]
+    fn governor_changes_levels_and_energy() {
+        let p = presets::hpc_node();
+        let wf = montage(60, 4).unwrap();
+        let perf = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+            .run(&p, &wf)
+            .unwrap();
+        let save = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+            .with_governor(Box::new(Powersave))
+            .run(&p, &wf)
+            .unwrap();
+        assert!(save.makespan() > perf.makespan(), "powersave is slower");
+        assert!(
+            save.energy().active_j < perf.energy().active_j,
+            "powersave must cut active energy"
+        );
+        let ondemand = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+            .with_governor(Box::new(OnDemand::default()))
+            .run(&p, &wf)
+            .unwrap();
+        assert!(ondemand.makespan() >= perf.makespan());
+        assert!(ondemand.makespan() <= save.makespan());
+    }
+
+    #[test]
+    fn online_deterministic_per_seed() {
+        let p = presets::workstation();
+        let wf = montage(40, 5).unwrap();
+        let mut cfg = EngineConfig::default();
+        cfg.noise_cv = 0.3;
+        cfg.seed = 9;
+        let a = OnlineRunner::new(cfg.clone(), OnlinePolicy::Jit)
+            .run(&p, &wf)
+            .unwrap();
+        let b = OnlineRunner::new(cfg, OnlinePolicy::Jit).run(&p, &wf).unwrap();
+        assert_eq!(a, b);
+    }
+}

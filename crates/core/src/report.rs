@@ -1,0 +1,137 @@
+//! Execution reports.
+
+use serde::{Deserialize, Serialize};
+
+use helios_energy::EnergyReport;
+use helios_sim::trace::Trace;
+use helios_platform::Platform;
+use helios_sched::{SchedError, Schedule};
+use helios_sim::SimDuration;
+use helios_workflow::Workflow;
+
+/// Aggregate data-movement statistics for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Number of inter-device transfers performed (same-device data
+    /// hand-offs are free and not counted).
+    pub count: usize,
+    /// Bytes moved across links.
+    pub bytes: f64,
+    /// Summed transfer latency (seconds; overlapping transfers both
+    /// count in full).
+    pub total_secs: f64,
+}
+
+/// The outcome of executing a workflow: realized placements plus run
+/// statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    schedule: Schedule,
+    energy: EnergyReport,
+    transfers: TransferStats,
+    failures: u32,
+    retries: u32,
+    trace: Option<Trace>,
+}
+
+impl ExecutionReport {
+    pub(crate) fn new(
+        schedule: Schedule,
+        energy: EnergyReport,
+        transfers: TransferStats,
+        failures: u32,
+        retries: u32,
+        trace: Option<Trace>,
+    ) -> ExecutionReport {
+        ExecutionReport {
+            schedule,
+            energy,
+            transfers,
+            failures,
+            retries,
+            trace,
+        }
+    }
+
+    /// The realized schedule: actual start/finish times as executed.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The run's makespan.
+    #[must_use]
+    pub fn makespan(&self) -> SimDuration {
+        self.schedule.makespan()
+    }
+
+    /// Energy accounting for the run.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyReport {
+        &self.energy
+    }
+
+    /// Data-movement statistics.
+    #[must_use]
+    pub fn transfers(&self) -> &TransferStats {
+        &self.transfers
+    }
+
+    /// Device failures that hit an executing task.
+    #[must_use]
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Task re-executions caused by failures.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Schedule length ratio of the realized schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metric computation errors.
+    pub fn slr(&self, wf: &Workflow, platform: &Platform) -> Result<f64, SchedError> {
+        helios_sched::metrics::slr(&self.schedule, wf, platform)
+    }
+
+    /// Renders the realized schedule as a textual Gantt chart.
+    #[must_use]
+    pub fn gantt(&self, wf: &Workflow, platform: &Platform) -> String {
+        self.schedule.gantt(wf, platform)
+    }
+
+    /// The execution trace, when the run was configured with
+    /// [`EngineConfig::tracing`](crate::EngineConfig).
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Exports the trace as Chrome trace-event JSON (viewable in
+    /// `chrome://tracing` or Perfetto), or `None` when tracing was off.
+    #[must_use]
+    pub fn chrome_trace(&self, platform: &Platform) -> Option<String> {
+        let names: Vec<String> = platform
+            .devices()
+            .iter()
+            .map(|d| d.name().to_owned())
+            .collect();
+        self.trace.as_ref().map(|t| t.to_chrome_json(&names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_stats_default() {
+        let t = TransferStats::default();
+        assert_eq!(t.count, 0);
+        assert_eq!(t.bytes, 0.0);
+    }
+}

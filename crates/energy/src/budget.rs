@@ -1,0 +1,178 @@
+//! Energy-budget-constrained planning.
+//!
+//! Battery-powered instruments and power-capped facilities ask the dual
+//! of the usual question: *given at most `B` joules of active energy,
+//! how fast can this workflow run?* [`plan_within_budget`] answers with
+//! a deterministic grid search over the two energy knobs this crate
+//! provides — energy-aware device selection ([`EnergyAwareHeft`]'s
+//! `alpha`) and DVFS slack reclamation ([`reclaim_slack`]'s deadline) —
+//! returning the fastest plan whose active energy fits the budget.
+
+use helios_platform::Platform;
+use helios_sched::{SchedError, Schedule, Scheduler};
+use helios_sim::SimTime;
+use helios_workflow::Workflow;
+
+use crate::accounting::account;
+use crate::eaheft::EnergyAwareHeft;
+use crate::slack::reclaim_slack;
+
+/// A budget-feasible plan and its accounting.
+#[derive(Debug, Clone)]
+pub struct BudgetPlan {
+    /// The schedule to execute.
+    pub schedule: Schedule,
+    /// Active energy of the plan, joules.
+    pub active_j: f64,
+    /// Makespan, seconds.
+    pub makespan_secs: f64,
+    /// The `alpha` that produced it.
+    pub alpha: f64,
+    /// The deadline stretch applied by slack reclamation (1.0 = none).
+    pub deadline_factor: f64,
+}
+
+/// Finds the fastest plan whose **active** energy is at most
+/// `budget_j`, searching `alpha ∈ {1.0, 0.9, …, 0.0}` ×
+/// `deadline ∈ {1.0, 1.1, …, max_deadline_factor}` (grid, deterministic).
+///
+/// Returns `None` when even the most frugal combination exceeds the
+/// budget. Idle energy is excluded: it depends on what else the
+/// platform does during the makespan, which is the operator's concern,
+/// not the plan's.
+///
+/// # Errors
+///
+/// Returns [`SchedError::Internal`] for a non-positive budget or
+/// `max_deadline_factor < 1`, or propagates planning errors.
+pub fn plan_within_budget(
+    wf: &Workflow,
+    platform: &Platform,
+    budget_j: f64,
+    max_deadline_factor: f64,
+) -> Result<Option<BudgetPlan>, SchedError> {
+    if !(budget_j.is_finite() && budget_j > 0.0) {
+        return Err(SchedError::Internal(format!(
+            "budget must be positive, got {budget_j}"
+        )));
+    }
+    if !(max_deadline_factor.is_finite() && max_deadline_factor >= 1.0) {
+        return Err(SchedError::Internal(format!(
+            "max_deadline_factor must be >= 1, got {max_deadline_factor}"
+        )));
+    }
+
+    let mut best: Option<BudgetPlan> = None;
+    let mut alpha = 1.0f64;
+    while alpha >= -1e-9 {
+        let base = EnergyAwareHeft::new(alpha.clamp(0.0, 1.0)).schedule(wf, platform)?;
+        let mut factor = 1.0f64;
+        while factor <= max_deadline_factor + 1e-9 {
+            let candidate = if factor > 1.0 {
+                let deadline = SimTime::ZERO + base.makespan() * factor;
+                reclaim_slack(&base, wf, platform, deadline)?
+            } else {
+                base.clone()
+            };
+            let report = account(&candidate, wf, platform, false)?;
+            if report.active_j <= budget_j {
+                let makespan = candidate.makespan().as_secs();
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| makespan < b.makespan_secs);
+                if better {
+                    best = Some(BudgetPlan {
+                        schedule: candidate,
+                        active_j: report.active_j,
+                        makespan_secs: makespan,
+                        alpha: alpha.clamp(0.0, 1.0),
+                        deadline_factor: factor,
+                    });
+                }
+                // Larger stretches only get slower: next alpha.
+                break;
+            }
+            factor += 0.1;
+        }
+        alpha -= 0.1;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_platform::presets;
+    use helios_sched::HeftScheduler;
+    use helios_workflow::generators::ligo_inspiral;
+
+    fn setup() -> (Workflow, Platform, f64) {
+        let wf = ligo_inspiral(80, 1).unwrap();
+        let p = presets::hpc_node();
+        let heft = HeftScheduler::default().schedule(&wf, &p).unwrap();
+        let heft_energy = account(&heft, &wf, &p, false).unwrap().active_j;
+        (wf, p, heft_energy)
+    }
+
+    #[test]
+    fn loose_budget_returns_fastest_plan() {
+        let (wf, p, heft_energy) = setup();
+        let plan = plan_within_budget(&wf, &p, heft_energy * 2.0, 2.0)
+            .unwrap()
+            .expect("loose budget must be feasible");
+        assert!((plan.alpha - 1.0).abs() < 1e-9, "alpha {}", plan.alpha);
+        assert!((plan.deadline_factor - 1.0).abs() < 1e-9);
+        plan.schedule.validate(&wf, &p).unwrap();
+    }
+
+    #[test]
+    fn tight_budget_trades_makespan() {
+        let (wf, p, heft_energy) = setup();
+        let loose = plan_within_budget(&wf, &p, heft_energy * 2.0, 2.0)
+            .unwrap()
+            .unwrap();
+        let tight = plan_within_budget(&wf, &p, heft_energy * 0.8, 2.0)
+            .unwrap()
+            .expect("20% cut must be reachable");
+        assert!(tight.active_j <= heft_energy * 0.8 + 1e-9);
+        assert!(
+            tight.makespan_secs >= loose.makespan_secs,
+            "paying energy must cost time: {} vs {}",
+            tight.makespan_secs,
+            loose.makespan_secs
+        );
+        tight.schedule.validate(&wf, &p).unwrap();
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let (wf, p, heft_energy) = setup();
+        let plan = plan_within_budget(&wf, &p, heft_energy * 1e-4, 1.5).unwrap();
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn budget_monotonicity() {
+        let (wf, p, heft_energy) = setup();
+        let mut last_makespan = f64::INFINITY;
+        for frac in [0.75, 0.85, 0.95, 1.2] {
+            if let Some(plan) =
+                plan_within_budget(&wf, &p, heft_energy * frac, 2.0).unwrap()
+            {
+                assert!(
+                    plan.makespan_secs <= last_makespan + 1e-9,
+                    "looser budget cannot be slower"
+                );
+                last_makespan = plan.makespan_secs;
+            }
+        }
+        assert!(last_makespan.is_finite());
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let (wf, p, _) = setup();
+        assert!(plan_within_budget(&wf, &p, 0.0, 1.5).is_err());
+        assert!(plan_within_budget(&wf, &p, 100.0, 0.5).is_err());
+    }
+}

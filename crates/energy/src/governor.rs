@@ -1,0 +1,150 @@
+//! DVFS governors: dynamic operating-point selection for the execution
+//! engine.
+//!
+//! Governors answer one question at task-dispatch time: *at which DVFS
+//! level should this device run the task it is about to start?* The
+//! engine supplies the current **pressure** — the ratio of ready tasks to
+//! idle devices — as the load signal, mirroring how OS cpufreq governors
+//! react to run-queue depth.
+
+use std::fmt::Debug;
+
+use helios_platform::{Device, DvfsLevel};
+
+/// A dynamic DVFS policy.
+pub trait DvfsGovernor: Debug + Send + Sync {
+    /// A short stable name for reports.
+    fn name(&self) -> &str;
+
+    /// Chooses the DVFS level for a task about to start on `device`,
+    /// given the scheduler `pressure` (ready tasks per idle device;
+    /// `1.0` means exactly enough work to go around).
+    fn select_level(&self, device: &Device, pressure: f64) -> DvfsLevel;
+}
+
+/// Always run at the nominal (fastest) state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Performance;
+
+impl DvfsGovernor for Performance {
+    fn name(&self) -> &str {
+        "performance"
+    }
+
+    fn select_level(&self, device: &Device, _pressure: f64) -> DvfsLevel {
+        device.nominal_level()
+    }
+}
+
+/// Always run at the slowest state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Powersave;
+
+impl DvfsGovernor for Powersave {
+    fn name(&self) -> &str {
+        "powersave"
+    }
+
+    fn select_level(&self, device: &Device, _pressure: f64) -> DvfsLevel {
+        device.min_level()
+    }
+}
+
+/// Load-proportional selection: at or above the `threshold` pressure the
+/// device runs at nominal; below it, the level scales down linearly with
+/// pressure (pressure 0 → slowest state).
+#[derive(Debug, Clone, Copy)]
+pub struct OnDemand {
+    threshold: f64,
+}
+
+impl OnDemand {
+    /// Creates the governor; `threshold` is the pressure at which the
+    /// device saturates to its nominal state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive and finite.
+    #[must_use]
+    pub fn new(threshold: f64) -> OnDemand {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold {threshold} must be positive"
+        );
+        OnDemand { threshold }
+    }
+}
+
+impl Default for OnDemand {
+    /// Saturates at pressure 1.0 (one ready task per idle device).
+    fn default() -> Self {
+        OnDemand::new(1.0)
+    }
+}
+
+impl DvfsGovernor for OnDemand {
+    fn name(&self) -> &str {
+        "ondemand"
+    }
+
+    fn select_level(&self, device: &Device, pressure: f64) -> DvfsLevel {
+        let n = device.dvfs_states().len();
+        let frac = (pressure / self.threshold).clamp(0.0, 1.0);
+        // frac 0 → level 0; frac 1 → nominal (n-1).
+        let level = (frac * (n - 1) as f64).round() as usize;
+        DvfsLevel(level.min(n - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_platform::{DeviceBuilder, DeviceKind};
+
+    fn dev() -> Device {
+        DeviceBuilder::new("d", DeviceKind::Cpu).build().unwrap()
+    }
+
+    #[test]
+    fn performance_and_powersave_extremes() {
+        let d = dev();
+        assert_eq!(Performance.select_level(&d, 0.0), d.nominal_level());
+        assert_eq!(Performance.select_level(&d, 99.0), d.nominal_level());
+        assert_eq!(Powersave.select_level(&d, 99.0), d.min_level());
+    }
+
+    #[test]
+    fn ondemand_scales_with_pressure() {
+        let d = dev(); // 3 states
+        let g = OnDemand::default();
+        assert_eq!(g.select_level(&d, 0.0), DvfsLevel(0));
+        assert_eq!(g.select_level(&d, 0.5), DvfsLevel(1));
+        assert_eq!(g.select_level(&d, 1.0), d.nominal_level());
+        assert_eq!(g.select_level(&d, 5.0), d.nominal_level());
+    }
+
+    #[test]
+    fn ondemand_threshold_shifts_saturation() {
+        let d = dev();
+        let g = OnDemand::new(2.0);
+        assert_eq!(g.select_level(&d, 1.0), DvfsLevel(1));
+        assert_eq!(g.select_level(&d, 2.0), d.nominal_level());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_threshold_panics() {
+        let _ = OnDemand::new(0.0);
+    }
+
+    #[test]
+    fn governors_are_object_safe() {
+        let governors: Vec<Box<dyn DvfsGovernor>> = vec![
+            Box::new(Performance),
+            Box::new(Powersave),
+            Box::new(OnDemand::default()),
+        ];
+        let names: Vec<_> = governors.iter().map(|g| g.name()).collect();
+        assert_eq!(names, ["performance", "powersave", "ondemand"]);
+    }
+}

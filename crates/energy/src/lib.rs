@@ -1,0 +1,53 @@
+//! Energy management for heterogeneous platforms.
+//!
+//! Four pieces, mirroring the energy-management toolbox of the
+//! heterogeneous-computing literature:
+//!
+//! * [`EnergyReport`] / [`account`] — post-hoc energy accounting for a
+//!   schedule: active energy per placement, idle energy in gaps, and
+//!   optionally dynamic-resource-sleep (DRS) savings when gaps exceed the
+//!   device's sleep break-even point,
+//! * [`reclaim_slack`] — classical DVFS slack reclamation: stretch
+//!   non-critical tasks to lower voltage/frequency states without moving
+//!   any start time or violating a deadline,
+//! * [`EnergyAwareHeft`] — a HEFT variant whose device selection trades
+//!   finish time against execution energy (`alpha` knob),
+//! * [`DvfsGovernor`] implementations ([`Performance`], [`Powersave`],
+//!   [`OnDemand`]) — dynamic level selection for the execution engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_energy::{account, reclaim_slack};
+//! use helios_platform::presets;
+//! use helios_sched::{HeftScheduler, Scheduler};
+//! use helios_sim::SimTime;
+//! use helios_workflow::generators::epigenomics;
+//!
+//! let platform = presets::hpc_node();
+//! let wf = epigenomics(60, 1)?;
+//! let schedule = HeftScheduler::default().schedule(&wf, &platform)?;
+//! let before = account(&schedule, &wf, &platform, false)?;
+//!
+//! // Allow 50% deadline slack and reclaim it with DVFS.
+//! let deadline = SimTime::ZERO + schedule.makespan() * 1.5;
+//! let relaxed = reclaim_slack(&schedule, &wf, &platform, deadline)?;
+//! let after = account(&relaxed, &wf, &platform, false)?;
+//! assert!(after.active_j <= before.active_j);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accounting;
+mod budget;
+mod eaheft;
+mod governor;
+mod slack;
+
+pub use accounting::{account, DeviceEnergy, EnergyReport};
+pub use budget::{plan_within_budget, BudgetPlan};
+pub use eaheft::EnergyAwareHeft;
+pub use governor::{DvfsGovernor, OnDemand, Performance, Powersave};
+pub use slack::reclaim_slack;

@@ -1,0 +1,248 @@
+//! DVFS slack reclamation.
+
+use std::collections::BTreeMap;
+
+use helios_platform::{DvfsLevel, Platform};
+use helios_sched::{Placement, SchedError, Schedule};
+use helios_sim::SimTime;
+use helios_workflow::{TaskId, Workflow};
+
+/// Reclaims deadline slack with DVFS: every task is slid **as late as
+/// possible** (ALAP) within `deadline` and re-assigned the lowest-power
+/// DVFS state whose execution time fits its window. Device assignments
+/// and per-device task order are preserved; no task starts earlier than
+/// in the input schedule, so every data product still arrives in time.
+///
+/// Tasks are processed in decreasing original-start order. Each task's
+/// *latest finish* is the minimum of:
+///
+/// * `deadline`,
+/// * each successor's (already slid) start minus the transfer time to it,
+/// * the (already slid) start of the next task on the same device.
+///
+/// The reclaimed window is `latest_finish − original_start`; the window
+/// never shrinks below the original duration, so the input level is
+/// always a feasible fallback. Because exit tasks anchor at the deadline
+/// and windows propagate upstream through the slid starts, energy savings
+/// grow with deadline slack until every task reaches the slowest state.
+///
+/// # Errors
+///
+/// Returns [`SchedError::Internal`] if `deadline` precedes the schedule's
+/// makespan, or propagates placement errors.
+pub fn reclaim_slack(
+    schedule: &Schedule,
+    wf: &Workflow,
+    platform: &Platform,
+    deadline: SimTime,
+) -> Result<Schedule, SchedError> {
+    let makespan_end = SimTime::ZERO + schedule.makespan();
+    if deadline < makespan_end {
+        return Err(SchedError::Internal(format!(
+            "deadline {deadline} precedes makespan {makespan_end}"
+        )));
+    }
+
+    // Successor-on-device map, from the original start order (ALAP
+    // sliding preserves per-device order, so this stays correct).
+    let mut next_on_device: BTreeMap<TaskId, TaskId> = BTreeMap::new();
+    for (_, tasks) in schedule.tasks_by_device() {
+        for pair in tasks.windows(2) {
+            next_on_device.insert(pair[0], pair[1]);
+        }
+    }
+
+    // Process by decreasing original start; ties broken by reverse
+    // topological position so DAG successors always go first.
+    let mut topo_pos = vec![0usize; wf.num_tasks()];
+    for (i, &t) in wf.topo_order().iter().enumerate() {
+        topo_pos[t.0] = i;
+    }
+    let mut order: Vec<&Placement> = schedule.placements().iter().collect();
+    order.sort_by(|a, b| {
+        b.start
+            .cmp(&a.start)
+            .then(topo_pos[b.task.0].cmp(&topo_pos[a.task.0]))
+    });
+
+    let mut new_placements: BTreeMap<TaskId, Placement> = schedule
+        .placements()
+        .iter()
+        .map(|p| (p.task, *p))
+        .collect();
+
+    for original in order {
+        let task = original.task;
+        let device = platform.device(original.device)?;
+
+        let mut latest = deadline;
+        for &e in wf.successors(task) {
+            let edge = wf.edge(e);
+            let succ = new_placements
+                .get(&edge.dst)
+                .ok_or(SchedError::Unscheduled(edge.dst))?;
+            let transfer = platform.transfer_time(edge.bytes, original.device, succ.device)?;
+            let bound = succ.start.as_secs() - transfer.as_secs();
+            if bound < latest.as_secs() {
+                latest = SimTime::from_secs(bound.max(0.0));
+            }
+        }
+        if let Some(next) = next_on_device.get(&task) {
+            let next_start = new_placements
+                .get(next)
+                .ok_or(SchedError::Unscheduled(*next))?
+                .start;
+            latest = latest.min(next_start);
+        }
+
+        // The window opens at the original start (data availability is
+        // only guaranteed from there) and closes at `latest`.
+        let window = latest.saturating_since(original.start);
+        let cost = wf.task(task)?.cost();
+        let mut chosen = original.level;
+        let mut exec = original.finish.saturating_since(original.start);
+        for lvl in 0..device.dvfs_states().len() {
+            let level = DvfsLevel(lvl);
+            let t = device.execution_time(cost, level)?;
+            if t <= window {
+                chosen = level;
+                exec = t;
+                break;
+            }
+        }
+        // Defensive: never pick a level above the original.
+        if chosen.0 > original.level.0 {
+            chosen = original.level;
+            exec = original.finish.saturating_since(original.start);
+        }
+        // ALAP: anchor the finish exactly at the window's end so
+        // predecessors inherit the slack and the next task on the device
+        // can never be overlapped (even by floating-point rounding).
+        let finish = original.start.max(latest);
+        let start = SimTime::from_secs((finish.as_secs() - exec.as_secs()).max(0.0));
+        new_placements.insert(
+            task,
+            Placement {
+                task,
+                device: original.device,
+                level: chosen,
+                start,
+                finish,
+            },
+        );
+    }
+
+    Schedule::new(new_placements.into_values().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account;
+    use helios_platform::presets;
+    use helios_sched::{HeftScheduler, Scheduler};
+    use helios_workflow::generators::{epigenomics, montage};
+
+    fn base(seed: u64) -> (Workflow, Platform, Schedule) {
+        let wf = epigenomics(60, seed).unwrap();
+        let p = presets::hpc_node();
+        let s = HeftScheduler::default().schedule(&wf, &p).unwrap();
+        (wf, p, s)
+    }
+
+    #[test]
+    fn reclaimed_schedule_is_valid_and_meets_deadline() {
+        let (wf, p, s) = base(1);
+        for slack in [1.0, 1.2, 1.5, 2.0] {
+            let deadline = SimTime::ZERO + s.makespan() * slack;
+            let r = reclaim_slack(&s, &wf, &p, deadline).unwrap();
+            r.validate(&wf, &p)
+                .unwrap_or_else(|e| panic!("slack {slack}: {e}"));
+            assert!(
+                r.makespan().as_secs() <= deadline.as_secs() + 1e-9,
+                "slack {slack}: makespan {} exceeds deadline {deadline}",
+                r.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn energy_never_increases_and_drops_with_slack() {
+        let (wf, p, s) = base(2);
+        let base_energy = account(&s, &wf, &p, false).unwrap().active_j;
+        let mut prev = base_energy;
+        for slack in [1.0, 1.3, 1.6, 2.0] {
+            let deadline = SimTime::ZERO + s.makespan() * slack;
+            let r = reclaim_slack(&s, &wf, &p, deadline).unwrap();
+            let e = account(&r, &wf, &p, false).unwrap().active_j;
+            assert!(e <= base_energy + 1e-9, "slack {slack}");
+            assert!(e <= prev + 1e-6, "energy should be monotone in slack");
+            prev = e;
+        }
+        // At 2x deadline, meaningful savings must appear.
+        let deadline = SimTime::ZERO + s.makespan() * 2.0;
+        let r = reclaim_slack(&s, &wf, &p, deadline).unwrap();
+        let e = account(&r, &wf, &p, false).unwrap().active_j;
+        assert!(
+            e < 0.9 * base_energy,
+            "2x slack should save >10% active energy: {e} vs {base_energy}"
+        );
+    }
+
+    #[test]
+    fn tasks_only_slide_later_on_same_device() {
+        let (wf, p, s) = base(3);
+        let deadline = SimTime::ZERO + s.makespan() * 1.5;
+        let r = reclaim_slack(&s, &wf, &p, deadline).unwrap();
+        for (a, b) in s.placements().iter().zip(r.placements()) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.device, b.device);
+            assert!(
+                b.start.as_secs() >= a.start.as_secs() - 1e-9,
+                "{}: start moved earlier",
+                a.task
+            );
+            assert!(b.level.0 <= a.level.0, "{}: level went up", a.task);
+        }
+        let _ = wf;
+    }
+
+    #[test]
+    fn deadline_before_makespan_rejected() {
+        let (wf, p, s) = base(4);
+        let early = SimTime::from_secs(s.makespan().as_secs() * 0.5);
+        assert!(matches!(
+            reclaim_slack(&s, &wf, &p, early),
+            Err(SchedError::Internal(_))
+        ));
+        let _ = wf;
+    }
+
+    #[test]
+    fn generous_deadline_reaches_lowest_states() {
+        let (wf, p, s) = base(5);
+        let deadline = SimTime::ZERO + s.makespan() * 20.0;
+        let r = reclaim_slack(&s, &wf, &p, deadline).unwrap();
+        r.validate(&wf, &p).unwrap();
+        let at_min = r
+            .placements()
+            .iter()
+            .filter(|pl| pl.level == DvfsLevel(0))
+            .count();
+        assert!(
+            at_min as f64 >= 0.9 * r.placements().len() as f64,
+            "only {at_min}/{} tasks reached the slowest state",
+            r.placements().len()
+        );
+    }
+
+    #[test]
+    fn works_on_montage_too() {
+        let wf = montage(50, 5).unwrap();
+        let p = presets::workstation();
+        let s = HeftScheduler::default().schedule(&wf, &p).unwrap();
+        let deadline = SimTime::ZERO + s.makespan() * 1.4;
+        let r = reclaim_slack(&s, &wf, &p, deadline).unwrap();
+        r.validate(&wf, &p).unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for platform construction and queries.
+
+use std::fmt;
+
+/// Errors produced while building or querying a platform model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A numeric model parameter was NaN, infinite, zero or negative where a
+    /// positive finite value is required.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two devices (or links) were registered with the same name.
+    DuplicateName(String),
+    /// A device id referenced a device that does not exist.
+    UnknownDevice(usize),
+    /// A link id referenced a link that does not exist.
+    UnknownLink(usize),
+    /// The platform has no devices.
+    Empty,
+    /// A device has no DVFS states.
+    NoDvfsStates(String),
+    /// A DVFS level index was out of range for the device.
+    InvalidDvfsLevel {
+        /// Device name.
+        device: String,
+        /// Requested level.
+        level: usize,
+        /// Number of available states.
+        available: usize,
+    },
+    /// No route is defined between two devices and no default link exists.
+    NoRoute {
+        /// Source device index.
+        from: usize,
+        /// Destination device index.
+        to: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::InvalidParameter { name, value } => {
+                write!(f, "invalid {name}: {value}")
+            }
+            PlatformError::DuplicateName(name) => write!(f, "duplicate name {name:?}"),
+            PlatformError::UnknownDevice(id) => write!(f, "unknown device id {id}"),
+            PlatformError::UnknownLink(id) => write!(f, "unknown link id {id}"),
+            PlatformError::Empty => write!(f, "platform has no devices"),
+            PlatformError::NoDvfsStates(d) => write!(f, "device {d:?} has no DVFS states"),
+            PlatformError::InvalidDvfsLevel {
+                device,
+                level,
+                available,
+            } => write!(
+                f,
+                "DVFS level {level} out of range for device {device:?} ({available} states)"
+            ),
+            PlatformError::NoRoute { from, to } => {
+                write!(f, "no route between device {from} and device {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, PlatformError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(PlatformError::InvalidParameter { name, value })
+    }
+}
+
+pub(crate) fn non_negative(name: &'static str, value: f64) -> Result<f64, PlatformError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(PlatformError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(positive("x", 1.0).is_ok());
+        assert!(positive("x", 0.0).is_err());
+        assert!(positive("x", f64::NAN).is_err());
+        assert!(non_negative("x", 0.0).is_ok());
+        assert!(non_negative("x", -1.0).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlatformError::InvalidParameter {
+            name: "peak_gflops",
+            value: -3.0,
+        };
+        assert_eq!(e.to_string(), "invalid peak_gflops: -3");
+        assert!(PlatformError::Empty.to_string().contains("no devices"));
+        let e = PlatformError::InvalidDvfsLevel {
+            device: "gpu0".into(),
+            level: 9,
+            available: 3,
+        };
+        assert!(e.to_string().contains("gpu0"));
+    }
+}

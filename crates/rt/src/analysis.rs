@@ -1,0 +1,449 @@
+//! Schedulability analysis.
+
+use crate::error::RtError;
+use crate::models::{Criticality, ElasticTask, MixedCriticalityTask, PeriodicTask, SplitTask};
+
+/// Total utilization of a periodic taskset.
+#[must_use]
+pub fn total_utilization(tasks: &[PeriodicTask]) -> f64 {
+    tasks.iter().map(PeriodicTask::utilization).sum()
+}
+
+/// Liu & Layland's rate-monotonic utilization bound `n(2^{1/n} − 1)`.
+/// Tasksets at or below the bound are schedulable under RM; above it the
+/// test is inconclusive (use [`rta_fixed_priority`]).
+#[must_use]
+pub fn rm_utilization_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2.0f64.powf(1.0 / n) - 1.0)
+}
+
+/// Sufficient RM test by the Liu–Layland bound.
+#[must_use]
+pub fn rm_utilization_test(tasks: &[PeriodicTask]) -> bool {
+    total_utilization(tasks) <= rm_utilization_bound(tasks.len()) + 1e-12
+}
+
+/// The hyperbolic bound (Bini & Buttazzo): schedulable under RM if
+/// `Π (Uᵢ + 1) ≤ 2`. Strictly dominates the Liu–Layland bound.
+#[must_use]
+pub fn hyperbolic_test(tasks: &[PeriodicTask]) -> bool {
+    tasks
+        .iter()
+        .map(|t| t.utilization() + 1.0)
+        .product::<f64>()
+        <= 2.0 + 1e-12
+}
+
+/// Exact EDF test for implicit-deadline periodic tasks: `U ≤ 1`.
+#[must_use]
+pub fn edf_test(tasks: &[PeriodicTask]) -> bool {
+    total_utilization(tasks) <= 1.0 + 1e-12
+}
+
+/// Exact fixed-priority response-time analysis (deadline-monotonic
+/// priority order, preemptive, uniprocessor). Optionally accounts for a
+/// per-task blocking term (limited-preemption / resource access).
+///
+/// Returns `Some(response_times)` (indexed like the input, which is
+/// re-sorted internally by deadline-monotonic priority) when every task
+/// meets its deadline, `None` when any task misses.
+///
+/// # Errors
+///
+/// Returns [`RtError::Inconsistent`] if `blocking` is present but its
+/// length differs from `tasks`.
+pub fn rta_fixed_priority_with_blocking(
+    tasks: &[PeriodicTask],
+    blocking: Option<&[f64]>,
+) -> Result<Option<Vec<f64>>, RtError> {
+    if let Some(b) = blocking {
+        if b.len() != tasks.len() {
+            return Err(RtError::Inconsistent(format!(
+                "blocking vector length {} != taskset size {}",
+                b.len(),
+                tasks.len()
+            )));
+        }
+    }
+    // Deadline-monotonic priority: shorter deadline = higher priority.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| tasks[a].deadline().total_cmp(&tasks[b].deadline()));
+
+    let mut response = vec![0.0; tasks.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        let task = &tasks[i];
+        let b = blocking.map_or(0.0, |bl| bl[i]);
+        let mut r = task.wcet() + b;
+        loop {
+            let mut interference = 0.0;
+            for &j in &order[..rank] {
+                let hp = &tasks[j];
+                interference += (r / hp.period()).ceil() * hp.wcet();
+            }
+            let next = task.wcet() + b + interference;
+            if next > task.deadline() + 1e-12 {
+                return Ok(None);
+            }
+            if (next - r).abs() <= 1e-12 {
+                r = next;
+                break;
+            }
+            r = next;
+        }
+        response[i] = r;
+    }
+    Ok(Some(response))
+}
+
+/// [`rta_fixed_priority_with_blocking`] without blocking terms.
+///
+/// # Errors
+///
+/// Never fails (the blocking-length check is vacuous).
+pub fn rta_fixed_priority(tasks: &[PeriodicTask]) -> Result<Option<Vec<f64>>, RtError> {
+    rta_fixed_priority_with_blocking(tasks, None)
+}
+
+/// Response-time analysis for limited-preemption [`SplitTask`]s: each
+/// task suffers blocking equal to the largest non-preemptive sub-job of
+/// any lower-priority task.
+///
+/// # Errors
+///
+/// Propagates construction errors from the periodic abstraction.
+pub fn rta_split_tasks(tasks: &[SplitTask]) -> Result<Option<Vec<f64>>, RtError> {
+    let periodic: Vec<PeriodicTask> = tasks
+        .iter()
+        .map(SplitTask::as_periodic)
+        .collect::<Result<_, _>>()?;
+    // Deadline-monotonic rank for blocking computation.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| periodic[a].deadline().total_cmp(&periodic[b].deadline()));
+    let mut blocking = vec![0.0; tasks.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        blocking[i] = order[rank + 1..]
+            .iter()
+            .map(|&j| tasks[j].max_blocking())
+            .fold(0.0, f64::max);
+    }
+    rta_fixed_priority_with_blocking(&periodic, Some(&blocking))
+}
+
+/// Buttazzo's elastic compression: shrink task rates (stretch periods)
+/// proportionally to elasticity until total utilization fits `u_target`.
+/// Returns the compressed periods, or `None` when even maximal
+/// compression cannot reach the target.
+///
+/// # Errors
+///
+/// Returns [`RtError::InvalidParameter`] for a non-positive target.
+pub fn elastic_compress(
+    tasks: &[ElasticTask],
+    u_target: f64,
+) -> Result<Option<Vec<f64>>, RtError> {
+    if !(u_target.is_finite() && u_target > 0.0) {
+        return Err(RtError::InvalidParameter {
+            name: "u_target",
+            value: u_target,
+        });
+    }
+    let u_nominal: f64 = tasks.iter().map(ElasticTask::nominal_utilization).sum();
+    if u_nominal <= u_target {
+        return Ok(Some(tasks.iter().map(|t| t.period_min()).collect()));
+    }
+    let u_min: f64 = tasks.iter().map(ElasticTask::min_utilization).sum();
+    if u_min > u_target + 1e-12 {
+        return Ok(None);
+    }
+    // Iteratively compress; tasks that hit period_max become fixed.
+    let n = tasks.len();
+    let mut fixed = vec![false; n];
+    let mut u = vec![0.0; n];
+    loop {
+        let mut u_fixed = 0.0;
+        let mut e_sum = 0.0;
+        for (i, t) in tasks.iter().enumerate() {
+            if fixed[i] {
+                u_fixed += t.min_utilization();
+            } else {
+                e_sum += t.elasticity();
+            }
+        }
+        if e_sum == 0.0 {
+            // All flexible tasks are rigid: only feasible if fixed load fits.
+            for (i, t) in tasks.iter().enumerate() {
+                u[i] = if fixed[i] {
+                    t.min_utilization()
+                } else {
+                    t.nominal_utilization()
+                };
+            }
+            let total: f64 = u.iter().sum();
+            if total <= u_target + 1e-9 {
+                break;
+            }
+            return Ok(None);
+        }
+        let u_flex_nominal: f64 = tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !fixed[*i])
+            .map(|(_, t)| t.nominal_utilization())
+            .sum();
+        let excess = u_flex_nominal - (u_target - u_fixed);
+        let mut converged = true;
+        for (i, t) in tasks.iter().enumerate() {
+            if fixed[i] {
+                u[i] = t.min_utilization();
+                continue;
+            }
+            let compressed = t.nominal_utilization() - excess * t.elasticity() / e_sum;
+            if compressed < t.min_utilization() - 1e-12 {
+                fixed[i] = true;
+                converged = false;
+            } else {
+                u[i] = compressed;
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+    Ok(Some(
+        tasks
+            .iter()
+            .zip(&u)
+            .map(|(t, &ui)| (t.wcet() / ui).clamp(t.period_min(), t.period_max()))
+            .collect(),
+    ))
+}
+
+/// AMC-rtb (adaptive mixed criticality, response-time bound; Baruah,
+/// Burns & Davis 2011), two criticality levels, deadline-monotonic
+/// priorities.
+///
+/// Verifies (1) every task meets its deadline in LO mode using LO
+/// budgets, and (2) every HI task meets its deadline across the mode
+/// switch: HI-mode interference from HI tasks plus LO-mode interference
+/// (frozen at the LO response time) from LO tasks.
+#[must_use]
+pub fn amc_rtb_test(tasks: &[MixedCriticalityTask]) -> bool {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| tasks[a].deadline().total_cmp(&tasks[b].deadline()));
+    let rank_of = |i: usize| order.iter().position(|&x| x == i).unwrap_or(0);
+
+    // Phase 1: LO-mode RTA with LO budgets.
+    let mut r_lo = vec![0.0; tasks.len()];
+    for &i in &order {
+        let t = &tasks[i];
+        let mut r = t.wcet_lo();
+        loop {
+            let mut interference = 0.0;
+            for &j in &order[..rank_of(i)] {
+                interference += (r / tasks[j].period()).ceil() * tasks[j].wcet_lo();
+            }
+            let next = t.wcet_lo() + interference;
+            if next > t.deadline() + 1e-12 {
+                return false;
+            }
+            if (next - r).abs() <= 1e-12 {
+                r = next;
+                break;
+            }
+            r = next;
+        }
+        r_lo[i] = r;
+    }
+    // Phase 2: mode-switch RTA for HI tasks.
+    for &i in &order {
+        let t = &tasks[i];
+        if t.criticality() != Criticality::Hi {
+            continue;
+        }
+        let mut r = t.wcet_hi();
+        loop {
+            let mut interference = 0.0;
+            for &j in &order[..rank_of(i)] {
+                let hp = &tasks[j];
+                match hp.criticality() {
+                    Criticality::Hi => {
+                        interference += (r / hp.period()).ceil() * hp.wcet_hi();
+                    }
+                    Criticality::Lo => {
+                        // LO tasks stop at the switch: interference frozen
+                        // at the LO-mode response time of task i.
+                        interference += (r_lo[i] / hp.period()).ceil() * hp.wcet_lo();
+                    }
+                }
+            }
+            let next = t.wcet_hi() + interference;
+            if next > t.deadline() + 1e-12 {
+                return false;
+            }
+            if (next - r).abs() <= 1e-12 {
+                break;
+            }
+            r = next;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: f64, p: f64) -> PeriodicTask {
+        PeriodicTask::new(c, p).unwrap()
+    }
+
+    #[test]
+    fn ll_bound_values() {
+        assert!((rm_utilization_bound(1) - 1.0).abs() < 1e-12);
+        assert!((rm_utilization_bound(2) - 0.8284271247).abs() < 1e-9);
+        // n → ∞ tends to ln 2.
+        assert!((rm_utilization_bound(10_000) - std::f64::consts::LN_2).abs() < 1e-4);
+        assert_eq!(rm_utilization_bound(0), 1.0);
+    }
+
+    #[test]
+    fn classic_ll_example() {
+        // U = 0.5 + 0.25 = 0.75 < bound(2) = 0.828: RM schedulable.
+        let ts = vec![t(1.0, 2.0), t(1.0, 4.0)];
+        assert!(rm_utilization_test(&ts));
+        assert!(hyperbolic_test(&ts));
+        assert!(edf_test(&ts));
+        let r = rta_fixed_priority(&ts).unwrap().unwrap();
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[1], 2.0);
+    }
+
+    #[test]
+    fn rta_catches_what_bound_misses() {
+        // U = 1.0: fails both utilization bounds but is RM-schedulable
+        // (harmonic periods).
+        let ts = vec![t(1.0, 2.0), t(2.0, 4.0)];
+        assert!(!rm_utilization_test(&ts));
+        assert!(edf_test(&ts));
+        let r = rta_fixed_priority(&ts).unwrap();
+        assert!(r.is_some(), "harmonic full-utilization set is schedulable");
+        assert_eq!(r.unwrap()[1], 4.0);
+    }
+
+    #[test]
+    fn hyperbolic_dominates_ll() {
+        // Three tasks with u = 0.258 each: U = 0.774, just under the
+        // hyperbolic product bound (1.258³ = 1.991) but just over the
+        // Liu–Layland bound for n = 3 (0.7798 vs... 0.774 is under; push
+        // to 0.26 each for LL rejection is too much for hyperbolic, so
+        // craft asymmetric utilizations instead).
+        let ts = vec![t(4.0, 10.0), t(2.0, 10.0), t(1.9, 10.0)];
+        // U = 0.79 > LL bound 0.7798; Π = 1.4·1.2·1.19 = 1.999 ≤ 2.
+        assert!(!rm_utilization_test(&ts));
+        assert!(hyperbolic_test(&ts));
+    }
+
+    #[test]
+    fn overload_is_rejected() {
+        let ts = vec![t(3.0, 4.0), t(3.0, 4.0)];
+        assert!(!edf_test(&ts));
+        assert!(rta_fixed_priority(&ts).unwrap().is_none());
+    }
+
+    #[test]
+    fn blocking_lengths_checked() {
+        let ts = vec![t(1.0, 4.0)];
+        assert!(rta_fixed_priority_with_blocking(&ts, Some(&[0.0, 0.0])).is_err());
+        let r = rta_fixed_priority_with_blocking(&ts, Some(&[2.0]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(r[0], 3.0);
+    }
+
+    #[test]
+    fn split_task_blocking_degrades_schedulability() {
+        // High-priority task with tight deadline; low-priority task with a
+        // big non-preemptive chunk.
+        let hp = SplitTask::new(vec![1.0], 4.0, 2.0).unwrap();
+        let lp_small = SplitTask::new(vec![1.0, 1.0, 1.0], 20.0, 20.0).unwrap();
+        let lp_big = SplitTask::new(vec![3.0], 20.0, 20.0).unwrap();
+        assert!(rta_split_tasks(&[hp.clone(), lp_small]).unwrap().is_some());
+        // Blocking 3.0 pushes the HP response past its 2.0 deadline.
+        assert!(rta_split_tasks(&[hp, lp_big]).unwrap().is_none());
+    }
+
+    #[test]
+    fn elastic_compression_meets_target() {
+        let tasks = vec![
+            ElasticTask::new(2.0, 10.0, 40.0, 1.0).unwrap(),
+            ElasticTask::new(3.0, 10.0, 40.0, 1.0).unwrap(),
+            ElasticTask::new(4.0, 10.0, 40.0, 2.0).unwrap(),
+        ];
+        // Nominal U = 0.9; compress to 0.6.
+        let periods = elastic_compress(&tasks, 0.6).unwrap().unwrap();
+        let u: f64 = tasks
+            .iter()
+            .zip(&periods)
+            .map(|(t, &p)| t.wcet() / p)
+            .sum();
+        assert!(u <= 0.6 + 1e-9, "compressed U = {u}");
+        for (t, &p) in tasks.iter().zip(&periods) {
+            assert!(p >= t.period_min() - 1e-12 && p <= t.period_max() + 1e-12);
+        }
+        // Higher elasticity gives up more utilization.
+        let give = |i: usize| tasks[i].nominal_utilization() - tasks[i].wcet() / periods[i];
+        assert!(give(2) > give(1), "stiffer task compressed less");
+    }
+
+    #[test]
+    fn elastic_compression_infeasible_and_trivial() {
+        let tasks = vec![ElasticTask::new(5.0, 10.0, 12.0, 1.0).unwrap()];
+        assert!(elastic_compress(&tasks, 0.1).unwrap().is_none());
+        // Already fits: nominal periods returned.
+        let p = elastic_compress(&tasks, 0.9).unwrap().unwrap();
+        assert_eq!(p, vec![10.0]);
+        assert!(elastic_compress(&tasks, 0.0).is_err());
+    }
+
+    #[test]
+    fn elastic_rigid_tasks() {
+        // Zero elasticity everywhere: can't compress at all.
+        let tasks = vec![
+            ElasticTask::new(4.0, 10.0, 40.0, 0.0).unwrap(),
+            ElasticTask::new(4.0, 10.0, 40.0, 0.0).unwrap(),
+        ];
+        assert!(elastic_compress(&tasks, 0.5).unwrap().is_none());
+    }
+
+    #[test]
+    fn amc_accepts_light_and_rejects_heavy() {
+        use Criticality::*;
+        let light = vec![
+            MixedCriticalityTask::new(1.0, 2.0, 10.0, 10.0, Hi).unwrap(),
+            MixedCriticalityTask::new(2.0, 2.0, 10.0, 10.0, Lo).unwrap(),
+        ];
+        assert!(amc_rtb_test(&light));
+        // A higher-priority LO task whose frozen interference pushes the
+        // HI task past its deadline after the mode switch:
+        // r_lo(HI) = 2 + 4 = 6; HI mode: 8 + ceil(6/10)·4 = 12 > 10.
+        let heavy = vec![
+            MixedCriticalityTask::new(2.0, 8.0, 10.0, 10.0, Hi).unwrap(),
+            MixedCriticalityTask::new(4.0, 4.0, 10.0, 5.0, Lo).unwrap(),
+        ];
+        assert!(!amc_rtb_test(&heavy));
+    }
+
+    #[test]
+    fn amc_lo_mode_failure_detected() {
+        use Criticality::*;
+        let ts = vec![
+            MixedCriticalityTask::new(6.0, 6.0, 10.0, 10.0, Lo).unwrap(),
+            MixedCriticalityTask::new(5.0, 5.0, 10.0, 10.0, Lo).unwrap(),
+        ];
+        assert!(!amc_rtb_test(&ts), "LO-mode overload must fail");
+    }
+}

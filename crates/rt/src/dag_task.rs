@@ -1,0 +1,292 @@
+//! The sporadic DAG task model and federated scheduling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{positive, RtError};
+
+/// A sporadic parallel task whose job is a DAG of sequential sub-jobs.
+///
+/// Characterized (as in the federated-scheduling literature) by its
+/// **volume** `C` (total work), **span** `L` (critical-path length),
+/// period `T` and relative deadline `D`. Vertices/edges are kept so the
+/// span and volume are derived, not asserted.
+///
+/// # Examples
+///
+/// ```
+/// use helios_rt::DagTask;
+///
+/// // Fork-join: 1 → {2, 3} → 4, unit work each.
+/// let dag = DagTask::new(
+///     vec![1.0, 1.0, 1.0, 1.0],
+///     vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+///     10.0,
+///     8.0,
+/// )?;
+/// assert_eq!(dag.volume(), 4.0);
+/// assert_eq!(dag.span(), 3.0);
+/// # Ok::<(), helios_rt::RtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagTask {
+    wcets: Vec<f64>,
+    edges: Vec<(usize, usize)>,
+    period: f64,
+    deadline: f64,
+    volume: f64,
+    span: f64,
+}
+
+impl DagTask {
+    /// Creates a DAG task from per-vertex WCETs and precedence edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if a WCET is non-positive, an edge references
+    /// a missing vertex, the graph is cyclic, or the span exceeds the
+    /// deadline (trivially infeasible on any number of cores).
+    pub fn new(
+        wcets: Vec<f64>,
+        edges: Vec<(usize, usize)>,
+        period: f64,
+        deadline: f64,
+    ) -> Result<DagTask, RtError> {
+        if wcets.is_empty() {
+            return Err(RtError::InvalidGraph("DAG task needs >= 1 vertex".into()));
+        }
+        for &w in &wcets {
+            positive("vertex wcet", w)?;
+        }
+        let period = positive("period", period)?;
+        let deadline = positive("deadline", deadline)?;
+        let n = wcets.len();
+        for &(a, b) in &edges {
+            if a >= n || b >= n {
+                return Err(RtError::InvalidGraph(format!(
+                    "edge ({a}, {b}) references a missing vertex (n = {n})"
+                )));
+            }
+            if a == b {
+                return Err(RtError::InvalidGraph(format!("self-loop on vertex {a}")));
+            }
+        }
+        // Topological order via Kahn; detects cycles.
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            indeg[b] += 1;
+            succ[a].push(b);
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            topo.push(u);
+            for &v in &succ[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(RtError::InvalidGraph("DAG task contains a cycle".into()));
+        }
+        // Span: longest weighted path.
+        let mut dist = wcets.clone();
+        for &u in &topo {
+            for &v in &succ[u] {
+                dist[v] = dist[v].max(dist[u] + wcets[v]);
+            }
+        }
+        let span = dist.iter().copied().fold(0.0, f64::max);
+        let volume: f64 = wcets.iter().sum();
+        if span > deadline {
+            return Err(RtError::Inconsistent(format!(
+                "span {span} exceeds deadline {deadline}: infeasible on any core count"
+            )));
+        }
+        Ok(DagTask {
+            wcets,
+            edges,
+            period,
+            deadline,
+            volume,
+            span,
+        })
+    }
+
+    /// Per-vertex WCETs.
+    #[must_use]
+    pub fn wcets(&self) -> &[f64] {
+        &self.wcets
+    }
+
+    /// Precedence edges.
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Total work `C`.
+    #[must_use]
+    pub fn volume(&self) -> f64 {
+        self.volume
+    }
+
+    /// Critical-path length `L`.
+    #[must_use]
+    pub fn span(&self) -> f64 {
+        self.span
+    }
+
+    /// Minimum inter-arrival separation.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Relative deadline.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// Utilization `C / T`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.volume / self.period
+    }
+
+    /// A task is *heavy* when its utilization exceeds 1: it cannot be
+    /// served by any single core.
+    #[must_use]
+    pub fn is_heavy(&self) -> bool {
+        self.utilization() > 1.0
+    }
+
+    /// Dedicated cores required under federated scheduling (Li et al.,
+    /// 2014): `⌈(C − L) / (D − L)⌉` for heavy tasks. By the Graham bound
+    /// the task then meets its deadline on that many dedicated cores.
+    ///
+    /// Returns 0 for light tasks (they share the residual cores).
+    #[must_use]
+    pub fn federated_cores(&self) -> usize {
+        if !self.is_heavy() {
+            return 0;
+        }
+        let num = self.volume - self.span;
+        let den = self.deadline - self.span;
+        // span <= deadline is a construction invariant; equality with
+        // volume > span would be infeasible and yields infinity — cap it.
+        if den <= 0.0 {
+            return usize::MAX;
+        }
+        (num / den).ceil() as usize
+    }
+
+    /// Graham's bound on the makespan of one job on `m` dedicated cores
+    /// under any work-conserving scheduler: `L + (C − L)/m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn graham_makespan(&self, m: usize) -> f64 {
+        assert!(m > 0, "need at least one core");
+        self.span + (self.volume - self.span) / m as f64
+    }
+}
+
+/// Federated schedulability test (Li et al., 2014) for a set of DAG
+/// tasks on `m_total` identical cores: heavy tasks get dedicated cores
+/// (`federated_cores`), light tasks run on the remaining cores, which
+/// must satisfy a capacity-2 bound (`U_light ≤ (m_rest + 1) / 2` is the
+/// original sufficient condition; we use the commonly cited
+/// `U_light ≤ m_rest / 2`).
+#[must_use]
+pub fn federated_test(tasks: &[DagTask], m_total: usize) -> bool {
+    let mut dedicated = 0usize;
+    let mut u_light = 0.0;
+    for t in tasks {
+        if t.is_heavy() {
+            let c = t.federated_cores();
+            if c == usize::MAX {
+                return false;
+            }
+            dedicated += c;
+        } else {
+            u_light += t.utilization();
+        }
+    }
+    if dedicated > m_total {
+        return false;
+    }
+    let rest = (m_total - dedicated) as f64;
+    u_light <= rest / 2.0 + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fork_join(width: usize, unit: f64, period: f64, deadline: f64) -> DagTask {
+        // 0 → 1..=width → width+1.
+        let n = width + 2;
+        let mut edges = Vec::new();
+        for i in 1..=width {
+            edges.push((0, i));
+            edges.push((i, width + 1));
+        }
+        DagTask::new(vec![unit; n], edges, period, deadline).unwrap()
+    }
+
+    #[test]
+    fn volume_and_span() {
+        let d = fork_join(4, 1.0, 10.0, 10.0);
+        assert_eq!(d.volume(), 6.0);
+        assert_eq!(d.span(), 3.0);
+        assert!(!d.is_heavy());
+        assert_eq!(d.federated_cores(), 0);
+    }
+
+    #[test]
+    fn heavy_task_core_demand() {
+        // C = 12, L = 3, T = 6, D = 6: U = 2 (heavy).
+        let d = fork_join(10, 1.0, 6.0, 6.0);
+        assert_eq!(d.volume(), 12.0);
+        assert!(d.is_heavy());
+        // ⌈(12-3)/(6-3)⌉ = 3 cores.
+        assert_eq!(d.federated_cores(), 3);
+        // Graham: 3 + 9/3 = 6 ≤ D.
+        assert!(d.graham_makespan(3) <= d.deadline() + 1e-12);
+        assert!(d.graham_makespan(2) > d.deadline());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DagTask::new(vec![], vec![], 1.0, 1.0).is_err());
+        assert!(DagTask::new(vec![1.0], vec![(0, 0)], 10.0, 10.0).is_err());
+        assert!(DagTask::new(vec![1.0, 1.0], vec![(0, 5)], 10.0, 10.0).is_err());
+        // Cycle.
+        assert!(DagTask::new(vec![1.0, 1.0], vec![(0, 1), (1, 0)], 10.0, 10.0).is_err());
+        // Span exceeds deadline.
+        assert!(DagTask::new(vec![5.0, 5.0], vec![(0, 1)], 20.0, 8.0).is_err());
+    }
+
+    #[test]
+    fn federated_accepts_and_rejects() {
+        let heavy = fork_join(10, 1.0, 6.0, 6.0); // needs 3 cores
+        let light = fork_join(2, 1.0, 16.0, 16.0); // U = 0.25
+        assert!(federated_test(&[heavy.clone(), light.clone()], 4));
+        assert!(
+            !federated_test(&[heavy.clone(), light.clone()], 3),
+            "no residual capacity for the light task"
+        );
+        assert!(!federated_test(&[heavy], 2));
+        // Light-only: capacity bound m/2.
+        let lights: Vec<DagTask> = (0..4).map(|_| light.clone()).collect();
+        assert!(federated_test(&lights, 2)); // U = 1.0 ≤ 2/2
+        let more: Vec<DagTask> = (0..5).map(|_| light.clone()).collect();
+        assert!(!federated_test(&more, 2)); // U = 1.25 > 1
+    }
+}

@@ -1,0 +1,228 @@
+//! Exact EDF schedulability: the processor-demand criterion and QPA.
+//!
+//! For constrained-deadline periodic/sporadic tasks on one processor,
+//! EDF is schedulable iff the demand bound function never exceeds the
+//! interval length: `∀ t > 0 : h(t) ≤ t`, where
+//!
+//! `h(t) = Σᵢ max(0, ⌊(t − Dᵢ)/Tᵢ⌋ + 1) · Cᵢ`.
+//!
+//! Checking every absolute deadline up to the busy-period bound is
+//! exponential in the worst case; *Quick Processor-demand Analysis*
+//! (QPA, Zhang & Burns 2009) walks backwards from the bound and
+//! converges in a handful of iterations in practice.
+
+use crate::error::RtError;
+use crate::models::PeriodicTask;
+
+/// The demand bound function `h(t)`: total execution demand of jobs
+/// with both release and deadline inside any interval of length `t`.
+#[must_use]
+pub fn demand_bound(tasks: &[PeriodicTask], t: f64) -> f64 {
+    tasks
+        .iter()
+        .map(|task| {
+            let jobs = ((t - task.deadline()) / task.period()).floor() + 1.0;
+            jobs.max(0.0) * task.wcet()
+        })
+        .sum()
+}
+
+/// The analysis interval bound `L`: EDF demand only needs checking up
+/// to `min(busy period, La)` where
+/// `La = max(D_max, Σ (Tᵢ − Dᵢ) Uᵢ / (1 − U))`.
+///
+/// Returns `None` when total utilization exceeds 1 (trivially
+/// unschedulable — the bound diverges).
+#[must_use]
+pub fn analysis_bound(tasks: &[PeriodicTask]) -> Option<f64> {
+    let u: f64 = tasks.iter().map(PeriodicTask::utilization).sum();
+    if u > 1.0 + 1e-12 {
+        return None;
+    }
+    let d_max = tasks.iter().map(PeriodicTask::deadline).fold(0.0, f64::max);
+    let la = if u >= 1.0 - 1e-12 {
+        // Full utilization: fall back to the synchronous busy period.
+        busy_period(tasks)
+    } else {
+        let num: f64 = tasks
+            .iter()
+            .map(|t| (t.period() - t.deadline()).max(0.0) * t.utilization())
+            .sum();
+        (num / (1.0 - u)).max(d_max)
+    };
+    Some(la.min(busy_period(tasks)).max(d_max))
+}
+
+/// Length of the synchronous busy period: the fixed point of
+/// `w = Σ ⌈w/Tᵢ⌉ Cᵢ` starting from `Σ Cᵢ`.
+#[must_use]
+pub fn busy_period(tasks: &[PeriodicTask]) -> f64 {
+    let mut w: f64 = tasks.iter().map(PeriodicTask::wcet).sum();
+    for _ in 0..10_000 {
+        let next: f64 = tasks
+            .iter()
+            .map(|t| (w / t.period()).ceil() * t.wcet())
+            .sum();
+        if (next - w).abs() <= 1e-9 {
+            return next;
+        }
+        w = next;
+    }
+    w
+}
+
+/// The largest absolute deadline strictly below `t` (the QPA step).
+fn prev_deadline(tasks: &[PeriodicTask], t: f64) -> f64 {
+    let mut best = 0.0f64;
+    for task in tasks {
+        // Deadlines are D + k·T; the largest one < t.
+        if task.deadline() < t {
+            let k = ((t - task.deadline()) / task.period()).ceil() - 1.0;
+            let candidate = task.deadline() + k.max(0.0) * task.period();
+            if candidate < t {
+                best = best.max(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// Exact EDF schedulability via QPA for constrained-deadline periodic
+/// tasks on one processor.
+///
+/// # Errors
+///
+/// Returns [`RtError::Inconsistent`] for an empty taskset.
+pub fn qpa_edf_test(tasks: &[PeriodicTask]) -> Result<bool, RtError> {
+    if tasks.is_empty() {
+        return Err(RtError::Inconsistent("empty taskset".into()));
+    }
+    let Some(bound) = analysis_bound(tasks) else {
+        return Ok(false); // U > 1
+    };
+    let d_min = tasks
+        .iter()
+        .map(PeriodicTask::deadline)
+        .fold(f64::INFINITY, f64::min);
+
+    // QPA: walk t backwards from the bound.
+    let mut t = prev_deadline(tasks, bound + 1e-9);
+    let mut iterations = 0u32;
+    while t > d_min + 1e-12 {
+        iterations += 1;
+        if iterations > 1_000_000 {
+            // Defensive: fall back to "unschedulable" rather than hang.
+            return Ok(false);
+        }
+        let h = demand_bound(tasks, t);
+        if h > t + 1e-9 {
+            return Ok(false);
+        }
+        t = if h < t - 1e-12 {
+            h.max(prev_deadline(tasks, t))
+        } else {
+            prev_deadline(tasks, t)
+        };
+    }
+    Ok(demand_bound(tasks, d_min) <= d_min + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: f64, p: f64, d: f64) -> PeriodicTask {
+        PeriodicTask::with_deadline(c, p, d).unwrap()
+    }
+
+    #[test]
+    fn demand_bound_basics() {
+        let ts = vec![t(1.0, 4.0, 4.0)];
+        assert_eq!(demand_bound(&ts, 3.9), 0.0);
+        assert_eq!(demand_bound(&ts, 4.0), 1.0);
+        assert_eq!(demand_bound(&ts, 8.0), 2.0);
+        assert_eq!(demand_bound(&ts, 11.9), 2.0);
+    }
+
+    #[test]
+    fn implicit_deadline_matches_utilization_test() {
+        // For implicit deadlines, QPA must agree with U <= 1.
+        let ok = vec![t(1.0, 4.0, 4.0), t(2.0, 4.0, 4.0), t(1.0, 4.0, 4.0)];
+        assert!(qpa_edf_test(&ok).unwrap(), "U = 1.0 exactly");
+        let over = vec![t(3.0, 4.0, 4.0), t(2.0, 4.0, 4.0)];
+        assert!(!qpa_edf_test(&over).unwrap(), "U > 1");
+    }
+
+    #[test]
+    fn constrained_deadlines_can_fail_below_full_utilization() {
+        // U = 0.75 but tight deadlines overload short intervals.
+        let ts = vec![t(2.0, 8.0, 2.0), t(2.0, 8.0, 2.5)];
+        // At t = 2.5: demand 4.0 > 2.5 -> unschedulable.
+        assert!(!qpa_edf_test(&ts).unwrap());
+        // Relax one deadline: schedulable.
+        let ts = vec![t(2.0, 8.0, 2.0), t(2.0, 8.0, 4.5)];
+        assert!(qpa_edf_test(&ts).unwrap());
+    }
+
+    #[test]
+    fn classic_example_baruah() {
+        // A known-schedulable constrained set.
+        let ts = vec![t(1.0, 4.0, 2.0), t(1.0, 5.0, 3.0), t(2.0, 10.0, 8.0)];
+        assert!(qpa_edf_test(&ts).unwrap());
+        // Inflate until an interval overloads: at t = 3 the first two
+        // tasks demand 2 + 2 = 4 > 3.
+        let ts = vec![t(2.0, 4.0, 2.0), t(2.0, 5.0, 3.0), t(2.0, 10.0, 8.0)];
+        assert!(demand_bound(&ts, 3.0) > 3.0);
+        assert!(!qpa_edf_test(&ts).unwrap());
+    }
+
+    #[test]
+    fn busy_period_fixed_point() {
+        let ts = vec![t(1.0, 2.0, 2.0), t(1.0, 4.0, 4.0)];
+        // w = 1+1=2 -> ceil(2/2)*1+ceil(2/4)*1 = 2 ... wait: 1+1=2; then
+        // ceil(2/2)=1, ceil(2/4)=1 -> 2: fixed point at 2? 2 -> 1*1+1*1=2 yes.
+        // Actually U=0.75: busy period = 2? h: at w=2 both release once.
+        assert!((busy_period(&ts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_taskset_rejected() {
+        assert!(qpa_edf_test(&[]).is_err());
+    }
+
+    #[test]
+    fn qpa_agrees_with_brute_force_on_random_sets() {
+        use crate::taskset;
+        use rand::SeedableRng;
+        let mut agreements = 0;
+        for seed in 0..60u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let base = taskset::random_taskset(5, 0.85, 4.0, 64.0, &mut rng).unwrap();
+            // Constrain deadlines to 60-100% of period.
+            let ts: Vec<PeriodicTask> = base
+                .iter()
+                .map(|task| {
+                    let d = (task.period() * 0.6).max(task.wcet());
+                    PeriodicTask::with_deadline(task.wcet(), task.period(), d).unwrap()
+                })
+                .collect();
+            let qpa = qpa_edf_test(&ts).unwrap();
+            // Brute force: check every absolute deadline up to the bound.
+            let bound = analysis_bound(&ts).unwrap();
+            let mut brute = true;
+            for task in &ts {
+                let mut dl = task.deadline();
+                while dl <= bound + 1e-9 {
+                    if demand_bound(&ts, dl) > dl + 1e-9 {
+                        brute = false;
+                        break;
+                    }
+                    dl += task.period();
+                }
+            }
+            assert_eq!(qpa, brute, "seed {seed}: QPA {qpa} vs brute {brute}");
+            agreements += 1;
+        }
+        assert_eq!(agreements, 60);
+    }
+}

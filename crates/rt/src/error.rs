@@ -1,0 +1,66 @@
+//! Error type for real-time model construction.
+
+use std::fmt;
+
+/// Errors from constructing or analyzing real-time task models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtError {
+    /// A timing parameter was non-positive, NaN or infinite.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A deadline or separation constraint is inconsistent (e.g. a
+    /// deadline shorter than the WCET).
+    Inconsistent(String),
+    /// A graph model violates its structural rule (e.g. a DRT cycle that
+    /// bypasses the source vertex, or a cyclic DAG).
+    InvalidGraph(String),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::InvalidParameter { name, value } => {
+                write!(f, "invalid {name}: {value}")
+            }
+            RtError::Inconsistent(msg) => write!(f, "inconsistent task: {msg}"),
+            RtError::InvalidGraph(msg) => write!(f, "invalid task graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, RtError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(RtError::InvalidParameter { name, value })
+    }
+}
+
+pub(crate) fn non_negative(name: &'static str, value: f64) -> Result<f64, RtError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(RtError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators_and_display() {
+        assert!(positive("c", 1.0).is_ok());
+        assert!(positive("c", 0.0).is_err());
+        assert!(non_negative("p", 0.0).is_ok());
+        assert!(non_negative("p", f64::NAN).is_err());
+        let e = RtError::Inconsistent("deadline < wcet".into());
+        assert!(e.to_string().contains("deadline"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Real-time task models and schedulability analysis for heterogeneous
+//! systems.
+//!
+//! Heterogeneous platforms embedded in instruments and vehicles run
+//! *real-time* workloads whose correctness includes timing. This crate
+//! implements the task-model zoo of the real-time literature and the
+//! standard schedulability tests over them:
+//!
+//! * **job-based models** — [`PeriodicTask`], [`SporadicTask`],
+//!   [`AperiodicJob`], the [`MultiframeTask`], the [`ElasticTask`] (Buttazzo),
+//!   the [`MixedCriticalityTask`] (Vestal) and the [`SplitTask`]
+//!   (limited-preemption sub-jobs),
+//! * **graph-based models** — the sporadic [`DagTask`] (volume/span,
+//!   federated scheduling) and the [`DigraphTask`] (DRT),
+//! * **analysis** — utilization bounds (Liu–Layland, hyperbolic, EDF),
+//!   fixed-priority response-time analysis with blocking, adaptive
+//!   mixed-criticality (AMC-rtb) analysis, elastic compression, and
+//!   federated allocation of parallel DAG tasks,
+//! * **taskset generation** — UUniFast utilizations with log-uniform
+//!   periods for acceptance-ratio experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_rt::{analysis, PeriodicTask};
+//!
+//! let tasks = vec![
+//!     PeriodicTask::new(1.0, 4.0)?,
+//!     PeriodicTask::new(2.0, 8.0)?,
+//! ];
+//! // U = 0.5: comfortably schedulable under rate-monotonic priorities.
+//! assert!(analysis::rta_fixed_priority(&tasks)?.is_some());
+//! # Ok::<(), helios_rt::RtError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod dag_task;
+pub mod edf;
+mod digraph;
+mod error;
+mod models;
+pub mod taskset;
+
+pub use dag_task::{federated_test, DagTask};
+pub use digraph::{drt_edf_demand_test, DigraphTask, DrtEdge, DrtVertex};
+pub use error::RtError;
+pub use models::{
+    AperiodicJob, Criticality, ElasticTask, MixedCriticalityTask, MultiframeTask, PeriodicTask,
+    SplitTask, SporadicTask,
+};

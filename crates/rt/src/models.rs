@@ -1,0 +1,642 @@
+//! Job-based real-time task models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{non_negative, positive, RtError};
+
+/// A periodic task: identical jobs released every `period` time units,
+/// each needing `wcet` execution before its relative `deadline`.
+///
+/// # Examples
+///
+/// ```
+/// use helios_rt::PeriodicTask;
+///
+/// let t = PeriodicTask::new(2.0, 10.0)?;
+/// assert_eq!(t.utilization(), 0.2);
+/// # Ok::<(), helios_rt::RtError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicTask {
+    wcet: f64,
+    period: f64,
+    deadline: f64,
+    phase: f64,
+}
+
+impl PeriodicTask {
+    /// An implicit-deadline periodic task (`deadline == period`, zero
+    /// phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if parameters are non-positive or `wcet >
+    /// period`.
+    pub fn new(wcet: f64, period: f64) -> Result<PeriodicTask, RtError> {
+        PeriodicTask::with_deadline(wcet, period, period)
+    }
+
+    /// A constrained-deadline periodic task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if parameters are non-positive, `deadline >
+    /// period`, or `wcet > deadline`.
+    pub fn with_deadline(wcet: f64, period: f64, deadline: f64) -> Result<PeriodicTask, RtError> {
+        let wcet = positive("wcet", wcet)?;
+        let period = positive("period", period)?;
+        let deadline = positive("deadline", deadline)?;
+        if deadline > period {
+            return Err(RtError::Inconsistent(format!(
+                "deadline {deadline} exceeds period {period} (constrained model)"
+            )));
+        }
+        if wcet > deadline {
+            return Err(RtError::Inconsistent(format!(
+                "wcet {wcet} exceeds deadline {deadline}"
+            )));
+        }
+        Ok(PeriodicTask {
+            wcet,
+            period,
+            deadline,
+            phase: 0.0,
+        })
+    }
+
+    /// Returns a copy released with the given initial phase (offset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] for a negative or non-finite phase.
+    pub fn with_phase(mut self, phase: f64) -> Result<PeriodicTask, RtError> {
+        self.phase = non_negative("phase", phase)?;
+        Ok(self)
+    }
+
+    /// Worst-case execution time.
+    #[must_use]
+    pub fn wcet(&self) -> f64 {
+        self.wcet
+    }
+
+    /// Release period.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Relative deadline.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// Initial release offset.
+    #[must_use]
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Utilization `wcet / period`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.wcet / self.period
+    }
+}
+
+/// A sporadic task: like [`PeriodicTask`] but `period` is only a *minimum*
+/// inter-arrival separation. Worst-case analysis coincides with the
+/// periodic case, so the type converts losslessly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SporadicTask {
+    inner: PeriodicTask,
+}
+
+impl SporadicTask {
+    /// Creates a sporadic task with minimum inter-arrival `min_separation`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodicTask::with_deadline`].
+    pub fn new(wcet: f64, min_separation: f64, deadline: f64) -> Result<SporadicTask, RtError> {
+        Ok(SporadicTask {
+            inner: PeriodicTask::with_deadline(wcet, min_separation, deadline)?,
+        })
+    }
+
+    /// Worst-case execution time.
+    #[must_use]
+    pub fn wcet(&self) -> f64 {
+        self.inner.wcet()
+    }
+
+    /// Minimum inter-arrival separation.
+    #[must_use]
+    pub fn min_separation(&self) -> f64 {
+        self.inner.period()
+    }
+
+    /// Relative deadline.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.inner.deadline()
+    }
+
+    /// The worst-case periodic abstraction used for analysis.
+    #[must_use]
+    pub fn as_periodic(&self) -> &PeriodicTask {
+        &self.inner
+    }
+}
+
+impl From<SporadicTask> for PeriodicTask {
+    fn from(t: SporadicTask) -> PeriodicTask {
+        t.inner
+    }
+}
+
+/// A one-shot aperiodic job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AperiodicJob {
+    arrival: f64,
+    wcet: f64,
+    absolute_deadline: f64,
+}
+
+impl AperiodicJob {
+    /// Creates a job arriving at `arrival` with `wcet` work due by
+    /// `absolute_deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if the deadline precedes `arrival + wcet`.
+    pub fn new(arrival: f64, wcet: f64, absolute_deadline: f64) -> Result<AperiodicJob, RtError> {
+        let arrival = non_negative("arrival", arrival)?;
+        let wcet = positive("wcet", wcet)?;
+        if absolute_deadline < arrival + wcet {
+            return Err(RtError::Inconsistent(format!(
+                "deadline {absolute_deadline} unreachable from arrival {arrival} + wcet {wcet}"
+            )));
+        }
+        Ok(AperiodicJob {
+            arrival,
+            wcet,
+            absolute_deadline,
+        })
+    }
+
+    /// Arrival time.
+    #[must_use]
+    pub fn arrival(&self) -> f64 {
+        self.arrival
+    }
+
+    /// Worst-case execution time.
+    #[must_use]
+    pub fn wcet(&self) -> f64 {
+        self.wcet
+    }
+
+    /// Absolute deadline.
+    #[must_use]
+    pub fn absolute_deadline(&self) -> f64 {
+        self.absolute_deadline
+    }
+
+    /// Laxity at arrival: `deadline − arrival − wcet`.
+    #[must_use]
+    pub fn laxity(&self) -> f64 {
+        self.absolute_deadline - self.arrival - self.wcet
+    }
+}
+
+/// The multiframe model (Mok & Chen): successive jobs cycle through a
+/// vector of frame WCETs; frames are separated by at least
+/// `min_separation`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiframeTask {
+    frames: Vec<f64>,
+    min_separation: f64,
+    deadline: f64,
+}
+
+impl MultiframeTask {
+    /// Creates a multiframe task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if `frames` is empty, any frame is
+    /// non-positive, or the largest frame exceeds the deadline.
+    pub fn new(
+        frames: Vec<f64>,
+        min_separation: f64,
+        deadline: f64,
+    ) -> Result<MultiframeTask, RtError> {
+        if frames.is_empty() {
+            return Err(RtError::Inconsistent("multiframe needs >= 1 frame".into()));
+        }
+        for &f in &frames {
+            positive("frame wcet", f)?;
+        }
+        let min_separation = positive("min_separation", min_separation)?;
+        let deadline = positive("deadline", deadline)?;
+        let peak = frames.iter().copied().fold(0.0f64, f64::max);
+        if peak > deadline {
+            return Err(RtError::Inconsistent(format!(
+                "peak frame {peak} exceeds deadline {deadline}"
+            )));
+        }
+        Ok(MultiframeTask {
+            frames,
+            min_separation,
+            deadline,
+        })
+    }
+
+    /// The frame WCET vector.
+    #[must_use]
+    pub fn frames(&self) -> &[f64] {
+        &self.frames
+    }
+
+    /// Minimum separation between frames.
+    #[must_use]
+    pub fn min_separation(&self) -> f64 {
+        self.min_separation
+    }
+
+    /// Relative deadline of each frame.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// The largest frame WCET.
+    #[must_use]
+    pub fn peak_wcet(&self) -> f64 {
+        self.frames.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Average utilization over a full frame cycle.
+    #[must_use]
+    pub fn average_utilization(&self) -> f64 {
+        self.frames.iter().sum::<f64>() / (self.frames.len() as f64 * self.min_separation)
+    }
+
+    /// Peak (pessimistic) utilization using the largest frame.
+    #[must_use]
+    pub fn peak_utilization(&self) -> f64 {
+        self.peak_wcet() / self.min_separation
+    }
+
+    /// The pessimistic periodic abstraction (peak frame every
+    /// separation) used by the classic sufficient test.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid multiframe task.
+    pub fn as_peak_periodic(&self) -> Result<PeriodicTask, RtError> {
+        PeriodicTask::with_deadline(
+            self.peak_wcet(),
+            self.min_separation,
+            self.deadline.min(self.min_separation),
+        )
+    }
+}
+
+/// Buttazzo's elastic task: the period may stretch between `period_min`
+/// and `period_max` proportionally to the `elasticity` coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticTask {
+    wcet: f64,
+    period_min: f64,
+    period_max: f64,
+    elasticity: f64,
+}
+
+impl ElasticTask {
+    /// Creates an elastic task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if parameters are non-positive, the period
+    /// range is inverted, or the elasticity is negative.
+    pub fn new(
+        wcet: f64,
+        period_min: f64,
+        period_max: f64,
+        elasticity: f64,
+    ) -> Result<ElasticTask, RtError> {
+        let wcet = positive("wcet", wcet)?;
+        let period_min = positive("period_min", period_min)?;
+        let period_max = positive("period_max", period_max)?;
+        let elasticity = non_negative("elasticity", elasticity)?;
+        if period_min > period_max {
+            return Err(RtError::Inconsistent(format!(
+                "period_min {period_min} exceeds period_max {period_max}"
+            )));
+        }
+        if wcet > period_min {
+            return Err(RtError::Inconsistent(format!(
+                "wcet {wcet} exceeds period_min {period_min}"
+            )));
+        }
+        Ok(ElasticTask {
+            wcet,
+            period_min,
+            period_max,
+            elasticity,
+        })
+    }
+
+    /// Worst-case execution time (fixed; only the period flexes).
+    #[must_use]
+    pub fn wcet(&self) -> f64 {
+        self.wcet
+    }
+
+    /// The shortest (nominal) period.
+    #[must_use]
+    pub fn period_min(&self) -> f64 {
+        self.period_min
+    }
+
+    /// The longest acceptable period.
+    #[must_use]
+    pub fn period_max(&self) -> f64 {
+        self.period_max
+    }
+
+    /// Stiffness coefficient (0 = rigid).
+    #[must_use]
+    pub fn elasticity(&self) -> f64 {
+        self.elasticity
+    }
+
+    /// Utilization at the nominal period.
+    #[must_use]
+    pub fn nominal_utilization(&self) -> f64 {
+        self.wcet / self.period_min
+    }
+
+    /// Utilization at the maximally stretched period.
+    #[must_use]
+    pub fn min_utilization(&self) -> f64 {
+        self.wcet / self.period_max
+    }
+}
+
+/// Vestal criticality levels (two-level model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Criticality {
+    /// Low criticality (mission).
+    Lo,
+    /// High criticality (safety).
+    Hi,
+}
+
+/// A two-level mixed-criticality task: a LO-mode WCET used in normal
+/// operation and, for HI tasks, a larger certified HI-mode WCET.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedCriticalityTask {
+    wcet_lo: f64,
+    wcet_hi: f64,
+    period: f64,
+    deadline: f64,
+    criticality: Criticality,
+}
+
+impl MixedCriticalityTask {
+    /// Creates a mixed-criticality task. For LO tasks pass `wcet_hi ==
+    /// wcet_lo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if parameters are inconsistent (`wcet_hi <
+    /// wcet_lo`, deadline overruns, …).
+    pub fn new(
+        wcet_lo: f64,
+        wcet_hi: f64,
+        period: f64,
+        deadline: f64,
+        criticality: Criticality,
+    ) -> Result<MixedCriticalityTask, RtError> {
+        let wcet_lo = positive("wcet_lo", wcet_lo)?;
+        let wcet_hi = positive("wcet_hi", wcet_hi)?;
+        let period = positive("period", period)?;
+        let deadline = positive("deadline", deadline)?;
+        if wcet_hi < wcet_lo {
+            return Err(RtError::Inconsistent(format!(
+                "wcet_hi {wcet_hi} below wcet_lo {wcet_lo}"
+            )));
+        }
+        let budget = match criticality {
+            Criticality::Lo => wcet_lo,
+            Criticality::Hi => wcet_hi,
+        };
+        if budget > deadline || deadline > period {
+            return Err(RtError::Inconsistent(format!(
+                "budget {budget} / deadline {deadline} / period {period} infeasible"
+            )));
+        }
+        Ok(MixedCriticalityTask {
+            wcet_lo,
+            wcet_hi,
+            period,
+            deadline,
+            criticality,
+        })
+    }
+
+    /// LO-mode WCET.
+    #[must_use]
+    pub fn wcet_lo(&self) -> f64 {
+        self.wcet_lo
+    }
+
+    /// HI-mode WCET.
+    #[must_use]
+    pub fn wcet_hi(&self) -> f64 {
+        self.wcet_hi
+    }
+
+    /// Release period.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Relative deadline.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// The task's criticality level.
+    #[must_use]
+    pub fn criticality(&self) -> Criticality {
+        self.criticality
+    }
+}
+
+/// A limited-preemption task split into non-preemptive sub-jobs;
+/// preemption is only possible at sub-job boundaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitTask {
+    subjobs: Vec<f64>,
+    period: f64,
+    deadline: f64,
+}
+
+impl SplitTask {
+    /// Creates a split task from its sub-job WCETs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if `subjobs` is empty, any sub-job is
+    /// non-positive, or the total exceeds the deadline.
+    pub fn new(subjobs: Vec<f64>, period: f64, deadline: f64) -> Result<SplitTask, RtError> {
+        if subjobs.is_empty() {
+            return Err(RtError::Inconsistent("split task needs >= 1 sub-job".into()));
+        }
+        for &s in &subjobs {
+            positive("subjob wcet", s)?;
+        }
+        let period = positive("period", period)?;
+        let deadline = positive("deadline", deadline)?;
+        let total: f64 = subjobs.iter().sum();
+        if total > deadline || deadline > period {
+            return Err(RtError::Inconsistent(format!(
+                "total wcet {total} / deadline {deadline} / period {period} infeasible"
+            )));
+        }
+        Ok(SplitTask {
+            subjobs,
+            period,
+            deadline,
+        })
+    }
+
+    /// The sub-job WCETs.
+    #[must_use]
+    pub fn subjobs(&self) -> &[f64] {
+        &self.subjobs
+    }
+
+    /// Total WCET across sub-jobs.
+    #[must_use]
+    pub fn total_wcet(&self) -> f64 {
+        self.subjobs.iter().sum()
+    }
+
+    /// The largest non-preemptive chunk — the blocking this task can
+    /// impose on higher-priority tasks.
+    #[must_use]
+    pub fn max_blocking(&self) -> f64 {
+        self.subjobs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Release period.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Relative deadline.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// The periodic abstraction (total WCET) for response-time analysis.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid split task.
+    pub fn as_periodic(&self) -> Result<PeriodicTask, RtError> {
+        PeriodicTask::with_deadline(self.total_wcet(), self.period, self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_validation() {
+        assert!(PeriodicTask::new(2.0, 10.0).is_ok());
+        assert!(PeriodicTask::new(11.0, 10.0).is_err());
+        assert!(PeriodicTask::new(0.0, 10.0).is_err());
+        assert!(PeriodicTask::with_deadline(2.0, 10.0, 12.0).is_err());
+        assert!(PeriodicTask::with_deadline(5.0, 10.0, 4.0).is_err());
+        let t = PeriodicTask::new(2.0, 10.0).unwrap().with_phase(3.0).unwrap();
+        assert_eq!(t.phase(), 3.0);
+        assert!(PeriodicTask::new(2.0, 10.0).unwrap().with_phase(-1.0).is_err());
+    }
+
+    #[test]
+    fn sporadic_converts() {
+        let s = SporadicTask::new(1.0, 5.0, 4.0).unwrap();
+        assert_eq!(s.min_separation(), 5.0);
+        let p: PeriodicTask = s.into();
+        assert_eq!(p.period(), 5.0);
+        assert_eq!(p.deadline(), 4.0);
+        assert_eq!(s.as_periodic().wcet(), 1.0);
+    }
+
+    #[test]
+    fn aperiodic_laxity() {
+        let j = AperiodicJob::new(2.0, 3.0, 10.0).unwrap();
+        assert_eq!(j.laxity(), 5.0);
+        assert!(AperiodicJob::new(2.0, 3.0, 4.0).is_err());
+        assert_eq!(j.arrival(), 2.0);
+        assert_eq!(j.wcet(), 3.0);
+        assert_eq!(j.absolute_deadline(), 10.0);
+    }
+
+    #[test]
+    fn multiframe_utilizations() {
+        let m = MultiframeTask::new(vec![1.0, 3.0, 2.0], 5.0, 5.0).unwrap();
+        assert_eq!(m.peak_wcet(), 3.0);
+        assert!((m.average_utilization() - 0.4).abs() < 1e-12);
+        assert!((m.peak_utilization() - 0.6).abs() < 1e-12);
+        let p = m.as_peak_periodic().unwrap();
+        assert_eq!(p.wcet(), 3.0);
+        assert!(MultiframeTask::new(vec![], 5.0, 5.0).is_err());
+        assert!(MultiframeTask::new(vec![6.0], 5.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn elastic_ranges() {
+        let e = ElasticTask::new(2.0, 10.0, 20.0, 1.0).unwrap();
+        assert_eq!(e.nominal_utilization(), 0.2);
+        assert_eq!(e.min_utilization(), 0.1);
+        assert!(ElasticTask::new(2.0, 20.0, 10.0, 1.0).is_err());
+        assert!(ElasticTask::new(12.0, 10.0, 20.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mixed_criticality_validation() {
+        let hi =
+            MixedCriticalityTask::new(1.0, 3.0, 10.0, 10.0, Criticality::Hi).unwrap();
+        assert_eq!(hi.wcet_hi(), 3.0);
+        assert!(MixedCriticalityTask::new(3.0, 1.0, 10.0, 10.0, Criticality::Hi).is_err());
+        // HI task whose HI budget misses the deadline.
+        assert!(MixedCriticalityTask::new(1.0, 12.0, 10.0, 10.0, Criticality::Hi).is_err());
+        // The same budget is fine for a LO task (its HI value is unused
+        // for feasibility but still capped by validation at deadline for
+        // HI criticality only).
+        assert!(MixedCriticalityTask::new(1.0, 1.0, 10.0, 10.0, Criticality::Lo).is_ok());
+    }
+
+    #[test]
+    fn split_task_blocking() {
+        let s = SplitTask::new(vec![1.0, 4.0, 2.0], 20.0, 15.0).unwrap();
+        assert_eq!(s.total_wcet(), 7.0);
+        assert_eq!(s.max_blocking(), 4.0);
+        assert_eq!(s.as_periodic().unwrap().wcet(), 7.0);
+        assert!(SplitTask::new(vec![], 20.0, 15.0).is_err());
+        assert!(SplitTask::new(vec![20.0], 20.0, 15.0).is_err());
+    }
+}

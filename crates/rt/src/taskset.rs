@@ -1,0 +1,198 @@
+//! Random taskset generation for acceptance-ratio experiments.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::RtError;
+use crate::models::{Criticality, MixedCriticalityTask, PeriodicTask};
+
+/// UUniFast (Bini & Buttazzo, 2005): `n` utilizations that sum exactly
+/// to `u_total`, uniformly distributed over the simplex.
+///
+/// # Errors
+///
+/// Returns [`RtError::InvalidParameter`] for `n == 0` or a non-positive
+/// `u_total`.
+pub fn uunifast(n: usize, u_total: f64, rng: &mut ChaCha8Rng) -> Result<Vec<f64>, RtError> {
+    if n == 0 {
+        return Err(RtError::InvalidParameter {
+            name: "n",
+            value: 0.0,
+        });
+    }
+    if !(u_total.is_finite() && u_total > 0.0) {
+        return Err(RtError::InvalidParameter {
+            name: "u_total",
+            value: u_total,
+        });
+    }
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = u_total;
+    for i in 1..n {
+        let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    Ok(utils)
+}
+
+/// A random implicit-deadline periodic taskset with total utilization
+/// `u_total` and log-uniform periods in `[period_min, period_max]`.
+///
+/// # Errors
+///
+/// Returns [`RtError`] for invalid parameters; individual tasks whose
+/// sampled utilization exceeds 1 are clamped to a feasible WCET.
+pub fn random_taskset(
+    n: usize,
+    u_total: f64,
+    period_min: f64,
+    period_max: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<Vec<PeriodicTask>, RtError> {
+    if !(period_min > 0.0 && period_max >= period_min) {
+        return Err(RtError::InvalidParameter {
+            name: "period range",
+            value: period_min,
+        });
+    }
+    let utils = uunifast(n, u_total, rng)?;
+    let mut tasks = Vec::with_capacity(n);
+    for u in utils {
+        let log_p = rng.gen::<f64>() * (period_max.ln() - period_min.ln()) + period_min.ln();
+        let period = log_p.exp();
+        // Clamp to keep wcet <= period even when u_total > n allows u > 1.
+        let wcet = (u * period).clamp(1e-9 * period, period);
+        tasks.push(PeriodicTask::new(wcet, period)?);
+    }
+    Ok(tasks)
+}
+
+/// A random two-level mixed-criticality taskset: each task is HI with
+/// probability `hi_prob`; HI tasks inflate their LO budget by
+/// `hi_factor`.
+///
+/// # Errors
+///
+/// Returns [`RtError`] for invalid parameters.
+pub fn random_mc_taskset(
+    n: usize,
+    u_total_lo: f64,
+    hi_prob: f64,
+    hi_factor: f64,
+    period_min: f64,
+    period_max: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<Vec<MixedCriticalityTask>, RtError> {
+    if !(0.0..=1.0).contains(&hi_prob) {
+        return Err(RtError::InvalidParameter {
+            name: "hi_prob",
+            value: hi_prob,
+        });
+    }
+    if hi_factor < 1.0 {
+        return Err(RtError::InvalidParameter {
+            name: "hi_factor",
+            value: hi_factor,
+        });
+    }
+    let base = random_taskset(n, u_total_lo, period_min, period_max, rng)?;
+    base.into_iter()
+        .map(|t| {
+            let is_hi = rng.gen::<f64>() < hi_prob;
+            let (wcet_hi, crit) = if is_hi {
+                ((t.wcet() * hi_factor).min(t.period()), Criticality::Hi)
+            } else {
+                (t.wcet(), Criticality::Lo)
+            };
+            MixedCriticalityTask::new(t.wcet(), wcet_hi, t.period(), t.period(), crit)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uunifast_sums_to_target() {
+        let mut r = rng(1);
+        for u_total in [0.3, 0.7, 0.95] {
+            let u = uunifast(8, u_total, &mut r).unwrap();
+            assert_eq!(u.len(), 8);
+            let sum: f64 = u.iter().sum();
+            assert!((sum - u_total).abs() < 1e-9, "{sum} != {u_total}");
+            assert!(u.iter().all(|&x| x >= 0.0));
+        }
+        assert!(uunifast(0, 0.5, &mut r).is_err());
+        assert!(uunifast(4, -1.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn random_taskset_respects_parameters() {
+        let mut r = rng(2);
+        let ts = random_taskset(10, 0.6, 10.0, 1000.0, &mut r).unwrap();
+        assert_eq!(ts.len(), 10);
+        let u: f64 = ts.iter().map(PeriodicTask::utilization).sum();
+        assert!((u - 0.6).abs() < 1e-6, "U = {u}");
+        for t in &ts {
+            assert!(t.period() >= 10.0 && t.period() <= 1000.0);
+            assert!(t.wcet() <= t.period());
+        }
+        assert!(random_taskset(4, 0.5, -1.0, 10.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_taskset(5, 0.5, 10.0, 100.0, &mut rng(7)).unwrap();
+        let b = random_taskset(5, 0.5, 10.0, 100.0, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mc_taskset_inflates_hi_budgets() {
+        let mut r = rng(3);
+        let ts = random_mc_taskset(20, 0.4, 0.5, 2.0, 10.0, 100.0, &mut r).unwrap();
+        assert_eq!(ts.len(), 20);
+        let hi_count = ts
+            .iter()
+            .filter(|t| t.criticality() == Criticality::Hi)
+            .count();
+        assert!(hi_count > 2 && hi_count < 18, "hi_count = {hi_count}");
+        for t in &ts {
+            match t.criticality() {
+                Criticality::Hi => assert!(t.wcet_hi() >= t.wcet_lo()),
+                Criticality::Lo => assert_eq!(t.wcet_hi(), t.wcet_lo()),
+            }
+        }
+        assert!(random_mc_taskset(4, 0.4, 1.5, 2.0, 10.0, 100.0, &mut r).is_err());
+        assert!(random_mc_taskset(4, 0.4, 0.5, 0.5, 10.0, 100.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn acceptance_ratio_decreases_with_utilization() {
+        use crate::analysis;
+        let mut accepted = Vec::new();
+        for &u in &[0.5, 0.7, 0.9, 1.1] {
+            let mut ok = 0;
+            for seed in 0..50 {
+                let ts = random_taskset(6, u, 10.0, 1000.0, &mut rng(seed)).unwrap();
+                if analysis::rta_fixed_priority(&ts).unwrap().is_some() {
+                    ok += 1;
+                }
+            }
+            accepted.push(ok);
+        }
+        assert!(
+            accepted.windows(2).all(|w| w[0] >= w[1]),
+            "acceptance must fall with U: {accepted:?}"
+        );
+        assert!(accepted[0] > accepted[3], "{accepted:?}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulated-annealing schedule refinement.
+
+use helios_platform::{DeviceId, Platform};
+use helios_sim::SimRng;
+use helios_workflow::{analysis, TaskId, Workflow};
+
+use crate::context::SchedContext;
+use crate::error::SchedError;
+use crate::schedule::Schedule;
+use crate::{HeftScheduler, Scheduler};
+
+/// A metaheuristic scheduler: simulated annealing over the joint space
+/// of per-task *device assignments* and *priority values*, decoded by
+/// insertion-based list scheduling and seeded with the HEFT solution.
+///
+/// Neighborhood moves:
+///
+/// * reassign one task to another memory-feasible device,
+/// * nudge one task's priority (reordering it among its peers while the
+///   decoder's readiness tracking preserves topological validity).
+///
+/// Acceptance follows Metropolis with geometric cooling; the best
+/// schedule ever seen is returned, so the result is never worse than
+/// the HEFT seed. Typical gains over HEFT are a few percent — the
+/// interesting output is the *gap*, which bounds how much better any
+/// list-ordering tweak could do (ablation experiment A14).
+#[derive(Debug, Clone)]
+pub struct AnnealingScheduler {
+    iterations: u32,
+    seed: u64,
+}
+
+impl AnnealingScheduler {
+    /// Creates the scheduler with an iteration budget and RNG seed.
+    #[must_use]
+    pub fn new(iterations: u32, seed: u64) -> AnnealingScheduler {
+        AnnealingScheduler { iterations, seed }
+    }
+
+    /// The iteration budget.
+    #[must_use]
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+}
+
+impl Default for AnnealingScheduler {
+    /// 2000 iterations, seed 0.
+    fn default() -> Self {
+        AnnealingScheduler::new(2000, 0)
+    }
+}
+
+/// Decodes (priority, assignment) into a schedule: repeatedly commits
+/// the highest-priority ready task to its assigned device at its EFT.
+fn decode(
+    wf: &Workflow,
+    platform: &Platform,
+    priority: &[f64],
+    assignment: &[DeviceId],
+) -> Result<Schedule, SchedError> {
+    let mut ctx = SchedContext::new(wf, platform, true)?;
+    let mut indegree: Vec<usize> = (0..wf.num_tasks())
+        .map(|i| wf.predecessors(TaskId(i)).len())
+        .collect();
+    let mut ready: Vec<TaskId> = (0..wf.num_tasks())
+        .filter(|&i| indegree[i] == 0)
+        .map(TaskId)
+        .collect();
+    while !ready.is_empty() {
+        let (idx, &task) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                priority[a.0]
+                    .total_cmp(&priority[b.0])
+                    .then(b.0.cmp(&a.0))
+            })
+            .ok_or_else(|| SchedError::Internal("empty ready set".into()))?;
+        ready.swap_remove(idx);
+        let dev = assignment[task.0];
+        let (start, finish) = ctx.eft(task, dev)?;
+        ctx.place(task, dev, start, finish)?;
+        for s in wf.successor_tasks(task) {
+            indegree[s.0] -= 1;
+            if indegree[s.0] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    ctx.into_schedule()
+}
+
+impl Scheduler for AnnealingScheduler {
+    fn name(&self) -> &str {
+        "annealing"
+    }
+
+    fn schedule(&self, wf: &Workflow, platform: &Platform) -> Result<Schedule, SchedError> {
+        // Seed state: HEFT assignment + upward-rank priorities.
+        let heft = HeftScheduler::default().schedule(wf, platform)?;
+        let mut assignment: Vec<DeviceId> = vec![DeviceId(0); wf.num_tasks()];
+        for p in heft.placements() {
+            assignment[p.task.0] = p.device;
+        }
+        let mut priority = analysis::bottom_levels(wf, platform)?;
+        let priority_span = priority
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
+            .max(1e-12);
+
+        // Memory-feasible device sets per task.
+        let feasible: Vec<Vec<DeviceId>> = wf
+            .tasks()
+            .iter()
+            .map(|t| {
+                platform
+                    .devices()
+                    .iter()
+                    .filter(|d| crate::placement_feasible(d, t))
+                    .map(|d| d.id())
+                    .collect()
+            })
+            .collect();
+        for (i, f) in feasible.iter().enumerate() {
+            if f.is_empty() {
+                return Err(SchedError::NoFeasibleDevice(TaskId(i)));
+            }
+        }
+
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut current = decode(wf, platform, &priority, &assignment)?;
+        let mut current_cost = current.makespan().as_secs();
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+
+        let t0 = 0.05 * current_cost.max(1e-12);
+        let cooling = if self.iterations > 1 {
+            (1e-3f64).powf(1.0 / f64::from(self.iterations - 1))
+        } else {
+            1.0
+        };
+        let mut temp = t0;
+
+        for _ in 0..self.iterations {
+            // Propose a neighbor.
+            let task = TaskId(rng.uniform_usize(0, wf.num_tasks() - 1));
+            let move_device = rng.chance(0.5) && feasible[task.0].len() > 1;
+            let (old_dev, old_prio) = (assignment[task.0], priority[task.0]);
+            if move_device {
+                let new_dev = loop {
+                    let d = *rng
+                        .choose(&feasible[task.0])
+                        .expect("feasible set is non-empty");
+                    if d != old_dev || feasible[task.0].len() == 1 {
+                        break d;
+                    }
+                };
+                assignment[task.0] = new_dev;
+            } else {
+                priority[task.0] =
+                    (old_prio + rng.normal(0.0, 0.05 * priority_span)).max(0.0);
+            }
+
+            let candidate = decode(wf, platform, &priority, &assignment)?;
+            let cost = candidate.makespan().as_secs();
+            let accept = cost <= current_cost
+                || rng.chance(((current_cost - cost) / temp).exp().min(1.0));
+            if accept {
+                current = candidate;
+                current_cost = cost;
+                if cost < best_cost {
+                    best = current.clone();
+                    best_cost = cost;
+                }
+            } else {
+                // Revert.
+                assignment[task.0] = old_dev;
+                priority[task.0] = old_prio;
+            }
+            temp *= cooling;
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_platform::presets;
+    use helios_workflow::generators::{montage, sipht};
+
+    #[test]
+    fn never_worse_than_heft() {
+        let p = presets::hpc_node();
+        for seed in 0..3 {
+            let wf = montage(60, seed).unwrap();
+            let heft = HeftScheduler::default().schedule(&wf, &p).unwrap();
+            let sa = AnnealingScheduler::new(300, seed).schedule(&wf, &p).unwrap();
+            sa.validate(&wf, &p).unwrap();
+            assert!(
+                sa.makespan().as_secs() <= heft.makespan().as_secs() + 1e-9,
+                "seed {seed}: SA {} vs HEFT {}",
+                sa.makespan(),
+                heft.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn improves_on_a_known_instance() {
+        // Deterministic instance where the HEFT seed is improvable
+        // (layered DAG at CCR 1.0; all SA runs are seed-reproducible, so
+        // this pins the improvement path, not a probability).
+        use helios_workflow::generators::synthetic::{
+            layered_random, scale_edges_to_ccr, LayeredConfig,
+        };
+        let p = presets::hpc_node();
+        let wf = layered_random(&LayeredConfig::default(), 0).unwrap();
+        let wf = scale_edges_to_ccr(&wf, &p, 1.0).unwrap();
+        let heft = HeftScheduler::default().schedule(&wf, &p).unwrap();
+        let sa = AnnealingScheduler::new(1500, 0).schedule(&wf, &p).unwrap();
+        sa.validate(&wf, &p).unwrap();
+        assert!(
+            sa.makespan().as_secs() < heft.makespan().as_secs() * (1.0 - 1e-9),
+            "SA {} must improve HEFT {} on this instance",
+            sa.makespan(),
+            heft.makespan()
+        );
+        let _ = sipht(20, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = presets::workstation();
+        let wf = montage(40, 1).unwrap();
+        let a = AnnealingScheduler::new(200, 5).schedule(&wf, &p).unwrap();
+        let b = AnnealingScheduler::new(200, 5).schedule(&wf, &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_iterations_returns_heft_seed() {
+        let p = presets::workstation();
+        let wf = montage(30, 2).unwrap();
+        let sa = AnnealingScheduler::new(0, 0).schedule(&wf, &p).unwrap();
+        sa.validate(&wf, &p).unwrap();
+        // The decoded HEFT seed can differ slightly from HEFT itself
+        // (decoder re-derives EFTs), but must be a valid full schedule.
+        assert_eq!(sa.placements().len(), wf.num_tasks());
+    }
+}

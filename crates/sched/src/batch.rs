@@ -1,0 +1,146 @@
+//! Batch-mode heuristics: Min-Min and Max-Min (Ibarra & Kim, 1977;
+//! Maheswaran et al., 1999), extended with DAG readiness tracking.
+
+use helios_platform::Platform;
+use helios_workflow::{TaskId, Workflow};
+
+use crate::context::SchedContext;
+use crate::error::SchedError;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// Shared Min-Min / Max-Min sweep: repeatedly compute every ready task's
+/// minimum EFT and commit either the globally smallest (`max_min ==
+/// false`) or the largest-of-minima (`max_min == true`).
+fn batch_schedule(
+    wf: &Workflow,
+    platform: &Platform,
+    max_min: bool,
+) -> Result<Schedule, SchedError> {
+    let mut ctx = SchedContext::new(wf, platform, true)?;
+    let mut indegree: Vec<usize> = (0..wf.num_tasks())
+        .map(|i| wf.predecessors(TaskId(i)).len())
+        .collect();
+    let mut ready: Vec<TaskId> = (0..wf.num_tasks())
+        .filter(|&i| indegree[i] == 0)
+        .map(TaskId)
+        .collect();
+    while !ready.is_empty() {
+        // (index in ready, device, start, finish) of the pick.
+        let mut pick: Option<(usize, _, _, _)> = None;
+        for (i, &task) in ready.iter().enumerate() {
+            let (dev, start, finish) = ctx.best_eft(task)?;
+            let better = match pick {
+                None => true,
+                Some((_, _, _, best_finish)) => {
+                    if max_min {
+                        finish > best_finish
+                    } else {
+                        finish < best_finish
+                    }
+                }
+            };
+            if better {
+                pick = Some((i, dev, start, finish));
+            }
+        }
+        let (idx, dev, start, finish) =
+            pick.ok_or_else(|| SchedError::Internal("empty ready set".into()))?;
+        let task = ready.swap_remove(idx);
+        ctx.place(task, dev, start, finish)?;
+        for s in wf.successor_tasks(task) {
+            indegree[s.0] -= 1;
+            if indegree[s.0] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    ctx.into_schedule()
+}
+
+/// Min-Min: among ready tasks, commit the one with the smallest minimum
+/// completion time first. Biases toward short tasks; can starve long
+/// ones.
+#[derive(Debug, Clone, Default)]
+pub struct MinMinScheduler {
+    _private: (),
+}
+
+impl Scheduler for MinMinScheduler {
+    fn name(&self) -> &str {
+        "min-min"
+    }
+
+    fn schedule(&self, wf: &Workflow, platform: &Platform) -> Result<Schedule, SchedError> {
+        batch_schedule(wf, platform, false)
+    }
+}
+
+/// Max-Min: among ready tasks, commit the one with the *largest* minimum
+/// completion time first — the long-task-first mirror of Min-Min.
+#[derive(Debug, Clone, Default)]
+pub struct MaxMinScheduler {
+    _private: (),
+}
+
+impl Scheduler for MaxMinScheduler {
+    fn name(&self) -> &str {
+        "max-min"
+    }
+
+    fn schedule(&self, wf: &Workflow, platform: &Platform) -> Result<Schedule, SchedError> {
+        batch_schedule(wf, platform, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_platform::presets;
+    use helios_workflow::generators::{cybershake, montage};
+
+    #[test]
+    fn both_produce_valid_schedules() {
+        let p = presets::hpc_node();
+        for wf in [montage(50, 1).unwrap(), cybershake(50, 1).unwrap()] {
+            for s in [
+                MinMinScheduler::default().schedule(&wf, &p).unwrap(),
+                MaxMinScheduler::default().schedule(&wf, &p).unwrap(),
+            ] {
+                s.validate(&wf, &p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn min_min_and_max_min_differ() {
+        let p = presets::hpc_node();
+        let wf = cybershake(60, 2).unwrap();
+        let a = MinMinScheduler::default().schedule(&wf, &p).unwrap();
+        let b = MaxMinScheduler::default().schedule(&wf, &p).unwrap();
+        assert_ne!(
+            a.placements(),
+            b.placements(),
+            "orderings should diverge on heterogeneous ready sets"
+        );
+    }
+
+    #[test]
+    fn within_striking_distance_of_heft() {
+        use crate::{HeftScheduler, Scheduler as _};
+        let p = presets::hpc_node();
+        let wf = montage(80, 3).unwrap();
+        let heft = HeftScheduler::default()
+            .schedule(&wf, &p)
+            .unwrap()
+            .makespan()
+            .as_secs();
+        for s in [
+            MinMinScheduler::default().schedule(&wf, &p).unwrap(),
+            MaxMinScheduler::default().schedule(&wf, &p).unwrap(),
+        ] {
+            let ratio = s.makespan().as_secs() / heft;
+            assert!(ratio < 5.0, "batch heuristic {ratio}x of HEFT");
+        }
+    }
+}

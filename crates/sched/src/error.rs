@@ -1,0 +1,103 @@
+//! Error type for scheduling.
+
+use std::fmt;
+
+use helios_platform::PlatformError;
+use helios_workflow::{TaskId, WorkflowError};
+
+/// Errors produced while computing or validating a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A platform model/routing error surfaced during cost evaluation.
+    Platform(PlatformError),
+    /// A workflow structural error surfaced during traversal.
+    Workflow(WorkflowError),
+    /// The schedule is missing a placement for a task.
+    Unscheduled(TaskId),
+    /// No device has enough memory to hold the task's working set.
+    NoFeasibleDevice(TaskId),
+    /// A task starts before a predecessor's data has arrived.
+    PrecedenceViolation {
+        /// The violating task.
+        task: TaskId,
+        /// The predecessor whose data arrives late.
+        pred: TaskId,
+        /// Seconds by which the start precedes data availability.
+        deficit_secs: f64,
+    },
+    /// Two tasks overlap on the same single-slot device.
+    Overlap {
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+    },
+    /// The scheduler was given an empty ready set or hit an internal
+    /// invariant violation; the message names it.
+    Internal(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Platform(e) => write!(f, "platform error: {e}"),
+            SchedError::Workflow(e) => write!(f, "workflow error: {e}"),
+            SchedError::Unscheduled(t) => write!(f, "task {t} has no placement"),
+            SchedError::NoFeasibleDevice(t) => {
+                write!(f, "no device can hold the working set of task {t}")
+            }
+            SchedError::PrecedenceViolation {
+                task,
+                pred,
+                deficit_secs,
+            } => write!(
+                f,
+                "task {task} starts {deficit_secs:.6}s before data from {pred} arrives"
+            ),
+            SchedError::Overlap { a, b } => {
+                write!(f, "tasks {a} and {b} overlap on the same device")
+            }
+            SchedError::Internal(msg) => write!(f, "internal scheduler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Platform(e) => Some(e),
+            SchedError::Workflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for SchedError {
+    fn from(e: PlatformError) -> Self {
+        SchedError::Platform(e)
+    }
+}
+
+impl From<WorkflowError> for SchedError {
+    fn from(e: WorkflowError) -> Self {
+        SchedError::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedError::Unscheduled(TaskId(3));
+        assert!(e.to_string().contains("t3"));
+        let e: SchedError = PlatformError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SchedError::Overlap {
+            a: TaskId(0),
+            b: TaskId(1),
+        };
+        assert!(e.to_string().contains("overlap"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Static and dynamic scheduling algorithms for heterogeneous workflows.
+//!
+//! A [`Scheduler`] maps a [`Workflow`] onto a
+//! [`Platform`], producing a [`Schedule`]: one
+//! [`Placement`] per task (device, DVFS level, start and finish time).
+//! Schedules are *plans* built from the platform's cost models; the
+//! `helios-core` engine executes them (and can deviate when reality —
+//! noise, faults, link contention — intervenes).
+//!
+//! Implemented algorithms:
+//!
+//! | scheduler | family | reference behaviour |
+//! |---|---|---|
+//! | [`HeftScheduler`] | list | upward-rank order, insertion-based earliest finish time |
+//! | [`CpopScheduler`] | list | critical path pinned to its best device |
+//! | [`PeftScheduler`] | list | optimistic cost table lookahead |
+//! | [`LookaheadScheduler`] | list | HEFT with one-step child lookahead |
+//! | [`MinMinScheduler`] | batch | min–min completion time |
+//! | [`MaxMinScheduler`] | batch | max–min completion time |
+//! | [`MctScheduler`] | immediate | minimum completion time |
+//! | [`MetScheduler`] | immediate | minimum execution time (ignores queues) |
+//! | [`OlbScheduler`] | immediate | opportunistic load balancing |
+//! | [`RoundRobinScheduler`] | baseline | cyclic device assignment |
+//! | [`RandomScheduler`] | baseline | uniform random assignment |
+//! | [`AnnealingScheduler`] | metaheuristic | simulated annealing seeded by HEFT |
+//!
+//! All schedulers are **memory-aware**: a task whose working set exceeds
+//! a device's memory is never placed there
+//! ([`SchedError::NoFeasibleDevice`] when nothing fits).
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_platform::presets;
+//! use helios_sched::{HeftScheduler, Scheduler};
+//! use helios_workflow::generators::montage;
+//!
+//! let platform = presets::hpc_node();
+//! let wf = montage(50, 1)?;
+//! let schedule = HeftScheduler::default().schedule(&wf, &platform)?;
+//! schedule.validate(&wf, &platform)?;
+//! println!("makespan: {}", schedule.makespan());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod annealing;
+mod batch;
+mod context;
+mod cpop;
+mod error;
+mod heft;
+mod immediate;
+mod lookahead;
+pub mod metrics;
+mod peft;
+pub mod reliability;
+mod schedule;
+mod timeline;
+
+pub use annealing::AnnealingScheduler;
+pub use batch::{MaxMinScheduler, MinMinScheduler};
+pub use context::SchedContext;
+pub use cpop::CpopScheduler;
+pub use error::SchedError;
+pub use heft::HeftScheduler;
+pub use immediate::{MctScheduler, MetScheduler, OlbScheduler, RandomScheduler, RoundRobinScheduler};
+pub use lookahead::LookaheadScheduler;
+pub use peft::PeftScheduler;
+pub use schedule::{Placement, Schedule};
+pub use timeline::DeviceTimeline;
+
+use helios_platform::{Device, Platform};
+use helios_workflow::{Task, Workflow};
+
+/// The placement feasibility predicate every scheduler (and the engine's
+/// dispatchers) enforces: the task's working set fits the device's
+/// memory **and** the device's trust level clears the task's security
+/// requirement (see the survey's observation that a heterogeneous
+/// system is only as secure as its weakest component).
+#[must_use]
+pub fn placement_feasible(device: &Device, task: &Task) -> bool {
+    device.fits(task.cost()) && device.trust_level() >= task.required_trust()
+}
+
+/// A static workflow scheduler: given the full DAG and the platform,
+/// produce a complete placement plan.
+pub trait Scheduler {
+    /// A short stable name for reports ("heft", "min-min", …).
+    fn name(&self) -> &str;
+
+    /// Computes a complete, valid schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError`] if the workflow and platform are
+    /// incompatible (e.g. unroutable device pairs) or an internal
+    /// invariant fails.
+    fn schedule(&self, wf: &Workflow, platform: &Platform) -> Result<Schedule, SchedError>;
+}
+
+/// Every scheduler in the crate with default configuration — the lineup
+/// used by the comparison experiments (figure F3).
+#[must_use]
+pub fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(HeftScheduler::default()),
+        Box::new(CpopScheduler::default()),
+        Box::new(PeftScheduler::default()),
+        Box::new(LookaheadScheduler::default()),
+        Box::new(MinMinScheduler::default()),
+        Box::new(MaxMinScheduler::default()),
+        Box::new(MctScheduler::default()),
+        Box::new(MetScheduler::default()),
+        Box::new(OlbScheduler::default()),
+        Box::new(RoundRobinScheduler::default()),
+        Box::new(RandomScheduler::new(0)),
+        Box::new(AnnealingScheduler::new(500, 0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_platform::presets;
+    use helios_workflow::generators::{montage, WorkflowClass};
+
+    #[test]
+    fn every_scheduler_produces_a_valid_schedule() {
+        let platform = presets::hpc_node();
+        let wf = montage(50, 3).unwrap();
+        for s in all_schedulers() {
+            let sched = s
+                .schedule(&wf, &platform)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            sched
+                .validate(&wf, &platform)
+                .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", s.name()));
+            assert!(sched.makespan().as_secs() > 0.0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn every_scheduler_handles_every_family() {
+        let platform = presets::workstation();
+        for class in WorkflowClass::ALL {
+            let wf = class.generate(40, 1).unwrap();
+            for s in all_schedulers() {
+                let sched = s
+                    .schedule(&wf, &platform)
+                    .unwrap_or_else(|e| panic!("{}/{class}: {e}", s.name()));
+                sched
+                    .validate(&wf, &platform)
+                    .unwrap_or_else(|e| panic!("{}/{class}: {e}", s.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn heft_beats_baselines_on_average() {
+        let platform = presets::hpc_node();
+        let heft = HeftScheduler::default();
+        let rand = RandomScheduler::new(7);
+        let mut heft_total = 0.0;
+        let mut rand_total = 0.0;
+        for seed in 0..10 {
+            let wf = montage(80, seed).unwrap();
+            heft_total += heft.schedule(&wf, &platform).unwrap().makespan().as_secs();
+            rand_total += rand.schedule(&wf, &platform).unwrap().makespan().as_secs();
+        }
+        assert!(
+            heft_total < rand_total,
+            "HEFT {heft_total} should beat random {rand_total}"
+        );
+    }
+
+    #[test]
+    fn scheduler_names_are_unique() {
+        let names: Vec<String> = all_schedulers()
+            .iter()
+            .map(|s| s.name().to_owned())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-device busy-interval timelines with insertion-based placement.
+
+use helios_sim::{SimDuration, SimTime};
+
+/// The reservation timeline of one device: a sorted list of disjoint busy
+/// intervals. Supports the two placement policies of the list-scheduling
+/// literature:
+///
+/// * **insertion** — a task may fill an idle gap between existing
+///   reservations (HEFT's insertion policy),
+/// * **append** — a task may only start after the last reservation.
+///
+/// # Examples
+///
+/// ```
+/// use helios_sched::DeviceTimeline;
+/// use helios_sim::{SimDuration, SimTime};
+///
+/// let mut tl = DeviceTimeline::new();
+/// tl.reserve(SimTime::from_secs(0.0), SimTime::from_secs(2.0));
+/// tl.reserve(SimTime::from_secs(5.0), SimTime::from_secs(6.0));
+/// // A 1-second task ready at t=1 fits in the [2, 5) gap.
+/// let start = tl.earliest_start(SimTime::from_secs(1.0),
+///                               SimDuration::from_secs(1.0), true);
+/// assert_eq!(start.as_secs(), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeviceTimeline {
+    /// Disjoint, sorted (start, finish) busy intervals.
+    busy: Vec<(SimTime, SimTime)>,
+}
+
+impl DeviceTimeline {
+    /// Creates an empty timeline.
+    #[must_use]
+    pub fn new() -> DeviceTimeline {
+        DeviceTimeline::default()
+    }
+
+    /// The busy intervals, sorted by start.
+    #[must_use]
+    pub fn busy_intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.busy
+    }
+
+    /// Finish time of the last reservation ([`SimTime::ZERO`] when empty).
+    #[must_use]
+    pub fn ready_time(&self) -> SimTime {
+        self.busy.last().map_or(SimTime::ZERO, |&(_, f)| f)
+    }
+
+    /// The earliest start ≥ `ready` at which a task of length `duration`
+    /// fits. With `insertion`, idle gaps between reservations are
+    /// candidates; without it, only the region after the last reservation.
+    #[must_use]
+    pub fn earliest_start(
+        &self,
+        ready: SimTime,
+        duration: SimDuration,
+        insertion: bool,
+    ) -> SimTime {
+        if !insertion {
+            return self.ready_time().max(ready);
+        }
+        let mut candidate = ready;
+        for &(start, finish) in &self.busy {
+            if candidate + duration <= start {
+                return candidate;
+            }
+            candidate = candidate.max(finish);
+        }
+        candidate
+    }
+
+    /// Reserves `[start, finish)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is inverted or overlaps an existing
+    /// reservation — callers must only reserve what
+    /// [`DeviceTimeline::earliest_start`] returned.
+    pub fn reserve(&mut self, start: SimTime, finish: SimTime) {
+        assert!(start <= finish, "inverted reservation {start}..{finish}");
+        let idx = self
+            .busy
+            .partition_point(|&(s, _)| s < start);
+        let no_overlap_prev = idx == 0 || self.busy[idx - 1].1 <= start;
+        let no_overlap_next = idx == self.busy.len() || finish <= self.busy[idx].0;
+        assert!(
+            no_overlap_prev && no_overlap_next,
+            "reservation {start}..{finish} overlaps an existing interval"
+        );
+        self.busy.insert(idx, (start, finish));
+    }
+
+    /// Releases a previously reserved `[start, finish)` interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact interval is not currently reserved — releases
+    /// must mirror earlier [`DeviceTimeline::reserve`] calls.
+    pub fn release(&mut self, start: SimTime, finish: SimTime) {
+        let idx = self
+            .busy
+            .iter()
+            .position(|&(s, f)| s == start && f == finish)
+            .unwrap_or_else(|| {
+                panic!("release of unreserved interval {start}..{finish}")
+            });
+        self.busy.remove(idx);
+    }
+
+    /// Total busy time.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+            .iter()
+            .map(|&(s, f)| f.saturating_since(s))
+            .sum()
+    }
+
+    /// Number of reservations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Returns `true` when nothing is reserved.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn empty_timeline_starts_at_ready() {
+        let tl = DeviceTimeline::new();
+        assert_eq!(tl.earliest_start(t(3.0), d(1.0), true), t(3.0));
+        assert_eq!(tl.earliest_start(t(3.0), d(1.0), false), t(3.0));
+        assert_eq!(tl.ready_time(), SimTime::ZERO);
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn insertion_finds_gap() {
+        let mut tl = DeviceTimeline::new();
+        tl.reserve(t(0.0), t(2.0));
+        tl.reserve(t(5.0), t(6.0));
+        // Fits in [2, 5).
+        assert_eq!(tl.earliest_start(t(0.0), d(3.0), true), t(2.0));
+        // Too long for the gap: goes after the end.
+        assert_eq!(tl.earliest_start(t(0.0), d(4.0), true), t(6.0));
+        // Ready time inside the gap.
+        assert_eq!(tl.earliest_start(t(3.0), d(1.0), true), t(3.0));
+        // Without insertion: always after the last interval.
+        assert_eq!(tl.earliest_start(t(0.0), d(0.5), false), t(6.0));
+    }
+
+    #[test]
+    fn gap_respects_ready_time() {
+        let mut tl = DeviceTimeline::new();
+        tl.reserve(t(0.0), t(1.0));
+        tl.reserve(t(2.0), t(3.0));
+        // Gap [1,2) exists but task only ready at 1.5 and needs 1s: no fit.
+        assert_eq!(tl.earliest_start(t(1.5), d(1.0), true), t(3.0));
+        // Needs 0.5s: fits at 1.5.
+        assert_eq!(tl.earliest_start(t(1.5), d(0.5), true), t(1.5));
+    }
+
+    #[test]
+    fn reserve_maintains_sorted_disjoint() {
+        let mut tl = DeviceTimeline::new();
+        tl.reserve(t(5.0), t(6.0));
+        tl.reserve(t(0.0), t(1.0));
+        tl.reserve(t(2.0), t(3.0));
+        let starts: Vec<f64> = tl.busy_intervals().iter().map(|&(s, _)| s.as_secs()).collect();
+        assert_eq!(starts, vec![0.0, 2.0, 5.0]);
+        assert_eq!(tl.busy_time(), d(3.0));
+        assert_eq!(tl.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_reserve_panics() {
+        let mut tl = DeviceTimeline::new();
+        tl.reserve(t(0.0), t(2.0));
+        tl.reserve(t(1.0), t(3.0));
+    }
+
+    #[test]
+    fn zero_length_reservations_allowed() {
+        let mut tl = DeviceTimeline::new();
+        tl.reserve(t(1.0), t(1.0));
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl.busy_time(), d(0.0));
+        // Another task can start at the same instant.
+        assert_eq!(tl.earliest_start(t(1.0), d(1.0), true), t(1.0));
+    }
+}

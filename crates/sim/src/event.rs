@@ -1,0 +1,275 @@
+//! Deterministic future-event list.
+//!
+//! [`EventQueue`] is a min-heap keyed by `(SimTime, sequence)`. The sequence
+//! number is a monotonically increasing insertion counter, which gives
+//! simultaneous events a stable first-in-first-out order — a requirement for
+//! reproducible simulations, since [`std::collections::BinaryHeap`] makes no
+//! ordering promise for equal keys.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event stored in the [`EventQueue`], pairing a payload with its
+/// scheduled activation time and insertion sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// The simulated time at which the event fires.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The insertion sequence number (global FIFO tie-break key).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Borrows the event payload.
+    #[must_use]
+    pub fn payload(&self) -> &E {
+        &self.payload
+    }
+
+    /// Consumes the entry, returning the payload.
+    #[must_use]
+    pub fn into_payload(self) -> E {
+        self.payload
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event (and
+        // for ties, the earliest-inserted event) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events scheduled for the same [`SimTime`] are returned in insertion
+/// order. Popping never returns an event earlier than the last popped event,
+/// so consumers can treat the pop sequence as the simulation clock.
+///
+/// # Examples
+///
+/// ```
+/// use helios_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(5.0), "late");
+/// q.push(SimTime::from_secs(1.0), "early");
+/// let (t, e) = q.pop().expect("queue is non-empty");
+/// assert_eq!((t.as_secs(), e), (1.0, "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with space for `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|ev| (ev.time, ev.payload))
+    }
+
+    /// Returns the activation time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(ScheduledEvent::time)
+    }
+
+    /// Returns the number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Drains all events at the current head time (a simultaneous batch),
+    /// in insertion order.
+    ///
+    /// Returns an empty vector when the queue is empty.
+    pub fn pop_batch(&mut self) -> Vec<(SimTime, E)> {
+        let Some(head) = self.peek_time() else {
+            return Vec::new();
+        };
+        let mut batch = Vec::new();
+        while self.peek_time() == Some(head) {
+            // The loop condition guarantees the pop succeeds.
+            if let Some(item) = self.pop() {
+                batch.push(item);
+            }
+        }
+        batch
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<T: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: T) {
+        for (time, payload) in iter {
+            self.push(time, payload);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<T: IntoIterator<Item = (SimTime, E)>>(iter: T) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), 'c');
+        q.push(t(1.0), 'a');
+        q.push(t(2.0), 'b');
+        let out: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(out, ['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(1.0), i);
+        }
+        let out: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(2.0), ());
+        q.push(t(1.0), ());
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        let (popped, ()) = q.pop().unwrap();
+        assert_eq!(popped, t(1.0));
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(t(0.0), ());
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn batch_drains_equal_times_only() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), 1);
+        q.push(t(1.0), 2);
+        q.push(t(2.0), 3);
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].1, 1);
+        assert_eq!(batch[1].1, 2);
+        assert_eq!(q.len(), 1);
+        assert!(EventQueue::<u8>::new().pop_batch().is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let q: EventQueue<&str> = vec![(t(2.0), "b"), (t(1.0), "a")].into_iter().collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), "e");
+        q.push(t(1.0), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(t(3.0), "c");
+        q.push(t(2.0), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "e");
+    }
+}

@@ -1,0 +1,395 @@
+//! Virtual-time types.
+//!
+//! Simulated time is measured in seconds and stored as `f64`. The types here
+//! enforce the two invariants the rest of the workspace relies on:
+//!
+//! * a [`SimTime`] is always finite and non-negative,
+//! * a [`SimDuration`] is always finite and non-negative.
+//!
+//! Violations are caught at construction ([`SimTime::try_from_secs`]) or, for
+//! the infallible constructors, by a panic with a clear message — a NaN
+//! timestamp silently entering the event queue would corrupt event ordering.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when constructing a [`SimTime`] or [`SimDuration`] from an
+/// invalid floating-point value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeError {
+    /// The value was NaN or infinite.
+    NotFinite,
+    /// The value was negative.
+    Negative,
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::NotFinite => write!(f, "time value was not finite"),
+            TimeError::Negative => write!(f, "time value was negative"),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
+fn validate(secs: f64) -> Result<f64, TimeError> {
+    if !secs.is_finite() {
+        Err(TimeError::NotFinite)
+    } else if secs < 0.0 {
+        Err(TimeError::Negative)
+    } else {
+        Ok(secs)
+    }
+}
+
+/// An instant on the simulated timeline, in seconds since simulation start.
+///
+/// `SimTime` is totally ordered (the construction invariant rules out NaN),
+/// so it can key the event queue directly.
+///
+/// # Examples
+///
+/// ```
+/// use helios_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(1.5);
+/// assert_eq!(t.as_secs(), 1.5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(f64);
+
+// Invariant: the inner value is finite and non-negative, so `partial_cmp`
+// never returns `None` and these manual impls are sound.
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl SimTime {
+    /// The simulation start instant.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a `SimTime` from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN, infinite or negative. Use
+    /// [`SimTime::try_from_secs`] for fallible construction.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> SimTime {
+        match Self::try_from_secs(secs) {
+            Ok(t) => t,
+            Err(e) => panic!("invalid SimTime {secs}: {e}"),
+        }
+    }
+
+    /// Creates a `SimTime` from seconds, validating the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError`] if `secs` is NaN, infinite or negative.
+    pub fn try_from_secs(secs: f64) -> Result<SimTime, TimeError> {
+        validate(secs).map(SimTime)
+    }
+
+    /// Returns the instant as seconds since simulation start.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is actually later than `self`.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+/// A span of simulated time, in seconds. Always finite and non-negative.
+///
+/// # Examples
+///
+/// ```
+/// use helios_sim::SimDuration;
+///
+/// let d = SimDuration::from_secs(2.0) * 3.0;
+/// assert_eq!(d.as_secs(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimDuration(f64);
+
+impl Eq for SimDuration {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a `SimDuration` from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN, infinite or negative. Use
+    /// [`SimDuration::try_from_secs`] for fallible construction.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> SimDuration {
+        match Self::try_from_secs(secs) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid SimDuration {secs}: {e}"),
+        }
+    }
+
+    /// Creates a `SimDuration` from seconds, validating the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError`] if `secs` is NaN, infinite or negative.
+    pub fn try_from_secs(secs: f64) -> Result<SimDuration, TimeError> {
+        validate(secs).map(SimDuration)
+    }
+
+    /// Returns the span as seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// Duration between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    /// Saturating difference between two durations.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+
+    /// Scales a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale factor is negative or not finite.
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+
+    /// Divides a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the divisor is zero, negative or not finite.
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / rhs)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(SimTime::try_from_secs(-1.0), Err(TimeError::Negative));
+        assert_eq!(SimTime::try_from_secs(f64::NAN), Err(TimeError::NotFinite));
+        assert_eq!(
+            SimTime::try_from_secs(f64::INFINITY),
+            Err(TimeError::NotFinite)
+        );
+        assert!(SimTime::try_from_secs(0.0).is_ok());
+        assert_eq!(
+            SimDuration::try_from_secs(-0.5),
+            Err(TimeError::Negative)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn from_secs_panics_on_nan() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(2.5);
+        assert_eq!((t + d).as_secs(), 12.5);
+        assert_eq!(((t + d) - t).as_secs(), 2.5);
+        assert_eq!((d * 2.0).as_secs(), 5.0);
+        assert_eq!((d / 2.0).as_secs(), 1.25);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.0);
+        assert_eq!(b.saturating_since(a).as_secs(), 2.0);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut times = [
+            SimTime::from_secs(3.0),
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(2.0),
+        ];
+        times.sort();
+        assert_eq!(times[0].as_secs(), 1.0);
+        assert_eq!(times[2].as_secs(), 3.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            SimDuration::from_secs(1.0).max(SimDuration::from_secs(4.0)),
+            SimDuration::from_secs(4.0)
+        );
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4)
+            .map(|i| SimDuration::from_secs(f64::from(i)))
+            .sum();
+        assert_eq!(total.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let a = SimDuration::from_secs(1.0);
+        let b = SimDuration::from_secs(2.0);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!((b - a).as_secs(), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500000s");
+        assert_eq!(SimDuration::from_secs(0.25).to_string(), "0.250000s");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for workflow construction and queries.
+
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Errors produced while building or analyzing a workflow DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// The graph contains a directed cycle (reported through one member).
+    Cycle(TaskId),
+    /// An edge referenced a task that does not exist.
+    UnknownTask(TaskId),
+    /// An edge from a task to itself.
+    SelfLoop(TaskId),
+    /// A duplicate edge between the same ordered pair of tasks.
+    DuplicateEdge(TaskId, TaskId),
+    /// The workflow has no tasks.
+    Empty,
+    /// A generator or builder parameter was out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::Cycle(t) => write!(f, "workflow contains a cycle through task {t}"),
+            WorkflowError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            WorkflowError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            WorkflowError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge {a} -> {b}")
+            }
+            WorkflowError::Empty => write!(f, "workflow has no tasks"),
+            WorkflowError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(WorkflowError::Cycle(TaskId(3)).to_string().contains("cycle"));
+        assert!(WorkflowError::Empty.to_string().contains("no tasks"));
+        assert!(WorkflowError::DuplicateEdge(TaskId(0), TaskId(1))
+            .to_string()
+            .contains("->"));
+    }
+}

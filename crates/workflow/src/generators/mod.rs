@@ -1,0 +1,121 @@
+//! Workflow generators.
+//!
+//! Two families:
+//!
+//! * [`scientific`] — structural generators for the five classic scientific
+//!   discovery workflows characterized by the Pegasus project (Montage,
+//!   CyberShake, Epigenomics, LIGO Inspiral, SIPHT). Task counts, stage
+//!   ratios, kernel classes and data-product sizes follow the published
+//!   characterizations; per-task magnitudes are sampled around the stage
+//!   means so repeated generations with different seeds give an ensemble.
+//! * [`synthetic`] — parameterized DAG families (layered random graphs,
+//!   fork–join, trees, chains, Gaussian elimination) for controlled sweeps
+//!   such as the CCR-sensitivity experiment.
+//!
+//! All generators are deterministic in their `seed` argument.
+
+pub mod campaign;
+pub mod scientific;
+pub mod synthetic;
+
+pub use campaign::{generate_campaign, CampaignConfig, Submission};
+pub use scientific::{cybershake, epigenomics, ligo_inspiral, montage, sipht, WorkflowClass};
+pub use synthetic::{
+    chain, fork_join, gaussian_elimination, in_tree, layered_random, out_tree,
+    scale_edges_to_ccr, LayeredConfig,
+};
+
+use helios_platform::{ComputeCost, KernelClass};
+use helios_sim::SimRng;
+
+use crate::dag::{Workflow, WorkflowBuilder};
+use crate::error::WorkflowError;
+use crate::task::Task;
+
+/// Rewrites edge sizes so every out-edge of a task carries the same
+/// payload: the mean of the task's sampled out-edge sizes. Consumers of
+/// one task read the *same data product*, so their edges must agree —
+/// this also makes per-device data caching well-defined. Total
+/// communication volume is preserved exactly.
+pub(crate) fn unify_product_sizes(wf: Workflow) -> Result<Workflow, WorkflowError> {
+    let mut mean_out = vec![0.0f64; wf.num_tasks()];
+    for (i, _) in wf.tasks().iter().enumerate() {
+        let succs = wf.successors(crate::task::TaskId(i));
+        if succs.is_empty() {
+            continue;
+        }
+        let total: f64 = succs.iter().map(|&e| wf.edge(e).bytes).sum();
+        mean_out[i] = total / succs.len() as f64;
+    }
+    let mut b = WorkflowBuilder::new(wf.name().to_owned());
+    for t in wf.tasks() {
+        b.add_task(t.clone());
+    }
+    for e in wf.edges() {
+        b.add_dep(e.src, e.dst, mean_out[e.src.0])?;
+    }
+    b.build()
+}
+
+/// Specification of one pipeline stage used by the scientific generators:
+/// the kernel class plus mean work and output-size magnitudes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StageSpec {
+    pub name: &'static str,
+    pub class: KernelClass,
+    /// Mean work in GFLOP.
+    pub gflop: f64,
+    /// Mean memory traffic in bytes.
+    pub bytes_touched: f64,
+    /// Mean output data-product size in bytes (per out-edge).
+    pub out_bytes: f64,
+}
+
+impl StageSpec {
+    /// Samples a task of this stage. Work and sizes vary ±30 % (clamped
+    /// normal) around the stage means.
+    pub(crate) fn sample(&self, index: usize, rng: &mut SimRng) -> Task {
+        let gflop = rng.normal_clamped(self.gflop, 0.3 * self.gflop, 0.05 * self.gflop);
+        let bytes = rng.normal_clamped(
+            self.bytes_touched,
+            0.3 * self.bytes_touched,
+            0.05 * self.bytes_touched,
+        );
+        Task::new(
+            format!("{}_{index}", self.name),
+            self.name,
+            ComputeCost::new(gflop, bytes, self.class),
+        )
+    }
+
+    /// Samples an output-edge payload size.
+    pub(crate) fn sample_out_bytes(&self, rng: &mut SimRng) -> f64 {
+        rng.normal_clamped(self.out_bytes, 0.3 * self.out_bytes, 0.05 * self.out_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_sampling_is_bounded_and_deterministic() {
+        let spec = StageSpec {
+            name: "stage",
+            class: KernelClass::Fft,
+            gflop: 100.0,
+            bytes_touched: 1e9,
+            out_bytes: 1e8,
+        };
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        let ta = spec.sample(0, &mut a);
+        let tb = spec.sample(0, &mut b);
+        assert_eq!(ta.cost().gflop(), tb.cost().gflop());
+        assert!(ta.cost().gflop() >= 5.0);
+        assert_eq!(ta.name(), "stage_0");
+        assert_eq!(ta.stage(), "stage");
+        let bytes = spec.sample_out_bytes(&mut a);
+        assert!(bytes >= 5e6);
+    }
+}

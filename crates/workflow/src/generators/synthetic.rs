@@ -1,0 +1,509 @@
+//! Synthetic DAG families for controlled parameter sweeps.
+
+use helios_platform::{ComputeCost, KernelClass, Platform, PlatformError};
+use helios_sim::SimRng;
+
+use crate::analysis;
+use crate::dag::{Workflow, WorkflowBuilder};
+use crate::error::WorkflowError;
+use crate::task::{Task, TaskId};
+
+use super::unify_product_sizes;
+
+/// Configuration for [`layered_random`].
+#[derive(Debug, Clone)]
+pub struct LayeredConfig {
+    /// Number of levels.
+    pub levels: usize,
+    /// Tasks per level.
+    pub width: usize,
+    /// Probability of an edge between a task and each task of the previous
+    /// level (each task is guaranteed at least one predecessor edge).
+    pub edge_prob: f64,
+    /// Mean work per task, GFLOP.
+    pub mean_gflop: f64,
+    /// Mean payload per edge, bytes.
+    pub mean_bytes: f64,
+    /// Draw each task's kernel class uniformly from this set.
+    pub classes: Vec<KernelClass>,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig {
+            levels: 10,
+            width: 10,
+            edge_prob: 0.3,
+            mean_gflop: 50.0,
+            mean_bytes: 10e6,
+            classes: vec![
+                KernelClass::DenseLinearAlgebra,
+                KernelClass::Fft,
+                KernelClass::Stencil,
+                KernelClass::Reduction,
+                KernelClass::BranchyScalar,
+            ],
+        }
+    }
+}
+
+fn sample_task(
+    name: String,
+    stage: &str,
+    mean_gflop: f64,
+    classes: &[KernelClass],
+    rng: &mut SimRng,
+) -> Task {
+    let class = *rng
+        .choose(classes)
+        .unwrap_or(&KernelClass::BranchyScalar);
+    let gflop = rng.normal_clamped(mean_gflop, 0.4 * mean_gflop, 0.05 * mean_gflop);
+    // Memory traffic proportional to work with intensity ~10 flop/byte.
+    let bytes = gflop * 1e9 / 10.0;
+    Task::new(name, stage, ComputeCost::new(gflop, bytes, class))
+}
+
+fn sample_bytes(mean: f64, rng: &mut SimRng) -> f64 {
+    rng.normal_clamped(mean, 0.4 * mean, 0.05 * mean)
+}
+
+/// A layered random DAG: `levels × width` tasks; each non-entry task draws
+/// edges from the previous level with probability `edge_prob` (at least
+/// one guaranteed).
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::InvalidParameter`] for zero dimensions or an
+/// `edge_prob` outside `[0, 1]`.
+pub fn layered_random(config: &LayeredConfig, seed: u64) -> Result<Workflow, WorkflowError> {
+    if config.levels == 0 || config.width == 0 {
+        return Err(WorkflowError::InvalidParameter(
+            "levels and width must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.edge_prob) {
+        return Err(WorkflowError::InvalidParameter(format!(
+            "edge_prob {} out of [0, 1]",
+            config.edge_prob
+        )));
+    }
+    if config.classes.is_empty() {
+        return Err(WorkflowError::InvalidParameter(
+            "classes must be non-empty".into(),
+        ));
+    }
+    let mut rng = SimRng::seed_from(seed);
+    let mut b = WorkflowBuilder::new(format!(
+        "layered-{}x{}",
+        config.levels, config.width
+    ));
+    let mut prev: Vec<TaskId> = Vec::new();
+    for level in 0..config.levels {
+        let current: Vec<TaskId> = (0..config.width)
+            .map(|i| {
+                b.add_task(sample_task(
+                    format!("l{level}_{i}"),
+                    "layer",
+                    config.mean_gflop,
+                    &config.classes,
+                    &mut rng,
+                ))
+            })
+            .collect();
+        if level > 0 {
+            for &t in &current {
+                let mut connected = false;
+                for &p in &prev {
+                    if rng.chance(config.edge_prob) {
+                        b.add_dep(p, t, sample_bytes(config.mean_bytes, &mut rng))?;
+                        connected = true;
+                    }
+                }
+                if !connected {
+                    let &p = rng.choose(&prev).expect("prev level is non-empty");
+                    b.add_dep(p, t, sample_bytes(config.mean_bytes, &mut rng))?;
+                }
+            }
+        }
+        prev = current;
+    }
+    unify_product_sizes(b.build()?)
+}
+
+/// A fork–join workflow: `stages` sequential phases, each forking into
+/// `branches` parallel tasks that re-join in a barrier task.
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::InvalidParameter`] for zero dimensions.
+pub fn fork_join(
+    stages: usize,
+    branches: usize,
+    mean_gflop: f64,
+    mean_bytes: f64,
+    seed: u64,
+) -> Result<Workflow, WorkflowError> {
+    if stages == 0 || branches == 0 {
+        return Err(WorkflowError::InvalidParameter(
+            "stages and branches must be positive".into(),
+        ));
+    }
+    let classes = [
+        KernelClass::DenseLinearAlgebra,
+        KernelClass::Stencil,
+        KernelClass::Reduction,
+    ];
+    let mut rng = SimRng::seed_from(seed);
+    let mut b = WorkflowBuilder::new(format!("forkjoin-{stages}x{branches}"));
+    let mut join = b.add_task(sample_task("src".into(), "join", mean_gflop, &classes, &mut rng));
+    for stage in 0..stages {
+        let forks: Vec<TaskId> = (0..branches)
+            .map(|i| {
+                b.add_task(sample_task(
+                    format!("s{stage}_b{i}"),
+                    "fork",
+                    mean_gflop,
+                    &classes,
+                    &mut rng,
+                ))
+            })
+            .collect();
+        let next_join = b.add_task(sample_task(
+            format!("join{stage}"),
+            "join",
+            mean_gflop,
+            &classes,
+            &mut rng,
+        ));
+        for &f in &forks {
+            b.add_dep(join, f, sample_bytes(mean_bytes, &mut rng))?;
+            b.add_dep(f, next_join, sample_bytes(mean_bytes, &mut rng))?;
+        }
+        join = next_join;
+    }
+    unify_product_sizes(b.build()?)
+}
+
+/// An in-tree (reduction tree): `fanin^depth` leaves reduce level by level
+/// to a single root.
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::InvalidParameter`] for `depth == 0` or
+/// `fanin < 2`.
+pub fn in_tree(
+    depth: usize,
+    fanin: usize,
+    mean_gflop: f64,
+    mean_bytes: f64,
+    seed: u64,
+) -> Result<Workflow, WorkflowError> {
+    if depth == 0 || fanin < 2 {
+        return Err(WorkflowError::InvalidParameter(
+            "depth must be positive and fanin >= 2".into(),
+        ));
+    }
+    let classes = [KernelClass::Reduction];
+    let mut rng = SimRng::seed_from(seed);
+    let mut b = WorkflowBuilder::new(format!("intree-d{depth}f{fanin}"));
+    let mut level: Vec<TaskId> = (0..fanin.pow(depth as u32))
+        .map(|i| {
+            b.add_task(sample_task(
+                format!("leaf{i}"),
+                "leaf",
+                mean_gflop,
+                &classes,
+                &mut rng,
+            ))
+        })
+        .collect();
+    let mut lvl = 0;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for (gi, group) in level.chunks(fanin).enumerate() {
+            let parent = b.add_task(sample_task(
+                format!("n{lvl}_{gi}"),
+                "reduce",
+                mean_gflop,
+                &classes,
+                &mut rng,
+            ));
+            for &child in group {
+                b.add_dep(child, parent, sample_bytes(mean_bytes, &mut rng))?;
+            }
+            next.push(parent);
+        }
+        level = next;
+        lvl += 1;
+    }
+    unify_product_sizes(b.build()?)
+}
+
+/// An out-tree (broadcast tree): mirror image of [`in_tree`].
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::InvalidParameter`] for `depth == 0` or
+/// `fanout < 2`.
+pub fn out_tree(
+    depth: usize,
+    fanout: usize,
+    mean_gflop: f64,
+    mean_bytes: f64,
+    seed: u64,
+) -> Result<Workflow, WorkflowError> {
+    if depth == 0 || fanout < 2 {
+        return Err(WorkflowError::InvalidParameter(
+            "depth must be positive and fanout >= 2".into(),
+        ));
+    }
+    let classes = [KernelClass::Stencil];
+    let mut rng = SimRng::seed_from(seed);
+    let mut b = WorkflowBuilder::new(format!("outtree-d{depth}f{fanout}"));
+    let root = b.add_task(sample_task("root".into(), "root", mean_gflop, &classes, &mut rng));
+    let mut level = vec![root];
+    for d in 0..depth {
+        let mut next = Vec::new();
+        for (pi, &parent) in level.iter().enumerate() {
+            for c in 0..fanout {
+                let child = b.add_task(sample_task(
+                    format!("n{d}_{pi}_{c}"),
+                    "spread",
+                    mean_gflop,
+                    &classes,
+                    &mut rng,
+                ));
+                b.add_dep(parent, child, sample_bytes(mean_bytes, &mut rng))?;
+                next.push(child);
+            }
+        }
+        level = next;
+    }
+    unify_product_sizes(b.build()?)
+}
+
+/// A linear chain of `n` tasks — the fully sequential worst case.
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::InvalidParameter`] for `n == 0`.
+pub fn chain(n: usize, mean_gflop: f64, mean_bytes: f64, seed: u64) -> Result<Workflow, WorkflowError> {
+    if n == 0 {
+        return Err(WorkflowError::InvalidParameter("n must be positive".into()));
+    }
+    let classes = [KernelClass::BranchyScalar, KernelClass::Fft];
+    let mut rng = SimRng::seed_from(seed);
+    let mut b = WorkflowBuilder::new(format!("chain-{n}"));
+    let mut prev: Option<TaskId> = None;
+    for i in 0..n {
+        let t = b.add_task(sample_task(
+            format!("c{i}"),
+            "chain",
+            mean_gflop,
+            &classes,
+            &mut rng,
+        ));
+        if let Some(p) = prev {
+            b.add_dep(p, t, sample_bytes(mean_bytes, &mut rng))?;
+        }
+        prev = Some(t);
+    }
+    unify_product_sizes(b.build()?)
+}
+
+/// The Gaussian-elimination task graph over an `m × m` block matrix:
+/// `m − 1` pivot steps, each followed by a shrinking wave of update tasks
+/// (`m(m+1)/2 − 1` tasks total).
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::InvalidParameter`] for `m < 2`.
+pub fn gaussian_elimination(
+    m: usize,
+    mean_gflop: f64,
+    mean_bytes: f64,
+    seed: u64,
+) -> Result<Workflow, WorkflowError> {
+    if m < 2 {
+        return Err(WorkflowError::InvalidParameter("m must be >= 2".into()));
+    }
+    let classes = [KernelClass::DenseLinearAlgebra];
+    let mut rng = SimRng::seed_from(seed);
+    let mut b = WorkflowBuilder::new(format!("gauss-{m}"));
+    // updates[j] = task that last updated column j.
+    let mut last_update: Vec<Option<TaskId>> = vec![None; m];
+    for k in 0..m - 1 {
+        let pivot = b.add_task(sample_task(
+            format!("piv{k}"),
+            "pivot",
+            mean_gflop,
+            &classes,
+            &mut rng,
+        ));
+        if let Some(prev) = last_update[k] {
+            b.add_dep(prev, pivot, sample_bytes(mean_bytes, &mut rng))?;
+        }
+        for j in k + 1..m {
+            let upd = b.add_task(sample_task(
+                format!("upd{k}_{j}"),
+                "update",
+                mean_gflop,
+                &classes,
+                &mut rng,
+            ));
+            b.add_dep(pivot, upd, sample_bytes(mean_bytes, &mut rng))?;
+            if let Some(prev) = last_update[j] {
+                b.add_dep(prev, upd, sample_bytes(mean_bytes, &mut rng))?;
+            }
+            last_update[j] = Some(upd);
+        }
+    }
+    unify_product_sizes(b.build()?)
+}
+
+/// Rescales every edge payload so the workflow's CCR on `platform`
+/// approximates `target_ccr`.
+///
+/// Uses two fixed-point iterations (link latencies make CCR slightly
+/// nonlinear in payload size); the result is typically within a few
+/// percent of the target.
+///
+/// # Errors
+///
+/// Returns [`WorkflowError::InvalidParameter`] for a non-positive target,
+/// or a wrapped platform error.
+pub fn scale_edges_to_ccr(
+    wf: &Workflow,
+    platform: &Platform,
+    target_ccr: f64,
+) -> Result<Workflow, WorkflowError> {
+    if !(target_ccr.is_finite() && target_ccr > 0.0) {
+        return Err(WorkflowError::InvalidParameter(format!(
+            "target_ccr must be positive, got {target_ccr}"
+        )));
+    }
+    let to_wf_err =
+        |e: PlatformError| WorkflowError::InvalidParameter(format!("platform error: {e}"));
+    let mut current = wf.clone();
+    for _ in 0..2 {
+        let now = analysis::ccr(&current, platform).map_err(to_wf_err)?;
+        if now == 0.0 {
+            return Err(WorkflowError::InvalidParameter(
+                "workflow has zero communication; cannot scale".into(),
+            ));
+        }
+        let factor = target_ccr / now;
+        let mut b = WorkflowBuilder::new(current.name().to_owned());
+        for t in current.tasks() {
+            b.add_task(t.clone());
+        }
+        for e in current.edges() {
+            b.add_dep(e.src, e.dst, e.bytes * factor)?;
+        }
+        current = b.build()?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_platform::presets;
+
+    #[test]
+    fn layered_random_shape() {
+        let cfg = LayeredConfig {
+            levels: 5,
+            width: 8,
+            ..LayeredConfig::default()
+        };
+        let wf = layered_random(&cfg, 3).unwrap();
+        assert_eq!(wf.num_tasks(), 40);
+        wf.validate().unwrap();
+        assert_eq!(analysis::depth(&wf), 5);
+        assert_eq!(analysis::width(&wf), 8);
+        // Every non-entry task has at least one predecessor.
+        assert_eq!(wf.entry_tasks().len(), 8);
+    }
+
+    #[test]
+    fn layered_random_rejects_bad_params() {
+        let mut cfg = LayeredConfig::default();
+        cfg.levels = 0;
+        assert!(layered_random(&cfg, 0).is_err());
+        let mut cfg = LayeredConfig::default();
+        cfg.edge_prob = 1.5;
+        assert!(layered_random(&cfg, 0).is_err());
+        let mut cfg = LayeredConfig::default();
+        cfg.classes.clear();
+        assert!(layered_random(&cfg, 0).is_err());
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let wf = fork_join(3, 4, 10.0, 1e6, 1).unwrap();
+        // 1 src + 3*(4+1) = 16 tasks.
+        assert_eq!(wf.num_tasks(), 16);
+        assert_eq!(wf.entry_tasks().len(), 1);
+        assert_eq!(wf.exit_tasks().len(), 1);
+        assert_eq!(analysis::depth(&wf), 7);
+        assert!(fork_join(0, 2, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn trees() {
+        let itree = in_tree(3, 2, 5.0, 1e6, 1).unwrap();
+        assert_eq!(itree.num_tasks(), 8 + 4 + 2 + 1);
+        assert_eq!(itree.exit_tasks().len(), 1);
+        assert_eq!(itree.entry_tasks().len(), 8);
+        let otree = out_tree(3, 2, 5.0, 1e6, 1).unwrap();
+        assert_eq!(otree.num_tasks(), 1 + 2 + 4 + 8);
+        assert_eq!(otree.entry_tasks().len(), 1);
+        assert_eq!(otree.exit_tasks().len(), 8);
+        assert!(in_tree(0, 2, 1.0, 1.0, 0).is_err());
+        assert!(out_tree(3, 1, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn chain_is_sequential() {
+        let wf = chain(10, 5.0, 1e6, 1).unwrap();
+        assert_eq!(wf.num_tasks(), 10);
+        assert_eq!(analysis::depth(&wf), 10);
+        assert_eq!(analysis::width(&wf), 1);
+        assert!(chain(0, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn gaussian_elimination_shape() {
+        let wf = gaussian_elimination(5, 10.0, 1e6, 1).unwrap();
+        // m(m+1)/2 - 1 = 14 tasks for m = 5.
+        assert_eq!(wf.num_tasks(), 14);
+        wf.validate().unwrap();
+        // Strictly sequential pivots: depth grows ~2m.
+        assert!(analysis::depth(&wf) >= 5);
+        assert!(gaussian_elimination(1, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn ccr_scaling_hits_target() {
+        let platform = presets::hpc_node();
+        let cfg = LayeredConfig::default();
+        let wf = layered_random(&cfg, 11).unwrap();
+        for target in [0.1, 1.0, 5.0] {
+            let scaled = scale_edges_to_ccr(&wf, &platform, target).unwrap();
+            let got = analysis::ccr(&scaled, &platform).unwrap();
+            assert!(
+                (got - target).abs() / target < 0.05,
+                "target {target}, got {got}"
+            );
+        }
+        assert!(scale_edges_to_ccr(&wf, &platform, 0.0).is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = LayeredConfig::default();
+        assert_eq!(layered_random(&cfg, 9).unwrap(), layered_random(&cfg, 9).unwrap());
+        assert_ne!(layered_random(&cfg, 9).unwrap(), layered_random(&cfg, 10).unwrap());
+    }
+}

@@ -1,0 +1,188 @@
+//! Workflow serialization: JSON round-trips and Graphviz DOT export.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{DataDep, Workflow, WorkflowBuilder};
+use crate::error::WorkflowError;
+use crate::task::Task;
+
+/// Errors from reading or writing workflow files.
+#[derive(Debug)]
+pub enum WorkflowIoError {
+    /// The JSON was syntactically invalid.
+    Json(serde_json::Error),
+    /// The decoded workflow violated a DAG invariant.
+    Invalid(WorkflowError),
+}
+
+impl fmt::Display for WorkflowIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowIoError::Json(e) => write!(f, "malformed workflow JSON: {e}"),
+            WorkflowIoError::Invalid(e) => write!(f, "invalid workflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkflowIoError::Json(e) => Some(e),
+            WorkflowIoError::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl From<serde_json::Error> for WorkflowIoError {
+    fn from(e: serde_json::Error) -> Self {
+        WorkflowIoError::Json(e)
+    }
+}
+
+impl From<WorkflowError> for WorkflowIoError {
+    fn from(e: WorkflowError) -> Self {
+        WorkflowIoError::Invalid(e)
+    }
+}
+
+/// The on-disk shape of a workflow (adjacency is rebuilt on load).
+#[derive(Debug, Serialize, Deserialize)]
+struct WorkflowSpec {
+    name: String,
+    tasks: Vec<Task>,
+    edges: Vec<DataDep>,
+}
+
+/// Serializes `wf` to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`WorkflowIoError::Json`] if serialization fails (it cannot for
+/// valid workflows).
+pub fn to_json(wf: &Workflow) -> Result<String, WorkflowIoError> {
+    let spec = WorkflowSpec {
+        name: wf.name().to_owned(),
+        tasks: wf.tasks().to_vec(),
+        edges: wf.edges().to_vec(),
+    };
+    Ok(serde_json::to_string_pretty(&spec)?)
+}
+
+/// Parses a workflow from JSON produced by [`to_json`] (or written by
+/// hand), re-validating every DAG invariant.
+///
+/// # Errors
+///
+/// Returns [`WorkflowIoError::Json`] for malformed JSON or
+/// [`WorkflowIoError::Invalid`] for a structurally invalid workflow
+/// (cycles, dangling task references, duplicate edges).
+pub fn from_json(json: &str) -> Result<Workflow, WorkflowIoError> {
+    let spec: WorkflowSpec = serde_json::from_str(json)?;
+    let mut b = WorkflowBuilder::new(spec.name);
+    for t in spec.tasks {
+        b.add_task(t);
+    }
+    for e in spec.edges {
+        b.add_dep(e.src, e.dst, e.bytes)?;
+    }
+    Ok(b.build()?)
+}
+
+/// Renders the workflow as a Graphviz `digraph`, one node per task
+/// (labelled with name and kernel class) and one edge per dependency
+/// (labelled with megabytes).
+#[must_use]
+pub fn to_dot(wf: &Workflow) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", wf.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (i, t) in wf.tasks().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  t{i} [label=\"{}\\n{} ({:.1} Gflop)\"];",
+            t.name(),
+            t.cost().kernel_class(),
+            t.cost().gflop()
+        );
+    }
+    for e in wf.edges() {
+        let _ = writeln!(
+            out,
+            "  t{} -> t{} [label=\"{:.1} MB\"];",
+            e.src.0,
+            e.dst.0,
+            e.bytes / 1e6
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::montage;
+
+    #[test]
+    fn json_roundtrip_preserves_workflow() {
+        let wf = montage(50, 5).unwrap();
+        let json = to_json(&wf).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(wf, back);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            from_json("{not json"),
+            Err(WorkflowIoError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_json_rejected() {
+        let json = r#"{
+            "name": "cyc",
+            "tasks": [
+                {"name": "a", "stage": "s",
+                 "cost": {"gflop": 1.0, "bytes_touched": 0.0,
+                          "kernel_class": "Fft"}},
+                {"name": "b", "stage": "s",
+                 "cost": {"gflop": 1.0, "bytes_touched": 0.0,
+                          "kernel_class": "Fft"}}
+            ],
+            "edges": [
+                {"src": 0, "dst": 1, "bytes": 1.0},
+                {"src": 1, "dst": 0, "bytes": 1.0}
+            ]
+        }"#;
+        assert!(matches!(
+            from_json(json),
+            Err(WorkflowIoError::Invalid(WorkflowError::Cycle(_)))
+        ));
+    }
+
+    #[test]
+    fn dot_mentions_every_task_and_edge() {
+        let wf = montage(20, 1).unwrap();
+        let dot = to_dot(&wf);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches(" -> ").count(), wf.num_edges());
+        for i in 0..wf.num_tasks() {
+            assert!(dot.contains(&format!("t{i} ")), "missing node t{i}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = from_json("{").unwrap_err();
+        assert!(e.to_string().contains("malformed"));
+        let src = std::error::Error::source(&e);
+        assert!(src.is_some());
+    }
+}

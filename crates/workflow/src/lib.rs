@@ -1,0 +1,39 @@
+//! Scientific workflow DAG model and generators for the `helios` workspace.
+//!
+//! A [`Workflow`] is a directed acyclic graph of [`Task`]s (typed by
+//! [`KernelClass`](helios_platform::KernelClass) and sized in GFLOP) joined
+//! by [`DataDep`] edges (sized in bytes). The crate provides:
+//!
+//! * the validated DAG container itself ([`Workflow`], [`WorkflowBuilder`]),
+//! * structural [`analysis`] — topological order, critical path, top/bottom
+//!   levels, width, communication-to-computation ratio,
+//! * [`generators`] for the five classic scientific discovery workflows
+//!   (Montage, CyberShake, Epigenomics, LIGO Inspiral, SIPHT) and synthetic
+//!   DAG families (layered random, fork–join, Gaussian elimination, trees,
+//!   chains),
+//! * JSON and Graphviz DOT [`io`].
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_workflow::generators::montage;
+//!
+//! let wf = montage(50, 42)?;
+//! assert!(wf.num_tasks() >= 50);
+//! assert!(wf.validate().is_ok());
+//! # Ok::<(), helios_workflow::WorkflowError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod dag;
+mod error;
+pub mod generators;
+pub mod io;
+mod task;
+
+pub use dag::{DataDep, EdgeId, Workflow, WorkflowBuilder};
+pub use error::WorkflowError;
+pub use task::{Task, TaskId};

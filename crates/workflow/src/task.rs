@@ -1,0 +1,147 @@
+//! Workflow tasks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use helios_platform::ComputeCost;
+
+/// Index of a task within its [`Workflow`](crate::Workflow).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One node of a scientific workflow: a named unit of computation.
+///
+/// The task's `stage` groups tasks that play the same role (e.g. every
+/// `mProject` instance in a Montage run); reports aggregate by stage.
+///
+/// # Examples
+///
+/// ```
+/// use helios_platform::{ComputeCost, KernelClass};
+/// use helios_workflow::Task;
+///
+/// let t = Task::new("mProject_0", "mProject",
+///                   ComputeCost::new(12.0, 3e8, KernelClass::Stencil));
+/// assert_eq!(t.stage(), "mProject");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    name: String,
+    stage: String,
+    cost: ComputeCost,
+    #[serde(default)]
+    required_trust: u8,
+}
+
+impl Task {
+    /// Creates a task named `name` belonging to pipeline stage `stage`,
+    /// performing `cost` work.
+    #[must_use]
+    pub fn new(name: impl Into<String>, stage: impl Into<String>, cost: ComputeCost) -> Task {
+        Task {
+            name: name.into(),
+            stage: stage.into(),
+            cost,
+            required_trust: 0,
+        }
+    }
+
+    /// Returns a copy requiring devices of at least the given trust
+    /// level (clamped to [`MAX_TRUST`](helios_platform::Device::MAX_TRUST)
+    /// by placement). Tasks handling raw instrument data or credentials
+    /// must not run on untrusted third-party components.
+    #[must_use]
+    pub fn with_required_trust(mut self, level: u8) -> Task {
+        self.required_trust = level;
+        self
+    }
+
+    /// Minimum device trust level this task accepts (0 = runs anywhere).
+    #[must_use]
+    pub fn required_trust(&self) -> u8 {
+        self.required_trust
+    }
+
+    /// The task's unique name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pipeline stage this task belongs to.
+    #[must_use]
+    pub fn stage(&self) -> &str {
+        &self.stage
+    }
+
+    /// The task's compute cost.
+    #[must_use]
+    pub fn cost(&self) -> &ComputeCost {
+        &self.cost
+    }
+
+    /// Returns a copy with the compute cost replaced (used by workload
+    /// perturbation in online-scheduling experiments).
+    #[must_use]
+    pub fn with_cost(&self, cost: ComputeCost) -> Task {
+        Task {
+            name: self.name.clone(),
+            stage: self.stage.clone(),
+            cost,
+            required_trust: self.required_trust,
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {:.2} Gflop ({})",
+            self.name,
+            self.stage,
+            self.cost.gflop(),
+            self.cost.kernel_class()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_platform::KernelClass;
+
+    #[test]
+    fn accessors() {
+        let c = ComputeCost::new(1.0, 2.0, KernelClass::Fft);
+        let t = Task::new("a", "s", c);
+        assert_eq!(t.name(), "a");
+        assert_eq!(t.stage(), "s");
+        assert_eq!(t.cost().gflop(), 1.0);
+    }
+
+    #[test]
+    fn with_cost_replaces_only_cost() {
+        let t = Task::new("a", "s", ComputeCost::new(1.0, 0.0, KernelClass::Fft));
+        let t2 = t.with_cost(ComputeCost::new(9.0, 0.0, KernelClass::Fft));
+        assert_eq!(t2.name(), "a");
+        assert_eq!(t2.cost().gflop(), 9.0);
+        assert_eq!(t.cost().gflop(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_class() {
+        let t = Task::new("a", "s", ComputeCost::new(1.0, 0.0, KernelClass::NBody));
+        assert!(t.to_string().contains("nbody"));
+        assert_eq!(TaskId(4).to_string(), "t4");
+    }
+}

@@ -1,0 +1,81 @@
+//! A discovery campaign: an ensemble of heterogeneous workflows sharing
+//! one HPC node.
+//!
+//! Three workflows arrive over time — a LIGO inspiral search already
+//! running, then an urgent CyberShake hazard assessment, then a Montage
+//! mosaic batch. The example compares the three arbitration policies
+//! (FIFO, priority, fair share) on per-member turnaround, then plans the
+//! Montage member under an energy budget for the battery-backed window.
+//!
+//! ```sh
+//! cargo run --release --example discovery_campaign
+//! ```
+
+use helios::core::{EngineConfig, EnsembleMember, EnsemblePolicy, EnsembleRunner};
+use helios::energy::{account, plan_within_budget};
+use helios::platform::presets;
+use helios::sched::{HeftScheduler, Scheduler};
+use helios::sim::SimTime;
+use helios::workflow::generators::{cybershake, ligo_inspiral, montage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let members = [
+        EnsembleMember {
+            workflow: ligo_inspiral(120, 1)?,
+            arrival: SimTime::ZERO,
+            priority: 1.0,
+        },
+        EnsembleMember {
+            workflow: cybershake(120, 2)?,
+            arrival: SimTime::from_secs(0.2),
+            priority: 10.0, // urgent hazard assessment
+        },
+        EnsembleMember {
+            workflow: montage(120, 3)?,
+            arrival: SimTime::from_secs(0.4),
+            priority: 0.5,
+        },
+    ];
+    println!("campaign: 3 workflows on {platform}\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>12}",
+        "policy", "ligo t/a (s)", "cyber t/a (s)", "montage t/a", "makespan"
+    );
+    for policy in [
+        EnsemblePolicy::Fifo,
+        EnsemblePolicy::Priority,
+        EnsemblePolicy::FairShare,
+    ] {
+        let report =
+            EnsembleRunner::new(EngineConfig::default(), policy).run(&platform, &members)?;
+        println!(
+            "{:>12} {:>14.4} {:>14.4} {:>14.4} {:>12.4}",
+            policy.as_str(),
+            report.members[0].turnaround.as_secs(),
+            report.members[1].turnaround.as_secs(),
+            report.members[2].turnaround.as_secs(),
+            report.makespan.as_secs()
+        );
+    }
+
+    // Overnight window: the Montage batch must fit an energy budget.
+    let wf = &members[2].workflow;
+    let heft = HeftScheduler::default().schedule(wf, &platform)?;
+    let unconstrained = account(&heft, wf, &platform, false)?.active_j;
+    println!("\nMontage active energy, unconstrained: {unconstrained:.1} J");
+    for frac in [0.9, 0.8, 0.7] {
+        match plan_within_budget(wf, &platform, unconstrained * frac, 2.0)? {
+            Some(plan) => println!(
+                "  budget {:.1} J -> makespan {:.4}s (alpha {:.1}, deadline x{:.1}, {:.1} J)",
+                unconstrained * frac,
+                plan.makespan_secs,
+                plan.alpha,
+                plan.deadline_factor,
+                plan.active_j
+            ),
+            None => println!("  budget {:.1} J -> infeasible", unconstrained * frac),
+        }
+    }
+    Ok(())
+}

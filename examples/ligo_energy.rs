@@ -1,0 +1,76 @@
+//! Energy-aware orchestration of a LIGO Inspiral search.
+//!
+//! Compares three energy strategies on the same workflow and platform:
+//!
+//! 1. plain HEFT (performance-first),
+//! 2. energy-aware HEFT (device choice trades time vs. energy),
+//! 3. HEFT + DVFS slack reclamation against a relaxed deadline,
+//!
+//! and reports makespan, energy and energy-delay product for each.
+//!
+//! ```sh
+//! cargo run --release --example ligo_energy
+//! ```
+
+use helios::energy::{account, reclaim_slack, EnergyAwareHeft};
+use helios::platform::presets;
+use helios::sched::{HeftScheduler, Schedule, Scheduler};
+use helios::sim::SimTime;
+use helios::workflow::generators::ligo_inspiral;
+use helios::workflow::Workflow;
+
+fn row(
+    label: &str,
+    schedule: &Schedule,
+    wf: &Workflow,
+    platform: &helios::platform::Platform,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let e = account(schedule, wf, platform, false)?;
+    println!(
+        "{label:<28} {:>10.4}s {:>12.1} J {:>14.2} J·s",
+        schedule.makespan().as_secs(),
+        e.total_j(),
+        e.edp()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = presets::hpc_node();
+    let wf = ligo_inspiral(200, 7)?;
+    println!("workflow: {wf}\nplatform: {platform}\n");
+    println!(
+        "{:<28} {:>11} {:>14} {:>16}",
+        "strategy", "makespan", "energy", "EDP"
+    );
+
+    // 1. Performance-first baseline.
+    let heft = HeftScheduler::default().schedule(&wf, &platform)?;
+    row("heft", &heft, &wf, &platform)?;
+
+    // 2. Energy-aware device selection at several trade-off points.
+    for alpha in [0.7, 0.5, 0.3] {
+        let ea = EnergyAwareHeft::new(alpha).schedule(&wf, &platform)?;
+        ea.validate(&wf, &platform)?;
+        row(&format!("ea-heft(alpha={alpha})"), &ea, &wf, &platform)?;
+    }
+
+    // 3. DVFS slack reclamation: accept 20% / 50% longer deadlines.
+    for slack in [1.2, 1.5] {
+        let deadline = SimTime::ZERO + heft.makespan() * slack;
+        let reclaimed = reclaim_slack(&heft, &wf, &platform, deadline)?;
+        reclaimed.validate(&wf, &platform)?;
+        row(
+            &format!("heft+slack(deadline={slack}x)"),
+            &reclaimed,
+            &wf,
+            &platform,
+        )?;
+    }
+
+    println!(
+        "\nLower EDP is better; slack reclamation trades deadline headroom \
+         for voltage/frequency reductions on non-critical tasks."
+    );
+    Ok(())
+}

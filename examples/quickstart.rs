@@ -1,0 +1,53 @@
+//! Quickstart: build a platform, generate a scientific workflow,
+//! schedule it with HEFT, execute it, and print the realized Gantt chart.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use helios::core::{Engine, EngineConfig};
+use helios::platform::presets;
+use helios::sched::{metrics::ScheduleMetrics, HeftScheduler, Scheduler};
+use helios::workflow::{analysis::WorkflowStats, generators::montage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A heterogeneous platform: 2 CPUs, 4 GPUs, FPGA, ML ASIC.
+    let platform = presets::hpc_node();
+    println!("platform: {platform}");
+
+    // 2. A Montage astronomy mosaic with ~50 tasks.
+    let wf = montage(50, 42)?;
+    let stats = WorkflowStats::compute(&wf, &platform)?;
+    println!(
+        "workflow: {wf}\n  depth {} | width {} | CCR {:.3} | critical path {:.4}s",
+        stats.depth, stats.width, stats.ccr, stats.cp_seconds
+    );
+
+    // 3. Plan with HEFT.
+    let scheduler = HeftScheduler::default();
+    let plan = scheduler.schedule(&wf, &platform)?;
+    plan.validate(&wf, &platform)?;
+    let m = ScheduleMetrics::compute(&plan, &wf, &platform)?;
+    println!(
+        "plan ({}): makespan {:.4}s | SLR {:.2} | speedup {:.2} | efficiency {:.2}",
+        scheduler.name(),
+        m.makespan_secs,
+        m.slr,
+        m.speedup,
+        m.efficiency
+    );
+
+    // 4. Execute the plan in the engine (ideal conditions).
+    let report = Engine::new(EngineConfig::default()).execute_plan(&platform, &wf, &plan)?;
+    println!(
+        "run: makespan {:.4}s | energy {:.1} J | {} transfers ({:.1} MB)",
+        report.makespan().as_secs(),
+        report.energy().total_j(),
+        report.transfers().count,
+        report.transfers().bytes / 1e6
+    );
+
+    // 5. The realized schedule, device by device.
+    println!("\nGantt:\n{}", report.gantt(&wf, &platform));
+    Ok(())
+}

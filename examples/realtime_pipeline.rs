@@ -1,0 +1,125 @@
+//! Schedulability analysis of a mixed-criticality sensing pipeline on an
+//! embedded heterogeneous SoC.
+//!
+//! A discovery instrument runs periodic acquisition, filtering and
+//! inference tasks beside a safety monitor. This example walks the
+//! real-time toolbox: utilization bounds, exact response-time analysis,
+//! elastic degradation under overload, mixed-criticality certification,
+//! and federated allocation of a parallel DAG task.
+//!
+//! ```sh
+//! cargo run --release --example realtime_pipeline
+//! ```
+
+use helios::rt::{
+    analysis, federated_test, Criticality, DagTask, ElasticTask, MixedCriticalityTask,
+    PeriodicTask,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The periodic pipeline -------------------------------------
+    let tasks = vec![
+        PeriodicTask::new(2.0, 10.0)?,  // sensor acquisition
+        PeriodicTask::new(6.0, 40.0)?,  // DSP filtering
+        PeriodicTask::new(18.0, 80.0)?, // NPU inference
+        PeriodicTask::new(1.0, 5.0)?,   // watchdog
+    ];
+    let u = analysis::total_utilization(&tasks);
+    println!("pipeline utilization U = {u:.3}");
+    println!(
+        "  Liu-Layland bound ({} tasks): {:.3} -> {}",
+        tasks.len(),
+        analysis::rm_utilization_bound(tasks.len()),
+        if analysis::rm_utilization_test(&tasks) {
+            "schedulable by bound"
+        } else {
+            "bound inconclusive"
+        }
+    );
+    println!(
+        "  hyperbolic test: {}",
+        if analysis::hyperbolic_test(&tasks) { "pass" } else { "inconclusive" }
+    );
+    match analysis::rta_fixed_priority(&tasks)? {
+        Some(resp) => {
+            println!("  exact RTA: schedulable; response times:");
+            for (t, r) in tasks.iter().zip(&resp) {
+                println!(
+                    "    C={:<4} T={:<5} -> R = {r:.1} (deadline {})",
+                    t.wcet(),
+                    t.period(),
+                    t.deadline()
+                );
+            }
+        }
+        None => println!("  exact RTA: NOT schedulable"),
+    }
+
+    // --- 2. Overload handled elastically ------------------------------
+    println!("\nscience burst doubles the inference rate; compressing elastically:");
+    let elastic = vec![
+        ElasticTask::new(2.0, 10.0, 20.0, 1.0)?,
+        ElasticTask::new(6.0, 40.0, 80.0, 1.0)?,
+        ElasticTask::new(18.0, 40.0, 160.0, 3.0)?, // burst-rate inference
+        ElasticTask::new(1.0, 5.0, 5.0, 0.0)?,     // watchdog is rigid
+    ];
+    let nominal: f64 = elastic.iter().map(ElasticTask::nominal_utilization).sum();
+    match analysis::elastic_compress(&elastic, 0.75)? {
+        Some(periods) => {
+            println!("  nominal U = {nominal:.3} compressed to <= 0.75; new periods:");
+            for (t, p) in elastic.iter().zip(&periods) {
+                println!(
+                    "    C={:<4} [{} .. {}] -> T = {p:.1}",
+                    t.wcet(),
+                    t.period_min(),
+                    t.period_max()
+                );
+            }
+        }
+        None => println!("  cannot compress into budget"),
+    }
+
+    // --- 3. Mixed-criticality certification ---------------------------
+    let mc = vec![
+        MixedCriticalityTask::new(1.0, 2.5, 10.0, 10.0, Criticality::Hi)?, // safety monitor
+        MixedCriticalityTask::new(2.0, 2.0, 10.0, 10.0, Criticality::Lo)?, // telemetry
+        MixedCriticalityTask::new(4.0, 9.0, 40.0, 40.0, Criticality::Hi)?, // actuator control
+    ];
+    println!(
+        "\nAMC-rtb mixed-criticality test: {}",
+        if analysis::amc_rtb_test(&mc) {
+            "certified (LO mode + mode switch both safe)"
+        } else {
+            "REJECTED"
+        }
+    );
+
+    // --- 4. A parallel DAG job on the multicore cluster ---------------
+    // Fork-join inference graph: prepare -> 10 parallel tiles -> merge.
+    let mut edges = Vec::new();
+    for i in 1..=10 {
+        edges.push((0, i));
+        edges.push((i, 11));
+    }
+    let dag = DagTask::new(vec![1.0; 12], edges, 6.0, 6.0)?;
+    println!(
+        "\nparallel inference DAG: volume {} span {} -> heavy: {}, needs {} dedicated cores",
+        dag.volume(),
+        dag.span(),
+        dag.is_heavy(),
+        dag.federated_cores()
+    );
+    for m in [2, 3, 4] {
+        println!(
+            "  federated test on {m} cores (with a 0.25-utilization light task): {}",
+            federated_test(
+                &[
+                    dag.clone(),
+                    DagTask::new(vec![1.0], vec![], 4.0, 4.0)?,
+                ],
+                m
+            )
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # helios — heterogeneous computing systems for complex scientific discovery workflows
+//!
+//! `helios` is an umbrella crate that re-exports the full workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `helios-sim` | discrete-event kernel, RNG, statistics |
+//! | [`platform`] | `helios-platform` | heterogeneous devices, DVFS, power, interconnects |
+//! | [`workflow`] | `helios-workflow` | scientific workflow DAGs and generators |
+//! | [`sched`] | `helios-sched` | static and dynamic scheduling algorithms |
+//! | [`energy`] | `helios-energy` | DVFS governors, slack reclamation, sleep states |
+//! | [`rt`] | `helios-rt` | real-time task models and schedulability analysis |
+//! | [`core`] | `helios-core` | the orchestration engine (simulated + threaded) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use helios::platform::presets;
+//! use helios::workflow::generators::montage;
+//! use helios::sched::HeftScheduler;
+//! use helios::core::{Engine, EngineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = presets::hpc_node();
+//! let workflow = montage(50, 7)?;
+//! let report = Engine::new(EngineConfig::default())
+//!     .run(&platform, &workflow, &HeftScheduler::default())?;
+//! println!("makespan = {}", report.makespan());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use helios_core as core;
+pub use helios_energy as energy;
+pub use helios_platform as platform;
+pub use helios_rt as rt;
+pub use helios_sched as sched;
+pub use helios_sim as sim;
+pub use helios_workflow as workflow;

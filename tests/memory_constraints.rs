@@ -1,0 +1,115 @@
+//! Memory-capacity feasibility: tasks whose working sets exceed a
+//! device's memory must never be placed there, by any scheduler or the
+//! online dispatcher.
+
+use helios::core::{EngineConfig, OnlinePolicy, OnlineRunner};
+use helios::platform::{presets, ComputeCost, KernelClass};
+use helios::sched::{all_schedulers, SchedError};
+use helios::workflow::{Task, WorkflowBuilder};
+
+/// A workflow whose tasks touch 1.5 GB each: on the edge SoC this rules
+/// out the 1 GB NPU but fits the 2 GB DSP and 4 GB CPU.
+fn big_footprint_wf() -> helios::workflow::Workflow {
+    let mut b = WorkflowBuilder::new("big");
+    let cost = ComputeCost::new(5.0, 1.5e9, KernelClass::Fft);
+    let mut prev = None;
+    for i in 0..12 {
+        let t = b.add_task(Task::new(format!("t{i}"), "s", cost));
+        if let Some(p) = prev {
+            b.add_dep(p, t, 1e6).unwrap();
+        }
+        if i % 3 != 2 {
+            prev = Some(t);
+        } else {
+            prev = None;
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn no_scheduler_places_oversized_tasks_on_the_npu() {
+    let platform = presets::edge_soc();
+    let npu = platform.device_by_name("npu0").unwrap().id();
+    let wf = big_footprint_wf();
+    for scheduler in all_schedulers() {
+        let plan = scheduler
+            .schedule(&wf, &platform)
+            .unwrap_or_else(|e| panic!("{}: {e}", scheduler.name()));
+        plan.validate(&wf, &platform)
+            .unwrap_or_else(|e| panic!("{}: {e}", scheduler.name()));
+        for p in plan.placements() {
+            assert_ne!(
+                p.device,
+                npu,
+                "{} placed an oversized task on the 1 GB NPU",
+                scheduler.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn online_dispatcher_respects_memory() {
+    let platform = presets::edge_soc();
+    let npu = platform.device_by_name("npu0").unwrap().id();
+    let wf = big_footprint_wf();
+    for policy in [OnlinePolicy::Jit, OnlinePolicy::RankedJit] {
+        let report = OnlineRunner::new(EngineConfig::default(), policy)
+            .run(&platform, &wf)
+            .unwrap();
+        for p in report.schedule().placements() {
+            assert_ne!(p.device, npu, "{policy:?} used the NPU");
+        }
+    }
+}
+
+#[test]
+fn infeasible_everywhere_is_a_clean_error() {
+    let platform = presets::edge_soc(); // largest device: 4 GB
+    let mut b = WorkflowBuilder::new("monster");
+    b.add_task(Task::new(
+        "huge",
+        "s",
+        ComputeCost::new(1.0, 100e9, KernelClass::Reduction),
+    ));
+    let wf = b.build().unwrap();
+    for scheduler in all_schedulers() {
+        match scheduler.schedule(&wf, &platform) {
+            Err(SchedError::NoFeasibleDevice(_)) => {}
+            other => panic!("{}: expected NoFeasibleDevice, got {other:?}", scheduler.name()),
+        }
+    }
+}
+
+#[test]
+fn validate_rejects_oversized_placements() {
+    use helios::platform::DvfsLevel;
+    use helios::sched::{Placement, Schedule};
+    use helios::sim::SimTime;
+    use helios::workflow::TaskId;
+
+    let platform = presets::edge_soc();
+    let npu = platform.device_by_name("npu0").unwrap().id();
+    let wf = big_footprint_wf();
+    // Hand-build a schedule that crams task 0 onto the NPU.
+    let mut placements = Vec::new();
+    for i in 0..wf.num_tasks() {
+        placements.push(Placement {
+            task: TaskId(i),
+            device: if i == 0 {
+                npu
+            } else {
+                platform.device_by_name("cpu0").unwrap().id()
+            },
+            level: DvfsLevel(2),
+            start: SimTime::from_secs(i as f64 * 100.0),
+            finish: SimTime::from_secs(i as f64 * 100.0 + 99.0),
+        });
+    }
+    let schedule = Schedule::new(placements).unwrap();
+    assert!(matches!(
+        schedule.validate(&wf, &platform),
+        Err(SchedError::NoFeasibleDevice(TaskId(0)))
+    ));
+}

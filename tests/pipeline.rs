@@ -1,0 +1,109 @@
+//! End-to-end integration: every scheduler × every workflow family ×
+//! every platform preset, planned, validated, executed and accounted.
+
+use helios::core::{Engine, EngineConfig};
+use helios::energy::account;
+use helios::platform::presets;
+use helios::sched::{all_schedulers, metrics::ScheduleMetrics};
+use helios::workflow::generators::WorkflowClass;
+
+#[test]
+fn full_matrix_plans_validate_and_execute() {
+    let platforms = [presets::workstation(), presets::hpc_node(), presets::edge_soc()];
+    for platform in &platforms {
+        for class in WorkflowClass::ALL {
+            let wf = class.generate(40, 11).unwrap();
+            for scheduler in all_schedulers() {
+                let plan = scheduler
+                    .schedule(&wf, platform)
+                    .unwrap_or_else(|e| panic!("{}/{class}/{}: {e}", scheduler.name(), platform.name()));
+                plan.validate(&wf, platform).unwrap_or_else(|e| {
+                    panic!("{}/{class}/{}: invalid plan: {e}", scheduler.name(), platform.name())
+                });
+                let report = Engine::new(EngineConfig::default())
+                    .execute_plan(platform, &wf, &plan)
+                    .unwrap_or_else(|e| {
+                        panic!("{}/{class}/{}: execution: {e}", scheduler.name(), platform.name())
+                    });
+                // Ideal execution reproduces the plan makespan.
+                let diff = (report.makespan().as_secs() - plan.makespan().as_secs()).abs();
+                assert!(
+                    diff < 1e-9 * plan.makespan().as_secs().max(1.0),
+                    "{}/{class}: realized {} vs planned {}",
+                    scheduler.name(),
+                    report.makespan(),
+                    plan.makespan()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_rank_schedulers_sanely() {
+    // Averaged over seeds, HEFT-family SLR must beat the random baseline
+    // and stay above the theoretical lower bound.
+    let platform = presets::hpc_node();
+    let mut heft_slr = 0.0;
+    let mut random_slr = 0.0;
+    let runs = 10;
+    for seed in 0..runs {
+        let wf = WorkflowClass::Montage.generate(80, seed).unwrap();
+        let schedulers = all_schedulers();
+        for s in &schedulers {
+            let plan = s.schedule(&wf, &platform).unwrap();
+            let m = ScheduleMetrics::compute(&plan, &wf, &platform).unwrap();
+            assert!(m.slr > 0.3, "{}: SLR {} below plausible bound", s.name(), m.slr);
+            match s.name() {
+                "heft" => heft_slr += m.slr,
+                "random" => random_slr += m.slr,
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        heft_slr < random_slr,
+        "HEFT mean SLR {} must beat random {}",
+        heft_slr / runs as f64,
+        random_slr / runs as f64
+    );
+}
+
+#[test]
+fn energy_accounting_consistent_across_crates() {
+    let platform = presets::hpc_node();
+    let wf = WorkflowClass::LigoInspiral.generate(60, 3).unwrap();
+    for scheduler in all_schedulers() {
+        let plan = scheduler.schedule(&wf, &platform).unwrap();
+        let report = Engine::new(EngineConfig::default())
+            .execute_plan(&platform, &wf, &plan)
+            .unwrap();
+        // The engine's embedded energy report must match a fresh
+        // accounting of the realized schedule.
+        let fresh = account(report.schedule(), &wf, &platform, false).unwrap();
+        assert_eq!(report.energy(), &fresh, "{}", scheduler.name());
+        assert!(fresh.total_j() > 0.0);
+        assert!(fresh.edp() > 0.0);
+    }
+}
+
+#[test]
+fn cluster_scales_down_makespan() {
+    // More nodes => shorter makespan for a wide workflow (until width
+    // saturates), never longer.
+    let wf = WorkflowClass::CyberShake.generate(120, 5).unwrap();
+    let mut last = f64::INFINITY;
+    for nodes in [1, 2, 4, 8] {
+        let platform = presets::cluster(nodes);
+        let scheduler = helios::sched::HeftScheduler::default();
+        let report = Engine::new(EngineConfig::default())
+            .run(&platform, &wf, &scheduler)
+            .unwrap();
+        let m = report.makespan().as_secs();
+        assert!(
+            m <= last * 1.05,
+            "{nodes} nodes: {m} should not regress past {last}"
+        );
+        last = m;
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based invariants spanning the workspace: random DAGs and
+//! platforms in, structural guarantees out.
+
+use proptest::prelude::*;
+
+use helios::platform::presets;
+use helios::sched::{
+    metrics, HeftScheduler, MinMinScheduler, PeftScheduler, Scheduler,
+};
+use helios::sim::{EventQueue, SimTime};
+use helios::workflow::analysis;
+use helios::workflow::generators::synthetic::{layered_random, scale_edges_to_ccr, LayeredConfig};
+
+fn layered(levels: usize, width: usize, edge_prob: f64, seed: u64) -> helios::workflow::Workflow {
+    let config = LayeredConfig {
+        levels,
+        width,
+        edge_prob,
+        ..LayeredConfig::default()
+    };
+    layered_random(&config, seed).expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated DAGs always satisfy every builder invariant.
+    #[test]
+    fn generated_dags_validate(
+        levels in 1usize..8,
+        width in 1usize..8,
+        edge_prob in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let wf = layered(levels, width, edge_prob, seed);
+        prop_assert!(wf.validate().is_ok());
+        prop_assert_eq!(wf.num_tasks(), levels * width);
+        // Topological order respects every edge.
+        let topo = wf.topo_order();
+        let mut pos = vec![0usize; wf.num_tasks()];
+        for (i, &t) in topo.iter().enumerate() {
+            pos[t.0] = i;
+        }
+        for e in wf.edges() {
+            prop_assert!(pos[e.src.0] < pos[e.dst.0]);
+        }
+        // Depth equals the number of levels (every level is connected to
+        // the previous one by construction).
+        prop_assert_eq!(analysis::depth(&wf), levels);
+    }
+
+    /// Every list scheduler produces a valid schedule on random DAGs, and
+    /// its makespan is bounded below by the best single-task time and
+    /// above by the sequential sum on the slowest device.
+    #[test]
+    fn schedulers_valid_on_random_dags(
+        levels in 1usize..6,
+        width in 1usize..6,
+        edge_prob in 0.05f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let wf = layered(levels, width, edge_prob, seed);
+        let platform = presets::workstation();
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(HeftScheduler::default()),
+            Box::new(PeftScheduler::default()),
+            Box::new(MinMinScheduler::default()),
+        ];
+        // Upper bound: everything sequential on the slowest device.
+        let mut worst_seq = 0.0f64;
+        for d in platform.devices() {
+            let total: f64 = wf
+                .tasks()
+                .iter()
+                .map(|t| {
+                    d.execution_time(t.cost(), d.nominal_level())
+                        .unwrap()
+                        .as_secs()
+                })
+                .sum();
+            worst_seq = worst_seq.max(total);
+        }
+        for s in schedulers {
+            let plan = s.schedule(&wf, &platform).unwrap();
+            prop_assert!(plan.validate(&wf, &platform).is_ok(),
+                         "{} produced an invalid schedule", s.name());
+            let makespan = plan.makespan().as_secs();
+            prop_assert!(makespan > 0.0);
+            // Communication can exceed compute, so allow generous slack
+            // above the sequential bound — but catastrophic blowups are
+            // bugs.
+            prop_assert!(makespan <= worst_seq * 10.0 + 1.0,
+                         "{}: makespan {makespan} vs worst sequential {worst_seq}",
+                         s.name());
+            let slr = metrics::slr(&plan, &wf, &platform).unwrap();
+            prop_assert!(slr > 0.0);
+        }
+    }
+
+    /// CCR rescaling hits its target for any positive target.
+    #[test]
+    fn ccr_scaling_converges(
+        seed in 0u64..300,
+        target in 0.05f64..8.0,
+    ) {
+        let wf = layered(4, 4, 0.4, seed);
+        let platform = presets::hpc_node();
+        let scaled = scale_edges_to_ccr(&wf, &platform, target).unwrap();
+        let got = analysis::ccr(&scaled, &platform).unwrap();
+        prop_assert!((got - target).abs() / target < 0.10,
+                     "target {target}, got {got}");
+    }
+
+    /// The event queue dequeues in non-decreasing time order with FIFO
+    /// ties for arbitrary interleavings.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u32..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(f64::from(t)), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                // FIFO within equal timestamps: indices increase.
+                if let Some(&prev) = seen_at_time.last() {
+                    if times[prev] == times[idx] {
+                        prop_assert!(prev < idx);
+                    }
+                }
+            } else {
+                seen_at_time.clear();
+            }
+            seen_at_time.push(idx);
+            last_time = t;
+        }
+    }
+
+    /// Bottom levels dominate successors' bottom levels; top levels are
+    /// monotone along edges.
+    #[test]
+    fn rank_monotonicity(seed in 0u64..300) {
+        let wf = layered(5, 4, 0.3, seed);
+        let platform = presets::workstation();
+        let bottom = analysis::bottom_levels(&wf, &platform).unwrap();
+        let top = analysis::top_levels(&wf, &platform).unwrap();
+        for e in wf.edges() {
+            prop_assert!(bottom[e.src.0] > bottom[e.dst.0],
+                         "bottom rank must strictly decrease along edges");
+            prop_assert!(top[e.src.0] < top[e.dst.0],
+                         "top rank must strictly increase along edges");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Trust-level placement: tasks with security requirements must only
+//! run on devices whose trust level clears them (survey §V — a
+//! heterogeneous system is only as secure as its weakest component).
+
+use helios::core::{EngineConfig, OnlinePolicy, OnlineRunner};
+use helios::platform::{
+    ComputeCost, Device, DeviceBuilder, DeviceKind, Interconnect, KernelClass, Platform,
+    PlatformBuilder,
+};
+use helios::sched::{all_schedulers, placement_feasible, SchedError};
+use helios::sim::SimDuration;
+use helios::workflow::{Task, Workflow, WorkflowBuilder};
+
+/// Two trusted CPUs plus a fast but untrusted third-party accelerator.
+fn mixed_trust_platform() -> Platform {
+    let mut b = PlatformBuilder::new("mixed-trust");
+    b.add_device(
+        DeviceBuilder::new("cpu0", DeviceKind::Cpu)
+            .trust_level(Device::MAX_TRUST)
+            .build()
+            .unwrap(),
+    );
+    b.add_device(
+        DeviceBuilder::new("cpu1", DeviceKind::Cpu)
+            .trust_level(2)
+            .build()
+            .unwrap(),
+    );
+    b.add_device(
+        DeviceBuilder::new("gpu-vendor-x", DeviceKind::Gpu)
+            .trust_level(0) // proprietary black box
+            .build()
+            .unwrap(),
+    );
+    b.interconnect(Interconnect::shared_bus(16.0, SimDuration::from_secs(5e-6)).unwrap());
+    b.build().unwrap()
+}
+
+/// A pipeline whose middle (dense, GPU-friendly) stage handles raw
+/// confidential data.
+fn sensitive_wf() -> Workflow {
+    let mut b = WorkflowBuilder::new("sensitive");
+    let open = ComputeCost::new(10.0, 1e6, KernelClass::Reduction);
+    let dense = ComputeCost::new(400.0, 1e8, KernelClass::DenseLinearAlgebra);
+    let mut prev = None;
+    for i in 0..9 {
+        let task = if i % 3 == 1 {
+            Task::new(format!("secret{i}"), "secret", dense).with_required_trust(2)
+        } else {
+            Task::new(format!("open{i}"), "open", open)
+        };
+        let id = b.add_task(task);
+        if let Some(p) = prev {
+            b.add_dep(p, id, 1e6).unwrap();
+        }
+        prev = if i % 3 == 2 { None } else { Some(id) };
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn predicate_combines_memory_and_trust() {
+    let p = mixed_trust_platform();
+    let gpu = p.device_by_name("gpu-vendor-x").unwrap();
+    let cpu = p.device_by_name("cpu0").unwrap();
+    let secret = Task::new(
+        "s",
+        "s",
+        ComputeCost::new(1.0, 0.0, KernelClass::DenseLinearAlgebra),
+    )
+    .with_required_trust(2);
+    assert!(!placement_feasible(gpu, &secret));
+    assert!(placement_feasible(cpu, &secret));
+    let open = Task::new("o", "s", ComputeCost::new(1.0, 0.0, KernelClass::Fft));
+    assert!(placement_feasible(gpu, &open));
+}
+
+#[test]
+fn schedulers_keep_secrets_off_untrusted_devices() {
+    let platform = mixed_trust_platform();
+    let gpu = platform.device_by_name("gpu-vendor-x").unwrap().id();
+    let wf = sensitive_wf();
+    for scheduler in all_schedulers() {
+        let plan = scheduler
+            .schedule(&wf, &platform)
+            .unwrap_or_else(|e| panic!("{}: {e}", scheduler.name()));
+        plan.validate(&wf, &platform).unwrap();
+        for p in plan.placements() {
+            let task = wf.task(p.task).unwrap();
+            if task.required_trust() > 0 {
+                assert_ne!(
+                    p.device,
+                    gpu,
+                    "{} leaked {} onto the untrusted GPU",
+                    scheduler.name(),
+                    task.name()
+                );
+            }
+        }
+        // The GPU is 10x faster on dense work: open tasks may still use it.
+    }
+}
+
+#[test]
+fn online_dispatch_respects_trust() {
+    let platform = mixed_trust_platform();
+    let gpu = platform.device_by_name("gpu-vendor-x").unwrap().id();
+    let wf = sensitive_wf();
+    let report = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
+        .run(&platform, &wf)
+        .unwrap();
+    for p in report.schedule().placements() {
+        if wf.task(p.task).unwrap().required_trust() > 0 {
+            assert_ne!(p.device, gpu);
+        }
+    }
+}
+
+#[test]
+fn unsatisfiable_trust_is_a_clean_error() {
+    let platform = mixed_trust_platform(); // max trust = 3
+    let mut b = WorkflowBuilder::new("over");
+    b.add_task(
+        Task::new("t", "s", ComputeCost::new(1.0, 0.0, KernelClass::Fft))
+            .with_required_trust(200),
+    );
+    let wf = b.build().unwrap();
+    for scheduler in all_schedulers() {
+        // required_trust 200 > MAX_TRUST: nothing clears it.
+        assert!(
+            matches!(
+                scheduler.schedule(&wf, &platform),
+                Err(SchedError::NoFeasibleDevice(_))
+            ),
+            "{}",
+            scheduler.name()
+        );
+    }
+}
+
+#[test]
+fn trust_survives_json_roundtrip_and_defaults_to_zero() {
+    let wf = sensitive_wf();
+    let json = helios::workflow::io::to_json(&wf).unwrap();
+    let back = helios::workflow::io::from_json(&json).unwrap();
+    assert_eq!(wf, back);
+    // Legacy JSON without the field parses with trust 0.
+    let legacy = r#"{
+        "name": "old",
+        "tasks": [{"name": "a", "stage": "s",
+                   "cost": {"gflop": 1.0, "bytes_touched": 0.0,
+                            "kernel_class": "Fft"}}],
+        "edges": []
+    }"#;
+    let old = helios::workflow::io::from_json(legacy).unwrap();
+    assert_eq!(old.task(helios::workflow::TaskId(0)).unwrap().required_trust(), 0);
+}

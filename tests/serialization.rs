@@ -1,0 +1,89 @@
+//! Serialization round-trips across the workspace: workflows, schedules,
+//! platforms and reports.
+
+use helios::core::{Engine, EngineConfig};
+use helios::platform::presets;
+use helios::sched::{HeftScheduler, Schedule, Scheduler};
+use helios::workflow::generators::WorkflowClass;
+use helios::workflow::io;
+
+#[test]
+fn every_workflow_family_roundtrips_json() {
+    for class in WorkflowClass::ALL {
+        let wf = class.generate(60, 17).unwrap();
+        let json = io::to_json(&wf).unwrap();
+        let back = io::from_json(&json).unwrap();
+        assert_eq!(wf, back, "{class}");
+    }
+}
+
+#[test]
+fn dot_export_is_well_formed_for_every_family() {
+    for class in WorkflowClass::ALL {
+        let wf = class.generate(30, 1).unwrap();
+        let dot = io::to_dot(&wf);
+        assert!(dot.starts_with("digraph"), "{class}");
+        assert_eq!(dot.matches(" -> ").count(), wf.num_edges(), "{class}");
+    }
+}
+
+#[test]
+fn schedules_roundtrip_json() {
+    let platform = presets::hpc_node();
+    let wf = WorkflowClass::Montage.generate(50, 2).unwrap();
+    let plan = HeftScheduler::default().schedule(&wf, &platform).unwrap();
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(plan, back);
+    back.validate(&wf, &platform).unwrap();
+}
+
+#[test]
+fn platforms_roundtrip_json() {
+    for platform in presets::all() {
+        let json = serde_json::to_string(&platform).unwrap();
+        let back: helios::platform::Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(platform, back, "{}", platform.name());
+    }
+}
+
+#[test]
+fn reports_roundtrip_json() {
+    let platform = presets::workstation();
+    let wf = WorkflowClass::Sipht.generate(40, 3).unwrap();
+    let report = Engine::new(EngineConfig::default())
+        .run(&platform, &wf, &HeftScheduler::default())
+        .unwrap();
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let back: helios::core::ExecutionReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn external_json_is_validated_not_trusted() {
+    // A structurally broken workflow file must be rejected with a
+    // precise error, not panic downstream.
+    let cyclic = r#"{
+        "name": "bad",
+        "tasks": [
+            {"name": "a", "stage": "s",
+             "cost": {"gflop": 1.0, "bytes_touched": 0.0, "kernel_class": "Fft"}},
+            {"name": "b", "stage": "s",
+             "cost": {"gflop": 1.0, "bytes_touched": 0.0, "kernel_class": "Fft"}}
+        ],
+        "edges": [
+            {"src": 0, "dst": 1, "bytes": 1.0},
+            {"src": 1, "dst": 0, "bytes": 1.0}
+        ]
+    }"#;
+    assert!(io::from_json(cyclic).is_err());
+    let dangling = r#"{
+        "name": "bad",
+        "tasks": [
+            {"name": "a", "stage": "s",
+             "cost": {"gflop": 1.0, "bytes_touched": 0.0, "kernel_class": "Fft"}}
+        ],
+        "edges": [{"src": 0, "dst": 5, "bytes": 1.0}]
+    }"#;
+    assert!(io::from_json(dangling).is_err());
+}
