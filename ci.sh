@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Local CI gate for helios.
+#
+# Runs the same four checks a hosted pipeline would, in order of
+# increasing strictness. The root crate is a package as well as the
+# workspace root, so every step passes --workspace explicitly: a bare
+# `cargo build` would cover only the root package and leave e.g. the
+# helios-cli binary stale. All third-party dependencies are vendored as
+# workspace members under vendor/ (see DESIGN.md §5), so every step
+# works fully offline — no registry, no network, no lockfile updates.
+# If cargo still tries to reach a registry, check that Cargo.toml's
+# [workspace.dependencies] all point at vendor/ paths.
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI green"

@@ -14,8 +14,8 @@
 
 use helios_bench::{print_header, Agg};
 use helios_core::{Engine, EngineConfig, OnlinePolicy, OnlineRunner};
-use helios_sched::{AnnealingScheduler, HeftScheduler, Scheduler};
 use helios_platform::presets;
+use helios_sched::{AnnealingScheduler, HeftScheduler, Scheduler};
 use helios_workflow::generators::cybershake;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,8 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for seed in seeds.clone() {
             let wf = cybershake(300, seed)?;
             let plan = HeftScheduler::default().schedule(&wf, &platform)?;
-            let mut cfg = EngineConfig::default();
-            cfg.link_contention = true;
+            let mut cfg = EngineConfig {
+                link_contention: true,
+                ..Default::default()
+            };
             off.push(
                 Engine::new(cfg.clone())
                     .execute_plan(&platform, &wf, &plan)?
@@ -93,8 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .makespan()
                     .as_secs(),
             );
-            let mut cfg = EngineConfig::default();
-            cfg.link_contention = true;
+            let cfg = EngineConfig {
+                link_contention: true,
+                ..Default::default()
+            };
             contended.push(
                 Engine::new(cfg)
                     .execute_plan(&platform, &wf, &plan)?
@@ -136,8 +140,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut online = Agg::new();
         for seed in seeds.clone() {
             let wf = cybershake(300, seed)?;
-            let mut cfg = EngineConfig::default();
-            cfg.device_slowdown = Some(slow.clone());
+            let cfg = EngineConfig {
+                device_slowdown: Some(slow.clone()),
+                ..Default::default()
+            };
             let plan = HeftScheduler::default().schedule(&wf, &platform)?;
             static_run.push(
                 Engine::new(cfg.clone())

@@ -30,9 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut ranked = Agg::new();
         for seed in seeds.clone() {
             let wf = sipht(500, seed)?;
-            let mut config = EngineConfig::default();
-            config.device_slowdown = Some(slow.clone());
-            config.seed = seed;
+            let config = EngineConfig {
+                device_slowdown: Some(slow.clone()),
+                seed,
+                ..Default::default()
+            };
             let plan = HeftScheduler::default().schedule(&wf, &platform)?;
             st.push(
                 Engine::new(config.clone())
@@ -58,12 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ranked_series.push(factor, ranked.mean());
     }
 
-    println!(
-        "mean makespan (s) vs GPU throttle factor (gpu0+gpu1), sipht-500, 8 seeds"
-    );
-    print_series_table(
-        "throttle x",
-        &[static_series, jit_series, ranked_series],
-    );
+    println!("mean makespan (s) vs GPU throttle factor (gpu0+gpu1), sipht-500, 8 seeds");
+    print_series_table("throttle x", &[static_series, jit_series, ranked_series]);
     Ok(())
 }

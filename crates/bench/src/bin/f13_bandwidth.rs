@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for seed in seeds.clone() {
             let wf = montage(500, seed)?;
             let plan = HeftScheduler::default().schedule(&wf, &platform)?;
-            let mut config = EngineConfig::default();
-            config.link_contention = true;
+            let config = EngineConfig {
+                link_contention: true,
+                ..Default::default()
+            };
             let report = Engine::new(config).execute_plan(&platform, &wf, &plan)?;
             makespan.push(report.makespan().as_secs());
             ccr.push(analysis::ccr(&wf, &platform)?);
@@ -42,9 +44,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("bandwidth sensitivity, montage-500, HEFT, link contention on, 8 seeds");
-    print_series_table(
-        "bw factor",
-        &[makespan_series, ccr_series, transfer_series],
-    );
+    print_series_table("bw factor", &[makespan_series, ccr_series, transfer_series]);
     Ok(())
 }

@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in seeds.clone() {
         let wf = montage(500, seed)?;
         let platform = presets::hpc_node_with_gpus(0);
-        let report = Engine::new(EngineConfig::default())
-            .run(&platform, &wf, &HeftScheduler::default())?;
+        let report =
+            Engine::new(EngineConfig::default()).run(&platform, &wf, &HeftScheduler::default())?;
         base.push(report.makespan().as_secs());
     }
 
@@ -33,8 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut gpu_util = Agg::new();
         for seed in seeds.clone() {
             let wf = montage(500, seed)?;
-            let report = Engine::new(EngineConfig::default())
-                .run(&platform, &wf, &HeftScheduler::default())?;
+            let report = Engine::new(EngineConfig::default()).run(
+                &platform,
+                &wf,
+                &HeftScheduler::default(),
+            )?;
             makespan.push(report.makespan().as_secs());
             let util = report.schedule().utilization(&platform);
             for (i, d) in platform.devices().iter().enumerate() {
@@ -45,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         makespan_series.push(gpus as f64, makespan.mean());
         speedup_series.push(gpus as f64, base.mean() / makespan.mean());
-        utilization_series.push(
-            gpus as f64,
-            if gpus == 0 { 0.0 } else { gpu_util.mean() },
-        );
+        utilization_series.push(gpus as f64, if gpus == 0 { 0.0 } else { gpu_util.mean() });
     }
 
     print_series_table(

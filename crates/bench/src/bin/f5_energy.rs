@@ -17,19 +17,31 @@ use helios_workflow::generators::ligo_inspiral;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = presets::hpc_node();
     let seeds = 0..8u64;
-    print_header(&["strategy", "makespan (s)", "active (J)", "total (J)", "EDP (J*s)"]);
+    print_header(&[
+        "strategy",
+        "makespan (s)",
+        "active (J)",
+        "total (J)",
+        "EDP (J*s)",
+    ]);
 
     let mut rows: Vec<(String, Agg, Agg, Agg, Agg)> = Vec::new();
     let add = |label: &str,
-                   makespan: f64,
-                   active: f64,
-                   total: f64,
-                   edp: f64,
-                   rows: &mut Vec<(String, Agg, Agg, Agg, Agg)>| {
+               makespan: f64,
+               active: f64,
+               total: f64,
+               edp: f64,
+               rows: &mut Vec<(String, Agg, Agg, Agg, Agg)>| {
         let row = match rows.iter_mut().find(|(l, ..)| l == label) {
             Some(r) => r,
             None => {
-                rows.push((label.to_owned(), Agg::new(), Agg::new(), Agg::new(), Agg::new()));
+                rows.push((
+                    label.to_owned(),
+                    Agg::new(),
+                    Agg::new(),
+                    Agg::new(),
+                    Agg::new(),
+                ));
                 rows.last_mut().expect("just pushed")
             }
         };
@@ -45,7 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Static strategies.
         let heft = HeftScheduler::default().schedule(&wf, &platform)?;
         let e = account(&heft, &wf, &platform, false)?;
-        add("heft", e.makespan_secs, e.active_j, e.total_j(), e.edp(), &mut rows);
+        add(
+            "heft",
+            e.makespan_secs,
+            e.active_j,
+            e.total_j(),
+            e.edp(),
+            &mut rows,
+        );
         let e_drs = account(&heft, &wf, &platform, true)?;
         add(
             "heft+drs",
@@ -101,7 +120,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ] {
             let report = runner.run(&platform, &wf)?;
             let e = report.energy();
-            add(label, e.makespan_secs, e.active_j, e.total_j(), e.edp(), &mut rows);
+            add(
+                label,
+                e.makespan_secs,
+                e.active_j,
+                e.total_j(),
+                e.edp(),
+                &mut rows,
+            );
         }
         let _ = Engine::new(EngineConfig::default());
     }

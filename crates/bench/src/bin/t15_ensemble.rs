@@ -5,54 +5,85 @@
 //! the same campaign (6 seeds). Rows report mean turnaround of the
 //! high-priority member, mean turnaround across members, the spread
 //! between best- and worst-served member, and overall makespan.
+//!
+//! The 18 (policy, seed) cells are independent simulations, so they run
+//! through [`CampaignEngine`]: pass `--jobs N` to use N worker threads
+//! (default 1; 0 = one per hardware thread). The table is aggregated in
+//! cell order and is identical for every `--jobs` value.
 
 use helios_bench::{print_header, Agg};
-use helios_core::{EngineConfig, EnsembleMember, EnsemblePolicy, EnsembleRunner};
+use helios_core::{CampaignEngine, EngineConfig, EnsembleMember, EnsemblePolicy, EnsembleRunner};
 use helios_platform::presets;
 use helios_sim::SimTime;
 use helios_workflow::generators::{cybershake, ligo_inspiral, montage};
 
+const POLICIES: [EnsemblePolicy; 3] = [
+    EnsemblePolicy::Fifo,
+    EnsemblePolicy::Priority,
+    EnsemblePolicy::FairShare,
+];
+const SEEDS: u64 = 6;
+
+fn jobs_from_args() -> Result<usize, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => Ok(1),
+        [flag, n] if flag == "--jobs" => n
+            .parse()
+            .map_err(|_| format!("--jobs {n:?} is not a number")),
+        other => Err(format!("usage: t15_ensemble [--jobs N], got {other:?}")),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = jobs_from_args()?;
     let platform = presets::hpc_node();
-    let seeds = 0..6u64;
     print_header(&[
-        "policy", "VIP t/a (s)", "mean t/a (s)", "spread (s)", "makespan (s)",
+        "policy",
+        "VIP t/a (s)",
+        "mean t/a (s)",
+        "spread (s)",
+        "makespan (s)",
     ]);
 
-    for policy in [
-        EnsemblePolicy::Fifo,
-        EnsemblePolicy::Priority,
-        EnsemblePolicy::FairShare,
-    ] {
+    // One cell per (policy, seed) pair, in row-major order so the
+    // aggregation below reads each policy's seeds contiguously.
+    let cells: Vec<(EnsemblePolicy, u64)> = POLICIES
+        .iter()
+        .flat_map(|&p| (0..SEEDS).map(move |s| (p, s)))
+        .collect();
+    let reports = CampaignEngine::new(jobs).run(&cells, |_, &(policy, seed)| {
+        let members = [
+            EnsembleMember {
+                workflow: cybershake(150, seed)?,
+                arrival: SimTime::ZERO,
+                priority: 1.0,
+            },
+            EnsembleMember {
+                workflow: ligo_inspiral(150, seed + 100)?,
+                arrival: SimTime::from_secs(0.1),
+                priority: 10.0, // the VIP
+            },
+            EnsembleMember {
+                workflow: montage(150, seed + 200)?,
+                arrival: SimTime::from_secs(0.2),
+                priority: 1.0,
+            },
+            EnsembleMember {
+                workflow: cybershake(150, seed + 300)?,
+                arrival: SimTime::from_secs(0.3),
+                priority: 1.0,
+            },
+        ];
+        EnsembleRunner::new(EngineConfig::default(), policy).run(&platform, &members)
+    })?;
+
+    for (p, policy) in POLICIES.iter().enumerate() {
         let mut vip = Agg::new();
         let mut mean = Agg::new();
         let mut spread = Agg::new();
         let mut makespan = Agg::new();
-        for seed in seeds.clone() {
-            let members = [
-                EnsembleMember {
-                    workflow: cybershake(150, seed)?,
-                    arrival: SimTime::ZERO,
-                    priority: 1.0,
-                },
-                EnsembleMember {
-                    workflow: ligo_inspiral(150, seed + 100)?,
-                    arrival: SimTime::from_secs(0.1),
-                    priority: 10.0, // the VIP
-                },
-                EnsembleMember {
-                    workflow: montage(150, seed + 200)?,
-                    arrival: SimTime::from_secs(0.2),
-                    priority: 1.0,
-                },
-                EnsembleMember {
-                    workflow: cybershake(150, seed + 300)?,
-                    arrival: SimTime::from_secs(0.3),
-                    priority: 1.0,
-                },
-            ];
-            let report = EnsembleRunner::new(EngineConfig::default(), policy)
-                .run(&platform, &members)?;
+        for report in &reports[p * SEEDS as usize..(p + 1) * SEEDS as usize] {
             vip.push(report.members[1].turnaround.as_secs());
             mean.push(report.mean_turnaround.as_secs());
             let tas: Vec<f64> = report

@@ -11,8 +11,7 @@ use helios_workflow::generators::WorkflowClass;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = presets::hpc_node();
     print_header(&[
-        "workflow", "tasks", "edges", "depth", "width", "Gflop", "GB moved", "CCR",
-        "CP (s)",
+        "workflow", "tasks", "edges", "depth", "width", "Gflop", "GB moved", "CCR", "CP (s)",
     ]);
     for class in WorkflowClass::ALL {
         for n in [50, 100, 500, 1000] {

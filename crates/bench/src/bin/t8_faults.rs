@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = presets::hpc_node();
     let seeds = 0..6u64;
     print_header(&[
-        "MTBF (s)", "checkpoint", "makespan (s)", "overhead %", "failures", "energy (J)",
+        "MTBF (s)",
+        "checkpoint",
+        "makespan (s)",
+        "overhead %",
+        "failures",
+        "energy (J)",
     ]);
 
     // Fault-free baseline.
@@ -28,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{:>16}{:>16}{:>16.4}{:>16.1}{:>16}{:>16}",
-        "inf", "-", base.mean(), 0.0, 0, "-"
+        "inf",
+        "-",
+        base.mean(),
+        0.0,
+        0,
+        "-"
     );
 
     for mtbf in [1.0, 0.25, 0.1] {
@@ -39,13 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for seed in seeds.clone() {
                 let wf = cybershake(500, seed)?;
                 let plan = HeftScheduler::default().schedule(&wf, &platform)?;
-                let mut config = EngineConfig::default();
-                config.seed = seed;
-                config.faults = Some(FaultConfig::new(
-                    mtbf,
-                    SimDuration::from_secs(0.005),
-                    10_000_000,
-                )?);
+                let mut config = EngineConfig {
+                    seed,
+                    faults: Some(FaultConfig::new(
+                        mtbf,
+                        SimDuration::from_secs(0.005),
+                        10_000_000,
+                    )?),
+                    ..Default::default()
+                };
                 if ckpt {
                     config.checkpointing = Some(CheckpointConfig::new(
                         SimDuration::from_secs(0.01),

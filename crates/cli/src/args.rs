@@ -89,9 +89,9 @@ impl Args {
     pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                CliError::Usage(format!("--{name} {v:?} is not a valid value"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} {v:?} is not a valid value"))),
         }
     }
 }

@@ -61,7 +61,9 @@ fn load_workflow(path: &str) -> Result<Workflow, CliError> {
 pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(
         argv,
-        &["family", "tasks", "seed", "out", "dot", "levels", "width", "ccr", "platform"],
+        &[
+            "family", "tasks", "seed", "out", "dot", "levels", "width", "ccr", "platform",
+        ],
         &[],
     )?;
     let family = args.require("family")?;
@@ -102,7 +104,13 @@ pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     if let Some(path) = args.get("out") {
         std::fs::write(path, wfio::to_json(&wf)?)?;
-        writeln!(out, "wrote {} ({} tasks, {} edges)", path, wf.num_tasks(), wf.num_edges())?;
+        writeln!(
+            out,
+            "wrote {} ({} tasks, {} edges)",
+            path,
+            wf.num_tasks(),
+            wf.num_edges()
+        )?;
     } else {
         writeln!(out, "{}", wfio::to_json(&wf)?)?;
     }
@@ -168,17 +176,27 @@ pub fn schedule(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(
         argv,
-        &["workflow", "platform", "scheduler", "noise", "seed", "trace", "report"],
+        &[
+            "workflow",
+            "platform",
+            "scheduler",
+            "noise",
+            "seed",
+            "trace",
+            "report",
+        ],
         &["contention", "caching", "online", "gantt"],
     )?;
     let wf = load_workflow(args.require("workflow")?)?;
     let platform = platform_by_name(args.get("platform").unwrap_or("hpc_node"))?;
-    let mut config = EngineConfig::default();
-    config.noise_cv = args.parse_or("noise", 0.0)?;
-    config.seed = args.parse_or("seed", 0u64)?;
-    config.link_contention = args.flag("contention");
-    config.data_caching = args.flag("caching");
-    config.tracing = args.get("trace").is_some();
+    let config = EngineConfig {
+        noise_cv: args.parse_or("noise", 0.0)?,
+        seed: args.parse_or("seed", 0u64)?,
+        link_contention: args.flag("contention"),
+        data_caching: args.flag("caching"),
+        tracing: args.get("trace").is_some(),
+        ..Default::default()
+    };
 
     let report = if args.flag("online") {
         OnlineRunner::new(config, OnlinePolicy::RankedJit).run(&platform, &wf)?
@@ -215,15 +233,23 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `helios campaign` — run a workflow ensemble.
+/// `helios campaign` — run a workflow ensemble campaign.
 ///
 /// Members are given as repeated `--member path[:arrival[:priority]]`
-/// options; arrival defaults to 0 s and priority to 1.
+/// options; arrival defaults to 0 s and priority to 1. `--seeds N`
+/// replicates the ensemble under N consecutive engine seeds (base
+/// `--seed`), and `--jobs N` runs those replicates on N worker threads
+/// (0 = one per hardware thread). Output is aggregated in seed order
+/// and is byte-identical for every `--jobs` value.
 pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    use helios_core::{EnsembleMember, EnsemblePolicy, EnsembleRunner};
+    use helios_core::{CampaignEngine, EnsembleMember, EnsemblePolicy, EnsembleRunner};
     use helios_sim::SimTime;
 
-    let args = Args::parse(argv, &["member", "platform", "policy", "seed"], &[])?;
+    let args = Args::parse(
+        argv,
+        &["member", "platform", "policy", "seed", "seeds", "jobs"],
+        &[],
+    )?;
     let specs = args.get_all("member");
     if specs.is_empty() {
         return Err(CliError::Usage(
@@ -236,15 +262,15 @@ pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let path = parts.next().expect("split yields at least one part");
         let arrival: f64 = match parts.next() {
             None => 0.0,
-            Some(v) => v.parse().map_err(|_| {
-                CliError::Usage(format!("bad arrival in --member {spec:?}"))
-            })?,
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad arrival in --member {spec:?}")))?,
         };
         let priority: f64 = match parts.next() {
             None => 1.0,
-            Some(v) => v.parse().map_err(|_| {
-                CliError::Usage(format!("bad priority in --member {spec:?}"))
-            })?,
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad priority in --member {spec:?}")))?,
         };
         members.push(EnsembleMember {
             workflow: load_workflow(path)?,
@@ -264,25 +290,52 @@ pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     };
     let platform = platform_by_name(args.get("platform").unwrap_or("hpc_node"))?;
-    let mut config = EngineConfig::default();
-    config.seed = args.parse_or("seed", 0u64)?;
-    let report = EnsembleRunner::new(config, policy).run(&platform, &members)?;
-    writeln!(
-        out,
-        "campaign of {} members on {} ({}): makespan {:.4}s, mean turnaround {:.4}s",
-        report.members.len(),
-        platform.name(),
-        policy.as_str(),
-        report.makespan.as_secs(),
-        report.mean_turnaround.as_secs()
-    )?;
-    for (i, m) in report.members.iter().enumerate() {
+    let base_seed = args.parse_or("seed", 0u64)?;
+    let seeds = args.parse_or("seeds", 1usize)?;
+    if seeds == 0 {
+        return Err(CliError::Usage("--seeds must be >= 1".into()));
+    }
+    let jobs = args.parse_or("jobs", 1usize)?;
+
+    let replicate_seeds: Vec<u64> = (0..seeds as u64).map(|i| base_seed + i).collect();
+    let reports = CampaignEngine::new(jobs).run(&replicate_seeds, |_, &seed| {
+        let config = EngineConfig {
+            seed,
+            ..Default::default()
+        };
+        EnsembleRunner::new(config, policy).run(&platform, &members)
+    })?;
+
+    for (seed, report) in replicate_seeds.iter().zip(&reports) {
         writeln!(
             out,
-            "  member {i}: started {:.4}s finished {:.4}s turnaround {:.4}s",
-            m.started.as_secs(),
-            m.finished.as_secs(),
-            m.turnaround.as_secs()
+            "campaign of {} members on {} ({}, seed {seed}): makespan {:.4}s, mean turnaround {:.4}s",
+            report.members.len(),
+            platform.name(),
+            policy.as_str(),
+            report.makespan.as_secs(),
+            report.mean_turnaround.as_secs()
+        )?;
+        for (i, m) in report.members.iter().enumerate() {
+            writeln!(
+                out,
+                "  member {i}: started {:.4}s finished {:.4}s turnaround {:.4}s",
+                m.started.as_secs(),
+                m.finished.as_secs(),
+                m.turnaround.as_secs()
+            )?;
+        }
+    }
+    if reports.len() > 1 {
+        let mean = |f: &dyn Fn(&helios_core::EnsembleReport) -> f64| {
+            reports.iter().map(f).sum::<f64>() / reports.len() as f64
+        };
+        writeln!(
+            out,
+            "{} seeds: mean makespan {:.4}s, mean turnaround {:.4}s",
+            reports.len(),
+            mean(&|r| r.makespan.as_secs()),
+            mean(&|r| r.mean_turnaround.as_secs())
         )?;
     }
     Ok(())
@@ -308,7 +361,10 @@ mod tests {
         s.iter().map(|&x| x.to_owned()).collect()
     }
 
-    fn run_cmd(f: impl Fn(&[String], &mut dyn Write) -> Result<(), CliError>, a: &[&str]) -> String {
+    fn run_cmd(
+        f: impl Fn(&[String], &mut dyn Write) -> Result<(), CliError>,
+        a: &[&str],
+    ) -> String {
         let mut buf = Vec::new();
         f(&argv(a), &mut buf).expect("command succeeds");
         String::from_utf8(buf).expect("utf8 output")
@@ -340,25 +396,52 @@ mod tests {
         let wf_path = dir.join("wf.json");
         let wf_str = wf_path.to_str().unwrap();
 
-        let out = run_cmd(generate, &[
-            "--family", "montage", "--tasks", "40", "--seed", "3", "--out", wf_str,
-        ]);
+        let out = run_cmd(
+            generate,
+            &[
+                "--family", "montage", "--tasks", "40", "--seed", "3", "--out", wf_str,
+            ],
+        );
         assert!(out.contains("wrote"));
 
-        let out = run_cmd(analyze, &["--workflow", wf_str, "--platform", "workstation"]);
+        let out = run_cmd(
+            analyze,
+            &["--workflow", wf_str, "--platform", "workstation"],
+        );
         assert!(out.contains("CCR"), "{out}");
 
-        let out = run_cmd(schedule, &[
-            "--workflow", wf_str, "--platform", "workstation", "--scheduler", "heft", "--gantt",
-        ]);
+        let out = run_cmd(
+            schedule,
+            &[
+                "--workflow",
+                wf_str,
+                "--platform",
+                "workstation",
+                "--scheduler",
+                "heft",
+                "--gantt",
+            ],
+        );
         assert!(out.contains("makespan") && out.contains("SLR"), "{out}");
 
         let trace_path = dir.join("trace.json");
-        let out = run_cmd(run, &[
-            "--workflow", wf_str, "--platform", "workstation",
-            "--noise", "0.1", "--seed", "4", "--contention", "--caching",
-            "--trace", trace_path.to_str().unwrap(),
-        ]);
+        let out = run_cmd(
+            run,
+            &[
+                "--workflow",
+                wf_str,
+                "--platform",
+                "workstation",
+                "--noise",
+                "0.1",
+                "--seed",
+                "4",
+                "--contention",
+                "--caching",
+                "--trace",
+                trace_path.to_str().unwrap(),
+            ],
+        );
         assert!(out.contains("makespan"), "{out}");
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(serde_json::from_str::<serde_json::Value>(&trace).is_ok());
@@ -368,7 +451,9 @@ mod tests {
     fn generate_supports_layered_with_ccr() {
         let mut buf = Vec::new();
         generate(
-            &argv(&["--family", "layered", "--width", "4", "--levels", "3", "--ccr", "2.0"]),
+            &argv(&[
+                "--family", "layered", "--width", "4", "--levels", "3", "--ccr", "2.0",
+            ]),
             &mut buf,
         )
         .unwrap();
@@ -382,12 +467,18 @@ mod tests {
         let dir = std::env::temp_dir().join("helios-cli-test2");
         std::fs::create_dir_all(&dir).unwrap();
         let wf_path = dir.join("wf.json");
-        run_cmd(generate, &[
-            "--family", "sipht", "--tasks", "30", "--out", wf_path.to_str().unwrap(),
-        ]);
-        let out = run_cmd(run, &[
-            "--workflow", wf_path.to_str().unwrap(), "--online",
-        ]);
+        run_cmd(
+            generate,
+            &[
+                "--family",
+                "sipht",
+                "--tasks",
+                "30",
+                "--out",
+                wf_path.to_str().unwrap(),
+            ],
+        );
+        let out = run_cmd(run, &["--workflow", wf_path.to_str().unwrap(), "--online"]);
         assert!(out.contains("makespan"));
     }
 
@@ -415,7 +506,14 @@ mod campaign_tests {
         for (path, family) in [(&a, "montage"), (&b, "sipht")] {
             let mut buf = Vec::new();
             generate(
-                &argv(&["--family", family, "--tasks", "30", "--out", path.to_str().unwrap()]),
+                &argv(&[
+                    "--family",
+                    family,
+                    "--tasks",
+                    "30",
+                    "--out",
+                    path.to_str().unwrap(),
+                ]),
                 &mut buf,
             )
             .unwrap();
@@ -423,10 +521,14 @@ mod campaign_tests {
         let mut buf = Vec::new();
         campaign(
             &argv(&[
-                "--member", a.to_str().unwrap(),
-                "--member", &format!("{}:0.01:5", b.to_str().unwrap()),
-                "--policy", "fair-share",
-                "--platform", "workstation",
+                "--member",
+                a.to_str().unwrap(),
+                "--member",
+                &format!("{}:0.01:5", b.to_str().unwrap()),
+                "--policy",
+                "fair-share",
+                "--platform",
+                "workstation",
             ]),
             &mut buf,
         )
@@ -441,8 +543,53 @@ mod campaign_tests {
         let mut buf = Vec::new();
         assert!(campaign(&argv(&[]), &mut buf).is_err());
         assert!(campaign(&argv(&["--member", "x.json:notanumber"]), &mut buf).is_err());
-        assert!(
-            campaign(&argv(&["--member", "x.json", "--policy", "lifo"]), &mut buf).is_err()
-        );
+        assert!(campaign(&argv(&["--member", "x.json", "--policy", "lifo"]), &mut buf).is_err());
+        assert!(campaign(&argv(&["--member", "x.json", "--seeds", "0"]), &mut buf).is_err());
+    }
+
+    #[test]
+    fn campaign_jobs_do_not_change_output() {
+        let dir = std::env::temp_dir().join("helios-cli-campaign-jobs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wf = dir.join("wf.json");
+        let mut buf = Vec::new();
+        generate(
+            &argv(&[
+                "--family",
+                "montage",
+                "--tasks",
+                "30",
+                "--out",
+                wf.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let run_with = |jobs: &str| {
+            let mut buf = Vec::new();
+            campaign(
+                &argv(&[
+                    "--member",
+                    wf.to_str().unwrap(),
+                    "--member",
+                    &format!("{}:0.1:3", wf.to_str().unwrap()),
+                    "--platform",
+                    "workstation",
+                    "--seeds",
+                    "3",
+                    "--jobs",
+                    jobs,
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            buf
+        };
+        let sequential = run_with("1");
+        assert_eq!(sequential, run_with("3"), "--jobs must not change bytes");
+        assert_eq!(sequential, run_with("0"), "--jobs 0 (auto) must match too");
+        let text = String::from_utf8(sequential).unwrap();
+        assert!(text.contains("seed 2"), "{text}");
+        assert!(text.contains("3 seeds: mean makespan"), "{text}");
     }
 }

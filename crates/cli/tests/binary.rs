@@ -32,15 +32,32 @@ fn full_pipeline_through_the_binary() {
 
     let out = helios()
         .args([
-            "generate", "--family", "cybershake", "--tasks", "60",
-            "--seed", "9", "--out", wf.to_str().unwrap(),
+            "generate",
+            "--family",
+            "cybershake",
+            "--tasks",
+            "60",
+            "--seed",
+            "9",
+            "--out",
+            wf.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = helios()
-        .args(["schedule", "--workflow", wf.to_str().unwrap(), "--scheduler", "peft"])
+        .args([
+            "schedule",
+            "--workflow",
+            wf.to_str().unwrap(),
+            "--scheduler",
+            "peft",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -49,8 +66,12 @@ fn full_pipeline_through_the_binary() {
     let report = dir.join("report.json");
     let out = helios()
         .args([
-            "run", "--workflow", wf.to_str().unwrap(), "--caching",
-            "--report", report.to_str().unwrap(),
+            "run",
+            "--workflow",
+            wf.to_str().unwrap(),
+            "--caching",
+            "--report",
+            report.to_str().unwrap(),
         ])
         .output()
         .unwrap();

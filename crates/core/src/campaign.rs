@@ -1,0 +1,256 @@
+//! Parallel campaign execution: many independent simulations at once.
+//!
+//! A *campaign* is a grid of independent cells — ensemble members,
+//! parameter-sweep points, seed replicates — where every cell is a
+//! self-contained deterministic simulation. Cells share no mutable
+//! state: each derives its own RNG stream from the campaign seed (see
+//! [`cell_rng`]), so the result of a cell depends only on its input and
+//! index, never on scheduling order.
+//!
+//! [`CampaignEngine`] exploits that: it runs cells on a pool of scoped
+//! OS threads pulling work from an atomic counter, stores each result
+//! in its input-indexed slot, and assembles the output vector in input
+//! order. The aggregated output is therefore **bit-identical** to the
+//! sequential path (`jobs = 1`) for any worker count — parallelism
+//! changes wall-clock time, nothing else. Errors are deterministic too:
+//! the error reported is always the one the sequential path would have
+//! hit first (lowest cell index).
+//!
+//! The engine uses `std::thread::scope` rather than a work-stealing
+//! runtime: campaign cells are coarse (whole simulations, milliseconds
+//! to seconds each), so a shared counter loses nothing to stealing and
+//! keeps the crate dependency-free.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use helios_sim::SimRng;
+
+/// Runs the independent cells of a campaign across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use helios_core::CampaignEngine;
+///
+/// let engine = CampaignEngine::new(4);
+/// let squares = engine
+///     .run(&[1u64, 2, 3, 4, 5], |_idx, &x| Ok::<u64, String>(x * x))
+///     .unwrap();
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignEngine {
+    jobs: usize,
+}
+
+impl Default for CampaignEngine {
+    /// Sequential execution (`jobs = 1`).
+    fn default() -> CampaignEngine {
+        CampaignEngine { jobs: 1 }
+    }
+}
+
+impl CampaignEngine {
+    /// Creates an engine running up to `jobs` cells concurrently.
+    ///
+    /// `jobs = 0` means "one per available hardware thread"
+    /// (`std::thread::available_parallelism`, falling back to 1 when
+    /// that is unknown). `jobs = 1` is the sequential reference path.
+    #[must_use]
+    pub fn new(jobs: usize) -> CampaignEngine {
+        CampaignEngine { jobs }
+    }
+
+    /// The configured worker count (0 = auto).
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The worker count actually used for `cells` cells: auto-detection
+    /// resolved and clamped to the number of cells.
+    #[must_use]
+    pub fn effective_jobs(&self, cells: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.jobs
+        };
+        requested.min(cells).max(1)
+    }
+
+    /// Runs `f` over every input cell and returns the results in input
+    /// order.
+    ///
+    /// `f(index, &input)` must be a pure function of its arguments (use
+    /// [`cell_rng`] for per-cell randomness); the engine then guarantees
+    /// the returned vector — and any error — is identical for every
+    /// `jobs` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing cell — exactly
+    /// the error the sequential path reports. Workers stop claiming new
+    /// cells once a failure is observed.
+    pub fn run<T, R, E, F>(&self, inputs: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let jobs = self.effective_jobs(inputs.len());
+        if jobs <= 1 {
+            return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+
+        // Work is claimed through a shared counter, so claimed indices
+        // form a contiguous prefix; every claimed cell stores into its
+        // own slot. Unclaimed slots stay `None` and can only trail an
+        // error, never precede one.
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let slots: Mutex<Vec<Option<Result<R, E>>>> =
+            Mutex::new((0..inputs.len()).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(input) = inputs.get(i) else { break };
+                    let result = f(i, input);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    slots.lock().expect("no poisoned campaign slot lock")[i] = Some(result);
+                });
+            }
+        });
+
+        let slots = slots.into_inner().expect("no poisoned campaign slot lock");
+        let mut out = Vec::with_capacity(inputs.len());
+        for slot in slots {
+            match slot {
+                Some(Ok(r)) => out.push(r),
+                Some(Err(e)) => return Err(e),
+                // A `None` before the first error would mean a claimed
+                // index was skipped, which the claiming scheme forbids.
+                None => unreachable!("unclaimed cell ahead of the first error"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The deterministic RNG stream for one campaign cell.
+///
+/// Cells must not share a generator (draws would depend on execution
+/// order); instead each forks its own stream from the campaign seed.
+/// Stream `cell + 1` is used so cell 0 does not alias the base stream
+/// that sequential single-run code paths draw from.
+#[must_use]
+pub fn cell_rng(campaign_seed: u64, cell: u64) -> SimRng {
+    SimRng::seed_from(campaign_seed).fork(cell.wrapping_add(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::ensemble::{EnsembleMember, EnsemblePolicy, EnsembleRunner};
+    use helios_platform::presets;
+    use helios_sim::SimTime;
+    use helios_workflow::generators::montage;
+
+    #[test]
+    fn sequential_and_parallel_agree_on_plain_math() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let f = |i: usize, &x: &u64| Ok::<(u64, u64), String>((i as u64, x * 3));
+        let seq = CampaignEngine::new(1).run(&inputs, f).unwrap();
+        for jobs in [0, 2, 3, 8, 200] {
+            assert_eq!(CampaignEngine::new(jobs).run(&inputs, f).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let inputs: Vec<usize> = (0..64).collect();
+        let f = |i: usize, _: &usize| {
+            if i % 7 == 3 {
+                Err(format!("cell {i} failed"))
+            } else {
+                Ok(i)
+            }
+        };
+        for jobs in [1, 2, 8] {
+            let err = CampaignEngine::new(jobs).run(&inputs, f).unwrap_err();
+            assert_eq!(err, "cell 3 failed", "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let out = CampaignEngine::new(4)
+            .run(&[] as &[u8], |_, _| Ok::<u8, String>(0))
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto_and_clamps() {
+        assert!(CampaignEngine::new(0).effective_jobs(100) >= 1);
+        assert_eq!(CampaignEngine::new(8).effective_jobs(3), 3);
+        assert_eq!(CampaignEngine::new(2).effective_jobs(100), 2);
+        assert_eq!(CampaignEngine::new(0).effective_jobs(0), 1);
+        assert_eq!(CampaignEngine::default().jobs(), 1);
+    }
+
+    #[test]
+    fn cell_rngs_are_independent_and_reproducible() {
+        let mut a = cell_rng(42, 0);
+        let mut a2 = cell_rng(42, 0);
+        let mut b = cell_rng(42, 1);
+        let draws_a: Vec<f64> = (0..16).map(|_| a.uniform(0.0, 1.0)).collect();
+        let draws_a2: Vec<f64> = (0..16).map(|_| a2.uniform(0.0, 1.0)).collect();
+        let draws_b: Vec<f64> = (0..16).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_eq!(draws_a, draws_a2);
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn ensemble_cells_are_bit_identical_across_jobs() {
+        let platform = presets::workstation();
+        let seeds: Vec<u64> = (0..4).collect();
+        let run_all = |jobs: usize| {
+            CampaignEngine::new(jobs)
+                .run(&seeds, |_, &seed| {
+                    let members = [
+                        EnsembleMember {
+                            workflow: montage(40, seed)?,
+                            arrival: SimTime::ZERO,
+                            priority: 1.0,
+                        },
+                        EnsembleMember {
+                            workflow: montage(40, seed + 100)?,
+                            arrival: SimTime::from_secs(0.5),
+                            priority: 2.0,
+                        },
+                    ];
+                    let config = EngineConfig {
+                        seed,
+                        noise_cv: 0.05,
+                        ..Default::default()
+                    };
+                    EnsembleRunner::new(config, EnsemblePolicy::Priority).run(&platform, &members)
+                })
+                .map(|reports| format!("{reports:?}"))
+        };
+        let seq = run_all(1).unwrap();
+        let par = run_all(4).unwrap();
+        assert_eq!(seq, par, "parallel campaign must be byte-identical");
+    }
+}

@@ -97,7 +97,10 @@ impl CheckpointConfig {
     /// # Errors
     ///
     /// Returns [`EngineError::Config`] for a zero interval.
-    pub fn new(interval: SimDuration, overhead: SimDuration) -> Result<CheckpointConfig, EngineError> {
+    pub fn new(
+        interval: SimDuration,
+        overhead: SimDuration,
+    ) -> Result<CheckpointConfig, EngineError> {
         if interval.as_secs() <= 0.0 {
             return Err(EngineError::Config(
                 "checkpoint interval must be positive".into(),
@@ -183,19 +186,21 @@ mod tests {
 
     #[test]
     fn validation() {
-        let mut c = EngineConfig::default();
-        c.noise_cv = -0.1;
+        let c = EngineConfig {
+            noise_cv: -0.1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = EngineConfig::default();
-        c.device_slowdown = Some(vec![1.0, 0.0]);
+        let mut c = EngineConfig {
+            device_slowdown: Some(vec![1.0, 0.0]),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c.device_slowdown = Some(vec![1.0, 2.0]);
         assert!(c.validate().is_ok());
         assert!(FaultConfig::new(0.0, SimDuration::ZERO, 1).is_err());
         assert!(FaultConfig::new(100.0, SimDuration::ZERO, 1).is_ok());
         assert!(CheckpointConfig::new(SimDuration::ZERO, SimDuration::ZERO).is_err());
-        assert!(
-            CheckpointConfig::new(SimDuration::from_secs(1.0), SimDuration::ZERO).is_ok()
-        );
+        assert!(CheckpointConfig::new(SimDuration::from_secs(1.0), SimDuration::ZERO).is_ok());
     }
 }

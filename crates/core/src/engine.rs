@@ -87,8 +87,7 @@ pub(crate) fn occupancy_on(
             }
             None => (remaining, None),
         };
-        let fault_at =
-            SimDuration::from_secs(fault_rng.exponential(faults.mtbf_for(device_id)));
+        let fault_at = SimDuration::from_secs(fault_rng.exponential(faults.mtbf_for(device_id)));
         if fault_at >= effective {
             total += effective;
             return Ok(Occupancy {
@@ -254,9 +253,8 @@ impl Engine {
             level[p.task.0] = p.level;
         }
 
-        let mut inputs_pending: Vec<usize> = (0..n)
-            .map(|i| wf.predecessors(TaskId(i)).len())
-            .collect();
+        let mut inputs_pending: Vec<usize> =
+            (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect();
         let mut started = vec![false; n];
         let mut finished = vec![false; n];
         let mut realized: Vec<Option<Placement>> = vec![None; n];
@@ -294,9 +292,7 @@ impl Engine {
                             let modeled =
                                 device.execution_time(wf.task(task)?.cost(), level[task.0])?;
                             let noise = if self.config.noise_cv > 0.0 {
-                                noise_rng
-                                    .normal(1.0, self.config.noise_cv)
-                                    .max(0.05)
+                                noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
                             } else {
                                 1.0
                             };
@@ -441,9 +437,11 @@ mod tests {
         let p = presets::hpc_node();
         let wf = montage(60, 2).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let mut config = EngineConfig::default();
-        config.noise_cv = 0.3;
-        config.seed = 42;
+        let config = EngineConfig {
+            noise_cv: 0.3,
+            seed: 42,
+            ..Default::default()
+        };
         let report = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
         // All tasks completed with coherent event ordering.
         assert_eq!(report.schedule().placements().len(), wf.num_tasks());
@@ -469,11 +467,17 @@ mod tests {
         let p = presets::hpc_node();
         let wf = montage(50, 3).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let mut config = EngineConfig::default();
-        config.noise_cv = 0.2;
-        config.seed = 7;
-        let a = Engine::new(config.clone()).execute_plan(&p, &wf, &plan).unwrap();
-        let b = Engine::new(config.clone()).execute_plan(&p, &wf, &plan).unwrap();
+        let mut config = EngineConfig {
+            noise_cv: 0.2,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = Engine::new(config.clone())
+            .execute_plan(&p, &wf, &plan)
+            .unwrap();
+        let b = Engine::new(config.clone())
+            .execute_plan(&p, &wf, &plan)
+            .unwrap();
         assert_eq!(a, b);
         config.seed = 8;
         let c = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
@@ -486,8 +490,10 @@ mod tests {
         let wf = cybershake(80, 1).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
         let free = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        let mut config = EngineConfig::default();
-        config.link_contention = true;
+        let config = EngineConfig {
+            link_contention: true,
+            ..Default::default()
+        };
         let contended = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
         assert!(
             contended.makespan().as_secs() >= free.makespan().as_secs() - 1e-9,
@@ -503,11 +509,11 @@ mod tests {
         let wf = montage(60, 4).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
         let clean = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        let mut config = EngineConfig::default();
-        config.seed = 5;
-        config.faults = Some(
-            FaultConfig::new(0.01, SimDuration::from_secs(0.002), 1_000).unwrap(),
-        );
+        let config = EngineConfig {
+            seed: 5,
+            faults: Some(FaultConfig::new(0.01, SimDuration::from_secs(0.002), 1_000).unwrap()),
+            ..Default::default()
+        };
         let faulty = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
         assert!(faulty.failures() > 0, "MTBF 10ms must trigger failures");
         assert_eq!(faulty.failures(), faulty.retries());
@@ -519,13 +525,19 @@ mod tests {
         let p = presets::hpc_node();
         let wf = cybershake(60, 5).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let mut base = EngineConfig::default();
-        base.seed = 11;
-        base.faults = Some(FaultConfig::new(0.05, SimDuration::from_secs(0.002), 100_000).unwrap());
-        let without = Engine::new(base.clone()).execute_plan(&p, &wf, &plan).unwrap();
+        let base = EngineConfig {
+            seed: 11,
+            faults: Some(FaultConfig::new(0.05, SimDuration::from_secs(0.002), 100_000).unwrap()),
+            ..Default::default()
+        };
+        let without = Engine::new(base.clone())
+            .execute_plan(&p, &wf, &plan)
+            .unwrap();
         let mut with = base;
-        with.checkpointing =
-            Some(CheckpointConfig::new(SimDuration::from_secs(0.01), SimDuration::from_secs(0.0005)).unwrap());
+        with.checkpointing = Some(
+            CheckpointConfig::new(SimDuration::from_secs(0.01), SimDuration::from_secs(0.0005))
+                .unwrap(),
+        );
         let ckpt = Engine::new(with).execute_plan(&p, &wf, &plan).unwrap();
         assert!(
             ckpt.makespan() < without.makespan(),
@@ -540,11 +552,15 @@ mod tests {
         let p = presets::hpc_node();
         let wf = cybershake(60, 6).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let mut config = EngineConfig::default();
-        config.seed = 13;
         // MTBF far below task lengths and zero retries: must abort.
-        config.faults = Some(FaultConfig::new(0.01, SimDuration::ZERO, 0).unwrap());
-        let err = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap_err();
+        let config = EngineConfig {
+            seed: 13,
+            faults: Some(FaultConfig::new(0.01, SimDuration::ZERO, 0).unwrap()),
+            ..Default::default()
+        };
+        let err = Engine::new(config)
+            .execute_plan(&p, &wf, &plan)
+            .unwrap_err();
         assert!(matches!(err, EngineError::RetriesExhausted { .. }));
     }
 
@@ -557,11 +573,13 @@ mod tests {
         assert_eq!(occ.total.as_secs(), 10.0);
         assert_eq!(occ.failures, 0);
         // Checkpoints only: 10s work, 3s interval → 3 snapshots × 0.5s.
-        let mut cfg = EngineConfig::default();
-        cfg.checkpointing = Some(
-            CheckpointConfig::new(SimDuration::from_secs(3.0), SimDuration::from_secs(0.5))
-                .unwrap(),
-        );
+        let cfg = EngineConfig {
+            checkpointing: Some(
+                CheckpointConfig::new(SimDuration::from_secs(3.0), SimDuration::from_secs(0.5))
+                    .unwrap(),
+            ),
+            ..Default::default()
+        };
         let occ = occupancy(&cfg, SimDuration::from_secs(10.0), TaskId(0), &mut rng).unwrap();
         assert!((occ.total.as_secs() - 11.5).abs() < 1e-9);
     }
@@ -581,8 +599,10 @@ mod trace_tests {
         let p = presets::hpc_node();
         let wf = montage(40, 6).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let mut config = EngineConfig::default();
-        config.tracing = true;
+        let config = EngineConfig {
+            tracing: true,
+            ..Default::default()
+        };
         let report = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
         let trace = report.trace().expect("tracing was requested");
         let execs = trace
@@ -622,8 +642,10 @@ mod caching_tests {
         let wf = cybershake(120, 3).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
         let plain = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        let mut config = EngineConfig::default();
-        config.data_caching = true;
+        let config = EngineConfig {
+            data_caching: true,
+            ..Default::default()
+        };
         let cached = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
         assert!(
             cached.transfers().count < plain.transfers().count,
@@ -647,12 +669,18 @@ mod caching_tests {
         let p = presets::hpc_node();
         let wf = cybershake(120, 4).unwrap();
         let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let mut base = EngineConfig::default();
-        base.link_contention = true;
-        let congested = Engine::new(base.clone()).execute_plan(&p, &wf, &plan).unwrap();
+        let base = EngineConfig {
+            link_contention: true,
+            ..Default::default()
+        };
+        let congested = Engine::new(base.clone())
+            .execute_plan(&p, &wf, &plan)
+            .unwrap();
         let mut cached_cfg = base;
         cached_cfg.data_caching = true;
-        let cached = Engine::new(cached_cfg).execute_plan(&p, &wf, &plan).unwrap();
+        let cached = Engine::new(cached_cfg)
+            .execute_plan(&p, &wf, &plan)
+            .unwrap();
         assert!(
             cached.makespan() < congested.makespan(),
             "under contention, eliminating duplicate transfers must pay: {} vs {}",
@@ -693,22 +721,25 @@ mod per_device_fault_tests {
         // Everything reliable (MTBF 1e6 s) except gpu0 (MTBF 5 ms).
         let mut overrides = vec![None; p.num_devices()];
         overrides[2] = Some(0.005);
-        let mut config = EngineConfig::default();
-        config.seed = 4;
-        config.faults = Some(
-            FaultConfig::new(1e6, SimDuration::from_secs(0.001), 1_000_000)
-                .unwrap()
-                .with_per_device_mtbf(overrides)
-                .unwrap(),
-        );
+        let config = EngineConfig {
+            seed: 4,
+            faults: Some(
+                FaultConfig::new(1e6, SimDuration::from_secs(0.001), 1_000_000)
+                    .unwrap()
+                    .with_per_device_mtbf(overrides)
+                    .unwrap(),
+            ),
+            ..Default::default()
+        };
         let report = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
         assert!(report.failures() > 0, "the flaky GPU must fail");
         // All reliable-device tasks ran fault-free, so every retry was
         // on gpu0: spot-check by rerunning with gpu0 also reliable.
-        let mut config = EngineConfig::default();
-        config.seed = 4;
-        config.faults =
-            Some(FaultConfig::new(1e6, SimDuration::from_secs(0.001), 1_000_000).unwrap());
+        let config = EngineConfig {
+            seed: 4,
+            faults: Some(FaultConfig::new(1e6, SimDuration::from_secs(0.001), 1_000_000).unwrap()),
+            ..Default::default()
+        };
         let clean = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
         assert_eq!(clean.failures(), 0);
     }

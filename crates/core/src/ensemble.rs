@@ -142,12 +142,7 @@ impl EnsembleRunner {
 
         let gid = |m: usize, t: TaskId| base[m] + t.0;
         let mut preds_left: Vec<usize> = (0..n)
-            .map(|g| {
-                members[owner[g]]
-                    .workflow
-                    .predecessors(local[g])
-                    .len()
-            })
+            .map(|g| members[owner[g]].workflow.predecessors(local[g]).len())
             .collect();
         let mut released = vec![false; n];
         let mut ready: Vec<usize> = Vec::new();
@@ -252,8 +247,7 @@ impl EnsembleRunner {
                             start = start.max(arrival);
                         }
                         let device = platform.device(dev)?;
-                        let modeled =
-                            device.execution_time(cost, device.nominal_level())?;
+                        let modeled = device.execution_time(cost, device.nominal_level())?;
                         let noise = if self.config.noise_cv > 0.0 {
                             noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
                         } else {

@@ -43,7 +43,10 @@ impl fmt::Display for EngineError {
             EngineError::Platform(e) => write!(f, "platform error: {e}"),
             EngineError::Workflow(e) => write!(f, "workflow error: {e}"),
             EngineError::RetriesExhausted { task, attempts } => {
-                write!(f, "task {task} failed permanently after {attempts} attempts")
+                write!(
+                    f,
+                    "task {task} failed permanently after {attempts} attempts"
+                )
             }
             EngineError::Stalled { completed, total } => {
                 write!(f, "engine stalled after {completed}/{total} tasks")

@@ -22,7 +22,11 @@
 //!   one device transfer once,
 //! * **workflow ensembles** — the [`ensemble`] runner shares the
 //!   platform between several workflows arriving over time (FIFO /
-//!   priority / fair-share arbitration).
+//!   priority / fair-share arbitration),
+//! * **parallel campaigns** — the [`campaign`] engine fans independent
+//!   cells (seed replicates, sweep points, whole ensembles) out over
+//!   worker threads with input-indexed aggregation, so `--jobs N`
+//!   output is bit-identical to the sequential run.
 //!
 //! A run yields an [`ExecutionReport`]: realized placements, makespan,
 //! energy (via `helios-energy` accounting), transfer and fault
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 mod config;
 mod engine;
 pub mod ensemble;
@@ -60,9 +65,10 @@ pub mod executor;
 pub mod online;
 mod report;
 
+pub use campaign::{cell_rng, CampaignEngine};
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
-pub use ensemble::{EnsembleMember, EnsemblePolicy, EnsembleReport, EnsembleRunner, MemberReport};
 pub use engine::Engine;
+pub use ensemble::{EnsembleMember, EnsemblePolicy, EnsembleReport, EnsembleRunner, MemberReport};
 pub use error::EngineError;
 pub use online::{OnlinePolicy, OnlineRunner};
 pub use report::{ExecutionReport, TransferStats};

@@ -114,16 +114,11 @@ impl OnlineRunner {
             OnlinePolicy::Jit => vec![0.0; n],
         };
 
-        let mut preds_left: Vec<usize> = (0..n)
-            .map(|i| wf.predecessors(TaskId(i)).len())
-            .collect();
+        let mut preds_left: Vec<usize> = (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect();
         let mut finished = vec![false; n];
         let mut producer_device = vec![DeviceId(0); n];
         let mut realized: Vec<Option<Placement>> = vec![None; n];
-        let mut ready: Vec<TaskId> = (0..n)
-            .filter(|&i| preds_left[i] == 0)
-            .map(TaskId)
-            .collect();
+        let mut ready: Vec<TaskId> = (0..n).filter(|&i| preds_left[i] == 0).map(TaskId).collect();
         let mut device_idle = vec![true; platform.num_devices()];
 
         let base_rng = SimRng::seed_from(self.config.seed);
@@ -162,8 +157,7 @@ impl OnlineRunner {
             let mut data_at = now;
             for &e in wf.predecessors(task) {
                 let edge = wf.edge(e);
-                let t =
-                    platform.transfer_time(edge.bytes, producer_device[edge.src.0], device)?;
+                let t = platform.transfer_time(edge.bytes, producer_device[edge.src.0], device)?;
                 data_at = data_at.max(now + t);
             }
             let exec = platform
@@ -204,8 +198,7 @@ impl OnlineRunner {
                     for task in tasks {
                         // Best device over ALL devices, busy ones at their
                         // predicted free time.
-                        let mut best: Option<(DeviceId, helios_platform::DvfsLevel, f64)> =
-                            None;
+                        let mut best: Option<(DeviceId, helios_platform::DvfsLevel, f64)> = None;
                         for d in 0..platform.num_devices() {
                             let dev = DeviceId(d);
                             let device = platform.device(dev)?;
@@ -239,71 +232,70 @@ impl OnlineRunner {
                         ready.retain(|&t| t != task);
                         device_idle[dev.0] = false;
 
-                    // Pull inputs now; execution starts when the last
-                    // arrives.
-                    let mut start = now;
-                    for &e in wf.predecessors(task) {
-                        let edge = wf.edge(e);
-                        if self.config.data_caching {
-                            if let Some(&at) = delivered.get(&(edge.src, dev)) {
-                                start = start.max(at);
-                                continue;
+                        // Pull inputs now; execution starts when the last
+                        // arrives.
+                        let mut start = now;
+                        for &e in wf.predecessors(task) {
+                            let edge = wf.edge(e);
+                            if self.config.data_caching {
+                                if let Some(&at) = delivered.get(&(edge.src, dev)) {
+                                    start = start.max(at);
+                                    continue;
+                                }
                             }
+                            let label = format!("{}->{}", edge.src, edge.dst);
+                            let arrival = links.transfer_arrival(
+                                platform,
+                                self.config.link_contention,
+                                edge.bytes,
+                                producer_device[edge.src.0],
+                                dev,
+                                now,
+                                &mut stats,
+                                trace.as_mut().map(|t| (t, label.as_str())),
+                            )?;
+                            if self.config.data_caching {
+                                delivered.insert((edge.src, dev), arrival);
+                            }
+                            start = start.max(arrival);
                         }
-                        let label = format!("{}->{}", edge.src, edge.dst);
-                        let arrival = links.transfer_arrival(
-                            platform,
-                            self.config.link_contention,
-                            edge.bytes,
-                            producer_device[edge.src.0],
-                            dev,
-                            now,
-                            &mut stats,
-                            trace.as_mut().map(|t| (t, label.as_str())),
+                        let device = platform.device(dev)?;
+                        let believed_exec =
+                            device.execution_time(believed.task(task)?.cost(), level)?;
+                        let modeled = device.execution_time(wf.task(task)?.cost(), level)?;
+                        let slow = self
+                            .config
+                            .device_slowdown
+                            .as_ref()
+                            .and_then(|v| v.get(dev.0))
+                            .copied()
+                            .unwrap_or(1.0);
+                        let noise = if self.config.noise_cv > 0.0 {
+                            noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
+                        } else {
+                            1.0
+                        };
+                        let occ = occupancy_on(
+                            &self.config,
+                            modeled * noise * slow,
+                            task,
+                            dev.0,
+                            &mut fault_rng,
                         )?;
-                        if self.config.data_caching {
-                            delivered.insert((edge.src, dev), arrival);
-                        }
-                        start = start.max(arrival);
-                    }
-                    let device = platform.device(dev)?;
-                    let believed_exec =
-                        device.execution_time(believed.task(task)?.cost(), level)?;
-                    let modeled = device.execution_time(wf.task(task)?.cost(), level)?;
-                    let slow = self
-                        .config
-                        .device_slowdown
-                        .as_ref()
-                        .and_then(|v| v.get(dev.0))
-                        .copied()
-                        .unwrap_or(1.0);
-                    let noise = if self.config.noise_cv > 0.0 {
-                        noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
-                    } else {
-                        1.0
-                    };
-                    let occ = occupancy_on(
-                        &self.config,
-                        modeled * noise * slow,
-                        task,
-                        dev.0,
-                        &mut fault_rng,
-                    )?;
-                    failures += occ.failures;
-                    retries += occ.retries;
-                    let finish = start + occ.total;
-                    device_free_pred[dev.0] =
-                        start + believed_exec * calibration[dev.0];
-                    believed_dur[task.0] = believed_exec.as_secs();
-                    realized[task.0] = Some(Placement {
-                        task,
-                        device: dev,
-                        level,
-                        start,
-                        finish,
-                    });
-                    producer_device[task.0] = dev;
-                    queue.push(finish, task);
+                        failures += occ.failures;
+                        retries += occ.retries;
+                        let finish = start + occ.total;
+                        device_free_pred[dev.0] = start + believed_exec * calibration[dev.0];
+                        believed_dur[task.0] = believed_exec.as_secs();
+                        realized[task.0] = Some(Placement {
+                            task,
+                            device: dev,
+                            level,
+                            start,
+                            finish,
+                        });
+                        producer_device[task.0] = dev;
+                        queue.push(finish, task);
                         // A commitment changed the state: restart the
                         // round so remaining tasks see the new free times.
                         continue 'rounds;
@@ -325,8 +317,8 @@ impl OnlineRunner {
             if believed_dur[task.0] > 0.0 {
                 let observed = placement.duration().as_secs();
                 let ratio = observed / believed_dur[task.0];
-                calibration[dev.0] = (1.0 - CALIBRATION_EWMA) * calibration[dev.0]
-                    + CALIBRATION_EWMA * ratio;
+                calibration[dev.0] =
+                    (1.0 - CALIBRATION_EWMA) * calibration[dev.0] + CALIBRATION_EWMA * ratio;
             }
             for succ in wf.successor_tasks(task) {
                 preds_left[succ.0] -= 1;
@@ -433,9 +425,11 @@ mod tests {
         for seed in 0..8 {
             let wf = sipht(60, seed).unwrap();
             let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-            let mut cfg = EngineConfig::default();
-            cfg.noise_cv = 0.6;
-            cfg.seed = seed;
+            let cfg = EngineConfig {
+                noise_cv: 0.6,
+                seed,
+                ..Default::default()
+            };
             static_total += Engine::new(cfg.clone())
                 .execute_plan(&p, &wf, &plan)
                 .unwrap()
@@ -481,13 +475,17 @@ mod tests {
     fn online_deterministic_per_seed() {
         let p = presets::workstation();
         let wf = montage(40, 5).unwrap();
-        let mut cfg = EngineConfig::default();
-        cfg.noise_cv = 0.3;
-        cfg.seed = 9;
+        let cfg = EngineConfig {
+            noise_cv: 0.3,
+            seed: 9,
+            ..Default::default()
+        };
         let a = OnlineRunner::new(cfg.clone(), OnlinePolicy::Jit)
             .run(&p, &wf)
             .unwrap();
-        let b = OnlineRunner::new(cfg, OnlinePolicy::Jit).run(&p, &wf).unwrap();
+        let b = OnlineRunner::new(cfg, OnlinePolicy::Jit)
+            .run(&p, &wf)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -3,9 +3,9 @@
 use serde::{Deserialize, Serialize};
 
 use helios_energy::EnergyReport;
-use helios_sim::trace::Trace;
 use helios_platform::Platform;
 use helios_sched::{SchedError, Schedule};
+use helios_sim::trace::Trace;
 use helios_sim::SimDuration;
 use helios_workflow::Workflow;
 

@@ -77,9 +77,7 @@ pub fn plan_within_budget(
             let report = account(&candidate, wf, platform, false)?;
             if report.active_j <= budget_j {
                 let makespan = candidate.makespan().as_secs();
-                let better = best
-                    .as_ref()
-                    .map_or(true, |b| makespan < b.makespan_secs);
+                let better = best.as_ref().is_none_or(|b| makespan < b.makespan_secs);
                 if better {
                     best = Some(BudgetPlan {
                         schedule: candidate,
@@ -156,9 +154,7 @@ mod tests {
         let (wf, p, heft_energy) = setup();
         let mut last_makespan = f64::INFINITY;
         for frac in [0.75, 0.85, 0.95, 1.2] {
-            if let Some(plan) =
-                plan_within_budget(&wf, &p, heft_energy * frac, 2.0).unwrap()
-            {
+            if let Some(plan) = plan_within_budget(&wf, &p, heft_energy * frac, 2.0).unwrap() {
                 assert!(
                     plan.makespan_secs <= last_makespan + 1e-9,
                     "looser budget cannot be slower"

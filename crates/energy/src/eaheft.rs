@@ -79,10 +79,7 @@ impl Scheduler for EnergyAwareHeft {
                 .iter()
                 .map(|c| c.2.as_secs())
                 .fold(f64::INFINITY, f64::min);
-            let min_energy = candidates
-                .iter()
-                .map(|c| c.3)
-                .fold(f64::INFINITY, f64::min);
+            let min_energy = candidates.iter().map(|c| c.3).fold(f64::INFINITY, f64::min);
             let (dev, start, finish, _) = candidates
                 .into_iter()
                 .min_by(|a, b| {

@@ -65,11 +65,8 @@ pub fn reclaim_slack(
             .then(topo_pos[b.task.0].cmp(&topo_pos[a.task.0]))
     });
 
-    let mut new_placements: BTreeMap<TaskId, Placement> = schedule
-        .placements()
-        .iter()
-        .map(|p| (p.task, *p))
-        .collect();
+    let mut new_placements: BTreeMap<TaskId, Placement> =
+        schedule.placements().iter().map(|p| (p.task, *p)).collect();
 
     for original in order {
         let task = original.task;

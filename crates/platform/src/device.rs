@@ -404,11 +404,14 @@ pub struct DeviceBuilder {
     trust_level: u8,
 }
 
+/// Default parameter bundle per device kind:
+/// (peak_gflops, mem_bw, mem_gb, launch_overhead_s,
+///  dvfs [(ghz, v); 3] ascending, (static_w, ceff, idle_w), sleep_w).
+type KindDefaults = (f64, f64, f64, f64, [(f64, f64); 3], (f64, f64, f64), f64);
+
 /// Kind-specific default parameters: ballpark figures from public
 /// datasheets of the device classes a 2021-era heterogeneous node contains.
-fn kind_defaults(kind: DeviceKind) -> (f64, f64, f64, f64, [(f64, f64); 3], (f64, f64, f64), f64) {
-    // (peak_gflops, mem_bw, mem_gb, launch_overhead_s,
-    //  dvfs [(ghz, v); 3] ascending, (static_w, ceff, idle_w), sleep_w)
+fn kind_defaults(kind: DeviceKind) -> KindDefaults {
     match kind {
         DeviceKind::Cpu => (
             500.0,
@@ -652,7 +655,7 @@ mod tests {
     #[test]
     fn roofline_memory_bound() {
         let d = gpu(); // 700 GB/s
-        // Tiny flops, huge traffic: memory-bound.
+                       // Tiny flops, huge traffic: memory-bound.
         let cost = ComputeCost::new(0.001, 700e9, KernelClass::Reduction);
         let t = d.execution_time(&cost, d.nominal_level()).unwrap();
         assert!((t.as_secs() - (1.0 + 10e-6)).abs() < 1e-9, "t = {t}");

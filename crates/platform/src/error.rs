@@ -39,6 +39,18 @@ pub enum PlatformError {
         /// Destination device index.
         to: usize,
     },
+    /// A derived model quantity (execution time, rank, …) came out NaN
+    /// or infinite — usually an overflow from extreme but individually
+    /// valid inputs. Catching it at the model boundary keeps NaN out of
+    /// ordering comparisons downstream.
+    NonFiniteModel {
+        /// Which quantity was non-finite.
+        what: &'static str,
+        /// Index of the offending element (task, device, …).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -62,6 +74,9 @@ impl fmt::Display for PlatformError {
             ),
             PlatformError::NoRoute { from, to } => {
                 write!(f, "no route between device {from} and device {to}")
+            }
+            PlatformError::NonFiniteModel { what, index, value } => {
+                write!(f, "{what} for element {index} is not finite: {value}")
             }
         }
     }

@@ -343,7 +343,8 @@ mod tests {
         assert_eq!(t, SimDuration::ZERO);
         assert_eq!(ic.route(DeviceId(3), DeviceId(3)).unwrap(), Vec::new());
         assert_eq!(
-            ic.bottleneck_bandwidth_gbs(DeviceId(1), DeviceId(1)).unwrap(),
+            ic.bottleneck_bandwidth_gbs(DeviceId(1), DeviceId(1))
+                .unwrap(),
             None
         );
     }
@@ -367,7 +368,8 @@ mod tests {
         // bottleneck 1 GB/s → 1 s, latencies 3 µs.
         assert!((t.as_secs() - (1.0 + 3e-6)).abs() < 1e-12);
         assert_eq!(
-            ic.bottleneck_bandwidth_gbs(DeviceId(0), DeviceId(1)).unwrap(),
+            ic.bottleneck_bandwidth_gbs(DeviceId(0), DeviceId(1))
+                .unwrap(),
             Some(1.0)
         );
         // No reverse route and no default link.
@@ -394,7 +396,9 @@ mod tests {
         let ic = Interconnect::shared_bus(10.0, ms(0.0)).unwrap();
         let double = ic.scaled_bandwidth(2.0).unwrap();
         let t1 = ic.transfer_time(20e9, DeviceId(0), DeviceId(1)).unwrap();
-        let t2 = double.transfer_time(20e9, DeviceId(0), DeviceId(1)).unwrap();
+        let t2 = double
+            .transfer_time(20e9, DeviceId(0), DeviceId(1))
+            .unwrap();
         assert!((t1.as_secs() / t2.as_secs() - 2.0).abs() < 1e-12);
         assert!(ic.scaled_bandwidth(0.0).is_err());
     }

@@ -167,8 +167,7 @@ impl Platform {
         for from in 0..n {
             for to in 0..n {
                 if from != to {
-                    total +=
-                        self.transfer_time(bytes, DeviceId(from), DeviceId(to))?;
+                    total += self.transfer_time(bytes, DeviceId(from), DeviceId(to))?;
                     pairs += 1;
                 }
             }
@@ -319,9 +318,7 @@ mod tests {
     #[test]
     fn mean_transfer_time_symmetric_bus() {
         let p = two_device();
-        let one = p
-            .transfer_time(1e9, DeviceId(0), DeviceId(1))
-            .unwrap();
+        let one = p.transfer_time(1e9, DeviceId(0), DeviceId(1)).unwrap();
         let mean = p.mean_transfer_time(1e9).unwrap();
         assert_eq!(one, mean);
 

@@ -71,21 +71,25 @@ pub fn hpc_node_with_gpus(gpus: usize) -> Platform {
     let mut b = PlatformBuilder::new("hpc_node");
     let mut cpus = Vec::new();
     for i in 0..2 {
-        cpus.push(b.add_device(
-            DeviceBuilder::new(format!("cpu{i}"), DeviceKind::Cpu)
-                .peak_gflops(800.0)
-                .mem_bandwidth_gbs(100.0)
-                .build()
-                .expect("preset device parameters are valid"),
-        ));
+        cpus.push(
+            b.add_device(
+                DeviceBuilder::new(format!("cpu{i}"), DeviceKind::Cpu)
+                    .peak_gflops(800.0)
+                    .mem_bandwidth_gbs(100.0)
+                    .build()
+                    .expect("preset device parameters are valid"),
+            ),
+        );
     }
     let mut gpu_ids = Vec::new();
     for i in 0..gpus {
-        gpu_ids.push(b.add_device(
-            DeviceBuilder::new(format!("gpu{i}"), DeviceKind::Gpu)
-                .build()
-                .expect("preset device parameters are valid"),
-        ));
+        gpu_ids.push(
+            b.add_device(
+                DeviceBuilder::new(format!("gpu{i}"), DeviceKind::Gpu)
+                    .build()
+                    .expect("preset device parameters are valid"),
+            ),
+        );
     }
     let fpga = b.add_device(
         DeviceBuilder::new("fpga0", DeviceKind::Fpga)
@@ -103,11 +107,7 @@ pub fn hpc_node_with_gpus(gpus: usize) -> Platform {
     let pcie = ic.add_link(Link::new("pcie4-x16", 32.0, us(5.0)).expect("valid link"));
     let nvlink = ic.add_link(Link::new("nvlink", 300.0, us(1.0)).expect("valid link"));
     ic.route_symmetric(cpus[0], cpus[1], vec![dram]);
-    let accels: Vec<DeviceId> = gpu_ids
-        .iter()
-        .copied()
-        .chain([fpga, asic])
-        .collect();
+    let accels: Vec<DeviceId> = gpu_ids.iter().copied().chain([fpga, asic]).collect();
     for &cpu in &cpus {
         for &acc in &accels {
             ic.route_symmetric(cpu, acc, vec![pcie]);
@@ -265,9 +265,7 @@ mod tests {
                 for b in 0..p.num_devices() {
                     let t = p
                         .transfer_time(1e6, DeviceId(a), DeviceId(b))
-                        .unwrap_or_else(|e| {
-                            panic!("{}: no route {a}->{b}: {e}", p.name())
-                        });
+                        .unwrap_or_else(|e| panic!("{}: no route {a}->{b}: {e}", p.name()));
                     if a == b {
                         assert_eq!(t, SimDuration::ZERO);
                     } else {
@@ -366,7 +364,9 @@ mod hetero_tests {
         let max = speeds.iter().copied().fold(0.0f64, f64::max);
         let min = speeds.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min > 2.0, "spread {}..{}", min, max);
-        assert!(speeds.iter().all(|&s| s >= 500.0 / 8.0 - 1e-6 && s <= 4000.0 + 1e-6));
+        assert!(speeds
+            .iter()
+            .all(|&s| (500.0 / 8.0 - 1e-6..=4000.0 + 1e-6).contains(&s)));
         // Deterministic.
         let again = heterogeneous_node(8, 7.0, 1);
         assert_eq!(hetero, again);

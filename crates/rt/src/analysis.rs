@@ -31,11 +31,7 @@ pub fn rm_utilization_test(tasks: &[PeriodicTask]) -> bool {
 /// `Π (Uᵢ + 1) ≤ 2`. Strictly dominates the Liu–Layland bound.
 #[must_use]
 pub fn hyperbolic_test(tasks: &[PeriodicTask]) -> bool {
-    tasks
-        .iter()
-        .map(|t| t.utilization() + 1.0)
-        .product::<f64>()
-        <= 2.0 + 1e-12
+    tasks.iter().map(|t| t.utilization() + 1.0).product::<f64>() <= 2.0 + 1e-12
 }
 
 /// Exact EDF test for implicit-deadline periodic tasks: `U ≤ 1`.
@@ -141,10 +137,7 @@ pub fn rta_split_tasks(tasks: &[SplitTask]) -> Result<Option<Vec<f64>>, RtError>
 /// # Errors
 ///
 /// Returns [`RtError::InvalidParameter`] for a non-positive target.
-pub fn elastic_compress(
-    tasks: &[ElasticTask],
-    u_target: f64,
-) -> Result<Option<Vec<f64>>, RtError> {
+pub fn elastic_compress(tasks: &[ElasticTask], u_target: f64) -> Result<Option<Vec<f64>>, RtError> {
     if !(u_target.is_finite() && u_target > 0.0) {
         return Err(RtError::InvalidParameter {
             name: "u_target",
@@ -385,11 +378,7 @@ mod tests {
         ];
         // Nominal U = 0.9; compress to 0.6.
         let periods = elastic_compress(&tasks, 0.6).unwrap().unwrap();
-        let u: f64 = tasks
-            .iter()
-            .zip(&periods)
-            .map(|(t, &p)| t.wcet() / p)
-            .sum();
+        let u: f64 = tasks.iter().zip(&periods).map(|(t, &p)| t.wcet() / p).sum();
         assert!(u <= 0.6 + 1e-9, "compressed U = {u}");
         for (t, &p) in tasks.iter().zip(&periods) {
             assert!(p >= t.period_min() - 1e-12 && p <= t.period_max() + 1e-12);

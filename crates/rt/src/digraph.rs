@@ -230,12 +230,7 @@ mod tests {
         // 0→2→0 (U = (1+5)/8 = 0.75).
         let t = DigraphTask::new(
             vec![v(1.0, 5.0), v(3.0, 10.0), v(5.0, 6.0)],
-            vec![
-                e(0, 1, 5.0),
-                e(1, 0, 10.0),
-                e(0, 2, 4.0),
-                e(2, 0, 4.0),
-            ],
+            vec![e(0, 1, 5.0), e(1, 0, 10.0), e(0, 2, 4.0), e(2, 0, 4.0)],
         )
         .unwrap();
         assert!((t.max_cycle_utilization().unwrap() - 0.75).abs() < 1e-12);
@@ -252,11 +247,7 @@ mod tests {
 
     #[test]
     fn acyclic_graph_has_zero_utilization() {
-        let t = DigraphTask::new(
-            vec![v(1.0, 5.0), v(1.0, 5.0)],
-            vec![e(0, 1, 5.0)],
-        )
-        .unwrap();
+        let t = DigraphTask::new(vec![v(1.0, 5.0), v(1.0, 5.0)], vec![e(0, 1, 5.0)]).unwrap();
         assert_eq!(t.max_cycle_utilization().unwrap(), 0.0);
     }
 
@@ -372,10 +363,7 @@ impl DigraphTask {
 /// [`DigraphTask::edf_utilization_test`].
 #[must_use]
 pub fn drt_edf_demand_test(tasks: &[DigraphTask], horizon: f64) -> bool {
-    let mut steps: Vec<f64> = tasks
-        .iter()
-        .flat_map(|t| t.demand_steps(horizon))
-        .collect();
+    let mut steps: Vec<f64> = tasks.iter().flat_map(|t| t.demand_steps(horizon)).collect();
     steps.sort_by(f64::total_cmp);
     steps.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     for t in steps {
@@ -420,12 +408,7 @@ mod dbf_tests {
         // Source branches to a cheap or an expensive mode.
         let t = DigraphTask::new(
             vec![v(1.0, 2.0), v(5.0, 10.0), v(0.5, 1.0)],
-            vec![
-                e(0, 1, 2.0),
-                e(1, 0, 10.0),
-                e(0, 2, 2.0),
-                e(2, 0, 2.0),
-            ],
+            vec![e(0, 1, 2.0), e(1, 0, 10.0), e(0, 2, 2.0), e(2, 0, 2.0)],
         )
         .unwrap();
         // At t = 12: walk 0->1 gives 1 + 5 = 6; walk 0->2->0->2... gives

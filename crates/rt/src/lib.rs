@@ -38,8 +38,8 @@
 
 pub mod analysis;
 mod dag_task;
-pub mod edf;
 mod digraph;
+pub mod edf;
 mod error;
 mod models;
 pub mod taskset;

@@ -498,7 +498,9 @@ impl SplitTask {
     /// non-positive, or the total exceeds the deadline.
     pub fn new(subjobs: Vec<f64>, period: f64, deadline: f64) -> Result<SplitTask, RtError> {
         if subjobs.is_empty() {
-            return Err(RtError::Inconsistent("split task needs >= 1 sub-job".into()));
+            return Err(RtError::Inconsistent(
+                "split task needs >= 1 sub-job".into(),
+            ));
         }
         for &s in &subjobs {
             positive("subjob wcet", s)?;
@@ -570,9 +572,15 @@ mod tests {
         assert!(PeriodicTask::new(0.0, 10.0).is_err());
         assert!(PeriodicTask::with_deadline(2.0, 10.0, 12.0).is_err());
         assert!(PeriodicTask::with_deadline(5.0, 10.0, 4.0).is_err());
-        let t = PeriodicTask::new(2.0, 10.0).unwrap().with_phase(3.0).unwrap();
+        let t = PeriodicTask::new(2.0, 10.0)
+            .unwrap()
+            .with_phase(3.0)
+            .unwrap();
         assert_eq!(t.phase(), 3.0);
-        assert!(PeriodicTask::new(2.0, 10.0).unwrap().with_phase(-1.0).is_err());
+        assert!(PeriodicTask::new(2.0, 10.0)
+            .unwrap()
+            .with_phase(-1.0)
+            .is_err());
     }
 
     #[test]
@@ -618,8 +626,7 @@ mod tests {
 
     #[test]
     fn mixed_criticality_validation() {
-        let hi =
-            MixedCriticalityTask::new(1.0, 3.0, 10.0, 10.0, Criticality::Hi).unwrap();
+        let hi = MixedCriticalityTask::new(1.0, 3.0, 10.0, 10.0, Criticality::Hi).unwrap();
         assert_eq!(hi.wcet_hi(), 3.0);
         assert!(MixedCriticalityTask::new(3.0, 1.0, 10.0, 10.0, Criticality::Hi).is_err());
         // HI task whose HI budget misses the deadline.

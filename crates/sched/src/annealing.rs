@@ -71,11 +71,7 @@ fn decode(
         let (idx, &task) = ready
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                priority[a.0]
-                    .total_cmp(&priority[b.0])
-                    .then(b.0.cmp(&a.0))
-            })
+            .max_by(|(_, a), (_, b)| priority[a.0].total_cmp(&priority[b.0]).then(b.0.cmp(&a.0)))
             .ok_or_else(|| SchedError::Internal("empty ready set".into()))?;
         ready.swap_remove(idx);
         let dev = assignment[task.0];
@@ -104,10 +100,7 @@ impl Scheduler for AnnealingScheduler {
             assignment[p.task.0] = p.device;
         }
         let mut priority = analysis::bottom_levels(wf, platform)?;
-        let priority_span = priority
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b))
-            .max(1e-12);
+        let priority_span = priority.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-12);
 
         // Memory-feasible device sets per task.
         let feasible: Vec<Vec<DeviceId>> = wf
@@ -158,14 +151,13 @@ impl Scheduler for AnnealingScheduler {
                 };
                 assignment[task.0] = new_dev;
             } else {
-                priority[task.0] =
-                    (old_prio + rng.normal(0.0, 0.05 * priority_span)).max(0.0);
+                priority[task.0] = (old_prio + rng.normal(0.0, 0.05 * priority_span)).max(0.0);
             }
 
             let candidate = decode(wf, platform, &priority, &assignment)?;
             let cost = candidate.makespan().as_secs();
-            let accept = cost <= current_cost
-                || rng.chance(((current_cost - cost) / temp).exp().min(1.0));
+            let accept =
+                cost <= current_cost || rng.chance(((current_cost - cost) / temp).exp().min(1.0));
             if accept {
                 current = candidate;
                 current_cost = cost;
@@ -196,7 +188,9 @@ mod tests {
         for seed in 0..3 {
             let wf = montage(60, seed).unwrap();
             let heft = HeftScheduler::default().schedule(&wf, &p).unwrap();
-            let sa = AnnealingScheduler::new(300, seed).schedule(&wf, &p).unwrap();
+            let sa = AnnealingScheduler::new(300, seed)
+                .schedule(&wf, &p)
+                .unwrap();
             sa.validate(&wf, &p).unwrap();
             assert!(
                 sa.makespan().as_secs() <= heft.makespan().as_secs() + 1e-9,

@@ -38,9 +38,31 @@ pub struct SchedContext<'a> {
     platform: &'a Platform,
     /// `exec[task][device]` nominal execution times.
     exec: Vec<Vec<SimDuration>>,
+    /// `pair_cost[from][to]` memoized interconnect terms, so the hot
+    /// EST/EFT loops never re-walk routes or links.
+    pair_cost: Vec<Vec<PairCost>>,
+    /// `feasible_map[task][device]` placement feasibility, precomputed.
+    feasible_map: Vec<Vec<bool>>,
     timelines: Vec<DeviceTimeline>,
     placements: Vec<Option<Placement>>,
     insertion: bool,
+}
+
+/// Memoized transfer terms for one device pair.
+///
+/// `Link` stores the route's summed latency and the bandwidth
+/// denominator `min_bw * 1e9` exactly as `Interconnect::transfer_time`
+/// computes them, so `latency + bytes / denom` reproduces the uncached
+/// result bit for bit.
+#[derive(Debug, Clone)]
+enum PairCost {
+    /// Empty route (same device): transfers are free at any size.
+    Free,
+    /// Routed pair: `latency + from_secs(bytes / denom)`.
+    Link { latency: SimDuration, denom: f64 },
+    /// No route or broken link; the platform call is replayed on demand
+    /// so the caller sees the identical error.
+    Unroutable,
 }
 
 impl<'a> SchedContext<'a> {
@@ -63,14 +85,85 @@ impl<'a> SchedContext<'a> {
             }
             exec.push(row);
         }
+        let n = platform.num_devices();
+        let ic = platform.interconnect();
+        let mut pair_cost = Vec::with_capacity(n);
+        for from in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for to in 0..n {
+                row.push(match ic.route(DeviceId(from), DeviceId(to)) {
+                    Err(_) => PairCost::Unroutable,
+                    Ok(route) if route.is_empty() => PairCost::Free,
+                    Ok(route) => {
+                        // Same accumulation order as `transfer_time`, so
+                        // the memoized terms are bitwise identical.
+                        let mut latency = SimDuration::ZERO;
+                        let mut min_bw = f64::INFINITY;
+                        let mut broken = false;
+                        for id in route {
+                            match ic.link(id) {
+                                Ok(link) => {
+                                    latency += link.latency();
+                                    min_bw = min_bw.min(link.bandwidth_gbs());
+                                }
+                                Err(_) => {
+                                    broken = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if broken {
+                            PairCost::Unroutable
+                        } else {
+                            PairCost::Link {
+                                latency,
+                                denom: min_bw * 1e9,
+                            }
+                        }
+                    }
+                });
+            }
+            pair_cost.push(row);
+        }
+        let feasible_map = wf
+            .tasks()
+            .iter()
+            .map(|t| {
+                platform
+                    .devices()
+                    .iter()
+                    .map(|d| crate::placement_feasible(d, t))
+                    .collect()
+            })
+            .collect();
         Ok(SchedContext {
             wf,
             platform,
             exec,
+            pair_cost,
+            feasible_map,
             timelines: vec![DeviceTimeline::new(); platform.num_devices()],
             placements: vec![None; wf.num_tasks()],
             insertion,
         })
+    }
+
+    /// Transfer time between committed devices through the memoized
+    /// per-pair terms; falls back to the platform call (reproducing its
+    /// exact error) for unroutable pairs.
+    fn pair_transfer(
+        &self,
+        bytes: f64,
+        from: DeviceId,
+        to: DeviceId,
+    ) -> Result<SimDuration, SchedError> {
+        match &self.pair_cost[from.0][to.0] {
+            PairCost::Free => Ok(SimDuration::ZERO),
+            PairCost::Link { latency, denom } => {
+                Ok(*latency + SimDuration::from_secs(bytes / denom))
+            }
+            PairCost::Unroutable => Ok(self.platform.transfer_time(bytes, from, to)?),
+        }
     }
 
     /// The workflow being scheduled.
@@ -95,9 +188,10 @@ impl<'a> SchedContext<'a> {
     /// memory and its trust level clears the task's requirement.
     #[must_use]
     pub fn feasible(&self, task: TaskId, device: DeviceId) -> bool {
-        self.platform
-            .device(device)
-            .map(|d| crate::placement_feasible(d, &self.wf.tasks()[task.0]))
+        self.feasible_map
+            .get(task.0)
+            .and_then(|row| row.get(device.0))
+            .copied()
             .unwrap_or(false)
     }
 
@@ -128,6 +222,32 @@ impl<'a> SchedContext<'a> {
     /// Returns [`SchedError::Unscheduled`] if a predecessor has not been
     /// placed yet, or a routing error.
     pub fn data_ready(&self, task: TaskId, device: DeviceId) -> Result<SimTime, SchedError> {
+        let mut ready = SimTime::ZERO;
+        for &e in self.wf.predecessors(task) {
+            let edge = self.wf.edge(e);
+            let pred = self.placements[edge.src.0]
+                .as_ref()
+                .ok_or(SchedError::Unscheduled(edge.src))?;
+            let transfer = self.pair_transfer(edge.bytes, pred.device, device)?;
+            ready = ready.max(pred.finish + transfer);
+        }
+        Ok(ready)
+    }
+
+    /// Reference implementation of [`SchedContext::data_ready`] that
+    /// bypasses the memoized pair costs and queries the platform model
+    /// directly. Exists so tests can assert the cache is bit-identical;
+    /// not for production use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SchedContext::data_ready`].
+    #[doc(hidden)]
+    pub fn data_ready_uncached(
+        &self,
+        task: TaskId,
+        device: DeviceId,
+    ) -> Result<SimTime, SchedError> {
         let mut ready = SimTime::ZERO;
         for &e in self.wf.predecessors(task) {
             let edge = self.wf.edge(e);
@@ -165,9 +285,32 @@ impl<'a> SchedContext<'a> {
     /// the task's working set; otherwise same as
     /// [`SchedContext::data_ready`].
     pub fn best_eft(&self, task: TaskId) -> Result<(DeviceId, SimTime, SimTime), SchedError> {
+        // Gather each predecessor's (finish, device, bytes) once for the
+        // whole device sweep instead of re-walking edge and placement
+        // tables per probe.
+        let pred_edges = self.wf.predecessors(task);
+        let mut preds: Vec<(SimTime, DeviceId, f64)> = Vec::with_capacity(pred_edges.len());
+        for &e in pred_edges {
+            let edge = self.wf.edge(e);
+            let pred = self.placements[edge.src.0]
+                .as_ref()
+                .ok_or(SchedError::Unscheduled(edge.src))?;
+            preds.push((pred.finish, pred.device, edge.bytes));
+        }
         let mut best: Option<(DeviceId, SimTime, SimTime)> = None;
-        for dev in self.feasible_devices(task).collect::<Vec<_>>() {
-            let (start, finish) = self.eft(task, dev)?;
+        for d in 0..self.platform.num_devices() {
+            if !self.feasible_map[task.0][d] {
+                continue;
+            }
+            let dev = DeviceId(d);
+            let mut ready = SimTime::ZERO;
+            for &(pred_finish, pred_dev, bytes) in &preds {
+                let transfer = self.pair_transfer(bytes, pred_dev, dev)?;
+                ready = ready.max(pred_finish + transfer);
+            }
+            let exec = self.exec[task.0][d];
+            let start = self.timelines[d].earliest_start(ready, exec, self.insertion);
+            let finish = start + exec;
             let better = match best {
                 None => true,
                 Some((_, _, bf)) => finish < bf,
@@ -198,15 +341,10 @@ impl<'a> SchedContext<'a> {
         finish: SimTime,
     ) -> Result<(), SchedError> {
         if self.placements[task.0].is_some() {
-            return Err(SchedError::Internal(format!(
-                "task {task} placed twice"
-            )));
+            return Err(SchedError::Internal(format!("task {task} placed twice")));
         }
         self.timelines[device.0].reserve(start, finish);
-        let level = self
-            .platform
-            .device(device)?
-            .nominal_level();
+        let level = self.platform.device(device)?.nominal_level();
         self.placements[task.0] = Some(Placement {
             task,
             device,
@@ -266,7 +404,10 @@ mod tests {
         let wf = chain2();
         let p = presets::workstation();
         let ctx = SchedContext::new(&wf, &p, true).unwrap();
-        assert_eq!(ctx.data_ready(TaskId(0), DeviceId(0)).unwrap(), SimTime::ZERO);
+        assert_eq!(
+            ctx.data_ready(TaskId(0), DeviceId(0)).unwrap(),
+            SimTime::ZERO
+        );
         // Successor with unplaced predecessor errors.
         assert!(matches!(
             ctx.data_ready(TaskId(1), DeviceId(0)),
@@ -306,7 +447,9 @@ mod tests {
         let mut ctx = SchedContext::new(&wf, &p, true).unwrap();
         let (d, s, f) = ctx.best_eft(TaskId(0)).unwrap();
         ctx.place(TaskId(0), d, s, f).unwrap();
-        assert!(ctx.place(TaskId(0), d, f, f + SimDuration::from_secs(1.0)).is_err());
+        assert!(ctx
+            .place(TaskId(0), d, f, f + SimDuration::from_secs(1.0))
+            .is_err());
     }
 
     #[test]

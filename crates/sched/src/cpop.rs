@@ -26,17 +26,16 @@ impl Scheduler for CpopScheduler {
     fn schedule(&self, wf: &Workflow, platform: &Platform) -> Result<Schedule, SchedError> {
         let bottom = analysis::bottom_levels(wf, platform)?;
         let top = analysis::top_levels(wf, platform)?;
-        let priority: Vec<f64> = bottom
-            .iter()
-            .zip(&top)
-            .map(|(b, t)| b + t)
-            .collect();
+        let priority: Vec<f64> = bottom.iter().zip(&top).map(|(b, t)| b + t).collect();
 
         // The critical path: tasks whose priority equals the entry task's
         // maximum priority (within tolerance).
         let cp_value = priority.iter().fold(0.0f64, |a, &b| a.max(b));
         let tol = 1e-9 * cp_value.max(1.0);
-        let on_cp: Vec<bool> = priority.iter().map(|&p| (cp_value - p).abs() <= tol).collect();
+        let on_cp: Vec<bool> = priority
+            .iter()
+            .map(|&p| (cp_value - p).abs() <= tol)
+            .collect();
 
         // Pick the device minimizing the summed execution of CP tasks,
         // among devices whose memory fits every CP task; fall back to
@@ -81,9 +80,7 @@ impl Scheduler for CpopScheduler {
                 .iter()
                 .enumerate()
                 .max_by(|(_, a), (_, b)| {
-                    priority[a.0]
-                        .total_cmp(&priority[b.0])
-                        .then(b.0.cmp(&a.0))
+                    priority[a.0].total_cmp(&priority[b.0]).then(b.0.cmp(&a.0))
                 })
                 .ok_or_else(|| SchedError::Internal("empty ready set".into()))?;
             ready.swap_remove(idx);

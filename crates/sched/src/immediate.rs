@@ -90,7 +90,7 @@ impl Scheduler for OlbScheduler {
             let mut best: Option<(DeviceId, _, _)> = None;
             for dev in ctx.feasible_devices(task).collect::<Vec<_>>() {
                 let (start, finish) = ctx.eft(task, dev)?;
-                if best.map_or(true, |(_, bs, _)| start < bs) {
+                if best.is_none_or(|(_, bs, _)| start < bs) {
                     best = Some((dev, start, finish));
                 }
             }

@@ -66,7 +66,9 @@ pub use context::SchedContext;
 pub use cpop::CpopScheduler;
 pub use error::SchedError;
 pub use heft::HeftScheduler;
-pub use immediate::{MctScheduler, MetScheduler, OlbScheduler, RandomScheduler, RoundRobinScheduler};
+pub use immediate::{
+    MctScheduler, MetScheduler, OlbScheduler, RandomScheduler, RoundRobinScheduler,
+};
 pub use lookahead::LookaheadScheduler;
 pub use peft::PeftScheduler;
 pub use schedule::{Placement, Schedule};

@@ -36,9 +36,7 @@ impl Scheduler for LookaheadScheduler {
             // their EFT evaluated once `task` is tentatively committed.
             let evaluable: Vec<_> = wf
                 .successor_tasks(task)
-                .filter(|&c| {
-                    wf.predecessor_tasks(c).all(|p| p == task || placed[p.0])
-                })
+                .filter(|&c| wf.predecessor_tasks(c).all(|p| p == task || placed[p.0]))
                 .collect();
 
             let mut best: Option<(DeviceId, _, _, f64)> = None;
@@ -56,7 +54,7 @@ impl Scheduler for LookaheadScheduler {
                     ctx.unplace(task)?;
                     worst_child
                 };
-                if best.map_or(true, |(_, _, _, b)| score < b) {
+                if best.is_none_or(|(_, _, _, b)| score < b) {
                     best = Some((dev, start, finish, score));
                 }
             }

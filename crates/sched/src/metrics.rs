@@ -85,8 +85,7 @@ pub fn stage_breakdown(
     schedule: &Schedule,
     wf: &Workflow,
 ) -> Result<Vec<(String, f64, usize)>, SchedError> {
-    let mut agg: std::collections::BTreeMap<&str, (f64, usize)> =
-        std::collections::BTreeMap::new();
+    let mut agg: std::collections::BTreeMap<&str, (f64, usize)> = std::collections::BTreeMap::new();
     for (i, task) in wf.tasks().iter().enumerate() {
         let p = schedule.placement(helios_workflow::TaskId(i))?;
         let entry = agg.entry(task.stage()).or_insert((0.0, 0));
@@ -115,7 +114,11 @@ mod stage_tests {
         let s = HeftScheduler::default().schedule(&wf, &p).unwrap();
         let rows = stage_breakdown(&s, &wf).unwrap();
         let total: f64 = rows.iter().map(|r| r.1).sum();
-        let busy: f64 = s.placements().iter().map(|pl| pl.duration().as_secs()).sum();
+        let busy: f64 = s
+            .placements()
+            .iter()
+            .map(|pl| pl.duration().as_secs())
+            .sum();
         assert!((total - busy).abs() < 1e-9);
         let tasks: usize = rows.iter().map(|r| r.2).sum();
         assert_eq!(tasks, wf.num_tasks());

@@ -29,11 +29,9 @@ pub(crate) fn optimistic_cost_table(
     // exec[t][d]
     let mut exec = vec![vec![0.0f64; m]; n];
     for (i, t) in wf.tasks().iter().enumerate() {
-        for d in 0..m {
+        for (d, slot) in exec[i].iter_mut().enumerate() {
             let dev = platform.device(DeviceId(d))?;
-            exec[i][d] = dev
-                .execution_time(t.cost(), dev.nominal_level())?
-                .as_secs();
+            *slot = dev.execution_time(t.cost(), dev.nominal_level())?.as_secs();
         }
     }
     let mut oct = vec![vec![0.0f64; m]; n];
@@ -80,9 +78,7 @@ impl Scheduler for PeftScheduler {
                 .iter()
                 .enumerate()
                 .max_by(|(_, a), (_, b)| {
-                    rank_oct[a.0]
-                        .total_cmp(&rank_oct[b.0])
-                        .then(b.0.cmp(&a.0))
+                    rank_oct[a.0].total_cmp(&rank_oct[b.0]).then(b.0.cmp(&a.0))
                 })
                 .ok_or_else(|| SchedError::Internal("empty ready set".into()))?;
             ready.swap_remove(idx);
@@ -92,7 +88,7 @@ impl Scheduler for PeftScheduler {
             for dev in ctx.feasible_devices(task).collect::<Vec<_>>() {
                 let (start, finish) = ctx.eft(task, dev)?;
                 let o_eft = finish.as_secs() + oct[task.0][dev.0];
-                if best.map_or(true, |(_, _, _, b)| o_eft < b) {
+                if best.is_none_or(|(_, _, _, b)| o_eft < b) {
                     best = Some((dev, start, finish, o_eft));
                 }
             }
@@ -135,10 +131,7 @@ mod tests {
         let p = presets::workstation();
         let oct = optimistic_cost_table(&wf, &p).unwrap();
         for i in 0..5 {
-            assert!(
-                oct[i][0] > oct[i + 1][0],
-                "OCT must shrink toward the exit"
-            );
+            assert!(oct[i][0] > oct[i + 1][0], "OCT must shrink toward the exit");
         }
     }
 

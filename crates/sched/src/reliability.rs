@@ -152,7 +152,7 @@ impl Scheduler for ReliabilityAwareHeft {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{HeftScheduler, Scheduler as _};
+    use crate::HeftScheduler;
     use helios_platform::presets;
     use helios_workflow::generators::montage;
 
@@ -167,8 +167,7 @@ mod tests {
         assert!(rel_bad < rel_good);
         assert!((0.0..=1.0).contains(&rel_bad));
         // Zero rates: certain success.
-        let certain =
-            schedule_reliability(&plan, &p, &vec![0.0; p.num_devices()]).unwrap();
+        let certain = schedule_reliability(&plan, &p, &vec![0.0; p.num_devices()]).unwrap();
         assert_eq!(certain, 1.0);
     }
 
@@ -187,7 +186,9 @@ mod tests {
         let p = presets::hpc_node();
         let wf = montage(50, 2).unwrap();
         let rates = uniform_rates(&p, 100.0).unwrap();
-        let rel = ReliabilityAwareHeft::new(1.0, rates).schedule(&wf, &p).unwrap();
+        let rel = ReliabilityAwareHeft::new(1.0, rates)
+            .schedule(&wf, &p)
+            .unwrap();
         let heft = HeftScheduler::default().schedule(&wf, &p).unwrap();
         assert_eq!(rel.placements(), heft.placements());
     }

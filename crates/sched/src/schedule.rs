@@ -105,7 +105,7 @@ impl Schedule {
         by_dev
             .into_iter()
             .map(|(d, mut v)| {
-                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v.sort_by_key(|p| p.0);
                 (d, v.into_iter().map(|(_, t)| t).collect())
             })
             .collect()
@@ -135,8 +135,7 @@ impl Schedule {
             for &e in wf.predecessors(p.task) {
                 let edge = wf.edge(e);
                 let pred = self.placement(edge.src)?;
-                let transfer =
-                    platform.transfer_time(edge.bytes, pred.device, p.device)?;
+                let transfer = platform.transfer_time(edge.bytes, pred.device, p.device)?;
                 let data_ready = pred.finish + transfer;
                 let deficit = data_ready.as_secs() - p.start.as_secs();
                 if deficit > EPS {
@@ -379,7 +378,10 @@ mod tests {
         let wf = b.build().unwrap();
         let p = presets::workstation();
         let s = Schedule::new(vec![place(0, 0, 0.0, 1.0), place(1, 0, 0.5, 1.5)]).unwrap();
-        assert!(matches!(s.validate(&wf, &p), Err(SchedError::Overlap { .. })));
+        assert!(matches!(
+            s.validate(&wf, &p),
+            Err(SchedError::Overlap { .. })
+        ));
     }
 
     #[test]

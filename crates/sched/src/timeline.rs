@@ -81,9 +81,7 @@ impl DeviceTimeline {
     /// [`DeviceTimeline::earliest_start`] returned.
     pub fn reserve(&mut self, start: SimTime, finish: SimTime) {
         assert!(start <= finish, "inverted reservation {start}..{finish}");
-        let idx = self
-            .busy
-            .partition_point(|&(s, _)| s < start);
+        let idx = self.busy.partition_point(|&(s, _)| s < start);
         let no_overlap_prev = idx == 0 || self.busy[idx - 1].1 <= start;
         let no_overlap_next = idx == self.busy.len() || finish <= self.busy[idx].0;
         assert!(
@@ -104,19 +102,14 @@ impl DeviceTimeline {
             .busy
             .iter()
             .position(|&(s, f)| s == start && f == finish)
-            .unwrap_or_else(|| {
-                panic!("release of unreserved interval {start}..{finish}")
-            });
+            .unwrap_or_else(|| panic!("release of unreserved interval {start}..{finish}"));
         self.busy.remove(idx);
     }
 
     /// Total busy time.
     #[must_use]
     pub fn busy_time(&self) -> SimDuration {
-        self.busy
-            .iter()
-            .map(|&(s, f)| f.saturating_since(s))
-            .sum()
+        self.busy.iter().map(|&(s, f)| f.saturating_since(s)).sum()
     }
 
     /// Number of reservations.
@@ -185,7 +178,11 @@ mod tests {
         tl.reserve(t(5.0), t(6.0));
         tl.reserve(t(0.0), t(1.0));
         tl.reserve(t(2.0), t(3.0));
-        let starts: Vec<f64> = tl.busy_intervals().iter().map(|&(s, _)| s.as_secs()).collect();
+        let starts: Vec<f64> = tl
+            .busy_intervals()
+            .iter()
+            .map(|&(s, _)| s.as_secs())
+            .collect();
         assert_eq!(starts, vec![0.0, 2.0, 5.0]);
         assert_eq!(tl.busy_time(), d(3.0));
         assert_eq!(tl.len(), 3);

@@ -205,7 +205,7 @@ mod tests {
         let mut fork1 = parent.fork(1);
         let mut parent2 = SimRng::seed_from(99);
         let _ = parent2.next_u64(); // perturb the parent
-        let mut fork2 = parent2.fork(1);
+        let fork2 = parent2.fork(1);
         // fork is taken from the seed-state, not the drawn state, so the
         // clone of the *unperturbed* parent matches the original fork only
         // when taken at the same state. Here we verify forks from the same

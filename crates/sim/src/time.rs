@@ -317,10 +317,7 @@ mod tests {
             Err(TimeError::NotFinite)
         );
         assert!(SimTime::try_from_secs(0.0).is_ok());
-        assert_eq!(
-            SimDuration::try_from_secs(-0.5),
-            Err(TimeError::Negative)
-        );
+        assert_eq!(SimDuration::try_from_secs(-0.5), Err(TimeError::Negative));
     }
 
     #[test]
@@ -373,9 +370,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = (1..=4)
-            .map(|i| SimDuration::from_secs(f64::from(i)))
-            .sum();
+        let total: SimDuration = (1..=4).map(|i| SimDuration::from_secs(f64::from(i))).sum();
         assert_eq!(total.as_secs(), 10.0);
     }
 

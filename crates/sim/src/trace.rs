@@ -128,8 +128,7 @@ impl Trace {
         let mut busy = std::collections::BTreeMap::new();
         for e in &self.events {
             if e.kind == kind {
-                *busy.entry(e.track).or_insert(0.0) +=
-                    e.end.saturating_since(e.start).as_secs();
+                *busy.entry(e.track).or_insert(0.0) += e.end.saturating_since(e.start).as_secs();
             }
         }
         busy
@@ -167,7 +166,11 @@ impl Trace {
                 escape(&e.name),
                 e.kind.as_str()
             );
-            out.push_str(if i + 1 == self.events.len() { "\n" } else { ",\n" });
+            out.push_str(if i + 1 == self.events.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
         }
         out.push(']');
         out

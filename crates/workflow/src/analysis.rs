@@ -84,7 +84,10 @@ pub fn mean_comm_times(wf: &Workflow, platform: &Platform) -> Result<Vec<f64>, P
 ///
 /// # Errors
 ///
-/// Propagates platform model errors.
+/// Propagates platform model errors. Returns
+/// [`PlatformError::NonFiniteModel`] if any rank comes out NaN or
+/// infinite — rank-based schedulers order tasks with `total_cmp`, where
+/// a single NaN would silently scramble priorities instead of failing.
 pub fn bottom_levels(wf: &Workflow, platform: &Platform) -> Result<Vec<f64>, PlatformError> {
     let exec = mean_exec_times(wf, platform)?;
     let comm = mean_comm_times(wf, platform)?;
@@ -96,6 +99,13 @@ pub fn bottom_levels(wf: &Workflow, platform: &Platform) -> Result<Vec<f64>, Pla
             best = best.max(comm[e.0] + rank[edge.dst.0]);
         }
         rank[t.0] = exec[t.0] + best;
+        if !rank[t.0].is_finite() {
+            return Err(PlatformError::NonFiniteModel {
+                what: "upward rank",
+                index: t.0,
+                value: rank[t.0],
+            });
+        }
     }
     Ok(rank)
 }
@@ -289,6 +299,40 @@ mod tests {
         assert_eq!(tl[0], 0.0, "entry has zero top level");
         // Bottom level decreases along the path.
         assert!(bl[0] > bl[1] && bl[1] > bl[3]);
+    }
+
+    #[test]
+    fn overflowing_ranks_rejected_with_typed_error() {
+        let p = presets::workstation();
+        // Probe the platform-mean execution time of one enormous (but
+        // individually valid) task, then chain enough of them that the
+        // accumulated upward rank overflows f64 to infinity.
+        let probe = {
+            let mut b = WorkflowBuilder::new("probe");
+            b.add_task(task("t", 1e306));
+            b.build().unwrap()
+        };
+        let per_task = bottom_levels(&probe, &p).unwrap()[0];
+        assert!(per_task.is_finite() && per_task > 0.0);
+        let n = ((f64::MAX / per_task) as usize + 8).min(500_000);
+        let mut b = WorkflowBuilder::new("overflow");
+        let mut prev = b.add_task(task("t0", 1e306));
+        for i in 1..n {
+            let cur = b.add_task(task(&format!("t{i}"), 1e306));
+            b.add_dep(prev, cur, 0.0).unwrap();
+            prev = cur;
+        }
+        let wf = b.build().unwrap();
+        match bottom_levels(&wf, &p) {
+            Err(PlatformError::NonFiniteModel { what, value, .. }) => {
+                assert_eq!(what, "upward rank");
+                assert!(value.is_infinite());
+            }
+            other => panic!(
+                "expected NonFiniteModel, got {:?}",
+                other.map(|ranks| ranks.last().copied())
+            ),
+        }
     }
 
     #[test]

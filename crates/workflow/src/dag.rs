@@ -255,7 +255,8 @@ fn topo_sort(n: usize, edges: &[DataDep]) -> Result<Vec<TaskId>, WorkflowError> 
         succs[e.src.0].push(e.dst.0);
     }
     // A queue ordered by task id keeps the produced order deterministic.
-    let mut ready: std::collections::VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut ready: std::collections::VecDeque<usize> =
+        (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = ready.pop_front() {
         order.push(TaskId(u));
@@ -321,7 +322,12 @@ impl WorkflowBuilder {
     /// [`WorkflowError::DuplicateEdge`] on a repeated pair, or
     /// [`WorkflowError::InvalidParameter`] for a negative/non-finite size.
     /// Cycles are detected at [`WorkflowBuilder::build`].
-    pub fn add_dep(&mut self, src: TaskId, dst: TaskId, bytes: f64) -> Result<EdgeId, WorkflowError> {
+    pub fn add_dep(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        bytes: f64,
+    ) -> Result<EdgeId, WorkflowError> {
         if src.0 >= self.tasks.len() {
             return Err(WorkflowError::UnknownTask(src));
         }
@@ -344,15 +350,29 @@ impl WorkflowBuilder {
         Ok(id)
     }
 
-    /// Finalizes the workflow, verifying acyclicity.
+    /// Finalizes the workflow, verifying acyclicity and cost sanity.
     ///
     /// # Errors
     ///
-    /// Returns [`WorkflowError::Empty`] for a task-less workflow or
-    /// [`WorkflowError::Cycle`] if the dependencies are cyclic.
+    /// Returns [`WorkflowError::Empty`] for a task-less workflow,
+    /// [`WorkflowError::Cycle`] if the dependencies are cyclic, or
+    /// [`WorkflowError::InvalidCost`] if any task's compute cost is NaN,
+    /// infinite or negative (possible only for costs that bypassed
+    /// [`ComputeCost::new`](helios_platform::ComputeCost::new), e.g.
+    /// deserialized ones). Rejecting them here keeps ranking math
+    /// downstream (`analysis::bottom_levels`, HEFT's `rank_order`)
+    /// NaN-free, where a single NaN would silently corrupt the
+    /// `total_cmp` priority order.
     pub fn build(self) -> Result<Workflow, WorkflowError> {
         if self.tasks.is_empty() {
             return Err(WorkflowError::Empty);
+        }
+        for (i, task) in self.tasks.iter().enumerate() {
+            let cost = task.cost();
+            let valid = |x: f64| x.is_finite() && x >= 0.0;
+            if !valid(cost.gflop()) || !valid(cost.bytes_touched()) {
+                return Err(WorkflowError::InvalidCost(TaskId(i)));
+            }
         }
         let topo = topo_sort(self.tasks.len(), &self.edges)?;
         let mut succs = vec![Vec::new(); self.tasks.len()];

@@ -19,6 +19,12 @@ pub enum WorkflowError {
     Empty,
     /// A generator or builder parameter was out of range.
     InvalidParameter(String),
+    /// A task's compute cost is NaN, infinite or negative.
+    ///
+    /// Constructed [`ComputeCost`](helios_platform::ComputeCost) values
+    /// are always valid; this guards paths that bypass the constructor,
+    /// such as deserialized workflow files.
+    InvalidCost(TaskId),
 }
 
 impl fmt::Display for WorkflowError {
@@ -32,6 +38,9 @@ impl fmt::Display for WorkflowError {
             }
             WorkflowError::Empty => write!(f, "workflow has no tasks"),
             WorkflowError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            WorkflowError::InvalidCost(t) => {
+                write!(f, "task {t} has a non-finite or negative compute cost")
+            }
         }
     }
 }
@@ -44,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(WorkflowError::Cycle(TaskId(3)).to_string().contains("cycle"));
+        assert!(WorkflowError::Cycle(TaskId(3))
+            .to_string()
+            .contains("cycle"));
         assert!(WorkflowError::Empty.to_string().contains("no tasks"));
         assert!(WorkflowError::DuplicateEdge(TaskId(0), TaskId(1))
             .to_string()

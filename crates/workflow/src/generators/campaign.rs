@@ -85,9 +85,7 @@ pub fn generate_campaign(
     let mut out = Vec::with_capacity(config.submissions);
     let mut clock = 0.0f64;
     for i in 0..config.submissions {
-        let family = *rng
-            .choose(&config.families)
-            .expect("families is non-empty");
+        let family = *rng.choose(&config.families).expect("families is non-empty");
         let size = rng.uniform_usize(lo, hi);
         let workflow = family.generate(size, seed.wrapping_add(i as u64))?;
         let priority = if rng.chance(0.2) { 10.0 } else { 1.0 };
@@ -136,20 +134,28 @@ mod tests {
 
     #[test]
     fn validation() {
-        let mut cfg = CampaignConfig::default();
-        cfg.submissions = 0;
+        let cfg = CampaignConfig {
+            submissions: 0,
+            ..Default::default()
+        };
         assert!(generate_campaign(&cfg, 0).is_err());
         let mut cfg = CampaignConfig::default();
         cfg.families.clear();
         assert!(generate_campaign(&cfg, 0).is_err());
-        let mut cfg = CampaignConfig::default();
-        cfg.size_range = (200, 50);
+        let cfg = CampaignConfig {
+            size_range: (200, 50),
+            ..Default::default()
+        };
         assert!(generate_campaign(&cfg, 0).is_err());
-        let mut cfg = CampaignConfig::default();
-        cfg.size_range = (5, 50);
+        let cfg = CampaignConfig {
+            size_range: (5, 50),
+            ..Default::default()
+        };
         assert!(generate_campaign(&cfg, 0).is_err());
-        let mut cfg = CampaignConfig::default();
-        cfg.mean_interarrival_secs = 0.0;
+        let cfg = CampaignConfig {
+            mean_interarrival_secs: 0.0,
+            ..Default::default()
+        };
         assert!(generate_campaign(&cfg, 0).is_err());
     }
 }

@@ -21,8 +21,8 @@ pub mod synthetic;
 pub use campaign::{generate_campaign, CampaignConfig, Submission};
 pub use scientific::{cybershake, epigenomics, ligo_inspiral, montage, sipht, WorkflowClass};
 pub use synthetic::{
-    chain, fork_join, gaussian_elimination, in_tree, layered_random, out_tree,
-    scale_edges_to_ccr, LayeredConfig,
+    chain, fork_join, gaussian_elimination, in_tree, layered_random, out_tree, scale_edges_to_ccr,
+    LayeredConfig,
 };
 
 use helios_platform::{ComputeCost, KernelClass};

@@ -115,7 +115,13 @@ pub fn montage(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
 
     let s_project = spec("mProject", KernelClass::Stencil, 12.0, 200.0 * MB, 8.0 * MB);
     let s_diff = spec("mDiffFit", KernelClass::Reduction, 2.0, 40.0 * MB, 0.5 * MB);
-    let s_concat = spec("mConcatFit", KernelClass::Reduction, 1.0, 10.0 * MB, 0.2 * MB);
+    let s_concat = spec(
+        "mConcatFit",
+        KernelClass::Reduction,
+        1.0,
+        10.0 * MB,
+        0.2 * MB,
+    );
     let s_bg_model = spec(
         "mBgModel",
         KernelClass::DenseLinearAlgebra,
@@ -123,13 +129,39 @@ pub fn montage(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
         50.0 * MB,
         0.1 * MB,
     );
-    let s_background = spec("mBackground", KernelClass::Stencil, 4.0, 80.0 * MB, 8.0 * MB);
-    let s_imgtbl = spec("mImgtbl", KernelClass::BranchyScalar, 1.0, 20.0 * MB, 0.5 * MB);
+    let s_background = spec(
+        "mBackground",
+        KernelClass::Stencil,
+        4.0,
+        80.0 * MB,
+        8.0 * MB,
+    );
+    let s_imgtbl = spec(
+        "mImgtbl",
+        KernelClass::BranchyScalar,
+        1.0,
+        20.0 * MB,
+        0.5 * MB,
+    );
     let s_add = spec("mAdd", KernelClass::Reduction, 40.0, 600.0 * MB, 120.0 * MB);
-    let s_shrink = spec("mShrink", KernelClass::DataMovement, 3.0, 120.0 * MB, 12.0 * MB);
-    let s_jpeg = spec("mJPEG", KernelClass::SignalProcessing, 2.0, 12.0 * MB, 2.0 * MB);
+    let s_shrink = spec(
+        "mShrink",
+        KernelClass::DataMovement,
+        3.0,
+        120.0 * MB,
+        12.0 * MB,
+    );
+    let s_jpeg = spec(
+        "mJPEG",
+        KernelClass::SignalProcessing,
+        2.0,
+        12.0 * MB,
+        2.0 * MB,
+    );
 
-    let projects: Vec<TaskId> = (0..w).map(|i| b.add_task(s_project.sample(i, &mut rng))).collect();
+    let projects: Vec<TaskId> = (0..w)
+        .map(|i| b.add_task(s_project.sample(i, &mut rng)))
+        .collect();
     let diffs: Vec<TaskId> = (0..w.saturating_sub(1))
         .map(|i| b.add_task(s_diff.sample(i, &mut rng)))
         .collect();
@@ -197,14 +229,30 @@ pub fn cybershake(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
         600.0 * MB,
         10.0 * MB,
     );
-    let s_peak = spec("PeakValCalc", KernelClass::Reduction, 1.0, 10.0 * MB, 0.1 * MB);
-    let s_zip = spec("Zip", KernelClass::DataMovement, 5.0, 500.0 * MB, 100.0 * MB);
+    let s_peak = spec(
+        "PeakValCalc",
+        KernelClass::Reduction,
+        1.0,
+        10.0 * MB,
+        0.1 * MB,
+    );
+    let s_zip = spec(
+        "Zip",
+        KernelClass::DataMovement,
+        5.0,
+        500.0 * MB,
+        100.0 * MB,
+    );
 
     let sgt_x = b.add_task(s_extract.sample(0, &mut rng));
     let sgt_y = b.add_task(s_extract.sample(1, &mut rng));
     let zip_seis = {
-        let synths: Vec<TaskId> = (0..s).map(|i| b.add_task(s_synth.sample(i, &mut rng))).collect();
-        let peaks: Vec<TaskId> = (0..s).map(|i| b.add_task(s_peak.sample(i, &mut rng))).collect();
+        let synths: Vec<TaskId> = (0..s)
+            .map(|i| b.add_task(s_synth.sample(i, &mut rng)))
+            .collect();
+        let peaks: Vec<TaskId> = (0..s)
+            .map(|i| b.add_task(s_peak.sample(i, &mut rng)))
+            .collect();
         for (i, &syn) in synths.iter().enumerate() {
             b.add_dep(sgt_x, syn, s_extract.sample_out_bytes(&mut rng))?;
             b.add_dep(sgt_y, syn, s_extract.sample_out_bytes(&mut rng))?;
@@ -244,7 +292,13 @@ pub fn epigenomics(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
     let mut rng = SimRng::seed_from(seed);
     let mut b = WorkflowBuilder::new(format!("epigenomics-{n}"));
 
-    let s_split = spec("fastqSplit", KernelClass::DataMovement, 2.0, 400.0 * MB, 100.0 * MB);
+    let s_split = spec(
+        "fastqSplit",
+        KernelClass::DataMovement,
+        2.0,
+        400.0 * MB,
+        100.0 * MB,
+    );
     let s_filter = spec(
         "filterContams",
         KernelClass::BranchyScalar,
@@ -252,12 +306,48 @@ pub fn epigenomics(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
         100.0 * MB,
         90.0 * MB,
     );
-    let s_sol = spec("sol2sanger", KernelClass::DataMovement, 3.0, 90.0 * MB, 80.0 * MB);
-    let s_bfq = spec("fastq2bfq", KernelClass::DataMovement, 3.0, 80.0 * MB, 40.0 * MB);
-    let s_map = spec("map", KernelClass::BranchyScalar, 300.0, 500.0 * MB, 20.0 * MB);
-    let s_merge = spec("mapMerge", KernelClass::Reduction, 10.0, 200.0 * MB, 80.0 * MB);
-    let s_index = spec("maqIndex", KernelClass::BranchyScalar, 20.0, 150.0 * MB, 50.0 * MB);
-    let s_pileup = spec("pileup", KernelClass::Reduction, 40.0, 300.0 * MB, 60.0 * MB);
+    let s_sol = spec(
+        "sol2sanger",
+        KernelClass::DataMovement,
+        3.0,
+        90.0 * MB,
+        80.0 * MB,
+    );
+    let s_bfq = spec(
+        "fastq2bfq",
+        KernelClass::DataMovement,
+        3.0,
+        80.0 * MB,
+        40.0 * MB,
+    );
+    let s_map = spec(
+        "map",
+        KernelClass::BranchyScalar,
+        300.0,
+        500.0 * MB,
+        20.0 * MB,
+    );
+    let s_merge = spec(
+        "mapMerge",
+        KernelClass::Reduction,
+        10.0,
+        200.0 * MB,
+        80.0 * MB,
+    );
+    let s_index = spec(
+        "maqIndex",
+        KernelClass::BranchyScalar,
+        20.0,
+        150.0 * MB,
+        50.0 * MB,
+    );
+    let s_pileup = spec(
+        "pileup",
+        KernelClass::Reduction,
+        40.0,
+        300.0 * MB,
+        60.0 * MB,
+    );
 
     let global_merge = b.add_task(s_merge.sample(1000, &mut rng));
     for lane in 0..lanes {
@@ -314,7 +404,13 @@ pub fn ligo_inspiral(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
     );
     let s_inspiral = spec("Inspiral", KernelClass::Fft, 400.0, 800.0 * MB, 2.0 * MB);
     let s_thinca = spec("Thinca", KernelClass::Reduction, 5.0, 20.0 * MB, 1.0 * MB);
-    let s_trig = spec("TrigBank", KernelClass::BranchyScalar, 2.0, 10.0 * MB, 1.0 * MB);
+    let s_trig = spec(
+        "TrigBank",
+        KernelClass::BranchyScalar,
+        2.0,
+        10.0 * MB,
+        1.0 * MB,
+    );
 
     for grp in 0..g {
         let base = grp * t;
@@ -369,7 +465,13 @@ pub fn sipht(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
     let mut rng = SimRng::seed_from(seed);
     let mut b = WorkflowBuilder::new(format!("sipht-{n}"));
 
-    let s_patser = spec("Patser", KernelClass::BranchyScalar, 3.0, 20.0 * MB, 0.5 * MB);
+    let s_patser = spec(
+        "Patser",
+        KernelClass::BranchyScalar,
+        3.0,
+        20.0 * MB,
+        0.5 * MB,
+    );
     let s_concate = spec(
         "PatserConcate",
         KernelClass::Reduction,
@@ -391,13 +493,39 @@ pub fn sipht(n: usize, seed: u64) -> Result<Workflow, WorkflowError> {
         250.0 * MB,
         5.0 * MB,
     );
-    let s_motif = spec("RNAMotif", KernelClass::BranchyScalar, 40.0, 60.0 * MB, 1.0 * MB);
-    let s_blast = spec("Blast", KernelClass::BranchyScalar, 150.0, 400.0 * MB, 2.0 * MB);
+    let s_motif = spec(
+        "RNAMotif",
+        KernelClass::BranchyScalar,
+        40.0,
+        60.0 * MB,
+        1.0 * MB,
+    );
+    let s_blast = spec(
+        "Blast",
+        KernelClass::BranchyScalar,
+        150.0,
+        400.0 * MB,
+        2.0 * MB,
+    );
     let s_srna = spec("SRNA", KernelClass::Reduction, 15.0, 50.0 * MB, 3.0 * MB);
-    let s_ffn = spec("FFN_Parse", KernelClass::DataMovement, 2.0, 30.0 * MB, 10.0 * MB);
-    let s_annotate = spec("SRNAAnnotate", KernelClass::Reduction, 8.0, 40.0 * MB, 1.0 * MB);
+    let s_ffn = spec(
+        "FFN_Parse",
+        KernelClass::DataMovement,
+        2.0,
+        30.0 * MB,
+        10.0 * MB,
+    );
+    let s_annotate = spec(
+        "SRNAAnnotate",
+        KernelClass::Reduction,
+        8.0,
+        40.0 * MB,
+        1.0 * MB,
+    );
 
-    let patsers: Vec<TaskId> = (0..p).map(|i| b.add_task(s_patser.sample(i, &mut rng))).collect();
+    let patsers: Vec<TaskId> = (0..p)
+        .map(|i| b.add_task(s_patser.sample(i, &mut rng)))
+        .collect();
     let concate = b.add_task(s_concate.sample(0, &mut rng));
     for &pt in &patsers {
         b.add_dep(pt, concate, s_patser.sample_out_bytes(&mut rng))?;

@@ -54,9 +54,7 @@ fn sample_task(
     classes: &[KernelClass],
     rng: &mut SimRng,
 ) -> Task {
-    let class = *rng
-        .choose(classes)
-        .unwrap_or(&KernelClass::BranchyScalar);
+    let class = *rng.choose(classes).unwrap_or(&KernelClass::BranchyScalar);
     let gflop = rng.normal_clamped(mean_gflop, 0.4 * mean_gflop, 0.05 * mean_gflop);
     // Memory traffic proportional to work with intensity ~10 flop/byte.
     let bytes = gflop * 1e9 / 10.0;
@@ -93,10 +91,7 @@ pub fn layered_random(config: &LayeredConfig, seed: u64) -> Result<Workflow, Wor
         ));
     }
     let mut rng = SimRng::seed_from(seed);
-    let mut b = WorkflowBuilder::new(format!(
-        "layered-{}x{}",
-        config.levels, config.width
-    ));
+    let mut b = WorkflowBuilder::new(format!("layered-{}x{}", config.levels, config.width));
     let mut prev: Vec<TaskId> = Vec::new();
     for level in 0..config.levels {
         let current: Vec<TaskId> = (0..config.width)
@@ -155,7 +150,13 @@ pub fn fork_join(
     ];
     let mut rng = SimRng::seed_from(seed);
     let mut b = WorkflowBuilder::new(format!("forkjoin-{stages}x{branches}"));
-    let mut join = b.add_task(sample_task("src".into(), "join", mean_gflop, &classes, &mut rng));
+    let mut join = b.add_task(sample_task(
+        "src".into(),
+        "join",
+        mean_gflop,
+        &classes,
+        &mut rng,
+    ));
     for stage in 0..stages {
         let forks: Vec<TaskId> = (0..branches)
             .map(|i| {
@@ -260,7 +261,13 @@ pub fn out_tree(
     let classes = [KernelClass::Stencil];
     let mut rng = SimRng::seed_from(seed);
     let mut b = WorkflowBuilder::new(format!("outtree-d{depth}f{fanout}"));
-    let root = b.add_task(sample_task("root".into(), "root", mean_gflop, &classes, &mut rng));
+    let root = b.add_task(sample_task(
+        "root".into(),
+        "root",
+        mean_gflop,
+        &classes,
+        &mut rng,
+    ));
     let mut level = vec![root];
     for d in 0..depth {
         let mut next = Vec::new();
@@ -287,7 +294,12 @@ pub fn out_tree(
 /// # Errors
 ///
 /// Returns [`WorkflowError::InvalidParameter`] for `n == 0`.
-pub fn chain(n: usize, mean_gflop: f64, mean_bytes: f64, seed: u64) -> Result<Workflow, WorkflowError> {
+pub fn chain(
+    n: usize,
+    mean_gflop: f64,
+    mean_bytes: f64,
+    seed: u64,
+) -> Result<Workflow, WorkflowError> {
     if n == 0 {
         return Err(WorkflowError::InvalidParameter("n must be positive".into()));
     }
@@ -343,7 +355,7 @@ pub fn gaussian_elimination(
         if let Some(prev) = last_update[k] {
             b.add_dep(prev, pivot, sample_bytes(mean_bytes, &mut rng))?;
         }
-        for j in k + 1..m {
+        for (j, slot) in last_update.iter_mut().enumerate().skip(k + 1) {
             let upd = b.add_task(sample_task(
                 format!("upd{k}_{j}"),
                 "update",
@@ -352,10 +364,10 @@ pub fn gaussian_elimination(
                 &mut rng,
             ));
             b.add_dep(pivot, upd, sample_bytes(mean_bytes, &mut rng))?;
-            if let Some(prev) = last_update[j] {
+            if let Some(prev) = *slot {
                 b.add_dep(prev, upd, sample_bytes(mean_bytes, &mut rng))?;
             }
-            last_update[j] = Some(upd);
+            *slot = Some(upd);
         }
     }
     unify_product_sizes(b.build()?)
@@ -428,11 +440,15 @@ mod tests {
 
     #[test]
     fn layered_random_rejects_bad_params() {
-        let mut cfg = LayeredConfig::default();
-        cfg.levels = 0;
+        let cfg = LayeredConfig {
+            levels: 0,
+            ..Default::default()
+        };
         assert!(layered_random(&cfg, 0).is_err());
-        let mut cfg = LayeredConfig::default();
-        cfg.edge_prob = 1.5;
+        let cfg = LayeredConfig {
+            edge_prob: 1.5,
+            ..Default::default()
+        };
         assert!(layered_random(&cfg, 0).is_err());
         let mut cfg = LayeredConfig::default();
         cfg.classes.clear();
@@ -503,7 +519,13 @@ mod tests {
     #[test]
     fn determinism() {
         let cfg = LayeredConfig::default();
-        assert_eq!(layered_random(&cfg, 9).unwrap(), layered_random(&cfg, 9).unwrap());
-        assert_ne!(layered_random(&cfg, 9).unwrap(), layered_random(&cfg, 10).unwrap());
+        assert_eq!(
+            layered_random(&cfg, 9).unwrap(),
+            layered_random(&cfg, 9).unwrap()
+        );
+        assert_ne!(
+            layered_random(&cfg, 9).unwrap(),
+            layered_random(&cfg, 10).unwrap()
+        );
     }
 }

@@ -167,6 +167,34 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_cost_rejected_with_typed_error() {
+        // 1e400 overflows f64 to +inf during parsing; the constructor
+        // validation is bypassed on deserialization, so the builder must
+        // catch it.
+        let json = r#"{
+            "name": "inf",
+            "tasks": [
+                {"name": "a", "stage": "s",
+                 "cost": {"gflop": 1e400, "bytes_touched": 0.0,
+                          "kernel_class": "Fft"}}
+            ],
+            "edges": []
+        }"#;
+        match from_json(json) {
+            Err(WorkflowIoError::Invalid(WorkflowError::InvalidCost(t))) => {
+                assert_eq!(t.0, 0);
+            }
+            other => panic!("expected InvalidCost, got {other:?}"),
+        }
+        // Negative costs smuggled past the constructor are caught too.
+        let json = json.replace("1e400", "-3.0");
+        assert!(matches!(
+            from_json(&json),
+            Err(WorkflowIoError::Invalid(WorkflowError::InvalidCost(_)))
+        ));
+    }
+
+    #[test]
     fn dot_mentions_every_task_and_edge() {
         let wf = montage(20, 1).unwrap();
         let dot = to_dot(&wf);

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = HeftScheduler::default().schedule(&wf, &platform)?;
 
     let clean = Engine::new(EngineConfig::default()).execute_plan(&platform, &wf, &plan)?;
-    println!("workflow: {wf}\nfault-free makespan: {:.4}s\n", clean.makespan().as_secs());
+    println!(
+        "workflow: {wf}\nfault-free makespan: {:.4}s\n",
+        clean.makespan().as_secs()
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>10} {:>10}",
         "MTBF (s)", "checkpoint", "makespan", "overhead", "failures"
@@ -28,13 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for mtbf in [0.5, 0.1, 0.05] {
         for ckpt in [false, true] {
-            let mut config = EngineConfig::default();
-            config.seed = 99;
-            config.faults = Some(FaultConfig::new(
-                mtbf,
-                SimDuration::from_secs(0.005),
-                1_000_000,
-            )?);
+            let mut config = EngineConfig {
+                seed: 99,
+                faults: Some(FaultConfig::new(
+                    mtbf,
+                    SimDuration::from_secs(0.005),
+                    1_000_000,
+                )?),
+                ..Default::default()
+            };
             if ckpt {
                 config.checkpointing = Some(CheckpointConfig::new(
                     SimDuration::from_secs(0.01),
@@ -42,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 )?);
             }
             let report = Engine::new(config).execute_plan(&platform, &wf, &plan)?;
-            let overhead =
-                report.makespan().as_secs() / clean.makespan().as_secs() - 1.0;
+            let overhead = report.makespan().as_secs() / clean.makespan().as_secs() - 1.0;
             println!(
                 "{mtbf:>10} {:>12} {:>11.4}s {:>9.1}% {:>10}",
                 if ckpt { "yes" } else { "no" },

@@ -54,8 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut online_sum = 0.0;
         for seed in seeds.clone() {
             let wf = sipht(150, seed)?;
-            let mut config = EngineConfig::default();
-            config.device_slowdown = Some(throttle(factor));
+            let config = EngineConfig {
+                device_slowdown: Some(throttle(factor)),
+                ..Default::default()
+            };
             let plan = HeftScheduler::default().schedule(&wf, &platform)?;
             static_sum += Engine::new(config.clone())
                 .execute_plan(&platform, &wf, &plan)?

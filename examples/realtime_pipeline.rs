@@ -12,8 +12,7 @@
 //! ```
 
 use helios::rt::{
-    analysis, federated_test, Criticality, DagTask, ElasticTask, MixedCriticalityTask,
-    PeriodicTask,
+    analysis, federated_test, Criticality, DagTask, ElasticTask, MixedCriticalityTask, PeriodicTask,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  hyperbolic test: {}",
-        if analysis::hyperbolic_test(&tasks) { "pass" } else { "inconclusive" }
+        if analysis::hyperbolic_test(&tasks) {
+            "pass"
+        } else {
+            "inconclusive"
+        }
     );
     match analysis::rta_fixed_priority(&tasks)? {
         Some(resp) => {
@@ -113,10 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  federated test on {m} cores (with a 0.25-utilization light task): {}",
             federated_test(
-                &[
-                    dag.clone(),
-                    DagTask::new(vec![1.0], vec![], 4.0, 4.0)?,
-                ],
+                &[dag.clone(), DagTask::new(vec![1.0], vec![], 4.0, 4.0)?,],
                 m
             )
         );

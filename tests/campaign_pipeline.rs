@@ -7,9 +7,11 @@ use helios::sim::SimTime;
 use helios::workflow::generators::campaign::{generate_campaign, CampaignConfig};
 
 fn members_from_campaign(seed: u64) -> Vec<EnsembleMember> {
-    let mut config = CampaignConfig::default();
-    config.submissions = 5;
-    config.size_range = (40, 80);
+    let config = CampaignConfig {
+        submissions: 5,
+        size_range: (40, 80),
+        ..Default::default()
+    };
     generate_campaign(&config, seed)
         .unwrap()
         .into_iter()

@@ -15,16 +15,24 @@ use helios::workflow::generators::{cybershake, epigenomics, montage};
 fn report_is_fully_deterministic() {
     let platform = presets::hpc_node();
     let wf = montage(80, 21).unwrap();
-    let mut config = EngineConfig::default();
-    config.noise_cv = 0.4;
-    config.seed = 1234;
-    config.link_contention = true;
-    config.faults = Some(FaultConfig::new(0.05, SimDuration::from_secs(0.001), 1_000_000).unwrap());
-    config.checkpointing =
-        Some(CheckpointConfig::new(SimDuration::from_secs(0.005), SimDuration::from_secs(1e-4)).unwrap());
+    let config = EngineConfig {
+        noise_cv: 0.4,
+        seed: 1234,
+        link_contention: true,
+        faults: Some(FaultConfig::new(0.05, SimDuration::from_secs(0.001), 1_000_000).unwrap()),
+        checkpointing: Some(
+            CheckpointConfig::new(SimDuration::from_secs(0.005), SimDuration::from_secs(1e-4))
+                .unwrap(),
+        ),
+        ..Default::default()
+    };
     let plan = HeftScheduler::default().schedule(&wf, &platform).unwrap();
-    let a = Engine::new(config.clone()).execute_plan(&platform, &wf, &plan).unwrap();
-    let b = Engine::new(config).execute_plan(&platform, &wf, &plan).unwrap();
+    let a = Engine::new(config.clone())
+        .execute_plan(&platform, &wf, &plan)
+        .unwrap();
+    let b = Engine::new(config)
+        .execute_plan(&platform, &wf, &plan)
+        .unwrap();
     assert_eq!(a, b);
     let json = serde_json::to_string(&a).unwrap();
     let back: helios::core::ExecutionReport = serde_json::from_str(&json).unwrap();
@@ -38,15 +46,18 @@ fn fault_overhead_grows_as_mtbf_shrinks() {
     let plan = HeftScheduler::default().schedule(&wf, &platform).unwrap();
     let mut last = 0.0;
     for mtbf in [1.0, 0.2, 0.05] {
-        let mut config = EngineConfig::default();
-        config.seed = 3;
-        config.faults =
-            Some(FaultConfig::new(mtbf, SimDuration::from_secs(0.002), 1_000_000).unwrap());
-        config.checkpointing = Some(
-            CheckpointConfig::new(SimDuration::from_secs(0.01), SimDuration::from_secs(2e-4))
-                .unwrap(),
-        );
-        let report = Engine::new(config).execute_plan(&platform, &wf, &plan).unwrap();
+        let config = EngineConfig {
+            seed: 3,
+            faults: Some(FaultConfig::new(mtbf, SimDuration::from_secs(0.002), 1_000_000).unwrap()),
+            checkpointing: Some(
+                CheckpointConfig::new(SimDuration::from_secs(0.01), SimDuration::from_secs(2e-4))
+                    .unwrap(),
+            ),
+            ..Default::default()
+        };
+        let report = Engine::new(config)
+            .execute_plan(&platform, &wf, &plan)
+            .unwrap();
         let makespan = report.makespan().as_secs();
         assert!(
             makespan >= last,
@@ -83,7 +94,10 @@ fn slack_reclaimed_plan_executes_within_deadline() {
             p.level != dev.nominal_level()
         })
         .count();
-    assert!(below_nominal > 0, "reclamation must engage lower DVFS states");
+    assert!(
+        below_nominal > 0,
+        "reclamation must engage lower DVFS states"
+    );
 }
 
 #[test]
@@ -96,8 +110,10 @@ fn online_calibration_routes_around_throttled_devices() {
     let mut online_sum = 0.0;
     for seed in 0..6 {
         let wf = montage(100, seed).unwrap();
-        let mut config = EngineConfig::default();
-        config.device_slowdown = Some(slow.clone());
+        let config = EngineConfig {
+            device_slowdown: Some(slow.clone()),
+            ..Default::default()
+        };
         let plan = HeftScheduler::default().schedule(&wf, &platform).unwrap();
         static_sum += Engine::new(config.clone())
             .execute_plan(&platform, &wf, &plan)

@@ -77,7 +77,10 @@ fn infeasible_everywhere_is_a_clean_error() {
     for scheduler in all_schedulers() {
         match scheduler.schedule(&wf, &platform) {
             Err(SchedError::NoFeasibleDevice(_)) => {}
-            other => panic!("{}: expected NoFeasibleDevice, got {other:?}", scheduler.name()),
+            other => panic!(
+                "{}: expected NoFeasibleDevice, got {other:?}",
+                scheduler.name()
+            ),
         }
     }
 }

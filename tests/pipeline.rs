@@ -9,21 +9,33 @@ use helios::workflow::generators::WorkflowClass;
 
 #[test]
 fn full_matrix_plans_validate_and_execute() {
-    let platforms = [presets::workstation(), presets::hpc_node(), presets::edge_soc()];
+    let platforms = [
+        presets::workstation(),
+        presets::hpc_node(),
+        presets::edge_soc(),
+    ];
     for platform in &platforms {
         for class in WorkflowClass::ALL {
             let wf = class.generate(40, 11).unwrap();
             for scheduler in all_schedulers() {
-                let plan = scheduler
-                    .schedule(&wf, platform)
-                    .unwrap_or_else(|e| panic!("{}/{class}/{}: {e}", scheduler.name(), platform.name()));
+                let plan = scheduler.schedule(&wf, platform).unwrap_or_else(|e| {
+                    panic!("{}/{class}/{}: {e}", scheduler.name(), platform.name())
+                });
                 plan.validate(&wf, platform).unwrap_or_else(|e| {
-                    panic!("{}/{class}/{}: invalid plan: {e}", scheduler.name(), platform.name())
+                    panic!(
+                        "{}/{class}/{}: invalid plan: {e}",
+                        scheduler.name(),
+                        platform.name()
+                    )
                 });
                 let report = Engine::new(EngineConfig::default())
                     .execute_plan(platform, &wf, &plan)
                     .unwrap_or_else(|e| {
-                        panic!("{}/{class}/{}: execution: {e}", scheduler.name(), platform.name())
+                        panic!(
+                            "{}/{class}/{}: execution: {e}",
+                            scheduler.name(),
+                            platform.name()
+                        )
                     });
                 // Ideal execution reproduces the plan makespan.
                 let diff = (report.makespan().as_secs() - plan.makespan().as_secs()).abs();
@@ -53,7 +65,12 @@ fn metrics_rank_schedulers_sanely() {
         for s in &schedulers {
             let plan = s.schedule(&wf, &platform).unwrap();
             let m = ScheduleMetrics::compute(&plan, &wf, &platform).unwrap();
-            assert!(m.slr > 0.3, "{}: SLR {} below plausible bound", s.name(), m.slr);
+            assert!(
+                m.slr > 0.3,
+                "{}: SLR {} below plausible bound",
+                s.name(),
+                m.slr
+            );
             match s.name() {
                 "heft" => heft_slr += m.slr,
                 "random" => random_slr += m.slr,

@@ -40,11 +40,13 @@ proptest! {
         let wf = wf(levels, width, seed);
         let platform = presets::workstation();
         let plan = HeftScheduler::default().schedule(&wf, &platform).unwrap();
-        let mut config = EngineConfig::default();
-        config.noise_cv = noise;
-        config.seed = seed;
-        config.link_contention = contention;
-        config.data_caching = caching;
+        let config = EngineConfig {
+            noise_cv: noise,
+            seed,
+            link_contention: contention,
+            data_caching: caching,
+            ..Default::default()
+        };
         let report = Engine::new(config).execute_plan(&platform, &wf, &plan).unwrap();
         prop_assert_eq!(report.schedule().placements().len(), wf.num_tasks());
         for p in report.schedule().placements() {
@@ -73,9 +75,11 @@ proptest! {
     ) {
         let wf = wf(levels, width, seed);
         let platform = presets::workstation();
-        let mut config = EngineConfig::default();
-        config.noise_cv = noise;
-        config.seed = seed;
+        let config = EngineConfig {
+            noise_cv: noise,
+            seed,
+            ..Default::default()
+        };
         let report = OnlineRunner::new(config, OnlinePolicy::Jit)
             .run(&platform, &wf)
             .unwrap();
@@ -101,8 +105,10 @@ proptest! {
         let wf = wf(levels, width, seed);
         let platform = presets::hpc_node();
         let plan = HeftScheduler::default().schedule(&wf, &platform).unwrap();
-        let mut plain_cfg = EngineConfig::default();
-        plain_cfg.link_contention = contention;
+        let plain_cfg = EngineConfig {
+            link_contention: contention,
+            ..Default::default()
+        };
         let mut cached_cfg = plain_cfg.clone();
         cached_cfg.data_caching = true;
         let plain = Engine::new(plain_cfg).execute_plan(&platform, &wf, &plan).unwrap();
@@ -127,12 +133,14 @@ proptest! {
         let a = Engine::new(EngineConfig::default())
             .execute_plan(&platform, &wf, &plan)
             .unwrap();
-        let mut config = EngineConfig::default();
         // Faults configured with an astronomically long MTBF never fire.
-        config.faults = Some(
-            helios::core::FaultConfig::new(1e15, helios::sim::SimDuration::ZERO, budget)
-                .unwrap(),
-        );
+        let config = EngineConfig {
+            faults: Some(
+                helios::core::FaultConfig::new(1e15, helios::sim::SimDuration::ZERO, budget)
+                    .unwrap(),
+            ),
+            ..Default::default()
+        };
         let b = Engine::new(config).execute_plan(&platform, &wf, &plan).unwrap();
         prop_assert_eq!(a.schedule(), b.schedule());
         prop_assert_eq!(b.failures(), 0);

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use helios::platform::presets;
-use helios::sched::{
-    metrics, HeftScheduler, MinMinScheduler, PeftScheduler, Scheduler,
-};
+use helios::sched::{metrics, HeftScheduler, MinMinScheduler, PeftScheduler, Scheduler};
 use helios::sim::{EventQueue, SimTime};
 use helios::workflow::analysis;
 use helios::workflow::generators::synthetic::{layered_random, scale_edges_to_ccr, LayeredConfig};

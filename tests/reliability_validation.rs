@@ -22,18 +22,27 @@ fn analytic_reliability_matches_monte_carlo() {
 
     // Pick an MTBF that lands the prediction mid-range, where the test
     // has discriminating power.
-    let busy: f64 = plan.placements().iter().map(|p| p.duration().as_secs()).sum();
+    let busy: f64 = plan
+        .placements()
+        .iter()
+        .map(|p| p.duration().as_secs())
+        .sum();
     let mtbf = busy / f64::ln(2.0); // predicted R = 0.5
     let rates = uniform_rates(&platform, mtbf).unwrap();
     let predicted = schedule_reliability(&plan, &platform, &rates).unwrap();
-    assert!((predicted - 0.5).abs() < 1e-9, "by construction: {predicted}");
+    assert!(
+        (predicted - 0.5).abs() < 1e-9,
+        "by construction: {predicted}"
+    );
 
     let runs = 400u64;
     let mut successes = 0u32;
     for seed in 0..runs {
-        let mut config = EngineConfig::default();
-        config.seed = seed;
-        config.faults = Some(FaultConfig::new(mtbf, SimDuration::ZERO, 0).unwrap());
+        let config = EngineConfig {
+            seed,
+            faults: Some(FaultConfig::new(mtbf, SimDuration::ZERO, 0).unwrap()),
+            ..Default::default()
+        };
         match Engine::new(config).execute_plan(&platform, &wf, &plan) {
             Ok(_) => successes += 1,
             Err(EngineError::RetriesExhausted { .. }) => {}
@@ -59,8 +68,8 @@ fn reliability_aware_plans_survive_more_often() {
     // rely on `analytic_reliability_matches_monte_carlo` to anchor the
     // analytic model to the engine.
     let mut rates = vec![1e-9; platform.num_devices()];
-    for flaky in 2..6 {
-        rates[flaky] = 0.5; // GPUs: MTBF 2 s
+    for rate in &mut rates[2..6] {
+        *rate = 0.5; // GPUs: MTBF 2 s
     }
     let mut heft_rel = 0.0;
     let mut rel_rel = 0.0;

@@ -121,8 +121,7 @@ fn unsatisfiable_trust_is_a_clean_error() {
     let platform = mixed_trust_platform(); // max trust = 3
     let mut b = WorkflowBuilder::new("over");
     b.add_task(
-        Task::new("t", "s", ComputeCost::new(1.0, 0.0, KernelClass::Fft))
-            .with_required_trust(200),
+        Task::new("t", "s", ComputeCost::new(1.0, 0.0, KernelClass::Fft)).with_required_trust(200),
     );
     let wf = b.build().unwrap();
     for scheduler in all_schedulers() {
@@ -153,5 +152,10 @@ fn trust_survives_json_roundtrip_and_defaults_to_zero() {
         "edges": []
     }"#;
     let old = helios::workflow::io::from_json(legacy).unwrap();
-    assert_eq!(old.task(helios::workflow::TaskId(0)).unwrap().required_trust(), 0);
+    assert_eq!(
+        old.task(helios::workflow::TaskId(0))
+            .unwrap()
+            .required_trust(),
+        0
+    );
 }

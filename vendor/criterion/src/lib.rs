@@ -1,0 +1,190 @@
+//! Offline vendored `criterion` subset: a minimal wall-clock benchmark
+//! harness with the same source-level API the workspace's benches use.
+//!
+//! No statistical analysis, HTML reports or outlier rejection — each
+//! benchmark runs a fixed number of samples of an adaptively-sized
+//! iteration batch and prints the mean per-iteration time. Good enough
+//! to compare orders of magnitude and spot regressions by eye, which is
+//! all an offline container can support.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), self.sample_size, |b| f(b));
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (cosmetic in this harness).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Timing callback handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Warm-up + calibration: one iteration to size the batch so a sample
+    // lasts roughly a millisecond (cheap kernels) without making slow
+    // kernels crawl.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed);
+    }
+    let mean = total / (samples as u32) / (iters as u32);
+    let best = best / (iters as u32);
+    println!(
+        "{label:<48} mean {mean:>12?}   best {best:>12?}   ({samples} samples x {iters} iters)"
+    );
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_labels() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(3) * 2));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline vendored `parking_lot` subset: non-poisoning [`Mutex`] and
+//! [`Condvar`] built on `std::sync`.
+//!
+//! Matches parking_lot's API shape where this workspace uses it —
+//! `lock()` returns the guard directly (no `Result`), and
+//! `Condvar::wait` takes `&mut MutexGuard`. Poisoning is deliberately
+//! ignored: parking_lot itself never poisons, and recovering the inner
+//! guard from a poisoned std lock preserves that behaviour.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait`] can take the
+/// guard out, park on the std condvar, and put the reacquired guard back
+/// — all through a `&mut` borrow, matching parking_lot's signature.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable compatible with [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and waits for a
+    /// notification; the lock is reacquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let reacquired = match self.inner.wait(std_guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.inner = Some(reacquired);
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*state2;
+            *lock.lock() = true;
+            cvar.notify_all();
+        });
+        let (lock, cvar) = &*state;
+        let mut done = lock.lock();
+        while !*done {
+            cvar.wait(&mut done);
+        }
+        assert!(*done);
+        drop(done);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,346 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external `rand` crate cannot be downloaded. This crate reimplements the
+//! small slice of its API the workspace actually uses — [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension trait and [`Error`] — with the
+//! same numeric conventions as rand 0.8 (53-bit uniform floats,
+//! SplitMix64-expanded `seed_from_u64` seeds) so seeded streams stay
+//! portable and statistically sound.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type matching `rand::Error`'s role. The vendored generators are
+/// infallible, so this is only ever constructed by downstream code.
+#[derive(Debug, Clone)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Fallible [`RngCore::fill_bytes`]; the vendored generators never
+    /// fail.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type (e.g. `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed, expanding it with the
+    /// PCG32 stream exactly like `rand_core` 0.6 does, so seeded streams
+    /// agree with historical runs made against the real crates.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce from raw generator output.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // rand 0.8's `Standard` for f64: 53 high bits, multiply-based.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // rand 0.8 uses a sign test on the most significant bit.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Integer types that support unbiased uniform range sampling.
+///
+/// The algorithm is rand 0.8's `UniformInt` widening-multiply (Lemire)
+/// sampler, reproduced exactly — including its per-width choice of raw
+/// word (`next_u32` for ≤32-bit types, `next_u64` otherwise) and zone
+/// computation — so seeded streams agree with runs made against the real
+/// crate.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high]` (inclusive). `low <= high` must
+    /// hold.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Draws uniformly from `[low, high)`. `low < high` must hold.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $next:ident, $wide:ty) => {
+        impl UniformInt for $ty {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                assert!(low <= high, "gen_range: empty range");
+                let range = (high as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // The whole type range was requested.
+                    return rng.$next() as $ty;
+                }
+                lemire_loop!(rng, $next, $ty, $unsigned, $u_large, $wide, low, range)
+            }
+
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                assert!(low < high, "gen_range: empty range");
+                let range = (high as $unsigned).wrapping_sub(low as $unsigned) as $u_large;
+                lemire_loop!(rng, $next, $ty, $unsigned, $u_large, $wide, low, range)
+            }
+        }
+    };
+}
+
+macro_rules! lemire_loop {
+    ($rng:expr, $next:ident, $ty:ty, $unsigned:ty, $u_large:ty, $wide:ty,
+     $low:expr, $range:expr) => {{
+        let range = $range;
+        let zone = if (<$unsigned>::MAX as u64) <= u64::from(u16::MAX) {
+            // Small types: exact modulus-based zone (rand's fast path).
+            let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+            <$u_large>::MAX - ints_to_reject
+        } else {
+            // Conservative approximation; `- 1` keeps the comparison
+            // unbiased.
+            (range << range.leading_zeros()).wrapping_sub(1)
+        };
+        loop {
+            let v = $rng.$next() as $u_large;
+            let wide = (v as $wide) * (range as $wide);
+            let hi = (wide >> <$u_large>::BITS) as $u_large;
+            let lo = wide as $u_large;
+            if lo <= zone {
+                break ($low as $unsigned).wrapping_add(hi as $unsigned) as $ty;
+            }
+        }
+    }};
+}
+
+impl_uniform_int!(u8, u8, u32, next_u32, u64);
+impl_uniform_int!(u16, u16, u32, next_u32, u64);
+impl_uniform_int!(u32, u32, u32, next_u32, u64);
+impl_uniform_int!(u64, u64, u64, next_u64, u128);
+impl_uniform_int!(usize, usize, usize, next_u64, u128);
+impl_uniform_int!(i32, u32, u32, next_u32, u64);
+impl_uniform_int!(i64, u64, u64, next_u64, u128);
+impl_uniform_int!(isize, usize, usize, next_u64, u128);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Maps 52 random bits onto `[1, 2)` exactly as rand's
+/// `into_float_with_exponent(0)` does.
+fn unit_1_2(bits52: u64) -> f64 {
+    f64::from_bits(bits52 | (1023u64 << 52))
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        // rand 0.8 `UniformFloat::sample_single`: 52-bit value in [0, 1)
+        // scaled into the range, redrawing on the (rare) rounding-up to
+        // `high`.
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = self.end - self.start;
+        loop {
+            let value0_1 = unit_1_2(rng.next_u64() >> 12) - 1.0;
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        // rand 0.8 `UniformFloat::new_inclusive` + `sample`: scale is
+        // nudged down by ULPs until the maximum draw cannot exceed
+        // `high`.
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        let max_rand = unit_1_2(u64::MAX >> 12) - 1.0;
+        let mut scale = (high - low) / max_rand;
+        assert!(scale.is_finite(), "gen_range: non-finite scale");
+        while scale * max_rand + low > high {
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+        let value0_1 = unit_1_2(rng.next_u64() >> 12) - 1.0;
+        value0_1 * scale + low
+    }
+}
+
+/// Convenience extension over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value via the standard distribution for `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`, via rand 0.8's Bernoulli
+    /// fixed-point comparison (so streams match the real crate).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = if p < 1.0 {
+            (p * SCALE) as u64
+        } else {
+            u64::MAX
+        };
+        if p_int == u64::MAX {
+            // "Always true" draws no randomness, matching Bernoulli.
+            return true;
+        }
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Namespace mirror of `rand::rngs` (documentation references only).
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence through a mix: good enough to exercise APIs.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = Counter(2);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..=7);
+            assert!((3..=7).contains(&x));
+            let y = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&y));
+            let z = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Counter(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        assert!(rng.try_fill_bytes(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline vendored ChaCha8 random number generator.
+//!
+//! Implements the ChaCha stream cipher (Bernstein 2008) with 8 rounds in
+//! the word layout used by `rand_chacha` 0.3: a 256-bit key from the
+//! seed, a 64-bit block counter in words 12–13 and a 64-bit stream id in
+//! words 14–15. Output words are consumed in block order, low word
+//! first, so `next_u64` is `lo | hi << 32` of consecutive words.
+//!
+//! The workspace uses this through `helios_sim::SimRng`, which relies on
+//! [`ChaCha8Rng::set_stream`] / [`ChaCha8Rng::set_word_pos`] for cheap
+//! forking into independent deterministic sub-streams.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+const WORDS_PER_BLOCK: u128 = 16;
+
+/// A ChaCha stream cipher RNG with 8 rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    stream: u64,
+    /// Absolute position in 32-bit words since the start of the stream.
+    word_pos: u128,
+    buf: [u32; 16],
+    buf_block: u64,
+    buf_valid: bool,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects the 64-bit stream id. Positions are preserved, so distinct
+    /// streams from the same key are independent sequences.
+    pub fn set_stream(&mut self, stream: u64) {
+        if self.stream != stream {
+            self.stream = stream;
+            self.buf_valid = false;
+        }
+    }
+
+    /// The current stream id.
+    #[must_use]
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Repositions the generator at an absolute 32-bit-word offset from
+    /// the start of the stream.
+    pub fn set_word_pos(&mut self, word_offset: u128) {
+        self.word_pos = word_offset;
+    }
+
+    /// The absolute 32-bit-word position.
+    #[must_use]
+    pub fn get_word_pos(&self) -> u128 {
+        self.word_pos
+    }
+
+    fn generate_block(&mut self, block: u64) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = block as u32;
+        state[13] = (block >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = state;
+        self.buf_block = block;
+        self.buf_valid = true;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaCha8Rng {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            stream: 0,
+            word_pos: 0,
+            buf: [0; 16],
+            buf_block: 0,
+            buf_valid: false,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        let block = (self.word_pos / WORDS_PER_BLOCK) as u64;
+        if !self.buf_valid || self.buf_block != block {
+            self.generate_block(block);
+        }
+        let word = self.buf[(self.word_pos % WORDS_PER_BLOCK) as usize];
+        self.word_pos = self.word_pos.wrapping_add(1);
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc7539_style_block_function() {
+        // ChaCha8 with an all-zero key and nonce emits the ecrypt test
+        // vector keystream "3e 00 ef 2f 89 5f 40 d6 ..." (set 1, vector
+        // 0); the first two little-endian output words are therefore
+        // 0x2fef003e and 0xd6405f89.
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0x2fef_003e);
+        assert_eq!(rng.next_u32(), 0xd640_5f89);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = a.clone();
+        b.set_stream(7);
+        b.set_word_pos(0);
+        assert_eq!(b.get_stream(), 7);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(matches < 2, "streams should be essentially disjoint");
+    }
+
+    #[test]
+    fn word_pos_seeks() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let skip: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        b.set_word_pos(17);
+        assert_eq!(b.get_word_pos(), 17);
+        assert_eq!(b.next_u32(), skip[17]);
+        assert_eq!(b.next_u32(), skip[18]);
+    }
+
+    #[test]
+    fn crosses_block_boundaries() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let first: Vec<u32> = (0..48).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let again: Vec<u32> = (0..48).map(|_| b.next_u32()).collect();
+        assert_eq!(first, again);
+        // Distinct blocks actually differ.
+        assert_ne!(&first[0..16], &first[16..32]);
+    }
+}

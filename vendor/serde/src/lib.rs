@@ -1,0 +1,387 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! real `serde` cannot be downloaded. This crate keeps the workspace's
+//! source-level API — `Serialize` / `Deserialize` derives, the
+//! `Serializer` / `Deserializer` traits with their associated types, and
+//! the `#[serde(...)]` attributes the codebase uses (`transparent`,
+//! `default`, `default = "path"`, `with = "module"`) — but routes all
+//! (de)serialization through an explicit [`Value`] tree instead of
+//! serde's visitor machinery. `serde_json` (also vendored) renders that
+//! tree to JSON.
+//!
+//! The simplification is deliberate: every format in this workspace is
+//! JSON, so a concrete value tree loses nothing while keeping the shim
+//! small and auditable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{DeError, Value, ValueDeserializer, ValueSerializer};
+
+/// A type that can render itself as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+
+    /// Serde-shaped entry point: feeds the value tree to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink for [`Value`] trees (serde's `Serializer` shape).
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Serializer error type.
+    type Error;
+
+    /// Consumes a complete value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can reconstruct itself from a [`Value`] tree.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Serde-shaped entry point: pulls a value tree out of
+    /// `deserializer` and rebuilds `Self` from it.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(de::Error::custom)
+    }
+}
+
+/// A source of [`Value`] trees (serde's `Deserializer` shape).
+pub trait Deserializer<'de>: Sized {
+    /// Deserializer error type.
+    type Error: de::Error;
+
+    /// Produces the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Serialization-side namespace, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serializer;
+
+    /// Error construction for serializers.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side namespace, mirroring `serde::de`.
+pub mod de {
+    pub use crate::Deserializer;
+
+    /// Error construction for deserializers.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> DeError {
+        DeError::new(msg.to_string())
+    }
+}
+
+impl de::Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> DeError {
+        DeError::new(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and standard containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(f64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(DeError::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f64, f32);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                match value {
+                    Value::Number(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(DeError::type_mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<bool, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<String, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::type_mismatch("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // JSON object keys are strings; render the key through its value
+        // form and stringify scalars.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_value().as_object_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_value(&Value::String(k.clone())).or_else(|_| {
+                        k.parse::<f64>()
+                            .map_err(|_| DeError::new(format!("bad map key {k:?}")))
+                            .and_then(|n| K::from_value(&Value::Number(n)))
+                    })?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            other => Err(DeError::type_mismatch("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Value, DeError> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support functions used by the generated derive code (not public API).
+// ---------------------------------------------------------------------------
+
+/// Looks up a field of an object value.
+#[doc(hidden)]
+#[must_use]
+pub fn __get<'v>(value: &'v Value, name: &str) -> Option<&'v Value> {
+    match value {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Deserializes a mandatory struct field.
+#[doc(hidden)]
+pub fn __field<T: for<'de> Deserialize<'de>>(
+    value: &Value,
+    ty: &str,
+    name: &str,
+) -> Result<T, DeError> {
+    match __get(value, name) {
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(ty, name)),
+        None => Err(DeError::new(format!("{ty}: missing field `{name}`"))),
+    }
+}
+
+/// Deserializes a struct field that falls back to a default when absent.
+#[doc(hidden)]
+pub fn __field_or_else<T: for<'de> Deserialize<'de>>(
+    value: &Value,
+    ty: &str,
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match __get(value, name) {
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(ty, name)),
+        None => Ok(default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert!(usize::from_value(&Value::Number(1.5)).is_err());
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Number(3.0)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1usize, 2.5f64, "x".to_string());
+        assert_eq!(
+            <(usize, f64, String)>::from_value(&t.to_value()).unwrap(),
+            t
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        assert_eq!(
+            BTreeMap::<String, u32>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn field_helpers() {
+        let obj = Value::Object(vec![("x".into(), Value::Number(4.0))]);
+        assert_eq!(__field::<u32>(&obj, "T", "x").unwrap(), 4);
+        assert!(__field::<u32>(&obj, "T", "y").is_err());
+        assert_eq!(__field_or_else::<u32>(&obj, "T", "y", || 9).unwrap(), 9);
+    }
+}

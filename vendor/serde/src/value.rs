@@ -1,0 +1,249 @@
+//! The concrete value tree all vendored (de)serialization flows through,
+//! plus the serializer/deserializer adapters used by generated derive
+//! code and `#[serde(with = "...")]` modules.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::{Deserializer, Serializer};
+
+/// A JSON-shaped value tree.
+///
+/// Objects preserve insertion order (struct declaration order for derived
+/// types), which keeps rendered JSON deterministic and readable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number. Always held as `f64`; integers are exact to 2^53.
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object entries, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key, or `None` for non-objects/missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        crate::__get(self, key)
+    }
+
+    /// A short type name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Renders the value as a JSON object key.
+    #[must_use]
+    pub(crate) fn as_object_key(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            Value::Number(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(f64::from(*other))
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Deserialization error: a message plus breadcrumb context.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// A standard "expected X, found Y" error.
+    #[must_use]
+    pub fn type_mismatch(expected: &str, found: &Value) -> DeError {
+        DeError::new(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// Wraps the error with field context.
+    #[must_use]
+    pub fn in_field(self, ty: &str, field: &str) -> DeError {
+        DeError::new(format!("{ty}.{field}: {}", self.message))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A [`Serializer`] that yields the [`Value`] tree itself. This is what
+/// `#[serde(with = "...")]` modules receive from derived code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = DeError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, DeError> {
+        Ok(value)
+    }
+}
+
+/// A [`Deserializer`] over a borrowed [`Value`] tree. This is what
+/// `#[serde(with = "...")]` modules receive from derived code.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueDeserializer<'a>(pub &'a Value);
+
+impl<'a, 'de> Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0.clone())
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline vendored `Serialize` / `Deserialize` derive macros.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available in this offline environment, so this implementation parses
+//! the item declaration directly from the raw [`TokenStream`]. It
+//! supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (any count),
+//! * tuple structs (newtypes serialize transparently, larger tuples as
+//!   arrays),
+//! * unit-variant enums (serialized as the variant name string),
+//! * the field attributes `#[serde(default)]`, `#[serde(default =
+//!   "path")]` and `#[serde(with = "module")]`, and the container
+//!   attribute `#[serde(transparent)]`.
+//!
+//! Generics are intentionally unsupported; the macro fails loudly if it
+//! meets one so the gap is obvious rather than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    /// `#[serde(default)]`
+    default: bool,
+    /// `#[serde(default = "path")]`
+    default_path: Option<String>,
+    /// `#[serde(with = "module")]`
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    Named(Vec<Field>),
+    /// `struct S(A, B);` with arity.
+    Tuple(usize),
+    /// `enum E { A, B }` with unit variants.
+    UnitEnum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.shape {
+        Shape::Named(fields) => serialize_named(&input, fields),
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => serde::Value::String(\"{v}\".to_string())",
+                        name = input.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}",
+        name = input.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => deserialize_named(&input, fields),
+        Shape::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                     serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                         Ok({name}({items})),\n\
+                     __other => Err(serde::DeError::type_mismatch(\"{n}-tuple\", __other)),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match __value.as_str() {{\n\
+                     {arms},\n\
+                     _ => Err(serde::DeError::new(format!(\n\
+                         \"unknown {name} variant {{:?}}\", __value))),\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn serialize_named(input: &Input, fields: &[Field]) -> String {
+    if input.transparent {
+        assert_eq!(
+            fields.len(),
+            1,
+            "#[serde(transparent)] requires exactly one field"
+        );
+        return format!("serde::Serialize::to_value(&self.{})", fields[0].name);
+    }
+    let mut pushes = Vec::new();
+    for f in fields {
+        let expr = match &f.attrs.with {
+            Some(module) => format!(
+                "{module}::serialize(&self.{field}, serde::ValueSerializer)\
+                 .expect(\"value serializer is infallible\")",
+                field = f.name
+            ),
+            None => format!("serde::Serialize::to_value(&self.{})", f.name),
+        };
+        pushes.push(format!(
+            "__fields.push((\"{name}\".to_string(), {expr}));",
+            name = f.name
+        ));
+    }
+    format!(
+        "let mut __fields: Vec<(String, serde::Value)> = Vec::with_capacity({n});\n\
+         {pushes}\n\
+         serde::Value::Object(__fields)",
+        n = fields.len(),
+        pushes = pushes.join("\n")
+    )
+}
+
+fn deserialize_named(input: &Input, fields: &[Field]) -> String {
+    let name = &input.name;
+    if input.transparent {
+        assert_eq!(
+            fields.len(),
+            1,
+            "#[serde(transparent)] requires exactly one field"
+        );
+        return format!(
+            "Ok({name} {{ {field}: serde::Deserialize::from_value(__value)? }})",
+            field = fields[0].name
+        );
+    }
+    let mut inits = Vec::new();
+    for f in fields {
+        let expr = match (&f.attrs.with, &f.attrs.default_path, f.attrs.default) {
+            (Some(module), _, _) => format!(
+                "match serde::__get(__value, \"{field}\") {{\n\
+                     Some(__v) => {module}::deserialize(serde::ValueDeserializer(__v))?,\n\
+                     None => return Err(serde::DeError::new(\n\
+                         \"{name}: missing field `{field}`\".to_string())),\n\
+                 }}",
+                field = f.name
+            ),
+            (None, Some(path), _) => format!(
+                "serde::__field_or_else(__value, \"{name}\", \"{field}\", {path})?",
+                field = f.name
+            ),
+            (None, None, true) => format!(
+                "serde::__field_or_else(__value, \"{name}\", \"{field}\", \
+                 ::std::default::Default::default)?",
+                field = f.name
+            ),
+            (None, None, false) => format!(
+                "serde::__field(__value, \"{name}\", \"{field}\")?",
+                field = f.name
+            ),
+        };
+        inits.push(format!("{field}: {expr},", field = f.name));
+    }
+    format!("Ok({name} {{\n{inits}\n}})", inits = inits.join("\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Declaration parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes (doc comments, derives, #[serde(...)]).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let attrs = parse_serde_attr(g.stream());
+                    if attrs.iter().any(|a| a == "transparent") {
+                        transparent = true;
+                    }
+                    i += 2;
+                } else {
+                    panic!("malformed attribute");
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                // Skip `(crate)` etc. after `pub`.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "vendored serde_derive does not support generic type `{name}`"
+        );
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_arity(g.stream()))
+            }
+            _ => panic!("unsupported struct shape for `{name}` (unit struct?)"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+            }
+            _ => panic!("expected enum body for `{name}`"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+/// Extracts the comma-separated meta items of a `serde(...)` attribute
+/// body, rendered back to strings like `transparent`, `default`,
+/// `default = "path"`, `with = "module"`. Non-serde attributes yield an
+/// empty list.
+fn parse_serde_attr(attr_body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    // Shape: `serde ( ... )` — possibly `! [serde(...)]` for inner
+    // attributes, which we do not use.
+    let mut iter = tokens.iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"serde" => {}
+        _ => return Vec::new(),
+    }
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        return Vec::new();
+    };
+    let mut items = Vec::new();
+    let mut current = String::new();
+    for t in g.stream() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                items.push(std::mem::take(&mut current));
+            }
+            other => {
+                if !current.is_empty() {
+                    current.push(' ');
+                }
+                current.push_str(&other.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+fn attrs_from_items(items: &[String]) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for item in items {
+        if item == "default" {
+            attrs.default = true;
+        } else if let Some(rest) = item.strip_prefix("default =") {
+            attrs.default_path = Some(unquote(rest.trim()));
+        } else if let Some(rest) = item.strip_prefix("with =") {
+            attrs.with = Some(unquote(rest.trim()));
+        } else if item == "transparent" {
+            // Container-level; handled by the caller.
+        } else {
+            panic!("unsupported serde attribute `{item}`");
+        }
+    }
+    attrs
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+/// Parses `a: A, #[serde(default)] b: B, ...` into fields. Commas inside
+/// angle brackets (`BTreeMap<K, V>`) belong to the type, not the list.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+
+    while let Some(t) = tokens.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    pending_attrs.extend(parse_serde_attr(g.stream()));
+                } else {
+                    panic!("malformed field attribute");
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field `{name}`, got {other:?}"),
+                }
+                // Swallow the type up to the next top-level comma.
+                let mut angle_depth = 0i32;
+                for t in tokens.by_ref() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                fields.push(Field {
+                    name,
+                    attrs: attrs_from_items(&std::mem::take(&mut pending_attrs)),
+                });
+            }
+            other => panic!("unexpected token in struct body: {other}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body.
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parses unit enum variants, rejecting data-carrying variants.
+fn parse_unit_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(t) = tokens.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Variant attribute (e.g. doc comment): skip its body.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                match tokens.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        tokens.next();
+                    }
+                    Some(other) => panic!(
+                        "vendored serde_derive supports only unit variants; \
+                         `{name}::{}` carries {other}",
+                        variants.last().expect("just pushed")
+                    ),
+                }
+            }
+            other => panic!("unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
