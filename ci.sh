@@ -22,6 +22,25 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> scheduler conformance battery"
+cargo test -q --test sched_conformance
+
+echo "==> sharded sweep byte-identity smoke"
+# The release binary sweeps the committed smoke spec unsharded, then as
+# a 2-shard partition recombined by `campaign merge`; the two reports
+# must be byte-identical (the tier-1 test suite pins the same property
+# in-process for 1/1, 2, and 4 shards).
+sweep_tmp="$(mktemp -d)"
+trap 'rm -rf "$sweep_tmp"' EXIT
+helios=target/release/helios
+"$helios" campaign run --spec examples/specs/smoke.json --out "$sweep_tmp/full.json" > /dev/null
+"$helios" campaign run --spec examples/specs/smoke.json --shard 1/2 --out "$sweep_tmp/s1.json" > /dev/null
+"$helios" campaign run --spec examples/specs/smoke.json --shard 2/2 --out "$sweep_tmp/s2.json" > /dev/null
+"$helios" campaign merge --in "$sweep_tmp/s1.json" --in "$sweep_tmp/s2.json" \
+    --out "$sweep_tmp/merged.json" > /dev/null
+cmp "$sweep_tmp/full.json" "$sweep_tmp/merged.json"
+echo "2-shard merge is byte-identical to the unsharded sweep"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

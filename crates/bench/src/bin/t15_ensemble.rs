@@ -10,9 +10,17 @@
 //! through [`CampaignEngine`]: pass `--jobs N` to use N worker threads
 //! (default 1; 0 = one per hardware thread). The table is aggregated in
 //! cell order and is identical for every `--jobs` value.
+//!
+//! Alternatively, `--spec grid.json` runs a declarative
+//! [`CampaignSpec`] sweep instead of the built-in policy table
+//! (optionally one `--shard K/N` of it, written to `--out FILE`), so
+//! the same harness drives file-defined campaign grids.
 
 use helios_bench::{print_header, Agg};
-use helios_core::{CampaignEngine, EngineConfig, EnsembleMember, EnsemblePolicy, EnsembleRunner};
+use helios_core::{
+    CampaignEngine, CampaignSpec, EngineConfig, EnsembleMember, EnsemblePolicy, EnsembleRunner,
+    ShardSpec, SweepDriver,
+};
 use helios_platform::presets;
 use helios_sim::SimTime;
 use helios_workflow::generators::{cybershake, ligo_inspiral, montage};
@@ -24,19 +32,102 @@ const POLICIES: [EnsemblePolicy; 3] = [
 ];
 const SEEDS: u64 = 6;
 
-fn jobs_from_args() -> Result<usize, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => Ok(1),
-        [flag, n] if flag == "--jobs" => n
-            .parse()
-            .map_err(|_| format!("--jobs {n:?} is not a number")),
-        other => Err(format!("usage: t15_ensemble [--jobs N], got {other:?}")),
+#[derive(Default)]
+struct CliArgs {
+    jobs: usize,
+    spec: Option<String>,
+    shard: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let mut args = CliArgs {
+        jobs: 1,
+        ..CliArgs::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--jobs" => {
+                let v = value("--jobs")?;
+                args.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs {v:?} is not a number"))?;
+            }
+            "--spec" => args.spec = Some(value("--spec")?),
+            "--shard" => args.shard = Some(value("--shard")?),
+            "--out" => args.out = Some(value("--out")?),
+            other => {
+                return Err(format!(
+                    "usage: t15_ensemble [--jobs N] [--spec FILE [--shard K/N] [--out FILE]], \
+                     got {other:?}"
+                ))
+            }
+        }
     }
+    if args.spec.is_none() && (args.shard.is_some() || args.out.is_some()) {
+        return Err("--shard/--out require --spec".into());
+    }
+    Ok(args)
+}
+
+/// Runs a declarative sweep spec instead of the built-in policy table.
+fn run_spec(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.spec.as_deref().expect("caller checked --spec");
+    let spec = CampaignSpec::from_json(&std::fs::read_to_string(path)?)?;
+    let driver = SweepDriver::new(args.jobs);
+    if let Some(shard) = &args.shard {
+        let shard = ShardSpec::parse(shard)?;
+        let out = args
+            .out
+            .as_deref()
+            .ok_or("--shard produces a partial result; --out FILE is required")?;
+        let report = driver.run_shard(&spec, shard)?;
+        std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
+        println!(
+            "shard {shard} of {:?}: {} of {} cells -> {out}",
+            report.spec_name,
+            report.cells.len(),
+            report.total_cells
+        );
+        return Ok(());
+    }
+    let report = driver.run(&spec)?;
+    print_header(&[
+        "family",
+        "platform",
+        "scheduler",
+        "cells",
+        "makespan (s)",
+        "SLR",
+        "energy (J)",
+    ]);
+    for row in &report.summary {
+        println!(
+            "{:>16}{:>16}{:>16}{:>16}{:>16.4}{:>16.3}{:>16.1}",
+            row.family,
+            row.platform,
+            row.scheduler,
+            row.cells,
+            row.mean_makespan_secs,
+            row.mean_slr,
+            row.mean_energy_j
+        );
+    }
+    if let Some(out) = &args.out {
+        std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
+        println!("wrote {out}");
+    }
+    Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let jobs = jobs_from_args()?;
+    let args = parse_args()?;
+    if args.spec.is_some() {
+        return run_spec(&args);
+    }
+    let jobs = args.jobs;
     let platform = presets::hpc_node();
     print_header(&[
         "policy",

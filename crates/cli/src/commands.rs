@@ -13,42 +13,25 @@ use crate::CliError;
 
 /// Resolves a preset platform by name.
 fn platform_by_name(name: &str) -> Result<Platform, CliError> {
-    match name {
-        "workstation" => Ok(presets::workstation()),
-        "hpc_node" => Ok(presets::hpc_node()),
-        "edge_soc" => Ok(presets::edge_soc()),
-        other => {
-            if let Some(n) = other.strip_prefix("cluster") {
-                let nodes: usize = n
-                    .parse()
-                    .map_err(|_| CliError::Usage(format!("bad cluster size in {other:?}")))?;
-                if nodes == 0 {
-                    return Err(CliError::Usage("cluster needs >= 1 node".into()));
-                }
-                return Ok(presets::cluster(nodes));
-            }
-            Err(CliError::Usage(format!(
-                "unknown platform {other:?} (workstation, hpc_node, cluster<N>, edge_soc)"
-            )))
-        }
-    }
+    presets::by_name(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown platform {name:?} (workstation, hpc_node, cluster<N>, edge_soc)"
+        ))
+    })
 }
 
 /// Resolves a scheduler by its report name.
 fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, CliError> {
-    all_schedulers()
-        .into_iter()
-        .find(|s| s.name() == name)
-        .ok_or_else(|| {
-            let names: Vec<String> = all_schedulers()
-                .iter()
-                .map(|s| s.name().to_owned())
-                .collect();
-            CliError::Usage(format!(
-                "unknown scheduler {name:?} (available: {})",
-                names.join(", ")
-            ))
-        })
+    helios_sched::scheduler_by_name(name).ok_or_else(|| {
+        let names: Vec<String> = all_schedulers()
+            .iter()
+            .map(|s| s.name().to_owned())
+            .collect();
+        CliError::Usage(format!(
+            "unknown scheduler {name:?} (available: {})",
+            names.join(", ")
+        ))
+    })
 }
 
 /// Loads a workflow from a JSON file.
@@ -233,7 +216,128 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `helios campaign` — run a workflow ensemble campaign.
+/// `helios campaign` — campaigns of independent simulations.
+///
+/// Three forms:
+///
+/// * `campaign run --spec FILE [--shard K/N] [--jobs N] [--out FILE]`
+///   — expand a declarative sweep spec and run it (or one shard of
+///   it). Without `--shard` the merged sweep report is produced
+///   directly; with `--shard`, a shard report for later `merge`.
+/// * `campaign merge --in FILE [--in FILE …] [--out FILE]` — recombine
+///   shard reports (overlap/gap/spec-mismatch checked) into the
+///   aggregate sweep report, byte-identical to an unsharded run.
+/// * legacy member form: repeated `--member path[:arrival[:priority]]`
+///   runs one ensemble campaign over `--seeds N` replicate seeds.
+pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    match argv.first().map(String::as_str) {
+        Some("run") => campaign_run(&argv[1..], out),
+        Some("merge") => campaign_merge(&argv[1..], out),
+        _ => campaign_members(argv, out),
+    }
+}
+
+/// `helios campaign run` — run a sweep spec, whole or one shard.
+fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use helios_core::{CampaignSpec, ShardSpec, SweepDriver};
+
+    let args = Args::parse(argv, &["spec", "shard", "jobs", "out"], &[])?;
+    let spec_path = args.require("spec")?;
+    let json = std::fs::read_to_string(spec_path)
+        .map_err(|e| CliError::Helios(format!("cannot read spec file {spec_path:?}: {e}")))?;
+    let spec = CampaignSpec::from_json(&json)
+        .map_err(|e| CliError::Helios(format!("spec file {spec_path:?}: {e}")))?;
+    let jobs = args.parse_or("jobs", 1usize)?;
+    let driver = SweepDriver::new(jobs);
+
+    match args.get("shard") {
+        Some(shard) => {
+            let shard = ShardSpec::parse(shard).map_err(|e| CliError::Usage(e.to_string()))?;
+            let out_path = args.get("out").ok_or_else(|| {
+                CliError::Usage("--shard produces a partial result; --out FILE is required".into())
+            })?;
+            let report = driver.run_shard(&spec, shard)?;
+            std::fs::write(out_path, serde_json::to_string_pretty(&report)?)?;
+            writeln!(
+                out,
+                "shard {shard} of {:?}: {} of {} cells -> {out_path}",
+                report.spec_name,
+                report.cells.len(),
+                report.total_cells
+            )?;
+        }
+        None => {
+            let report = driver.run(&spec)?;
+            write_sweep_summary(&report, out)?;
+            if let Some(out_path) = args.get("out") {
+                std::fs::write(out_path, serde_json::to_string_pretty(&report)?)?;
+                writeln!(out, "wrote {out_path}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `helios campaign merge` — recombine shard reports.
+fn campaign_merge(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use helios_core::{merge_shards, ShardReport};
+
+    let args = Args::parse(argv, &["in", "out"], &[])?;
+    let inputs = args.get_all("in");
+    if inputs.is_empty() {
+        return Err(CliError::Usage(
+            "at least one --in shard-report file is required".into(),
+        ));
+    }
+    let mut shards = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Helios(format!("cannot read shard report {path:?}: {e}")))?;
+        let shard: ShardReport = serde_json::from_str(&json)
+            .map_err(|e| CliError::Helios(format!("shard report {path:?}: {e}")))?;
+        shards.push(shard);
+    }
+    let report = merge_shards(&shards)?;
+    write_sweep_summary(&report, out)?;
+    if let Some(out_path) = args.get("out") {
+        std::fs::write(out_path, serde_json::to_string_pretty(&report)?)?;
+        writeln!(out, "wrote {out_path}")?;
+    }
+    Ok(())
+}
+
+/// Human-readable rendering of a merged sweep report.
+fn write_sweep_summary(
+    report: &helios_core::SweepReport,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "sweep {:?} (digest {}): {} cells",
+        report.spec_name, report.spec_digest, report.total_cells
+    )?;
+    writeln!(
+        out,
+        "{:<14}{:<14}{:<12}{:>6}{:>16}{:>10}{:>14}",
+        "family", "platform", "scheduler", "cells", "makespan (s)", "SLR", "energy (J)"
+    )?;
+    for row in &report.summary {
+        writeln!(
+            out,
+            "{:<14}{:<14}{:<12}{:>6}{:>16.6}{:>10.3}{:>14.1}",
+            row.family,
+            row.platform,
+            row.scheduler,
+            row.cells,
+            row.mean_makespan_secs,
+            row.mean_slr,
+            row.mean_energy_j
+        )?;
+    }
+    Ok(())
+}
+
+/// The legacy member-based ensemble campaign.
 ///
 /// Members are given as repeated `--member path[:arrival[:priority]]`
 /// options; arrival defaults to 0 s and priority to 1. `--seeds N`
@@ -241,7 +345,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// `--seed`), and `--jobs N` runs those replicates on N worker threads
 /// (0 = one per hardware thread). Output is aggregated in seed order
 /// and is byte-identical for every `--jobs` value.
-pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn campaign_members(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use helios_core::{CampaignEngine, EnsembleMember, EnsemblePolicy, EnsembleRunner};
     use helios_sim::SimTime;
 
@@ -545,6 +649,134 @@ mod campaign_tests {
         assert!(campaign(&argv(&["--member", "x.json:notanumber"]), &mut buf).is_err());
         assert!(campaign(&argv(&["--member", "x.json", "--policy", "lifo"]), &mut buf).is_err());
         assert!(campaign(&argv(&["--member", "x.json", "--seeds", "0"]), &mut buf).is_err());
+    }
+
+    const SPEC_JSON: &str = r#"{
+        "name": "cli-smoke",
+        "families": ["montage"],
+        "platforms": ["workstation"],
+        "schedulers": ["heft", "olb"],
+        "seeds": {"base": 0, "count": 2},
+        "tasks": 20
+    }"#;
+
+    #[test]
+    fn campaign_run_merge_roundtrip_is_byte_identical() {
+        let dir = std::env::temp_dir().join("helios-cli-campaign-spec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(&spec, SPEC_JSON).unwrap();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                &path("spec.json"),
+                "--out",
+                &path("full.json"),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("sweep \"cli-smoke\""), "{text}");
+        assert!(text.contains("olb"), "{text}");
+
+        for shard in ["1/2", "2/2"] {
+            let out_file = path(&format!("s{}.json", &shard[..1]));
+            let mut buf = Vec::new();
+            campaign(
+                &argv(&[
+                    "run",
+                    "--spec",
+                    &path("spec.json"),
+                    "--shard",
+                    shard,
+                    "--out",
+                    &out_file,
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            assert!(String::from_utf8(buf).unwrap().contains("2 of 4 cells"));
+        }
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "merge",
+                "--in",
+                &path("s1.json"),
+                "--in",
+                &path("s2.json"),
+                "--out",
+                &path("merged.json"),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let full = std::fs::read(dir.join("full.json")).unwrap();
+        let merged = std::fs::read(dir.join("merged.json")).unwrap();
+        assert_eq!(full, merged, "merged shards must equal the unsharded run");
+    }
+
+    #[test]
+    fn campaign_spec_errors_are_hard_and_actionable() {
+        let dir = std::env::temp_dir().join("helios-cli-campaign-spec-err");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Malformed JSON.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{not json").unwrap();
+        let mut buf = Vec::new();
+        let err = campaign(&argv(&["run", "--spec", bad.to_str().unwrap()]), &mut buf)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("malformed campaign spec"), "{err}");
+
+        // Empty grid axis.
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, SPEC_JSON.replace(r#"["heft", "olb"]"#, "[]")).unwrap();
+        let err = campaign(&argv(&["run", "--spec", empty.to_str().unwrap()]), &mut buf)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("`schedulers` is empty"), "{err}");
+
+        // Missing file, bad shard syntax, shard without --out.
+        let err = campaign(&argv(&["run", "--spec", "/nonexistent/s.json"]), &mut buf)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot read spec file"), "{err}");
+        let spec = dir.join("ok.json");
+        std::fs::write(&spec, SPEC_JSON).unwrap();
+        let ok = spec.to_str().unwrap();
+        assert!(campaign(&argv(&["run", "--spec", ok, "--shard", "9"]), &mut buf).is_err());
+        let err = campaign(&argv(&["run", "--spec", ok, "--shard", "1/2"]), &mut buf)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--out"), "{err}");
+
+        // merge with no inputs, and with an unmergeable (incomplete) set.
+        assert!(campaign(&argv(&["merge"]), &mut buf).is_err());
+        let shard = dir.join("half.json");
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                ok,
+                "--shard",
+                "1/2",
+                "--out",
+                shard.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let err = campaign(&argv(&["merge", "--in", shard.to_str().unwrap()]), &mut buf)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("incomplete partition"), "{err}");
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub fn usage() -> String {
                   --seed, --contention, --caching, --online, --trace, --report)\n\
        campaign   run a workflow ensemble (--member path[:arrival[:prio]],\n\
                   --policy fifo|priority|fair-share)\n\
+       campaign run    sweep a spec grid (--spec file.json, --shard K/N,\n\
+                       --jobs N, --out report.json)\n\
+       campaign merge  recombine shard reports (--in shard.json ..., --out)\n\
        platforms  list the preset platforms\n\
        help       show this message"
         .to_owned()

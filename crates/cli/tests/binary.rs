@@ -80,6 +80,112 @@ fn full_pipeline_through_the_binary() {
     assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
 }
 
+const SPEC_JSON: &str = r#"{
+    "name": "bin-smoke",
+    "families": ["sipht"],
+    "platforms": ["workstation"],
+    "schedulers": ["heft"],
+    "seeds": {"base": 3, "count": 2},
+    "tasks": 20
+}"#;
+
+#[test]
+fn campaign_sharded_sweep_through_the_binary() {
+    let dir = std::env::temp_dir().join("helios-bin-sweep");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+    std::fs::write(dir.join("spec.json"), SPEC_JSON).unwrap();
+
+    let run = |args: &[&str]| {
+        let out = helios().args(args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--out",
+        &path("full.json"),
+    ]);
+    run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--shard",
+        "1/2",
+        "--out",
+        &path("s1.json"),
+    ]);
+    run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--shard",
+        "2/2",
+        "--out",
+        &path("s2.json"),
+    ]);
+    let out = run(&[
+        "campaign",
+        "merge",
+        "--in",
+        &path("s1.json"),
+        "--in",
+        &path("s2.json"),
+        "--out",
+        &path("merged.json"),
+    ]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bin-smoke"));
+
+    let full = std::fs::read(dir.join("full.json")).unwrap();
+    let merged = std::fs::read(dir.join("merged.json")).unwrap();
+    assert_eq!(full, merged, "shard merge must be byte-identical");
+}
+
+#[test]
+fn malformed_spec_file_is_a_hard_error() {
+    let dir = std::env::temp_dir().join("helios-bin-badspec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, r#"{"name": "x", "families": "#).unwrap();
+
+    let out = helios()
+        .args(["campaign", "run", "--spec", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed campaign spec"), "{stderr}");
+}
+
+#[test]
+fn empty_sweep_grid_is_a_hard_error() {
+    let dir = std::env::temp_dir().join("helios-bin-emptyspec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, SPEC_JSON.replace(r#"["sipht"]"#, "[]")).unwrap();
+
+    let out = helios()
+        .args(["campaign", "run", "--spec", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("`families` is empty") && stderr.contains("no cells"),
+        "{stderr}"
+    );
+}
+
 #[test]
 fn bad_workflow_file_is_reported() {
     let out = helios()

@@ -26,6 +26,14 @@ use std::sync::Mutex;
 
 use helios_sim::SimRng;
 
+pub mod spec;
+pub mod sweep;
+
+pub use spec::{CampaignSpec, DvfsKnob, FaultKnob, SeedRange, SweepCell};
+pub use sweep::{
+    merge_shards, CellResult, ShardReport, ShardSpec, SummaryRow, SweepDriver, SweepReport,
+};
+
 /// Runs the independent cells of a campaign across worker threads.
 ///
 /// # Examples

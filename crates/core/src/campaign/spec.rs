@@ -1,0 +1,468 @@
+//! Declarative campaign sweep specifications.
+//!
+//! A [`CampaignSpec`] is the file-level description of an evaluation
+//! grid: the cross product of workflow families, platform presets,
+//! schedulers and seeds, plus the engine knobs (noise, contention,
+//! caching, DVFS policy, fault injection) every cell runs under. Specs
+//! are plain JSON loaded through the vendored serde stack, so the same
+//! grid can be split across processes or hosts and recombined later —
+//! see [`super::sweep`] for the sharded driver.
+//!
+//! Expansion is deterministic: [`CampaignSpec::expand`] enumerates
+//! cells in declaration order (family, then platform, then scheduler,
+//! then seed), and every cell carries its global index. Two processes
+//! expanding the same spec therefore agree on which simulation cell
+//! `i` denotes, which is what makes shard unions bit-identical to the
+//! unsharded run.
+
+use serde::{Deserialize, Serialize};
+
+use helios_workflow::generators::WorkflowClass;
+
+use crate::EngineError;
+
+/// A consecutive seed range: `base, base + 1, …, base + count - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedRange {
+    /// First seed of the range.
+    pub base: u64,
+    /// Number of seeds (one replicate per seed).
+    pub count: usize,
+}
+
+impl SeedRange {
+    /// Iterates the seeds of the range.
+    pub fn iter(self) -> impl Iterator<Item = u64> {
+        (0..self.count as u64).map(move |i| self.base.wrapping_add(i))
+    }
+}
+
+/// The DVFS operating point every placement of a cell is pinned to.
+///
+/// `Nominal` keeps whatever levels the scheduler chose; `Powersave`
+/// rewrites placements to each device's slowest state, `Performance`
+/// to its fastest. The engine re-derives timing from the plan's device
+/// order, so rewriting levels is safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DvfsKnob {
+    /// Keep the scheduler's chosen levels.
+    #[default]
+    Nominal,
+    /// Pin every placement to the slowest DVFS state.
+    Powersave,
+    /// Pin every placement to the fastest DVFS state.
+    Performance,
+}
+
+impl DvfsKnob {
+    /// The spec-file spelling of the knob.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DvfsKnob::Nominal => "nominal",
+            DvfsKnob::Powersave => "powersave",
+            DvfsKnob::Performance => "performance",
+        }
+    }
+}
+
+// Hand-written impls: spec files spell the knob in lowercase, while the
+// vendored derive would use the exact variant names.
+impl Serialize for DvfsKnob {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_owned())
+    }
+}
+
+impl<'de> Deserialize<'de> for DvfsKnob {
+    fn from_value(value: &serde::Value) -> Result<DvfsKnob, serde::DeError> {
+        match value.as_str() {
+            Some("nominal") => Ok(DvfsKnob::Nominal),
+            Some("powersave") => Ok(DvfsKnob::Powersave),
+            Some("performance") => Ok(DvfsKnob::Performance),
+            _ => Err(serde::DeError::new(format!(
+                "unknown dvfs knob {value:?} (nominal, powersave, performance)"
+            ))),
+        }
+    }
+}
+
+/// Fault-injection knobs of a spec, mirroring
+/// [`FaultConfig`](crate::FaultConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultKnob {
+    /// Mean time between failures per device, seconds.
+    pub mtbf_secs: f64,
+    /// Restart overhead added to every retry, seconds.
+    #[serde(default)]
+    pub restart_overhead_secs: f64,
+    /// Retry budget per task.
+    #[serde(default)]
+    pub max_retries: u32,
+}
+
+fn default_tasks() -> usize {
+    50
+}
+
+/// A declarative sweep grid: the cross product of families, platforms,
+/// schedulers and seeds, with shared engine knobs.
+///
+/// # Examples
+///
+/// ```
+/// let spec = helios_core::CampaignSpec::from_json(
+///     r#"{
+///         "name": "smoke",
+///         "families": ["montage"],
+///         "platforms": ["workstation"],
+///         "schedulers": ["heft"],
+///         "seeds": {"base": 0, "count": 2}
+///     }"#,
+/// )?;
+/// assert_eq!(spec.expand()?.len(), 2);
+/// # Ok::<(), helios_core::EngineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Human-readable grid name, echoed into every report.
+    pub name: String,
+    /// Workflow families (`montage`, `cybershake`, `epigenomics`,
+    /// `ligo`, `sipht`).
+    pub families: Vec<String>,
+    /// Platform preset names (`workstation`, `hpc_node`, `cluster<N>`,
+    /// `edge_soc`).
+    pub platforms: Vec<String>,
+    /// Scheduler report names (see `helios_sched::all_schedulers`).
+    pub schedulers: Vec<String>,
+    /// Seed replicates per (family, platform, scheduler) combination.
+    pub seeds: SeedRange,
+    /// Tasks per generated workflow (default 50).
+    #[serde(default = "default_tasks")]
+    pub tasks: usize,
+    /// Runtime noise coefficient of variation (default 0).
+    #[serde(default)]
+    pub noise_cv: f64,
+    /// Model link contention (default off).
+    #[serde(default)]
+    pub link_contention: bool,
+    /// Cache data products per device (default off).
+    #[serde(default)]
+    pub data_caching: bool,
+    /// DVFS operating point (default `nominal`).
+    #[serde(default)]
+    pub dvfs: DvfsKnob,
+    /// Optional fault injection.
+    #[serde(default)]
+    pub faults: Option<FaultKnob>,
+}
+
+/// One expanded grid point: a single deterministic simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Global cell index in expansion order (stable across shards).
+    pub index: usize,
+    /// Workflow family name.
+    pub family: String,
+    /// Platform preset name.
+    pub platform: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Workflow-generation and engine seed.
+    pub seed: u64,
+}
+
+/// Resolves a spec family name to its generator class.
+#[must_use]
+pub fn family_class(name: &str) -> Option<WorkflowClass> {
+    WorkflowClass::ALL.into_iter().find(|c| c.as_str() == name)
+}
+
+impl CampaignSpec {
+    /// Parses and validates a spec from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] with an actionable message for
+    /// malformed JSON, unknown grid axis values, or an empty grid.
+    pub fn from_json(json: &str) -> Result<CampaignSpec, EngineError> {
+        let spec: CampaignSpec = serde_json::from_str(json)
+            .map_err(|e| EngineError::Config(format!("malformed campaign spec: {e}")))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks every grid axis is non-empty and resolvable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] naming the offending axis; an
+    /// empty axis is a hard error because it silently expands to zero
+    /// cells.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let fail = |msg: String| Err(EngineError::Config(format!("spec {:?}: {msg}", self.name)));
+        if self.families.is_empty() {
+            return fail(
+                "`families` is empty, so the grid has no cells; list at least one of \
+                 montage, cybershake, epigenomics, ligo, sipht"
+                    .into(),
+            );
+        }
+        for f in &self.families {
+            if family_class(f).is_none() {
+                return fail(format!(
+                    "unknown family {f:?} (montage, cybershake, epigenomics, ligo, sipht)"
+                ));
+            }
+        }
+        if self.platforms.is_empty() {
+            return fail(
+                "`platforms` is empty, so the grid has no cells; list at least one of \
+                 workstation, hpc_node, cluster<N>, edge_soc"
+                    .into(),
+            );
+        }
+        for p in &self.platforms {
+            if helios_platform::presets::by_name(p).is_none() {
+                return fail(format!(
+                    "unknown platform {p:?} (workstation, hpc_node, cluster<N>, edge_soc)"
+                ));
+            }
+        }
+        if self.schedulers.is_empty() {
+            return fail(
+                "`schedulers` is empty, so the grid has no cells; list at least one \
+                 scheduler name (e.g. heft)"
+                    .into(),
+            );
+        }
+        for s in &self.schedulers {
+            if helios_sched::scheduler_by_name(s).is_none() {
+                let names: Vec<String> = helios_sched::all_schedulers()
+                    .iter()
+                    .map(|s| s.name().to_owned())
+                    .collect();
+                return fail(format!(
+                    "unknown scheduler {s:?} (available: {})",
+                    names.join(", ")
+                ));
+            }
+        }
+        if self.seeds.count == 0 {
+            return fail("`seeds.count` must be >= 1, a zero-seed sweep has no cells".into());
+        }
+        if self.tasks == 0 {
+            return fail("`tasks` must be >= 1".into());
+        }
+        if !(self.noise_cv.is_finite() && self.noise_cv >= 0.0) {
+            return fail(format!(
+                "`noise_cv` must be finite and >= 0, got {}",
+                self.noise_cv
+            ));
+        }
+        if let Some(fk) = &self.faults {
+            if !(fk.mtbf_secs.is_finite() && fk.mtbf_secs > 0.0) {
+                return fail(format!(
+                    "`faults.mtbf_secs` must be positive, got {}",
+                    fk.mtbf_secs
+                ));
+            }
+            if !(fk.restart_overhead_secs.is_finite() && fk.restart_overhead_secs >= 0.0) {
+                return fail(format!(
+                    "`faults.restart_overhead_secs` must be finite and >= 0, got {}",
+                    fk.restart_overhead_secs
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of cells the spec expands to.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.families.len() * self.platforms.len() * self.schedulers.len() * self.seeds.count
+    }
+
+    /// Expands the grid into cells, in declaration order (family ×
+    /// platform × scheduler × seed, seed innermost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if the spec is invalid or the
+    /// grid is empty.
+    pub fn expand(&self) -> Result<Vec<SweepCell>, EngineError> {
+        self.validate()?;
+        let mut cells = Vec::with_capacity(self.num_cells());
+        for family in &self.families {
+            for platform in &self.platforms {
+                for scheduler in &self.schedulers {
+                    for seed in self.seeds.iter() {
+                        cells.push(SweepCell {
+                            index: cells.len(),
+                            family: family.clone(),
+                            platform: platform.clone(),
+                            scheduler: scheduler.clone(),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        if cells.is_empty() {
+            return Err(EngineError::Config(format!(
+                "spec {:?} expands to zero cells",
+                self.name
+            )));
+        }
+        Ok(cells)
+    }
+
+    /// A stable digest of the canonical spec JSON, used by the merge
+    /// path to refuse mixing shards from different specs. Stored as a
+    /// hex string (the JSON number space cannot carry 64 bits exactly).
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let canonical = serde_json::to_string(self).expect("spec serialization is infallible");
+        format!("{:016x}", fnv1a(canonical.as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_json() -> String {
+        r#"{
+            "name": "t",
+            "families": ["montage", "sipht"],
+            "platforms": ["workstation"],
+            "schedulers": ["heft", "min-min"],
+            "seeds": {"base": 5, "count": 3}
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn parses_with_defaults_and_expands_in_declaration_order() {
+        let spec = CampaignSpec::from_json(&minimal_json()).unwrap();
+        assert_eq!(spec.tasks, 50);
+        assert_eq!(spec.noise_cv, 0.0);
+        assert_eq!(spec.dvfs, DvfsKnob::Nominal);
+        assert!(spec.faults.is_none());
+
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        assert_eq!(spec.num_cells(), cells.len());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Seed is the innermost axis, family the outermost.
+        assert_eq!(cells[0].seed, 5);
+        assert_eq!(cells[1].seed, 6);
+        assert_eq!(cells[3].scheduler, "min-min");
+        assert_eq!(cells[6].family, "sipht");
+    }
+
+    #[test]
+    fn malformed_json_is_a_config_error() {
+        let err = CampaignSpec::from_json("{not json").unwrap_err();
+        assert!(err.to_string().contains("malformed campaign spec"), "{err}");
+        let err = CampaignSpec::from_json("{}").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn empty_axes_and_unknown_names_are_hard_errors() {
+        let checks = [
+            (
+                r#""families": ["montage", "sipht"]"#,
+                r#""families": []"#,
+                "families",
+            ),
+            (
+                r#""platforms": ["workstation"]"#,
+                r#""platforms": []"#,
+                "platforms",
+            ),
+            (
+                r#""schedulers": ["heft", "min-min"]"#,
+                r#""schedulers": []"#,
+                "schedulers",
+            ),
+            (
+                r#""seeds": {"base": 5, "count": 3}"#,
+                r#""seeds": {"base": 5, "count": 0}"#,
+                "seeds.count",
+            ),
+            (
+                r#""families": ["montage"#,
+                r#""families": ["warptage"#,
+                "unknown family",
+            ),
+            (
+                r#""platforms": ["workstation"#,
+                r#""platforms": ["laptop"#,
+                "unknown platform",
+            ),
+            (
+                r#""schedulers": ["heft"#,
+                r#""schedulers": ["sjf"#,
+                "unknown scheduler",
+            ),
+        ];
+        for (from, to, needle) in checks {
+            let json = minimal_json().replace(from, to);
+            let err = CampaignSpec::from_json(&json).unwrap_err();
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
+        }
+    }
+
+    #[test]
+    fn dvfs_knob_roundtrips_lowercase() {
+        for knob in [
+            DvfsKnob::Nominal,
+            DvfsKnob::Powersave,
+            DvfsKnob::Performance,
+        ] {
+            let v = knob.to_value();
+            assert_eq!(v.as_str(), Some(knob.as_str()));
+            assert_eq!(DvfsKnob::from_value(&v).unwrap(), knob);
+        }
+        assert!(DvfsKnob::from_value(&serde::Value::String("turbo".into())).is_err());
+    }
+
+    #[test]
+    fn digest_is_stable_and_distinguishes_specs() {
+        let a = CampaignSpec::from_json(&minimal_json()).unwrap();
+        let b = CampaignSpec::from_json(&minimal_json()).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let c = CampaignSpec {
+            noise_cv: 0.1,
+            ..a.clone()
+        };
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest().len(), 16);
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let json = minimal_json().trim_end().trim_end_matches('}').to_owned()
+            + r#", "tasks": 30, "noise_cv": 0.1, "dvfs": "powersave",
+                  "faults": {"mtbf_secs": 2.0, "max_retries": 4}}"#;
+        let spec = CampaignSpec::from_json(&json).unwrap();
+        let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, round);
+        assert_eq!(round.dvfs, DvfsKnob::Powersave);
+        assert_eq!(round.faults.unwrap().max_retries, 4);
+    }
+}

@@ -1,0 +1,507 @@
+//! The sharded sweep driver: shared-nothing partitions of a spec grid.
+//!
+//! A [`SweepDriver`] runs the cells of a [`CampaignSpec`] through the
+//! [`CampaignEngine`](super::CampaignEngine). Sharding splits the cell
+//! space by striding over global cell indices — shard `k` of `n` owns
+//! every cell with `index % n == k - 1` — so shards are balanced even
+//! when the grid's axes correlate with cost (e.g. seeds innermost).
+//!
+//! Every cell is a pure function of the spec and its grid coordinates:
+//! the workflow, plan and engine seed all derive from the cell's own
+//! seed, never from shard-local state. [`merge_shards`] therefore
+//! reassembles any complete partition into a [`SweepReport`] that is
+//! **byte-identical** to the unsharded sequential run, while refusing
+//! overlapping shards, missing cells and shards of different specs.
+
+use serde::{Deserialize, Serialize};
+
+use helios_platform::{presets, Platform};
+use helios_sched::{Placement, Schedule};
+use helios_sim::SimDuration;
+
+use super::spec::{family_class, CampaignSpec, DvfsKnob, SweepCell};
+use super::CampaignEngine;
+use crate::{Engine, EngineConfig, EngineError, FaultConfig};
+
+/// One shard of a partition: `index` of `count`, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
+
+impl ShardSpec {
+    /// Creates shard `index` of `count` (1-based, `1 <= index <= count`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] when the pair is out of range.
+    pub fn new(index: usize, count: usize) -> Result<ShardSpec, EngineError> {
+        if count == 0 {
+            return Err(EngineError::Config(
+                "shard count must be >= 1 (use 1/1 for the whole grid)".into(),
+            ));
+        }
+        if index == 0 || index > count {
+            return Err(EngineError::Config(format!(
+                "shard index must satisfy 1 <= K <= N, got {index}/{count}"
+            )));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// The trivial partition: the whole grid as one shard.
+    #[must_use]
+    pub fn full() -> ShardSpec {
+        ShardSpec { index: 1, count: 1 }
+    }
+
+    /// Parses the CLI form `K/N` (e.g. `2/4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for anything but two positive
+    /// integers joined by `/` with `K <= N`.
+    pub fn parse(s: &str) -> Result<ShardSpec, EngineError> {
+        let bad = || EngineError::Config(format!("bad shard {s:?}: expected K/N, e.g. 2/4"));
+        let (k, n) = s.split_once('/').ok_or_else(bad)?;
+        let index: usize = k.trim().parse().map_err(|_| bad())?;
+        let count: usize = n.trim().parse().map_err(|_| bad())?;
+        ShardSpec::new(index, count)
+    }
+
+    /// This shard's 1-based index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total shards in the partition.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this shard owns global cell `cell_index`.
+    #[must_use]
+    pub fn owns(&self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index - 1
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The measured outcome of one grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Global cell index in spec expansion order.
+    pub cell: usize,
+    /// Workflow family name.
+    pub family: String,
+    /// Platform preset name.
+    pub platform: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Cell seed (drives generation and execution).
+    pub seed: u64,
+    /// Realized makespan, seconds.
+    pub makespan_secs: f64,
+    /// Schedule length ratio of the realized schedule.
+    pub slr: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Inter-device transfers performed.
+    pub transfers: usize,
+    /// Bytes moved across links.
+    pub transfer_bytes: f64,
+    /// Injected fault count.
+    pub failures: u32,
+    /// Retries performed.
+    pub retries: u32,
+}
+
+/// The result file one shard writes: its cells plus enough partition
+/// metadata for [`merge_shards`] to detect overlap, gaps and spec
+/// mismatches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Spec name, echoed for human consumption.
+    pub spec_name: String,
+    /// Digest of the canonical spec JSON (see `CampaignSpec::digest`).
+    pub spec_digest: String,
+    /// Cells in the full (unsharded) grid.
+    pub total_cells: usize,
+    /// This shard's 1-based index.
+    pub shard_index: usize,
+    /// Shards in this partition.
+    pub shard_count: usize,
+    /// Results for the cells this shard owns, in cell order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Mean metrics over the seed replicates of one grid combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// Workflow family name.
+    pub family: String,
+    /// Platform preset name.
+    pub platform: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Cells aggregated into this row.
+    pub cells: usize,
+    /// Mean makespan, seconds.
+    pub mean_makespan_secs: f64,
+    /// Mean schedule length ratio.
+    pub mean_slr: f64,
+    /// Mean energy, joules.
+    pub mean_energy_j: f64,
+}
+
+/// The merged, complete sweep: every cell plus per-combination means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Spec name.
+    pub spec_name: String,
+    /// Digest of the canonical spec JSON.
+    pub spec_digest: String,
+    /// Cells in the grid.
+    pub total_cells: usize,
+    /// Every cell result, sorted by global cell index.
+    pub cells: Vec<CellResult>,
+    /// Per-(family, platform, scheduler) means, in declaration order.
+    pub summary: Vec<SummaryRow>,
+}
+
+/// Runs spec grids, whole or shard-by-shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepDriver {
+    engine: CampaignEngine,
+}
+
+impl SweepDriver {
+    /// Creates a driver running up to `jobs` cells concurrently
+    /// (0 = one per hardware thread, 1 = sequential reference).
+    #[must_use]
+    pub fn new(jobs: usize) -> SweepDriver {
+        SweepDriver {
+            engine: CampaignEngine::new(jobs),
+        }
+    }
+
+    /// Runs the whole grid and merges it — the unsharded reference
+    /// path. Byte-identical to merging any complete shard partition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation and cell execution errors.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<SweepReport, EngineError> {
+        merge_shards(&[self.run_shard(spec, ShardSpec::full())?])
+    }
+
+    /// Runs the cells owned by `shard` (strided over global indices).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation and cell execution errors; the error
+    /// reported is the one of the lowest-indexed failing cell.
+    pub fn run_shard(
+        &self,
+        spec: &CampaignSpec,
+        shard: ShardSpec,
+    ) -> Result<ShardReport, EngineError> {
+        let cells = spec.expand()?;
+        let total_cells = cells.len();
+        let owned: Vec<SweepCell> = cells.into_iter().filter(|c| shard.owns(c.index)).collect();
+        let results = self.engine.run(&owned, |_, cell| run_cell(spec, cell))?;
+        Ok(ShardReport {
+            spec_name: spec.name.clone(),
+            spec_digest: spec.digest(),
+            total_cells,
+            shard_index: shard.index(),
+            shard_count: shard.count(),
+            cells: results,
+        })
+    }
+}
+
+/// Executes one grid cell: generate, plan, apply the DVFS knob, run.
+fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineError> {
+    let platform = presets::by_name(&cell.platform)
+        .ok_or_else(|| EngineError::Config(format!("unknown platform {:?}", cell.platform)))?;
+    let class = family_class(&cell.family)
+        .ok_or_else(|| EngineError::Config(format!("unknown family {:?}", cell.family)))?;
+    let scheduler = helios_sched::scheduler_by_name(&cell.scheduler)
+        .ok_or_else(|| EngineError::Config(format!("unknown scheduler {:?}", cell.scheduler)))?;
+
+    let wf = class.generate(spec.tasks, cell.seed)?;
+    let plan = scheduler.schedule(&wf, &platform)?;
+    let plan = apply_dvfs(spec.dvfs, &platform, plan)?;
+
+    let faults = match &spec.faults {
+        None => None,
+        Some(fk) => Some(FaultConfig::new(
+            fk.mtbf_secs,
+            SimDuration::from_secs(fk.restart_overhead_secs),
+            fk.max_retries,
+        )?),
+    };
+    let config = EngineConfig {
+        seed: cell.seed,
+        noise_cv: spec.noise_cv,
+        link_contention: spec.link_contention,
+        data_caching: spec.data_caching,
+        faults,
+        ..Default::default()
+    };
+    let report = Engine::new(config).execute_plan(&platform, &wf, &plan)?;
+    let slr = report.slr(&wf, &platform)?;
+    Ok(CellResult {
+        cell: cell.index,
+        family: cell.family.clone(),
+        platform: cell.platform.clone(),
+        scheduler: cell.scheduler.clone(),
+        seed: cell.seed,
+        makespan_secs: report.makespan().as_secs(),
+        slr,
+        energy_j: report.energy().total_j(),
+        transfers: report.transfers().count,
+        transfer_bytes: report.transfers().bytes,
+        failures: report.failures(),
+        retries: report.retries(),
+    })
+}
+
+/// Rewrites plan placements to the knob's DVFS level. The engine
+/// re-derives timing from device order and levels, so the stale
+/// start/finish times in the rewritten plan are harmless.
+fn apply_dvfs(
+    knob: DvfsKnob,
+    platform: &Platform,
+    plan: Schedule,
+) -> Result<Schedule, EngineError> {
+    if knob == DvfsKnob::Nominal {
+        return Ok(plan);
+    }
+    let placements = plan
+        .placements()
+        .iter()
+        .map(|p| {
+            let device = platform.device(p.device)?;
+            let level = match knob {
+                DvfsKnob::Powersave => device.min_level(),
+                DvfsKnob::Performance | DvfsKnob::Nominal => device.nominal_level(),
+            };
+            Ok(Placement { level, ..*p })
+        })
+        .collect::<Result<Vec<Placement>, EngineError>>()?;
+    Ok(Schedule::new(placements)?)
+}
+
+/// Recombines shard result files into the aggregate sweep report.
+///
+/// Accepts the shards in any order; the output depends only on the
+/// cell set, so merging `[1/2, 2/2]` equals merging `[2/2, 1/2]`
+/// equals the unsharded run, byte for byte.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Config`] when
+///
+/// * no shards are given,
+/// * shards come from different specs (name/digest/size mismatch),
+/// * two shards claim the same cell (overlap), or
+/// * the union does not cover the grid (gap), e.g. a missing shard.
+pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> {
+    let first = shards.first().ok_or_else(|| {
+        EngineError::Config("cannot merge zero shard reports; pass at least one --in file".into())
+    })?;
+    for s in shards {
+        if s.spec_name != first.spec_name
+            || s.spec_digest != first.spec_digest
+            || s.total_cells != first.total_cells
+        {
+            return Err(EngineError::Config(format!(
+                "shard reports disagree on the spec: {:?} (digest {}, {} cells) vs \
+                 {:?} (digest {}, {} cells) — merge only shards of one campaign run",
+                first.spec_name,
+                first.spec_digest,
+                first.total_cells,
+                s.spec_name,
+                s.spec_digest,
+                s.total_cells
+            )));
+        }
+    }
+
+    let mut cells: Vec<CellResult> = shards.iter().flat_map(|s| s.cells.clone()).collect();
+    cells.sort_by_key(|c| c.cell);
+    for pair in cells.windows(2) {
+        if pair[0].cell == pair[1].cell {
+            return Err(EngineError::Config(format!(
+                "overlapping shards: cell {} appears more than once",
+                pair[0].cell
+            )));
+        }
+    }
+    if let Some(out_of_range) = cells.iter().find(|c| c.cell >= first.total_cells) {
+        return Err(EngineError::Config(format!(
+            "shard cell index {} is outside the {}-cell grid",
+            out_of_range.cell, first.total_cells
+        )));
+    }
+    if cells.len() != first.total_cells {
+        let have: Vec<usize> = cells.iter().map(|c| c.cell).collect();
+        let missing: Vec<usize> = (0..first.total_cells)
+            .filter(|i| have.binary_search(i).is_err())
+            .take(8)
+            .collect();
+        return Err(EngineError::Config(format!(
+            "incomplete partition: {} of {} cells present, missing cells {missing:?}{} — \
+             merge every shard of the partition",
+            cells.len(),
+            first.total_cells,
+            if first.total_cells - cells.len() > missing.len() {
+                "…"
+            } else {
+                ""
+            }
+        )));
+    }
+
+    let summary = summarize(&cells);
+    Ok(SweepReport {
+        spec_name: first.spec_name.clone(),
+        spec_digest: first.spec_digest.clone(),
+        total_cells: first.total_cells,
+        cells,
+        summary,
+    })
+}
+
+/// Means per (family, platform, scheduler), rows in first-seen order —
+/// i.e. spec declaration order, since cells are sorted by index.
+fn summarize(cells: &[CellResult]) -> Vec<SummaryRow> {
+    let mut rows: Vec<SummaryRow> = Vec::new();
+    for c in cells {
+        let row = match rows.iter_mut().find(|r| {
+            r.family == c.family && r.platform == c.platform && r.scheduler == c.scheduler
+        }) {
+            Some(row) => row,
+            None => {
+                rows.push(SummaryRow {
+                    family: c.family.clone(),
+                    platform: c.platform.clone(),
+                    scheduler: c.scheduler.clone(),
+                    cells: 0,
+                    mean_makespan_secs: 0.0,
+                    mean_slr: 0.0,
+                    mean_energy_j: 0.0,
+                });
+                rows.last_mut().expect("row just pushed")
+            }
+        };
+        row.cells += 1;
+        row.mean_makespan_secs += c.makespan_secs;
+        row.mean_slr += c.slr;
+        row.mean_energy_j += c.energy_j;
+    }
+    for row in &mut rows {
+        let n = row.cells as f64;
+        row.mean_makespan_secs /= n;
+        row.mean_slr /= n;
+        row.mean_energy_j /= n;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_strides() {
+        let s = ShardSpec::parse("2/4").unwrap();
+        assert_eq!((s.index(), s.count()), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert!(s.owns(1) && s.owns(5) && !s.owns(0) && !s.owns(2));
+        assert!(ShardSpec::full().owns(0) && ShardSpec::full().owns(123));
+        for bad in ["0/4", "5/4", "x/y", "3", "1/0", "/", "2/"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn every_partition_covers_every_cell_exactly_once() {
+        for n in 1..=5usize {
+            for cell in 0..23usize {
+                let owners = (1..=n)
+                    .filter(|&k| ShardSpec::new(k, n).unwrap().owns(cell))
+                    .count();
+                assert_eq!(owners, 1, "cell {cell} with {n} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_bad_partitions() {
+        let shard = |index: usize, count: usize, cells: Vec<usize>| ShardReport {
+            spec_name: "t".into(),
+            spec_digest: "d".into(),
+            total_cells: 4,
+            shard_index: index,
+            shard_count: count,
+            cells: cells
+                .into_iter()
+                .map(|i| CellResult {
+                    cell: i,
+                    family: "montage".into(),
+                    platform: "workstation".into(),
+                    scheduler: "heft".into(),
+                    seed: i as u64,
+                    makespan_secs: 1.0,
+                    slr: 1.0,
+                    energy_j: 1.0,
+                    transfers: 0,
+                    transfer_bytes: 0.0,
+                    failures: 0,
+                    retries: 0,
+                })
+                .collect(),
+        };
+
+        let err = merge_shards(&[]).unwrap_err().to_string();
+        assert!(err.contains("zero shard"), "{err}");
+
+        let err = merge_shards(&[shard(1, 2, vec![0, 2]), shard(1, 2, vec![0, 2])])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("overlapping"), "{err}");
+
+        let err = merge_shards(&[shard(1, 2, vec![0, 2])])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing cells [1, 3]"), "{err}");
+
+        let mut other = shard(2, 2, vec![1, 3]);
+        other.spec_digest = "different".into();
+        let err = merge_shards(&[shard(1, 2, vec![0, 2]), other])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("disagree"), "{err}");
+
+        let err = merge_shards(&[shard(1, 1, vec![0, 1, 2, 7])])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("outside"), "{err}");
+
+        let ok = merge_shards(&[shard(2, 2, vec![1, 3]), shard(1, 2, vec![0, 2])]).unwrap();
+        assert_eq!(ok.cells.len(), 4);
+        assert_eq!(ok.summary.len(), 1);
+        assert_eq!(ok.summary[0].cells, 4);
+    }
+}

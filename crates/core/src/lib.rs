@@ -26,7 +26,12 @@
 //! * **parallel campaigns** — the [`campaign`] engine fans independent
 //!   cells (seed replicates, sweep points, whole ensembles) out over
 //!   worker threads with input-indexed aggregation, so `--jobs N`
-//!   output is bit-identical to the sequential run.
+//!   output is bit-identical to the sequential run,
+//! * **sharded sweeps** — a [`CampaignSpec`] file declares a grid of
+//!   (family × platform × scheduler × seed) cells; the [`SweepDriver`]
+//!   runs any `K/N` shard of it and [`merge_shards`] recombines shard
+//!   reports into an aggregate that is byte-identical to the unsharded
+//!   run.
 //!
 //! A run yields an [`ExecutionReport`]: realized placements, makespan,
 //! energy (via `helios-energy` accounting), transfer and fault
@@ -65,7 +70,10 @@ pub mod executor;
 pub mod online;
 mod report;
 
-pub use campaign::{cell_rng, CampaignEngine};
+pub use campaign::{
+    cell_rng, merge_shards, CampaignEngine, CampaignSpec, CellResult, DvfsKnob, FaultKnob,
+    SeedRange, ShardReport, ShardSpec, SummaryRow, SweepCell, SweepDriver, SweepReport,
+};
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
 pub use engine::Engine;
 pub use ensemble::{EnsembleMember, EnsemblePolicy, EnsembleReport, EnsembleRunner, MemberReport};

@@ -251,10 +251,39 @@ pub fn all() -> Vec<Platform> {
     vec![workstation(), hpc_node(), cluster(16), edge_soc()]
 }
 
+/// Resolves a preset by its CLI/spec-file name: `workstation`,
+/// `hpc_node`, `cluster<N>` (e.g. `cluster4`) or `edge_soc`. Returns
+/// `None` for anything else, including `cluster0`.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Platform> {
+    match name {
+        "workstation" => Some(workstation()),
+        "hpc_node" => Some(hpc_node()),
+        "edge_soc" => Some(edge_soc()),
+        other => other
+            .strip_prefix("cluster")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&nodes| nodes >= 1)
+            .map(cluster),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::ComputeCost;
+
+    #[test]
+    fn by_name_resolves_presets() {
+        assert_eq!(by_name("workstation").unwrap().name(), "workstation");
+        assert_eq!(by_name("hpc_node").unwrap().name(), "hpc_node");
+        assert_eq!(by_name("edge_soc").unwrap().name(), "edge_soc");
+        let cluster = by_name("cluster3").unwrap();
+        assert_eq!(cluster.num_devices(), super::cluster(3).num_devices());
+        for bad in ["cluster0", "cluster", "clusterx", "laptop", ""] {
+            assert!(by_name(bad).is_none(), "{bad:?} must not resolve");
+        }
+    }
 
     #[test]
     fn all_presets_build_and_route() {

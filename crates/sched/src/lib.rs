@@ -123,6 +123,13 @@ pub fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
     ]
 }
 
+/// Looks up a scheduler from [`all_schedulers`] by its report name
+/// (`"heft"`, `"min-min"`, …). Returns `None` for unknown names.
+#[must_use]
+pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    all_schedulers().into_iter().find(|s| s.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +183,16 @@ mod tests {
             heft_total < rand_total,
             "HEFT {heft_total} should beat random {rand_total}"
         );
+    }
+
+    #[test]
+    fn scheduler_by_name_resolves_every_lineup_member() {
+        for s in all_schedulers() {
+            let found =
+                scheduler_by_name(s.name()).unwrap_or_else(|| panic!("{} must resolve", s.name()));
+            assert_eq!(found.name(), s.name());
+        }
+        assert!(scheduler_by_name("sjf").is_none());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Fault-path tests for the online dispatcher.
+//!
+//! Seeded fault injection through [`OnlineRunner`] must exercise all
+//! three paths: transient failures that retry to completion, retry
+//! budgets that exhaust into [`EngineError::RetriesExhausted`], and
+//! bit-identical reports for identical seeds (the fault process is part
+//! of the deterministic simulation, not ambient randomness).
+
+use helios_core::{EngineConfig, EngineError, FaultConfig, OnlinePolicy, OnlineRunner};
+use helios_platform::presets;
+use helios_sim::SimDuration;
+use helios_workflow::generators::montage;
+
+fn config(mtbf_secs: f64, max_retries: u32, seed: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        noise_cv: 0.05,
+        faults: Some(
+            FaultConfig::new(mtbf_secs, SimDuration::from_secs(0.001), max_retries)
+                .expect("fault parameters are valid"),
+        ),
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn transient_faults_retry_to_completion() {
+    let platform = presets::workstation();
+    let wf = montage(40, 11).expect("montage");
+    for policy in [OnlinePolicy::Jit, OnlinePolicy::RankedJit] {
+        let clean = OnlineRunner::new(
+            EngineConfig {
+                seed: 3,
+                noise_cv: 0.05,
+                ..EngineConfig::default()
+            },
+            policy,
+        )
+        .run(&platform, &wf)
+        .expect("fault-free run");
+        assert_eq!(
+            clean.failures(),
+            0,
+            "{}: no faults configured",
+            policy.as_str()
+        );
+        assert_eq!(
+            clean.retries(),
+            0,
+            "{}: no faults configured",
+            policy.as_str()
+        );
+
+        // A tight-but-survivable MTBF with a deep retry budget: the run
+        // must complete, having actually hit (and recovered from)
+        // failures along the way.
+        let report = OnlineRunner::new(config(0.5, 100, 3), policy)
+            .run(&platform, &wf)
+            .expect("faulty run survives with a deep retry budget");
+        assert!(
+            report.failures() > 0,
+            "{}: a 0.5 s MTBF must inject failures",
+            policy.as_str()
+        );
+        assert!(
+            report.retries() > 0,
+            "{}: every recovered failure is a retry",
+            policy.as_str()
+        );
+        assert!(
+            report.makespan() > clean.makespan(),
+            "{}: rework and restart overhead must cost wall-clock time",
+            policy.as_str()
+        );
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_typed_error() {
+    let platform = presets::workstation();
+    let wf = montage(40, 11).expect("montage");
+    // An MTBF far below any task duration makes every attempt fail with
+    // near certainty; with a tiny budget the run must abort.
+    let err = OnlineRunner::new(config(0.005, 2, 3), OnlinePolicy::Jit)
+        .run(&platform, &wf)
+        .expect_err("2 retries cannot survive a 5 ms MTBF");
+    match err {
+        EngineError::RetriesExhausted { attempts, .. } => {
+            assert_eq!(attempts, 3, "budget of 2 retries = 3 attempts");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let platform = presets::workstation();
+    let wf = montage(40, 11).expect("montage");
+    let run = |seed: u64| {
+        OnlineRunner::new(config(0.5, 100, seed), OnlinePolicy::RankedJit)
+            .run(&platform, &wf)
+            .expect("faulty run")
+    };
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a, b, "identical seeds must give bit-identical reports");
+    assert_eq!(a.failures(), b.failures());
+    assert_eq!(a.retries(), b.retries());
+
+    let c = run(10);
+    assert_ne!(
+        a, c,
+        "a different seed must draw a different fault/noise process"
+    );
+}

@@ -1,0 +1,227 @@
+//! Golden-trace regression tests for the five Pegasus-style generators.
+//!
+//! Each (family, seed) cell of the committed fixture pins the generated
+//! instance's node count, edge count, and an FNV-1a digest over every
+//! task cost and every edge — so any change to generator structure,
+//! cost sampling, or RNG consumption order shows up as a diff against
+//! `tests/fixtures/generator_golden.json`.
+//!
+//! To regenerate the fixture after an *intentional* generator change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test generator_golden
+//! ```
+//!
+//! then commit the rewritten fixture alongside the generator change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use helios_workflow::generators::WorkflowClass;
+use helios_workflow::{TaskId, Workflow};
+
+/// The grid the fixture pins: every family at two sizes and two seeds.
+const SIZES: [usize; 2] = [30, 120];
+const SEEDS: [u64; 2] = [7, 42];
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/generator_golden.json")
+}
+
+/// FNV-1a (64-bit) over the workflow's full cost trace: per task the
+/// bit patterns of gflop and bytes touched plus the kernel class, per
+/// edge its endpoints and payload bit pattern. Byte-exact, so even a
+/// 1-ulp drift in cost sampling changes the digest.
+fn workflow_digest(wf: &Workflow) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+    };
+    for task in wf.tasks() {
+        let cost = task.cost();
+        feed(&cost.gflop().to_bits().to_le_bytes());
+        feed(&cost.bytes_touched().to_bits().to_le_bytes());
+        feed(format!("{:?}", cost.kernel_class()).as_bytes());
+    }
+    for edge in wf.edges() {
+        feed(&(edge.src.0 as u64).to_le_bytes());
+        feed(&(edge.dst.0 as u64).to_le_bytes());
+        feed(&edge.bytes.to_bits().to_le_bytes());
+    }
+    format!("{hash:016x}")
+}
+
+struct GoldenEntry {
+    family: &'static str,
+    seed: u64,
+    n: usize,
+    tasks: usize,
+    edges: usize,
+    digest: String,
+}
+
+fn current_entries() -> Vec<GoldenEntry> {
+    let mut entries = Vec::new();
+    for class in WorkflowClass::ALL {
+        for n in SIZES {
+            for seed in SEEDS {
+                let wf = class
+                    .generate(n, seed)
+                    .unwrap_or_else(|e| panic!("{class} (n = {n}, seed {seed}): {e}"));
+                entries.push(GoldenEntry {
+                    family: class.as_str(),
+                    seed,
+                    n,
+                    tasks: wf.num_tasks(),
+                    edges: wf.num_edges(),
+                    digest: workflow_digest(&wf),
+                });
+            }
+        }
+    }
+    entries
+}
+
+fn render_fixture(entries: &[GoldenEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(
+            out,
+            "  {{\"family\": \"{}\", \"seed\": {}, \"n\": {}, \
+             \"tasks\": {}, \"edges\": {}, \"digest\": \"{}\"}}{comma}",
+            e.family, e.seed, e.n, e.tasks, e.edges, e.digest
+        )
+        .expect("write to string");
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[test]
+fn generators_match_the_committed_golden_traces() {
+    let entries = current_entries();
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, render_fixture(&entries)).expect("write fixture");
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}; run `UPDATE_GOLDEN=1 cargo test --test generator_golden` \
+             to (re)create it",
+            path.display()
+        )
+    });
+    let golden: serde_json::Value = serde_json::from_str(&raw).expect("fixture parses");
+    let golden = golden.as_array().expect("fixture is a JSON array");
+    assert_eq!(
+        golden.len(),
+        entries.len(),
+        "fixture covers a different grid; regenerate with UPDATE_GOLDEN=1"
+    );
+    for (want, got) in golden.iter().zip(&entries) {
+        let cell = format!("{} (n = {}, seed {})", got.family, got.n, got.seed);
+        assert_eq!(want["family"].as_str(), Some(got.family), "{cell}: family");
+        assert_eq!(want["seed"].as_u64(), Some(got.seed), "{cell}: seed");
+        assert_eq!(want["n"].as_u64(), Some(got.n as u64), "{cell}: n");
+        assert_eq!(
+            want["tasks"].as_u64(),
+            Some(got.tasks as u64),
+            "{cell}: node count drifted"
+        );
+        assert_eq!(
+            want["edges"].as_u64(),
+            Some(got.edges as u64),
+            "{cell}: edge count drifted"
+        );
+        assert_eq!(
+            want["digest"].as_str(),
+            Some(got.digest.as_str()),
+            "{cell}: cost/edge digest drifted"
+        );
+    }
+}
+
+#[test]
+fn generators_are_deterministic_per_seed() {
+    for class in WorkflowClass::ALL {
+        let a = class.generate(60, 9).expect("generate");
+        let b = class.generate(60, 9).expect("generate");
+        assert_eq!(
+            workflow_digest(&a),
+            workflow_digest(&b),
+            "{class}: same seed must reproduce the same instance"
+        );
+        let c = class.generate(60, 10).expect("generate");
+        assert_ne!(
+            workflow_digest(&a),
+            workflow_digest(&c),
+            "{class}: different seeds must differ"
+        );
+    }
+}
+
+/// Independent Kahn-style check that every generated DAG is acyclic,
+/// every edge joins valid tasks, and the workflow's own `topo_order`
+/// is a real topological order (each edge's source sorts before its
+/// destination). Deliberately re-derives in-degrees from the raw edge
+/// list rather than trusting the adjacency tables under test.
+#[test]
+fn generated_dags_are_topologically_valid() {
+    for class in WorkflowClass::ALL {
+        for n in SIZES {
+            for seed in SEEDS {
+                let wf = class.generate(n, seed).expect("generate");
+                let tasks = wf.num_tasks();
+                let mut indeg = vec![0usize; tasks];
+                let mut succs: Vec<Vec<usize>> = vec![Vec::new(); tasks];
+                for edge in wf.edges() {
+                    assert!(
+                        edge.src.0 < tasks && edge.dst.0 < tasks,
+                        "{class}: edge {:?} -> {:?} out of range",
+                        edge.src,
+                        edge.dst
+                    );
+                    assert_ne!(edge.src, edge.dst, "{class}: self-loop on {:?}", edge.src);
+                    indeg[edge.dst.0] += 1;
+                    succs[edge.src.0].push(edge.dst.0);
+                }
+                let mut queue: Vec<usize> = (0..tasks).filter(|&t| indeg[t] == 0).collect();
+                let mut visited = 0usize;
+                while let Some(t) = queue.pop() {
+                    visited += 1;
+                    for &s in &succs[t] {
+                        indeg[s] -= 1;
+                        if indeg[s] == 0 {
+                            queue.push(s);
+                        }
+                    }
+                }
+                assert_eq!(
+                    visited, tasks,
+                    "{class} (n = {n}, seed {seed}): cycle in generated DAG"
+                );
+
+                let order = wf.topo_order();
+                assert_eq!(order.len(), tasks, "{class}: topo_order misses tasks");
+                let mut position = vec![usize::MAX; tasks];
+                for (i, &TaskId(t)) in order.iter().enumerate() {
+                    position[t] = i;
+                }
+                for edge in wf.edges() {
+                    assert!(
+                        position[edge.src.0] < position[edge.dst.0],
+                        "{class} (n = {n}, seed {seed}): topo_order violates \
+                         edge {:?} -> {:?}",
+                        edge.src,
+                        edge.dst
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Scheduler-conformance battery: every scheduler, random DAGs.
+//!
+//! For every scheduler shipped in `helios-sched`, on randomized DAG
+//! shapes (layered, fork-join, in-tree, out-tree, Gaussian
+//! elimination) across all platform presets, the produced schedule
+//! must be *conformant*:
+//!
+//! 1. every task is placed exactly once,
+//! 2. no two tasks overlap on one device,
+//! 3. precedence plus transfer delays are respected,
+//! 4. every placement is feasible (memory, trust, modeled duration),
+//! 5. the reported makespan equals the maximum finish time.
+//!
+//! Checks 2–4 are [`Schedule::validate`]; 1 and 5 are asserted
+//! directly. The battery runs 100 property cases, each covering the
+//! whole lineup, so every scheduler sees at least 100 random DAGs.
+
+use proptest::prelude::*;
+
+use helios_platform::{presets, Platform};
+use helios_sched::{all_schedulers, AnnealingScheduler, Scheduler};
+use helios_sim::SimTime;
+use helios_workflow::generators::synthetic::{
+    self, fork_join, gaussian_elimination, in_tree, out_tree,
+};
+use helios_workflow::Workflow;
+
+/// The battery lineup: every scheduler of [`all_schedulers`], with the
+/// annealing iteration budget trimmed so 100 debug-mode cases stay
+/// single-core friendly. [`lineup_covers_every_shipped_scheduler`]
+/// pins that no scheduler can dodge the battery.
+fn lineup() -> Vec<Box<dyn Scheduler>> {
+    let mut schedulers = Vec::new();
+    for s in all_schedulers() {
+        if s.name() == "annealing" {
+            schedulers.push(Box::new(AnnealingScheduler::new(120, 0)) as Box<dyn Scheduler>);
+        } else {
+            schedulers.push(s);
+        }
+    }
+    schedulers
+}
+
+#[test]
+fn lineup_covers_every_shipped_scheduler() {
+    let battery: Vec<String> = lineup().iter().map(|s| s.name().to_owned()).collect();
+    for s in all_schedulers() {
+        assert!(
+            battery.iter().any(|n| n == s.name()),
+            "scheduler {:?} is missing from the conformance battery",
+            s.name()
+        );
+    }
+}
+
+fn platform_for(idx: usize) -> Platform {
+    match idx % 4 {
+        0 => presets::workstation(),
+        1 => presets::hpc_node(),
+        2 => presets::edge_soc(),
+        _ => presets::cluster(2),
+    }
+}
+
+/// A random DAG whose shape family and dimensions derive from the
+/// case's seed.
+fn random_workflow(shape: usize, seed: u64) -> Workflow {
+    let gflop = 1.0 + (seed % 7) as f64;
+    let bytes = 1e6 + (seed % 5) as f64 * 4e6;
+    let wf = match shape % 5 {
+        0 => synthetic::layered_random(
+            &synthetic::LayeredConfig {
+                levels: 2 + (seed % 4) as usize,
+                width: 1 + (seed % 5) as usize,
+                edge_prob: 0.2 + (seed % 8) as f64 / 10.0,
+                // Keep working sets small enough for every preset device
+                // (bytes_touched scales with gflop); the defaults would
+                // make tasks that fit nowhere on `edge_soc`.
+                mean_gflop: gflop,
+                mean_bytes: bytes,
+                ..synthetic::LayeredConfig::default()
+            },
+            seed,
+        ),
+        1 => fork_join(
+            1 + (seed % 3) as usize,
+            2 + (seed % 4) as usize,
+            gflop,
+            bytes,
+            seed,
+        ),
+        2 => in_tree(
+            1 + (seed % 3) as usize,
+            2 + (seed % 2) as usize,
+            gflop,
+            bytes,
+            seed,
+        ),
+        3 => out_tree(
+            1 + (seed % 3) as usize,
+            2 + (seed % 2) as usize,
+            gflop,
+            bytes,
+            seed,
+        ),
+        _ => gaussian_elimination(2 + (seed % 4) as usize, gflop, bytes, seed),
+    };
+    wf.expect("generator parameters are in range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn every_scheduler_is_conformant_on_random_dags(
+        shape in 0usize..5,
+        seed in 0u64..1_000_000,
+        platform_idx in 0usize..4,
+    ) {
+        let wf = random_workflow(shape, seed);
+        let platform = platform_for(platform_idx);
+        for scheduler in lineup() {
+            let ctx = format!(
+                "{} on {} (shape {shape}, seed {seed}, {} tasks)",
+                scheduler.name(),
+                platform.name(),
+                wf.num_tasks()
+            );
+            let plan = scheduler
+                .schedule(&wf, &platform)
+                .unwrap_or_else(|e| panic!("{ctx}: scheduling failed: {e}"));
+
+            // 1. Every task placed exactly once. Schedule::new dedups by
+            // task id, so count equality plus per-task lookup pins it.
+            prop_assert_eq!(
+                plan.placements().len(),
+                wf.num_tasks(),
+                "{}: wrong placement count",
+                &ctx
+            );
+            for t in 0..wf.num_tasks() {
+                let p = plan
+                    .placement(helios_workflow::TaskId(t))
+                    .unwrap_or_else(|e| panic!("{ctx}: task {t} unplaced: {e}"));
+                prop_assert!(
+                    p.finish >= p.start,
+                    "{}: task {} finishes before it starts",
+                    &ctx,
+                    t
+                );
+            }
+
+            // 2–4. Device overlap, precedence + transfer delays,
+            // placement feasibility, modeled durations.
+            plan.validate(&wf, &platform)
+                .unwrap_or_else(|e| panic!("{ctx}: invalid schedule: {e}"));
+
+            // 5. Makespan equals the maximum finish time.
+            let max_finish = plan
+                .placements()
+                .iter()
+                .map(|p| p.finish)
+                .max()
+                .expect("non-empty schedule");
+            prop_assert_eq!(
+                plan.makespan(),
+                max_finish.saturating_since(SimTime::ZERO),
+                "{}: makespan is not the max finish time",
+                &ctx
+            );
+        }
+    }
+}
