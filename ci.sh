@@ -25,6 +25,9 @@ cargo test --workspace -q
 echo "==> scheduler conformance battery"
 cargo test -q --test sched_conformance
 
+echo "==> resilience battery"
+cargo test -q --test fault_paths
+
 echo "==> sharded sweep byte-identity smoke"
 # The release binary sweeps the committed smoke spec unsharded, then as
 # a 2-shard partition recombined by `campaign merge`; the two reports
@@ -40,6 +43,27 @@ helios=target/release/helios
     --out "$sweep_tmp/merged.json" > /dev/null
 cmp "$sweep_tmp/full.json" "$sweep_tmp/merged.json"
 echo "2-shard merge is byte-identical to the unsharded sweep"
+
+echo "==> kill-and-resume smoke (resilient spec)"
+# A sweep of the resilient spec is killed after one cell (test hook,
+# nonzero exit expected), resumed against the partial report, and must
+# come out byte-identical to an uninterrupted run. The same spec is also
+# swept as a 2-shard partition to pin byte-identity under resilience.
+rspec=examples/specs/resilient_smoke.json
+"$helios" campaign run --spec "$rspec" --out "$sweep_tmp/rfull.json" > /dev/null
+if HELIOS_SWEEP_ABORT_AFTER=1 "$helios" campaign run --spec "$rspec" \
+    --out "$sweep_tmp/rresume.json" > /dev/null 2>&1; then
+    echo "aborted sweep unexpectedly exited zero" >&2
+    exit 1
+fi
+"$helios" campaign run --spec "$rspec" --out "$sweep_tmp/rresume.json" > /dev/null
+cmp "$sweep_tmp/rfull.json" "$sweep_tmp/rresume.json"
+"$helios" campaign run --spec "$rspec" --shard 1/2 --out "$sweep_tmp/r1.json" > /dev/null
+"$helios" campaign run --spec "$rspec" --shard 2/2 --out "$sweep_tmp/r2.json" > /dev/null
+"$helios" campaign merge --in "$sweep_tmp/r1.json" --in "$sweep_tmp/r2.json" \
+    --out "$sweep_tmp/rmerged.json" > /dev/null
+cmp "$sweep_tmp/rfull.json" "$sweep_tmp/rmerged.json"
+echo "kill-and-resume and 2-shard merge are byte-identical under resilience"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,11 +1,21 @@
 //! Experiment T8 — fault-tolerance overhead.
 //!
-//! CyberShake-500 on `hpc_node` under Poisson device failures at three
-//! MTBF settings, with and without checkpointing; rows report makespan
-//! overhead over the fault-free run, failures and retries (6 seeds).
+//! Part 1: CyberShake-500 on `hpc_node` under Poisson device failures
+//! at three MTBF settings, with and without checkpointing; rows report
+//! makespan overhead over the fault-free run, failures and retries
+//! (6 seeds).
+//!
+//! Part 2: the same workload under the full failure-domain model
+//! (transient/degraded/permanent at MTBF 0.25 s), one row per recovery
+//! policy; rows report makespan degradation over each policy's own
+//! fault-free baseline, wasted work, recovery overhead and completion
+//! probability.
 
 use helios_bench::{print_header, Agg};
-use helios_core::{CheckpointConfig, Engine, EngineConfig, FaultConfig};
+use helios_core::{
+    CheckpointConfig, Engine, EngineConfig, EngineError, FailureModel, FaultConfig, RecoveryPolicy,
+    ResilienceConfig, ResilientRunner,
+};
 use helios_platform::presets;
 use helios_sched::{HeftScheduler, Scheduler};
 use helios_sim::SimDuration;
@@ -79,6 +89,86 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 energy.mean()
             );
         }
+    }
+
+    // Part 2: recovery policies under the full failure-domain model.
+    println!();
+    print_header(&[
+        "policy",
+        "makespan (s)",
+        "degradation %",
+        "wasted (s)",
+        "recovery (s)",
+        "completion",
+    ]);
+    let policies: [RecoveryPolicy; 4] = [
+        RecoveryPolicy::RetryBackoff {
+            base_secs: 0.005,
+            factor: 2.0,
+            cap_secs: 0.05,
+            max_retries: 10_000_000,
+        },
+        RecoveryPolicy::ReplicateK {
+            replicas: 2,
+            max_retries: 10_000_000,
+        },
+        RecoveryPolicy::CheckpointRestart {
+            interval_secs: 0.01,
+            overhead_secs: 5e-4,
+            max_retries: 10_000_000,
+        },
+        RecoveryPolicy::Reschedule {
+            scheduler: "heft".into(),
+            overhead_secs: 0.01,
+            max_retries: 10_000_000,
+        },
+    ];
+    for policy in policies {
+        let mut makespan = Agg::new();
+        let mut degradation = Agg::new();
+        let mut wasted = Agg::new();
+        let mut recovery = Agg::new();
+        let mut done = 0usize;
+        let mut total = 0usize;
+        for seed in seeds.clone() {
+            let wf = cybershake(500, seed)?;
+            let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+            let mut failures = FailureModel::exponential(0.25);
+            failures.degraded_prob = 0.08;
+            failures.permanent_prob = 0.02;
+            failures.degraded_slowdown = 2.0;
+            failures.degraded_repair_secs = 0.1;
+            failures.restart_overhead_secs = 0.005;
+            let config = EngineConfig {
+                seed,
+                resilience: Some(ResilienceConfig::new(failures, policy.clone())),
+                ..Default::default()
+            };
+            total += 1;
+            match ResilientRunner::new(config).execute_plan(&platform, &wf, &plan) {
+                Ok(report) => {
+                    let m = report.resilience().expect("metrics attached");
+                    makespan.push(report.makespan().as_secs());
+                    degradation.push(m.makespan_degradation * 100.0);
+                    wasted.push(m.wasted_work_secs);
+                    recovery.push(m.recovery_overhead_secs);
+                    done += 1;
+                }
+                // Lost workloads are measurements: they depress the
+                // completion column instead of aborting the experiment.
+                Err(EngineError::RetriesExhausted { .. } | EngineError::AllDevicesLost { .. }) => {}
+                Err(other) => return Err(other.into()),
+            }
+        }
+        println!(
+            "{:>16}{:>16.4}{:>16.1}{:>16.3}{:>16.3}{:>16.2}",
+            policy.name(),
+            makespan.mean(),
+            degradation.mean(),
+            wasted.mean(),
+            recovery.mean(),
+            done as f64 / total as f64
+        );
     }
     Ok(())
 }

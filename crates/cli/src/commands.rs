@@ -238,8 +238,20 @@ pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// `helios campaign run` — run a sweep spec, whole or one shard.
+///
+/// When `--out FILE` already exists and holds a (partial) shard report
+/// of the *same* spec, the run resumes: cells present in the file are
+/// skipped and the merged result is byte-identical to an uninterrupted
+/// run. A file from a different spec or shard geometry is refused.
+///
+/// The `HELIOS_SWEEP_ABORT_AFTER=N` environment hook simulates a crash
+/// for the kill-and-resume CI smoke: the run stops after executing `N`
+/// cells, writes the partial shard report to `--out`, and exits with an
+/// error.
 fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    use helios_core::{CampaignSpec, ShardSpec, SweepDriver};
+    use helios_core::{
+        merge_shards, CampaignSpec, ShardReport, ShardSpec, SweepDriver, SweepReport,
+    };
 
     let args = Args::parse(argv, &["spec", "shard", "jobs", "out"], &[])?;
     let spec_path = args.require("spec")?;
@@ -250,28 +262,107 @@ fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let jobs = args.parse_or("jobs", 1usize)?;
     let driver = SweepDriver::new(jobs);
 
-    match args.get("shard") {
+    let abort_after: Option<usize> = match std::env::var("HELIOS_SWEEP_ABORT_AFTER") {
+        Ok(v) => Some(v.parse().map_err(|_| {
+            CliError::Usage(format!(
+                "HELIOS_SWEEP_ABORT_AFTER must be a cell count, got {v:?}"
+            ))
+        })?),
+        Err(_) => None,
+    };
+
+    let shard = match args.get("shard") {
+        Some(s) => Some(ShardSpec::parse(s).map_err(|e| CliError::Usage(e.to_string()))?),
+        None => None,
+    };
+    let out_path = args.get("out");
+    if (shard.is_some() || abort_after.is_some()) && out_path.is_none() {
+        return Err(CliError::Usage(
+            "--shard (and HELIOS_SWEEP_ABORT_AFTER) produce a partial result; \
+             --out FILE is required"
+                .into(),
+        ));
+    }
+    let effective = shard.unwrap_or_else(ShardSpec::full);
+
+    // Resume: an existing --out file holding a shard report of the same
+    // spec means "skip what is already done".
+    let prior: Option<ShardReport> = match out_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let prior_json = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Helios(format!("cannot read existing {path:?}: {e}")))?;
+            match serde_json::from_str::<ShardReport>(&prior_json) {
+                Ok(report) => Some(report),
+                // A complete sweep report of the same spec: nothing to do.
+                Err(_) => match serde_json::from_str::<SweepReport>(&prior_json) {
+                    Ok(done) if done.spec_digest == spec.digest() => {
+                        writeln!(
+                            out,
+                            "sweep {:?} is already complete in {path} ({} cells); \
+                             delete the file to re-run",
+                            done.spec_name, done.total_cells
+                        )?;
+                        return Ok(());
+                    }
+                    _ => {
+                        return Err(CliError::Helios(format!(
+                            "refusing to overwrite {path:?}: it is not a shard report of \
+                             spec {:?} (digest {}); delete the file or point --out elsewhere",
+                            spec.name,
+                            spec.digest()
+                        )))
+                    }
+                },
+            }
+        }
+        _ => None,
+    };
+    if let Some(p) = &prior {
+        let owned = (0..p.total_cells)
+            .filter(|i| i % p.shard_count == p.shard_index - 1)
+            .count();
+        writeln!(
+            out,
+            "resuming from {}: {} of {owned} owned cells already done",
+            out_path.expect("prior implies --out"),
+            p.cells.len(),
+        )?;
+    }
+
+    let outcome = driver.resume_shard(&spec, effective, prior.as_ref(), abort_after)?;
+    let report = outcome.report;
+
+    if outcome.remaining > 0 {
+        let path = out_path.expect("checked above");
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        return Err(CliError::Helios(format!(
+            "aborted by HELIOS_SWEEP_ABORT_AFTER after {} cells: {} of {} owned cells \
+             in {path}, {} remaining; re-run with the same --out to resume",
+            abort_after.unwrap_or(0),
+            report.cells.len(),
+            report.cells.len() + outcome.remaining,
+            outcome.remaining
+        )));
+    }
+
+    match shard {
         Some(shard) => {
-            let shard = ShardSpec::parse(shard).map_err(|e| CliError::Usage(e.to_string()))?;
-            let out_path = args.get("out").ok_or_else(|| {
-                CliError::Usage("--shard produces a partial result; --out FILE is required".into())
-            })?;
-            let report = driver.run_shard(&spec, shard)?;
-            std::fs::write(out_path, serde_json::to_string_pretty(&report)?)?;
+            let path = out_path.expect("checked above");
+            std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
             writeln!(
                 out,
-                "shard {shard} of {:?}: {} of {} cells -> {out_path}",
+                "shard {shard} of {:?}: {} of {} cells -> {path}",
                 report.spec_name,
                 report.cells.len(),
                 report.total_cells
             )?;
         }
         None => {
-            let report = driver.run(&spec)?;
-            write_sweep_summary(&report, out)?;
-            if let Some(out_path) = args.get("out") {
-                std::fs::write(out_path, serde_json::to_string_pretty(&report)?)?;
-                writeln!(out, "wrote {out_path}")?;
+            let merged = merge_shards(&[report])?;
+            write_sweep_summary(&merged, out)?;
+            if let Some(path) = out_path {
+                std::fs::write(path, serde_json::to_string_pretty(&merged)?)?;
+                writeln!(out, "wrote {path}")?;
             }
         }
     }
@@ -318,20 +409,21 @@ fn write_sweep_summary(
     )?;
     writeln!(
         out,
-        "{:<14}{:<14}{:<12}{:>6}{:>16}{:>10}{:>14}",
-        "family", "platform", "scheduler", "cells", "makespan (s)", "SLR", "energy (J)"
+        "{:<14}{:<14}{:<12}{:>6}{:>16}{:>10}{:>14}{:>8}",
+        "family", "platform", "scheduler", "cells", "makespan (s)", "SLR", "energy (J)", "compl"
     )?;
     for row in &report.summary {
         writeln!(
             out,
-            "{:<14}{:<14}{:<12}{:>6}{:>16.6}{:>10.3}{:>14.1}",
+            "{:<14}{:<14}{:<12}{:>6}{:>16.6}{:>10.3}{:>14.1}{:>8.2}",
             row.family,
             row.platform,
             row.scheduler,
             row.cells,
             row.mean_makespan_secs,
             row.mean_slr,
-            row.mean_energy_j
+            row.mean_energy_j,
+            row.completion_probability
         )?;
     }
     Ok(())
@@ -663,6 +755,8 @@ mod campaign_tests {
     #[test]
     fn campaign_run_merge_roundtrip_is_byte_identical() {
         let dir = std::env::temp_dir().join("helios-cli-campaign-spec");
+        // Stale outputs from earlier runs would trigger resume semantics.
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let spec = dir.join("spec.json");
         std::fs::write(&spec, SPEC_JSON).unwrap();
@@ -724,6 +818,8 @@ mod campaign_tests {
     #[test]
     fn campaign_spec_errors_are_hard_and_actionable() {
         let dir = std::env::temp_dir().join("helios-cli-campaign-spec-err");
+        // Stale outputs from earlier runs would trigger resume semantics.
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
 
         // Malformed JSON.

@@ -92,6 +92,8 @@ const SPEC_JSON: &str = r#"{
 #[test]
 fn campaign_sharded_sweep_through_the_binary() {
     let dir = std::env::temp_dir().join("helios-bin-sweep");
+    // Stale outputs from earlier runs would trigger resume semantics.
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
     std::fs::write(dir.join("spec.json"), SPEC_JSON).unwrap();
@@ -149,6 +151,118 @@ fn campaign_sharded_sweep_through_the_binary() {
     let full = std::fs::read(dir.join("full.json")).unwrap();
     let merged = std::fs::read(dir.join("merged.json")).unwrap();
     assert_eq!(full, merged, "shard merge must be byte-identical");
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join("helios-bin-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+    std::fs::write(dir.join("spec.json"), SPEC_JSON).unwrap();
+
+    // The uninterrupted reference run.
+    let out = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--out",
+            &path("full.json"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // "Crash" after one cell: partial shard report, nonzero exit.
+    let out = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--out",
+            &path("resumed.json"),
+        ])
+        .env("HELIOS_SWEEP_ABORT_AFTER", "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "an aborted sweep must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("HELIOS_SWEEP_ABORT_AFTER"), "{stderr}");
+    assert!(stderr.contains("resume"), "{stderr}");
+
+    // Resume against the partial file: skips the done cell, completes.
+    let out = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--out",
+            &path("resumed.json"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resuming from"), "{stdout}");
+    assert!(
+        stdout.contains("1 of 2 owned cells already done"),
+        "{stdout}"
+    );
+
+    let full = std::fs::read(dir.join("full.json")).unwrap();
+    let resumed = std::fs::read(dir.join("resumed.json")).unwrap();
+    assert_eq!(
+        full, resumed,
+        "kill-and-resume must be byte-identical to the uninterrupted run"
+    );
+
+    // Re-running against the complete output is a cheap no-op.
+    let out = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--out",
+            &path("resumed.json"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("already complete"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A foreign spec must be refused, not silently overwritten.
+    std::fs::write(
+        dir.join("other.json"),
+        SPEC_JSON.replace(r#""tasks": 20"#, r#""tasks": 25"#),
+    )
+    .unwrap();
+    let out = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("other.json"),
+            "--out",
+            &path("resumed.json"),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("refusing"), "{stderr}");
 }
 
 #[test]

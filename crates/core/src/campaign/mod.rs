@@ -29,9 +29,12 @@ use helios_sim::SimRng;
 pub mod spec;
 pub mod sweep;
 
-pub use spec::{CampaignSpec, DvfsKnob, FaultKnob, SeedRange, SweepCell};
+pub use spec::{
+    CampaignSpec, DvfsKnob, FaultKnob, PolicyKnob, ResilienceKnob, SeedRange, SweepCell,
+};
 pub use sweep::{
-    merge_shards, CellResult, ShardReport, ShardSpec, SummaryRow, SweepDriver, SweepReport,
+    merge_shards, CellResult, ResumeOutcome, ShardReport, ShardSpec, SummaryRow, SweepDriver,
+    SweepReport,
 };
 
 /// Runs the independent cells of a campaign across worker threads.

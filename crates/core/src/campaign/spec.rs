@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use helios_workflow::generators::WorkflowClass;
 
+use crate::resilience::{FailureModel, RecoveryPolicy, ResilienceConfig};
 use crate::EngineError;
 
 /// A consecutive seed range: `base, base + 1, …, base + count - 1`.
@@ -101,6 +102,286 @@ pub struct FaultKnob {
     pub max_retries: u32,
 }
 
+/// Recovery-policy knob of a spec, mirroring
+/// [`RecoveryPolicy`](crate::RecoveryPolicy). Spelled in spec files as
+/// an object with a `kind` tag, e.g.
+/// `{"kind": "retry-backoff", "base_secs": 0.001, "factor": 2.0,
+/// "cap_secs": 0.01, "max_retries": 10}`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKnob {
+    /// `{"kind": "retry-backoff", ...}` →
+    /// [`RecoveryPolicy::RetryBackoff`].
+    RetryBackoff {
+        /// Backoff before the first retry, seconds (0 = flat retry).
+        base_secs: f64,
+        /// Multiplicative growth per retry.
+        factor: f64,
+        /// Upper bound on any single backoff, seconds.
+        cap_secs: f64,
+        /// Retry budget per task.
+        max_retries: u32,
+    },
+    /// `{"kind": "replicate-k", ...}` → [`RecoveryPolicy::ReplicateK`].
+    ReplicateK {
+        /// Total copies per task, including the primary.
+        replicas: usize,
+        /// Per-replica retry budget.
+        max_retries: u32,
+    },
+    /// `{"kind": "checkpoint-restart", ...}` →
+    /// [`RecoveryPolicy::CheckpointRestart`].
+    CheckpointRestart {
+        /// Execution time between snapshots, seconds.
+        interval_secs: f64,
+        /// Cost of writing one snapshot, seconds.
+        overhead_secs: f64,
+        /// Retry budget per task.
+        max_retries: u32,
+    },
+    /// `{"kind": "reschedule", ...}` → [`RecoveryPolicy::Reschedule`].
+    Reschedule {
+        /// Scheduler used for re-planning after a permanent loss.
+        scheduler: String,
+        /// Re-planning overhead, seconds.
+        overhead_secs: f64,
+        /// Retry budget per task for transient failures.
+        max_retries: u32,
+    },
+}
+
+impl PolicyKnob {
+    /// Maps the knob onto the engine-level recovery policy.
+    #[must_use]
+    pub fn to_policy(&self) -> RecoveryPolicy {
+        match *self {
+            PolicyKnob::RetryBackoff {
+                base_secs,
+                factor,
+                cap_secs,
+                max_retries,
+            } => RecoveryPolicy::RetryBackoff {
+                base_secs,
+                factor,
+                cap_secs,
+                max_retries,
+            },
+            PolicyKnob::ReplicateK {
+                replicas,
+                max_retries,
+            } => RecoveryPolicy::ReplicateK {
+                replicas,
+                max_retries,
+            },
+            PolicyKnob::CheckpointRestart {
+                interval_secs,
+                overhead_secs,
+                max_retries,
+            } => RecoveryPolicy::CheckpointRestart {
+                interval_secs,
+                overhead_secs,
+                max_retries,
+            },
+            PolicyKnob::Reschedule {
+                ref scheduler,
+                overhead_secs,
+                max_retries,
+            } => RecoveryPolicy::Reschedule {
+                scheduler: scheduler.clone(),
+                overhead_secs,
+                max_retries,
+            },
+        }
+    }
+}
+
+// Hand-written impls: the vendored derive has no adjacent/internal
+// tagging, and spec files spell policies as kebab-case `kind` tags.
+impl Serialize for PolicyKnob {
+    fn to_value(&self) -> serde::Value {
+        let num = serde::Value::Number;
+        let mut obj: Vec<(String, serde::Value)> = vec![(
+            "kind".to_owned(),
+            serde::Value::String(self.to_policy().name().to_owned()),
+        )];
+        match *self {
+            PolicyKnob::RetryBackoff {
+                base_secs,
+                factor,
+                cap_secs,
+                max_retries,
+            } => {
+                obj.push(("base_secs".to_owned(), num(base_secs)));
+                obj.push(("factor".to_owned(), num(factor)));
+                obj.push(("cap_secs".to_owned(), num(cap_secs)));
+                obj.push(("max_retries".to_owned(), num(f64::from(max_retries))));
+            }
+            PolicyKnob::ReplicateK {
+                replicas,
+                max_retries,
+            } => {
+                obj.push(("replicas".to_owned(), num(replicas as f64)));
+                obj.push(("max_retries".to_owned(), num(f64::from(max_retries))));
+            }
+            PolicyKnob::CheckpointRestart {
+                interval_secs,
+                overhead_secs,
+                max_retries,
+            } => {
+                obj.push(("interval_secs".to_owned(), num(interval_secs)));
+                obj.push(("overhead_secs".to_owned(), num(overhead_secs)));
+                obj.push(("max_retries".to_owned(), num(f64::from(max_retries))));
+            }
+            PolicyKnob::Reschedule {
+                ref scheduler,
+                overhead_secs,
+                max_retries,
+            } => {
+                obj.push((
+                    "scheduler".to_owned(),
+                    serde::Value::String(scheduler.clone()),
+                ));
+                obj.push(("overhead_secs".to_owned(), num(overhead_secs)));
+                obj.push(("max_retries".to_owned(), num(f64::from(max_retries))));
+            }
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+/// Required numeric field of a policy object.
+fn knob_f64(value: &serde::Value, kind: &str, key: &str) -> Result<f64, serde::DeError> {
+    value
+        .get(key)
+        .and_then(serde::Value::as_f64)
+        .ok_or_else(|| {
+            serde::DeError::new(format!("policy {kind:?} requires a numeric {key:?} field"))
+        })
+}
+
+/// Optional retry budget of a policy object (default 3).
+fn knob_retries(value: &serde::Value, kind: &str) -> Result<u32, serde::DeError> {
+    match value.get("max_retries") {
+        None => Ok(3),
+        Some(v) => v.as_u64().map(|n| n as u32).ok_or_else(|| {
+            serde::DeError::new(format!(
+                "policy {kind:?}: max_retries must be a non-negative integer"
+            ))
+        }),
+    }
+}
+
+impl<'de> Deserialize<'de> for PolicyKnob {
+    fn from_value(value: &serde::Value) -> Result<PolicyKnob, serde::DeError> {
+        let kind = value
+            .get("kind")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| {
+                serde::DeError::new(format!(
+                    "resilience policy must be an object with a \"kind\" tag, one of: {}",
+                    RecoveryPolicy::names().join(", ")
+                ))
+            })?;
+        match kind {
+            "retry-backoff" => Ok(PolicyKnob::RetryBackoff {
+                base_secs: knob_f64(value, kind, "base_secs")?,
+                factor: knob_f64(value, kind, "factor")?,
+                cap_secs: knob_f64(value, kind, "cap_secs")?,
+                max_retries: knob_retries(value, kind)?,
+            }),
+            "replicate-k" => Ok(PolicyKnob::ReplicateK {
+                replicas: knob_f64(value, kind, "replicas")? as usize,
+                max_retries: knob_retries(value, kind)?,
+            }),
+            "checkpoint-restart" => Ok(PolicyKnob::CheckpointRestart {
+                interval_secs: knob_f64(value, kind, "interval_secs")?,
+                overhead_secs: knob_f64(value, kind, "overhead_secs")?,
+                max_retries: knob_retries(value, kind)?,
+            }),
+            "reschedule" => Ok(PolicyKnob::Reschedule {
+                scheduler: value
+                    .get("scheduler")
+                    .and_then(serde::Value::as_str)
+                    .ok_or_else(|| {
+                        serde::DeError::new(
+                            "policy \"reschedule\" requires a string \"scheduler\" field"
+                                .to_owned(),
+                        )
+                    })?
+                    .to_owned(),
+                overhead_secs: knob_f64(value, kind, "overhead_secs")?,
+                max_retries: knob_retries(value, kind)?,
+            }),
+            other => Err(serde::DeError::new(format!(
+                "unknown resilience policy kind {other:?}; legal values: {}",
+                RecoveryPolicy::names().join(", ")
+            ))),
+        }
+    }
+}
+
+fn default_slowdown() -> f64 {
+    2.0
+}
+
+fn default_repair() -> f64 {
+    1.0
+}
+
+/// Failure-domain and recovery knobs of a spec, mirroring
+/// [`ResilienceConfig`](crate::ResilienceConfig). Mutually exclusive
+/// with the legacy [`FaultKnob`] block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceKnob {
+    /// Mean time to failure (exponential) or characteristic life
+    /// (Weibull), seconds.
+    pub mttf_secs: f64,
+    /// Weibull shape; omit for the exponential distribution.
+    #[serde(default)]
+    pub weibull_shape: Option<f64>,
+    /// Probability a failure degrades the device instead of only
+    /// aborting the running attempt (default 0).
+    #[serde(default)]
+    pub degraded_prob: f64,
+    /// Probability a failure removes the device permanently (default 0).
+    #[serde(default)]
+    pub permanent_prob: f64,
+    /// Execution-time multiplier while degraded (default 2).
+    #[serde(default = "default_slowdown")]
+    pub degraded_slowdown: f64,
+    /// Time until a degraded device is repaired, seconds (default 1).
+    #[serde(default = "default_repair")]
+    pub degraded_repair_secs: f64,
+    /// Fixed overhead paid before every retry, seconds (default 0).
+    #[serde(default)]
+    pub restart_overhead_secs: f64,
+    /// The recovery policy (`kind`-tagged object).
+    pub policy: PolicyKnob,
+}
+
+impl ResilienceKnob {
+    /// Builds the validated engine-level resilience configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] naming the offending parameter.
+    pub fn to_config(&self) -> Result<ResilienceConfig, EngineError> {
+        let config = ResilienceConfig::new(
+            FailureModel {
+                mttf_secs: self.mttf_secs,
+                weibull_shape: self.weibull_shape,
+                degraded_prob: self.degraded_prob,
+                permanent_prob: self.permanent_prob,
+                degraded_slowdown: self.degraded_slowdown,
+                degraded_repair_secs: self.degraded_repair_secs,
+                restart_overhead_secs: self.restart_overhead_secs,
+            },
+            self.policy.to_policy(),
+        );
+        config.validate()?;
+        Ok(config)
+    }
+}
+
 fn default_tasks() -> usize {
     50
 }
@@ -155,6 +436,11 @@ pub struct CampaignSpec {
     /// Optional fault injection.
     #[serde(default)]
     pub faults: Option<FaultKnob>,
+    /// Optional failure-domain model and recovery policy; cells run
+    /// through the [`ResilientRunner`](crate::ResilientRunner).
+    /// Mutually exclusive with `faults`.
+    #[serde(default)]
+    pub resilience: Option<ResilienceKnob>,
 }
 
 /// One expanded grid point: a single deterministic simulation.
@@ -273,6 +559,18 @@ impl CampaignSpec {
                     fk.restart_overhead_secs
                 ));
             }
+        }
+        if let Some(rk) = &self.resilience {
+            if self.faults.is_some() {
+                return fail(
+                    "`faults` and `resilience` are mutually exclusive; flat retry is \
+                     `resilience.policy = {\"kind\": \"retry-backoff\", \"base_secs\": 0, ...}`"
+                        .into(),
+                );
+            }
+            rk.to_config().map_err(|e| {
+                EngineError::Config(format!("spec {:?}: `resilience`: {e}", self.name))
+            })?;
         }
         Ok(())
     }
@@ -452,6 +750,99 @@ mod tests {
         };
         assert_ne!(a.digest(), c.digest());
         assert_eq!(a.digest().len(), 16);
+    }
+
+    fn resilience_json(policy: &str) -> String {
+        minimal_json().trim_end().trim_end_matches('}').to_owned()
+            + &format!(
+                r#", "resilience": {{
+                    "mttf_secs": 0.25,
+                    "weibull_shape": 1.5,
+                    "degraded_prob": 0.08,
+                    "permanent_prob": 0.02,
+                    "degraded_repair_secs": 0.05,
+                    "restart_overhead_secs": 0.001,
+                    "policy": {policy}
+                }}}}"#
+            )
+    }
+
+    #[test]
+    fn resilience_knob_parses_every_policy_kind() {
+        let policies = [
+            r#"{"kind": "retry-backoff", "base_secs": 0.001, "factor": 2.0, "cap_secs": 0.01, "max_retries": 10}"#,
+            r#"{"kind": "replicate-k", "replicas": 2}"#,
+            r#"{"kind": "checkpoint-restart", "interval_secs": 0.005, "overhead_secs": 0.0002}"#,
+            r#"{"kind": "reschedule", "scheduler": "heft", "overhead_secs": 0.001}"#,
+        ];
+        for policy in policies {
+            let spec = CampaignSpec::from_json(&resilience_json(policy)).unwrap();
+            let rk = spec.resilience.as_ref().expect("resilience block parsed");
+            assert_eq!(rk.mttf_secs, 0.25);
+            assert_eq!(rk.weibull_shape, Some(1.5));
+            assert_eq!(rk.degraded_slowdown, 2.0, "defaulted");
+            let cfg = rk.to_config().unwrap();
+            assert!(policy.contains(cfg.policy.name()), "{policy}");
+            // And the knob round-trips through canonical JSON.
+            let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+            assert_eq!(spec, round);
+        }
+        // max_retries defaults to 3 when omitted.
+        let spec = CampaignSpec::from_json(&resilience_json(
+            r#"{"kind": "replicate-k", "replicas": 2}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            spec.resilience.unwrap().policy,
+            PolicyKnob::ReplicateK {
+                replicas: 2,
+                max_retries: 3
+            }
+        );
+    }
+
+    #[test]
+    fn resilience_knob_rejects_bad_input() {
+        let err = CampaignSpec::from_json(&resilience_json(r#"{"kind": "pray"}"#)).unwrap_err();
+        assert!(
+            err.to_string().contains("retry-backoff"),
+            "error must name the legal policy kinds: {err}"
+        );
+        let err = CampaignSpec::from_json(&resilience_json(r#"{"base_secs": 1.0}"#)).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+        let err = CampaignSpec::from_json(&resilience_json(
+            r#"{"kind": "replicate-k", "replicas": 1}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("replicas"), "{err}");
+
+        // Legacy faults and resilience cannot be combined.
+        let json = resilience_json(r#"{"kind": "replicate-k", "replicas": 2}"#)
+            .trim_end()
+            .trim_end_matches('}')
+            .to_owned()
+            + r#"}, "faults": {"mtbf_secs": 2.0}}"#;
+        let err = CampaignSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn resilience_knob_changes_the_digest() {
+        let base = CampaignSpec::from_json(&minimal_json()).unwrap();
+        let with = CampaignSpec::from_json(&resilience_json(
+            r#"{"kind": "retry-backoff", "base_secs": 0.001, "factor": 2.0, "cap_secs": 0.01}"#,
+        ))
+        .unwrap();
+        assert_ne!(base.digest(), with.digest());
+        let tweaked = CampaignSpec::from_json(&resilience_json(
+            r#"{"kind": "retry-backoff", "base_secs": 0.002, "factor": 2.0, "cap_secs": 0.01}"#,
+        ))
+        .unwrap();
+        assert_ne!(
+            with.digest(),
+            tweaked.digest(),
+            "policy parameters are part of the content digest"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use helios_sim::SimDuration;
 
 use super::spec::{family_class, CampaignSpec, DvfsKnob, SweepCell};
 use super::CampaignEngine;
+use crate::resilience::ResilientRunner;
 use crate::{Engine, EngineConfig, EngineError, FaultConfig};
 
 /// One shard of a partition: `index` of `count`, 1-based.
@@ -122,6 +123,31 @@ pub struct CellResult {
     pub failures: u32,
     /// Retries performed.
     pub retries: u32,
+    /// Whether the cell ran to completion. `false` when the resilience
+    /// policy lost the workload (retry budget exhausted or every
+    /// feasible device permanently failed); such cells carry zero
+    /// metrics and are excluded from summary means.
+    #[serde(default = "default_true")]
+    pub completed: bool,
+    /// Executed device-seconds that did not contribute to completion
+    /// (resilience cells only).
+    #[serde(default)]
+    pub wasted_work_secs: f64,
+    /// Restart, backoff and re-planning overhead, seconds (resilience
+    /// cells only).
+    #[serde(default)]
+    pub recovery_overhead_secs: f64,
+    /// `makespan / fault_free_makespan - 1` (resilience cells only).
+    #[serde(default)]
+    pub makespan_degradation: f64,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_one() -> f64 {
+    1.0
 }
 
 /// The result file one shard writes: its cells plus enough partition
@@ -154,12 +180,16 @@ pub struct SummaryRow {
     pub scheduler: String,
     /// Cells aggregated into this row.
     pub cells: usize,
-    /// Mean makespan, seconds.
+    /// Mean makespan over completed cells, seconds.
     pub mean_makespan_secs: f64,
-    /// Mean schedule length ratio.
+    /// Mean schedule length ratio over completed cells.
     pub mean_slr: f64,
-    /// Mean energy, joules.
+    /// Mean energy over completed cells, joules.
     pub mean_energy_j: f64,
+    /// Fraction of the row's cells that ran to completion (1.0 without
+    /// fault injection).
+    #[serde(default = "default_one")]
+    pub completion_probability: f64,
 }
 
 /// The merged, complete sweep: every cell plus per-combination means.
@@ -214,19 +244,118 @@ impl SweepDriver {
         spec: &CampaignSpec,
         shard: ShardSpec,
     ) -> Result<ShardReport, EngineError> {
+        Ok(self.resume_shard(spec, shard, None, None)?.report)
+    }
+
+    /// Runs `shard`, skipping cells already present in `prior` — the
+    /// crash-resume path. Because every cell is a pure function of the
+    /// spec and its coordinates, the resumed report is byte-identical
+    /// to an uninterrupted run of the same shard.
+    ///
+    /// `limit` caps the number of cells *executed* by this invocation
+    /// (the `HELIOS_SWEEP_ABORT_AFTER` crash-injection hook); cells cut
+    /// off by the cap are reported in
+    /// [`ResumeOutcome::remaining`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] when `prior` belongs to a
+    /// different spec (name, digest or grid size mismatch), a different
+    /// shard geometry, or claims cells the shard does not own — and
+    /// propagates cell execution errors.
+    pub fn resume_shard(
+        &self,
+        spec: &CampaignSpec,
+        shard: ShardSpec,
+        prior: Option<&ShardReport>,
+        limit: Option<usize>,
+    ) -> Result<ResumeOutcome, EngineError> {
         let cells = spec.expand()?;
         let total_cells = cells.len();
-        let owned: Vec<SweepCell> = cells.into_iter().filter(|c| shard.owns(c.index)).collect();
-        let results = self.engine.run(&owned, |_, cell| run_cell(spec, cell))?;
-        Ok(ShardReport {
-            spec_name: spec.name.clone(),
-            spec_digest: spec.digest(),
-            total_cells,
-            shard_index: shard.index(),
-            shard_count: shard.count(),
-            cells: results,
+        let digest = spec.digest();
+
+        let mut done: Vec<CellResult> = Vec::new();
+        if let Some(p) = prior {
+            if p.spec_name != spec.name || p.spec_digest != digest || p.total_cells != total_cells {
+                return Err(EngineError::Config(format!(
+                    "refusing to resume: the existing report is from a different campaign \
+                     (spec {:?}, digest {}, {} cells) than this spec ({:?}, digest {}, {} \
+                     cells); delete the file or point --out elsewhere",
+                    p.spec_name, p.spec_digest, p.total_cells, spec.name, digest, total_cells
+                )));
+            }
+            if p.shard_index != shard.index() || p.shard_count != shard.count() {
+                return Err(EngineError::Config(format!(
+                    "refusing to resume: the existing report is shard {}/{}, but this run \
+                     is shard {shard}; re-run with --shard {}/{} or start fresh",
+                    p.shard_index, p.shard_count, p.shard_index, p.shard_count
+                )));
+            }
+            done = p.cells.clone();
+            done.sort_by_key(|c| c.cell);
+            if let Some(bad) = done
+                .iter()
+                .find(|c| !shard.owns(c.cell) || c.cell >= total_cells)
+            {
+                return Err(EngineError::Config(format!(
+                    "refusing to resume: the existing report claims cell {}, which shard \
+                     {shard} of this {total_cells}-cell grid does not own",
+                    bad.cell
+                )));
+            }
+            if let Some(pair) = done.windows(2).find(|p| p[0].cell == p[1].cell) {
+                return Err(EngineError::Config(format!(
+                    "refusing to resume: the existing report lists cell {} twice",
+                    pair[0].cell
+                )));
+            }
+        }
+
+        let skipped = done.len();
+        let mut pending: Vec<SweepCell> = cells
+            .into_iter()
+            .filter(|c| {
+                shard.owns(c.index) && done.binary_search_by_key(&c.index, |d| d.cell).is_err()
+            })
+            .collect();
+        let mut remaining = 0;
+        if let Some(cap) = limit {
+            if pending.len() > cap {
+                remaining = pending.len() - cap;
+                pending.truncate(cap);
+            }
+        }
+
+        let fresh = self.engine.run(&pending, |_, cell| run_cell(spec, cell))?;
+        done.extend(fresh);
+        done.sort_by_key(|c| c.cell);
+        Ok(ResumeOutcome {
+            report: ShardReport {
+                spec_name: spec.name.clone(),
+                spec_digest: digest,
+                total_cells,
+                shard_index: shard.index(),
+                shard_count: shard.count(),
+                cells: done,
+            },
+            skipped,
+            remaining,
         })
     }
+}
+
+/// What [`SweepDriver::resume_shard`] did: the merged report plus how
+/// much work was reused and how much is still missing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeOutcome {
+    /// The shard report after this invocation (partial iff
+    /// `remaining > 0`).
+    pub report: ShardReport,
+    /// Cells taken over from the prior report instead of re-run.
+    pub skipped: usize,
+    /// Owned cells still missing (nonzero only when a `limit` cut the
+    /// run short).
+    pub remaining: usize,
 }
 
 /// Executes one grid cell: generate, plan, apply the DVFS knob, run.
@@ -256,24 +385,61 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         link_contention: spec.link_contention,
         data_caching: spec.data_caching,
         faults,
+        resilience: match &spec.resilience {
+            None => None,
+            Some(rk) => Some(rk.to_config()?),
+        },
         ..Default::default()
     };
-    let report = Engine::new(config).execute_plan(&platform, &wf, &plan)?;
-    let slr = report.slr(&wf, &platform)?;
-    Ok(CellResult {
+
+    let mut result = CellResult {
         cell: cell.index,
         family: cell.family.clone(),
         platform: cell.platform.clone(),
         scheduler: cell.scheduler.clone(),
         seed: cell.seed,
-        makespan_secs: report.makespan().as_secs(),
-        slr,
-        energy_j: report.energy().total_j(),
-        transfers: report.transfers().count,
-        transfer_bytes: report.transfers().bytes,
-        failures: report.failures(),
-        retries: report.retries(),
-    })
+        makespan_secs: 0.0,
+        slr: 0.0,
+        energy_j: 0.0,
+        transfers: 0,
+        transfer_bytes: 0.0,
+        failures: 0,
+        retries: 0,
+        completed: true,
+        wasted_work_secs: 0.0,
+        recovery_overhead_secs: 0.0,
+        makespan_degradation: 0.0,
+    };
+
+    let report = if config.resilience.is_some() {
+        match ResilientRunner::new(config).execute_plan(&platform, &wf, &plan) {
+            Ok(report) => report,
+            // A lost workload is a measurement, not a driver error: the
+            // cell records completed = false and zero metrics, and its
+            // failure depresses the row's completion probability.
+            Err(EngineError::RetriesExhausted { .. } | EngineError::AllDevicesLost { .. }) => {
+                result.completed = false;
+                return Ok(result);
+            }
+            Err(other) => return Err(other),
+        }
+    } else {
+        Engine::new(config).execute_plan(&platform, &wf, &plan)?
+    };
+
+    result.makespan_secs = report.makespan().as_secs();
+    result.slr = report.slr(&wf, &platform)?;
+    result.energy_j = report.energy().total_j();
+    result.transfers = report.transfers().count;
+    result.transfer_bytes = report.transfers().bytes;
+    result.failures = report.failures();
+    result.retries = report.retries();
+    if let Some(m) = report.resilience() {
+        result.wasted_work_secs = m.wasted_work_secs;
+        result.recovery_overhead_secs = m.recovery_overhead_secs;
+        result.makespan_degradation = m.makespan_degradation;
+    }
+    Ok(result)
 }
 
 /// Rewrites plan placements to the knob's DVFS level. The engine
@@ -385,13 +551,18 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> 
 
 /// Means per (family, platform, scheduler), rows in first-seen order —
 /// i.e. spec declaration order, since cells are sorted by index.
+///
+/// Means cover completed cells only (a lost workload has no makespan);
+/// incomplete cells count toward the row's size and depress its
+/// completion probability instead.
 fn summarize(cells: &[CellResult]) -> Vec<SummaryRow> {
     let mut rows: Vec<SummaryRow> = Vec::new();
+    let mut done_per_row: Vec<usize> = Vec::new();
     for c in cells {
-        let row = match rows.iter_mut().find(|r| {
+        let at = match rows.iter().position(|r| {
             r.family == c.family && r.platform == c.platform && r.scheduler == c.scheduler
         }) {
-            Some(row) => row,
+            Some(at) => at,
             None => {
                 rows.push(SummaryRow {
                     family: c.family.clone(),
@@ -401,20 +572,29 @@ fn summarize(cells: &[CellResult]) -> Vec<SummaryRow> {
                     mean_makespan_secs: 0.0,
                     mean_slr: 0.0,
                     mean_energy_j: 0.0,
+                    completion_probability: 0.0,
                 });
-                rows.last_mut().expect("row just pushed")
+                done_per_row.push(0);
+                rows.len() - 1
             }
         };
+        let row = &mut rows[at];
         row.cells += 1;
-        row.mean_makespan_secs += c.makespan_secs;
-        row.mean_slr += c.slr;
-        row.mean_energy_j += c.energy_j;
+        if c.completed {
+            done_per_row[at] += 1;
+            row.mean_makespan_secs += c.makespan_secs;
+            row.mean_slr += c.slr;
+            row.mean_energy_j += c.energy_j;
+        }
     }
-    for row in &mut rows {
-        let n = row.cells as f64;
-        row.mean_makespan_secs /= n;
-        row.mean_slr /= n;
-        row.mean_energy_j /= n;
+    for (row, &done) in rows.iter_mut().zip(&done_per_row) {
+        if done > 0 {
+            let n = done as f64;
+            row.mean_makespan_secs /= n;
+            row.mean_slr /= n;
+            row.mean_energy_j /= n;
+        }
+        row.completion_probability = done as f64 / row.cells as f64;
     }
     rows
 }
@@ -470,6 +650,10 @@ mod tests {
                     transfer_bytes: 0.0,
                     failures: 0,
                     retries: 0,
+                    completed: true,
+                    wasted_work_secs: 0.0,
+                    recovery_overhead_secs: 0.0,
+                    makespan_degradation: 0.0,
                 })
                 .collect(),
         };
@@ -503,5 +687,171 @@ mod tests {
         assert_eq!(ok.cells.len(), 4);
         assert_eq!(ok.summary.len(), 1);
         assert_eq!(ok.summary[0].cells, 4);
+        assert_eq!(ok.summary[0].completion_probability, 1.0);
+    }
+
+    fn spec_json(extra: &str) -> String {
+        format!(
+            r#"{{
+                "name": "t8",
+                "families": ["montage"],
+                "platforms": ["workstation"],
+                "schedulers": ["heft"],
+                "seeds": {{"base": 0, "count": 4}},
+                "tasks": 30,
+                "noise_cv": 0.1{extra}
+            }}"#
+        )
+    }
+
+    fn resilient_spec(policy: &str) -> CampaignSpec {
+        CampaignSpec::from_json(&spec_json(&format!(
+            r#", "resilience": {{
+                "mttf_secs": 0.02,
+                "degraded_prob": 0.1,
+                "degraded_repair_secs": 0.01,
+                "restart_overhead_secs": 0.0005,
+                "policy": {policy}
+            }}"#
+        )))
+        .expect("spec parses")
+    }
+
+    #[test]
+    fn resilient_cells_are_jobs_and_shard_invariant() {
+        let spec = resilient_spec(
+            r#"{"kind": "retry-backoff", "base_secs": 0.0005, "factor": 2.0,
+                "cap_secs": 0.005, "max_retries": 10000}"#,
+        );
+        let seq = SweepDriver::new(1).run(&spec).unwrap();
+        assert!(seq.cells.iter().all(|c| c.completed));
+        assert!(
+            seq.cells.iter().any(|c| c.failures > 0),
+            "a 20 ms MTTF must inject failures somewhere in the grid"
+        );
+        assert!(seq.cells.iter().all(|c| c.makespan_degradation >= 0.0));
+        assert!(
+            seq.cells
+                .iter()
+                .any(|c| c.wasted_work_secs > 0.0 || c.recovery_overhead_secs > 0.0),
+            "recovery must cost something somewhere"
+        );
+        assert_eq!(seq.summary[0].completion_probability, 1.0);
+
+        let par = SweepDriver::new(4).run(&spec).unwrap();
+        assert_eq!(seq, par, "--jobs must not affect resilient results");
+
+        let s1 = SweepDriver::new(2)
+            .run_shard(&spec, ShardSpec::new(1, 2).unwrap())
+            .unwrap();
+        let s2 = SweepDriver::new(1)
+            .run_shard(&spec, ShardSpec::new(2, 2).unwrap())
+            .unwrap();
+        let merged = merge_shards(&[s2, s1]).unwrap();
+        assert_eq!(seq, merged, "shard partitioning must not affect results");
+    }
+
+    #[test]
+    fn lost_workloads_depress_completion_probability() {
+        // A 1 ms MTTF with a 1-retry budget is lethal for most seeds;
+        // lost cells must become measurements, not errors.
+        let spec = resilient_spec(
+            r#"{"kind": "retry-backoff", "base_secs": 0.0, "factor": 2.0,
+                "cap_secs": 0.0, "max_retries": 1}"#,
+        );
+        let spec = CampaignSpec {
+            resilience: spec.resilience.map(|mut rk| {
+                rk.mttf_secs = 0.001;
+                rk
+            }),
+            ..spec
+        };
+        let report = SweepDriver::new(1).run(&spec).unwrap();
+        let lost: Vec<&CellResult> = report.cells.iter().filter(|c| !c.completed).collect();
+        assert!(!lost.is_empty(), "a 1 ms MTTF must lose some cell");
+        for c in &lost {
+            assert_eq!(c.makespan_secs, 0.0, "lost cells carry zero metrics");
+            assert_eq!(c.slr, 0.0);
+        }
+        let row = &report.summary[0];
+        assert!(row.completion_probability < 1.0);
+        assert_eq!(
+            row.completion_probability,
+            (report.cells.len() - lost.len()) as f64 / report.cells.len() as f64
+        );
+        if lost.len() < report.cells.len() {
+            assert!(
+                row.mean_makespan_secs > 0.0,
+                "means cover completed cells only"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_skips_done_cells_byte_identically() {
+        let spec = CampaignSpec::from_json(&spec_json("")).unwrap();
+        let driver = SweepDriver::new(1);
+        let full = driver.run_shard(&spec, ShardSpec::full()).unwrap();
+
+        // Crash after 2 of 4 cells, then resume against the partial file.
+        let partial = driver
+            .resume_shard(&spec, ShardSpec::full(), None, Some(2))
+            .unwrap();
+        assert_eq!(partial.report.cells.len(), 2);
+        assert_eq!(partial.remaining, 2);
+        let resumed = driver
+            .resume_shard(&spec, ShardSpec::full(), Some(&partial.report), None)
+            .unwrap();
+        assert_eq!(resumed.skipped, 2, "done cells are skipped, not re-run");
+        assert_eq!(resumed.remaining, 0);
+        assert_eq!(
+            resumed.report, full,
+            "kill-and-resume must be byte-identical to the uninterrupted run"
+        );
+
+        // Resuming a complete shard is a no-op.
+        let again = driver
+            .resume_shard(&spec, ShardSpec::full(), Some(&full), None)
+            .unwrap();
+        assert_eq!(again.skipped, 4);
+        assert_eq!(again.report, full);
+    }
+
+    #[test]
+    fn resume_refuses_foreign_and_mismatched_reports() {
+        let spec = CampaignSpec::from_json(&spec_json("")).unwrap();
+        let driver = SweepDriver::new(1);
+        let partial = driver
+            .resume_shard(&spec, ShardSpec::full(), None, Some(1))
+            .unwrap()
+            .report;
+
+        // A spec with any knob changed has a different digest.
+        let foreign = CampaignSpec {
+            noise_cv: 0.2,
+            ..spec.clone()
+        };
+        let err = driver
+            .resume_shard(&foreign, ShardSpec::full(), Some(&partial), None)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("different campaign"), "{err}");
+
+        // Same spec, different shard geometry.
+        let err = driver
+            .resume_shard(&spec, ShardSpec::new(1, 2).unwrap(), Some(&partial), None)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("shard 1/1"), "{err}");
+
+        // A report claiming a cell the shard does not own.
+        let mut bad = partial.clone();
+        bad.shard_index = 2;
+        bad.shard_count = 2;
+        let err = driver
+            .resume_shard(&spec, ShardSpec::new(2, 2).unwrap(), Some(&bad), None)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("does not own"), "{err}");
     }
 }

@@ -3,6 +3,18 @@
 use helios_sim::SimDuration;
 
 use crate::error::EngineError;
+use crate::resilience::{RecoveryPolicy, ResilienceConfig};
+
+/// Backoff delay before retry `retry` (1-based): capped exponential
+/// `min(base · factor^(retry-1), cap)`, zero when `base` is zero (the
+/// classical flat retry).
+pub(crate) fn backoff_delay_secs(base: f64, factor: f64, cap: f64, retry: u32) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base * factor.powi(retry.saturating_sub(1) as i32)).min(cap)
+    }
+}
 
 /// Device fault injection: each device fails as a Poisson process with
 /// the given mean time between failures; a failure aborts the task
@@ -142,6 +154,28 @@ pub struct EngineConfig {
     /// Record an execution trace (task spans + transfer spans) in the
     /// report, exportable to Chrome trace JSON.
     pub tracing: bool,
+    /// Failure model plus recovery policy. Mutually exclusive with the
+    /// legacy [`EngineConfig::faults`]/[`EngineConfig::checkpointing`]
+    /// pair, which it generalizes. The
+    /// [`ResilientRunner`](crate::ResilientRunner) supports every
+    /// policy; [`Engine`](crate::Engine) and
+    /// [`OnlineRunner`](crate::OnlineRunner) accept the subset that maps
+    /// onto their per-attempt occupancy model (exponential
+    /// transient-only failures under retry-backoff or
+    /// checkpoint-restart).
+    pub resilience: Option<ResilienceConfig>,
+}
+
+/// The fault parameters [`Engine`](crate::Engine) and
+/// [`OnlineRunner`](crate::OnlineRunner) actually execute with, resolved
+/// from either the legacy `faults`/`checkpointing` pair or a compatible
+/// [`ResilienceConfig`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultView {
+    pub faults: Option<FaultConfig>,
+    pub checkpointing: Option<CheckpointConfig>,
+    /// `(base_secs, factor, cap_secs)` of a retry backoff, if any.
+    pub backoff: Option<(f64, f64, f64)>,
 }
 
 impl EngineConfig {
@@ -167,7 +201,75 @@ impl EngineConfig {
                 }
             }
         }
+        if let Some(res) = &self.resilience {
+            if self.faults.is_some() || self.checkpointing.is_some() {
+                return Err(EngineError::Config(
+                    "resilience is mutually exclusive with the legacy faults/checkpointing \
+                     options; move them into the resilience block"
+                        .into(),
+                ));
+            }
+            res.validate()?;
+        }
         Ok(())
+    }
+
+    /// Resolves the fault parameters the per-attempt occupancy model
+    /// runs with. A [`ResilienceConfig`] maps onto it only when its
+    /// failure model is exponential and transient-only and its policy is
+    /// retry-backoff or checkpoint-restart; richer configurations need
+    /// the [`ResilientRunner`](crate::ResilientRunner).
+    pub(crate) fn fault_view(&self) -> Result<FaultView, EngineError> {
+        let Some(res) = &self.resilience else {
+            return Ok(FaultView {
+                faults: self.faults.clone(),
+                checkpointing: self.checkpointing,
+                backoff: None,
+            });
+        };
+        let fm = &res.failures;
+        if fm.weibull_shape.is_some() || fm.degraded_prob > 0.0 || fm.permanent_prob > 0.0 {
+            return Err(EngineError::Config(
+                "this executor only models exponential transient-only failures; use the \
+                 ResilientRunner for Weibull, degraded or permanent failure modes"
+                    .into(),
+            ));
+        }
+        let faults = FaultConfig::new(
+            fm.mttf_secs,
+            SimDuration::from_secs(fm.restart_overhead_secs),
+            res.policy.max_retries(),
+        )?;
+        match res.policy {
+            RecoveryPolicy::RetryBackoff {
+                base_secs,
+                factor,
+                cap_secs,
+                ..
+            } => Ok(FaultView {
+                faults: Some(faults),
+                checkpointing: None,
+                backoff: Some((base_secs, factor, cap_secs)),
+            }),
+            RecoveryPolicy::CheckpointRestart {
+                interval_secs,
+                overhead_secs,
+                ..
+            } => Ok(FaultView {
+                faults: Some(faults),
+                checkpointing: Some(CheckpointConfig::new(
+                    SimDuration::from_secs(interval_secs),
+                    SimDuration::from_secs(overhead_secs),
+                )?),
+                backoff: None,
+            }),
+            RecoveryPolicy::ReplicateK { .. } | RecoveryPolicy::Reschedule { .. } => {
+                Err(EngineError::Config(format!(
+                    "policy {:?} requires the ResilientRunner",
+                    res.policy.name()
+                )))
+            }
+        }
     }
 }
 
@@ -202,5 +304,99 @@ mod tests {
         assert!(FaultConfig::new(100.0, SimDuration::ZERO, 1).is_ok());
         assert!(CheckpointConfig::new(SimDuration::ZERO, SimDuration::ZERO).is_err());
         assert!(CheckpointConfig::new(SimDuration::from_secs(1.0), SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn resilience_excludes_legacy_fault_options() {
+        use crate::resilience::FailureModel;
+        let res = ResilienceConfig::new(
+            FailureModel::exponential(10.0),
+            RecoveryPolicy::RetryBackoff {
+                base_secs: 0.0,
+                factor: 1.0,
+                cap_secs: 0.0,
+                max_retries: 3,
+            },
+        );
+        let c = EngineConfig {
+            resilience: Some(res.clone()),
+            faults: Some(FaultConfig::new(1.0, SimDuration::ZERO, 1).unwrap()),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = EngineConfig {
+            resilience: Some(res),
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_view_maps_compatible_policies_only() {
+        use crate::resilience::FailureModel;
+        // No resilience: passes legacy options through.
+        let c = EngineConfig {
+            faults: Some(FaultConfig::new(2.0, SimDuration::ZERO, 7).unwrap()),
+            ..Default::default()
+        };
+        let v = c.fault_view().unwrap();
+        assert_eq!(v.faults.unwrap().mtbf_secs, 2.0);
+        assert!(v.backoff.is_none());
+
+        // Retry-backoff maps with a backoff triple.
+        let mk = |policy| EngineConfig {
+            resilience: Some(ResilienceConfig::new(
+                FailureModel::exponential(5.0),
+                policy,
+            )),
+            ..Default::default()
+        };
+        let v = mk(RecoveryPolicy::RetryBackoff {
+            base_secs: 0.5,
+            factor: 2.0,
+            cap_secs: 4.0,
+            max_retries: 9,
+        })
+        .fault_view()
+        .unwrap();
+        assert_eq!(v.faults.as_ref().unwrap().mtbf_secs, 5.0);
+        assert_eq!(v.faults.unwrap().max_retries, 9);
+        assert_eq!(v.backoff, Some((0.5, 2.0, 4.0)));
+
+        // Checkpoint-restart maps onto the checkpointing model.
+        let v = mk(RecoveryPolicy::CheckpointRestart {
+            interval_secs: 1.0,
+            overhead_secs: 0.1,
+            max_retries: 3,
+        })
+        .fault_view()
+        .unwrap();
+        assert!(v.checkpointing.is_some());
+
+        // Replication and rescheduling need the ResilientRunner.
+        assert!(mk(RecoveryPolicy::ReplicateK {
+            replicas: 2,
+            max_retries: 1
+        })
+        .fault_view()
+        .is_err());
+
+        // So do non-transient or non-exponential failure models.
+        let mut c = mk(RecoveryPolicy::RetryBackoff {
+            base_secs: 0.0,
+            factor: 1.0,
+            cap_secs: 0.0,
+            max_retries: 1,
+        });
+        c.resilience.as_mut().unwrap().failures.permanent_prob = 0.1;
+        assert!(c.fault_view().is_err());
+    }
+
+    #[test]
+    fn backoff_helper_math() {
+        assert_eq!(backoff_delay_secs(0.0, 2.0, 9.0, 5), 0.0);
+        assert_eq!(backoff_delay_secs(1.0, 2.0, 16.0, 1), 1.0);
+        assert_eq!(backoff_delay_secs(1.0, 2.0, 16.0, 4), 8.0);
+        assert_eq!(backoff_delay_secs(1.0, 2.0, 16.0, 10), 16.0);
     }
 }

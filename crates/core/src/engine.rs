@@ -8,9 +8,21 @@ use helios_sched::{Placement, Schedule, Scheduler};
 use helios_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use helios_workflow::{TaskId, Workflow};
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, FaultView};
 use crate::error::EngineError;
 use crate::report::{ExecutionReport, TransferStats};
+
+/// Disjoint RNG stream bases, so every task's noise, every task's fault
+/// draws and every device's failure trace come from their own streams:
+/// task `t` uses `NOISE_STREAM_BASE + t` and `FAULT_STREAM_BASE + t`,
+/// device `d` uses `FAILURE_TRACE_STREAM_BASE + d`. Keying by task and
+/// device id (never by event order) is what makes executions
+/// byte-identical per seed regardless of how faults reshuffle the event
+/// timeline — and makes a faulty task's occupancy provably contain its
+/// fault-free occupancy.
+pub(crate) const NOISE_STREAM_BASE: u64 = 1 << 32;
+pub(crate) const FAULT_STREAM_BASE: u64 = 2 << 32;
+pub(crate) const FAILURE_TRACE_STREAM_BASE: u64 = 3 << 32;
 
 /// The `helios` execution engine: runs workflows in simulated time under
 /// a static plan, modeling noise, link contention and faults.
@@ -29,6 +41,10 @@ pub struct Engine {
 pub(crate) struct Occupancy {
     /// Total device time from start to completion, including retries.
     pub total: SimDuration,
+    /// Fault-free device time (work + checkpoint writes, no retries):
+    /// the duration dispatchers should calibrate their models against,
+    /// since fault stalls carry no information about task cost.
+    pub work: SimDuration,
     /// Faults that hit this task.
     pub failures: u32,
     /// Retries performed.
@@ -45,28 +61,30 @@ pub(crate) fn occupancy(
     task: TaskId,
     fault_rng: &mut SimRng,
 ) -> Result<Occupancy, EngineError> {
-    occupancy_on(config, actual_work, task, 0, fault_rng)
+    occupancy_on(&config.fault_view()?, actual_work, task, 0, fault_rng)
 }
 
 /// [`occupancy`](self) with per-device MTBF resolution.
 pub(crate) fn occupancy_on(
-    config: &EngineConfig,
+    view: &FaultView,
     actual_work: SimDuration,
     task: TaskId,
     device_id: usize,
     fault_rng: &mut SimRng,
 ) -> Result<Occupancy, EngineError> {
-    let Some(faults) = config.faults.as_ref() else {
+    let ckpt_inflate = |work: SimDuration| match view.checkpointing {
+        Some(ck) => {
+            let snapshots = (work.as_secs() / ck.interval.as_secs()).floor();
+            work + ck.overhead * snapshots
+        }
+        None => work,
+    };
+    let work = ckpt_inflate(actual_work);
+    let Some(faults) = view.faults.as_ref() else {
         // No faults: only checkpoint overhead (if configured) applies.
-        let total = match config.checkpointing {
-            Some(ck) => {
-                let snapshots = (actual_work.as_secs() / ck.interval.as_secs()).floor();
-                actual_work + ck.overhead * snapshots
-            }
-            None => actual_work,
-        };
         return Ok(Occupancy {
-            total,
+            total: work,
+            work,
             failures: 0,
             retries: 0,
         });
@@ -77,21 +95,14 @@ pub(crate) fn occupancy_on(
     let mut failures = 0u32;
     let mut retries = 0u32;
     loop {
-        let (effective, unit) = match config.checkpointing {
-            Some(ck) => {
-                let snapshots = (remaining.as_secs() / ck.interval.as_secs()).floor();
-                (
-                    remaining + ck.overhead * snapshots,
-                    Some((ck.interval, ck.overhead)),
-                )
-            }
-            None => (remaining, None),
-        };
+        let effective = ckpt_inflate(remaining);
+        let unit = view.checkpointing.map(|ck| (ck.interval, ck.overhead));
         let fault_at = SimDuration::from_secs(fault_rng.exponential(faults.mtbf_for(device_id)));
         if fault_at >= effective {
             total += effective;
             return Ok(Occupancy {
                 total,
+                work,
                 failures,
                 retries,
             });
@@ -113,7 +124,12 @@ pub(crate) fn occupancy_on(
             None => SimDuration::ZERO,
         };
         remaining = remaining - preserved;
-        total += fault_at + faults.restart_overhead;
+        let backoff = view.backoff.map_or(0.0, |(b, f, c)| {
+            crate::config::backoff_delay_secs(b, f, c, retries)
+        });
+        // The attempt's time, the restart overhead and any backoff all
+        // occupy the device timeline: a faulty run can only be slower.
+        total += fault_at + faults.restart_overhead + SimDuration::from_secs(backoff);
     }
 }
 
@@ -259,9 +275,8 @@ impl Engine {
         let mut finished = vec![false; n];
         let mut realized: Vec<Option<Placement>> = vec![None; n];
 
+        let view = self.config.fault_view()?;
         let base_rng = SimRng::seed_from(self.config.seed);
-        let mut noise_rng = base_rng.fork(1);
-        let mut fault_rng = base_rng.fork(2);
 
         let mut links = LinkState::new(platform);
         let mut stats = TransferStats::default();
@@ -292,7 +307,8 @@ impl Engine {
                             let modeled =
                                 device.execution_time(wf.task(task)?.cost(), level[task.0])?;
                             let noise = if self.config.noise_cv > 0.0 {
-                                noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
+                                let mut rng = base_rng.fork(NOISE_STREAM_BASE + task.0 as u64);
+                                rng.normal(1.0, self.config.noise_cv).max(0.05)
                             } else {
                                 1.0
                             };
@@ -304,8 +320,8 @@ impl Engine {
                                 .copied()
                                 .unwrap_or(1.0);
                             let actual = modeled * noise * slow;
-                            let occ =
-                                occupancy_on(&self.config, actual, task, dev.0, &mut fault_rng)?;
+                            let mut fault_rng = base_rng.fork(FAULT_STREAM_BASE + task.0 as u64);
+                            let occ = occupancy_on(&view, actual, task, dev.0, &mut fault_rng)?;
                             failures += occ.failures;
                             retries += occ.retries;
                             let finish = now + occ.total;

@@ -15,7 +15,7 @@ use helios_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use helios_workflow::{analysis, TaskId, Workflow};
 
 use crate::config::EngineConfig;
-use crate::engine::{occupancy_on, LinkState};
+use crate::engine::{occupancy_on, LinkState, FAULT_STREAM_BASE, NOISE_STREAM_BASE};
 use crate::error::EngineError;
 use crate::report::TransferStats;
 
@@ -152,9 +152,8 @@ impl EnsembleRunner {
         let mut realized: Vec<Option<Placement>> = vec![None; n];
         let mut done_work = vec![0.0f64; members.len()];
 
+        let view = self.config.fault_view()?;
         let base_rng = SimRng::seed_from(self.config.seed);
-        let mut noise_rng = base_rng.fork(1);
-        let mut fault_rng = base_rng.fork(2);
         let mut links = LinkState::new(platform);
         let mut stats = TransferStats::default();
         let mut completed = 0usize;
@@ -248,8 +247,11 @@ impl EnsembleRunner {
                         }
                         let device = platform.device(dev)?;
                         let modeled = device.execution_time(cost, device.nominal_level())?;
+                        // Streams are keyed by the *global* task index,
+                        // so each member task keeps its own draw.
                         let noise = if self.config.noise_cv > 0.0 {
-                            noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
+                            let mut rng = base_rng.fork(NOISE_STREAM_BASE + g as u64);
+                            rng.normal(1.0, self.config.noise_cv).max(0.05)
                         } else {
                             1.0
                         };
@@ -260,8 +262,9 @@ impl EnsembleRunner {
                             .and_then(|v| v.get(dev.0))
                             .copied()
                             .unwrap_or(1.0);
+                        let mut fault_rng = base_rng.fork(FAULT_STREAM_BASE + g as u64);
                         let occ = occupancy_on(
-                            &self.config,
+                            &view,
                             modeled * noise * slow,
                             task,
                             dev.0,

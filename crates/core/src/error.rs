@@ -22,6 +22,16 @@ pub enum EngineError {
         /// Retries attempted.
         attempts: u32,
     },
+    /// Every device failed permanently before the workflow completed, or
+    /// the remaining tasks have no surviving feasible device.
+    AllDevicesLost {
+        /// Simulation time of the final permanent failure, seconds.
+        at_secs: f64,
+        /// Tasks completed before the platform was lost.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
     /// The engine's event loop drained without completing every task —
     /// an internal invariant violation.
     Stalled {
@@ -46,6 +56,16 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "task {task} failed permanently after {attempts} attempts"
+                )
+            }
+            EngineError::AllDevicesLost {
+                at_secs,
+                completed,
+                total,
+            } => {
+                write!(
+                    f,
+                    "all devices failed permanently at {at_secs:.3}s with {completed}/{total} tasks complete"
                 )
             }
             EngineError::Stalled { completed, total } => {
@@ -105,5 +125,12 @@ mod tests {
             total: 5,
         };
         assert!(e.to_string().contains("1/5"));
+        let e = EngineError::AllDevicesLost {
+            at_secs: 2.5,
+            completed: 3,
+            total: 9,
+        };
+        assert!(e.to_string().contains("2.500s"), "{e}");
+        assert!(e.to_string().contains("3/9"), "{e}");
     }
 }

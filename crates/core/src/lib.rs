@@ -12,6 +12,12 @@
 //!   queue on shared links instead of overlapping freely),
 //! * **faults** — devices fail as Poisson processes; failed tasks retry,
 //!   either from scratch or from their last checkpoint,
+//! * **failure domains and recovery policies** — the [`resilience`]
+//!   subsystem models transient, degraded and permanent device failures
+//!   (exponential or Weibull inter-failure times) and recovers via
+//!   retry-backoff, k-replication, checkpoint/restart or re-planning on
+//!   the surviving platform, reporting completion, wasted work and
+//!   recovery overhead,
 //! * **DVFS** — placements execute at their planned DVFS level; online
 //!   mode consults a [`DvfsGovernor`](helios_energy::DvfsGovernor),
 //! * **online rescheduling** — instead of following a static plan, the
@@ -69,10 +75,12 @@ mod error;
 pub mod executor;
 pub mod online;
 mod report;
+pub mod resilience;
 
 pub use campaign::{
     cell_rng, merge_shards, CampaignEngine, CampaignSpec, CellResult, DvfsKnob, FaultKnob,
-    SeedRange, ShardReport, ShardSpec, SummaryRow, SweepCell, SweepDriver, SweepReport,
+    PolicyKnob, ResilienceKnob, ResumeOutcome, SeedRange, ShardReport, ShardSpec, SummaryRow,
+    SweepCell, SweepDriver, SweepReport,
 };
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
 pub use engine::Engine;
@@ -80,3 +88,6 @@ pub use ensemble::{EnsembleMember, EnsemblePolicy, EnsembleReport, EnsembleRunne
 pub use error::EngineError;
 pub use online::{OnlinePolicy, OnlineRunner};
 pub use report::{ExecutionReport, TransferStats};
+pub use resilience::{
+    FailureModel, RecoveryPolicy, ResilienceConfig, ResilienceMetrics, ResilientRunner,
+};

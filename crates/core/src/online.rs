@@ -13,7 +13,7 @@ use helios_sim::{EventQueue, SimRng, SimTime};
 use helios_workflow::{analysis, TaskId, Workflow};
 
 use crate::config::EngineConfig;
-use crate::engine::{occupancy_on, LinkState};
+use crate::engine::{occupancy_on, LinkState, FAULT_STREAM_BASE, NOISE_STREAM_BASE};
 use crate::error::EngineError;
 use crate::report::{ExecutionReport, TransferStats};
 
@@ -121,9 +121,8 @@ impl OnlineRunner {
         let mut ready: Vec<TaskId> = (0..n).filter(|&i| preds_left[i] == 0).map(TaskId).collect();
         let mut device_idle = vec![true; platform.num_devices()];
 
+        let view = self.config.fault_view()?;
         let base_rng = SimRng::seed_from(self.config.seed);
-        let mut noise_rng = base_rng.fork(1);
-        let mut fault_rng = base_rng.fork(2);
         let mut links = LinkState::new(platform);
         let mut stats = TransferStats::default();
         let mut trace = self.config.tracing.then(helios_sim::trace::Trace::new);
@@ -142,6 +141,9 @@ impl OnlineRunner {
         // routes around it.
         let mut calibration = vec![1.0f64; platform.num_devices()];
         let mut believed_dur = vec![0.0f64; n];
+        // Fault-free device time per task, for calibration: retry stalls
+        // say nothing about how fast the device executes work.
+        let mut work_dur = vec![0.0f64; n];
         const CALIBRATION_EWMA: f64 = 0.5;
 
         // Predicted completion of `task` on `device`, using believed
@@ -271,12 +273,14 @@ impl OnlineRunner {
                             .copied()
                             .unwrap_or(1.0);
                         let noise = if self.config.noise_cv > 0.0 {
-                            noise_rng.normal(1.0, self.config.noise_cv).max(0.05)
+                            let mut rng = base_rng.fork(NOISE_STREAM_BASE + task.0 as u64);
+                            rng.normal(1.0, self.config.noise_cv).max(0.05)
                         } else {
                             1.0
                         };
+                        let mut fault_rng = base_rng.fork(FAULT_STREAM_BASE + task.0 as u64);
                         let occ = occupancy_on(
-                            &self.config,
+                            &view,
                             modeled * noise * slow,
                             task,
                             dev.0,
@@ -287,6 +291,7 @@ impl OnlineRunner {
                         let finish = start + occ.total;
                         device_free_pred[dev.0] = start + believed_exec * calibration[dev.0];
                         believed_dur[task.0] = believed_exec.as_secs();
+                        work_dur[task.0] = occ.work.as_secs();
                         realized[task.0] = Some(Placement {
                             task,
                             device: dev,
@@ -313,10 +318,10 @@ impl OnlineRunner {
             let placement = realized[task.0].expect("placed before finishing");
             let dev = placement.device;
             device_idle[dev.0] = true;
-            // Learn from the observation.
-            if believed_dur[task.0] > 0.0 {
-                let observed = placement.duration().as_secs();
-                let ratio = observed / believed_dur[task.0];
+            // Learn from the observation (fault-free portion only, so
+            // retry stalls don't poison the model of device speed).
+            if believed_dur[task.0] > 0.0 && work_dur[task.0] > 0.0 {
+                let ratio = work_dur[task.0] / believed_dur[task.0];
                 calibration[dev.0] =
                     (1.0 - CALIBRATION_EWMA) * calibration[dev.0] + CALIBRATION_EWMA * ratio;
             }

@@ -9,6 +9,8 @@ use helios_sim::trace::Trace;
 use helios_sim::SimDuration;
 use helios_workflow::Workflow;
 
+use crate::resilience::ResilienceMetrics;
+
 /// Aggregate data-movement statistics for one run.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct TransferStats {
@@ -32,6 +34,8 @@ pub struct ExecutionReport {
     failures: u32,
     retries: u32,
     trace: Option<Trace>,
+    #[serde(default)]
+    resilience: Option<ResilienceMetrics>,
 }
 
 impl ExecutionReport {
@@ -50,7 +54,22 @@ impl ExecutionReport {
             failures,
             retries,
             trace,
+            resilience: None,
         }
+    }
+
+    /// Attaches resilience metrics (set by the
+    /// [`ResilientRunner`](crate::ResilientRunner)).
+    pub(crate) fn with_resilience(mut self, metrics: ResilienceMetrics) -> ExecutionReport {
+        self.resilience = Some(metrics);
+        self
+    }
+
+    /// Resilience metrics, when the run was executed by the
+    /// [`ResilientRunner`](crate::ResilientRunner).
+    #[must_use]
+    pub fn resilience(&self) -> Option<&ResilienceMetrics> {
+        self.resilience.as_ref()
     }
 
     /// The realized schedule: actual start/finish times as executed.

@@ -1,0 +1,505 @@
+//! Failure-domain model and pluggable recovery policies.
+//!
+//! Long-running scientific workflows on heterogeneous platforms live or
+//! die by how they absorb failures. This module models the *failure
+//! domain* — per-device failure processes producing timed transient,
+//! degraded and permanent failures (built on
+//! [`helios_sim::failure`]) — and the *recovery domain* — what the
+//! runtime does about them:
+//!
+//! * [`RecoveryPolicy::RetryBackoff`] — re-run the aborted attempt after
+//!   a capped exponential backoff (the flat retry of
+//!   [`FaultConfig`](crate::FaultConfig) is the `base_secs = 0` special
+//!   case),
+//! * [`RecoveryPolicy::ReplicateK`] — run `k` copies of every task on
+//!   distinct devices; the first finisher wins and the rest are
+//!   cancelled,
+//! * [`RecoveryPolicy::CheckpointRestart`] — snapshot progress
+//!   periodically and restart failed attempts from the last snapshot,
+//! * [`RecoveryPolicy::Reschedule`] — on a permanent device loss,
+//!   re-invoke a scheduler on the surviving platform for the unfinished
+//!   subgraph.
+//!
+//! The [`ResilientRunner`] executes a static plan under a
+//! [`ResilienceConfig`], runs the identical configuration with failure
+//! injection disabled to obtain the fault-free baseline, and attaches
+//! [`ResilienceMetrics`] (wasted work, recovery overhead, makespan
+//! degradation) to the report. Determinism is preserved: every device's
+//! failure trace and every task's noise multiplier come from dedicated
+//! forked RNG streams, so identical seeds give byte-identical reports no
+//! matter how the surrounding campaign is sharded or threaded.
+
+mod runner;
+
+pub use runner::ResilientRunner;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EngineError;
+use helios_sim::failure::{FailureDistribution, FailureProcess};
+
+/// Per-device failure process parameters plus the repair model.
+///
+/// All devices share one process description; the *realizations* differ
+/// because each device samples its own forked RNG stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureModel {
+    /// Mean time to failure (exponential) or characteristic life
+    /// (Weibull), in seconds.
+    pub mttf_secs: f64,
+    /// Weibull shape parameter; `None` selects the exponential
+    /// distribution.
+    pub weibull_shape: Option<f64>,
+    /// Probability that a failure degrades the device instead of only
+    /// aborting the running attempt.
+    pub degraded_prob: f64,
+    /// Probability that a failure removes the device permanently.
+    pub permanent_prob: f64,
+    /// Execution-time multiplier while degraded (≥ 1, so degradation can
+    /// only slow work down).
+    pub degraded_slowdown: f64,
+    /// Time until a degraded device is repaired to full speed, seconds.
+    pub degraded_repair_secs: f64,
+    /// Fixed overhead paid before every retry attempt, seconds.
+    pub restart_overhead_secs: f64,
+}
+
+impl FailureModel {
+    /// A transient-only exponential failure model — the classical
+    /// Poisson fault process.
+    #[must_use]
+    pub fn exponential(mttf_secs: f64) -> FailureModel {
+        FailureModel {
+            mttf_secs,
+            weibull_shape: None,
+            degraded_prob: 0.0,
+            permanent_prob: 0.0,
+            degraded_slowdown: 2.0,
+            degraded_repair_secs: 1.0,
+            restart_overhead_secs: 0.0,
+        }
+    }
+
+    /// A transient-only Weibull failure model with the given
+    /// characteristic life and shape.
+    #[must_use]
+    pub fn weibull(scale_secs: f64, shape: f64) -> FailureModel {
+        FailureModel {
+            weibull_shape: Some(shape),
+            ..FailureModel::exponential(scale_secs)
+        }
+    }
+
+    /// The inter-failure distribution this model describes.
+    #[must_use]
+    pub fn distribution(&self) -> FailureDistribution {
+        match self.weibull_shape {
+            None => FailureDistribution::Exponential {
+                mttf_secs: self.mttf_secs,
+            },
+            Some(shape) => FailureDistribution::Weibull {
+                scale_secs: self.mttf_secs,
+                shape,
+            },
+        }
+    }
+
+    /// Builds the validated [`FailureProcess`] for one device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] describing the offending
+    /// parameter.
+    pub fn process(&self) -> Result<FailureProcess, EngineError> {
+        FailureProcess::new(self.distribution(), self.degraded_prob, self.permanent_prob)
+            .map_err(|e| EngineError::Config(format!("failure model: {e}")))
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        self.process()?;
+        if !(self.degraded_slowdown.is_finite() && self.degraded_slowdown >= 1.0) {
+            return Err(EngineError::Config(format!(
+                "degraded_slowdown must be >= 1 (degradation cannot speed a device up), got {}",
+                self.degraded_slowdown
+            )));
+        }
+        for (name, v) in [
+            ("degraded_repair_secs", self.degraded_repair_secs),
+            ("restart_overhead_secs", self.restart_overhead_secs),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(EngineError::Config(format!(
+                    "{name} must be non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the runtime does when an attempt or a device fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Re-run the aborted attempt after a capped exponential backoff:
+    /// retry `r` (1-based) waits `min(base · factor^(r-1), cap)` seconds
+    /// on top of the model's restart overhead.
+    RetryBackoff {
+        /// Backoff before the first retry, seconds (0 = flat retry).
+        base_secs: f64,
+        /// Multiplicative growth per retry (≥ 1).
+        factor: f64,
+        /// Upper bound on any single backoff, seconds.
+        cap_secs: f64,
+        /// Retry budget per task; exceeding it aborts the run.
+        max_retries: u32,
+    },
+    /// Run `replicas` copies of every task on distinct devices; the
+    /// first finisher wins and the remaining copies are cancelled.
+    ReplicateK {
+        /// Total copies per task, including the primary (≥ 2). Clamped
+        /// to the number of feasible devices.
+        replicas: usize,
+        /// Per-replica retry budget for transient failures.
+        max_retries: u32,
+    },
+    /// Snapshot progress every `interval_secs` of execution at
+    /// `overhead_secs` per snapshot; a retry resumes from the last
+    /// snapshot instead of from scratch. Snapshots are device-local, so
+    /// a permanent device loss still restarts the task from zero
+    /// elsewhere.
+    CheckpointRestart {
+        /// Execution time between snapshots, seconds.
+        interval_secs: f64,
+        /// Cost of writing one snapshot, seconds.
+        overhead_secs: f64,
+        /// Retry budget per task.
+        max_retries: u32,
+    },
+    /// On a permanent device loss, re-plan the whole workflow on the
+    /// surviving platform with the named scheduler; unfinished tasks
+    /// adopt the new placements (running tasks keep running where they
+    /// are). Transient failures retry in place.
+    Reschedule {
+        /// Scheduler name resolved via
+        /// [`helios_sched::scheduler_by_name`].
+        scheduler: String,
+        /// Re-planning overhead charged before reassigned work may
+        /// start, seconds.
+        overhead_secs: f64,
+        /// Retry budget per task for transient failures.
+        max_retries: u32,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Stable kebab-case policy name used in specs, reports and error
+    /// messages.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::RetryBackoff { .. } => "retry-backoff",
+            RecoveryPolicy::ReplicateK { .. } => "replicate-k",
+            RecoveryPolicy::CheckpointRestart { .. } => "checkpoint-restart",
+            RecoveryPolicy::Reschedule { .. } => "reschedule",
+        }
+    }
+
+    /// Every legal policy name, for error messages.
+    #[must_use]
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "retry-backoff",
+            "replicate-k",
+            "checkpoint-restart",
+            "reschedule",
+        ]
+    }
+
+    /// The per-task (per-replica for [`RecoveryPolicy::ReplicateK`])
+    /// transient retry budget.
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        match *self {
+            RecoveryPolicy::RetryBackoff { max_retries, .. }
+            | RecoveryPolicy::ReplicateK { max_retries, .. }
+            | RecoveryPolicy::CheckpointRestart { max_retries, .. }
+            | RecoveryPolicy::Reschedule { max_retries, .. } => max_retries,
+        }
+    }
+
+    /// Backoff delay before retry `retry` (1-based), seconds.
+    #[must_use]
+    pub fn backoff_delay_secs(&self, retry: u32) -> f64 {
+        match *self {
+            RecoveryPolicy::RetryBackoff {
+                base_secs,
+                factor,
+                cap_secs,
+                ..
+            } => crate::config::backoff_delay_secs(base_secs, factor, cap_secs, retry),
+            _ => 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        let fail = |msg: String| {
+            Err(EngineError::Config(format!(
+                "policy {:?}: {msg}",
+                self.name()
+            )))
+        };
+        match *self {
+            RecoveryPolicy::RetryBackoff {
+                base_secs,
+                factor,
+                cap_secs,
+                ..
+            } => {
+                if !(base_secs.is_finite() && base_secs >= 0.0) {
+                    return fail(format!("base_secs must be non-negative, got {base_secs}"));
+                }
+                if !(factor.is_finite() && factor >= 1.0) {
+                    return fail(format!("factor must be >= 1, got {factor}"));
+                }
+                if !(cap_secs.is_finite() && cap_secs >= base_secs) {
+                    return fail(format!(
+                        "cap_secs must be finite and >= base_secs, got {cap_secs}"
+                    ));
+                }
+            }
+            RecoveryPolicy::ReplicateK { replicas, .. } => {
+                if replicas < 2 {
+                    return fail(format!(
+                        "replicas must be >= 2 (1 copy is no replication), got {replicas}"
+                    ));
+                }
+            }
+            RecoveryPolicy::CheckpointRestart {
+                interval_secs,
+                overhead_secs,
+                ..
+            } => {
+                if !(interval_secs.is_finite() && interval_secs > 0.0) {
+                    return fail(format!(
+                        "interval_secs must be positive, got {interval_secs}"
+                    ));
+                }
+                if !(overhead_secs.is_finite() && overhead_secs >= 0.0) {
+                    return fail(format!(
+                        "overhead_secs must be non-negative, got {overhead_secs}"
+                    ));
+                }
+            }
+            RecoveryPolicy::Reschedule {
+                ref scheduler,
+                overhead_secs,
+                ..
+            } => {
+                if helios_sched::scheduler_by_name(scheduler).is_none() {
+                    let legal: Vec<String> = helios_sched::all_schedulers()
+                        .iter()
+                        .map(|s| s.name().to_owned())
+                        .collect();
+                    return fail(format!(
+                        "unknown scheduler {scheduler:?}; legal values: {}",
+                        legal.join(", ")
+                    ));
+                }
+                if !(overhead_secs.is_finite() && overhead_secs >= 0.0) {
+                    return fail(format!(
+                        "overhead_secs must be non-negative, got {overhead_secs}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Complete resilience configuration: one failure model plus one
+/// recovery policy, attached to
+/// [`EngineConfig::resilience`](crate::EngineConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// The per-device failure process and repair parameters.
+    pub failures: FailureModel,
+    /// What the runtime does about failures.
+    pub policy: RecoveryPolicy,
+}
+
+impl ResilienceConfig {
+    /// Creates a resilience configuration.
+    #[must_use]
+    pub fn new(failures: FailureModel, policy: RecoveryPolicy) -> ResilienceConfig {
+        ResilienceConfig { failures, policy }
+    }
+
+    /// Validates every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        self.failures.validate()?;
+        self.policy.validate()
+    }
+}
+
+/// Resilience outcome metrics attached to an
+/// [`ExecutionReport`](crate::ExecutionReport) by the
+/// [`ResilientRunner`].
+///
+/// The fault-free baseline is the *same* configuration (same policy,
+/// same seed, same plan) with failure injection disabled — so
+/// replication and checkpoint overheads are part of the baseline and
+/// `makespan_degradation` isolates what the failures themselves cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceMetrics {
+    /// The recovery policy name ("retry-backoff", "replicate-k", …).
+    pub policy: String,
+    /// Makespan of the fault-free run of the same configuration,
+    /// seconds.
+    pub fault_free_makespan_secs: f64,
+    /// `makespan / fault_free_makespan - 1`: the fractional makespan
+    /// cost of the injected failures.
+    pub makespan_degradation: f64,
+    /// Executed device-seconds that did not contribute to completion:
+    /// aborted attempt progress (minus checkpoint-preserved work) plus
+    /// cancelled-replica progress.
+    pub wasted_work_secs: f64,
+    /// Restart overheads, backoff delays and re-planning overheads,
+    /// seconds.
+    pub recovery_overhead_secs: f64,
+    /// Transient failures that aborted a running attempt.
+    pub transient_failures: u32,
+    /// Degradation events (device slowed until repair).
+    pub degraded_failures: u32,
+    /// Permanent device losses.
+    pub permanent_failures: u32,
+    /// Retry attempts started across all tasks and replicas.
+    pub retries: u32,
+    /// Task copies whose first attempt actually started, primaries
+    /// included (so a clean ReplicateK run satisfies
+    /// `launched = tasks + cancelled`).
+    pub replicas_launched: u32,
+    /// Launched copies cancelled because a sibling finished first.
+    pub replicas_cancelled: u32,
+    /// Full re-planning events (Reschedule policy).
+    pub reschedules: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_model_validation() {
+        assert!(FailureModel::exponential(10.0).validate().is_ok());
+        assert!(FailureModel::exponential(0.0).validate().is_err());
+        assert!(FailureModel::weibull(10.0, 1.5).validate().is_ok());
+        assert!(FailureModel::weibull(10.0, 0.0).validate().is_err());
+        let mut m = FailureModel::exponential(10.0);
+        m.degraded_prob = 0.6;
+        m.permanent_prob = 0.6;
+        assert!(m.validate().is_err(), "probabilities must sum <= 1");
+        let mut m = FailureModel::exponential(10.0);
+        m.degraded_slowdown = 0.5;
+        assert!(m.validate().is_err(), "degradation cannot speed things up");
+        let mut m = FailureModel::exponential(10.0);
+        m.restart_overhead_secs = -1.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn policy_validation_and_backoff_math() {
+        let p = RecoveryPolicy::RetryBackoff {
+            base_secs: 0.5,
+            factor: 2.0,
+            cap_secs: 3.0,
+            max_retries: 5,
+        };
+        assert!(p.validate().is_ok());
+        assert_eq!(p.backoff_delay_secs(1), 0.5);
+        assert_eq!(p.backoff_delay_secs(2), 1.0);
+        assert_eq!(p.backoff_delay_secs(3), 2.0);
+        assert_eq!(p.backoff_delay_secs(4), 3.0, "capped");
+        assert_eq!(p.backoff_delay_secs(9), 3.0, "still capped");
+        assert_eq!(p.max_retries(), 5);
+        assert_eq!(p.name(), "retry-backoff");
+
+        let flat = RecoveryPolicy::RetryBackoff {
+            base_secs: 0.0,
+            factor: 2.0,
+            cap_secs: 0.0,
+            max_retries: 3,
+        };
+        assert!(flat.validate().is_ok(), "flat retry is the base=0 case");
+        assert_eq!(flat.backoff_delay_secs(7), 0.0);
+
+        assert!(RecoveryPolicy::RetryBackoff {
+            base_secs: 1.0,
+            factor: 0.5,
+            cap_secs: 2.0,
+            max_retries: 1
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryPolicy::ReplicateK {
+            replicas: 1,
+            max_retries: 0
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryPolicy::ReplicateK {
+            replicas: 2,
+            max_retries: 0
+        }
+        .validate()
+        .is_ok());
+        assert!(RecoveryPolicy::CheckpointRestart {
+            interval_secs: 0.0,
+            overhead_secs: 0.0,
+            max_retries: 1
+        }
+        .validate()
+        .is_err());
+        let r = RecoveryPolicy::Reschedule {
+            scheduler: "no-such-scheduler".into(),
+            overhead_secs: 0.0,
+            max_retries: 1,
+        };
+        let err = r.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("heft"),
+            "error must name legal schedulers: {err}"
+        );
+        assert!(RecoveryPolicy::Reschedule {
+            scheduler: "heft".into(),
+            overhead_secs: 0.1,
+            max_retries: 1
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn metrics_roundtrip_serde() {
+        let m = ResilienceMetrics {
+            policy: "replicate-k".into(),
+            fault_free_makespan_secs: 10.0,
+            makespan_degradation: 0.25,
+            wasted_work_secs: 3.5,
+            recovery_overhead_secs: 0.5,
+            transient_failures: 4,
+            degraded_failures: 1,
+            permanent_failures: 0,
+            retries: 4,
+            replicas_launched: 12,
+            replicas_cancelled: 9,
+            reschedules: 0,
+        };
+        let v = serde::Serialize::to_value(&m);
+        let back: ResilienceMetrics = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+}

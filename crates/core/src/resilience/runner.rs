@@ -1,0 +1,1264 @@
+//! The resilient plan executor: a discrete-event loop that executes a
+//! static plan while devices fail (transiently, by degradation, or
+//! permanently) and a [`RecoveryPolicy`] repairs the damage.
+//!
+//! # Determinism
+//!
+//! Every stochastic input comes from a dedicated forked stream of the
+//! seed RNG: task `t` draws its noise multiplier from stream
+//! `NOISE_STREAM_BASE + t` and device `d` draws its failure trace from
+//! stream `FAILURE_TRACE_STREAM_BASE + d`. Nothing is sampled inside
+//! the event loop in event order, so identical seeds give byte-identical
+//! reports regardless of how the surrounding campaign is threaded or
+//! sharded.
+//!
+//! # Monotonicity
+//!
+//! A task's noise multiplier is drawn once and *replayed* on every
+//! retry (the noise models input-dependent work, which re-running does
+//! not change). Retries therefore repeat at least the lost work plus
+//! overheads, so a fault-injected run can never finish earlier than the
+//! fault-free run of the same configuration and seed — a property the
+//! test battery pins down.
+
+use std::collections::BTreeMap;
+
+use helios_energy::account;
+use helios_platform::{Availability, DeviceId, DvfsLevel, Platform};
+use helios_sched::{placement_feasible, scheduler_by_name, Placement, Schedule, Scheduler};
+use helios_sim::failure::{FailureKind, FailureProcess};
+use helios_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use helios_workflow::{TaskId, Workflow};
+
+use crate::config::EngineConfig;
+use crate::engine::{LinkState, FAILURE_TRACE_STREAM_BASE, NOISE_STREAM_BASE};
+use crate::error::EngineError;
+use crate::report::{ExecutionReport, TransferStats};
+use crate::resilience::{RecoveryPolicy, ResilienceConfig, ResilienceMetrics};
+
+/// Executes static plans under a failure model and a recovery policy,
+/// attaching [`ResilienceMetrics`] to the report.
+///
+/// The runner executes the configuration twice: once with failure
+/// injection, once without (the *fault-free baseline*, same policy,
+/// same seed, same plan), so the metrics isolate what the failures
+/// themselves cost.
+///
+/// # Examples
+///
+/// ```
+/// use helios_core::{EngineConfig, FailureModel, RecoveryPolicy, ResilienceConfig,
+///                   ResilientRunner};
+/// use helios_platform::presets;
+/// use helios_sched::HeftScheduler;
+/// use helios_workflow::generators::montage;
+///
+/// let platform = presets::hpc_node();
+/// let wf = montage(40, 1).unwrap();
+/// let config = EngineConfig {
+///     seed: 7,
+///     resilience: Some(ResilienceConfig::new(
+///         FailureModel::exponential(0.5),
+///         RecoveryPolicy::RetryBackoff {
+///             base_secs: 0.01,
+///             factor: 2.0,
+///             cap_secs: 0.1,
+///             max_retries: 100,
+///         },
+///     )),
+///     ..Default::default()
+/// };
+/// let report = ResilientRunner::new(config)
+///     .run(&platform, &wf, &HeftScheduler::default())
+///     .unwrap();
+/// let m = report.resilience().unwrap();
+/// assert!(m.makespan_degradation >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientRunner {
+    config: EngineConfig,
+}
+
+impl ResilientRunner {
+    /// Creates a runner; `config.resilience` must be set before
+    /// [`ResilientRunner::run`].
+    #[must_use]
+    pub fn new(config: EngineConfig) -> ResilientRunner {
+        ResilientRunner { config }
+    }
+
+    /// The runner's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Plans with `scheduler`, then executes the plan under failures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and execution errors.
+    pub fn run(
+        &self,
+        platform: &Platform,
+        wf: &Workflow,
+        scheduler: &dyn Scheduler,
+    ) -> Result<ExecutionReport, EngineError> {
+        let plan = scheduler.schedule(wf, platform)?;
+        self.execute_plan(platform, wf, &plan)
+    }
+
+    /// Executes a precomputed plan under the configured failure model
+    /// and recovery policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] when `resilience` is unset or
+    /// invalid (tracing is also unsupported here),
+    /// [`EngineError::RetriesExhausted`] when a task runs out of both
+    /// retries and live replicas, and [`EngineError::AllDevicesLost`]
+    /// when permanent failures leave no feasible device.
+    pub fn execute_plan(
+        &self,
+        platform: &Platform,
+        wf: &Workflow,
+        plan: &Schedule,
+    ) -> Result<ExecutionReport, EngineError> {
+        self.config.validate()?;
+        let res = self.config.resilience.as_ref().ok_or_else(|| {
+            EngineError::Config("ResilientRunner requires EngineConfig::resilience".into())
+        })?;
+        res.validate()?;
+        if self.config.tracing {
+            return Err(EngineError::Config(
+                "tracing is not supported by the ResilientRunner".into(),
+            ));
+        }
+
+        let faulty = Sim::execute(&self.config, res, platform, wf, plan, true)?;
+        let baseline = Sim::execute(&self.config, res, platform, wf, plan, false)?;
+
+        let mk = faulty.schedule.makespan().as_secs();
+        let base_mk = baseline.schedule.makespan().as_secs();
+        let c = &faulty.counters;
+        let metrics = ResilienceMetrics {
+            policy: res.policy.name().to_owned(),
+            fault_free_makespan_secs: base_mk,
+            makespan_degradation: if base_mk > 0.0 {
+                mk / base_mk - 1.0
+            } else {
+                0.0
+            },
+            wasted_work_secs: c.wasted,
+            recovery_overhead_secs: c.recovery,
+            transient_failures: c.transient,
+            degraded_failures: c.degraded,
+            permanent_failures: c.permanent,
+            retries: c.retries,
+            replicas_launched: c.launched,
+            replicas_cancelled: c.cancelled,
+            reschedules: c.reschedules,
+        };
+        // Energy is accounted on the winning placements only; the device
+        // time burnt by cancelled replicas shows up in wasted_work_secs,
+        // not in joules (a documented approximation).
+        let energy = account(&faulty.schedule, wf, platform, false)?;
+        let failures = c.transient + c.degraded + c.permanent;
+        Ok(ExecutionReport::new(
+            faulty.schedule,
+            energy,
+            faulty.stats,
+            failures,
+            c.retries,
+            None,
+        )
+        .with_resilience(metrics))
+    }
+}
+
+/// Lifecycle of one replica (one task copy bound to one device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RState {
+    /// Waiting in its device queue.
+    Queued,
+    /// Attempt in flight (device held).
+    Running,
+    /// Aborted; waiting out restart overhead + backoff (device held).
+    WaitingRestart,
+    /// Finished first among its siblings.
+    Done,
+    /// A sibling finished first, or the task completed elsewhere.
+    Cancelled,
+    /// Retry budget exhausted.
+    Failed,
+    /// Its device failed permanently.
+    Lost,
+}
+
+/// Progress bookkeeping for the replica's current attempt. Progress is
+/// measured in *effective* seconds (device at full speed); degradation
+/// stretches wall-clock without adding effective progress.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    /// High-water mark of progress accounting; starts at the attempt's
+    /// execution start.
+    last_update: SimTime,
+    done_eff: SimDuration,
+    total_eff: SimDuration,
+    slowdown: f64,
+}
+
+impl Default for Attempt {
+    fn default() -> Attempt {
+        Attempt {
+            last_update: SimTime::ZERO,
+            done_eff: SimDuration::ZERO,
+            total_eff: SimDuration::ZERO,
+            slowdown: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Replica {
+    task: TaskId,
+    device: DeviceId,
+    level: DvfsLevel,
+    /// Queue ordering key: (plan start, task id, replica ordinal).
+    /// Plan starts respect precedence, so per-device queues sorted by
+    /// this key can never deadlock across devices.
+    sort_key: (SimTime, usize, usize),
+    state: RState,
+    /// Stale-event guard: bumped on every state transition, checked by
+    /// Finish/Resume handlers.
+    gen: u32,
+    retries: u32,
+    launched: bool,
+    /// When the device first picked this replica up (realized start).
+    occupied_from: SimTime,
+    /// Base work left, effective seconds (excludes checkpoint writes).
+    remaining_work: SimDuration,
+    /// Earliest instant an attempt may begin (restart/replan overhead).
+    floor: SimTime,
+    attempt: Attempt,
+}
+
+#[derive(Debug)]
+struct Dev {
+    /// Replica indices in `sort_key` order; `queue[pos]` is the entry
+    /// being run (when `running` is set) or considered next.
+    queue: Vec<usize>,
+    pos: usize,
+    running: Option<usize>,
+    /// Stale-repair guard: a newer degradation supersedes older repairs.
+    repair_seq: u32,
+    rng: SimRng,
+    /// Failure mode pre-drawn for the next Fault event on this device.
+    pending_kind: Option<FailureKind>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Finish { replica: usize, gen: u32 },
+    Resume { replica: usize, gen: u32 },
+    Fault { device: usize },
+    Repair { device: usize, seq: u32 },
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    transient: u32,
+    degraded: u32,
+    permanent: u32,
+    retries: u32,
+    launched: u32,
+    cancelled: u32,
+    reschedules: u32,
+    /// Effective device-seconds that contributed nothing.
+    wasted: f64,
+    /// Restart overheads + backoff delays + replan overheads, seconds.
+    recovery: f64,
+}
+
+struct Outcome {
+    schedule: Schedule,
+    stats: TransferStats,
+    counters: Counters,
+}
+
+struct Sim<'a> {
+    cfg: &'a EngineConfig,
+    res: &'a ResilienceConfig,
+    platform: &'a Platform,
+    wf: &'a Workflow,
+    noise: Vec<f64>,
+    replicas: Vec<Replica>,
+    task_replicas: Vec<Vec<usize>>,
+    devs: Vec<Dev>,
+    avail: Availability,
+    /// Unfinished incoming edges per task.
+    preds_left: Vec<usize>,
+    finished_at: Vec<Option<SimTime>>,
+    winner_dev: Vec<Option<DeviceId>>,
+    realized: Vec<Option<Placement>>,
+    /// Original plan start per task, reused to key reassigned replicas.
+    plan_key: Vec<SimTime>,
+    completed: usize,
+    counters: Counters,
+    links: LinkState,
+    stats: TransferStats,
+    /// (producer, destination) -> availability instant, when caching.
+    delivered: BTreeMap<(TaskId, DeviceId), SimTime>,
+    queue: EventQueue<Ev>,
+    process: FailureProcess,
+}
+
+impl<'a> Sim<'a> {
+    fn execute(
+        cfg: &'a EngineConfig,
+        res: &'a ResilienceConfig,
+        platform: &'a Platform,
+        wf: &'a Workflow,
+        plan: &Schedule,
+        inject: bool,
+    ) -> Result<Outcome, EngineError> {
+        let n = wf.num_tasks();
+        let nd = platform.num_devices();
+        let base_rng = SimRng::seed_from(cfg.seed);
+
+        // Task-intrinsic noise: drawn once per task from its own stream
+        // and replayed on every retry and replica.
+        let noise: Vec<f64> = (0..n)
+            .map(|t| {
+                if cfg.noise_cv > 0.0 {
+                    let mut r = base_rng.fork(NOISE_STREAM_BASE + t as u64);
+                    r.normal(1.0, cfg.noise_cv).max(0.05)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        let mut plan_dev = vec![DeviceId(0); n];
+        let mut plan_level = vec![DvfsLevel(0); n];
+        let mut plan_key = vec![SimTime::ZERO; n];
+        for p in plan.placements() {
+            plan_dev[p.task.0] = p.device;
+            plan_level[p.task.0] = p.level;
+            plan_key[p.task.0] = p.start;
+        }
+
+        let mut sim = Sim {
+            cfg,
+            res,
+            platform,
+            wf,
+            noise,
+            replicas: Vec::new(),
+            task_replicas: vec![Vec::new(); n],
+            devs: Vec::new(),
+            avail: Availability::new(nd),
+            preds_left: (0..n).map(|t| wf.predecessors(TaskId(t)).len()).collect(),
+            finished_at: vec![None; n],
+            winner_dev: vec![None; n],
+            realized: vec![None; n],
+            plan_key,
+            completed: 0,
+            counters: Counters::default(),
+            links: LinkState::new(platform),
+            stats: TransferStats::default(),
+            delivered: BTreeMap::new(),
+            queue: EventQueue::new(),
+            process: res.failures.process()?,
+        };
+
+        // Build replicas: the planned placement, plus k-1 copies on the
+        // fastest other feasible devices under ReplicateK.
+        let k = match res.policy {
+            RecoveryPolicy::ReplicateK { replicas, .. } => replicas,
+            _ => 1,
+        };
+        for t in 0..n {
+            let task = TaskId(t);
+            let primary = plan_dev[t];
+            let ri = sim.replicas.len();
+            let remaining = sim.work_on(task, primary, plan_level[t])?;
+            sim.replicas.push(Replica {
+                task,
+                device: primary,
+                level: plan_level[t],
+                sort_key: (sim.plan_key[t], t, 0),
+                state: RState::Queued,
+                gen: 0,
+                retries: 0,
+                launched: false,
+                occupied_from: SimTime::ZERO,
+                remaining_work: remaining,
+                floor: SimTime::ZERO,
+                attempt: Attempt::default(),
+            });
+            sim.task_replicas[t].push(ri);
+            if k > 1 {
+                // Fastest feasible alternates first; ties break on id.
+                let mut cands: Vec<(f64, usize)> = Vec::new();
+                for d in 0..nd {
+                    if d == primary.0 {
+                        continue;
+                    }
+                    let device = platform.device(DeviceId(d))?;
+                    if !placement_feasible(device, wf.task(task)?) {
+                        continue;
+                    }
+                    let secs = device
+                        .execution_time(wf.task(task)?.cost(), device.nominal_level())?
+                        .as_secs();
+                    cands.push((secs, d));
+                }
+                cands.sort_by(|a, b| a.partial_cmp(b).expect("finite exec times"));
+                for (ordinal, &(_, d)) in cands.iter().take(k - 1).enumerate() {
+                    let device = DeviceId(d);
+                    let level = platform.device(device)?.nominal_level();
+                    let ri = sim.replicas.len();
+                    let remaining = sim.work_on(task, device, level)?;
+                    sim.replicas.push(Replica {
+                        task,
+                        device,
+                        level,
+                        sort_key: (sim.plan_key[t], t, ordinal + 1),
+                        state: RState::Queued,
+                        gen: 0,
+                        retries: 0,
+                        launched: false,
+                        occupied_from: SimTime::ZERO,
+                        remaining_work: remaining,
+                        floor: SimTime::ZERO,
+                        attempt: Attempt::default(),
+                    });
+                    sim.task_replicas[t].push(ri);
+                }
+            }
+        }
+
+        for d in 0..nd {
+            let mut queue: Vec<usize> = (0..sim.replicas.len())
+                .filter(|&ri| sim.replicas[ri].device.0 == d)
+                .collect();
+            queue.sort_by_key(|&ri| sim.replicas[ri].sort_key);
+            sim.devs.push(Dev {
+                queue,
+                pos: 0,
+                running: None,
+                repair_seq: 0,
+                rng: base_rng.fork(FAILURE_TRACE_STREAM_BASE + d as u64),
+                pending_kind: None,
+            });
+        }
+
+        if inject {
+            for d in 0..nd {
+                sim.schedule_next_fault(d, SimTime::ZERO);
+            }
+        }
+
+        sim.run_loop(n)?;
+
+        let placements: Vec<Placement> = sim
+            .realized
+            .into_iter()
+            .map(|p| p.expect("all tasks completed"))
+            .collect();
+        Ok(Outcome {
+            schedule: Schedule::new(placements)?,
+            stats: sim.stats,
+            counters: sim.counters,
+        })
+    }
+
+    fn run_loop(&mut self, n: usize) -> Result<(), EngineError> {
+        self.dispatch_all(SimTime::ZERO)?;
+        while self.completed < n {
+            let Some((now, ev)) = self.queue.pop() else {
+                return Err(EngineError::Stalled {
+                    completed: self.completed,
+                    total: n,
+                });
+            };
+            match ev {
+                Ev::Finish { replica, gen } => self.handle_finish(replica, gen, now)?,
+                Ev::Resume { replica, gen } => self.handle_resume(replica, gen, now)?,
+                Ev::Fault { device } => self.handle_fault(device, now)?,
+                Ev::Repair { device, seq } => self.handle_repair(device, seq, now),
+            }
+            self.dispatch_all(now)?;
+        }
+        Ok(())
+    }
+
+    /// Modeled execution time of `task` on `device` at `level`, folding
+    /// in the task's noise multiplier and the device's static slowdown.
+    fn work_on(
+        &self,
+        task: TaskId,
+        device: DeviceId,
+        level: DvfsLevel,
+    ) -> Result<SimDuration, EngineError> {
+        let dev = self.platform.device(device)?;
+        let modeled = dev.execution_time(self.wf.task(task)?.cost(), level)?;
+        let slow = self
+            .cfg
+            .device_slowdown
+            .as_ref()
+            .and_then(|v| v.get(device.0))
+            .copied()
+            .unwrap_or(1.0);
+        Ok(modeled * self.noise[task.0] * slow)
+    }
+
+    /// Effective seconds one attempt needs: the base work plus one
+    /// checkpoint write per completed interval under CheckpointRestart.
+    fn attempt_effective(&self, remaining: SimDuration) -> SimDuration {
+        match self.res.policy {
+            RecoveryPolicy::CheckpointRestart {
+                interval_secs,
+                overhead_secs,
+                ..
+            } => {
+                let snapshots = (remaining.as_secs() / interval_secs).floor();
+                remaining + SimDuration::from_secs(overhead_secs * snapshots)
+            }
+            _ => remaining,
+        }
+    }
+
+    /// Base-work seconds preserved by completed checkpoints when an
+    /// attempt with `done_eff` effective progress aborts.
+    fn preserved_work(&self, done_eff: SimDuration) -> SimDuration {
+        match self.res.policy {
+            RecoveryPolicy::CheckpointRestart {
+                interval_secs,
+                overhead_secs,
+                ..
+            } => {
+                let stride = interval_secs + overhead_secs;
+                let units = (done_eff.as_secs() / stride).floor();
+                SimDuration::from_secs(interval_secs * units)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    fn schedule_next_fault(&mut self, d: usize, now: SimTime) {
+        let ev = self.process.next_after(&mut self.devs[d].rng, now);
+        self.devs[d].pending_kind = Some(ev.kind);
+        self.queue.push(ev.at, Ev::Fault { device: d });
+    }
+
+    /// Scans every device (in id order) and starts the next eligible
+    /// queued replica on each idle one.
+    fn dispatch_all(&mut self, now: SimTime) -> Result<(), EngineError> {
+        for d in 0..self.devs.len() {
+            if !self.avail.is_up(DeviceId(d)) {
+                continue;
+            }
+            loop {
+                if self.devs[d].running.is_some() {
+                    break;
+                }
+                let pos = self.devs[d].pos;
+                if pos >= self.devs[d].queue.len() {
+                    break;
+                }
+                let ri = self.devs[d].queue[pos];
+                match self.replicas[ri].state {
+                    RState::Done | RState::Cancelled | RState::Failed | RState::Lost => {
+                        self.devs[d].pos += 1;
+                    }
+                    // A held entry without `running` set cannot happen;
+                    // leave it to the Resume event rather than panic.
+                    RState::Running | RState::WaitingRestart => break,
+                    RState::Queued => {
+                        let t = self.replicas[ri].task;
+                        if self.finished_at[t.0].is_some() {
+                            // Sibling already won; drop silently.
+                            self.replicas[ri].state = RState::Cancelled;
+                            self.replicas[ri].gen += 1;
+                            self.devs[d].pos += 1;
+                            continue;
+                        }
+                        if self.preds_left[t.0] > 0 {
+                            // Head-of-line blocking preserves plan order.
+                            break;
+                        }
+                        self.devs[d].running = Some(ri);
+                        self.start_attempt(ri, now)?;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts (or restarts) the attempt for `ri`: stages its inputs,
+    /// computes the effective duration and schedules the Finish event.
+    fn start_attempt(&mut self, ri: usize, now: SimTime) -> Result<(), EngineError> {
+        let task = self.replicas[ri].task;
+        let device = self.replicas[ri].device;
+        let wf = self.wf;
+        // Input staging, anchored at each producer's finish instant —
+        // equivalent to launching the transfer when the producer
+        // finished. Restarts re-pull uncached inputs (the attempt
+        // re-reads its data), which recounts those transfers.
+        let mut data_at = SimTime::ZERO;
+        for &e in wf.predecessors(task) {
+            let edge = wf.edge(e);
+            let src = edge.src;
+            let src_dev = self.winner_dev[src.0].expect("predecessor finished");
+            let ready = self.finished_at[src.0].expect("predecessor finished");
+            if self.cfg.data_caching {
+                if let Some(&at) = self.delivered.get(&(src, device)) {
+                    data_at = data_at.max(at);
+                    continue;
+                }
+            }
+            let arrival = self.links.transfer_arrival(
+                self.platform,
+                self.cfg.link_contention,
+                edge.bytes,
+                src_dev,
+                device,
+                ready,
+                &mut self.stats,
+                None,
+            )?;
+            if self.cfg.data_caching {
+                self.delivered.insert((src, device), arrival);
+            }
+            data_at = data_at.max(arrival);
+        }
+
+        let total_eff = self.attempt_effective(self.replicas[ri].remaining_work);
+        let slowdown = self.avail.slowdown(device);
+        let r = &mut self.replicas[ri];
+        if !r.launched {
+            r.launched = true;
+            r.occupied_from = now;
+            self.counters.launched += 1;
+        }
+        let exec_start = now.max(data_at).max(r.floor);
+        r.state = RState::Running;
+        r.gen += 1;
+        r.attempt = Attempt {
+            last_update: exec_start,
+            done_eff: SimDuration::ZERO,
+            total_eff,
+            slowdown,
+        };
+        let gen = r.gen;
+        self.queue.push(
+            exec_start + total_eff * slowdown,
+            Ev::Finish { replica: ri, gen },
+        );
+        Ok(())
+    }
+
+    /// Folds wall-clock progress since the last update into effective
+    /// progress at the attempt's current slowdown.
+    fn update_progress(&mut self, ri: usize, now: SimTime) {
+        let a = &mut self.replicas[ri].attempt;
+        let elapsed = now.saturating_since(a.last_update);
+        let gained = elapsed / a.slowdown;
+        a.done_eff = (a.done_eff + gained).min(a.total_eff);
+        a.last_update = a.last_update.max(now);
+    }
+
+    /// Re-schedules the running attempt's Finish under a new slowdown.
+    fn reproject(&mut self, ri: usize, now: SimTime, new_slowdown: f64) {
+        self.update_progress(ri, now);
+        let r = &mut self.replicas[ri];
+        r.attempt.slowdown = new_slowdown;
+        r.gen += 1;
+        let gen = r.gen;
+        let left = r.attempt.total_eff - r.attempt.done_eff;
+        self.queue.push(
+            r.attempt.last_update + left * new_slowdown,
+            Ev::Finish { replica: ri, gen },
+        );
+    }
+
+    /// Whether `task` still has a replica that can finish.
+    fn task_has_live_replica(&self, task: TaskId) -> bool {
+        self.task_replicas[task.0].iter().any(|&ri| {
+            !matches!(
+                self.replicas[ri].state,
+                RState::Failed | RState::Cancelled | RState::Lost
+            )
+        })
+    }
+
+    /// Aborts the running attempt of `ri` after a transient fault:
+    /// either queues a retry (device stays held through the restart
+    /// overhead and backoff) or fails the replica for good.
+    fn abort_attempt(&mut self, ri: usize, now: SimTime) -> Result<(), EngineError> {
+        self.update_progress(ri, now);
+        let done_eff = self.replicas[ri].attempt.done_eff;
+        let preserved = self.preserved_work(done_eff);
+        self.counters.wasted += (done_eff - preserved).as_secs();
+        let max_retries = self.res.policy.max_retries();
+        let r = &mut self.replicas[ri];
+        r.remaining_work = r.remaining_work - preserved;
+        if r.retries >= max_retries {
+            r.state = RState::Failed;
+            r.gen += 1;
+            let task = r.task;
+            let attempts = r.retries + 1;
+            let d = r.device.0;
+            self.devs[d].running = None;
+            self.devs[d].pos += 1;
+            if !self.task_has_live_replica(task) {
+                return Err(EngineError::RetriesExhausted { task, attempts });
+            }
+            return Ok(());
+        }
+        r.retries += 1;
+        let retry = r.retries;
+        r.state = RState::WaitingRestart;
+        r.gen += 1;
+        let gen = r.gen;
+        self.counters.retries += 1;
+        let delay =
+            self.res.failures.restart_overhead_secs + self.res.policy.backoff_delay_secs(retry);
+        self.counters.recovery += delay;
+        self.queue.push(
+            now + SimDuration::from_secs(delay),
+            Ev::Resume { replica: ri, gen },
+        );
+        Ok(())
+    }
+
+    /// Cancels a losing replica exactly once (guarded by its state).
+    fn cancel_replica(&mut self, ri: usize, now: SimTime) {
+        match self.replicas[ri].state {
+            RState::Queued => {
+                // Never launched: nothing executed, nothing to count.
+                self.replicas[ri].state = RState::Cancelled;
+                self.replicas[ri].gen += 1;
+            }
+            RState::Running => {
+                self.update_progress(ri, now);
+                self.counters.wasted += self.replicas[ri].attempt.done_eff.as_secs();
+                self.counters.cancelled += 1;
+                let d = self.replicas[ri].device.0;
+                self.replicas[ri].state = RState::Cancelled;
+                self.replicas[ri].gen += 1;
+                self.devs[d].running = None;
+                self.devs[d].pos += 1;
+            }
+            RState::WaitingRestart => {
+                self.counters.cancelled += 1;
+                let d = self.replicas[ri].device.0;
+                self.replicas[ri].state = RState::Cancelled;
+                self.replicas[ri].gen += 1;
+                self.devs[d].running = None;
+                self.devs[d].pos += 1;
+            }
+            RState::Done | RState::Cancelled | RState::Failed | RState::Lost => {}
+        }
+    }
+
+    fn handle_finish(&mut self, ri: usize, gen: u32, now: SimTime) -> Result<(), EngineError> {
+        if self.replicas[ri].gen != gen || self.replicas[ri].state != RState::Running {
+            return Ok(()); // Stale: aborted, cancelled or reprojected.
+        }
+        let task = self.replicas[ri].task;
+        let device = self.replicas[ri].device;
+        {
+            let r = &mut self.replicas[ri];
+            r.state = RState::Done;
+            r.gen += 1;
+        }
+        self.finished_at[task.0] = Some(now);
+        self.winner_dev[task.0] = Some(device);
+        self.realized[task.0] = Some(Placement {
+            task,
+            device,
+            level: self.replicas[ri].level,
+            start: self.replicas[ri].occupied_from,
+            finish: now,
+        });
+        self.completed += 1;
+        self.devs[device.0].running = None;
+        self.devs[device.0].pos += 1;
+        // First finisher wins: cancel every sibling.
+        let siblings = self.task_replicas[task.0].clone();
+        for si in siblings {
+            if si != ri {
+                self.cancel_replica(si, now);
+            }
+        }
+        let wf = self.wf;
+        for &e in wf.successors(task) {
+            self.preds_left[wf.edge(e).dst.0] -= 1;
+        }
+        Ok(())
+    }
+
+    fn handle_resume(&mut self, ri: usize, gen: u32, now: SimTime) -> Result<(), EngineError> {
+        if self.replicas[ri].gen != gen || self.replicas[ri].state != RState::WaitingRestart {
+            return Ok(()); // Stale: cancelled or lost while waiting.
+        }
+        self.start_attempt(ri, now)
+    }
+
+    fn handle_fault(&mut self, d: usize, now: SimTime) -> Result<(), EngineError> {
+        if !self.avail.is_up(DeviceId(d)) {
+            return Ok(()); // The device already failed permanently.
+        }
+        let kind = self.devs[d]
+            .pending_kind
+            .take()
+            .expect("fault event without a drawn mode");
+        match kind {
+            FailureKind::Transient => {
+                // Idle devices shrug transient faults off.
+                if let Some(ri) = self.devs[d].running {
+                    if self.replicas[ri].state == RState::Running {
+                        self.counters.transient += 1;
+                        self.abort_attempt(ri, now)?;
+                    }
+                }
+                self.schedule_next_fault(d, now);
+            }
+            FailureKind::Degraded => {
+                self.counters.degraded += 1;
+                let factor = self.res.failures.degraded_slowdown;
+                self.avail.set_degraded(DeviceId(d), factor);
+                if let Some(ri) = self.devs[d].running {
+                    if self.replicas[ri].state == RState::Running {
+                        self.reproject(ri, now, factor);
+                    }
+                }
+                self.devs[d].repair_seq += 1;
+                let seq = self.devs[d].repair_seq;
+                self.queue.push(
+                    now + SimDuration::from_secs(self.res.failures.degraded_repair_secs),
+                    Ev::Repair { device: d, seq },
+                );
+                self.schedule_next_fault(d, now);
+            }
+            FailureKind::Permanent => {
+                self.counters.permanent += 1;
+                self.handle_device_loss(d, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_repair(&mut self, d: usize, seq: u32, now: SimTime) {
+        if self.devs[d].repair_seq != seq || !self.avail.is_up(DeviceId(d)) {
+            return; // Superseded by a newer degradation, or device lost.
+        }
+        self.avail.repair(DeviceId(d));
+        if let Some(ri) = self.devs[d].running {
+            if self.replicas[ri].state == RState::Running {
+                self.reproject(ri, now, 1.0);
+            }
+        }
+    }
+
+    /// Permanent loss of device `d`: orphan its replicas, then recover
+    /// stranded tasks by policy (full replan under Reschedule, greedy
+    /// per-task reassignment otherwise).
+    fn handle_device_loss(&mut self, d: usize, now: SimTime) -> Result<(), EngineError> {
+        self.avail.set_down(DeviceId(d));
+        self.devs[d].running = None;
+        let suffix: Vec<usize> = self.devs[d].queue[self.devs[d].pos..].to_vec();
+        for ri in suffix {
+            match self.replicas[ri].state {
+                RState::Running => {
+                    self.update_progress(ri, now);
+                    self.counters.wasted += self.replicas[ri].attempt.done_eff.as_secs();
+                    self.replicas[ri].state = RState::Lost;
+                    self.replicas[ri].gen += 1;
+                }
+                RState::Queued | RState::WaitingRestart => {
+                    self.replicas[ri].state = RState::Lost;
+                    self.replicas[ri].gen += 1;
+                }
+                _ => {}
+            }
+        }
+        let n = self.wf.num_tasks();
+        if self.avail.num_up() == 0 {
+            return Err(EngineError::AllDevicesLost {
+                at_secs: now.as_secs(),
+                completed: self.completed,
+                total: n,
+            });
+        }
+        let stranded: Vec<TaskId> = (0..n)
+            .map(TaskId)
+            .filter(|&t| self.finished_at[t.0].is_none() && !self.task_has_live_replica(t))
+            .collect();
+        match self.res.policy.clone() {
+            RecoveryPolicy::Reschedule {
+                scheduler,
+                overhead_secs,
+                ..
+            } => self.reschedule_replan(&scheduler, overhead_secs, now),
+            _ => self.greedy_reassign(&stranded, now),
+        }
+    }
+
+    /// Moves each stranded task to the surviving feasible device where
+    /// it runs fastest (ties break on device id), restarting from zero
+    /// (checkpoints are device-local).
+    fn greedy_reassign(&mut self, stranded: &[TaskId], now: SimTime) -> Result<(), EngineError> {
+        let n = self.wf.num_tasks();
+        for &task in stranded {
+            let mut best: Option<(f64, usize)> = None;
+            for dev in self.avail.surviving() {
+                let device = self.platform.device(dev)?;
+                if !placement_feasible(device, self.wf.task(task)?) {
+                    continue;
+                }
+                let secs = self.work_on(task, dev, device.nominal_level())?.as_secs();
+                let cand = (secs, dev.0);
+                if best.is_none() || cand < best.expect("checked") {
+                    best = Some(cand);
+                }
+            }
+            let Some((_, d)) = best else {
+                return Err(EngineError::AllDevicesLost {
+                    at_secs: now.as_secs(),
+                    completed: self.completed,
+                    total: n,
+                });
+            };
+            let device = DeviceId(d);
+            let level = self.platform.device(device)?.nominal_level();
+            let overhead = self.res.failures.restart_overhead_secs;
+            self.counters.recovery += overhead;
+            let ordinal = self.task_replicas[task.0].len();
+            let ri = self.replicas.len();
+            let remaining = self.work_on(task, device, level)?;
+            self.replicas.push(Replica {
+                task,
+                device,
+                level,
+                sort_key: (self.plan_key[task.0], task.0, ordinal),
+                state: RState::Queued,
+                gen: 0,
+                retries: 0,
+                launched: false,
+                occupied_from: SimTime::ZERO,
+                remaining_work: remaining,
+                floor: now + SimDuration::from_secs(overhead),
+                attempt: Attempt::default(),
+            });
+            self.task_replicas[task.0].push(ri);
+            self.insert_queued(d, ri);
+        }
+        Ok(())
+    }
+
+    /// Inserts a new queued replica into the unconsumed suffix of device
+    /// `d`'s queue, keeping it sorted by `sort_key`.
+    fn insert_queued(&mut self, d: usize, ri: usize) {
+        let start = self.devs[d].pos + usize::from(self.devs[d].running.is_some());
+        let key = self.replicas[ri].sort_key;
+        let queue = &mut self.devs[d].queue;
+        let at = queue
+            .iter()
+            .enumerate()
+            .skip(start.min(queue.len()))
+            .find(|&(_, &qri)| self.replicas[qri].sort_key > key)
+            .map_or(queue.len(), |(i, _)| i);
+        queue.insert(at, ri);
+    }
+
+    /// Full replan on the surviving platform: every unfinished task
+    /// without a held (running or restarting) replica adopts the new
+    /// plan's placement; held replicas keep running where they are.
+    fn reschedule_replan(
+        &mut self,
+        scheduler: &str,
+        overhead_secs: f64,
+        now: SimTime,
+    ) -> Result<(), EngineError> {
+        self.counters.reschedules += 1;
+        self.counters.recovery += overhead_secs;
+        let alive = self.avail.surviving();
+        let sub = self.platform.survivors(&alive)?;
+        let sched = scheduler_by_name(scheduler).ok_or_else(|| {
+            EngineError::Config(format!("unknown scheduler {scheduler:?} for reschedule"))
+        })?;
+        let plan2 = sched.schedule(self.wf, &sub)?;
+        let floor = now + SimDuration::from_secs(overhead_secs);
+
+        let mut new_queues: Vec<Vec<usize>> = vec![Vec::new(); self.devs.len()];
+        for p in plan2.placements() {
+            let t = p.task;
+            if self.finished_at[t.0].is_some() {
+                continue;
+            }
+            let held = self.task_replicas[t.0].iter().any(|&ri| {
+                matches!(
+                    self.replicas[ri].state,
+                    RState::Running | RState::WaitingRestart
+                )
+            });
+            if held {
+                continue;
+            }
+            // Retire any still-queued replicas of the task; the replan
+            // supersedes them.
+            let old = self.task_replicas[t.0].clone();
+            for ri in old {
+                if self.replicas[ri].state == RState::Queued {
+                    self.replicas[ri].state = RState::Lost;
+                    self.replicas[ri].gen += 1;
+                }
+            }
+            // plan2's device ids index the surviving platform; map back.
+            let orig = alive[p.device.0];
+            self.plan_key[t.0] = p.start;
+            let ordinal = self.task_replicas[t.0].len();
+            let ri = self.replicas.len();
+            let remaining = self.work_on(t, orig, p.level)?;
+            self.replicas.push(Replica {
+                task: t,
+                device: orig,
+                level: p.level,
+                sort_key: (p.start, t.0, ordinal),
+                state: RState::Queued,
+                gen: 0,
+                retries: 0,
+                launched: false,
+                occupied_from: SimTime::ZERO,
+                remaining_work: remaining,
+                floor,
+                attempt: Attempt::default(),
+            });
+            self.task_replicas[t.0].push(ri);
+            new_queues[orig.0].push(ri);
+        }
+        for (d, queued) in new_queues.iter_mut().enumerate() {
+            if !self.avail.is_up(DeviceId(d)) {
+                continue;
+            }
+            let keep = (self.devs[d].pos + usize::from(self.devs[d].running.is_some()))
+                .min(self.devs[d].queue.len());
+            self.devs[d].queue.truncate(keep);
+            let mut tail = std::mem::take(queued);
+            tail.sort_by_key(|&ri| self.replicas[ri].sort_key);
+            self.devs[d].queue.extend(tail);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::FailureModel;
+    use helios_platform::presets;
+    use helios_sched::HeftScheduler;
+    use helios_workflow::generators::{cybershake, montage};
+
+    fn config_with(seed: u64, failures: FailureModel, policy: RecoveryPolicy) -> EngineConfig {
+        EngineConfig {
+            seed,
+            noise_cv: 0.2,
+            resilience: Some(ResilienceConfig::new(failures, policy)),
+            ..Default::default()
+        }
+    }
+
+    fn policies() -> Vec<RecoveryPolicy> {
+        vec![
+            RecoveryPolicy::RetryBackoff {
+                base_secs: 0.005,
+                factor: 2.0,
+                cap_secs: 0.05,
+                max_retries: 10_000,
+            },
+            RecoveryPolicy::ReplicateK {
+                replicas: 2,
+                max_retries: 10_000,
+            },
+            RecoveryPolicy::CheckpointRestart {
+                interval_secs: 0.05,
+                overhead_secs: 0.002,
+                max_retries: 10_000,
+            },
+            RecoveryPolicy::Reschedule {
+                scheduler: "heft".into(),
+                overhead_secs: 0.01,
+                max_retries: 10_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn requires_resilience_config() {
+        let p = presets::hpc_node();
+        let wf = montage(20, 1).unwrap();
+        let err = ResilientRunner::new(EngineConfig::default())
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn every_policy_completes_under_transient_faults() {
+        let p = presets::hpc_node();
+        let wf = montage(50, 2).unwrap();
+        for policy in policies() {
+            let cfg = config_with(3, FailureModel::exponential(0.03), policy.clone());
+            let report = ResilientRunner::new(cfg)
+                .run(&p, &wf, &HeftScheduler::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", policy.name()));
+            assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+            let m = report.resilience().unwrap();
+            assert_eq!(m.policy, policy.name());
+            assert!(
+                m.makespan_degradation >= -1e-9,
+                "{}: faults sped the run up ({})",
+                policy.name(),
+                m.makespan_degradation
+            );
+            assert!(m.fault_free_makespan_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = presets::hpc_node();
+        let wf = cybershake(40, 3).unwrap();
+        for policy in policies() {
+            let cfg = config_with(11, FailureModel::weibull(0.04, 1.5), policy.clone());
+            let a = ResilientRunner::new(cfg.clone())
+                .run(&p, &wf, &HeftScheduler::default())
+                .unwrap();
+            let b = ResilientRunner::new(cfg.clone())
+                .run(&p, &wf, &HeftScheduler::default())
+                .unwrap();
+            assert_eq!(a, b, "{} must be deterministic", policy.name());
+            let mut other = cfg;
+            other.seed = 12;
+            let c = ResilientRunner::new(other)
+                .run(&p, &wf, &HeftScheduler::default())
+                .unwrap();
+            assert_ne!(a, c, "{} must react to the seed", policy.name());
+        }
+    }
+
+    #[test]
+    fn degraded_devices_extend_makespan() {
+        let p = presets::hpc_node();
+        let wf = montage(50, 4).unwrap();
+        let mut fm = FailureModel::exponential(0.01);
+        fm.degraded_prob = 1.0; // Every fault degrades; none abort.
+        fm.degraded_slowdown = 4.0;
+        fm.degraded_repair_secs = 0.05;
+        let cfg = config_with(
+            5,
+            fm,
+            RecoveryPolicy::RetryBackoff {
+                base_secs: 0.0,
+                factor: 1.0,
+                cap_secs: 0.0,
+                max_retries: 0,
+            },
+        );
+        let report = ResilientRunner::new(cfg)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        let m = report.resilience().unwrap();
+        assert!(m.degraded_failures > 0);
+        assert_eq!(m.transient_failures, 0);
+        assert!(
+            m.makespan_degradation > 0.0,
+            "slowdowns must cost time, got {}",
+            m.makespan_degradation
+        );
+    }
+
+    #[test]
+    fn permanent_loss_reassigns_and_completes() {
+        let p = presets::hpc_node();
+        let wf = montage(60, 5).unwrap();
+        for policy in policies() {
+            let mut fm = FailureModel::exponential(0.05);
+            fm.permanent_prob = 0.3;
+            fm.restart_overhead_secs = 0.002;
+            let cfg = config_with(21, fm, policy.clone());
+            match ResilientRunner::new(cfg).run(&p, &wf, &HeftScheduler::default()) {
+                Ok(report) => {
+                    let m = report.resilience().unwrap();
+                    assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+                    if m.permanent_failures > 0 && policy.name() == "reschedule" {
+                        assert!(m.reschedules > 0, "losses must trigger a replan");
+                    }
+                }
+                // Losing every feasible device is a legal outcome.
+                Err(EngineError::AllDevicesLost { .. }) => {}
+                Err(e) => panic!("{}: unexpected error {e}", policy.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_k_counts_are_consistent() {
+        let p = presets::hpc_node();
+        let wf = cybershake(50, 6).unwrap();
+        let cfg = config_with(
+            9,
+            FailureModel::exponential(0.05),
+            RecoveryPolicy::ReplicateK {
+                replicas: 3,
+                max_retries: 10_000,
+            },
+        );
+        let report = ResilientRunner::new(cfg)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        let m = report.resilience().unwrap();
+        assert_eq!(m.permanent_failures, 0);
+        assert_eq!(
+            m.replicas_launched,
+            wf.num_tasks() as u32 + m.replicas_cancelled,
+            "every launch either wins its task or is cancelled"
+        );
+        assert!(m.replicas_cancelled > 0, "replicas must actually race");
+    }
+
+    #[test]
+    fn fault_free_baseline_matches_injection_disabled() {
+        // With failure injection on but an astronomically large MTTF the
+        // run must coincide with its own baseline.
+        let p = presets::hpc_node();
+        let wf = montage(40, 7).unwrap();
+        let cfg = config_with(
+            13,
+            FailureModel::exponential(1e12),
+            RecoveryPolicy::CheckpointRestart {
+                interval_secs: 0.05,
+                overhead_secs: 0.002,
+                max_retries: 5,
+            },
+        );
+        let report = ResilientRunner::new(cfg)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        let m = report.resilience().unwrap();
+        assert!(
+            m.makespan_degradation.abs() < 1e-9,
+            "{}",
+            m.makespan_degradation
+        );
+        assert_eq!(m.wasted_work_secs, 0.0);
+        assert_eq!(m.transient_failures, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Dynamic device availability during a simulated run.
+//!
+//! The platform description itself is immutable; what changes over a run
+//! is each device's *availability state*: healthy, degraded (still
+//! executing, but slower by a known factor until repair) or down
+//! (permanently lost). [`Availability`] tracks that state per device so
+//! executors can ask "is this device usable, and at what speed?" without
+//! mutating the shared [`Platform`](crate::Platform).
+
+use crate::device::DeviceId;
+
+/// Availability state of one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceState {
+    /// Fully available at nominal speed.
+    Up,
+    /// Available, but all work runs `factor` times slower until repair.
+    Degraded {
+        /// Slowdown multiplier applied to execution time (> 1).
+        factor: f64,
+    },
+    /// Permanently failed; the device accepts no further work.
+    Down,
+}
+
+/// Per-device availability tracker for a run.
+///
+/// # Examples
+///
+/// ```
+/// use helios_platform::{Availability, DeviceId, DeviceState};
+///
+/// let mut avail = Availability::new(3);
+/// assert_eq!(avail.num_up(), 3);
+/// avail.set_degraded(DeviceId(1), 2.5);
+/// avail.set_down(DeviceId(2));
+/// assert_eq!(avail.num_up(), 2);
+/// assert_eq!(avail.slowdown(DeviceId(1)), 2.5);
+/// assert_eq!(avail.surviving(), vec![DeviceId(0), DeviceId(1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Availability {
+    states: Vec<DeviceState>,
+}
+
+impl Availability {
+    /// Creates a tracker with `num_devices` devices, all up.
+    #[must_use]
+    pub fn new(num_devices: usize) -> Availability {
+        Availability {
+            states: vec![DeviceState::Up; num_devices],
+        }
+    }
+
+    /// Current state of `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    #[must_use]
+    pub fn state(&self, device: DeviceId) -> DeviceState {
+        self.states[device.0]
+    }
+
+    /// Whether `device` can accept or continue work (up or degraded).
+    #[must_use]
+    pub fn is_up(&self, device: DeviceId) -> bool {
+        !matches!(self.states[device.0], DeviceState::Down)
+    }
+
+    /// Execution-time multiplier for `device`: 1 when healthy, the
+    /// degradation factor while degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is down — callers must not plan work there.
+    #[must_use]
+    pub fn slowdown(&self, device: DeviceId) -> f64 {
+        match self.states[device.0] {
+            DeviceState::Up => 1.0,
+            DeviceState::Degraded { factor } => factor,
+            DeviceState::Down => panic!("device {} is down", device.0),
+        }
+    }
+
+    /// Marks `device` degraded by `factor` (> 1 slows it down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is already down or `factor` is not positive
+    /// and finite.
+    pub fn set_degraded(&mut self, device: DeviceId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid degradation factor {factor}"
+        );
+        assert!(self.is_up(device), "cannot degrade a down device");
+        self.states[device.0] = DeviceState::Degraded { factor };
+    }
+
+    /// Repairs a degraded device back to full speed. No-op when already
+    /// up; panics if the device is down (permanent failures are final).
+    pub fn repair(&mut self, device: DeviceId) {
+        assert!(self.is_up(device), "cannot repair a down device");
+        self.states[device.0] = DeviceState::Up;
+    }
+
+    /// Permanently removes `device` from service.
+    pub fn set_down(&mut self, device: DeviceId) {
+        self.states[device.0] = DeviceState::Down;
+    }
+
+    /// Number of devices still accepting work.
+    #[must_use]
+    pub fn num_up(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| !matches!(s, DeviceState::Down))
+            .count()
+    }
+
+    /// Ids of devices still accepting work, in ascending id order.
+    #[must_use]
+    pub fn surviving(&self) -> Vec<DeviceId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, DeviceState::Down))
+            .map(|(i, _)| DeviceId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut a = Availability::new(2);
+        assert_eq!(a.state(DeviceId(0)), DeviceState::Up);
+        assert_eq!(a.slowdown(DeviceId(0)), 1.0);
+        a.set_degraded(DeviceId(0), 3.0);
+        assert!(a.is_up(DeviceId(0)));
+        assert_eq!(a.slowdown(DeviceId(0)), 3.0);
+        a.repair(DeviceId(0));
+        assert_eq!(a.slowdown(DeviceId(0)), 1.0);
+        a.set_down(DeviceId(1));
+        assert!(!a.is_up(DeviceId(1)));
+        assert_eq!(a.num_up(), 1);
+        assert_eq!(a.surviving(), vec![DeviceId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot degrade a down device")]
+    fn degrading_a_down_device_panics() {
+        let mut a = Availability::new(1);
+        a.set_down(DeviceId(0));
+        a.set_degraded(DeviceId(0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is down")]
+    fn slowdown_of_down_device_panics() {
+        let mut a = Availability::new(1);
+        a.set_down(DeviceId(0));
+        let _ = a.slowdown(DeviceId(0));
+    }
+}

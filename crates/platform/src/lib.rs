@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod availability;
 mod cost;
 mod device;
 mod dvfs;
@@ -42,6 +43,7 @@ mod interconnect;
 mod platform;
 pub mod presets;
 
+pub use availability::{Availability, DeviceState};
 pub use cost::{ComputeCost, KernelClass};
 pub use device::{Device, DeviceBuilder, DeviceId, DeviceKind};
 pub use dvfs::{DvfsLevel, DvfsState, PowerModel, SleepModel};

@@ -106,6 +106,46 @@ impl Platform {
         }
     }
 
+    /// Builds the platform that remains after every device *not* in
+    /// `keep` has failed permanently.
+    ///
+    /// Surviving devices are re-indexed densely in the order given (pass
+    /// ascending original ids to keep relative order), so the new id of
+    /// `keep[i]` is `DeviceId(i)`. Links are copied verbatim and every
+    /// surviving route — including routes that were served by the default
+    /// link — is materialized explicitly; pairs that had no route keep
+    /// having none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Empty`] if `keep` is empty and
+    /// [`PlatformError::UnknownDevice`] for an out-of-range id.
+    pub fn survivors(&self, keep: &[DeviceId]) -> Result<Platform, PlatformError> {
+        if keep.is_empty() {
+            return Err(PlatformError::Empty);
+        }
+        let mut builder = PlatformBuilder::new(format!("{}+survivors", self.name));
+        for &id in keep {
+            builder.add_device(self.device(id)?.clone());
+        }
+        let mut ic = crate::interconnect::InterconnectBuilder::new();
+        for link in self.interconnect.links() {
+            ic.add_link(link.clone());
+        }
+        for (new_from, &from) in keep.iter().enumerate() {
+            for (new_to, &to) in keep.iter().enumerate() {
+                if from == to {
+                    continue;
+                }
+                if let Ok(route) = self.interconnect.route(from, to) {
+                    ic.route(DeviceId(new_from), DeviceId(new_to), route);
+                }
+            }
+        }
+        builder.interconnect(ic.build());
+        builder.build()
+    }
+
     /// Time to move `bytes` between two devices.
     ///
     /// # Errors
@@ -337,6 +377,32 @@ mod tests {
         let t2 = p2.transfer_time(8e9, DeviceId(0), DeviceId(1)).unwrap();
         assert!(t2 > t1);
         assert_eq!(p2.name(), p.name());
+    }
+
+    #[test]
+    fn survivors_reindexes_and_keeps_routes() {
+        let mut b = PlatformBuilder::new("tri");
+        b.add_device(DeviceBuilder::new("cpu0", DeviceKind::Cpu).build().unwrap());
+        b.add_device(DeviceBuilder::new("gpu0", DeviceKind::Gpu).build().unwrap());
+        b.add_device(DeviceBuilder::new("gpu1", DeviceKind::Gpu).build().unwrap());
+        let p = b.build().unwrap();
+
+        let sub = p.survivors(&[DeviceId(0), DeviceId(2)]).unwrap();
+        assert_eq!(sub.num_devices(), 2);
+        assert_eq!(sub.device(DeviceId(0)).unwrap().name(), "cpu0");
+        assert_eq!(sub.device(DeviceId(1)).unwrap().name(), "gpu1");
+        assert_eq!(sub.device(DeviceId(1)).unwrap().id(), DeviceId(1));
+        // The shared-bus default route must survive re-indexing, with the
+        // same transfer time the pair had on the full platform.
+        let full = p.transfer_time(1e9, DeviceId(0), DeviceId(2)).unwrap();
+        let kept = sub.transfer_time(1e9, DeviceId(0), DeviceId(1)).unwrap();
+        assert_eq!(full, kept);
+
+        assert!(matches!(p.survivors(&[]), Err(PlatformError::Empty)));
+        assert!(matches!(
+            p.survivors(&[DeviceId(7)]),
+            Err(PlatformError::UnknownDevice(7))
+        ));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   tie-breaking for simultaneous events,
 //! * [`SimRng`] — a seedable, portable random-number generator with the
 //!   distributions used by the workload generators and fault models,
+//! * [`failure`] — per-device failure processes (exponential/Weibull
+//!   inter-failure times, transient/degraded/permanent modes) that turn
+//!   forked RNG streams into deterministic failure traces,
 //! * [`stats`] — online statistics (mean/variance/min/max), histograms and
 //!   percentile estimation for experiment reporting.
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod failure;
 mod rng;
 pub mod stats;
 mod time;

@@ -106,6 +106,26 @@ impl SimRng {
         -mean * (1.0 - u).ln()
     }
 
+    /// Draws from a Weibull distribution with the given scale
+    /// (characteristic life) and shape, via the inverse CDF.
+    ///
+    /// Shape 1 reduces to the exponential distribution with mean
+    /// `scale`; shape > 1 gives the increasing hazard rate of ageing
+    /// hardware (the regime failure-trace studies report for
+    /// leadership-class machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` or `shape` is not positive and finite.
+    pub fn weibull(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(
+            scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0,
+            "invalid weibull parameters ({scale}, {shape})"
+        );
+        let u: f64 = self.inner.gen();
+        scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+    }
+
     /// Draws from a normal distribution via the Box–Muller transform.
     ///
     /// # Panics

@@ -1,15 +1,23 @@
-//! Fault-path tests for the online dispatcher.
+//! Resilience battery: fault paths through every runner and policy.
 //!
-//! Seeded fault injection through [`OnlineRunner`] must exercise all
-//! three paths: transient failures that retry to completion, retry
-//! budgets that exhaust into [`EngineError::RetriesExhausted`], and
-//! bit-identical reports for identical seeds (the fault process is part
-//! of the deterministic simulation, not ambient randomness).
+//! Seeded fault injection must exercise all recovery paths: transient
+//! failures that retry to completion, retry budgets that exhaust into
+//! [`EngineError::RetriesExhausted`], byte-identical reports for
+//! identical seeds under every recovery policy, exactly-once replica
+//! cancellation, checkpoint frequency reducing wasted work, typed
+//! whole-platform loss, and the monotonicity guarantee that a faulty
+//! run can never finish earlier than its fault-free twin.
 
-use helios_core::{EngineConfig, EngineError, FaultConfig, OnlinePolicy, OnlineRunner};
+use helios_core::{
+    Engine, EngineConfig, EngineError, FailureModel, FaultConfig, OnlinePolicy, OnlineRunner,
+    RecoveryPolicy, ResilienceConfig, ResilientRunner,
+};
 use helios_platform::presets;
+use helios_platform::{DeviceBuilder, DeviceKind, InterconnectBuilder, Platform, PlatformBuilder};
+use helios_sched::HeftScheduler;
 use helios_sim::SimDuration;
 use helios_workflow::generators::montage;
+use helios_workflow::Workflow;
 
 fn config(mtbf_secs: f64, max_retries: u32, seed: u64) -> EngineConfig {
     EngineConfig {
@@ -21,6 +29,41 @@ fn config(mtbf_secs: f64, max_retries: u32, seed: u64) -> EngineConfig {
         ),
         ..EngineConfig::default()
     }
+}
+
+fn resilient_config(seed: u64, failures: FailureModel, policy: RecoveryPolicy) -> EngineConfig {
+    EngineConfig {
+        seed,
+        noise_cv: 0.1,
+        resilience: Some(ResilienceConfig::new(failures, policy)),
+        ..EngineConfig::default()
+    }
+}
+
+/// One representative instance of each of the four recovery policies.
+fn all_policies() -> Vec<RecoveryPolicy> {
+    vec![
+        RecoveryPolicy::RetryBackoff {
+            base_secs: 0.001,
+            factor: 2.0,
+            cap_secs: 0.01,
+            max_retries: 10_000,
+        },
+        RecoveryPolicy::ReplicateK {
+            replicas: 2,
+            max_retries: 10_000,
+        },
+        RecoveryPolicy::CheckpointRestart {
+            interval_secs: 0.005,
+            overhead_secs: 0.0002,
+            max_retries: 10_000,
+        },
+        RecoveryPolicy::Reschedule {
+            scheduler: "heft".into(),
+            overhead_secs: 0.001,
+            max_retries: 10_000,
+        },
+    ]
 }
 
 #[test]
@@ -53,13 +96,14 @@ fn transient_faults_retry_to_completion() {
 
         // A tight-but-survivable MTBF with a deep retry budget: the run
         // must complete, having actually hit (and recovered from)
-        // failures along the way.
-        let report = OnlineRunner::new(config(0.5, 100, 3), policy)
+        // failures along the way. (Preset workflows have millisecond
+        // makespans, so the MTBF must sit in the same decade to bite.)
+        let report = OnlineRunner::new(config(0.02, 10_000, 3), policy)
             .run(&platform, &wf)
             .expect("faulty run survives with a deep retry budget");
         assert!(
             report.failures() > 0,
-            "{}: a 0.5 s MTBF must inject failures",
+            "{}: a 20 ms MTBF must inject failures",
             policy.as_str()
         );
         assert!(
@@ -97,13 +141,14 @@ fn fault_injection_is_deterministic_per_seed() {
     let platform = presets::workstation();
     let wf = montage(40, 11).expect("montage");
     let run = |seed: u64| {
-        OnlineRunner::new(config(0.5, 100, seed), OnlinePolicy::RankedJit)
+        OnlineRunner::new(config(0.02, 10_000, seed), OnlinePolicy::RankedJit)
             .run(&platform, &wf)
             .expect("faulty run")
     };
     let a = run(9);
     let b = run(9);
     assert_eq!(a, b, "identical seeds must give bit-identical reports");
+    assert!(a.failures() > 0, "the fault process must actually fire");
     assert_eq!(a.failures(), b.failures());
     assert_eq!(a.retries(), b.retries());
 
@@ -112,4 +157,243 @@ fn fault_injection_is_deterministic_per_seed() {
         a, c,
         "a different seed must draw a different fault/noise process"
     );
+}
+
+#[test]
+fn every_policy_is_byte_identical_per_seed() {
+    let platform = presets::hpc_node();
+    let wf = montage(50, 2).expect("montage");
+    let sched = HeftScheduler::default();
+    for policy in all_policies() {
+        let mut fm = FailureModel::exponential(0.005);
+        fm.degraded_prob = 0.1;
+        fm.degraded_slowdown = 3.0;
+        fm.degraded_repair_secs = 0.005;
+        fm.restart_overhead_secs = 0.0005;
+        let run = |seed: u64| {
+            ResilientRunner::new(resilient_config(seed, fm.clone(), policy.clone()))
+                .run(&platform, &wf, &sched)
+                .expect("resilient run completes")
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(
+            serde_json::to_string(&a).expect("serialize"),
+            serde_json::to_string(&b).expect("serialize"),
+            "{}: identical seeds must serialize byte-identically",
+            policy.name()
+        );
+        let m = a.resilience().expect("resilience metrics attached");
+        assert!(
+            m.transient_failures + m.degraded_failures > 0,
+            "{}: the failure process must actually fire",
+            policy.name()
+        );
+        let c = run(8);
+        assert_ne!(
+            a,
+            c,
+            "{}: a different seed must realize different failures",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn replicate_k_cancels_losers_exactly_once() {
+    let platform = presets::hpc_node();
+    let wf = montage(50, 2).expect("montage");
+    let cfg = resilient_config(
+        5,
+        FailureModel::exponential(0.05),
+        RecoveryPolicy::ReplicateK {
+            replicas: 3,
+            max_retries: 10_000,
+        },
+    );
+    let report = ResilientRunner::new(cfg)
+        .run(&platform, &wf, &HeftScheduler::default())
+        .expect("replicated run completes");
+    let m = report.resilience().expect("metrics");
+    assert!(m.replicas_cancelled > 0, "losers must be cancelled");
+    // Exactly-once accounting: every launched copy either wins its task
+    // or is cancelled exactly once — never both, never twice.
+    assert_eq!(
+        m.replicas_launched,
+        wf.num_tasks() as u32 + m.replicas_cancelled,
+        "launched = winners + cancelled (exactly-once cancellation)"
+    );
+}
+
+#[test]
+fn checkpoint_frequency_reduces_wasted_work() {
+    let platform = presets::workstation();
+    let wf = montage(40, 7).expect("montage");
+    let sched = HeftScheduler::default();
+
+    // Scale checkpoint intervals to the workload: take the mean planned
+    // task duration so intervals straddle it (several snapshots per
+    // attempt at the short end, none at the long end).
+    let plan = helios_sched::Scheduler::schedule(&sched, &wf, &platform).expect("plan");
+    let mean_task_secs = plan
+        .placements()
+        .iter()
+        .map(|p| p.duration().as_secs())
+        .sum::<f64>()
+        / plan.placements().len() as f64;
+    let intervals = [
+        0.25 * mean_task_secs,
+        1.0 * mean_task_secs,
+        4.0 * mean_task_secs,
+    ];
+
+    let mean_wasted = |interval_secs: f64| -> f64 {
+        let seeds = 0..8u64;
+        let total: f64 = seeds
+            .map(|seed| {
+                let cfg = resilient_config(
+                    seed,
+                    FailureModel::exponential(0.01),
+                    RecoveryPolicy::CheckpointRestart {
+                        interval_secs,
+                        overhead_secs: 0.02 * mean_task_secs,
+                        max_retries: 10_000,
+                    },
+                );
+                ResilientRunner::new(cfg)
+                    .execute_plan(&platform, &wf, &plan)
+                    .expect("checkpointed run completes")
+                    .resilience()
+                    .expect("metrics")
+                    .wasted_work_secs
+            })
+            .sum();
+        total / 8.0
+    };
+
+    let wasted: Vec<f64> = intervals.iter().map(|&i| mean_wasted(i)).collect();
+    assert!(
+        wasted[0] <= wasted[1] && wasted[1] <= wasted[2],
+        "mean wasted work must be monotone non-increasing in checkpoint \
+         frequency: {wasted:?} for intervals {intervals:?}"
+    );
+    assert!(
+        wasted[0] < wasted[2],
+        "frequent checkpoints must strictly beat rare ones on average: {wasted:?}"
+    );
+}
+
+/// A platform with exactly one CPU and no links.
+fn single_device_platform() -> Platform {
+    let mut b = PlatformBuilder::new("solo");
+    b.add_device(
+        DeviceBuilder::new("cpu0", DeviceKind::Cpu)
+            .build()
+            .expect("device parameters are valid"),
+    );
+    b.interconnect(InterconnectBuilder::new().build());
+    b.build().expect("single-device platform is valid")
+}
+
+#[test]
+fn permanent_loss_of_the_only_device_is_a_typed_error() {
+    let platform = single_device_platform();
+    let wf = montage(12, 5).expect("montage");
+    let mut fm = FailureModel::exponential(0.002);
+    fm.permanent_prob = 1.0;
+    for policy in all_policies() {
+        // ReplicateK clamps to the feasible-device count, so it
+        // degenerates to a single copy here — the loss path is the same.
+        let cfg = resilient_config(3, fm.clone(), policy.clone());
+        let err = ResilientRunner::new(cfg)
+            .run(&platform, &wf, &HeftScheduler::default())
+            .expect_err("losing the only device cannot complete");
+        match err {
+            EngineError::AllDevicesLost {
+                completed, total, ..
+            } => {
+                assert!(
+                    completed < total,
+                    "{}: some tasks must be left unfinished",
+                    policy.name()
+                );
+            }
+            other => panic!("{}: expected AllDevicesLost, got {other:?}", policy.name()),
+        }
+    }
+}
+
+/// Satellite regression: charging retry time (and backoff delay) to the
+/// device timeline means a fault-injected run can never finish earlier
+/// than the fault-free run of the same seed.
+#[test]
+fn faulty_runs_never_finish_earlier_than_fault_free() {
+    let platform = presets::workstation();
+    let wf = montage(40, 11).expect("montage");
+    let sched = HeftScheduler::default();
+
+    for seed in 0..6u64 {
+        // Static engine, legacy flat-retry fault model.
+        let clean = Engine::new(EngineConfig {
+            seed,
+            noise_cv: 0.05,
+            ..EngineConfig::default()
+        })
+        .run(&platform, &wf, &sched)
+        .expect("clean engine run");
+        let faulty = Engine::new(config(0.02, 10_000, seed))
+            .run(&platform, &wf, &sched)
+            .expect("faulty engine run");
+        assert!(
+            faulty.makespan() >= clean.makespan(),
+            "seed {seed}: static plan — faults cost {} vs clean {}",
+            faulty.makespan(),
+            clean.makespan()
+        );
+
+        // ResilientRunner: degradation vs its own fault-free baseline is
+        // non-negative for transient/degraded failure domains.
+        for policy in all_policies() {
+            let mut fm = FailureModel::exponential(0.02);
+            fm.degraded_prob = 0.2;
+            fm.degraded_slowdown = 2.0;
+            fm.degraded_repair_secs = 0.02;
+            let report = ResilientRunner::new(resilient_config(seed, fm, policy.clone()))
+                .run(&platform, &wf, &sched)
+                .expect("resilient run completes");
+            let m = report.resilience().expect("metrics");
+            assert!(
+                m.makespan_degradation >= 0.0,
+                "seed {seed} {}: faults can only delay completion, got {}",
+                policy.name(),
+                m.makespan_degradation
+            );
+        }
+    }
+}
+
+/// The fault process is part of the workload description, not ambient
+/// randomness: the same resilient configuration must reproduce exactly
+/// when the workflow is re-executed from a fresh `Workflow` value.
+#[test]
+fn resilient_reports_survive_workflow_reconstruction() {
+    let platform = presets::hpc_node();
+    let sched = HeftScheduler::default();
+    let run = |wf: &Workflow| {
+        ResilientRunner::new(resilient_config(
+            11,
+            FailureModel::weibull(0.04, 1.5),
+            RecoveryPolicy::RetryBackoff {
+                base_secs: 0.001,
+                factor: 2.0,
+                cap_secs: 0.01,
+                max_retries: 10_000,
+            },
+        ))
+        .run(&platform, wf, &sched)
+        .expect("resilient run completes")
+    };
+    let a = run(&montage(50, 2).expect("montage"));
+    let b = run(&montage(50, 2).expect("montage"));
+    assert_eq!(a, b, "reports must not depend on Workflow identity");
 }
