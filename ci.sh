@@ -28,6 +28,10 @@ cargo test -q --test sched_conformance
 echo "==> resilience battery"
 cargo test -q --test fault_paths
 
+echo "==> extended fault battery (link faults, domains, lineage recovery)"
+cargo test -q -p helios-core resilience::
+cargo test -q -p helios-core campaign::
+
 echo "==> sharded sweep byte-identity smoke"
 # The release binary sweeps the committed smoke spec unsharded, then as
 # a 2-shard partition recombined by `campaign merge`; the two reports
@@ -64,6 +68,21 @@ cmp "$sweep_tmp/rfull.json" "$sweep_tmp/rresume.json"
     --out "$sweep_tmp/rmerged.json" > /dev/null
 cmp "$sweep_tmp/rfull.json" "$sweep_tmp/rmerged.json"
 echo "kill-and-resume and 2-shard merge are byte-identical under resilience"
+
+echo "==> partition smoke (correlated rack outage + interconnect faults)"
+# The full three-class fault stack through the release binary: a rack
+# domain that permanently kills node1 and severs the only inter-node
+# link of cluster2, on top of per-link interconnect faults. The sweep
+# must survive (lost cells are measurements) and a 2-shard partition
+# must recombine byte-identical to the unsharded run.
+pspec=examples/specs/partition_smoke.json
+"$helios" campaign run --spec "$pspec" --out "$sweep_tmp/pfull.json" > /dev/null
+"$helios" campaign run --spec "$pspec" --shard 1/2 --out "$sweep_tmp/p1.json" > /dev/null
+"$helios" campaign run --spec "$pspec" --shard 2/2 --out "$sweep_tmp/p2.json" > /dev/null
+"$helios" campaign merge --in "$sweep_tmp/p1.json" --in "$sweep_tmp/p2.json" \
+    --out "$sweep_tmp/pmerged.json" > /dev/null
+cmp "$sweep_tmp/pfull.json" "$sweep_tmp/pmerged.json"
+echo "2-shard merge is byte-identical under the full fault stack"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

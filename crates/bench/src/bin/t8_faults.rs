@@ -10,11 +10,19 @@
 //! policy; rows report makespan degradation over each policy's own
 //! fault-free baseline, wasted work, recovery overhead and completion
 //! probability.
+//!
+//! Part 3: fault-class decomposition. Each recovery policy runs under
+//! three isolated fault classes — link-only (interconnect outages and
+//! bandwidth degradations, no device failures), correlated (a rack
+//! failure domain covering two GPUs and the NVLink mesh) and
+//! device-only (the Part 2 model) — and rows additionally report
+//! reroutes over the fallback link, partition downtime and
+//! lineage-driven re-materialization.
 
 use helios_bench::{print_header, Agg};
 use helios_core::{
-    CheckpointConfig, Engine, EngineConfig, EngineError, FailureModel, FaultConfig, RecoveryPolicy,
-    ResilienceConfig, ResilientRunner,
+    CheckpointConfig, Engine, EngineConfig, EngineError, FailureDomain, FailureModel, FaultConfig,
+    LinkFaultModel, RecoveryPolicy, ResilienceConfig, ResilientRunner,
 };
 use helios_platform::presets;
 use helios_sched::{HeftScheduler, Scheduler};
@@ -123,7 +131,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_retries: 10_000_000,
         },
     ];
-    for policy in policies {
+    for policy in &policies {
         let mut makespan = Agg::new();
         let mut degradation = Agg::new();
         let mut wasted = Agg::new();
@@ -169,6 +177,109 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             recovery.mean(),
             done as f64 / total as f64
         );
+    }
+
+    // Part 3: fault-class decomposition. The same policies, but the
+    // fault process is restricted to one class at a time so each row
+    // isolates what that class alone costs.
+    println!();
+    print_header(&[
+        "class",
+        "policy",
+        "degradation %",
+        "reroutes",
+        "partition (s)",
+        "remat tasks",
+        "completion",
+    ]);
+    let device_model = || {
+        let mut failures = FailureModel::exponential(0.25);
+        failures.degraded_prob = 0.08;
+        failures.permanent_prob = 0.02;
+        failures.degraded_slowdown = 2.0;
+        failures.degraded_repair_secs = 0.1;
+        failures.restart_overhead_secs = 0.005;
+        failures
+    };
+    // An astronomically long device MTTF isolates the other classes.
+    let no_device_faults = || FailureModel::exponential(1.0e12);
+    let mut link_model = LinkFaultModel::exponential(0.05);
+    link_model.degraded_prob = 0.3;
+    link_model.outage_secs = 0.02;
+    let rack = FailureDomain {
+        kind: "rack".into(),
+        name: "rack0".into(),
+        devices: vec!["gpu0".into(), "gpu1".into()],
+        links: vec!["nvlink".into()],
+        mttf_secs: 0.05,
+        weibull_shape: None,
+        degraded_prob: 0.3,
+        permanent_prob: 0.05,
+        outage_secs: 0.02,
+    };
+    let classes: [(&str, ResilienceConfig); 3] = [
+        (
+            "link-only",
+            ResilienceConfig::new(no_device_faults(), policies[0].clone())
+                .with_link_faults(link_model.clone()),
+        ),
+        (
+            "correlated",
+            ResilienceConfig::new(no_device_faults(), policies[0].clone())
+                .with_domains(vec![rack.clone()]),
+        ),
+        (
+            "device-only",
+            ResilienceConfig::new(device_model(), policies[0].clone()),
+        ),
+    ];
+    for (class, res) in &classes {
+        for policy in &policies {
+            let mut degradation = Agg::new();
+            let mut reroutes = Agg::new();
+            let mut partition = Agg::new();
+            let mut remat = Agg::new();
+            let mut done = 0usize;
+            let mut total = 0usize;
+            for seed in seeds.clone() {
+                let wf = cybershake(500, seed)?;
+                let plan = HeftScheduler::default().schedule(&wf, &platform)?;
+                let res = ResilienceConfig {
+                    policy: policy.clone(),
+                    ..res.clone()
+                };
+                let config = EngineConfig {
+                    seed,
+                    resilience: Some(res),
+                    ..Default::default()
+                };
+                total += 1;
+                match ResilientRunner::new(config).execute_plan(&platform, &wf, &plan) {
+                    Ok(report) => {
+                        let m = report.resilience().expect("metrics attached");
+                        degradation.push(m.makespan_degradation * 100.0);
+                        reroutes.push(f64::from(m.reroutes));
+                        partition.push(m.partition_downtime_secs);
+                        remat.push(f64::from(m.rematerialized_tasks));
+                        done += 1;
+                    }
+                    Err(
+                        EngineError::RetriesExhausted { .. } | EngineError::AllDevicesLost { .. },
+                    ) => {}
+                    Err(other) => return Err(other.into()),
+                }
+            }
+            println!(
+                "{:>16}{:>16}{:>16.1}{:>16.1}{:>16.4}{:>16.1}{:>16.2}",
+                class,
+                policy.name(),
+                degradation.mean(),
+                reroutes.mean(),
+                partition.mean(),
+                remat.mean(),
+                done as f64 / total as f64
+            );
+        }
     }
     Ok(())
 }

@@ -300,6 +300,123 @@ fn empty_sweep_grid_is_a_hard_error() {
     );
 }
 
+/// A fault-topology spec must die at validation with an error naming
+/// the offending value and the legal alternatives — not deep inside a
+/// shard run.
+#[test]
+fn fault_topology_spec_errors_are_actionable() {
+    let dir = std::env::temp_dir().join("helios-bin-faultspec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let resilience = r#", "resilience": {
+        "mttf_secs": 0.5, "degraded_prob": 0.1,
+        "policy": {"kind": "retry-backoff", "base_secs": 0.001,
+                   "factor": 2.0, "cap_secs": 0.01}
+    }"#;
+    let with = |extra: &str| {
+        let mut s = SPEC_JSON.trim_end().trim_end_matches('}').to_owned();
+        s.push_str(extra);
+        s.push('}');
+        s
+    };
+    let cases: [(&str, String, &[&str]); 5] = [
+        (
+            "bad-distribution.json",
+            with(&format!(
+                r#"{resilience}, "interconnect_faults":
+                    {{"distribution": "gamma", "mttf_secs": 1.0}}"#
+            )),
+            &["gamma", "exponential", "weibull"],
+        ),
+        (
+            "links-without-resilience.json",
+            with(r#", "interconnect_faults": {"distribution": "exponential", "mttf_secs": 1.0}"#),
+            &["resilience"],
+        ),
+        (
+            "unknown-device.json",
+            with(&format!(
+                r#"{resilience}, "failure_domains": [{{"kind": "rack", "name": "r0",
+                    "devices": ["xpu9"], "mttf_secs": 1.0, "degraded_prob": 1.0}}]"#
+            )),
+            &["xpu9", "cpu0"],
+        ),
+        (
+            "unknown-link.json",
+            with(&format!(
+                r#"{resilience}, "failure_domains": [{{"kind": "rack", "name": "r0",
+                    "links": ["myrinet"], "mttf_secs": 1.0, "degraded_prob": 1.0}}]"#
+            )),
+            &["myrinet", "pcie3-x16"],
+        ),
+        (
+            "zero-budget.json",
+            with(r#", "cell_step_budget": 0"#),
+            &["cell_step_budget"],
+        ),
+    ];
+    for (file, json, needles) in cases {
+        let path = dir.join(file);
+        std::fs::write(&path, json).unwrap();
+        let out = helios()
+            .args(["campaign", "run", "--spec", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{file} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        for needle in needles {
+            assert!(stderr.contains(needle), "{file}: {needle} not in {stderr}");
+        }
+    }
+}
+
+/// `HELIOS_CELL_STEP_BUDGET` starves every cell from the environment
+/// without editing the spec; cells come back timed out, not as errors.
+#[test]
+fn step_budget_env_override_times_cells_out() {
+    let dir = std::env::temp_dir().join("helios-bin-budget");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("spec.json"), SPEC_JSON).unwrap();
+    let out_path = dir.join("out.json");
+
+    let out = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            dir.join("spec.json").to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .env("HELIOS_CELL_STEP_BUDGET", "5")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("timed_out"), "{json}");
+
+    let out = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            dir.join("spec.json").to_str().unwrap(),
+        ])
+        .env("HELIOS_CELL_STEP_BUDGET", "many")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "garbage budget must be refused");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("HELIOS_CELL_STEP_BUDGET"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn bad_workflow_file_is_reported() {
     let out = helios()

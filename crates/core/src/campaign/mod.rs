@@ -21,6 +21,7 @@
 //! to seconds each), so a shared counter loses nothing to stealing and
 //! keeps the crate dependency-free.
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -29,8 +30,53 @@ use helios_sim::SimRng;
 pub mod spec;
 pub mod sweep;
 
+/// Typed campaign-layer errors: everything a user-supplied spec, shard
+/// geometry, or merge/resume input can get wrong.
+///
+/// Each variant carries an actionable message naming the offending
+/// input; the categories let callers (the CLI, tests) distinguish "fix
+/// your JSON" from "these shards do not belong together".
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The spec file is not valid JSON or fails to deserialize.
+    MalformedSpec(String),
+    /// The spec deserialized but a field value is illegal.
+    InvalidSpec {
+        /// The spec name, if it got far enough to have one.
+        spec: String,
+        /// What is wrong and what the legal values are.
+        detail: String,
+    },
+    /// The shard geometry is unusable (zero count, index out of range).
+    InvalidShard(String),
+    /// A resume checkpoint disagrees with the spec being resumed.
+    ResumeMismatch(String),
+    /// Shard reports cannot be merged (different campaigns, overlaps,
+    /// missing cells).
+    MergeConflict(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::MalformedSpec(msg) => {
+                write!(f, "malformed campaign spec: {msg}")
+            }
+            CampaignError::InvalidSpec { spec, detail } => {
+                write!(f, "spec {spec:?}: {detail}")
+            }
+            CampaignError::InvalidShard(msg) => write!(f, "{msg}"),
+            CampaignError::ResumeMismatch(msg) => write!(f, "{msg}"),
+            CampaignError::MergeConflict(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
 pub use spec::{
-    CampaignSpec, DvfsKnob, FaultKnob, PolicyKnob, ResilienceKnob, SeedRange, SweepCell,
+    CampaignSpec, DvfsKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob,
+    ResilienceKnob, SeedRange, SweepCell,
 };
 pub use sweep::{
     merge_shards, CellResult, ResumeOutcome, ShardReport, ShardSpec, SummaryRow, SweepDriver,

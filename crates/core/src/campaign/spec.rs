@@ -19,7 +19,10 @@ use serde::{Deserialize, Serialize};
 
 use helios_workflow::generators::WorkflowClass;
 
-use crate::resilience::{FailureModel, RecoveryPolicy, ResilienceConfig};
+use super::CampaignError;
+use crate::resilience::{
+    FailureDomain, FailureModel, LinkFaultModel, RecoveryPolicy, ResilienceConfig,
+};
 use crate::EngineError;
 
 /// A consecutive seed range: `base, base + 1, …, base + count - 1`.
@@ -382,6 +385,212 @@ impl ResilienceKnob {
     }
 }
 
+fn default_degraded_factor() -> f64 {
+    2.0
+}
+
+fn default_link_repair() -> f64 {
+    0.05
+}
+
+/// Interconnect-fault knob of a spec, mirroring
+/// [`LinkFaultModel`](crate::LinkFaultModel). Spelled in spec files as
+/// an object with a `distribution` tag, e.g.
+/// `{"distribution": "weibull", "mttf_secs": 0.2, "shape": 1.5,
+/// "outage_secs": 0.05}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectFaultKnob {
+    /// Mean time to failure (exponential) or characteristic life
+    /// (Weibull) per link, seconds.
+    pub mttf_secs: f64,
+    /// Weibull shape; `None` selects the exponential distribution.
+    pub weibull_shape: Option<f64>,
+    /// Probability a fault degrades bandwidth instead of a full outage
+    /// (default 0).
+    pub degraded_prob: f64,
+    /// Transfer-time multiplier while degraded (default 2).
+    pub degraded_factor: f64,
+    /// Outage downtime before repair, seconds (default 0.05).
+    pub outage_secs: f64,
+    /// Time until a degraded link recovers, seconds (default 0.05).
+    pub degraded_repair_secs: f64,
+}
+
+impl InterconnectFaultKnob {
+    /// The distribution tags spec files may use.
+    #[must_use]
+    pub fn distributions() -> &'static [&'static str] {
+        &["exponential", "weibull"]
+    }
+
+    /// Maps the knob onto the engine-level link-fault model.
+    #[must_use]
+    pub fn to_model(&self) -> LinkFaultModel {
+        LinkFaultModel {
+            mttf_secs: self.mttf_secs,
+            weibull_shape: self.weibull_shape,
+            degraded_prob: self.degraded_prob,
+            degraded_factor: self.degraded_factor,
+            outage_secs: self.outage_secs,
+            degraded_repair_secs: self.degraded_repair_secs,
+        }
+    }
+}
+
+// Hand-written impls: the vendored derive has no tagging, and the
+// `distribution` tag decides whether `shape` is required.
+impl Serialize for InterconnectFaultKnob {
+    fn to_value(&self) -> serde::Value {
+        let num = serde::Value::Number;
+        let mut obj: Vec<(String, serde::Value)> = vec![(
+            "distribution".to_owned(),
+            serde::Value::String(
+                if self.weibull_shape.is_some() {
+                    "weibull"
+                } else {
+                    "exponential"
+                }
+                .to_owned(),
+            ),
+        )];
+        obj.push(("mttf_secs".to_owned(), num(self.mttf_secs)));
+        if let Some(shape) = self.weibull_shape {
+            obj.push(("shape".to_owned(), num(shape)));
+        }
+        obj.push(("degraded_prob".to_owned(), num(self.degraded_prob)));
+        obj.push(("degraded_factor".to_owned(), num(self.degraded_factor)));
+        obj.push(("outage_secs".to_owned(), num(self.outage_secs)));
+        obj.push((
+            "degraded_repair_secs".to_owned(),
+            num(self.degraded_repair_secs),
+        ));
+        serde::Value::Object(obj)
+    }
+}
+
+/// Optional numeric field with a default.
+fn opt_f64(
+    value: &serde::Value,
+    ctx: &str,
+    key: &str,
+    default: f64,
+) -> Result<f64, serde::DeError> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| {
+            serde::DeError::new(format!("{ctx}: {key:?} must be a number, got {v:?}"))
+        }),
+    }
+}
+
+impl<'de> Deserialize<'de> for InterconnectFaultKnob {
+    fn from_value(value: &serde::Value) -> Result<InterconnectFaultKnob, serde::DeError> {
+        let ctx = "interconnect_faults";
+        let distribution = value
+            .get("distribution")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| {
+                serde::DeError::new(format!(
+                    "{ctx} must be an object with a \"distribution\" tag, one of: {}",
+                    InterconnectFaultKnob::distributions().join(", ")
+                ))
+            })?;
+        let weibull_shape = match distribution {
+            "exponential" => None,
+            "weibull" => Some(
+                value
+                    .get("shape")
+                    .and_then(serde::Value::as_f64)
+                    .ok_or_else(|| {
+                        serde::DeError::new(format!(
+                            "{ctx}: distribution \"weibull\" requires a numeric \"shape\" field"
+                        ))
+                    })?,
+            ),
+            other => {
+                return Err(serde::DeError::new(format!(
+                    "{ctx}: unknown distribution {other:?}; legal values: {}",
+                    InterconnectFaultKnob::distributions().join(", ")
+                )))
+            }
+        };
+        Ok(InterconnectFaultKnob {
+            mttf_secs: value
+                .get("mttf_secs")
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| {
+                    serde::DeError::new(format!("{ctx} requires a numeric \"mttf_secs\" field"))
+                })?,
+            weibull_shape,
+            degraded_prob: opt_f64(value, ctx, "degraded_prob", 0.0)?,
+            degraded_factor: opt_f64(value, ctx, "degraded_factor", default_degraded_factor())?,
+            outage_secs: opt_f64(value, ctx, "outage_secs", default_link_repair())?,
+            degraded_repair_secs: opt_f64(
+                value,
+                ctx,
+                "degraded_repair_secs",
+                default_link_repair(),
+            )?,
+        })
+    }
+}
+
+/// Correlated failure-domain knob of a spec, mirroring
+/// [`FailureDomain`](crate::FailureDomain): a `kind`-tagged named group
+/// of devices and links struck together, e.g.
+/// `{"kind": "rack", "name": "r0", "devices": ["gpu0", "gpu1"],
+/// "links": ["nvlink"], "mttf_secs": 0.5, "permanent_prob": 0.1}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureDomainKnob {
+    /// Domain kind tag; one of [`FailureDomain::kinds`]
+    /// (`rack`, `node`, `psu`).
+    pub kind: String,
+    /// Unique domain name, echoed in validation errors.
+    pub name: String,
+    /// Member device names, resolved against every spec platform.
+    #[serde(default)]
+    pub devices: Vec<String>,
+    /// Member link names, resolved against every spec platform.
+    #[serde(default)]
+    pub links: Vec<String>,
+    /// Mean time to failure (exponential) or characteristic life
+    /// (Weibull) of the domain, seconds.
+    pub mttf_secs: f64,
+    /// Weibull shape; omit for the exponential distribution.
+    #[serde(default)]
+    pub weibull_shape: Option<f64>,
+    /// Probability a domain event degrades members instead of aborting
+    /// their work (default 0).
+    #[serde(default)]
+    pub degraded_prob: f64,
+    /// Probability a domain event removes the whole group permanently
+    /// (default 0).
+    #[serde(default)]
+    pub permanent_prob: f64,
+    /// Member-link downtime under non-permanent events, seconds
+    /// (default 0.05).
+    #[serde(default = "default_link_repair")]
+    pub outage_secs: f64,
+}
+
+impl FailureDomainKnob {
+    /// Maps the knob onto the engine-level failure domain.
+    #[must_use]
+    pub fn to_domain(&self) -> FailureDomain {
+        FailureDomain {
+            kind: self.kind.clone(),
+            name: self.name.clone(),
+            devices: self.devices.clone(),
+            links: self.links.clone(),
+            mttf_secs: self.mttf_secs,
+            weibull_shape: self.weibull_shape,
+            degraded_prob: self.degraded_prob,
+            permanent_prob: self.permanent_prob,
+            outage_secs: self.outage_secs,
+        }
+    }
+}
+
 fn default_tasks() -> usize {
     50
 }
@@ -441,6 +650,20 @@ pub struct CampaignSpec {
     /// Mutually exclusive with `faults`.
     #[serde(default)]
     pub resilience: Option<ResilienceKnob>,
+    /// Optional per-link interconnect faults (outages and bandwidth
+    /// degradations). Requires a `resilience` block.
+    #[serde(default)]
+    pub interconnect_faults: Option<InterconnectFaultKnob>,
+    /// Optional correlated failure domains (racks, nodes, PSUs) whose
+    /// members fail together. Requires a `resilience` block.
+    #[serde(default)]
+    pub failure_domains: Vec<FailureDomainKnob>,
+    /// Optional watchdog budget on simulated events per cell; a cell
+    /// exceeding it is recorded as timed out instead of grinding the
+    /// campaign. Overridable at run time via the
+    /// `HELIOS_CELL_STEP_BUDGET` environment variable.
+    #[serde(default)]
+    pub cell_step_budget: Option<u64>,
 }
 
 /// One expanded grid point: a single deterministic simulation.
@@ -469,24 +692,34 @@ impl CampaignSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Config`] with an actionable message for
-    /// malformed JSON, unknown grid axis values, or an empty grid.
+    /// Returns [`CampaignError::MalformedSpec`] (wrapped in
+    /// [`EngineError::Campaign`]) for JSON that does not deserialize,
+    /// and [`CampaignError::InvalidSpec`] for unknown grid axis values
+    /// or an empty grid.
     pub fn from_json(json: &str) -> Result<CampaignSpec, EngineError> {
-        let spec: CampaignSpec = serde_json::from_str(json)
-            .map_err(|e| EngineError::Config(format!("malformed campaign spec: {e}")))?;
+        let spec: CampaignSpec =
+            serde_json::from_str(json).map_err(|e| CampaignError::MalformedSpec(e.to_string()))?;
         spec.validate()?;
         Ok(spec)
     }
 
-    /// Checks every grid axis is non-empty and resolvable.
+    /// Checks every grid axis is non-empty and resolvable, and that
+    /// every fault block is legal (interconnect faults and failure
+    /// domains require a resilience block, domain members must resolve
+    /// on every spec platform).
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Config`] naming the offending axis; an
-    /// empty axis is a hard error because it silently expands to zero
-    /// cells.
+    /// Returns [`CampaignError::InvalidSpec`] (wrapped in
+    /// [`EngineError::Campaign`]) naming the offending field; an empty
+    /// axis is a hard error because it silently expands to zero cells.
     pub fn validate(&self) -> Result<(), EngineError> {
-        let fail = |msg: String| Err(EngineError::Config(format!("spec {:?}: {msg}", self.name)));
+        let fail = |msg: String| {
+            Err(EngineError::Campaign(CampaignError::InvalidSpec {
+                spec: self.name.clone(),
+                detail: msg,
+            }))
+        };
         if self.families.is_empty() {
             return fail(
                 "`families` is empty, so the grid has no cells; list at least one of \
@@ -560,19 +793,97 @@ impl CampaignSpec {
                 ));
             }
         }
-        if let Some(rk) = &self.resilience {
-            if self.faults.is_some() {
-                return fail(
-                    "`faults` and `resilience` are mutually exclusive; flat retry is \
-                     `resilience.policy = {\"kind\": \"retry-backoff\", \"base_secs\": 0, ...}`"
-                        .into(),
-                );
+        if self.resilience.is_some() && self.faults.is_some() {
+            return fail(
+                "`faults` and `resilience` are mutually exclusive; flat retry is \
+                 `resilience.policy = {\"kind\": \"retry-backoff\", \"base_secs\": 0, ...}`"
+                    .into(),
+            );
+        }
+        if self.resilience.is_none()
+            && (self.interconnect_faults.is_some() || !self.failure_domains.is_empty())
+        {
+            return fail(
+                "`interconnect_faults` and `failure_domains` require a `resilience` block: \
+                 link outages and correlated strikes need a recovery policy to run under"
+                    .into(),
+            );
+        }
+        if self.cell_step_budget == Some(0) {
+            return fail("`cell_step_budget` must be at least 1 simulated event".into());
+        }
+        // Builds the full engine-level config, which validates the fault
+        // model, the link-fault parameters, every domain (kind tag,
+        // members, probabilities) and domain-name uniqueness.
+        self.resilience_config().map_err(|e| {
+            EngineError::Campaign(CampaignError::InvalidSpec {
+                spec: self.name.clone(),
+                detail: format!("`resilience`: {e}"),
+            })
+        })?;
+        // Domain members must resolve on *every* platform of the grid —
+        // a typo must die at validation, not in shard 7 of 32.
+        for pname in &self.platforms {
+            let Some(platform) = helios_platform::presets::by_name(pname) else {
+                continue; // Unknown platforms were rejected above.
+            };
+            for domain in &self.failure_domains {
+                for dev in &domain.devices {
+                    if platform.device_by_name(dev).is_none() {
+                        let names: Vec<&str> =
+                            platform.devices().iter().map(|d| d.name()).collect();
+                        return fail(format!(
+                            "failure domain {:?}: unknown device {dev:?} on platform \
+                             {pname:?} (devices: {})",
+                            domain.name,
+                            names.join(", ")
+                        ));
+                    }
+                }
+                for link in &domain.links {
+                    if platform.interconnect().links_by_name(link).is_empty() {
+                        let mut names: Vec<&str> = platform
+                            .interconnect()
+                            .links()
+                            .iter()
+                            .map(|l| l.name())
+                            .collect();
+                        names.dedup();
+                        return fail(format!(
+                            "failure domain {:?}: unknown link {link:?} on platform \
+                             {pname:?} (links: {})",
+                            domain.name,
+                            names.join(", ")
+                        ));
+                    }
+                }
             }
-            rk.to_config().map_err(|e| {
-                EngineError::Config(format!("spec {:?}: `resilience`: {e}", self.name))
-            })?;
         }
         Ok(())
+    }
+
+    /// The full engine-level resilience configuration of the spec:
+    /// failure model, recovery policy, interconnect faults and failure
+    /// domains, validated as a whole. `None` without a `resilience`
+    /// block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] naming the offending parameter.
+    pub fn resilience_config(&self) -> Result<Option<ResilienceConfig>, EngineError> {
+        let Some(rk) = &self.resilience else {
+            return Ok(None);
+        };
+        let mut config = rk.to_config()?;
+        if let Some(knob) = &self.interconnect_faults {
+            config = config.with_link_faults(knob.to_model());
+        }
+        if !self.failure_domains.is_empty() {
+            config =
+                config.with_domains(self.failure_domains.iter().map(|d| d.to_domain()).collect());
+        }
+        config.validate()?;
+        Ok(Some(config))
     }
 
     /// The number of cells the spec expands to.
@@ -607,10 +918,10 @@ impl CampaignSpec {
             }
         }
         if cells.is_empty() {
-            return Err(EngineError::Config(format!(
-                "spec {:?} expands to zero cells",
-                self.name
-            )));
+            return Err(EngineError::Campaign(CampaignError::InvalidSpec {
+                spec: self.name.clone(),
+                detail: "expands to zero cells".into(),
+            }));
         }
         Ok(cells)
     }
@@ -843,6 +1154,197 @@ mod tests {
             tweaked.digest(),
             "policy parameters are part of the content digest"
         );
+    }
+
+    /// A spec with a resilience block plus arbitrary extra top-level
+    /// JSON fields spliced in before the closing brace.
+    fn faulty_json(extra: &str) -> String {
+        resilience_json(
+            r#"{"kind": "retry-backoff", "base_secs": 0.001, "factor": 2.0, "cap_secs": 0.01}"#,
+        )
+        .trim_end()
+        .trim_end_matches('}')
+        .to_owned()
+            + &format!("}}, {extra}}}")
+    }
+
+    #[test]
+    fn interconnect_fault_knob_parses_and_roundtrips() {
+        let spec = CampaignSpec::from_json(&faulty_json(
+            r#""interconnect_faults": {
+                "distribution": "weibull",
+                "shape": 1.4,
+                "mttf_secs": 0.5,
+                "degraded_prob": 0.3,
+                "degraded_factor": 4.0,
+                "outage_secs": 0.02
+            }"#,
+        ))
+        .unwrap();
+        let knob = spec.interconnect_faults.as_ref().expect("knob parsed");
+        assert_eq!(knob.mttf_secs, 0.5);
+        assert_eq!(knob.weibull_shape, Some(1.4));
+        assert_eq!(knob.degraded_prob, 0.3);
+        assert_eq!(knob.degraded_factor, 4.0);
+        assert_eq!(knob.outage_secs, 0.02);
+        assert_eq!(knob.degraded_repair_secs, 0.05, "defaulted");
+        let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, round);
+
+        // Exponential variant: no shape, optional fields defaulted.
+        let spec = CampaignSpec::from_json(&faulty_json(
+            r#""interconnect_faults": {"distribution": "exponential", "mttf_secs": 2.0}"#,
+        ))
+        .unwrap();
+        let knob = spec.interconnect_faults.as_ref().unwrap();
+        assert_eq!(knob.weibull_shape, None);
+        assert_eq!(knob.degraded_factor, 2.0, "defaulted");
+        let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, round);
+        // And the knob lowers into a validating model.
+        spec.resilience_config().unwrap().unwrap();
+    }
+
+    #[test]
+    fn interconnect_fault_knob_rejects_bad_input() {
+        let err = CampaignSpec::from_json(&faulty_json(
+            r#""interconnect_faults": {"distribution": "gamma", "mttf_secs": 1.0}"#,
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("exponential") && msg.contains("weibull"),
+            "error must name the legal distributions: {msg}"
+        );
+        let err =
+            CampaignSpec::from_json(&faulty_json(r#""interconnect_faults": {"mttf_secs": 1.0}"#))
+                .unwrap_err();
+        assert!(err.to_string().contains("distribution"), "{err}");
+        let err = CampaignSpec::from_json(&faulty_json(
+            r#""interconnect_faults": {"distribution": "weibull", "mttf_secs": 1.0}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("shape"), "{err}");
+    }
+
+    #[test]
+    fn failure_domains_parse_and_resolve_against_every_platform() {
+        let spec = CampaignSpec::from_json(&faulty_json(
+            r#""failure_domains": [
+                {"kind": "rack", "name": "r0",
+                 "devices": ["cpu0", "gpu0"], "links": ["pcie3-x16"],
+                 "mttf_secs": 0.5, "degraded_prob": 0.2, "outage_secs": 0.01},
+                {"kind": "psu", "name": "p0",
+                 "devices": ["cpu1"], "mttf_secs": 3.0, "permanent_prob": 1.0}
+            ]"#,
+        ))
+        .unwrap();
+        assert_eq!(spec.failure_domains.len(), 2);
+        assert_eq!(spec.failure_domains[0].links, vec!["pcie3-x16"]);
+        let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, round);
+        let config = spec.resilience_config().unwrap().unwrap();
+        assert_eq!(config.domains.len(), 2);
+    }
+
+    #[test]
+    fn failure_domain_validation_catches_user_errors() {
+        // Unknown member device: names the platform's real devices.
+        let err = CampaignSpec::from_json(&faulty_json(
+            r#""failure_domains": [{"kind": "rack", "name": "r0",
+                "devices": ["xpu9"], "mttf_secs": 1.0, "degraded_prob": 1.0}]"#,
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("xpu9") && msg.contains("cpu0"), "{msg}");
+
+        // Unknown member link: names the platform's real links.
+        let err = CampaignSpec::from_json(&faulty_json(
+            r#""failure_domains": [{"kind": "rack", "name": "r0",
+                "links": ["infiniband"], "mttf_secs": 1.0, "degraded_prob": 1.0}]"#,
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("infiniband") && msg.contains("pcie3-x16"),
+            "{msg}"
+        );
+
+        // Unknown domain kind: names the legal kinds.
+        let err = CampaignSpec::from_json(&faulty_json(
+            r#""failure_domains": [{"kind": "blast-radius", "name": "r0",
+                "devices": ["cpu0"], "mttf_secs": 1.0, "degraded_prob": 1.0}]"#,
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rack") && msg.contains("psu"), "{msg}");
+
+        // Duplicate domain names collide in the metrics rollup.
+        let err = CampaignSpec::from_json(&faulty_json(
+            r#""failure_domains": [
+                {"kind": "rack", "name": "r0", "devices": ["cpu0"],
+                 "mttf_secs": 1.0, "degraded_prob": 1.0},
+                {"kind": "rack", "name": "r0", "devices": ["cpu1"],
+                 "mttf_secs": 1.0, "degraded_prob": 1.0}
+            ]"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("r0"), "{err}");
+    }
+
+    #[test]
+    fn fault_topology_blocks_require_a_resilience_block() {
+        for block in [
+            r#""interconnect_faults": {"distribution": "exponential", "mttf_secs": 1.0}"#,
+            r#""failure_domains": [{"kind": "rack", "name": "r0",
+                "devices": ["cpu0"], "mttf_secs": 1.0, "degraded_prob": 1.0}]"#,
+        ] {
+            let json = minimal_json().trim_end().trim_end_matches('}').to_owned()
+                + &format!(", {block}}}");
+            let err = CampaignSpec::from_json(&json).unwrap_err();
+            assert!(err.to_string().contains("resilience"), "{block}: {err}");
+        }
+    }
+
+    #[test]
+    fn fault_topology_blocks_change_the_digest() {
+        let base = CampaignSpec::from_json(&faulty_json(r#""tasks": 50"#)).unwrap();
+        let with_links = CampaignSpec::from_json(&faulty_json(
+            r#""interconnect_faults": {"distribution": "exponential", "mttf_secs": 1.0}"#,
+        ))
+        .unwrap();
+        let with_domains = CampaignSpec::from_json(&faulty_json(
+            r#""failure_domains": [{"kind": "rack", "name": "r0",
+                "devices": ["cpu0"], "mttf_secs": 1.0, "degraded_prob": 1.0}]"#,
+        ))
+        .unwrap();
+        let with_budget =
+            CampaignSpec::from_json(&faulty_json(r#""cell_step_budget": 100000"#)).unwrap();
+        let digests = [
+            base.digest(),
+            with_links.digest(),
+            with_domains.digest(),
+            with_budget.digest(),
+        ];
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(digests[i], digests[j], "digest {i} vs {j}");
+            }
+        }
+        // Tweaking a fault parameter moves the digest too.
+        let tweaked = CampaignSpec::from_json(&faulty_json(
+            r#""interconnect_faults": {"distribution": "exponential", "mttf_secs": 2.0}"#,
+        ))
+        .unwrap();
+        assert_ne!(with_links.digest(), tweaked.digest());
+    }
+
+    #[test]
+    fn zero_cell_step_budget_is_rejected() {
+        let err = CampaignSpec::from_json(&faulty_json(r#""cell_step_budget": 0"#)).unwrap_err();
+        assert!(err.to_string().contains("cell_step_budget"), "{err}");
+        let spec = CampaignSpec::from_json(&faulty_json(r#""cell_step_budget": 7"#)).unwrap();
+        assert_eq!(spec.cell_step_budget, Some(7));
     }
 
     #[test]

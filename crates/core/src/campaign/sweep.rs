@@ -20,7 +20,7 @@ use helios_sched::{Placement, Schedule};
 use helios_sim::SimDuration;
 
 use super::spec::{family_class, CampaignSpec, DvfsKnob, SweepCell};
-use super::CampaignEngine;
+use super::{CampaignEngine, CampaignError};
 use crate::resilience::ResilientRunner;
 use crate::{Engine, EngineConfig, EngineError, FaultConfig};
 
@@ -36,17 +36,20 @@ impl ShardSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Config`] when the pair is out of range.
+    /// Returns [`CampaignError::InvalidShard`] (wrapped in
+    /// [`EngineError::Campaign`]) when the pair is out of range.
     pub fn new(index: usize, count: usize) -> Result<ShardSpec, EngineError> {
         if count == 0 {
-            return Err(EngineError::Config(
+            return Err(CampaignError::InvalidShard(
                 "shard count must be >= 1 (use 1/1 for the whole grid)".into(),
-            ));
+            )
+            .into());
         }
         if index == 0 || index > count {
-            return Err(EngineError::Config(format!(
+            return Err(CampaignError::InvalidShard(format!(
                 "shard index must satisfy 1 <= K <= N, got {index}/{count}"
-            )));
+            ))
+            .into());
         }
         Ok(ShardSpec { index, count })
     }
@@ -61,10 +64,14 @@ impl ShardSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Config`] for anything but two positive
-    /// integers joined by `/` with `K <= N`.
+    /// Returns [`CampaignError::InvalidShard`] for anything but two
+    /// positive integers joined by `/` with `K <= N`.
     pub fn parse(s: &str) -> Result<ShardSpec, EngineError> {
-        let bad = || EngineError::Config(format!("bad shard {s:?}: expected K/N, e.g. 2/4"));
+        let bad = || {
+            EngineError::Campaign(CampaignError::InvalidShard(format!(
+                "bad shard {s:?}: expected K/N, e.g. 2/4"
+            )))
+        };
         let (k, n) = s.split_once('/').ok_or_else(bad)?;
         let index: usize = k.trim().parse().map_err(|_| bad())?;
         let count: usize = n.trim().parse().map_err(|_| bad())?;
@@ -140,6 +147,26 @@ pub struct CellResult {
     /// `makespan / fault_free_makespan - 1` (resilience cells only).
     #[serde(default)]
     pub makespan_degradation: f64,
+    /// Transfers that fell back to the platform's default link because
+    /// their primary route was down (resilience cells only).
+    #[serde(default)]
+    pub reroutes: u32,
+    /// Time transfers spent stalled waiting for downed links to heal,
+    /// seconds (resilience cells only).
+    #[serde(default)]
+    pub partition_downtime_secs: f64,
+    /// Tasks re-executed because a permanent failure destroyed their
+    /// data products (resilience cells only).
+    #[serde(default)]
+    pub rematerialized_tasks: u32,
+    /// Dependency bytes re-staged for those re-executions (resilience
+    /// cells only).
+    #[serde(default)]
+    pub rematerialized_bytes: f64,
+    /// Why an incomplete cell stopped: `retries_exhausted`,
+    /// `all_devices_lost` or `timed_out`. `None` for completed cells.
+    #[serde(default)]
+    pub incomplete_reason: Option<String>,
 }
 
 fn default_true() -> bool {
@@ -259,9 +286,10 @@ impl SweepDriver {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Config`] when `prior` belongs to a
-    /// different spec (name, digest or grid size mismatch), a different
-    /// shard geometry, or claims cells the shard does not own — and
+    /// Returns [`CampaignError::ResumeMismatch`] (wrapped in
+    /// [`EngineError::Campaign`]) when `prior` belongs to a different
+    /// spec (name, digest or grid size mismatch), a different shard
+    /// geometry, or claims cells the shard does not own — and
     /// propagates cell execution errors.
     pub fn resume_shard(
         &self,
@@ -277,19 +305,21 @@ impl SweepDriver {
         let mut done: Vec<CellResult> = Vec::new();
         if let Some(p) = prior {
             if p.spec_name != spec.name || p.spec_digest != digest || p.total_cells != total_cells {
-                return Err(EngineError::Config(format!(
+                return Err(CampaignError::ResumeMismatch(format!(
                     "refusing to resume: the existing report is from a different campaign \
                      (spec {:?}, digest {}, {} cells) than this spec ({:?}, digest {}, {} \
                      cells); delete the file or point --out elsewhere",
                     p.spec_name, p.spec_digest, p.total_cells, spec.name, digest, total_cells
-                )));
+                ))
+                .into());
             }
             if p.shard_index != shard.index() || p.shard_count != shard.count() {
-                return Err(EngineError::Config(format!(
+                return Err(CampaignError::ResumeMismatch(format!(
                     "refusing to resume: the existing report is shard {}/{}, but this run \
                      is shard {shard}; re-run with --shard {}/{} or start fresh",
                     p.shard_index, p.shard_count, p.shard_index, p.shard_count
-                )));
+                ))
+                .into());
             }
             done = p.cells.clone();
             done.sort_by_key(|c| c.cell);
@@ -297,17 +327,19 @@ impl SweepDriver {
                 .iter()
                 .find(|c| !shard.owns(c.cell) || c.cell >= total_cells)
             {
-                return Err(EngineError::Config(format!(
+                return Err(CampaignError::ResumeMismatch(format!(
                     "refusing to resume: the existing report claims cell {}, which shard \
                      {shard} of this {total_cells}-cell grid does not own",
                     bad.cell
-                )));
+                ))
+                .into());
             }
             if let Some(pair) = done.windows(2).find(|p| p[0].cell == p[1].cell) {
-                return Err(EngineError::Config(format!(
+                return Err(CampaignError::ResumeMismatch(format!(
                     "refusing to resume: the existing report lists cell {} twice",
                     pair[0].cell
-                )));
+                ))
+                .into());
             }
         }
 
@@ -385,10 +417,8 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         link_contention: spec.link_contention,
         data_caching: spec.data_caching,
         faults,
-        resilience: match &spec.resilience {
-            None => None,
-            Some(rk) => Some(rk.to_config()?),
-        },
+        resilience: spec.resilience_config()?,
+        step_budget: cell_step_budget(spec)?,
         ..Default::default()
     };
 
@@ -409,22 +439,49 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         wasted_work_secs: 0.0,
         recovery_overhead_secs: 0.0,
         makespan_degradation: 0.0,
+        reroutes: 0,
+        partition_downtime_secs: 0.0,
+        rematerialized_tasks: 0,
+        rematerialized_bytes: 0.0,
+        incomplete_reason: None,
     };
 
     let report = if config.resilience.is_some() {
         match ResilientRunner::new(config).execute_plan(&platform, &wf, &plan) {
             Ok(report) => report,
             // A lost workload is a measurement, not a driver error: the
-            // cell records completed = false and zero metrics, and its
-            // failure depresses the row's completion probability.
-            Err(EngineError::RetriesExhausted { .. } | EngineError::AllDevicesLost { .. }) => {
+            // cell records completed = false, zero metrics and why it
+            // stopped, and its failure depresses the row's completion
+            // probability.
+            Err(
+                e @ (EngineError::RetriesExhausted { .. }
+                | EngineError::AllDevicesLost { .. }
+                | EngineError::StepBudgetExceeded { .. }),
+            ) => {
                 result.completed = false;
+                result.incomplete_reason = Some(
+                    match e {
+                        EngineError::RetriesExhausted { .. } => "retries_exhausted",
+                        EngineError::AllDevicesLost { .. } => "all_devices_lost",
+                        _ => "timed_out",
+                    }
+                    .to_owned(),
+                );
                 return Ok(result);
             }
             Err(other) => return Err(other),
         }
     } else {
-        Engine::new(config).execute_plan(&platform, &wf, &plan)?
+        match Engine::new(config).execute_plan(&platform, &wf, &plan) {
+            Ok(report) => report,
+            // The step-budget watchdog fires on the plain path too.
+            Err(EngineError::StepBudgetExceeded { .. }) => {
+                result.completed = false;
+                result.incomplete_reason = Some("timed_out".to_owned());
+                return Ok(result);
+            }
+            Err(other) => return Err(other),
+        }
     };
 
     result.makespan_secs = report.makespan().as_secs();
@@ -438,8 +495,27 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         result.wasted_work_secs = m.wasted_work_secs;
         result.recovery_overhead_secs = m.recovery_overhead_secs;
         result.makespan_degradation = m.makespan_degradation;
+        result.reroutes = m.reroutes;
+        result.partition_downtime_secs = m.partition_downtime_secs;
+        result.rematerialized_tasks = m.rematerialized_tasks;
+        result.rematerialized_bytes = m.rematerialized_bytes;
     }
     Ok(result)
+}
+
+/// The per-cell simulated-event watchdog budget: the
+/// `HELIOS_CELL_STEP_BUDGET` environment variable when set (an
+/// operational override for stuck campaigns), else the spec's
+/// `cell_step_budget`.
+fn cell_step_budget(spec: &CampaignSpec) -> Result<Option<u64>, EngineError> {
+    match std::env::var("HELIOS_CELL_STEP_BUDGET") {
+        Ok(v) if !v.trim().is_empty() => v.trim().parse::<u64>().map(Some).map_err(|_| {
+            EngineError::Config(format!(
+                "HELIOS_CELL_STEP_BUDGET must be a non-negative integer, got {v:?}"
+            ))
+        }),
+        _ => Ok(spec.cell_step_budget),
+    }
 }
 
 /// Rewrites plan placements to the knob's DVFS level. The engine
@@ -476,7 +552,8 @@ fn apply_dvfs(
 ///
 /// # Errors
 ///
-/// Returns [`EngineError::Config`] when
+/// Returns [`CampaignError::MergeConflict`] (wrapped in
+/// [`EngineError::Campaign`]) when
 ///
 /// * no shards are given,
 /// * shards come from different specs (name/digest/size mismatch),
@@ -484,14 +561,16 @@ fn apply_dvfs(
 /// * the union does not cover the grid (gap), e.g. a missing shard.
 pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> {
     let first = shards.first().ok_or_else(|| {
-        EngineError::Config("cannot merge zero shard reports; pass at least one --in file".into())
+        EngineError::Campaign(CampaignError::MergeConflict(
+            "cannot merge zero shard reports; pass at least one --in file".into(),
+        ))
     })?;
     for s in shards {
         if s.spec_name != first.spec_name
             || s.spec_digest != first.spec_digest
             || s.total_cells != first.total_cells
         {
-            return Err(EngineError::Config(format!(
+            return Err(CampaignError::MergeConflict(format!(
                 "shard reports disagree on the spec: {:?} (digest {}, {} cells) vs \
                  {:?} (digest {}, {} cells) — merge only shards of one campaign run",
                 first.spec_name,
@@ -500,7 +579,8 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> 
                 s.spec_name,
                 s.spec_digest,
                 s.total_cells
-            )));
+            ))
+            .into());
         }
     }
 
@@ -508,17 +588,19 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> 
     cells.sort_by_key(|c| c.cell);
     for pair in cells.windows(2) {
         if pair[0].cell == pair[1].cell {
-            return Err(EngineError::Config(format!(
+            return Err(CampaignError::MergeConflict(format!(
                 "overlapping shards: cell {} appears more than once",
                 pair[0].cell
-            )));
+            ))
+            .into());
         }
     }
     if let Some(out_of_range) = cells.iter().find(|c| c.cell >= first.total_cells) {
-        return Err(EngineError::Config(format!(
+        return Err(CampaignError::MergeConflict(format!(
             "shard cell index {} is outside the {}-cell grid",
             out_of_range.cell, first.total_cells
-        )));
+        ))
+        .into());
     }
     if cells.len() != first.total_cells {
         let have: Vec<usize> = cells.iter().map(|c| c.cell).collect();
@@ -526,7 +608,7 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> 
             .filter(|i| have.binary_search(i).is_err())
             .take(8)
             .collect();
-        return Err(EngineError::Config(format!(
+        return Err(CampaignError::MergeConflict(format!(
             "incomplete partition: {} of {} cells present, missing cells {missing:?}{} — \
              merge every shard of the partition",
             cells.len(),
@@ -536,7 +618,8 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> 
             } else {
                 ""
             }
-        )));
+        ))
+        .into());
     }
 
     let summary = summarize(&cells);
@@ -654,6 +737,11 @@ mod tests {
                     wasted_work_secs: 0.0,
                     recovery_overhead_secs: 0.0,
                     makespan_degradation: 0.0,
+                    reroutes: 0,
+                    partition_downtime_secs: 0.0,
+                    rematerialized_tasks: 0,
+                    rematerialized_bytes: 0.0,
+                    incomplete_reason: None,
                 })
                 .collect(),
         };
@@ -772,7 +860,16 @@ mod tests {
         for c in &lost {
             assert_eq!(c.makespan_secs, 0.0, "lost cells carry zero metrics");
             assert_eq!(c.slr, 0.0);
+            assert_eq!(c.incomplete_reason.as_deref(), Some("retries_exhausted"));
         }
+        assert!(
+            report
+                .cells
+                .iter()
+                .filter(|c| c.completed)
+                .all(|c| c.incomplete_reason.is_none()),
+            "completed cells carry no incomplete reason"
+        );
         let row = &report.summary[0];
         assert!(row.completion_probability < 1.0);
         assert_eq!(
@@ -784,6 +881,33 @@ mod tests {
                 row.mean_makespan_secs > 0.0,
                 "means cover completed cells only"
             );
+        }
+    }
+
+    #[test]
+    fn step_budget_turns_grinding_cells_into_timed_out_measurements() {
+        // 10 simulated events cannot finish a 30-task montage: every
+        // cell must come back as a measurement, not an error — for both
+        // the plain-engine and the resilient-runner cell paths.
+        let plain = CampaignSpec::from_json(&spec_json(r#", "cell_step_budget": 10"#)).unwrap();
+        let resilient = CampaignSpec {
+            cell_step_budget: Some(10),
+            ..resilient_spec(
+                r#"{"kind": "retry-backoff", "base_secs": 0.0005, "factor": 2.0,
+                    "cap_secs": 0.005, "max_retries": 10000}"#,
+            )
+        };
+        for spec in [plain, resilient] {
+            let report = SweepDriver::new(1).run(&spec).unwrap();
+            assert!(
+                report.cells.iter().all(|c| !c.completed
+                    && c.incomplete_reason.as_deref() == Some("timed_out")
+                    && c.makespan_secs == 0.0),
+                "every budget-starved cell is a timed-out measurement"
+            );
+            assert_eq!(report.summary[0].completion_probability, 0.0);
+            let par = SweepDriver::new(4).run(&spec).unwrap();
+            assert_eq!(report, par, "timed-out cells are jobs-invariant");
         }
     }
 

@@ -164,6 +164,13 @@ pub struct EngineConfig {
     /// transient-only failures under retry-backoff or
     /// checkpoint-restart).
     pub resilience: Option<ResilienceConfig>,
+    /// Watchdog budget on simulated events processed by the
+    /// [`ResilientRunner`](crate::ResilientRunner) event loop (per run,
+    /// so per campaign cell). Exceeding it aborts the run with
+    /// [`EngineError::StepBudgetExceeded`] instead of grinding a
+    /// pathological fault configuration forever; `None` disables the
+    /// watchdog.
+    pub step_budget: Option<u64>,
 }
 
 /// The fault parameters [`Engine`](crate::Engine) and
@@ -201,6 +208,11 @@ impl EngineConfig {
                 }
             }
         }
+        if self.step_budget == Some(0) {
+            return Err(EngineError::Config(
+                "step_budget must be at least 1 simulated event".into(),
+            ));
+        }
         if let Some(res) = &self.resilience {
             if self.faults.is_some() || self.checkpointing.is_some() {
                 return Err(EngineError::Config(
@@ -232,6 +244,13 @@ impl EngineConfig {
             return Err(EngineError::Config(
                 "this executor only models exponential transient-only failures; use the \
                  ResilientRunner for Weibull, degraded or permanent failure modes"
+                    .into(),
+            ));
+        }
+        if res.link_faults.is_some() || !res.domains.is_empty() {
+            return Err(EngineError::Config(
+                "interconnect faults and correlated failure domains require the \
+                 ResilientRunner"
                     .into(),
             ));
         }

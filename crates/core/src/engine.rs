@@ -23,6 +23,13 @@ use crate::report::{ExecutionReport, TransferStats};
 pub(crate) const NOISE_STREAM_BASE: u64 = 1 << 32;
 pub(crate) const FAULT_STREAM_BASE: u64 = 2 << 32;
 pub(crate) const FAILURE_TRACE_STREAM_BASE: u64 = 3 << 32;
+/// Link `l` draws its interconnect-fault trace from
+/// `LINK_FAULT_STREAM_BASE + l`; correlated failure domain `i` (in spec
+/// order) draws its shared event trace from `DOMAIN_STREAM_BASE + i`.
+/// Same keying discipline as above: streams are owned by platform
+/// entities, never positional in the event timeline.
+pub(crate) const LINK_FAULT_STREAM_BASE: u64 = 4 << 32;
+pub(crate) const DOMAIN_STREAM_BASE: u64 = 5 << 32;
 
 /// The `helios` execution engine: runs workflows in simulated time under
 /// a static plan, modeling noise, link contention and faults.
@@ -144,6 +151,55 @@ impl LinkState {
         LinkState {
             free_at: vec![SimTime::ZERO; platform.interconnect().links().len()],
         }
+    }
+
+    /// Computes the arrival time of a transfer over an explicit `route`
+    /// whose duration is stretched by `scale` (≥ 1 while any crossed
+    /// link is bandwidth-degraded), updating link occupancy when
+    /// contention is enabled. The resilient runner uses this to route
+    /// around — or crawl across — faulty links; an empty route is a
+    /// same-device transfer and costs nothing.
+    #[allow(clippy::too_many_arguments)] // mirrors transfer_arrival plus route + scale
+    pub(crate) fn transfer_arrival_on_route(
+        &mut self,
+        platform: &Platform,
+        contention: bool,
+        bytes: f64,
+        route: &[helios_platform::LinkId],
+        ready: SimTime,
+        scale: f64,
+        stats: &mut TransferStats,
+    ) -> Result<SimTime, EngineError> {
+        if route.is_empty() {
+            return Ok(ready);
+        }
+        let ic = platform.interconnect();
+        let mut latency = SimDuration::ZERO;
+        let mut min_bw = f64::INFINITY;
+        for &id in route {
+            let link = ic.link(id)?;
+            latency += link.latency();
+            min_bw = min_bw.min(link.bandwidth_gbs());
+        }
+        let duration = (latency + SimDuration::from_secs(bytes / (min_bw * 1e9))) * scale;
+        let start = if contention {
+            let mut start = ready;
+            for link in route {
+                start = start.max(self.free_at[link.0]);
+            }
+            let arrival = start + duration;
+            for link in route {
+                self.free_at[link.0] = arrival;
+            }
+            start
+        } else {
+            ready
+        };
+        let arrival = start + duration;
+        stats.count += 1;
+        stats.bytes += bytes;
+        stats.total_secs += duration.as_secs();
+        Ok(arrival)
     }
 
     /// Computes the arrival time of a transfer leaving `from` at `ready`
@@ -345,7 +401,20 @@ impl Engine {
             try_start!(d, SimTime::ZERO);
         }
 
+        let mut steps: u64 = 0;
         while let Some((now, event)) = queue.pop() {
+            if let Some(budget) = self.config.step_budget {
+                if steps >= budget {
+                    // Watchdog: this run is grinding through more
+                    // simulated events than the caller budgeted for.
+                    return Err(EngineError::StepBudgetExceeded {
+                        steps: budget,
+                        completed,
+                        total: n,
+                    });
+                }
+            }
+            steps += 1;
             match event {
                 Event::Arrival(task) => {
                     inputs_pending[task.0] -= 1;

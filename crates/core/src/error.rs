@@ -40,8 +40,22 @@ pub enum EngineError {
         /// Total tasks.
         total: usize,
     },
+    /// The watchdog budget on simulated events
+    /// ([`EngineConfig::step_budget`](crate::EngineConfig)) ran out
+    /// before the workflow completed — the fault configuration is
+    /// grinding the run instead of hanging the whole campaign.
+    StepBudgetExceeded {
+        /// The exhausted budget.
+        steps: u64,
+        /// Tasks completed within the budget.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
     /// Invalid engine configuration.
     Config(String),
+    /// A campaign-layer error: malformed or invalid sweep input.
+    Campaign(crate::campaign::CampaignError),
     /// A worker thread panicked or disconnected in the threaded executor.
     Executor(String),
 }
@@ -71,7 +85,19 @@ impl fmt::Display for EngineError {
             EngineError::Stalled { completed, total } => {
                 write!(f, "engine stalled after {completed}/{total} tasks")
             }
+            EngineError::StepBudgetExceeded {
+                steps,
+                completed,
+                total,
+            } => {
+                write!(
+                    f,
+                    "cell step budget of {steps} simulated events exhausted with \
+                     {completed}/{total} tasks complete"
+                )
+            }
             EngineError::Config(msg) => write!(f, "invalid engine config: {msg}"),
+            EngineError::Campaign(e) => write!(f, "campaign error: {e}"),
             EngineError::Executor(msg) => write!(f, "threaded executor error: {msg}"),
         }
     }
@@ -83,8 +109,15 @@ impl std::error::Error for EngineError {
             EngineError::Sched(e) => Some(e),
             EngineError::Platform(e) => Some(e),
             EngineError::Workflow(e) => Some(e),
+            EngineError::Campaign(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::campaign::CampaignError> for EngineError {
+    fn from(e: crate::campaign::CampaignError) -> Self {
+        EngineError::Campaign(e)
     }
 }
 

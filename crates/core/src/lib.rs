@@ -78,9 +78,9 @@ mod report;
 pub mod resilience;
 
 pub use campaign::{
-    cell_rng, merge_shards, CampaignEngine, CampaignSpec, CellResult, DvfsKnob, FaultKnob,
-    PolicyKnob, ResilienceKnob, ResumeOutcome, SeedRange, ShardReport, ShardSpec, SummaryRow,
-    SweepCell, SweepDriver, SweepReport,
+    cell_rng, merge_shards, CampaignEngine, CampaignError, CampaignSpec, CellResult, DvfsKnob,
+    FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob, ResilienceKnob, ResumeOutcome,
+    SeedRange, ShardReport, ShardSpec, SummaryRow, SweepCell, SweepDriver, SweepReport,
 };
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
 pub use engine::Engine;
@@ -89,5 +89,6 @@ pub use error::EngineError;
 pub use online::{OnlinePolicy, OnlineRunner};
 pub use report::{ExecutionReport, TransferStats};
 pub use resilience::{
-    FailureModel, RecoveryPolicy, ResilienceConfig, ResilienceMetrics, ResilientRunner,
+    FailureDomain, FailureModel, LinkFaultModel, RecoveryPolicy, ResilienceConfig,
+    ResilienceMetrics, ResilientRunner,
 };

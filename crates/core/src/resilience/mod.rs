@@ -36,7 +36,7 @@ pub use runner::ResilientRunner;
 use serde::{Deserialize, Serialize};
 
 use crate::error::EngineError;
-use helios_sim::failure::{FailureDistribution, FailureProcess};
+use helios_sim::failure::{FailureDistribution, FailureProcess, LinkFailureProcess};
 
 /// Per-device failure process parameters plus the repair model.
 ///
@@ -132,6 +132,205 @@ impl FailureModel {
                     "{name} must be non-negative, got {v}"
                 )));
             }
+        }
+        Ok(())
+    }
+}
+
+/// Per-link interconnect-fault process parameters plus the repair model.
+///
+/// All links share one process description; realizations differ because
+/// each link samples its own forked RNG stream (keyed by link id, never
+/// by event order). A fault is either a full *outage* — the link carries
+/// nothing until repaired, so transfers stall or reroute — or a
+/// bandwidth *degradation* that stretches every crossing transfer by
+/// `degraded_factor` until repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultModel {
+    /// Mean time to failure (exponential) or characteristic life
+    /// (Weibull) per link, in seconds.
+    pub mttf_secs: f64,
+    /// Weibull shape parameter; `None` selects the exponential
+    /// distribution.
+    pub weibull_shape: Option<f64>,
+    /// Probability that a fault degrades bandwidth instead of taking the
+    /// link down entirely.
+    pub degraded_prob: f64,
+    /// Transfer-time multiplier while degraded (≥ 1, so degradation can
+    /// only slow transfers down).
+    pub degraded_factor: f64,
+    /// Downtime of one outage before the link is repaired, seconds.
+    pub outage_secs: f64,
+    /// Time until a degraded link recovers full bandwidth, seconds.
+    pub degraded_repair_secs: f64,
+}
+
+impl LinkFaultModel {
+    /// An outage-only exponential link-fault model.
+    #[must_use]
+    pub fn exponential(mttf_secs: f64) -> LinkFaultModel {
+        LinkFaultModel {
+            mttf_secs,
+            weibull_shape: None,
+            degraded_prob: 0.0,
+            degraded_factor: 2.0,
+            outage_secs: 0.05,
+            degraded_repair_secs: 0.05,
+        }
+    }
+
+    /// An outage-only Weibull link-fault model with the given
+    /// characteristic life and shape.
+    #[must_use]
+    pub fn weibull(scale_secs: f64, shape: f64) -> LinkFaultModel {
+        LinkFaultModel {
+            weibull_shape: Some(shape),
+            ..LinkFaultModel::exponential(scale_secs)
+        }
+    }
+
+    /// The inter-failure distribution this model describes.
+    #[must_use]
+    pub fn distribution(&self) -> FailureDistribution {
+        match self.weibull_shape {
+            None => FailureDistribution::Exponential {
+                mttf_secs: self.mttf_secs,
+            },
+            Some(shape) => FailureDistribution::Weibull {
+                scale_secs: self.mttf_secs,
+                shape,
+            },
+        }
+    }
+
+    /// Builds the validated [`LinkFailureProcess`] for one link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] describing the offending
+    /// parameter.
+    pub fn process(&self) -> Result<LinkFailureProcess, EngineError> {
+        LinkFailureProcess::new(self.distribution(), self.degraded_prob)
+            .map_err(|e| EngineError::Config(format!("link fault model: {e}")))
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        self.process()?;
+        if !(self.degraded_factor.is_finite() && self.degraded_factor >= 1.0) {
+            return Err(EngineError::Config(format!(
+                "link degraded_factor must be >= 1 (degradation cannot speed transfers up), \
+                 got {}",
+                self.degraded_factor
+            )));
+        }
+        for (name, v) in [
+            ("link outage_secs", self.outage_secs),
+            ("link degraded_repair_secs", self.degraded_repair_secs),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(EngineError::Config(format!(
+                    "{name} must be non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A correlated failure domain: a named group of devices *and* links
+/// (a rack, a node, a shared PSU) struck together by single events drawn
+/// from one forked RNG stream per domain.
+///
+/// A domain event of a given [`FailureKind`](helios_sim::failure::FailureKind)
+/// applies to every member at once: transient events abort whatever the
+/// member devices are running and knock member links out for
+/// `outage_secs`; degraded events slow member devices by the shared
+/// [`FailureModel::degraded_slowdown`] and outage member links the same
+/// way; permanent events remove every member device *and* link for the
+/// rest of the run — destroying the data products resident on those
+/// devices and partitioning whatever the links connected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureDomain {
+    /// Domain kind tag; one of [`FailureDomain::kinds`].
+    pub kind: String,
+    /// Unique domain name, used in validation errors and reports.
+    pub name: String,
+    /// Member device names (resolved against the platform per cell).
+    pub devices: Vec<String>,
+    /// Member link names; a name selects *every* link carrying it
+    /// (cluster presets share link names across nodes).
+    pub links: Vec<String>,
+    /// Mean time to failure (exponential) or characteristic life
+    /// (Weibull) of the whole domain, in seconds.
+    pub mttf_secs: f64,
+    /// Weibull shape parameter; `None` selects the exponential
+    /// distribution.
+    pub weibull_shape: Option<f64>,
+    /// Probability that a domain event degrades its members instead of
+    /// aborting their in-flight work.
+    pub degraded_prob: f64,
+    /// Probability that a domain event takes the whole group down for
+    /// good.
+    pub permanent_prob: f64,
+    /// Downtime of member links under non-permanent events, seconds.
+    pub outage_secs: f64,
+}
+
+impl FailureDomain {
+    /// Every legal domain kind tag, for validation errors.
+    #[must_use]
+    pub fn kinds() -> &'static [&'static str] {
+        &["rack", "node", "psu"]
+    }
+
+    /// Builds the validated shared [`FailureProcess`] for this domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] describing the offending
+    /// parameter.
+    pub fn process(&self) -> Result<FailureProcess, EngineError> {
+        let distribution = match self.weibull_shape {
+            None => FailureDistribution::Exponential {
+                mttf_secs: self.mttf_secs,
+            },
+            Some(shape) => FailureDistribution::Weibull {
+                scale_secs: self.mttf_secs,
+                shape,
+            },
+        };
+        FailureProcess::new(distribution, self.degraded_prob, self.permanent_prob)
+            .map_err(|e| EngineError::Config(format!("failure domain {:?}: {e}", self.name)))
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        let fail = |msg: String| {
+            Err(EngineError::Config(format!(
+                "failure domain {:?}: {msg}",
+                self.name
+            )))
+        };
+        if !FailureDomain::kinds().contains(&self.kind.as_str()) {
+            return fail(format!(
+                "unknown kind {:?}; legal values: {}",
+                self.kind,
+                FailureDomain::kinds().join(", ")
+            ));
+        }
+        if self.name.is_empty() {
+            return Err(EngineError::Config(
+                "failure domain name must not be empty".into(),
+            ));
+        }
+        if self.devices.is_empty() && self.links.is_empty() {
+            return fail("must name at least one member device or link".into());
+        }
+        self.process()?;
+        if !(self.outage_secs.is_finite() && self.outage_secs >= 0.0) {
+            return fail(format!(
+                "outage_secs must be non-negative, got {}",
+                self.outage_secs
+            ));
         }
         Ok(())
     }
@@ -325,13 +524,37 @@ pub struct ResilienceConfig {
     pub failures: FailureModel,
     /// What the runtime does about failures.
     pub policy: RecoveryPolicy,
+    /// Per-link interconnect faults, if any.
+    pub link_faults: Option<LinkFaultModel>,
+    /// Correlated failure domains, if any (order fixes each domain's RNG
+    /// stream, so it is part of the experiment identity).
+    pub domains: Vec<FailureDomain>,
 }
 
 impl ResilienceConfig {
-    /// Creates a resilience configuration.
+    /// Creates a resilience configuration with device failures only.
     #[must_use]
     pub fn new(failures: FailureModel, policy: RecoveryPolicy) -> ResilienceConfig {
-        ResilienceConfig { failures, policy }
+        ResilienceConfig {
+            failures,
+            policy,
+            link_faults: None,
+            domains: Vec::new(),
+        }
+    }
+
+    /// Adds a per-link interconnect-fault model.
+    #[must_use]
+    pub fn with_link_faults(mut self, link_faults: LinkFaultModel) -> ResilienceConfig {
+        self.link_faults = Some(link_faults);
+        self
+    }
+
+    /// Adds correlated failure domains.
+    #[must_use]
+    pub fn with_domains(mut self, domains: Vec<FailureDomain>) -> ResilienceConfig {
+        self.domains = domains;
+        self
     }
 
     /// Validates every parameter.
@@ -341,7 +564,22 @@ impl ResilienceConfig {
     /// Returns [`EngineError::Config`] naming the offending parameter.
     pub fn validate(&self) -> Result<(), EngineError> {
         self.failures.validate()?;
-        self.policy.validate()
+        self.policy.validate()?;
+        if let Some(lf) = &self.link_faults {
+            lf.validate()?;
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for d in &self.domains {
+            d.validate()?;
+            if names.contains(&d.name.as_str()) {
+                return Err(EngineError::Config(format!(
+                    "failure domain {:?} is defined twice; domain names must be unique",
+                    d.name
+                )));
+            }
+            names.push(&d.name);
+        }
+        Ok(())
     }
 }
 
@@ -386,6 +624,27 @@ pub struct ResilienceMetrics {
     pub replicas_cancelled: u32,
     /// Full re-planning events (Reschedule policy).
     pub reschedules: u32,
+    /// Per-link interconnect faults injected (outages + degradations).
+    #[serde(default)]
+    pub link_faults: u32,
+    /// Transfers re-resolved onto a fallback route because a primary
+    /// route link was down.
+    #[serde(default)]
+    pub reroutes: u32,
+    /// Seconds transfers spent stalled waiting for a downed link (or
+    /// partition) to heal, summed across transfers.
+    #[serde(default)]
+    pub partition_downtime_secs: f64,
+    /// Finished tasks re-executed because every copy of their output
+    /// was destroyed by a permanent device loss (lineage recovery).
+    #[serde(default)]
+    pub rematerialized_tasks: u32,
+    /// Output bytes re-produced by lineage recovery.
+    #[serde(default)]
+    pub rematerialized_bytes: f64,
+    /// Correlated failure-domain events fired.
+    #[serde(default)]
+    pub domain_events: u32,
 }
 
 #[cfg(test)]
@@ -497,9 +756,143 @@ mod tests {
             replicas_launched: 12,
             replicas_cancelled: 9,
             reschedules: 0,
+            link_faults: 3,
+            reroutes: 2,
+            partition_downtime_secs: 0.75,
+            rematerialized_tasks: 2,
+            rematerialized_bytes: 1.5e9,
+            domain_events: 1,
         };
         let v = serde::Serialize::to_value(&m);
         let back: ResilienceMetrics = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn metrics_tolerate_legacy_json_without_fault_fields() {
+        // Shards written before interconnect faults existed lack the new
+        // columns; merging them must not fail.
+        let m = ResilienceMetrics {
+            policy: "retry-backoff".into(),
+            fault_free_makespan_secs: 1.0,
+            makespan_degradation: 0.0,
+            wasted_work_secs: 0.0,
+            recovery_overhead_secs: 0.0,
+            transient_failures: 0,
+            degraded_failures: 0,
+            permanent_failures: 0,
+            retries: 0,
+            replicas_launched: 0,
+            replicas_cancelled: 0,
+            reschedules: 0,
+            link_faults: 0,
+            reroutes: 0,
+            partition_downtime_secs: 0.0,
+            rematerialized_tasks: 0,
+            rematerialized_bytes: 0.0,
+            domain_events: 0,
+        };
+        let mut v = serde::Serialize::to_value(&m);
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "link_faults"
+                        | "reroutes"
+                        | "partition_downtime_secs"
+                        | "rematerialized_tasks"
+                        | "rematerialized_bytes"
+                        | "domain_events"
+                )
+            });
+        }
+        let back: ResilienceMetrics = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn link_fault_model_validation() {
+        assert!(LinkFaultModel::exponential(5.0).validate().is_ok());
+        assert!(LinkFaultModel::exponential(0.0).validate().is_err());
+        assert!(LinkFaultModel::weibull(5.0, 1.2).validate().is_ok());
+        assert!(LinkFaultModel::weibull(5.0, 0.0).validate().is_err());
+        let mut m = LinkFaultModel::exponential(5.0);
+        m.degraded_prob = 1.5;
+        assert!(m.validate().is_err());
+        let mut m = LinkFaultModel::exponential(5.0);
+        m.degraded_factor = 0.5;
+        assert!(m.validate().is_err(), "degradation cannot speed a link up");
+        let mut m = LinkFaultModel::exponential(5.0);
+        m.outage_secs = -1.0;
+        assert!(m.validate().is_err());
+        let mut m = LinkFaultModel::exponential(5.0);
+        m.degraded_repair_secs = f64::NAN;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn failure_domain_validation() {
+        let base = FailureDomain {
+            kind: "rack".into(),
+            name: "rack0".into(),
+            devices: vec!["gpu0".into()],
+            links: vec!["nvlink".into()],
+            mttf_secs: 2.0,
+            weibull_shape: None,
+            degraded_prob: 0.1,
+            permanent_prob: 0.1,
+            outage_secs: 0.05,
+        };
+        assert!(base.validate().is_ok());
+
+        let mut d = base.clone();
+        d.kind = "blast-radius".into();
+        let err = d.validate().unwrap_err().to_string();
+        assert!(err.contains("rack"), "error must name legal kinds: {err}");
+        assert!(err.contains("psu"), "error must name legal kinds: {err}");
+
+        let mut d = base.clone();
+        d.name.clear();
+        assert!(d.validate().is_err());
+
+        let mut d = base.clone();
+        d.devices.clear();
+        d.links.clear();
+        assert!(d.validate().is_err(), "a domain must have members");
+
+        let mut d = base.clone();
+        d.mttf_secs = 0.0;
+        assert!(d.validate().is_err());
+
+        let mut d = base.clone();
+        d.outage_secs = -0.1;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_domain_names_rejected() {
+        let d = FailureDomain {
+            kind: "node".into(),
+            name: "n0".into(),
+            devices: vec!["cpu0".into()],
+            links: Vec::new(),
+            mttf_secs: 2.0,
+            weibull_shape: None,
+            degraded_prob: 0.0,
+            permanent_prob: 0.0,
+            outage_secs: 0.05,
+        };
+        let rc = ResilienceConfig::new(
+            FailureModel::exponential(10.0),
+            RecoveryPolicy::RetryBackoff {
+                base_secs: 0.0,
+                factor: 2.0,
+                cap_secs: 0.0,
+                max_retries: 3,
+            },
+        )
+        .with_domains(vec![d.clone(), d]);
+        let err = rc.validate().unwrap_err().to_string();
+        assert!(err.contains("twice"), "{err}");
     }
 }

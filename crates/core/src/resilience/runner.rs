@@ -6,11 +6,13 @@
 //!
 //! Every stochastic input comes from a dedicated forked stream of the
 //! seed RNG: task `t` draws its noise multiplier from stream
-//! `NOISE_STREAM_BASE + t` and device `d` draws its failure trace from
-//! stream `FAILURE_TRACE_STREAM_BASE + d`. Nothing is sampled inside
-//! the event loop in event order, so identical seeds give byte-identical
-//! reports regardless of how the surrounding campaign is threaded or
-//! sharded.
+//! `NOISE_STREAM_BASE + t`, device `d` draws its failure trace from
+//! stream `FAILURE_TRACE_STREAM_BASE + d`, link `l` draws its fault
+//! trace from stream `LINK_FAULT_STREAM_BASE + l`, and failure domain
+//! `i` draws its correlated-event trace from stream
+//! `DOMAIN_STREAM_BASE + i`. Nothing is sampled inside the event loop
+//! in event order, so identical seeds give byte-identical reports
+//! regardless of how the surrounding campaign is threaded or sharded.
 //!
 //! # Monotonicity
 //!
@@ -24,14 +26,19 @@
 use std::collections::BTreeMap;
 
 use helios_energy::account;
-use helios_platform::{Availability, DeviceId, DvfsLevel, Platform};
+use helios_platform::{
+    Availability, DeviceId, DvfsLevel, LinkAvailability, LinkHealth, LinkId, Platform,
+};
 use helios_sched::{placement_feasible, scheduler_by_name, Placement, Schedule, Scheduler};
-use helios_sim::failure::{FailureKind, FailureProcess};
+use helios_sim::failure::{FailureKind, FailureProcess, LinkFailureKind, LinkFailureProcess};
 use helios_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use helios_workflow::{TaskId, Workflow};
 
 use crate::config::EngineConfig;
-use crate::engine::{LinkState, FAILURE_TRACE_STREAM_BASE, NOISE_STREAM_BASE};
+use crate::engine::{
+    LinkState, DOMAIN_STREAM_BASE, FAILURE_TRACE_STREAM_BASE, LINK_FAULT_STREAM_BASE,
+    NOISE_STREAM_BASE,
+};
 use crate::error::EngineError;
 use crate::report::{ExecutionReport, TransferStats};
 use crate::resilience::{RecoveryPolicy, ResilienceConfig, ResilienceMetrics};
@@ -158,6 +165,12 @@ impl ResilientRunner {
             replicas_launched: c.launched,
             replicas_cancelled: c.cancelled,
             reschedules: c.reschedules,
+            link_faults: c.link_faults,
+            reroutes: c.reroutes,
+            partition_downtime_secs: c.partition_downtime,
+            rematerialized_tasks: c.remat_tasks,
+            rematerialized_bytes: c.remat_bytes,
+            domain_events: c.domain_events,
         };
         // Energy is accounted on the winning placements only; the device
         // time burnt by cancelled replicas shows up in wasted_work_secs,
@@ -257,12 +270,42 @@ struct Dev {
     pending_kind: Option<FailureKind>,
 }
 
+/// Per-link fault-injection state. Allocated for every link so domain
+/// outages can share the repair-sequence guard; the RNG stream is only
+/// drawn from when a [`LinkFaultModel`](crate::LinkFaultModel) is
+/// configured.
+#[derive(Debug)]
+struct LinkRt {
+    rng: SimRng,
+    /// Fault mode pre-drawn for the next LinkFault event on this link.
+    pending: Option<LinkFailureKind>,
+    /// Stale-repair guard: a newer outage/degradation supersedes older
+    /// repairs (domain outages bump it too).
+    repair_seq: u32,
+}
+
+/// Runtime state of one correlated failure domain: resolved member ids
+/// plus its own RNG stream and event process.
+#[derive(Debug)]
+struct DomainRt {
+    device_ids: Vec<usize>,
+    link_ids: Vec<LinkId>,
+    rng: SimRng,
+    pending: Option<FailureKind>,
+    process: FailureProcess,
+    /// Member-link downtime under non-permanent events.
+    outage: SimDuration,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     Finish { replica: usize, gen: u32 },
     Resume { replica: usize, gen: u32 },
     Fault { device: usize },
     Repair { device: usize, seq: u32 },
+    LinkFault { link: usize },
+    LinkRepair { link: usize, seq: u32 },
+    DomainFault { domain: usize },
 }
 
 #[derive(Debug, Default)]
@@ -274,6 +317,14 @@ struct Counters {
     launched: u32,
     cancelled: u32,
     reschedules: u32,
+    link_faults: u32,
+    reroutes: u32,
+    remat_tasks: u32,
+    domain_events: u32,
+    /// Output bytes destroyed with their devices and re-produced.
+    remat_bytes: f64,
+    /// Seconds transfers stalled waiting for downed links to heal.
+    partition_downtime: f64,
     /// Effective device-seconds that contributed nothing.
     wasted: f64,
     /// Restart overheads + backoff delays + replan overheads, seconds.
@@ -311,6 +362,30 @@ struct Sim<'a> {
     delivered: BTreeMap<(TaskId, DeviceId), SimTime>,
     queue: EventQueue<Ev>,
     process: FailureProcess,
+    /// Link health, consulted when a transfer is staged. Running
+    /// transfers are not re-projected by later link faults (a documented
+    /// approximation; device faults dominate attempt lifetimes).
+    links_avail: LinkAvailability,
+    link_rt: Vec<LinkRt>,
+    link_proc: Option<LinkFailureProcess>,
+    domains_rt: Vec<DomainRt>,
+    /// Whether link health can change: route-aware staging is used by
+    /// both the faulty run and the baseline iff this is set, so the two
+    /// runs are numerically comparable.
+    link_health_active: bool,
+    /// Set when recovery queues new replicas mid-dispatch, forcing
+    /// another dispatch pass over all devices.
+    dispatch_dirty: bool,
+}
+
+/// Health of one candidate route at staging time.
+enum RouteNow {
+    /// Every link carries data; transfers stretch by `scale` (≥ 1).
+    Up { scale: f64 },
+    /// Some link is down but repairs; all-up at `at`, then `scale`.
+    Heals { at: SimTime, scale: f64 },
+    /// Some link is down forever: the route is severed.
+    Severed,
 }
 
 impl<'a> Sim<'a> {
@@ -324,7 +399,66 @@ impl<'a> Sim<'a> {
     ) -> Result<Outcome, EngineError> {
         let n = wf.num_tasks();
         let nd = platform.num_devices();
+        let nl = platform.interconnect().links().len();
         let base_rng = SimRng::seed_from(cfg.seed);
+
+        // Resolve failure-domain members against this platform up front,
+        // so a bad name fails the cell with an actionable error instead
+        // of silently injecting nothing.
+        let mut domains_rt: Vec<DomainRt> = Vec::with_capacity(res.domains.len());
+        for (i, dom) in res.domains.iter().enumerate() {
+            let mut device_ids = Vec::with_capacity(dom.devices.len());
+            for name in &dom.devices {
+                let dev = platform.device_by_name(name).ok_or_else(|| {
+                    EngineError::Config(format!(
+                        "failure domain {:?}: unknown device {:?}; platform devices: {}",
+                        dom.name,
+                        name,
+                        platform
+                            .devices()
+                            .iter()
+                            .map(|d| d.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+                device_ids.push(dev.id().0);
+            }
+            let mut link_ids = Vec::new();
+            for name in &dom.links {
+                let matches = platform.interconnect().links_by_name(name);
+                if matches.is_empty() {
+                    let mut known: Vec<&str> = platform
+                        .interconnect()
+                        .links()
+                        .iter()
+                        .map(|l| l.name())
+                        .collect();
+                    known.dedup();
+                    return Err(EngineError::Config(format!(
+                        "failure domain {:?}: unknown link {:?}; platform links: {}",
+                        dom.name,
+                        name,
+                        known.join(", ")
+                    )));
+                }
+                link_ids.extend(matches);
+            }
+            link_ids.sort_unstable();
+            link_ids.dedup();
+            domains_rt.push(DomainRt {
+                device_ids,
+                link_ids,
+                rng: base_rng.fork(DOMAIN_STREAM_BASE + i as u64),
+                pending: None,
+                process: dom.process()?,
+                outage: SimDuration::from_secs(dom.outage_secs),
+            });
+        }
+
+        let link_health_active =
+            res.link_faults.is_some() || res.domains.iter().any(|d| !d.links.is_empty());
+        let link_proc = res.link_faults.as_ref().map(|m| m.process()).transpose()?;
 
         // Task-intrinsic noise: drawn once per task from its own stream
         // and replayed on every retry and replica.
@@ -370,6 +504,18 @@ impl<'a> Sim<'a> {
             delivered: BTreeMap::new(),
             queue: EventQueue::new(),
             process: res.failures.process()?,
+            links_avail: LinkAvailability::new(nl),
+            link_rt: (0..nl)
+                .map(|l| LinkRt {
+                    rng: base_rng.fork(LINK_FAULT_STREAM_BASE + l as u64),
+                    pending: None,
+                    repair_seq: 0,
+                })
+                .collect(),
+            link_proc,
+            domains_rt,
+            link_health_active,
+            dispatch_dirty: false,
         };
 
         // Build replicas: the planned placement, plus k-1 copies on the
@@ -458,6 +604,14 @@ impl<'a> Sim<'a> {
             for d in 0..nd {
                 sim.schedule_next_fault(d, SimTime::ZERO);
             }
+            if sim.link_proc.is_some() {
+                for l in 0..nl {
+                    sim.schedule_next_link_fault(l, SimTime::ZERO);
+                }
+            }
+            for i in 0..sim.domains_rt.len() {
+                sim.schedule_next_domain_fault(i, SimTime::ZERO);
+            }
         }
 
         sim.run_loop(n)?;
@@ -475,8 +629,21 @@ impl<'a> Sim<'a> {
     }
 
     fn run_loop(&mut self, n: usize) -> Result<(), EngineError> {
+        let mut steps: u64 = 0;
         self.dispatch_all(SimTime::ZERO)?;
         while self.completed < n {
+            if let Some(budget) = self.cfg.step_budget {
+                if steps >= budget {
+                    // Watchdog: the fault configuration is grinding this
+                    // cell, not hanging the whole campaign.
+                    return Err(EngineError::StepBudgetExceeded {
+                        steps: budget,
+                        completed: self.completed,
+                        total: n,
+                    });
+                }
+            }
+            steps += 1;
             let Some((now, ev)) = self.queue.pop() else {
                 return Err(EngineError::Stalled {
                     completed: self.completed,
@@ -488,6 +655,9 @@ impl<'a> Sim<'a> {
                 Ev::Resume { replica, gen } => self.handle_resume(replica, gen, now)?,
                 Ev::Fault { device } => self.handle_fault(device, now)?,
                 Ev::Repair { device, seq } => self.handle_repair(device, seq, now),
+                Ev::LinkFault { link } => self.handle_link_fault(link, now),
+                Ev::LinkRepair { link, seq } => self.handle_link_repair(link, seq),
+                Ev::DomainFault { domain } => self.handle_domain_fault(domain, now)?,
             }
             self.dispatch_all(now)?;
         }
@@ -553,54 +723,403 @@ impl<'a> Sim<'a> {
         self.queue.push(ev.at, Ev::Fault { device: d });
     }
 
-    /// Scans every device (in id order) and starts the next eligible
-    /// queued replica on each idle one.
-    fn dispatch_all(&mut self, now: SimTime) -> Result<(), EngineError> {
-        for d in 0..self.devs.len() {
-            if !self.avail.is_up(DeviceId(d)) {
+    fn schedule_next_link_fault(&mut self, l: usize, now: SimTime) {
+        let proc = self
+            .link_proc
+            .as_ref()
+            .expect("link faults scheduled without a model");
+        let ev = proc.next_after(&mut self.link_rt[l].rng, now);
+        self.link_rt[l].pending = Some(ev.kind);
+        self.queue.push(ev.at, Ev::LinkFault { link: l });
+    }
+
+    fn schedule_next_domain_fault(&mut self, i: usize, now: SimTime) {
+        let drt = &mut self.domains_rt[i];
+        let ev = drt.process.next_after(&mut drt.rng, now);
+        drt.pending = Some(ev.kind);
+        self.queue.push(ev.at, Ev::DomainFault { domain: i });
+    }
+
+    fn handle_link_fault(&mut self, l: usize, now: SimTime) {
+        let link = LinkId(l);
+        if self.links_avail.down_until(link).is_some() {
+            // Already out. A permanently severed link ends its trace; a
+            // timed outage just waits for the next draw.
+            if !matches!(self.links_avail.down_until(link), Some(None)) {
+                self.schedule_next_link_fault(l, now);
+            }
+            return;
+        }
+        let kind = self.link_rt[l]
+            .pending
+            .take()
+            .expect("link fault event without a drawn mode");
+        let lf = self
+            .res
+            .link_faults
+            .as_ref()
+            .expect("link fault event without a model");
+        self.counters.link_faults += 1;
+        self.link_rt[l].repair_seq += 1;
+        let seq = self.link_rt[l].repair_seq;
+        match kind {
+            LinkFailureKind::Degraded => {
+                self.links_avail.set_degraded(link, lf.degraded_factor);
+                self.queue.push(
+                    now + SimDuration::from_secs(lf.degraded_repair_secs),
+                    Ev::LinkRepair { link: l, seq },
+                );
+            }
+            LinkFailureKind::Outage => {
+                let until = now + SimDuration::from_secs(lf.outage_secs);
+                self.links_avail.set_down(link, Some(until));
+                self.queue.push(until, Ev::LinkRepair { link: l, seq });
+            }
+        }
+        self.schedule_next_link_fault(l, now);
+    }
+
+    fn handle_link_repair(&mut self, l: usize, seq: u32) {
+        if self.link_rt[l].repair_seq != seq {
+            return; // Superseded by a newer fault or domain outage.
+        }
+        if matches!(self.links_avail.down_until(LinkId(l)), Some(None)) {
+            return; // Permanent losses stay down.
+        }
+        self.links_avail.repair(LinkId(l));
+    }
+
+    /// Takes every member link of domain `i` down until `now +
+    /// outage`, superseding pending repairs. Links that are already
+    /// down — permanently severed or mid-outage — are left alone: an
+    /// outage runs its configured course from its onset, it is not
+    /// extended by later strikes.
+    fn domain_link_outage(&mut self, i: usize, now: SimTime) {
+        let until = now + self.domains_rt[i].outage;
+        let links = self.domains_rt[i].link_ids.clone();
+        for link in links {
+            if self.links_avail.down_until(link).is_some() {
                 continue;
             }
-            loop {
-                if self.devs[d].running.is_some() {
-                    break;
-                }
-                let pos = self.devs[d].pos;
-                if pos >= self.devs[d].queue.len() {
-                    break;
-                }
-                let ri = self.devs[d].queue[pos];
-                match self.replicas[ri].state {
-                    RState::Done | RState::Cancelled | RState::Failed | RState::Lost => {
-                        self.devs[d].pos += 1;
+            self.links_avail.set_down(link, Some(until));
+            self.link_rt[link.0].repair_seq += 1;
+            let seq = self.link_rt[link.0].repair_seq;
+            self.queue.push(until, Ev::LinkRepair { link: link.0, seq });
+        }
+    }
+
+    fn handle_domain_fault(&mut self, i: usize, now: SimTime) -> Result<(), EngineError> {
+        // A fully dead domain (every member device and link permanently
+        // gone) generates no further events, bounding the event stream.
+        let any_live = self.domains_rt[i]
+            .device_ids
+            .iter()
+            .any(|&d| self.avail.is_up(DeviceId(d)))
+            || self.domains_rt[i]
+                .link_ids
+                .iter()
+                .any(|&l| !matches!(self.links_avail.down_until(l), Some(None)));
+        if !any_live {
+            return Ok(());
+        }
+        let kind = self.domains_rt[i]
+            .pending
+            .take()
+            .expect("domain fault event without a drawn mode");
+        self.counters.domain_events += 1;
+        let member_devs = self.domains_rt[i].device_ids.clone();
+        match kind {
+            FailureKind::Transient => {
+                for &d in &member_devs {
+                    if !self.avail.is_up(DeviceId(d)) {
+                        continue;
                     }
-                    // A held entry without `running` set cannot happen;
-                    // leave it to the Resume event rather than panic.
-                    RState::Running | RState::WaitingRestart => break,
-                    RState::Queued => {
-                        let t = self.replicas[ri].task;
-                        if self.finished_at[t.0].is_some() {
-                            // Sibling already won; drop silently.
-                            self.replicas[ri].state = RState::Cancelled;
-                            self.replicas[ri].gen += 1;
-                            self.devs[d].pos += 1;
-                            continue;
+                    if let Some(ri) = self.devs[d].running {
+                        if self.replicas[ri].state == RState::Running {
+                            self.counters.transient += 1;
+                            self.abort_attempt(ri, now)?;
                         }
-                        if self.preds_left[t.0] > 0 {
-                            // Head-of-line blocking preserves plan order.
-                            break;
-                        }
-                        self.devs[d].running = Some(ri);
-                        self.start_attempt(ri, now)?;
-                        break;
                     }
                 }
+                self.domain_link_outage(i, now);
+                self.schedule_next_domain_fault(i, now);
+            }
+            FailureKind::Degraded => {
+                let factor = self.res.failures.degraded_slowdown;
+                let repair = self.res.failures.degraded_repair_secs;
+                for &d in &member_devs {
+                    if !self.avail.is_up(DeviceId(d)) {
+                        continue;
+                    }
+                    self.counters.degraded += 1;
+                    self.avail.set_degraded(DeviceId(d), factor);
+                    if let Some(ri) = self.devs[d].running {
+                        if self.replicas[ri].state == RState::Running {
+                            self.reproject(ri, now, factor);
+                        }
+                    }
+                    self.devs[d].repair_seq += 1;
+                    let seq = self.devs[d].repair_seq;
+                    self.queue.push(
+                        now + SimDuration::from_secs(repair),
+                        Ev::Repair { device: d, seq },
+                    );
+                }
+                self.domain_link_outage(i, now);
+                self.schedule_next_domain_fault(i, now);
+            }
+            FailureKind::Permanent => {
+                // Sever member links first so recovery placement sees the
+                // partition, then fail the member devices as one batch
+                // (one data-loss pass, one recovery pass).
+                let links = self.domains_rt[i].link_ids.clone();
+                for link in links {
+                    self.links_avail.set_down(link, None);
+                    self.link_rt[link.0].repair_seq += 1;
+                }
+                let dead: Vec<usize> = member_devs
+                    .iter()
+                    .copied()
+                    .filter(|&d| self.avail.is_up(DeviceId(d)))
+                    .collect();
+                self.counters.permanent += dead.len() as u32;
+                self.fail_devices(&dead, now)?;
+                // The domain burnt itself out: no further events.
             }
         }
         Ok(())
     }
 
+    /// Health of `route` right now, folding per-link states into one
+    /// verdict: worst slowdown, latest repair, or permanent severance.
+    fn classify_route(la: &LinkAvailability, route: &[LinkId], ready: SimTime) -> RouteNow {
+        let mut scale = 1.0_f64;
+        let mut heal = ready;
+        let mut down = false;
+        for &l in route {
+            match la.state(l) {
+                LinkHealth::Up => {}
+                LinkHealth::Degraded { factor } => scale = scale.max(factor),
+                LinkHealth::Down { until: Some(t) } => {
+                    down = true;
+                    heal = heal.max(t);
+                }
+                LinkHealth::Down { until: None } => return RouteNow::Severed,
+            }
+        }
+        if down {
+            RouteNow::Heals { at: heal, scale }
+        } else {
+            RouteNow::Up { scale }
+        }
+    }
+
+    /// Arrival instant of one input transfer at `device`, honoring link
+    /// health at staging time: degraded links stretch the transfer,
+    /// downed links force a reroute over the default link or stall the
+    /// transfer until the earliest repair. Returns `Ok(None)` when every
+    /// candidate route is permanently severed — the device is
+    /// partitioned away from the producer.
+    fn staged_arrival(
+        &mut self,
+        src_dev: DeviceId,
+        device: DeviceId,
+        bytes: f64,
+        ready: SimTime,
+    ) -> Result<Option<SimTime>, EngineError> {
+        if src_dev == device {
+            return Ok(Some(ready));
+        }
+        let platform = self.platform;
+        if !self.link_health_active {
+            let arrival = self.links.transfer_arrival(
+                platform,
+                self.cfg.link_contention,
+                bytes,
+                src_dev,
+                device,
+                ready,
+                &mut self.stats,
+                None,
+            )?;
+            return Ok(Some(arrival));
+        }
+        let ic = platform.interconnect();
+        let primary = ic.route(src_dev, device)?;
+        // The only alternate path the model knows is the default link
+        // (presets route unrelated pairs over it); a fallback identical
+        // to the primary is no detour.
+        let fallback: Option<Vec<LinkId>> = ic
+            .default_link()
+            .map(|dl| vec![dl])
+            .filter(|f| f[..] != primary[..]);
+        let pri = Sim::classify_route(&self.links_avail, &primary, ready);
+        let fb = fallback
+            .as_ref()
+            .map(|r| Sim::classify_route(&self.links_avail, r, ready));
+        // Preference order: any route that is up now (primary first),
+        // then the route that heals earliest (primary on ties).
+        let (route, anchor, scale, rerouted) = match (pri, fb) {
+            (RouteNow::Up { scale }, _) => (&primary, ready, scale, false),
+            (_, Some(RouteNow::Up { scale })) => {
+                (fallback.as_ref().expect("classified"), ready, scale, true)
+            }
+            (RouteNow::Heals { at, scale }, fb) => match fb {
+                Some(RouteNow::Heals {
+                    at: fat,
+                    scale: fsc,
+                }) if fat < at => (fallback.as_ref().expect("classified"), fat, fsc, true),
+                _ => (&primary, at, scale, false),
+            },
+            (RouteNow::Severed, Some(RouteNow::Heals { at, scale })) => {
+                (fallback.as_ref().expect("classified"), at, scale, true)
+            }
+            (RouteNow::Severed, _) => return Ok(None),
+        };
+        if rerouted {
+            self.counters.reroutes += 1;
+        }
+        if anchor > ready {
+            self.counters.partition_downtime += anchor.saturating_since(ready).as_secs();
+        }
+        let arrival = self.links.transfer_arrival_on_route(
+            platform,
+            self.cfg.link_contention,
+            bytes,
+            route,
+            anchor,
+            scale,
+            &mut self.stats,
+        )?;
+        Ok(Some(arrival))
+    }
+
+    /// Marks `ri` Lost because its inputs are permanently unreachable
+    /// from its device, releases the device, and reassigns the task to a
+    /// reachable device when no sibling survives.
+    fn strand_replica(&mut self, ri: usize, now: SimTime) -> Result<(), EngineError> {
+        let task = self.replicas[ri].task;
+        let d = self.replicas[ri].device.0;
+        self.replicas[ri].state = RState::Lost;
+        self.replicas[ri].gen += 1;
+        self.devs[d].running = None;
+        self.devs[d].pos += 1;
+        if !self.task_has_live_replica(task) {
+            // Partition recovery is always local reassignment (a full
+            // replan cannot see link health and could re-place the task
+            // on the severed device forever).
+            self.greedy_reassign(&[task], now)?;
+        }
+        Ok(())
+    }
+
+    /// Whether `dev` can stage every already-produced input of `task`:
+    /// no producer's product sits across a permanently severed route.
+    /// Unfinished producers are judged optimistically — if they later
+    /// finish somewhere unreachable, the consumer strands then and
+    /// recovers again.
+    fn reachable_for(&self, task: TaskId, dev: DeviceId) -> Result<bool, EngineError> {
+        if !self.link_health_active {
+            return Ok(true);
+        }
+        let ic = self.platform.interconnect();
+        let severed = |route: &[LinkId]| {
+            route
+                .iter()
+                .any(|&l| matches!(self.links_avail.down_until(l), Some(None)))
+        };
+        for &e in self.wf.predecessors(task) {
+            let edge = self.wf.edge(e);
+            let src = edge.src;
+            let Some(src_dev) = self.winner_dev[src.0] else {
+                continue;
+            };
+            if src_dev == dev {
+                continue;
+            }
+            if self.cfg.data_caching && self.delivered.contains_key(&(src, dev)) {
+                continue;
+            }
+            let primary = ic.route(src_dev, dev)?;
+            if !severed(&primary) {
+                continue;
+            }
+            let fallback_ok = match ic.default_link() {
+                Some(dl) => primary[..] != [dl] && !severed(&[dl]),
+                None => false,
+            };
+            if !fallback_ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Scans every device (in id order) and starts the next eligible
+    /// queued replica on each idle one. Repeats the scan whenever a
+    /// stranded start re-queued work (possibly on an already-visited
+    /// device); each repeat requires fresh queued replicas, so the loop
+    /// terminates.
+    fn dispatch_all(&mut self, now: SimTime) -> Result<(), EngineError> {
+        loop {
+            self.dispatch_dirty = false;
+            for d in 0..self.devs.len() {
+                if !self.avail.is_up(DeviceId(d)) {
+                    continue;
+                }
+                loop {
+                    if self.devs[d].running.is_some() {
+                        break;
+                    }
+                    let pos = self.devs[d].pos;
+                    if pos >= self.devs[d].queue.len() {
+                        break;
+                    }
+                    let ri = self.devs[d].queue[pos];
+                    match self.replicas[ri].state {
+                        RState::Done | RState::Cancelled | RState::Failed | RState::Lost => {
+                            self.devs[d].pos += 1;
+                        }
+                        // A held entry without `running` set cannot happen;
+                        // leave it to the Resume event rather than panic.
+                        RState::Running | RState::WaitingRestart => break,
+                        RState::Queued => {
+                            let t = self.replicas[ri].task;
+                            if self.finished_at[t.0].is_some() {
+                                // Sibling already won; drop silently.
+                                self.replicas[ri].state = RState::Cancelled;
+                                self.replicas[ri].gen += 1;
+                                self.devs[d].pos += 1;
+                                continue;
+                            }
+                            if self.preds_left[t.0] > 0 {
+                                // Head-of-line blocking preserves plan order.
+                                break;
+                            }
+                            self.devs[d].running = Some(ri);
+                            self.start_attempt(ri, now)?;
+                            // A stranded start released the device again;
+                            // keep scanning its queue.
+                            if self.devs[d].running.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !self.dispatch_dirty {
+                return Ok(());
+            }
+        }
+    }
+
     /// Starts (or restarts) the attempt for `ri`: stages its inputs,
     /// computes the effective duration and schedules the Finish event.
+    ///
+    /// When every route from a producer to this device is permanently
+    /// severed the replica can never start here: it is marked Lost, the
+    /// device is released, and (if no sibling survives) the task is
+    /// reassigned to a reachable device.
     fn start_attempt(&mut self, ri: usize, now: SimTime) -> Result<(), EngineError> {
         let task = self.replicas[ri].task;
         let device = self.replicas[ri].device;
@@ -621,16 +1140,9 @@ impl<'a> Sim<'a> {
                     continue;
                 }
             }
-            let arrival = self.links.transfer_arrival(
-                self.platform,
-                self.cfg.link_contention,
-                edge.bytes,
-                src_dev,
-                device,
-                ready,
-                &mut self.stats,
-                None,
-            )?;
+            let Some(arrival) = self.staged_arrival(src_dev, device, edge.bytes, ready)? else {
+                return self.strand_replica(ri, now);
+            };
             if self.cfg.data_caching {
                 self.delivered.insert((src, device), arrival);
             }
@@ -798,7 +1310,12 @@ impl<'a> Sim<'a> {
         }
         let wf = self.wf;
         for &e in wf.successors(task) {
-            self.preds_left[wf.edge(e).dst.0] -= 1;
+            let dst = wf.edge(e).dst.0;
+            // A consumer that finished before lineage recovery un-did
+            // this producer is not waiting on the re-run.
+            if self.finished_at[dst].is_none() {
+                self.preds_left[dst] -= 1;
+            }
         }
         Ok(())
     }
@@ -806,6 +1323,19 @@ impl<'a> Sim<'a> {
     fn handle_resume(&mut self, ri: usize, gen: u32, now: SimTime) -> Result<(), EngineError> {
         if self.replicas[ri].gen != gen || self.replicas[ri].state != RState::WaitingRestart {
             return Ok(()); // Stale: cancelled or lost while waiting.
+        }
+        let t = self.replicas[ri].task;
+        if self.preds_left[t.0] > 0 {
+            // Lineage recovery un-finished an input while this replica
+            // waited out its restart: back to Queued (still at the head
+            // of its device queue), release the device, and let dispatch
+            // restart it once the producers re-finish.
+            let r = &mut self.replicas[ri];
+            r.state = RState::Queued;
+            r.gen += 1;
+            let d = r.device.0;
+            self.devs[d].running = None;
+            return Ok(());
         }
         self.start_attempt(ri, now)
     }
@@ -866,26 +1396,35 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Permanent loss of device `d`: orphan its replicas, then recover
-    /// stranded tasks by policy (full replan under Reschedule, greedy
-    /// per-task reassignment otherwise).
+    /// Permanent loss of device `d` alone (per-device failure trace).
     fn handle_device_loss(&mut self, d: usize, now: SimTime) -> Result<(), EngineError> {
-        self.avail.set_down(DeviceId(d));
-        self.devs[d].running = None;
-        let suffix: Vec<usize> = self.devs[d].queue[self.devs[d].pos..].to_vec();
-        for ri in suffix {
-            match self.replicas[ri].state {
-                RState::Running => {
-                    self.update_progress(ri, now);
-                    self.counters.wasted += self.replicas[ri].attempt.done_eff.as_secs();
-                    self.replicas[ri].state = RState::Lost;
-                    self.replicas[ri].gen += 1;
+        self.fail_devices(&[d], now)
+    }
+
+    /// Permanent loss of every device in `dead` at once (one batch for a
+    /// correlated domain event): orphan their replicas, destroy the data
+    /// products resident on them, re-materialize the lost lineage, then
+    /// recover stranded tasks by policy (full replan under Reschedule,
+    /// greedy per-task reassignment otherwise).
+    fn fail_devices(&mut self, dead: &[usize], now: SimTime) -> Result<(), EngineError> {
+        for &d in dead {
+            self.avail.set_down(DeviceId(d));
+            self.devs[d].running = None;
+            let suffix: Vec<usize> = self.devs[d].queue[self.devs[d].pos..].to_vec();
+            for ri in suffix {
+                match self.replicas[ri].state {
+                    RState::Running => {
+                        self.update_progress(ri, now);
+                        self.counters.wasted += self.replicas[ri].attempt.done_eff.as_secs();
+                        self.replicas[ri].state = RState::Lost;
+                        self.replicas[ri].gen += 1;
+                    }
+                    RState::Queued | RState::WaitingRestart => {
+                        self.replicas[ri].state = RState::Lost;
+                        self.replicas[ri].gen += 1;
+                    }
+                    _ => {}
                 }
-                RState::Queued | RState::WaitingRestart => {
-                    self.replicas[ri].state = RState::Lost;
-                    self.replicas[ri].gen += 1;
-                }
-                _ => {}
             }
         }
         let n = self.wf.num_tasks();
@@ -896,6 +1435,7 @@ impl<'a> Sim<'a> {
                 total: n,
             });
         }
+        self.rematerialize_lost_products();
         let stranded: Vec<TaskId> = (0..n)
             .map(TaskId)
             .filter(|&t| self.finished_at[t.0].is_none() && !self.task_has_live_replica(t))
@@ -910,9 +1450,108 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Moves each stranded task to the surviving feasible device where
-    /// it runs fastest (ties break on device id), restarting from zero
-    /// (checkpoints are device-local).
+    /// Data-product loss and lineage recovery.
+    ///
+    /// A finished task's product lives on its winner device plus any
+    /// delivered cache copies. Dead devices take their copies with them:
+    /// products with a surviving copy are re-pointed there; products
+    /// with none are *lost*. Walking lineage upward from every
+    /// unfinished task, each finished ancestor whose product is lost is
+    /// un-finished so it re-executes — and only those: the walk stops at
+    /// ancestors whose products survive, so exactly the lost ancestor
+    /// chain is re-materialized.
+    fn rematerialize_lost_products(&mut self) {
+        let n = self.wf.num_tasks();
+        // 1. Purge copies that died with their devices.
+        let avail = &self.avail;
+        self.delivered.retain(|&(_, dev), _| avail.is_up(dev));
+        // 2. Re-point dead winners at the smallest surviving cached
+        //    copy; products with no copy anywhere are lost.
+        let mut lost = vec![false; n];
+        for (t, lost_t) in lost.iter_mut().enumerate() {
+            let Some(w) = self.winner_dev[t] else {
+                continue;
+            };
+            if self.avail.is_up(w) {
+                continue;
+            }
+            let copy = self
+                .delivered
+                .iter()
+                .filter(|((src, _), _)| src.0 == t)
+                .map(|((_, dev), &at)| (dev.0, at))
+                .min();
+            match copy {
+                Some((d2, at)) => {
+                    self.winner_dev[t] = Some(DeviceId(d2));
+                    // The copy only became usable when it arrived there.
+                    let f = self.finished_at[t].expect("winner implies finished");
+                    self.finished_at[t] = Some(f.max(at));
+                }
+                None => *lost_t = true,
+            }
+        }
+        // 3. Lineage walk from unfinished tasks: a lost finished
+        //    ancestor needs re-materializing, and so (recursively) do
+        //    the lost ancestors feeding *its* re-run.
+        let mut need = vec![false; n];
+        let mut visited = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&t| self.finished_at[t].is_none()).collect();
+        for &t in &stack {
+            visited[t] = true;
+        }
+        while let Some(t) = stack.pop() {
+            for &e in self.wf.predecessors(TaskId(t)) {
+                let p = self.wf.edge(e).src.0;
+                if visited[p] {
+                    continue;
+                }
+                if self.finished_at[p].is_some() && lost[p] {
+                    visited[p] = true;
+                    need[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        // 4. Un-finish the chain and charge the re-materialization.
+        for t in (0..n).filter(|&t| need[t]) {
+            self.finished_at[t] = None;
+            self.winner_dev[t] = None;
+            self.realized[t] = None;
+            self.completed -= 1;
+            self.counters.remat_tasks += 1;
+            for &e in self.wf.successors(TaskId(t)) {
+                self.counters.remat_bytes += self.wf.edge(e).bytes;
+            }
+            for ri in self.task_replicas[t].clone() {
+                if self.replicas[ri].state == RState::Done {
+                    // The winning attempt's work is gone with its output.
+                    self.counters.wasted += self.replicas[ri].attempt.total_eff.as_secs();
+                    self.replicas[ri].state = RState::Lost;
+                    self.replicas[ri].gen += 1;
+                }
+            }
+        }
+        if need.iter().any(|&x| x) {
+            // Finished-edge counts changed; rebuild them for every
+            // unfinished task (re-run consumers wait for re-run inputs).
+            for t in 0..n {
+                if self.finished_at[t].is_some() {
+                    continue;
+                }
+                self.preds_left[t] = self
+                    .wf
+                    .predecessors(TaskId(t))
+                    .iter()
+                    .filter(|&&e| self.finished_at[self.wf.edge(e).src.0].is_none())
+                    .count();
+            }
+        }
+    }
+
+    /// Moves each stranded task to the surviving feasible *reachable*
+    /// device where it runs fastest (ties break on device id),
+    /// restarting from zero (checkpoints are device-local).
     fn greedy_reassign(&mut self, stranded: &[TaskId], now: SimTime) -> Result<(), EngineError> {
         let n = self.wf.num_tasks();
         for &task in stranded {
@@ -920,6 +1559,9 @@ impl<'a> Sim<'a> {
             for dev in self.avail.surviving() {
                 let device = self.platform.device(dev)?;
                 if !placement_feasible(device, self.wf.task(task)?) {
+                    continue;
+                }
+                if !self.reachable_for(task, dev)? {
                     continue;
                 }
                 let secs = self.work_on(task, dev, device.nominal_level())?.as_secs();
@@ -965,6 +1607,7 @@ impl<'a> Sim<'a> {
     /// Inserts a new queued replica into the unconsumed suffix of device
     /// `d`'s queue, keeping it sorted by `sort_key`.
     fn insert_queued(&mut self, d: usize, ri: usize) {
+        self.dispatch_dirty = true;
         let start = self.devs[d].pos + usize::from(self.devs[d].running.is_some());
         let key = self.replicas[ri].sort_key;
         let queue = &mut self.devs[d].queue;
@@ -988,6 +1631,7 @@ impl<'a> Sim<'a> {
     ) -> Result<(), EngineError> {
         self.counters.reschedules += 1;
         self.counters.recovery += overhead_secs;
+        self.dispatch_dirty = true;
         let alive = self.avail.surviving();
         let sub = self.platform.survivors(&alive)?;
         let sched = scheduler_by_name(scheduler).ok_or_else(|| {
@@ -1260,5 +1904,364 @@ mod tests {
         );
         assert_eq!(m.wasted_work_secs, 0.0);
         assert_eq!(m.transient_failures, 0);
+    }
+
+    // ---- interconnect faults, correlated domains, lineage recovery ----
+
+    use crate::resilience::{FailureDomain, LinkFaultModel};
+    use helios_platform::{
+        ComputeCost, DeviceBuilder, DeviceKind, InterconnectBuilder, KernelClass, Link,
+        PlatformBuilder,
+    };
+    use helios_sched::SchedError;
+    use helios_workflow::{Task, WorkflowBuilder};
+
+    /// A scheduler that returns a pre-built plan, so tests control the
+    /// exact placement and queue order the runner executes.
+    struct FixedPlan(Schedule);
+
+    impl Scheduler for FixedPlan {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn schedule(&self, _wf: &Workflow, _p: &Platform) -> Result<Schedule, SchedError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    fn retry_policy() -> RecoveryPolicy {
+        RecoveryPolicy::RetryBackoff {
+            base_secs: 0.0,
+            factor: 1.0,
+            cap_secs: 0.0,
+            max_retries: 10_000,
+        }
+    }
+
+    /// A rack-style domain striking devices `devices` and links `links`
+    /// near t ≈ 0.14–0.22 s (Weibull scale 0.2, shape 60 is almost a
+    /// delta function there), with the given event-kind mix.
+    fn tight_domain(
+        devices: &[&str],
+        links: &[&str],
+        degraded_prob: f64,
+        permanent_prob: f64,
+        outage_secs: f64,
+    ) -> FailureDomain {
+        FailureDomain {
+            kind: "rack".into(),
+            name: "r0".into(),
+            devices: devices.iter().map(|s| s.to_string()).collect(),
+            links: links.iter().map(|s| s.to_string()).collect(),
+            mttf_secs: 0.2,
+            weibull_shape: Some(60.0),
+            degraded_prob,
+            permanent_prob,
+            outage_secs,
+        }
+    }
+
+    /// Two 1 TFLOP/s CPUs joined by a single 10 GB/s link. Reduction
+    /// kernels run at efficiency 0.8, so a task of `g` GFLOP takes
+    /// `g / 800` seconds — exact, because `noise_cv` is zero in these
+    /// tests.
+    fn pair_platform(default_link: Option<(&str, f64)>) -> Platform {
+        let mut b = PlatformBuilder::new("pair");
+        let a = b.add_device(
+            DeviceBuilder::new("a", DeviceKind::Cpu)
+                .peak_gflops(1000.0)
+                .build()
+                .unwrap(),
+        );
+        let bb = b.add_device(
+            DeviceBuilder::new("b", DeviceKind::Cpu)
+                .peak_gflops(1000.0)
+                .build()
+                .unwrap(),
+        );
+        let mut ic = InterconnectBuilder::new();
+        let wire = ic.add_link(Link::new("wire", 10.0, SimDuration::from_secs(5e-6)).unwrap());
+        ic.route_symmetric(a, bb, vec![wire]);
+        if let Some((name, gbs)) = default_link {
+            let alt = ic.add_link(Link::new(name, gbs, SimDuration::from_secs(5e-6)).unwrap());
+            ic.default_link(alt);
+        }
+        b.interconnect(ic.build());
+        b.build().unwrap()
+    }
+
+    fn place(task: usize, dev: usize, start: f64, finish: f64) -> Placement {
+        Placement {
+            task: TaskId(task),
+            device: DeviceId(dev),
+            level: DvfsLevel(2),
+            start: SimTime::from_secs(start),
+            finish: SimTime::from_secs(finish),
+        }
+    }
+
+    fn exact_config(seed: u64, res: ResilienceConfig) -> EngineConfig {
+        EngineConfig {
+            seed,
+            noise_cv: 0.0,
+            resilience: Some(res),
+            ..Default::default()
+        }
+    }
+
+    /// A producer-side chain on device `a` plus a long straggler on `b`:
+    /// t0→t2 and t3→t4 cross the link, t5 has no consumers, t1 keeps
+    /// `b` busy for a full second. Paired with its fixed plan.
+    fn lineage_fixture() -> (Workflow, Schedule) {
+        let mut w = WorkflowBuilder::new("lineage");
+        let quick = ComputeCost::new(8.0, 0.0, KernelClass::Reduction); // 10 ms
+        let slow = ComputeCost::new(800.0, 0.0, KernelClass::Reduction); // 1 s
+        let t0 = w.add_task(Task::new("t0", "s", quick));
+        let t1 = w.add_task(Task::new("t1", "s", slow));
+        let t2 = w.add_task(Task::new("t2", "s", quick));
+        let t3 = w.add_task(Task::new("t3", "s", quick));
+        let t4 = w.add_task(Task::new("t4", "s", quick));
+        let t5 = w.add_task(Task::new("t5", "s", quick));
+        w.add_dep(t0, t2, 2e6).unwrap();
+        w.add_dep(t3, t4, 3e6).unwrap();
+        let _ = t1;
+        let _ = t5;
+        let wf = w.build().unwrap();
+        let plan = Schedule::new(vec![
+            place(0, 0, 0.00, 0.01),
+            place(3, 0, 0.02, 0.03),
+            place(5, 0, 0.04, 0.05),
+            place(1, 1, 0.00, 1.00),
+            place(2, 1, 1.05, 1.06),
+            place(4, 1, 1.07, 1.08),
+        ])
+        .unwrap();
+        (wf, plan)
+    }
+
+    #[test]
+    fn permanent_domain_loss_rematerializes_only_lost_ancestors() {
+        // Device `a` finishes t0, t3, t5 by t ≈ 0.03 s, then its PSU
+        // domain kills it near t ≈ 0.17 s while t1 still holds `b`.
+        // The products of t0 and t3 are lost before their consumers
+        // staged them; lineage recovery must re-run exactly those two —
+        // not t5, whose product nobody needs.
+        let p = pair_platform(None);
+        let (wf, plan) = lineage_fixture();
+        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+            .with_domains(vec![FailureDomain {
+                kind: "psu".into(),
+                devices: vec!["a".into()],
+                links: vec![],
+                ..tight_domain(&[], &[], 0.0, 1.0, 0.0)
+            }]);
+        let report = ResilientRunner::new(exact_config(9, res))
+            .run(&p, &wf, &FixedPlan(plan))
+            .unwrap();
+        let m = report.resilience().unwrap();
+        assert_eq!(m.domain_events, 1, "domain dies with its first strike");
+        assert_eq!(m.permanent_failures, 1);
+        assert_eq!(m.rematerialized_tasks, 2, "t0 and t3, not t5");
+        assert!(
+            (m.rematerialized_bytes - 5e6).abs() < 1.0,
+            "re-staged bytes must equal the lost products' out-edges, got {}",
+            m.rematerialized_bytes
+        );
+        assert!(m.wasted_work_secs > 0.0, "re-running t0/t3 is wasted work");
+        assert!(m.makespan_degradation > 0.0);
+        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+    }
+
+    #[test]
+    fn severed_primary_route_reroutes_over_default_link() {
+        // The rack strike permanently severs the fast primary link at
+        // t ≈ 0.17 s; t1 stages its input at t = 1 s and must fall back
+        // to the slower default link instead of stranding.
+        let p = pair_platform(Some(("alt", 2.0)));
+        let mut w = WorkflowBuilder::new("reroute");
+        let t0 = w.add_task(Task::new(
+            "t0",
+            "s",
+            ComputeCost::new(800.0, 0.0, KernelClass::Reduction),
+        ));
+        let t1 = w.add_task(Task::new(
+            "t1",
+            "s",
+            ComputeCost::new(8.0, 0.0, KernelClass::Reduction),
+        ));
+        w.add_dep(t0, t1, 2e7).unwrap();
+        let wf = w.build().unwrap();
+        let plan = Schedule::new(vec![place(0, 0, 0.0, 1.0), place(1, 1, 1.0, 1.1)]).unwrap();
+        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+            .with_domains(vec![tight_domain(&[], &["wire"], 0.0, 1.0, 0.0)]);
+        let report = ResilientRunner::new(exact_config(4, res))
+            .run(&p, &wf, &FixedPlan(plan))
+            .unwrap();
+        let m = report.resilience().unwrap();
+        assert_eq!(m.domain_events, 1);
+        assert_eq!(m.permanent_failures, 0, "links died, devices did not");
+        assert_eq!(m.reroutes, 1, "the one cross-link transfer reroutes");
+        assert!(
+            m.makespan_degradation > 0.0,
+            "the 2 GB/s detour must cost time over the 10 GB/s primary, got {}",
+            m.makespan_degradation
+        );
+        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+    }
+
+    #[test]
+    fn link_outage_without_fallback_stalls_transfers() {
+        // Same topology but no default link: a 1000 s outage starting
+        // near t ≈ 0.17 s leaves the staging at t = 1 s nothing to
+        // reroute over, so the transfer stalls until the link heals and
+        // the stall is booked as partition downtime.
+        let p = pair_platform(None);
+        let mut w = WorkflowBuilder::new("stall");
+        let t0 = w.add_task(Task::new(
+            "t0",
+            "s",
+            ComputeCost::new(800.0, 0.0, KernelClass::Reduction),
+        ));
+        let t1 = w.add_task(Task::new(
+            "t1",
+            "s",
+            ComputeCost::new(8.0, 0.0, KernelClass::Reduction),
+        ));
+        w.add_dep(t0, t1, 2e6).unwrap();
+        let wf = w.build().unwrap();
+        let plan = Schedule::new(vec![place(0, 0, 0.0, 1.0), place(1, 1, 1.0, 1.1)]).unwrap();
+        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+            .with_domains(vec![tight_domain(&[], &["wire"], 0.0, 0.0, 1000.0)]);
+        let report = ResilientRunner::new(exact_config(4, res))
+            .run(&p, &wf, &FixedPlan(plan))
+            .unwrap();
+        let m = report.resilience().unwrap();
+        assert!(m.domain_events >= 1);
+        assert_eq!(m.reroutes, 0, "nothing to reroute over");
+        assert!(
+            m.partition_downtime_secs > 100.0,
+            "staging must wait out most of the outage, got {}",
+            m.partition_downtime_secs
+        );
+        assert!(m.makespan_degradation > 100.0);
+        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+    }
+
+    #[test]
+    fn link_faults_cost_time_and_stay_deterministic() {
+        let p = presets::hpc_node();
+        let wf = montage(50, 2).unwrap();
+        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+            .with_link_faults(LinkFaultModel::exponential(0.05));
+        let cfg = EngineConfig {
+            seed: 17,
+            noise_cv: 0.1,
+            resilience: Some(res),
+            ..Default::default()
+        };
+        let a = ResilientRunner::new(cfg.clone())
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        let m = a.resilience().unwrap();
+        assert!(m.link_faults > 0, "MTTF 0.05 s must actually fire");
+        assert_eq!(m.transient_failures, 0, "devices were not touched");
+        assert!(
+            m.makespan_degradation >= -1e-9,
+            "link faults must never speed the run up, got {}",
+            m.makespan_degradation
+        );
+        assert_eq!(a.schedule().placements().len(), wf.num_tasks());
+        let b = ResilientRunner::new(cfg)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        assert_eq!(a, b, "link-fault runs must be deterministic per seed");
+    }
+
+    #[test]
+    fn correlated_domain_strikes_every_policy_survives() {
+        let p = presets::hpc_node();
+        let wf = montage(30, 3).unwrap();
+        for policy in policies() {
+            let res = ResilienceConfig::new(FailureModel::exponential(1e12), policy.clone())
+                .with_domains(vec![FailureDomain {
+                    kind: "rack".into(),
+                    name: "gpu-rack".into(),
+                    devices: vec!["gpu0".into(), "gpu1".into()],
+                    links: vec!["nvlink".into()],
+                    mttf_secs: 0.002,
+                    weibull_shape: None,
+                    degraded_prob: 0.3,
+                    permanent_prob: 0.0,
+                    outage_secs: 0.005,
+                }]);
+            let cfg = EngineConfig {
+                seed: 23,
+                noise_cv: 0.1,
+                resilience: Some(res),
+                ..Default::default()
+            };
+            let a = ResilientRunner::new(cfg.clone())
+                .run(&p, &wf, &HeftScheduler::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", policy.name()));
+            let m = a.resilience().unwrap();
+            assert!(m.domain_events > 0, "{}: domain must strike", policy.name());
+            assert!(
+                m.makespan_degradation >= -1e-9,
+                "{}: correlated faults must never speed the run up, got {}",
+                policy.name(),
+                m.makespan_degradation
+            );
+            assert_eq!(a.schedule().placements().len(), wf.num_tasks());
+            let b = ResilientRunner::new(cfg)
+                .run(&p, &wf, &HeftScheduler::default())
+                .unwrap();
+            assert_eq!(a, b, "{} must be deterministic", policy.name());
+        }
+    }
+
+    #[test]
+    fn unknown_domain_members_are_actionable_config_errors() {
+        let p = presets::hpc_node();
+        let wf = montage(20, 1).unwrap();
+        let bad_dev = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+            .with_domains(vec![tight_domain(&["nope"], &[], 0.0, 0.0, 0.1)]);
+        let err = ResilientRunner::new(exact_config(1, bad_dev))
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+        assert!(msg.contains("nope") && msg.contains("cpu0"), "{msg}");
+
+        let bad_link = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+            .with_domains(vec![tight_domain(&[], &["nolink"], 0.0, 0.0, 0.1)]);
+        let err = ResilientRunner::new(exact_config(1, bad_link))
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+        assert!(msg.contains("nolink") && msg.contains("nvlink"), "{msg}");
+    }
+
+    #[test]
+    fn step_budget_watchdog_aborts_grinding_runs() {
+        let p = presets::hpc_node();
+        let wf = montage(40, 1).unwrap();
+        let cfg = EngineConfig {
+            seed: 3,
+            step_budget: Some(10),
+            resilience: Some(ResilienceConfig::new(
+                FailureModel::exponential(0.05),
+                retry_policy(),
+            )),
+            ..Default::default()
+        };
+        let err = ResilientRunner::new(cfg)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::StepBudgetExceeded { steps: 10, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("step budget"), "{err}");
     }
 }

@@ -7,7 +7,10 @@
 //! executors can ask "is this device usable, and at what speed?" without
 //! mutating the shared [`Platform`](crate::Platform).
 
+use helios_sim::SimTime;
+
 use crate::device::DeviceId;
+use crate::interconnect::LinkId;
 
 /// Availability state of one device.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +134,138 @@ impl Availability {
     }
 }
 
+/// Availability state of one interconnect link.
+///
+/// Unlike devices, a down link is not necessarily gone for good: an
+/// outage carries the instant the link comes back (`until`), and
+/// `until = None` marks a permanent loss (e.g. a failed rack uplink),
+/// which partitions whatever the link connected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkHealth {
+    /// Fully available at nominal bandwidth.
+    Up,
+    /// Still moving data, but every transfer crossing it takes `factor`
+    /// times longer until repair.
+    Degraded {
+        /// Transfer-time multiplier (> 1).
+        factor: f64,
+    },
+    /// Carrying no data; repaired at `until`, or never when `None`.
+    Down {
+        /// Repair instant for a transient outage; `None` is permanent.
+        until: Option<SimTime>,
+    },
+}
+
+/// Per-link availability tracker for a run, the interconnect analogue of
+/// [`Availability`].
+///
+/// # Examples
+///
+/// ```
+/// use helios_platform::{LinkAvailability, LinkHealth, LinkId};
+/// use helios_sim::SimTime;
+///
+/// let mut links = LinkAvailability::new(2);
+/// links.set_down(LinkId(0), Some(SimTime::from_secs(2.0)));
+/// links.set_degraded(LinkId(1), 4.0);
+/// assert!(!links.is_up(LinkId(0)));
+/// assert_eq!(links.slowdown(LinkId(1)), 4.0);
+/// links.repair(LinkId(0));
+/// assert!(links.is_up(LinkId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkAvailability {
+    states: Vec<LinkHealth>,
+}
+
+impl LinkAvailability {
+    /// Creates a tracker with `num_links` links, all up.
+    #[must_use]
+    pub fn new(num_links: usize) -> LinkAvailability {
+        LinkAvailability {
+            states: vec![LinkHealth::Up; num_links],
+        }
+    }
+
+    /// Current state of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn state(&self, link: LinkId) -> LinkHealth {
+        self.states[link.0]
+    }
+
+    /// Whether `link` is carrying data (up or degraded).
+    #[must_use]
+    pub fn is_up(&self, link: LinkId) -> bool {
+        !matches!(self.states[link.0], LinkHealth::Down { .. })
+    }
+
+    /// Repair instant for a down link: `Some(Some(t))` when it comes
+    /// back at `t`, `Some(None)` when it never does, `None` when the
+    /// link is not down at all.
+    #[must_use]
+    pub fn down_until(&self, link: LinkId) -> Option<Option<SimTime>> {
+        match self.states[link.0] {
+            LinkHealth::Down { until } => Some(until),
+            _ => None,
+        }
+    }
+
+    /// Transfer-time multiplier for `link`: 1 when healthy, the
+    /// degradation factor while degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is down — callers must not route over it.
+    #[must_use]
+    pub fn slowdown(&self, link: LinkId) -> f64 {
+        match self.states[link.0] {
+            LinkHealth::Up => 1.0,
+            LinkHealth::Degraded { factor } => factor,
+            LinkHealth::Down { .. } => panic!("link {} is down", link.0),
+        }
+    }
+
+    /// Marks `link` degraded by `factor` (> 1 slows transfers down).
+    /// Overwrites an outage: a repaired-but-degraded link carries data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn set_degraded(&mut self, link: LinkId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid degradation factor {factor}"
+        );
+        self.states[link.0] = LinkHealth::Degraded { factor };
+    }
+
+    /// Takes `link` down; it comes back at `until`, or never when
+    /// `None`.
+    pub fn set_down(&mut self, link: LinkId, until: Option<SimTime>) {
+        self.states[link.0] = LinkHealth::Down { until };
+    }
+
+    /// Restores `link` to full health (outages and degradations are both
+    /// repairable; callers enforce that permanent losses stay down).
+    pub fn repair(&mut self, link: LinkId) {
+        self.states[link.0] = LinkHealth::Up;
+    }
+
+    /// Number of links currently carrying data.
+    #[must_use]
+    pub fn num_up(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| !matches!(s, LinkHealth::Down { .. }))
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +300,35 @@ mod tests {
         let mut a = Availability::new(1);
         a.set_down(DeviceId(0));
         let _ = a.slowdown(DeviceId(0));
+    }
+
+    #[test]
+    fn link_lifecycle() {
+        let mut l = LinkAvailability::new(3);
+        assert_eq!(l.num_up(), 3);
+        assert_eq!(l.state(LinkId(0)), LinkHealth::Up);
+        assert_eq!(l.down_until(LinkId(0)), None);
+        let back = SimTime::from_secs(1.5);
+        l.set_down(LinkId(0), Some(back));
+        assert!(!l.is_up(LinkId(0)));
+        assert_eq!(l.down_until(LinkId(0)), Some(Some(back)));
+        l.set_down(LinkId(1), None);
+        assert_eq!(l.down_until(LinkId(1)), Some(None), "permanent loss");
+        assert_eq!(l.num_up(), 1);
+        l.set_degraded(LinkId(2), 3.0);
+        assert_eq!(l.slowdown(LinkId(2)), 3.0);
+        assert!(l.is_up(LinkId(2)));
+        l.repair(LinkId(0));
+        l.repair(LinkId(2));
+        assert_eq!(l.slowdown(LinkId(0)), 1.0);
+        assert_eq!(l.slowdown(LinkId(2)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is down")]
+    fn slowdown_of_down_link_panics() {
+        let mut l = LinkAvailability::new(1);
+        l.set_down(LinkId(0), None);
+        let _ = l.slowdown(LinkId(0));
     }
 }

@@ -162,22 +162,55 @@ impl Interconnect {
         self.links.get(id.0).ok_or(PlatformError::UnknownLink(id.0))
     }
 
+    /// Looks up every link carrying `name` (preset link names may be
+    /// shared, e.g. one PCIe link per cluster node), in id order.
+    #[must_use]
+    pub fn links_by_name(&self, name: &str) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.name == name)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// The fallback link used for pairs without an explicit route, if
+    /// one was configured.
+    #[must_use]
+    pub fn default_link(&self) -> Option<LinkId> {
+        self.default_link
+    }
+
     /// The route a transfer from `from` to `to` takes. Same-device routes
     /// are empty.
     ///
     /// # Errors
     ///
     /// Returns [`PlatformError::NoRoute`] if the pair has no explicit route
-    /// and no default link was configured.
+    /// and no default link was configured, and
+    /// [`PlatformError::UnknownLink`] if the stored route references a
+    /// link id that does not exist (a malformed topology would otherwise
+    /// surface as NaN transfer times or an out-of-bounds panic much
+    /// later, inside the engine's contention bookkeeping).
     pub fn route(&self, from: DeviceId, to: DeviceId) -> Result<Route, PlatformError> {
         if from == to {
             return Ok(Vec::new());
         }
         if let Some(route) = self.routes.get(&(from.0, to.0)) {
+            for &id in route {
+                if id.0 >= self.links.len() {
+                    return Err(PlatformError::UnknownLink(id.0));
+                }
+            }
             return Ok(route.clone());
         }
         match self.default_link {
-            Some(link) => Ok(vec![link]),
+            Some(link) => {
+                if link.0 >= self.links.len() {
+                    return Err(PlatformError::UnknownLink(link.0));
+                }
+                Ok(vec![link])
+            }
             None => Err(PlatformError::NoRoute {
                 from: from.0,
                 to: to.0,
@@ -237,9 +270,18 @@ impl Interconnect {
     /// # Errors
     ///
     /// Returns [`PlatformError::InvalidParameter`] if `factor` is not
-    /// positive and finite.
+    /// positive and finite, and [`PlatformError::UnknownLink`] if any
+    /// stored route references a link that does not exist (scaling would
+    /// otherwise bake the dangling reference into a fresh topology).
     pub fn scaled_bandwidth(&self, factor: f64) -> Result<Interconnect, PlatformError> {
         positive("bandwidth scale factor", factor)?;
+        for route in self.routes.values() {
+            for &id in route {
+                if id.0 >= self.links.len() {
+                    return Err(PlatformError::UnknownLink(id.0));
+                }
+            }
+        }
         let links = self
             .links
             .iter()
@@ -410,5 +452,38 @@ mod tests {
             ic.link(LinkId(7)),
             Err(PlatformError::UnknownLink(7))
         ));
+    }
+
+    #[test]
+    fn dangling_route_links_are_typed_errors() {
+        let mut b = InterconnectBuilder::new();
+        let l = b.add_link(Link::new("real", 8.0, ms(0.0)).unwrap());
+        b.route(DeviceId(0), DeviceId(1), vec![l, LinkId(9)]);
+        let ic = b.build();
+        assert!(matches!(
+            ic.route(DeviceId(0), DeviceId(1)),
+            Err(PlatformError::UnknownLink(9))
+        ));
+        assert!(matches!(
+            ic.transfer_time(1e9, DeviceId(0), DeviceId(1)),
+            Err(PlatformError::UnknownLink(9))
+        ));
+        assert!(matches!(
+            ic.scaled_bandwidth(2.0),
+            Err(PlatformError::UnknownLink(9))
+        ));
+    }
+
+    #[test]
+    fn links_by_name_and_default_link() {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_link(Link::new("pcie", 32.0, ms(0.0)).unwrap());
+        let _ = b.add_link(Link::new("eth", 12.5, ms(0.0)).unwrap());
+        let c = b.add_link(Link::new("pcie", 32.0, ms(0.0)).unwrap());
+        b.default_link(a);
+        let ic = b.build();
+        assert_eq!(ic.links_by_name("pcie"), vec![a, c]);
+        assert_eq!(ic.links_by_name("missing"), Vec::<LinkId>::new());
+        assert_eq!(ic.default_link(), Some(a));
     }
 }

@@ -43,7 +43,7 @@ mod interconnect;
 mod platform;
 pub mod presets;
 
-pub use availability::{Availability, DeviceState};
+pub use availability::{Availability, DeviceState, LinkAvailability, LinkHealth};
 pub use cost::{ComputeCost, KernelClass};
 pub use device::{Device, DeviceBuilder, DeviceId, DeviceKind};
 pub use dvfs::{DvfsLevel, DvfsState, PowerModel, SleepModel};

@@ -234,6 +234,119 @@ impl FailureProcess {
     }
 }
 
+/// What a failure does to the link it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFailureKind {
+    /// The link goes down entirely for a bounded repair window; transfers
+    /// that need it stall (or reroute) until it comes back.
+    Outage,
+    /// The link keeps moving data, but at degraded bandwidth until
+    /// repaired.
+    Degraded,
+}
+
+impl LinkFailureKind {
+    /// Stable lower-case name, used in reports and error messages.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkFailureKind::Outage => "outage",
+            LinkFailureKind::Degraded => "degraded",
+        }
+    }
+}
+
+/// A timed failure on one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFailureEvent {
+    /// Absolute simulation time at which the failure strikes.
+    pub at: SimTime,
+    /// Severity class of the failure.
+    pub kind: LinkFailureKind,
+}
+
+/// A deterministic per-link failure process.
+///
+/// Mirrors [`FailureProcess`] for interconnect links: inter-failure
+/// times follow the configured distribution, and a second draw
+/// classifies each event as a full outage or a bandwidth degradation.
+/// Every link owns its own forked RNG stream, so its trace is
+/// independent of what any device or other link samples.
+///
+/// # Examples
+///
+/// ```
+/// use helios_sim::failure::{FailureDistribution, LinkFailureProcess};
+/// use helios_sim::{SimRng, SimTime};
+///
+/// let process = LinkFailureProcess::new(
+///     FailureDistribution::Exponential { mttf_secs: 5.0 },
+///     0.25, // a quarter of the faults degrade bandwidth instead
+/// )
+/// .unwrap();
+/// let mut rng = SimRng::seed_from(7).fork(3);
+/// let first = process.next_after(&mut rng, SimTime::ZERO);
+/// let mut rng2 = SimRng::seed_from(7).fork(3);
+/// assert_eq!(first, process.next_after(&mut rng2, SimTime::ZERO));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFailureProcess {
+    distribution: FailureDistribution,
+    degraded_prob: f64,
+}
+
+impl LinkFailureProcess {
+    /// Creates a link failure process; the remaining probability mass
+    /// (`1 - degraded_prob`) is a full outage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending parameter if the
+    /// distribution parameters are not positive and finite or
+    /// `degraded_prob` is outside `[0, 1]`.
+    pub fn new(
+        distribution: FailureDistribution,
+        degraded_prob: f64,
+    ) -> Result<LinkFailureProcess, String> {
+        // Reuse the device-process parameter validation.
+        FailureProcess::new(distribution, 0.0, 0.0)?;
+        if !(degraded_prob.is_finite() && (0.0..=1.0).contains(&degraded_prob)) {
+            return Err(format!(
+                "degraded_prob must be in [0, 1], got {degraded_prob}"
+            ));
+        }
+        Ok(LinkFailureProcess {
+            distribution,
+            degraded_prob,
+        })
+    }
+
+    /// The inter-failure time distribution.
+    #[must_use]
+    pub fn distribution(&self) -> FailureDistribution {
+        self.distribution
+    }
+
+    /// Samples the next link failure strictly after `after`.
+    ///
+    /// Draws exactly two values from `rng` (an inter-failure time and a
+    /// mode classifier), so the stream position is deterministic in the
+    /// number of events sampled.
+    pub fn next_after(&self, rng: &mut SimRng, after: SimTime) -> LinkFailureEvent {
+        let gap = self.distribution.sample(rng);
+        let u = rng.uniform(0.0, 1.0);
+        let kind = if u < self.degraded_prob {
+            LinkFailureKind::Degraded
+        } else {
+            LinkFailureKind::Outage
+        };
+        LinkFailureEvent {
+            at: after + crate::time::SimDuration::from_secs(gap),
+            kind,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +448,67 @@ mod tests {
             "permanent {}",
             frac(permanent)
         );
+    }
+
+    #[test]
+    fn link_process_rejects_bad_parameters() {
+        let exp = |m| FailureDistribution::Exponential { mttf_secs: m };
+        assert!(LinkFailureProcess::new(exp(0.0), 0.0).is_err());
+        assert!(LinkFailureProcess::new(exp(1.0), -0.1).is_err());
+        assert!(LinkFailureProcess::new(exp(1.0), 1.5).is_err());
+        assert!(LinkFailureProcess::new(exp(1.0), 0.5).is_ok());
+    }
+
+    #[test]
+    fn link_mode_probabilities_converge() {
+        let process =
+            LinkFailureProcess::new(FailureDistribution::Exponential { mttf_secs: 1.0 }, 0.25)
+                .unwrap();
+        let mut rng = SimRng::seed_from(6).fork(2);
+        let (mut outage, mut degraded) = (0u32, 0u32);
+        let n = 20_000;
+        for _ in 0..n {
+            match process.next_after(&mut rng, SimTime::ZERO).kind {
+                LinkFailureKind::Outage => outage += 1,
+                LinkFailureKind::Degraded => degraded += 1,
+            }
+        }
+        let frac = |c: u32| f64::from(c) / f64::from(n);
+        assert!(
+            (frac(outage) - 0.75).abs() < 0.02,
+            "outage {}",
+            frac(outage)
+        );
+        assert!(
+            (frac(degraded) - 0.25).abs() < 0.02,
+            "degraded {}",
+            frac(degraded)
+        );
+    }
+
+    #[test]
+    fn link_traces_are_deterministic_per_stream() {
+        let process = LinkFailureProcess::new(
+            FailureDistribution::Weibull {
+                scale_secs: 3.0,
+                shape: 1.2,
+            },
+            0.4,
+        )
+        .unwrap();
+        let trace = |seed: u64, stream: u64| {
+            let mut rng = SimRng::seed_from(seed).fork(stream);
+            let mut t = SimTime::ZERO;
+            (0..64)
+                .map(|_| {
+                    let ev = process.next_after(&mut rng, t);
+                    t = ev.at;
+                    (ev.at.as_secs().to_bits(), ev.kind.as_str())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trace(4, 8), trace(4, 8), "same stream, same trace");
+        assert_ne!(trace(4, 8), trace(4, 9), "distinct streams diverge");
     }
 
     #[test]

@@ -171,6 +171,31 @@ impl Workflow {
         &self.topo
     }
 
+    /// Every transitive predecessor of `id` (the task's data lineage),
+    /// in ascending task-id order. `id` itself is excluded.
+    ///
+    /// Recovery machinery uses this to decide which destroyed data
+    /// products must be re-materialized after a permanent device loss:
+    /// only the ancestors of still-needed tasks, nothing else.
+    #[must_use]
+    pub fn ancestors(&self, id: TaskId) -> Vec<TaskId> {
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack = vec![id];
+        while let Some(t) = stack.pop() {
+            for p in self.predecessor_tasks(t) {
+                if !seen[p.0] {
+                    seen[p.0] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
     /// Total compute work in GFLOP.
     #[must_use]
     pub fn total_gflop(&self) -> f64 {
@@ -443,6 +468,28 @@ mod tests {
         for e in wf.edges() {
             assert!(pos[e.src.0] < pos[e.dst.0]);
         }
+    }
+
+    #[test]
+    fn ancestors_follow_lineage_only() {
+        let wf = diamond();
+        assert_eq!(wf.ancestors(TaskId(0)), Vec::<TaskId>::new());
+        assert_eq!(wf.ancestors(TaskId(1)), vec![TaskId(0)]);
+        assert_eq!(
+            wf.ancestors(TaskId(3)),
+            vec![TaskId(0), TaskId(1), TaskId(2)]
+        );
+        // A disconnected sibling never shows up in a lineage.
+        let mut b = WorkflowBuilder::new("two-chains");
+        let a = b.add_task(Task::new("a", "s", cost()));
+        let c = b.add_task(Task::new("b", "s", cost()));
+        let x = b.add_task(Task::new("x", "s", cost()));
+        let y = b.add_task(Task::new("y", "s", cost()));
+        b.add_dep(a, c, 1.0).unwrap();
+        b.add_dep(x, y, 1.0).unwrap();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.ancestors(y), vec![x]);
+        assert_eq!(wf.ancestors(c), vec![a]);
     }
 
     #[test]
