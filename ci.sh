@@ -32,6 +32,26 @@ echo "==> extended fault battery (link faults, domains, lineage recovery)"
 cargo test -q -p helios-core resilience::
 cargo test -q -p helios-core campaign::
 
+echo "==> cross-path execution-core conformance"
+# The hook-composed core with every feature hook off must be
+# byte-identical to the plain Engine (property over random DAGs ×
+# presets × schedulers), and every execution mode must match its
+# committed golden report — the before/after anchor for refactors that
+# claim byte-identity.
+cargo test -q -p helios-core exec::conformance
+cargo test -q --test exec_golden
+
+echo "==> resilient-runner size guard"
+# The runner must stay a thin hook set over the execution core; shared
+# step-loop or staging math creeping back in shows up as line growth.
+runner=crates/core/src/resilience/runner.rs
+runner_lines=$(wc -l < "$runner")
+if [ "$runner_lines" -gt 1000 ]; then
+    echo "$runner has $runner_lines lines (limit 1000): move shared logic into core/src/exec" >&2
+    exit 1
+fi
+echo "$runner: $runner_lines lines (limit 1000)"
+
 echo "==> sharded sweep byte-identity smoke"
 # The release binary sweeps the committed smoke spec unsharded, then as
 # a 2-shard partition recombined by `campaign merge`; the two reports

@@ -76,7 +76,7 @@ impl std::error::Error for CampaignError {}
 
 pub use spec::{
     CampaignSpec, DvfsKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob,
-    ResilienceKnob, SeedRange, SweepCell,
+    ResilienceKnob, SchedulerParamsKnob, SeedRange, SweepCell,
 };
 pub use sweep::{
     merge_shards, CellResult, ResumeOutcome, ShardReport, ShardSpec, SummaryRow, SweepDriver,

@@ -591,6 +591,86 @@ impl FailureDomainKnob {
     }
 }
 
+/// Per-scheduler tuning knobs of a spec. Each key overrides one
+/// scheduler's construction in every cell that names it; schedulers
+/// without a key keep their lineup defaults, and cells running other
+/// schedulers ignore the block entirely. Any override is part of the
+/// spec's content [`digest`](CampaignSpec::digest), so shards swept
+/// with different knobs refuse to merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerParamsKnob {
+    /// Iteration budget of the `annealing` scheduler (lineup default
+    /// 500).
+    pub annealing_iterations: Option<u32>,
+    /// Descendant-generation depth of the `lookahead` scheduler
+    /// (lineup default 1, the published one-step variant).
+    pub lookahead_depth: Option<u32>,
+}
+
+impl SchedulerParamsKnob {
+    /// The keys spec files may set.
+    pub const KEYS: &'static [&'static str] = &["annealing_iterations", "lookahead_depth"];
+
+    /// True when no override is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.annealing_iterations.is_none() && self.lookahead_depth.is_none()
+    }
+}
+
+// Hand-written impls: only the keys actually set are serialized (so a
+// knob-free spec keeps its canonical JSON and digest), and unknown keys
+// are rejected naming the legal ones — a typoed override must die at
+// validation instead of silently sweeping with defaults.
+impl Serialize for SchedulerParamsKnob {
+    fn to_value(&self) -> serde::Value {
+        let mut obj: Vec<(String, serde::Value)> = Vec::new();
+        if let Some(n) = self.annealing_iterations {
+            obj.push((
+                "annealing_iterations".to_owned(),
+                serde::Value::Number(f64::from(n)),
+            ));
+        }
+        if let Some(d) = self.lookahead_depth {
+            obj.push((
+                "lookahead_depth".to_owned(),
+                serde::Value::Number(f64::from(d)),
+            ));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl<'de> Deserialize<'de> for SchedulerParamsKnob {
+    fn from_value(value: &serde::Value) -> Result<SchedulerParamsKnob, serde::DeError> {
+        let ctx = "scheduler_params";
+        let serde::Value::Object(entries) = value else {
+            return Err(serde::DeError::new(format!(
+                "{ctx} must be an object; legal keys: {}",
+                SchedulerParamsKnob::KEYS.join(", ")
+            )));
+        };
+        let mut knob = SchedulerParamsKnob::default();
+        for (key, v) in entries {
+            let slot = match key.as_str() {
+                "annealing_iterations" => &mut knob.annealing_iterations,
+                "lookahead_depth" => &mut knob.lookahead_depth,
+                other => {
+                    return Err(serde::DeError::new(format!(
+                        "{ctx}: unknown key {other:?}; legal keys: {}",
+                        SchedulerParamsKnob::KEYS.join(", ")
+                    )))
+                }
+            };
+            let n = v.as_u64().filter(|&n| n >= 1).ok_or_else(|| {
+                serde::DeError::new(format!("{ctx}: {key:?} must be an integer >= 1, got {v:?}"))
+            })?;
+            *slot = Some(n as u32);
+        }
+        Ok(knob)
+    }
+}
+
 fn default_tasks() -> usize {
     50
 }
@@ -613,7 +693,7 @@ fn default_tasks() -> usize {
 /// assert_eq!(spec.expand()?.len(), 2);
 /// # Ok::<(), helios_core::EngineError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct CampaignSpec {
     /// Human-readable grid name, echoed into every report.
     pub name: String,
@@ -625,6 +705,11 @@ pub struct CampaignSpec {
     pub platforms: Vec<String>,
     /// Scheduler report names (see `helios_sched::all_schedulers`).
     pub schedulers: Vec<String>,
+    /// Optional per-scheduler tuning overrides (annealing iteration
+    /// budget, lookahead depth). Omitted from the canonical JSON when
+    /// absent, so knob-free specs keep their digests.
+    #[serde(default)]
+    pub scheduler_params: Option<SchedulerParamsKnob>,
     /// Seed replicates per (family, platform, scheduler) combination.
     pub seeds: SeedRange,
     /// Tasks per generated workflow (default 50).
@@ -664,6 +749,50 @@ pub struct CampaignSpec {
     /// `HELIOS_CELL_STEP_BUDGET` environment variable.
     #[serde(default)]
     pub cell_step_budget: Option<u64>,
+}
+
+// Hand-written Serialize: identical to the derive output except that
+// `scheduler_params` is *omitted* when absent (the vendored `Option`
+// impl would write `null`, which would shift the canonical JSON — and
+// therefore the content digest of every existing spec — the day the
+// field was added). Field order mirrors the declaration, like the
+// derive.
+impl Serialize for CampaignSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("name".to_owned(), self.name.to_value()),
+            ("families".to_owned(), self.families.to_value()),
+            ("platforms".to_owned(), self.platforms.to_value()),
+            ("schedulers".to_owned(), self.schedulers.to_value()),
+        ];
+        if let Some(params) = &self.scheduler_params {
+            fields.push(("scheduler_params".to_owned(), params.to_value()));
+        }
+        fields.push(("seeds".to_owned(), self.seeds.to_value()));
+        fields.push(("tasks".to_owned(), self.tasks.to_value()));
+        fields.push(("noise_cv".to_owned(), self.noise_cv.to_value()));
+        fields.push((
+            "link_contention".to_owned(),
+            self.link_contention.to_value(),
+        ));
+        fields.push(("data_caching".to_owned(), self.data_caching.to_value()));
+        fields.push(("dvfs".to_owned(), self.dvfs.to_value()));
+        fields.push(("faults".to_owned(), self.faults.to_value()));
+        fields.push(("resilience".to_owned(), self.resilience.to_value()));
+        fields.push((
+            "interconnect_faults".to_owned(),
+            self.interconnect_faults.to_value(),
+        ));
+        fields.push((
+            "failure_domains".to_owned(),
+            self.failure_domains.to_value(),
+        ));
+        fields.push((
+            "cell_step_budget".to_owned(),
+            self.cell_step_budget.to_value(),
+        ));
+        serde::Value::Object(fields)
+    }
 }
 
 /// One expanded grid point: a single deterministic simulation.
@@ -764,6 +893,20 @@ impl CampaignSpec {
                 return fail(format!(
                     "unknown scheduler {s:?} (available: {})",
                     names.join(", ")
+                ));
+            }
+        }
+        if let Some(sp) = &self.scheduler_params {
+            if sp.annealing_iterations == Some(0) {
+                return fail(format!(
+                    "`scheduler_params.annealing_iterations` must be >= 1; legal keys: {}",
+                    SchedulerParamsKnob::KEYS.join(", ")
+                ));
+            }
+            if sp.lookahead_depth == Some(0) {
+                return fail(format!(
+                    "`scheduler_params.lookahead_depth` must be >= 1; legal keys: {}",
+                    SchedulerParamsKnob::KEYS.join(", ")
                 ));
             }
         }
@@ -1345,6 +1488,85 @@ mod tests {
         assert!(err.to_string().contains("cell_step_budget"), "{err}");
         let spec = CampaignSpec::from_json(&faulty_json(r#""cell_step_budget": 7"#)).unwrap();
         assert_eq!(spec.cell_step_budget, Some(7));
+    }
+
+    #[test]
+    fn scheduler_params_parse_roundtrip_and_stay_out_of_knobfree_json() {
+        // Knob-free spec: no scheduler_params key in the canonical JSON,
+        // so pre-existing digests are untouched by the field's existence.
+        let spec = CampaignSpec::from_json(&minimal_json()).unwrap();
+        assert!(spec.scheduler_params.is_none());
+        let canonical = serde_json::to_string(&spec).unwrap();
+        assert!(
+            !canonical.contains("scheduler_params"),
+            "absent knob must be omitted, not serialized as null: {canonical}"
+        );
+
+        let json = minimal_json().trim_end().trim_end_matches('}').to_owned()
+            + r#", "scheduler_params": {"annealing_iterations": 50, "lookahead_depth": 2}}"#;
+        let spec = CampaignSpec::from_json(&json).unwrap();
+        let params = spec.scheduler_params.expect("params parsed");
+        assert_eq!(params.annealing_iterations, Some(50));
+        assert_eq!(params.lookahead_depth, Some(2));
+        let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, round);
+
+        // Partial knob: unset keys stay unset through the round trip.
+        let json = minimal_json().trim_end().trim_end_matches('}').to_owned()
+            + r#", "scheduler_params": {"lookahead_depth": 3}}"#;
+        let spec = CampaignSpec::from_json(&json).unwrap();
+        let params = spec.scheduler_params.unwrap();
+        assert_eq!(params.annealing_iterations, None);
+        assert_eq!(params.lookahead_depth, Some(3));
+    }
+
+    #[test]
+    fn scheduler_params_reject_bad_input_naming_legal_keys() {
+        let with = |body: &str| {
+            minimal_json().trim_end().trim_end_matches('}').to_owned()
+                + &format!(r#", "scheduler_params": {body}}}"#)
+        };
+        // Unknown key: the error names every legal key.
+        let err = CampaignSpec::from_json(&with(r#"{"annealing_temp": 3}"#)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("annealing_iterations") && msg.contains("lookahead_depth"),
+            "error must name the legal keys: {msg}"
+        );
+        // Non-integer and zero values are rejected.
+        let err = CampaignSpec::from_json(&with(r#"{"lookahead_depth": "deep"}"#)).unwrap_err();
+        assert!(err.to_string().contains("lookahead_depth"), "{err}");
+        let err = CampaignSpec::from_json(&with(r#"{"annealing_iterations": 0}"#)).unwrap_err();
+        assert!(err.to_string().contains("annealing_iterations"), "{err}");
+        // Non-object knob.
+        let err = CampaignSpec::from_json(&with("7")).unwrap_err();
+        assert!(err.to_string().contains("legal keys"), "{err}");
+    }
+
+    #[test]
+    fn scheduler_params_change_the_digest() {
+        let base = CampaignSpec::from_json(&minimal_json()).unwrap();
+        let with = |body: &str| {
+            CampaignSpec::from_json(
+                &(minimal_json().trim_end().trim_end_matches('}').to_owned()
+                    + &format!(r#", "scheduler_params": {body}}}"#)),
+            )
+            .unwrap()
+        };
+        let iters = with(r#"{"annealing_iterations": 100}"#);
+        let more_iters = with(r#"{"annealing_iterations": 200}"#);
+        let depth = with(r#"{"lookahead_depth": 2}"#);
+        let digests = [
+            base.digest(),
+            iters.digest(),
+            more_iters.digest(),
+            depth.digest(),
+        ];
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(digests[i], digests[j], "digest {i} vs {j}");
+            }
+        }
     }
 
     #[test]

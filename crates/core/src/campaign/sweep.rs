@@ -16,11 +16,12 @@
 use serde::{Deserialize, Serialize};
 
 use helios_platform::{presets, Platform};
-use helios_sched::{Placement, Schedule};
+use helios_sched::{AnnealingScheduler, LookaheadScheduler, Placement, Schedule, Scheduler};
 use helios_sim::SimDuration;
 
 use super::spec::{family_class, CampaignSpec, DvfsKnob, SweepCell};
 use super::{CampaignEngine, CampaignError};
+use crate::exec::IncompleteReason;
 use crate::resilience::ResilientRunner;
 use crate::{Engine, EngineConfig, EngineError, FaultConfig};
 
@@ -390,13 +391,36 @@ pub struct ResumeOutcome {
     pub remaining: usize,
 }
 
+/// Builds the scheduler for one cell, honoring the spec's per-scheduler
+/// tuning overrides; schedulers without an override come from the
+/// default lineup, so a knob-free spec is byte-identical to one swept
+/// before the knobs existed.
+fn cell_scheduler(spec: &CampaignSpec, name: &str) -> Option<Box<dyn Scheduler>> {
+    if let Some(params) = &spec.scheduler_params {
+        match name {
+            "annealing" => {
+                if let Some(iterations) = params.annealing_iterations {
+                    return Some(Box::new(AnnealingScheduler::new(iterations, 0)));
+                }
+            }
+            "lookahead" => {
+                if let Some(depth) = params.lookahead_depth {
+                    return Some(Box::new(LookaheadScheduler::with_depth(depth)));
+                }
+            }
+            _ => {}
+        }
+    }
+    helios_sched::scheduler_by_name(name)
+}
+
 /// Executes one grid cell: generate, plan, apply the DVFS knob, run.
 fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineError> {
     let platform = presets::by_name(&cell.platform)
         .ok_or_else(|| EngineError::Config(format!("unknown platform {:?}", cell.platform)))?;
     let class = family_class(&cell.family)
         .ok_or_else(|| EngineError::Config(format!("unknown family {:?}", cell.family)))?;
-    let scheduler = helios_sched::scheduler_by_name(&cell.scheduler)
+    let scheduler = cell_scheduler(spec, &cell.scheduler)
         .ok_or_else(|| EngineError::Config(format!("unknown scheduler {:?}", cell.scheduler)))?;
 
     let wf = class.generate(spec.tasks, cell.seed)?;
@@ -446,42 +470,28 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         incomplete_reason: None,
     };
 
-    let report = if config.resilience.is_some() {
-        match ResilientRunner::new(config).execute_plan(&platform, &wf, &plan) {
-            Ok(report) => report,
-            // A lost workload is a measurement, not a driver error: the
-            // cell records completed = false, zero metrics and why it
-            // stopped, and its failure depresses the row's completion
-            // probability.
-            Err(
-                e @ (EngineError::RetriesExhausted { .. }
-                | EngineError::AllDevicesLost { .. }
-                | EngineError::StepBudgetExceeded { .. }),
-            ) => {
-                result.completed = false;
-                result.incomplete_reason = Some(
-                    match e {
-                        EngineError::RetriesExhausted { .. } => "retries_exhausted",
-                        EngineError::AllDevicesLost { .. } => "all_devices_lost",
-                        _ => "timed_out",
-                    }
-                    .to_owned(),
-                );
-                return Ok(result);
-            }
-            Err(other) => return Err(other),
-        }
+    let resilient = config.resilience.is_some();
+    let outcome = if resilient {
+        ResilientRunner::new(config).execute_plan(&platform, &wf, &plan)
     } else {
-        match Engine::new(config).execute_plan(&platform, &wf, &plan) {
-            Ok(report) => report,
-            // The step-budget watchdog fires on the plain path too.
-            Err(EngineError::StepBudgetExceeded { .. }) => {
+        Engine::new(config).execute_plan(&platform, &wf, &plan)
+    };
+    let report = match outcome {
+        Ok(report) => report,
+        // A lost or stalled workload is a measurement, not a driver
+        // error: the cell records completed = false, zero metrics and
+        // why it stopped, and its failure depresses the row's
+        // completion probability. Both paths classify through
+        // [`IncompleteReason`], the one normalized vocabulary — no
+        // runner gets to invent its own reason strings.
+        Err(e) => match IncompleteReason::from_error(&e) {
+            Some(reason) => {
                 result.completed = false;
-                result.incomplete_reason = Some("timed_out".to_owned());
+                result.incomplete_reason = Some(reason.as_str().to_owned());
                 return Ok(result);
             }
-            Err(other) => return Err(other),
-        }
+            None => return Err(e),
+        },
     };
 
     result.makespan_secs = report.makespan().as_secs();
@@ -909,6 +919,99 @@ mod tests {
             let par = SweepDriver::new(4).run(&spec).unwrap();
             assert_eq!(report, par, "timed-out cells are jobs-invariant");
         }
+    }
+
+    #[test]
+    fn every_incomplete_reason_comes_from_the_normalized_vocabulary() {
+        // Three ways a cell can stop short, across both cell paths:
+        // legacy flat faults on the plain engine, a lethal failure model
+        // on the resilient runner, and the step-budget watchdog. Every
+        // reason string must come from `IncompleteReason::as_str` — no
+        // path gets to invent free-form prose.
+        let legacy = CampaignSpec::from_json(&spec_json(
+            r#", "faults": {"mtbf_secs": 0.0005, "max_retries": 1}"#,
+        ))
+        .unwrap();
+        let lethal_policy = resilient_spec(
+            r#"{"kind": "retry-backoff", "base_secs": 0.0, "factor": 2.0,
+                "cap_secs": 0.0, "max_retries": 1}"#,
+        );
+        let lethal = CampaignSpec {
+            resilience: lethal_policy.resilience.map(|mut rk| {
+                rk.mttf_secs = 0.001;
+                rk
+            }),
+            ..lethal_policy
+        };
+        let starved = CampaignSpec::from_json(&spec_json(r#", "cell_step_budget": 10"#)).unwrap();
+
+        let legal: Vec<&str> = IncompleteReason::ALL.iter().map(|r| r.as_str()).collect();
+        for (fixture, spec) in [("legacy", legacy), ("lethal", lethal), ("starved", starved)] {
+            let report = SweepDriver::new(1).run(&spec).unwrap();
+            let mut incomplete = 0;
+            for c in &report.cells {
+                match &c.incomplete_reason {
+                    Some(reason) => {
+                        assert!(!c.completed, "{fixture}: reason implies incomplete");
+                        assert!(
+                            legal.contains(&reason.as_str()),
+                            "{fixture}: free-form incomplete reason {reason:?} \
+                             (legal: {legal:?})"
+                        );
+                        incomplete += 1;
+                    }
+                    None => assert!(c.completed, "{fixture}: incomplete cell without reason"),
+                }
+            }
+            assert!(
+                incomplete > 0,
+                "{fixture}: fixture must stop some cell short"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_params_steer_cell_schedulers() {
+        let json = |extra: &str| {
+            format!(
+                r#"{{
+                    "name": "knobs",
+                    "families": ["montage"],
+                    "platforms": ["workstation"],
+                    "schedulers": ["lookahead", "annealing"],
+                    "seeds": {{"base": 0, "count": 2}},
+                    "tasks": 30{extra}
+                }}"#
+            )
+        };
+        let base = CampaignSpec::from_json(&json("")).unwrap();
+        let explicit = CampaignSpec::from_json(&json(
+            r#", "scheduler_params": {"annealing_iterations": 500, "lookahead_depth": 1}"#,
+        ))
+        .unwrap();
+        let tuned = CampaignSpec::from_json(&json(
+            r#", "scheduler_params": {"annealing_iterations": 25, "lookahead_depth": 2}"#,
+        ))
+        .unwrap();
+
+        let driver = SweepDriver::new(1);
+        let base_run = driver.run(&base).unwrap();
+        let explicit_run = driver.run(&explicit).unwrap();
+        // Spelling out the lineup defaults changes the digest but must
+        // reproduce the knob-free cells exactly.
+        assert_ne!(base.digest(), explicit.digest());
+        assert_eq!(base_run.cells, explicit_run.cells);
+
+        // A tuned sweep is deterministic, completes, and actually
+        // reaches the schedulers: shrinking the annealing budget and
+        // deepening the lookahead must move at least one cell.
+        let tuned_run = driver.run(&tuned).unwrap();
+        assert_eq!(tuned_run, driver.run(&tuned).unwrap());
+        assert!(tuned_run.cells.iter().all(|c| c.completed));
+        assert_ne!(
+            base_run.cells, tuned_run.cells,
+            "tuning overrides must change some cell"
+        );
     }
 
     #[test]

@@ -2,34 +2,19 @@
 
 use std::collections::BTreeMap;
 
-use helios_energy::account;
-use helios_platform::{DeviceId, Platform};
+use helios_platform::{DeviceId, DvfsLevel, Platform};
 use helios_sched::{Placement, Schedule, Scheduler};
-use helios_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use helios_sim::trace::Trace;
+use helios_sim::{EventQueue, SimRng, SimTime};
 use helios_workflow::{TaskId, Workflow};
 
 use crate::config::{EngineConfig, FaultView};
 use crate::error::EngineError;
+use crate::exec::{
+    drive, fault_occupancy, finish_report, noise_factor, slowdown_factor, BudgetPoint,
+    DeliveredCache, Hooks, LinkState,
+};
 use crate::report::{ExecutionReport, TransferStats};
-
-/// Disjoint RNG stream bases, so every task's noise, every task's fault
-/// draws and every device's failure trace come from their own streams:
-/// task `t` uses `NOISE_STREAM_BASE + t` and `FAULT_STREAM_BASE + t`,
-/// device `d` uses `FAILURE_TRACE_STREAM_BASE + d`. Keying by task and
-/// device id (never by event order) is what makes executions
-/// byte-identical per seed regardless of how faults reshuffle the event
-/// timeline — and makes a faulty task's occupancy provably contain its
-/// fault-free occupancy.
-pub(crate) const NOISE_STREAM_BASE: u64 = 1 << 32;
-pub(crate) const FAULT_STREAM_BASE: u64 = 2 << 32;
-pub(crate) const FAILURE_TRACE_STREAM_BASE: u64 = 3 << 32;
-/// Link `l` draws its interconnect-fault trace from
-/// `LINK_FAULT_STREAM_BASE + l`; correlated failure domain `i` (in spec
-/// order) draws its shared event trace from `DOMAIN_STREAM_BASE + i`.
-/// Same keying discipline as above: streams are owned by platform
-/// entities, never positional in the event timeline.
-pub(crate) const LINK_FAULT_STREAM_BASE: u64 = 4 << 32;
-pub(crate) const DOMAIN_STREAM_BASE: u64 = 5 << 32;
 
 /// The `helios` execution engine: runs workflows in simulated time under
 /// a static plan, modeling noise, link contention and faults.
@@ -38,224 +23,15 @@ pub(crate) const DOMAIN_STREAM_BASE: u64 = 5 << 32;
 /// reproduces the plan's timing exactly; every non-ideality moves the
 /// realized schedule away from it, which is precisely what the
 /// evaluation experiments measure.
+///
+/// The engine is the static-plan hook set over the execution core
+/// ([`crate::exec`]): its [`Hooks`] implementation owns the
+/// arrival/finish event vocabulary and the head-of-queue dispatch rule,
+/// while the step loop, occupancy math, transfer staging, residency
+/// caching and report accounting are the core's single copy.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
-}
-
-/// Per-attempt execution outcome used by both the static and online
-/// executors.
-pub(crate) struct Occupancy {
-    /// Total device time from start to completion, including retries.
-    pub total: SimDuration,
-    /// Fault-free device time (work + checkpoint writes, no retries):
-    /// the duration dispatchers should calibrate their models against,
-    /// since fault stalls carry no information about task cost.
-    pub work: SimDuration,
-    /// Faults that hit this task.
-    pub failures: u32,
-    /// Retries performed.
-    pub retries: u32,
-}
-
-/// Computes how long a task occupies its device, folding in noise
-/// already applied to `actual_work`, plus checkpoint overheads and fault
-/// retries.
-#[cfg(test)]
-pub(crate) fn occupancy(
-    config: &EngineConfig,
-    actual_work: SimDuration,
-    task: TaskId,
-    fault_rng: &mut SimRng,
-) -> Result<Occupancy, EngineError> {
-    occupancy_on(&config.fault_view()?, actual_work, task, 0, fault_rng)
-}
-
-/// [`occupancy`](self) with per-device MTBF resolution.
-pub(crate) fn occupancy_on(
-    view: &FaultView,
-    actual_work: SimDuration,
-    task: TaskId,
-    device_id: usize,
-    fault_rng: &mut SimRng,
-) -> Result<Occupancy, EngineError> {
-    let ckpt_inflate = |work: SimDuration| match view.checkpointing {
-        Some(ck) => {
-            let snapshots = (work.as_secs() / ck.interval.as_secs()).floor();
-            work + ck.overhead * snapshots
-        }
-        None => work,
-    };
-    let work = ckpt_inflate(actual_work);
-    let Some(faults) = view.faults.as_ref() else {
-        // No faults: only checkpoint overhead (if configured) applies.
-        return Ok(Occupancy {
-            total: work,
-            work,
-            failures: 0,
-            retries: 0,
-        });
-    };
-
-    let mut remaining = actual_work;
-    let mut total = SimDuration::ZERO;
-    let mut failures = 0u32;
-    let mut retries = 0u32;
-    loop {
-        let effective = ckpt_inflate(remaining);
-        let unit = view.checkpointing.map(|ck| (ck.interval, ck.overhead));
-        let fault_at = SimDuration::from_secs(fault_rng.exponential(faults.mtbf_for(device_id)));
-        if fault_at >= effective {
-            total += effective;
-            return Ok(Occupancy {
-                total,
-                work,
-                failures,
-                retries,
-            });
-        }
-        failures += 1;
-        if retries >= faults.max_retries {
-            return Err(EngineError::RetriesExhausted {
-                task,
-                attempts: failures,
-            });
-        }
-        retries += 1;
-        let preserved = match unit {
-            Some((interval, overhead)) => {
-                let stride = interval + overhead;
-                let completed_units = (fault_at.as_secs() / stride.as_secs()).floor();
-                interval * completed_units
-            }
-            None => SimDuration::ZERO,
-        };
-        remaining = remaining - preserved;
-        let backoff = view.backoff.map_or(0.0, |(b, f, c)| {
-            crate::config::backoff_delay_secs(b, f, c, retries)
-        });
-        // The attempt's time, the restart overhead and any backoff all
-        // occupy the device timeline: a faulty run can only be slower.
-        total += fault_at + faults.restart_overhead + SimDuration::from_secs(backoff);
-    }
-}
-
-/// Per-link FIFO state for contention modeling.
-#[derive(Debug, Clone)]
-pub(crate) struct LinkState {
-    free_at: Vec<SimTime>,
-}
-
-impl LinkState {
-    pub(crate) fn new(platform: &Platform) -> LinkState {
-        LinkState {
-            free_at: vec![SimTime::ZERO; platform.interconnect().links().len()],
-        }
-    }
-
-    /// Computes the arrival time of a transfer over an explicit `route`
-    /// whose duration is stretched by `scale` (≥ 1 while any crossed
-    /// link is bandwidth-degraded), updating link occupancy when
-    /// contention is enabled. The resilient runner uses this to route
-    /// around — or crawl across — faulty links; an empty route is a
-    /// same-device transfer and costs nothing.
-    #[allow(clippy::too_many_arguments)] // mirrors transfer_arrival plus route + scale
-    pub(crate) fn transfer_arrival_on_route(
-        &mut self,
-        platform: &Platform,
-        contention: bool,
-        bytes: f64,
-        route: &[helios_platform::LinkId],
-        ready: SimTime,
-        scale: f64,
-        stats: &mut TransferStats,
-    ) -> Result<SimTime, EngineError> {
-        if route.is_empty() {
-            return Ok(ready);
-        }
-        let ic = platform.interconnect();
-        let mut latency = SimDuration::ZERO;
-        let mut min_bw = f64::INFINITY;
-        for &id in route {
-            let link = ic.link(id)?;
-            latency += link.latency();
-            min_bw = min_bw.min(link.bandwidth_gbs());
-        }
-        let duration = (latency + SimDuration::from_secs(bytes / (min_bw * 1e9))) * scale;
-        let start = if contention {
-            let mut start = ready;
-            for link in route {
-                start = start.max(self.free_at[link.0]);
-            }
-            let arrival = start + duration;
-            for link in route {
-                self.free_at[link.0] = arrival;
-            }
-            start
-        } else {
-            ready
-        };
-        let arrival = start + duration;
-        stats.count += 1;
-        stats.bytes += bytes;
-        stats.total_secs += duration.as_secs();
-        Ok(arrival)
-    }
-
-    /// Computes the arrival time of a transfer leaving `from` at `ready`
-    /// toward `to`, updating link occupancy when contention is enabled.
-    /// Optionally records a transfer span on the trace (track = first
-    /// link of the route).
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn transfer_arrival(
-        &mut self,
-        platform: &Platform,
-        contention: bool,
-        bytes: f64,
-        from: DeviceId,
-        to: DeviceId,
-        ready: SimTime,
-        stats: &mut TransferStats,
-        trace: Option<(&mut helios_sim::trace::Trace, &str)>,
-    ) -> Result<SimTime, EngineError> {
-        if from == to {
-            return Ok(ready);
-        }
-        let duration = platform.transfer_time(bytes, from, to)?;
-        let start = if contention {
-            let route = platform.interconnect().route(from, to)?;
-            let mut start = ready;
-            for link in &route {
-                start = start.max(self.free_at[link.0]);
-            }
-            let arrival = start + duration;
-            for link in route {
-                self.free_at[link.0] = arrival;
-            }
-            start
-        } else {
-            ready
-        };
-        let arrival = start + duration;
-        stats.count += 1;
-        stats.bytes += bytes;
-        stats.total_secs += duration.as_secs();
-        if let Some((trace, label)) = trace {
-            let track = platform
-                .interconnect()
-                .route(from, to)?
-                .first()
-                .map_or(0, |l| l.0);
-            trace.record(
-                label.to_owned(),
-                helios_sim::trace::TraceKind::Transfer,
-                track,
-                start,
-                arrival,
-            );
-        }
-        Ok(arrival)
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -309,523 +85,203 @@ impl Engine {
         plan: &Schedule,
     ) -> Result<ExecutionReport, EngineError> {
         self.config.validate()?;
-        let n = wf.num_tasks();
+        let mut exec = PlanExec::new(&self.config, platform, wf, plan)?;
+        // Kick off: every device tries its queue head at t = 0.
+        let devices: Vec<DeviceId> = exec.device_queue.keys().copied().collect();
+        for &d in &devices {
+            exec.try_start(d, SimTime::ZERO)?;
+        }
+        drive(&mut exec)?;
+        finish_report(
+            platform,
+            wf,
+            exec.realized,
+            exec.trace,
+            exec.stats,
+            exec.failures,
+            exec.retries,
+        )
+    }
+}
 
+/// The static-plan hook set: per-device plan queues dispatched
+/// head-first, with arrivals and finishes as the only events.
+struct PlanExec<'a> {
+    config: &'a EngineConfig,
+    platform: &'a Platform,
+    wf: &'a Workflow,
+    view: FaultView,
+    base_rng: SimRng,
+    device_queue: BTreeMap<DeviceId, Vec<TaskId>>,
+    device_pos: BTreeMap<DeviceId, usize>,
+    device_busy: BTreeMap<DeviceId, bool>,
+    assigned_device: Vec<DeviceId>,
+    level: Vec<DvfsLevel>,
+    inputs_pending: Vec<usize>,
+    started: Vec<bool>,
+    realized: Vec<Option<Placement>>,
+    links: LinkState,
+    stats: TransferStats,
+    failures: u32,
+    retries: u32,
+    trace: Option<Trace>,
+    delivered: DeliveredCache,
+    queue: EventQueue<Event>,
+    completed: usize,
+}
+
+impl<'a> PlanExec<'a> {
+    fn new(
+        config: &'a EngineConfig,
+        platform: &'a Platform,
+        wf: &'a Workflow,
+        plan: &Schedule,
+    ) -> Result<PlanExec<'a>, EngineError> {
+        let n = wf.num_tasks();
         // Plan-derived structures.
-        let by_device = plan.tasks_by_device();
-        let device_queue: BTreeMap<DeviceId, Vec<TaskId>> = by_device;
-        let mut device_pos: BTreeMap<DeviceId, usize> =
-            device_queue.keys().map(|&d| (d, 0)).collect();
-        let mut device_busy: BTreeMap<DeviceId, bool> =
+        let device_queue: BTreeMap<DeviceId, Vec<TaskId>> = plan.tasks_by_device();
+        let device_pos: BTreeMap<DeviceId, usize> = device_queue.keys().map(|&d| (d, 0)).collect();
+        let device_busy: BTreeMap<DeviceId, bool> =
             device_queue.keys().map(|&d| (d, false)).collect();
         let mut assigned_device = vec![DeviceId(0); n];
-        let mut level = vec![helios_platform::DvfsLevel(0); n];
+        let mut level = vec![DvfsLevel(0); n];
         for p in plan.placements() {
             assigned_device[p.task.0] = p.device;
             level[p.task.0] = p.level;
         }
+        Ok(PlanExec {
+            view: config.fault_view()?,
+            base_rng: SimRng::seed_from(config.seed),
+            trace: config.tracing.then(Trace::new),
+            delivered: DeliveredCache::new(config.data_caching),
+            config,
+            platform,
+            wf,
+            device_queue,
+            device_pos,
+            device_busy,
+            assigned_device,
+            level,
+            inputs_pending: (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect(),
+            started: vec![false; n],
+            realized: vec![None; n],
+            links: LinkState::new(platform),
+            stats: TransferStats::default(),
+            failures: 0,
+            retries: 0,
+            queue: EventQueue::new(),
+            completed: 0,
+        })
+    }
 
-        let mut inputs_pending: Vec<usize> =
-            (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect();
-        let mut started = vec![false; n];
-        let mut finished = vec![false; n];
-        let mut realized: Vec<Option<Placement>> = vec![None; n];
+    /// A task starts when its inputs are at its device, it heads its
+    /// device's plan queue, and the device is idle.
+    fn try_start(&mut self, dev: DeviceId, now: SimTime) -> Result<(), EngineError> {
+        if self.device_busy[&dev] {
+            return Ok(());
+        }
+        let pos = self.device_pos[&dev];
+        let q = &self.device_queue[&dev];
+        if pos >= q.len() {
+            return Ok(());
+        }
+        let task = q[pos];
+        if self.inputs_pending[task.0] != 0 || self.started[task.0] {
+            return Ok(());
+        }
+        self.started[task.0] = true;
+        *self.device_busy.get_mut(&dev).expect("known device") = true;
+        let device = self.platform.device(dev)?;
+        let modeled = device.execution_time(self.wf.task(task)?.cost(), self.level[task.0])?;
+        let noise = noise_factor(self.config.noise_cv, &self.base_rng, task.0);
+        let slow = slowdown_factor(self.config.device_slowdown.as_ref(), dev.0);
+        let actual = modeled * noise * slow;
+        let occ = fault_occupancy(&self.view, &self.base_rng, actual, task, dev.0)?;
+        self.failures += occ.failures;
+        self.retries += occ.retries;
+        let finish = now + occ.total;
+        self.realized[task.0] = Some(Placement {
+            task,
+            device: dev,
+            level: self.level[task.0],
+            start: now,
+            finish,
+        });
+        self.queue.push(finish, Event::Finish(task));
+        Ok(())
+    }
+}
 
-        let view = self.config.fault_view()?;
-        let base_rng = SimRng::seed_from(self.config.seed);
+impl Hooks for PlanExec<'_> {
+    type Event = Event;
 
-        let mut links = LinkState::new(platform);
-        let mut stats = TransferStats::default();
-        let mut failures = 0u32;
-        let mut retries = 0u32;
-        let mut trace = self.config.tracing.then(helios_sim::trace::Trace::new);
-        // data_caching: (producer, destination) -> availability instant.
-        let mut delivered: BTreeMap<(TaskId, DeviceId), SimTime> = BTreeMap::new();
+    fn budget(&self) -> Option<u64> {
+        self.config.step_budget
+    }
 
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut completed = 0usize;
+    fn budget_point(&self) -> BudgetPoint {
+        BudgetPoint::AfterPop
+    }
 
-        // A task starts when its inputs are at its device, it heads its
-        // device's plan queue, and the device is idle.
-        macro_rules! try_start {
-            ($dev:expr, $now:expr) => {{
-                let dev: DeviceId = $dev;
-                let now: SimTime = $now;
-                if !device_busy[&dev] {
-                    let pos = device_pos[&dev];
-                    let q = &device_queue[&dev];
-                    if pos < q.len() {
-                        let task = q[pos];
-                        if inputs_pending[task.0] == 0 && !started[task.0] {
-                            started[task.0] = true;
-                            *device_busy.get_mut(&dev).expect("known device") = true;
-                            let device = platform.device(dev)?;
-                            let modeled =
-                                device.execution_time(wf.task(task)?.cost(), level[task.0])?;
-                            let noise = if self.config.noise_cv > 0.0 {
-                                let mut rng = base_rng.fork(NOISE_STREAM_BASE + task.0 as u64);
-                                rng.normal(1.0, self.config.noise_cv).max(0.05)
-                            } else {
-                                1.0
-                            };
-                            let slow = self
-                                .config
-                                .device_slowdown
-                                .as_ref()
-                                .and_then(|v| v.get(dev.0))
-                                .copied()
-                                .unwrap_or(1.0);
-                            let actual = modeled * noise * slow;
-                            let mut fault_rng = base_rng.fork(FAULT_STREAM_BASE + task.0 as u64);
-                            let occ = occupancy_on(&view, actual, task, dev.0, &mut fault_rng)?;
-                            failures += occ.failures;
-                            retries += occ.retries;
-                            let finish = now + occ.total;
-                            realized[task.0] = Some(Placement {
-                                task,
-                                device: dev,
-                                level: level[task.0],
-                                start: now,
-                                finish,
-                            });
-                            queue.push(finish, Event::Finish(task));
-                        }
+    fn completed(&self) -> usize {
+        self.completed
+    }
+
+    fn total(&self) -> usize {
+        self.wf.num_tasks()
+    }
+
+    fn exit_on_complete(&self) -> bool {
+        false
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.queue.pop()
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) -> Result<(), EngineError> {
+        match event {
+            Event::Arrival(task) => {
+                self.inputs_pending[task.0] -= 1;
+                let dev = self.assigned_device[task.0];
+                self.try_start(dev, now)
+            }
+            Event::Finish(task) => {
+                self.completed += 1;
+                let dev = self.assigned_device[task.0];
+                *self.device_busy.get_mut(&dev).expect("known device") = false;
+                *self.device_pos.get_mut(&dev).expect("known device") += 1;
+                // Launch output transfers.
+                let wf = self.wf;
+                for &e in wf.successors(task) {
+                    let edge = wf.edge(e);
+                    let dst_dev = self.assigned_device[edge.dst.0];
+                    if let Some(at) = self.delivered.lookup(task, dst_dev) {
+                        // The product is already on (or en route to)
+                        // that device: no second transfer.
+                        self.queue.push(at.max(now), Event::Arrival(edge.dst));
+                        continue;
                     }
+                    let label = format!("{}->{}", edge.src, edge.dst);
+                    let arrival = self.links.transfer_arrival(
+                        self.platform,
+                        self.config.link_contention,
+                        edge.bytes,
+                        dev,
+                        dst_dev,
+                        now,
+                        &mut self.stats,
+                        self.trace.as_mut().map(|t| (t, label.as_str())),
+                    )?;
+                    self.delivered.record(task, dst_dev, arrival);
+                    self.queue.push(arrival, Event::Arrival(edge.dst));
                 }
-            }};
-        }
-
-        // Kick off: every device tries its queue head at t = 0.
-        let devices: Vec<DeviceId> = device_queue.keys().copied().collect();
-        for &d in &devices {
-            try_start!(d, SimTime::ZERO);
-        }
-
-        let mut steps: u64 = 0;
-        while let Some((now, event)) = queue.pop() {
-            if let Some(budget) = self.config.step_budget {
-                if steps >= budget {
-                    // Watchdog: this run is grinding through more
-                    // simulated events than the caller budgeted for.
-                    return Err(EngineError::StepBudgetExceeded {
-                        steps: budget,
-                        completed,
-                        total: n,
-                    });
-                }
-            }
-            steps += 1;
-            match event {
-                Event::Arrival(task) => {
-                    inputs_pending[task.0] -= 1;
-                    let dev = assigned_device[task.0];
-                    try_start!(dev, now);
-                }
-                Event::Finish(task) => {
-                    finished[task.0] = true;
-                    completed += 1;
-                    let dev = assigned_device[task.0];
-                    *device_busy.get_mut(&dev).expect("known device") = false;
-                    *device_pos.get_mut(&dev).expect("known device") += 1;
-                    // Launch output transfers.
-                    for &e in wf.successors(task) {
-                        let edge = wf.edge(e);
-                        let dst_dev = assigned_device[edge.dst.0];
-                        if self.config.data_caching {
-                            if let Some(&at) = delivered.get(&(task, dst_dev)) {
-                                // The product is already on (or en route
-                                // to) that device: no second transfer.
-                                queue.push(at.max(now), Event::Arrival(edge.dst));
-                                continue;
-                            }
-                        }
-                        let label = format!("{}->{}", edge.src, edge.dst);
-                        let arrival = links.transfer_arrival(
-                            platform,
-                            self.config.link_contention,
-                            edge.bytes,
-                            dev,
-                            dst_dev,
-                            now,
-                            &mut stats,
-                            trace.as_mut().map(|t| (t, label.as_str())),
-                        )?;
-                        if self.config.data_caching {
-                            delivered.insert((task, dst_dev), arrival);
-                        }
-                        queue.push(arrival, Event::Arrival(edge.dst));
-                    }
-                    try_start!(dev, now);
-                }
+                self.try_start(dev, now)
             }
         }
-
-        if completed != n {
-            return Err(EngineError::Stalled {
-                completed,
-                total: n,
-            });
-        }
-        let placements: Vec<Placement> = realized
-            .into_iter()
-            .map(|p| p.expect("all tasks completed"))
-            .collect();
-        if let Some(trace) = trace.as_mut() {
-            for p in &placements {
-                trace.record(
-                    wf.task(p.task)?.name().to_owned(),
-                    helios_sim::trace::TraceKind::Execution,
-                    p.device.0,
-                    p.start,
-                    p.finish,
-                );
-            }
-        }
-        let schedule = Schedule::new(placements)?;
-        let energy = account(&schedule, wf, platform, false)?;
-        Ok(ExecutionReport::new(
-            schedule, energy, stats, failures, retries, trace,
-        ))
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::{CheckpointConfig, FaultConfig};
-    use helios_platform::presets;
-    use helios_sched::HeftScheduler;
-    use helios_workflow::generators::{cybershake, montage};
-
-    #[test]
-    fn ideal_execution_reproduces_the_plan() {
-        let p = presets::hpc_node();
-        let wf = montage(60, 1).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let report = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        // Insertion-based plans may interleave; the realized makespan can
-        // only match or beat the plan (no non-idealities configured).
-        let planned = plan.makespan().as_secs();
-        let realized = report.makespan().as_secs();
-        assert!(
-            (realized - planned).abs() / planned < 1e-9,
-            "realized {realized} vs planned {planned}"
-        );
-        report.schedule().validate(&wf, &p).unwrap();
-        assert_eq!(report.failures(), 0);
-        assert!(report.transfers().count > 0);
-        assert!(report.energy().total_j() > 0.0);
-    }
-
-    #[test]
-    fn noise_perturbs_but_preserves_validity_of_precedence() {
-        let p = presets::hpc_node();
-        let wf = montage(60, 2).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let config = EngineConfig {
-            noise_cv: 0.3,
-            seed: 42,
-            ..Default::default()
-        };
-        let report = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        // All tasks completed with coherent event ordering.
-        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
-        let realized = report.makespan().as_secs();
-        let planned = plan.makespan().as_secs();
-        assert!(
-            (realized - planned).abs() / planned > 1e-6,
-            "noise must actually perturb timing"
-        );
-        // Precedence holds on realized times (durations differ from
-        // model, so only check arrival ordering).
-        for pl in report.schedule().placements() {
-            for &e in wf.predecessors(pl.task) {
-                let edge = wf.edge(e);
-                let pred = report.schedule().placement(edge.src).unwrap();
-                assert!(pred.finish <= pl.start + SimDuration::from_secs(1e-9));
-            }
-        }
-    }
-
-    #[test]
-    fn determinism_per_seed() {
-        let p = presets::hpc_node();
-        let wf = montage(50, 3).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let mut config = EngineConfig {
-            noise_cv: 0.2,
-            seed: 7,
-            ..Default::default()
-        };
-        let a = Engine::new(config.clone())
-            .execute_plan(&p, &wf, &plan)
-            .unwrap();
-        let b = Engine::new(config.clone())
-            .execute_plan(&p, &wf, &plan)
-            .unwrap();
-        assert_eq!(a, b);
-        config.seed = 8;
-        let c = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn contention_never_speeds_things_up() {
-        let p = presets::hpc_node();
-        let wf = cybershake(80, 1).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let free = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        let config = EngineConfig {
-            link_contention: true,
-            ..Default::default()
-        };
-        let contended = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        assert!(
-            contended.makespan().as_secs() >= free.makespan().as_secs() - 1e-9,
-            "contention {} vs free {}",
-            contended.makespan(),
-            free.makespan()
-        );
-    }
-
-    #[test]
-    fn faults_extend_makespan_and_count() {
-        let p = presets::hpc_node();
-        let wf = montage(60, 4).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let clean = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        let config = EngineConfig {
-            seed: 5,
-            faults: Some(FaultConfig::new(0.01, SimDuration::from_secs(0.002), 1_000).unwrap()),
-            ..Default::default()
-        };
-        let faulty = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        assert!(faulty.failures() > 0, "MTBF 10ms must trigger failures");
-        assert_eq!(faulty.failures(), faulty.retries());
-        assert!(faulty.makespan() > clean.makespan());
-    }
-
-    #[test]
-    fn checkpointing_reduces_fault_overhead() {
-        let p = presets::hpc_node();
-        let wf = cybershake(60, 5).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let base = EngineConfig {
-            seed: 11,
-            faults: Some(FaultConfig::new(0.05, SimDuration::from_secs(0.002), 100_000).unwrap()),
-            ..Default::default()
-        };
-        let without = Engine::new(base.clone())
-            .execute_plan(&p, &wf, &plan)
-            .unwrap();
-        let mut with = base;
-        with.checkpointing = Some(
-            CheckpointConfig::new(SimDuration::from_secs(0.01), SimDuration::from_secs(0.0005))
-                .unwrap(),
-        );
-        let ckpt = Engine::new(with).execute_plan(&p, &wf, &plan).unwrap();
-        assert!(
-            ckpt.makespan() < without.makespan(),
-            "checkpointing {} should beat restart-from-scratch {}",
-            ckpt.makespan(),
-            without.makespan()
-        );
-    }
-
-    #[test]
-    fn retry_budget_enforced() {
-        let p = presets::hpc_node();
-        let wf = cybershake(60, 6).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        // MTBF far below task lengths and zero retries: must abort.
-        let config = EngineConfig {
-            seed: 13,
-            faults: Some(FaultConfig::new(0.01, SimDuration::ZERO, 0).unwrap()),
-            ..Default::default()
-        };
-        let err = Engine::new(config)
-            .execute_plan(&p, &wf, &plan)
-            .unwrap_err();
-        assert!(matches!(err, EngineError::RetriesExhausted { .. }));
-    }
-
-    #[test]
-    fn occupancy_math() {
-        let mut rng = SimRng::seed_from(1);
-        // No faults, no checkpoints: identity.
-        let cfg = EngineConfig::default();
-        let occ = occupancy(&cfg, SimDuration::from_secs(10.0), TaskId(0), &mut rng).unwrap();
-        assert_eq!(occ.total.as_secs(), 10.0);
-        assert_eq!(occ.failures, 0);
-        // Checkpoints only: 10s work, 3s interval → 3 snapshots × 0.5s.
-        let cfg = EngineConfig {
-            checkpointing: Some(
-                CheckpointConfig::new(SimDuration::from_secs(3.0), SimDuration::from_secs(0.5))
-                    .unwrap(),
-            ),
-            ..Default::default()
-        };
-        let occ = occupancy(&cfg, SimDuration::from_secs(10.0), TaskId(0), &mut rng).unwrap();
-        assert!((occ.total.as_secs() - 11.5).abs() < 1e-9);
-    }
-}
-
-#[cfg(test)]
-mod trace_tests {
-    use super::*;
-    use crate::config::EngineConfig;
-    use helios_platform::presets;
-    use helios_sched::HeftScheduler;
-    use helios_sim::trace::TraceKind;
-    use helios_workflow::generators::montage;
-
-    #[test]
-    fn tracing_records_executions_and_transfers() {
-        let p = presets::hpc_node();
-        let wf = montage(40, 6).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let config = EngineConfig {
-            tracing: true,
-            ..Default::default()
-        };
-        let report = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        let trace = report.trace().expect("tracing was requested");
-        let execs = trace
-            .events()
-            .iter()
-            .filter(|e| e.kind == TraceKind::Execution)
-            .count();
-        assert_eq!(execs, wf.num_tasks());
-        let xfers = trace
-            .events()
-            .iter()
-            .filter(|e| e.kind == TraceKind::Transfer)
-            .count();
-        assert_eq!(xfers, report.transfers().count);
-        let json = report.chrome_trace(&p).unwrap();
-        assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
-        // Without tracing: no trace in the report.
-        let plain = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        assert!(plain.trace().is_none());
-        assert!(plain.chrome_trace(&p).is_none());
-    }
-}
-
-#[cfg(test)]
-mod caching_tests {
-    use super::*;
-    use crate::config::EngineConfig;
-    use helios_platform::presets;
-    use helios_sched::HeftScheduler;
-    use helios_workflow::generators::cybershake;
-
-    #[test]
-    fn caching_reduces_transfers_and_never_hurts() {
-        // CyberShake: two root products fan out to every synthesis task,
-        // so per-device caching collapses most root transfers.
-        let p = presets::hpc_node();
-        let wf = cybershake(120, 3).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let plain = Engine::default().execute_plan(&p, &wf, &plan).unwrap();
-        let config = EngineConfig {
-            data_caching: true,
-            ..Default::default()
-        };
-        let cached = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        assert!(
-            cached.transfers().count < plain.transfers().count,
-            "caching {} vs plain {} transfers",
-            cached.transfers().count,
-            plain.transfers().count
-        );
-        assert!(
-            cached.makespan().as_secs() <= plain.makespan().as_secs() + 1e-9,
-            "caching must never slow a run down"
-        );
-        assert_eq!(
-            cached.schedule().placements().len(),
-            wf.num_tasks(),
-            "all tasks still complete"
-        );
-    }
-
-    #[test]
-    fn caching_matters_most_under_contention() {
-        let p = presets::hpc_node();
-        let wf = cybershake(120, 4).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let base = EngineConfig {
-            link_contention: true,
-            ..Default::default()
-        };
-        let congested = Engine::new(base.clone())
-            .execute_plan(&p, &wf, &plan)
-            .unwrap();
-        let mut cached_cfg = base;
-        cached_cfg.data_caching = true;
-        let cached = Engine::new(cached_cfg)
-            .execute_plan(&p, &wf, &plan)
-            .unwrap();
-        assert!(
-            cached.makespan() < congested.makespan(),
-            "under contention, eliminating duplicate transfers must pay: {} vs {}",
-            cached.makespan(),
-            congested.makespan()
-        );
-    }
-}
-
-#[cfg(test)]
-mod per_device_fault_tests {
-    use super::*;
-    use crate::config::{EngineConfig, FaultConfig};
-    use helios_platform::presets;
-    use helios_sched::HeftScheduler;
-    use helios_workflow::generators::montage;
-
-    #[test]
-    fn mtbf_overrides_resolve_per_device() {
-        let f = FaultConfig::new(10.0, SimDuration::ZERO, 5)
-            .unwrap()
-            .with_per_device_mtbf(vec![None, Some(0.5)])
-            .unwrap();
-        assert_eq!(f.mtbf_for(0), 10.0);
-        assert_eq!(f.mtbf_for(1), 0.5);
-        assert_eq!(f.mtbf_for(7), 10.0, "out of range falls back");
-        assert!(FaultConfig::new(10.0, SimDuration::ZERO, 5)
-            .unwrap()
-            .with_per_device_mtbf(vec![Some(0.0)])
-            .is_err());
-    }
-
-    #[test]
-    fn flaky_devices_attract_the_failures() {
-        let p = presets::hpc_node();
-        let wf = montage(80, 2).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        // Everything reliable (MTBF 1e6 s) except gpu0 (MTBF 5 ms).
-        let mut overrides = vec![None; p.num_devices()];
-        overrides[2] = Some(0.005);
-        let config = EngineConfig {
-            seed: 4,
-            faults: Some(
-                FaultConfig::new(1e6, SimDuration::from_secs(0.001), 1_000_000)
-                    .unwrap()
-                    .with_per_device_mtbf(overrides)
-                    .unwrap(),
-            ),
-            ..Default::default()
-        };
-        let report = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        assert!(report.failures() > 0, "the flaky GPU must fail");
-        // All reliable-device tasks ran fault-free, so every retry was
-        // on gpu0: spot-check by rerunning with gpu0 also reliable.
-        let config = EngineConfig {
-            seed: 4,
-            faults: Some(FaultConfig::new(1e6, SimDuration::from_secs(0.001), 1_000_000).unwrap()),
-            ..Default::default()
-        };
-        let clean = Engine::new(config).execute_plan(&p, &wf, &plan).unwrap();
-        assert_eq!(clean.failures(), 0);
-    }
-}
+#[path = "engine_tests.rs"]
+mod tests;

@@ -15,8 +15,8 @@ use helios_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use helios_workflow::{analysis, TaskId, Workflow};
 
 use crate::config::EngineConfig;
-use crate::engine::{occupancy_on, LinkState, FAULT_STREAM_BASE, NOISE_STREAM_BASE};
 use crate::error::EngineError;
+use crate::exec::{noise_factor, occupancy_on, slowdown_factor, LinkState, FAULT_STREAM_BASE};
 use crate::report::TransferStats;
 
 /// One workflow in an ensemble.
@@ -249,19 +249,8 @@ impl EnsembleRunner {
                         let modeled = device.execution_time(cost, device.nominal_level())?;
                         // Streams are keyed by the *global* task index,
                         // so each member task keeps its own draw.
-                        let noise = if self.config.noise_cv > 0.0 {
-                            let mut rng = base_rng.fork(NOISE_STREAM_BASE + g as u64);
-                            rng.normal(1.0, self.config.noise_cv).max(0.05)
-                        } else {
-                            1.0
-                        };
-                        let slow = self
-                            .config
-                            .device_slowdown
-                            .as_ref()
-                            .and_then(|v| v.get(dev.0))
-                            .copied()
-                            .unwrap_or(1.0);
+                        let noise = noise_factor(self.config.noise_cv, &base_rng, g);
+                        let slow = slowdown_factor(self.config.device_slowdown.as_ref(), dev.0);
                         let mut fault_rng = base_rng.fork(FAULT_STREAM_BASE + g as u64);
                         let occ = occupancy_on(
                             &view,

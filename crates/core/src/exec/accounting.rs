@@ -1,0 +1,153 @@
+//! Shared report accounting: the one place an execution turns into an
+//! [`ExecutionReport`], and the normalized vocabulary for runs that
+//! stop short.
+
+use helios_energy::account;
+use helios_platform::Platform;
+use helios_sched::{Placement, Schedule};
+use helios_sim::trace::{Trace, TraceKind};
+use helios_workflow::Workflow;
+
+use crate::error::EngineError;
+use crate::report::{ExecutionReport, TransferStats};
+
+/// Assembles the final report from realized placements: records
+/// execution spans on the trace, validates the schedule, accounts
+/// energy, and packs the transfer/fault tallies. Every simulated path
+/// ends here, so the report columns are computed identically
+/// everywhere.
+pub(crate) fn finish_report(
+    platform: &Platform,
+    wf: &Workflow,
+    realized: Vec<Option<Placement>>,
+    mut trace: Option<Trace>,
+    stats: TransferStats,
+    failures: u32,
+    retries: u32,
+) -> Result<ExecutionReport, EngineError> {
+    let placements: Vec<Placement> = realized
+        .into_iter()
+        .map(|p| p.expect("all tasks completed"))
+        .collect();
+    if let Some(trace) = trace.as_mut() {
+        for p in &placements {
+            trace.record(
+                wf.task(p.task)?.name().to_owned(),
+                TraceKind::Execution,
+                p.device.0,
+                p.start,
+                p.finish,
+            );
+        }
+    }
+    let schedule = Schedule::new(placements)?;
+    let energy = account(&schedule, wf, platform, false)?;
+    Ok(ExecutionReport::new(
+        schedule, energy, stats, failures, retries, trace,
+    ))
+}
+
+/// Why a run stopped short of completing, in the one normalized
+/// vocabulary every runner and campaign cell reports through.
+///
+/// Campaign sweeps record these as measurements (a cell that timed out
+/// or lost its workload depresses `completion_probability`) rather than
+/// errors; the string forms written into reports come from
+/// [`IncompleteReason::as_str`] and nowhere else, so no execution path
+/// can invent free-form reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncompleteReason {
+    /// The per-cell step-budget watchdog fired
+    /// ([`EngineError::StepBudgetExceeded`]).
+    TimedOut,
+    /// A task exhausted its retry budget
+    /// ([`EngineError::RetriesExhausted`]).
+    RetriesExhausted,
+    /// Every device failed permanently
+    /// ([`EngineError::AllDevicesLost`]).
+    AllDevicesLost,
+}
+
+impl IncompleteReason {
+    /// All reasons, in report order.
+    pub const ALL: [IncompleteReason; 3] = [
+        IncompleteReason::TimedOut,
+        IncompleteReason::RetriesExhausted,
+        IncompleteReason::AllDevicesLost,
+    ];
+
+    /// The canonical report string (`timed_out`, `retries_exhausted`,
+    /// `all_devices_lost`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncompleteReason::TimedOut => "timed_out",
+            IncompleteReason::RetriesExhausted => "retries_exhausted",
+            IncompleteReason::AllDevicesLost => "all_devices_lost",
+        }
+    }
+
+    /// Classifies an execution error as an incomplete-run measurement,
+    /// or `None` for genuine errors that must propagate.
+    #[must_use]
+    pub fn from_error(err: &EngineError) -> Option<IncompleteReason> {
+        match err {
+            EngineError::StepBudgetExceeded { .. } => Some(IncompleteReason::TimedOut),
+            EngineError::RetriesExhausted { .. } => Some(IncompleteReason::RetriesExhausted),
+            EngineError::AllDevicesLost { .. } => Some(IncompleteReason::AllDevicesLost),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IncompleteReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_workflow::TaskId;
+
+    #[test]
+    fn reasons_map_to_canonical_strings() {
+        let strings: Vec<&str> = IncompleteReason::ALL.iter().map(|r| r.as_str()).collect();
+        assert_eq!(
+            strings,
+            vec!["timed_out", "retries_exhausted", "all_devices_lost"]
+        );
+    }
+
+    #[test]
+    fn classification_covers_exactly_the_measurement_errors() {
+        assert_eq!(
+            IncompleteReason::from_error(&EngineError::StepBudgetExceeded {
+                steps: 1,
+                completed: 0,
+                total: 4
+            }),
+            Some(IncompleteReason::TimedOut)
+        );
+        assert_eq!(
+            IncompleteReason::from_error(&EngineError::RetriesExhausted {
+                task: TaskId(0),
+                attempts: 3
+            }),
+            Some(IncompleteReason::RetriesExhausted)
+        );
+        assert_eq!(
+            IncompleteReason::from_error(&EngineError::AllDevicesLost {
+                at_secs: 2.0,
+                completed: 1,
+                total: 4
+            }),
+            Some(IncompleteReason::AllDevicesLost)
+        );
+        assert_eq!(
+            IncompleteReason::from_error(&EngineError::Config("x".into())),
+            None
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! The hook-driven step loop shared by every simulated execution path.
+//!
+//! [`drive`] owns the loop skeleton — completion check, step-budget
+//! charge, event pop, dispatch — while a [`Hooks`] implementation owns
+//! everything path-specific: the event vocabulary, how an event is
+//! handled, and where in the loop the step budget is charged. The three
+//! simulated executors differ *only* in their hook set:
+//!
+//! | path              | budget point | exit on complete | after_event   |
+//! |-------------------|--------------|------------------|---------------|
+//! | `Engine`          | after pop    | no (drains)      | —             |
+//! | `OnlineRunner`    | (no budget)  | no (drains)      | —             |
+//! | `ResilientRunner` | before pop   | yes              | `dispatch_all`|
+//!
+//! The resilient runner must exit the moment the last task completes
+//! because fault-process events extend to infinity; the static paths
+//! drain their (finite) queues instead. Both conventions funnel into
+//! the same [`EngineError::Stalled`] / `StepBudgetExceeded` reporting.
+
+use helios_sim::SimTime;
+
+use crate::error::EngineError;
+
+/// Where the step budget is charged relative to the event pop.
+///
+/// The static engine charges *after* popping (an empty queue can never
+/// trip the watchdog); the resilient runner charges *before* popping
+/// (an eternally fault-generating queue must trip it even between
+/// useful events). Both orderings are preserved exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BudgetPoint {
+    /// Charge at the top of the iteration, before the pop.
+    BeforePop,
+    /// Charge right after a successful pop.
+    AfterPop,
+}
+
+/// Variation points of the execution core's step loop. One
+/// implementation per execution path; [`drive`] supplies the loop.
+pub(crate) trait Hooks {
+    /// The path's event vocabulary.
+    type Event;
+
+    /// Step budget for the watchdog, if any.
+    fn budget(&self) -> Option<u64>;
+
+    /// Where the budget is charged (see [`BudgetPoint`]).
+    fn budget_point(&self) -> BudgetPoint;
+
+    /// Tasks completed so far.
+    fn completed(&self) -> usize;
+
+    /// Total tasks that must complete.
+    fn total(&self) -> usize;
+
+    /// Whether the loop exits the instant every task has completed
+    /// (resilient semantics: fault events extend forever) instead of
+    /// draining the queue.
+    fn exit_on_complete(&self) -> bool;
+
+    /// Pops the next timeline event, if any.
+    fn pop(&mut self) -> Option<(SimTime, Self::Event)>;
+
+    /// Handles one event at simulated instant `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event) -> Result<(), EngineError>;
+
+    /// Runs after every handled event (the resilient runner re-runs its
+    /// dispatcher here; the static paths dispatch inside `handle`).
+    fn after_event(&mut self, now: SimTime) -> Result<(), EngineError> {
+        let _ = now;
+        Ok(())
+    }
+}
+
+/// The event-driven step loop over `(ready-set, transfer staging, link
+/// health, occupancy, timeline charge, completion)`. Drives `hooks`
+/// until every task completes, the queue drains, the step budget trips
+/// ([`EngineError::StepBudgetExceeded`]) or progress stalls
+/// ([`EngineError::Stalled`]).
+pub(crate) fn drive<H: Hooks>(hooks: &mut H) -> Result<(), EngineError> {
+    let mut steps: u64 = 0;
+    loop {
+        if hooks.exit_on_complete() && hooks.completed() == hooks.total() {
+            return Ok(());
+        }
+        if hooks.budget_point() == BudgetPoint::BeforePop {
+            charge_step(hooks, &mut steps)?;
+        }
+        let Some((now, event)) = hooks.pop() else {
+            break;
+        };
+        if hooks.budget_point() == BudgetPoint::AfterPop {
+            charge_step(hooks, &mut steps)?;
+        }
+        hooks.handle(now, event)?;
+        hooks.after_event(now)?;
+    }
+    // Queue drained. With `exit_on_complete` the completion check above
+    // already returned, so reaching here always means a stall; the
+    // draining paths still need the final head-count.
+    if hooks.completed() != hooks.total() {
+        return Err(EngineError::Stalled {
+            completed: hooks.completed(),
+            total: hooks.total(),
+        });
+    }
+    Ok(())
+}
+
+/// Watchdog: this run is grinding through more simulated events than
+/// the caller budgeted for.
+fn charge_step<H: Hooks>(hooks: &H, steps: &mut u64) -> Result<(), EngineError> {
+    if let Some(budget) = hooks.budget() {
+        if *steps >= budget {
+            return Err(EngineError::StepBudgetExceeded {
+                steps: budget,
+                completed: hooks.completed(),
+                total: hooks.total(),
+            });
+        }
+    }
+    *steps += 1;
+    Ok(())
+}

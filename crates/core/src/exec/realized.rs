@@ -1,0 +1,98 @@
+//! Realized-schedule repair and validation for wall-clock executors:
+//! the services a real (threaded) execution path shares with the
+//! simulated ones — its hook surface is the realized `Schedule`, which
+//! must satisfy the same device-exclusivity and precedence invariants.
+
+use helios_platform::DeviceId;
+use helios_sched::{Placement, Schedule};
+use helios_sim::SimTime;
+use helios_workflow::{TaskId, Workflow};
+
+use crate::error::EngineError;
+
+/// Repairs derived starts that land inside the previous placement on
+/// the same device.
+///
+/// A worker runs its device's tasks strictly in sequence, so observed
+/// *finish* instants are monotone per device — but the derived start
+/// `finish − duration` is not: nanosecond rounding of the scaled sleeps
+/// and de-scaling back through the time factor can push a start a hair
+/// before its predecessor's finish, which [`Schedule`] consumers treat
+/// as two tasks on one device at once. The repair walks each device's
+/// placements in finish order and clamps every start up to the previous
+/// finish (never past the task's own finish), leaving observed finishes
+/// untouched.
+pub(crate) fn repair_device_overlaps(placements: &mut [Placement]) {
+    let mut order: Vec<usize> = (0..placements.len()).collect();
+    order.sort_by(|&a, &b| {
+        placements[a]
+            .device
+            .cmp(&placements[b].device)
+            .then(placements[a].finish.cmp(&placements[b].finish))
+            .then(placements[a].task.cmp(&placements[b].task))
+    });
+    let mut cursor: Option<(DeviceId, SimTime)> = None;
+    for &i in &order {
+        let prev = match cursor {
+            Some((dev, finish)) if dev == placements[i].device => finish,
+            _ => SimTime::ZERO,
+        };
+        let p = &mut placements[i];
+        if p.start < prev {
+            // `prev <= p.finish` holds for worker-produced schedules;
+            // the min keeps the repair total on arbitrary input.
+            p.start = prev.min(p.finish);
+        }
+        cursor = Some((p.device, p.finish));
+    }
+}
+
+/// Checks the invariants a realized wall-clock schedule must satisfy:
+/// every task placed, no two placements overlapping on one device, and
+/// every task starting at or after each predecessor's finish.
+///
+/// This is deliberately weaker than [`Schedule::validate`], which also
+/// enforces *modeled* durations and transfer times — constraints a
+/// schedule realized under OS jitter meets only approximately.
+pub(crate) fn validate_realized(schedule: &Schedule, wf: &Workflow) -> Result<(), EngineError> {
+    for i in 0..wf.num_tasks() {
+        schedule.placement(TaskId(i))?;
+    }
+    let tol = 1e-6 * (1.0 + schedule.makespan().as_secs());
+    for (dev, tasks) in schedule.tasks_by_device() {
+        let mut prev: Option<Placement> = None;
+        for &t in &tasks {
+            let p = *schedule.placement(t)?;
+            if let Some(q) = prev {
+                if p.start.as_secs() + tol < q.finish.as_secs() {
+                    return Err(EngineError::Executor(format!(
+                        "realized schedule overlaps on device {dev}: {} [{:.9}, {:.9}] \
+                         vs {} finishing {:.9}",
+                        p.task,
+                        p.start.as_secs(),
+                        p.finish.as_secs(),
+                        q.task,
+                        q.finish.as_secs()
+                    )));
+                }
+            }
+            prev = Some(p);
+        }
+    }
+    for p in schedule.placements() {
+        for &e in wf.predecessors(p.task) {
+            let pred = schedule.placement(wf.edge(e).src)?;
+            if pred.finish.as_secs() > p.start.as_secs() + tol {
+                return Err(EngineError::Executor(format!(
+                    "realized schedule breaks precedence: {} starts {:.9} before \
+                     predecessor {} finishes {:.9}",
+                    p.task,
+                    p.start.as_secs(),
+                    pred.task,
+                    pred.finish.as_secs()
+                )));
+            }
+        }
+    }
+    Ok(())
+}

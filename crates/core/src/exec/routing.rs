@@ -1,0 +1,111 @@
+//! Link-health verdicts and the reroute-on-link-down preference order —
+//! the single copy of the routing decisions the resilient runner stages
+//! transfers through.
+
+use helios_platform::{LinkAvailability, LinkHealth, LinkId};
+use helios_sim::SimTime;
+
+/// Health of a whole route at one instant (see [`classify_route`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RouteNow {
+    /// Every link up; `scale` ≥ 1 folds in bandwidth degradation.
+    Up { scale: f64 },
+    /// At least one link down but repairable: usable from `at`.
+    Heals { at: SimTime, scale: f64 },
+    /// At least one link permanently severed.
+    Severed,
+}
+
+/// Health of `route` right now, folding per-link states into one
+/// verdict: worst slowdown, latest repair, or permanent severance.
+pub(crate) fn classify_route(la: &LinkAvailability, route: &[LinkId], ready: SimTime) -> RouteNow {
+    let mut scale = 1.0_f64;
+    let mut heal = ready;
+    let mut down = false;
+    for &l in route {
+        match la.state(l) {
+            LinkHealth::Up => {}
+            LinkHealth::Degraded { factor } => scale = scale.max(factor),
+            LinkHealth::Down { until: Some(t) } => {
+                down = true;
+                heal = heal.max(t);
+            }
+            LinkHealth::Down { until: None } => return RouteNow::Severed,
+        }
+    }
+    if down {
+        RouteNow::Heals { at: heal, scale }
+    } else {
+        RouteNow::Up { scale }
+    }
+}
+
+/// The route a transfer should take given the health of its primary
+/// route and (optionally) a fallback detour (see [`choose_route`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RouteChoice<'r> {
+    /// Stage over `route`, anchored at `anchor` (later than the ready
+    /// instant when the transfer stalls for a repair), stretched by
+    /// `scale`; `rerouted` marks a fallback detour.
+    Go {
+        route: &'r [LinkId],
+        anchor: SimTime,
+        scale: f64,
+        rerouted: bool,
+    },
+    /// Every candidate route is permanently severed: the destination is
+    /// partitioned away from the producer.
+    Severed,
+}
+
+/// Applies the reroute-on-link-down preference order to a transfer
+/// ready at `ready`: any route that is up now (primary first), then the
+/// route that heals earliest (primary on ties), and only if every
+/// candidate is permanently severed, [`RouteChoice::Severed`].
+pub(crate) fn choose_route<'r>(
+    la: &LinkAvailability,
+    primary: &'r [LinkId],
+    fallback: Option<&'r [LinkId]>,
+    ready: SimTime,
+) -> RouteChoice<'r> {
+    let pri = classify_route(la, primary, ready);
+    let fb = fallback.map(|r| classify_route(la, r, ready));
+    match (pri, fb) {
+        (RouteNow::Up { scale }, _) => RouteChoice::Go {
+            route: primary,
+            anchor: ready,
+            scale,
+            rerouted: false,
+        },
+        (_, Some(RouteNow::Up { scale })) => RouteChoice::Go {
+            route: fallback.expect("classified"),
+            anchor: ready,
+            scale,
+            rerouted: true,
+        },
+        (RouteNow::Heals { at, scale }, fb) => match fb {
+            Some(RouteNow::Heals {
+                at: fat,
+                scale: fsc,
+            }) if fat < at => RouteChoice::Go {
+                route: fallback.expect("classified"),
+                anchor: fat,
+                scale: fsc,
+                rerouted: true,
+            },
+            _ => RouteChoice::Go {
+                route: primary,
+                anchor: at,
+                scale,
+                rerouted: false,
+            },
+        },
+        (RouteNow::Severed, Some(RouteNow::Heals { at, scale })) => RouteChoice::Go {
+            route: fallback.expect("classified"),
+            anchor: at,
+            scale,
+            rerouted: true,
+        },
+        (RouteNow::Severed, _) => RouteChoice::Severed,
+    }
+}

@@ -1,0 +1,187 @@
+//! Transfer staging: FIFO link contention, transfer-arrival math and
+//! the data-product residency cache. The single copy shared by every
+//! execution path.
+
+use std::collections::BTreeMap;
+
+use helios_platform::{DeviceId, Platform};
+use helios_sim::{SimDuration, SimTime};
+use helios_workflow::TaskId;
+
+use crate::error::EngineError;
+use crate::report::TransferStats;
+
+/// Per-link FIFO state for contention modeling.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkState {
+    free_at: Vec<SimTime>,
+}
+
+impl LinkState {
+    pub(crate) fn new(platform: &Platform) -> LinkState {
+        LinkState {
+            free_at: vec![SimTime::ZERO; platform.interconnect().links().len()],
+        }
+    }
+
+    /// Computes the arrival time of a transfer over an explicit `route`
+    /// whose duration is stretched by `scale` (≥ 1 while any crossed
+    /// link is bandwidth-degraded), updating link occupancy when
+    /// contention is enabled. The resilient runner uses this to route
+    /// around — or crawl across — faulty links; an empty route is a
+    /// same-device transfer and costs nothing.
+    #[allow(clippy::too_many_arguments)] // mirrors transfer_arrival plus route + scale
+    pub(crate) fn transfer_arrival_on_route(
+        &mut self,
+        platform: &Platform,
+        contention: bool,
+        bytes: f64,
+        route: &[helios_platform::LinkId],
+        ready: SimTime,
+        scale: f64,
+        stats: &mut TransferStats,
+    ) -> Result<SimTime, EngineError> {
+        if route.is_empty() {
+            return Ok(ready);
+        }
+        let ic = platform.interconnect();
+        let mut latency = SimDuration::ZERO;
+        let mut min_bw = f64::INFINITY;
+        for &id in route {
+            let link = ic.link(id)?;
+            latency += link.latency();
+            min_bw = min_bw.min(link.bandwidth_gbs());
+        }
+        let duration = (latency + SimDuration::from_secs(bytes / (min_bw * 1e9))) * scale;
+        let start = if contention {
+            let mut start = ready;
+            for link in route {
+                start = start.max(self.free_at[link.0]);
+            }
+            let arrival = start + duration;
+            for link in route {
+                self.free_at[link.0] = arrival;
+            }
+            start
+        } else {
+            ready
+        };
+        let arrival = start + duration;
+        stats.count += 1;
+        stats.bytes += bytes;
+        stats.total_secs += duration.as_secs();
+        Ok(arrival)
+    }
+
+    /// Computes the arrival time of a transfer leaving `from` at `ready`
+    /// toward `to`, updating link occupancy when contention is enabled.
+    /// Optionally records a transfer span on the trace (track = first
+    /// link of the route).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn transfer_arrival(
+        &mut self,
+        platform: &Platform,
+        contention: bool,
+        bytes: f64,
+        from: DeviceId,
+        to: DeviceId,
+        ready: SimTime,
+        stats: &mut TransferStats,
+        trace: Option<(&mut helios_sim::trace::Trace, &str)>,
+    ) -> Result<SimTime, EngineError> {
+        if from == to {
+            return Ok(ready);
+        }
+        let duration = platform.transfer_time(bytes, from, to)?;
+        let start = if contention {
+            let route = platform.interconnect().route(from, to)?;
+            let mut start = ready;
+            for link in &route {
+                start = start.max(self.free_at[link.0]);
+            }
+            let arrival = start + duration;
+            for link in route {
+                self.free_at[link.0] = arrival;
+            }
+            start
+        } else {
+            ready
+        };
+        let arrival = start + duration;
+        stats.count += 1;
+        stats.bytes += bytes;
+        stats.total_secs += duration.as_secs();
+        if let Some((trace, label)) = trace {
+            let track = platform
+                .interconnect()
+                .route(from, to)?
+                .first()
+                .map_or(0, |l| l.0);
+            trace.record(
+                label.to_owned(),
+                helios_sim::trace::TraceKind::Transfer,
+                track,
+                start,
+                arrival,
+            );
+        }
+        Ok(arrival)
+    }
+}
+
+/// Data-product residency for `data_caching`: maps `(producer,
+/// destination device)` to the instant the product is (or will be)
+/// available there, so a product is shipped to a device at most once.
+/// Disabled, every lookup misses and every record is a no-op, so the
+/// cache can be threaded through unconditionally.
+#[derive(Debug, Default)]
+pub(crate) struct DeliveredCache {
+    enabled: bool,
+    map: BTreeMap<(TaskId, DeviceId), SimTime>,
+}
+
+impl DeliveredCache {
+    pub(crate) fn new(enabled: bool) -> DeliveredCache {
+        DeliveredCache {
+            enabled,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The availability instant of `src`'s product on `dev`, if cached.
+    pub(crate) fn lookup(&self, src: TaskId, dev: DeviceId) -> Option<SimTime> {
+        if !self.enabled {
+            return None;
+        }
+        self.map.get(&(src, dev)).copied()
+    }
+
+    /// Records that `src`'s product reaches `dev` at `at`.
+    pub(crate) fn record(&mut self, src: TaskId, dev: DeviceId, at: SimTime) {
+        if self.enabled {
+            self.map.insert((src, dev), at);
+        }
+    }
+
+    /// Whether `src`'s product is resident (or en route) on `dev`.
+    pub(crate) fn has(&self, src: TaskId, dev: DeviceId) -> bool {
+        self.enabled && self.map.contains_key(&(src, dev))
+    }
+
+    /// Drops every copy held on a device `is_up` rejects (permanent
+    /// device loss destroys resident products).
+    pub(crate) fn purge_lost(&mut self, is_up: impl Fn(DeviceId) -> bool) {
+        self.map.retain(|&(_, dev), _| is_up(dev));
+    }
+
+    /// The lowest-numbered surviving copy of `src`'s product, as
+    /// `(device index, availability instant)` — the deterministic pick
+    /// for lineage recovery.
+    pub(crate) fn surviving_copy(&self, src: TaskId) -> Option<(usize, SimTime)> {
+        self.map
+            .iter()
+            .filter(|((s, _), _)| *s == src)
+            .map(|((_, dev), &at)| (dev.0, at))
+            .min()
+    }
+}

@@ -11,18 +11,26 @@
 //! wall-clock makespan matches the simulated one within scheduler
 //! jitter — evidence that the orchestration logic, not just the model,
 //! is sound.
+//!
+//! This is the wall-clock hook set over the execution core
+//! ([`crate::exec`]): real threads replace the simulated step loop, but
+//! the realized schedule funnels through the core's single copy of
+//! overlap repair and schedule validation, so a threaded run is held to
+//! the same device-exclusivity and precedence invariants as a simulated
+//! one.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use helios_platform::{DeviceId, Platform};
+use helios_platform::Platform;
 use helios_sched::{Placement, Schedule};
 use helios_sim::{SimDuration, SimTime};
 use helios_workflow::{TaskId, Workflow};
 
 use crate::error::EngineError;
+use crate::exec::{repair_device_overlaps, validate_realized};
 
 /// Outcome of a threaded execution.
 #[derive(Debug, Clone)]
@@ -84,12 +92,10 @@ impl ThreadedExecutor {
         // Precompute per-task wall durations and per-edge wall transfer
         // times so workers never touch the models.
         let mut exec_wall = vec![Duration::ZERO; n];
-        let mut device_of = vec![0usize; n];
         for p in plan.placements() {
             let device = platform.device(p.device)?;
             let exec = device.execution_time(wf.task(p.task)?.cost(), p.level)?;
             exec_wall[p.task.0] = Duration::from_secs_f64(exec.as_secs() * self.time_scale);
-            device_of[p.task.0] = p.device.0;
         }
         let mut transfer_wall = vec![Duration::ZERO; wf.num_edges()];
         for (i, e) in wf.edges().iter().enumerate() {
@@ -179,7 +185,6 @@ impl ThreadedExecutor {
             });
         }
         drop(done);
-        let _ = device_of;
         repair_device_overlaps(&mut placements);
         let schedule = Schedule::new(placements)?;
         validate_realized(&schedule, wf)?;
@@ -187,226 +192,6 @@ impl ThreadedExecutor {
     }
 }
 
-/// Repairs derived starts that land inside the previous placement on
-/// the same device.
-///
-/// A worker runs its device's tasks strictly in sequence, so observed
-/// *finish* instants are monotone per device — but the derived start
-/// `finish − duration` is not: nanosecond rounding of the scaled sleeps
-/// and de-scaling back through the time factor can push a start a hair
-/// before its predecessor's finish, which [`Schedule`] consumers treat
-/// as two tasks on one device at once. The repair walks each device's
-/// placements in finish order and clamps every start up to the previous
-/// finish (never past the task's own finish), leaving observed finishes
-/// untouched.
-fn repair_device_overlaps(placements: &mut [Placement]) {
-    let mut order: Vec<usize> = (0..placements.len()).collect();
-    order.sort_by(|&a, &b| {
-        placements[a]
-            .device
-            .cmp(&placements[b].device)
-            .then(placements[a].finish.cmp(&placements[b].finish))
-            .then(placements[a].task.cmp(&placements[b].task))
-    });
-    let mut cursor: Option<(DeviceId, SimTime)> = None;
-    for &i in &order {
-        let prev = match cursor {
-            Some((dev, finish)) if dev == placements[i].device => finish,
-            _ => SimTime::ZERO,
-        };
-        let p = &mut placements[i];
-        if p.start < prev {
-            // `prev <= p.finish` holds for worker-produced schedules;
-            // the min keeps the repair total on arbitrary input.
-            p.start = prev.min(p.finish);
-        }
-        cursor = Some((p.device, p.finish));
-    }
-}
-
-/// Checks the invariants a realized wall-clock schedule must satisfy:
-/// every task placed, no two placements overlapping on one device, and
-/// every task starting at or after each predecessor's finish.
-///
-/// This is deliberately weaker than [`Schedule::validate`], which also
-/// enforces *modeled* durations and transfer times — constraints a
-/// schedule realized under OS jitter meets only approximately.
-fn validate_realized(schedule: &Schedule, wf: &Workflow) -> Result<(), EngineError> {
-    for i in 0..wf.num_tasks() {
-        schedule.placement(TaskId(i))?;
-    }
-    let tol = 1e-6 * (1.0 + schedule.makespan().as_secs());
-    for (dev, tasks) in schedule.tasks_by_device() {
-        let mut prev: Option<Placement> = None;
-        for &t in &tasks {
-            let p = *schedule.placement(t)?;
-            if let Some(q) = prev {
-                if p.start.as_secs() + tol < q.finish.as_secs() {
-                    return Err(EngineError::Executor(format!(
-                        "realized schedule overlaps on device {dev}: {} [{:.9}, {:.9}] \
-                         vs {} finishing {:.9}",
-                        p.task,
-                        p.start.as_secs(),
-                        p.finish.as_secs(),
-                        q.task,
-                        q.finish.as_secs()
-                    )));
-                }
-            }
-            prev = Some(p);
-        }
-    }
-    for p in schedule.placements() {
-        for &e in wf.predecessors(p.task) {
-            let pred = schedule.placement(wf.edge(e).src)?;
-            if pred.finish.as_secs() > p.start.as_secs() + tol {
-                return Err(EngineError::Executor(format!(
-                    "realized schedule breaks precedence: {} starts {:.9} before \
-                     predecessor {} finishes {:.9}",
-                    p.task,
-                    p.start.as_secs(),
-                    pred.task,
-                    pred.finish.as_secs()
-                )));
-            }
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{Engine, EngineConfig};
-    use helios_platform::presets;
-    use helios_sched::{HeftScheduler, Scheduler};
-    use helios_workflow::generators::montage;
-
-    #[test]
-    fn threaded_matches_simulated_makespan() {
-        let p = presets::workstation();
-        let wf = montage(30, 1).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let simulated = Engine::new(EngineConfig::default())
-            .execute_plan(&p, &wf, &plan)
-            .unwrap();
-        // Scale so the whole run takes a few hundred ms of wall time.
-        let scale = 0.25 / simulated.makespan().as_secs();
-        let sim = simulated.makespan().as_secs();
-        // Wall-clock accuracy depends on how loaded the host is (other
-        // test binaries share the cores), so allow a few attempts
-        // before declaring the executor itself off.
-        let mut threaded = None;
-        for attempt in 0..3 {
-            let run = ThreadedExecutor::new(scale)
-                .unwrap()
-                .execute_plan(&p, &wf, &plan)
-                .unwrap();
-            let wall = run.makespan().as_secs();
-            let err = (wall - sim).abs() / sim;
-            if err < 0.35 {
-                threaded = Some(run);
-                break;
-            }
-            assert!(
-                attempt < 2,
-                "threaded {wall} vs simulated {sim} ({:.1}% off)",
-                err * 100.0
-            );
-        }
-        let threaded = threaded.unwrap();
-        // Precedence holds in the realized wall-clock schedule.
-        for pl in threaded.schedule.placements() {
-            for &e in wf.predecessors(pl.task) {
-                let edge = wf.edge(e);
-                let pred = threaded.schedule.placement(edge.src).unwrap();
-                assert!(pred.finish.as_secs() <= pl.finish.as_secs() + 1e-9);
-            }
-        }
-    }
-
-    #[test]
-    fn invalid_scale_rejected() {
-        assert!(ThreadedExecutor::new(0.0).is_err());
-        assert!(ThreadedExecutor::new(f64::NAN).is_err());
-    }
-
-    fn place(task: usize, dev: usize, start: f64, finish: f64) -> Placement {
-        Placement {
-            task: TaskId(task),
-            device: DeviceId(dev),
-            level: helios_platform::DvfsLevel(2),
-            start: SimTime::from_secs(start),
-            finish: SimTime::from_secs(finish),
-        }
-    }
-
-    #[test]
-    fn repair_clamps_overlapping_starts_per_device() {
-        // Device 0: task 1's derived start lands inside task 0; task 2 is
-        // clean. Device 1 is untouched.
-        let mut placements = vec![
-            place(0, 0, 0.0, 10.0),
-            place(1, 0, 9.9, 20.0),
-            place(2, 0, 20.0, 30.0),
-            place(3, 1, 0.0, 5.0),
-        ];
-        repair_device_overlaps(&mut placements);
-        assert_eq!(placements[1].start, SimTime::from_secs(10.0));
-        assert_eq!(placements[1].finish, SimTime::from_secs(20.0));
-        assert_eq!(placements[0].start, SimTime::from_secs(0.0));
-        assert_eq!(placements[2].start, SimTime::from_secs(20.0));
-        assert_eq!(placements[3].start, SimTime::from_secs(0.0));
-    }
-
-    #[test]
-    fn repair_never_moves_a_start_past_its_finish() {
-        let mut placements = vec![place(0, 0, 0.0, 10.0), place(1, 0, 2.0, 4.0)];
-        // Malformed input (finishes not monotone): the repair must stay
-        // total and keep start <= finish.
-        repair_device_overlaps(&mut placements);
-        for p in &placements {
-            assert!(p.start <= p.finish, "{p:?}");
-        }
-    }
-
-    #[test]
-    fn realized_schedule_has_no_device_overlaps() {
-        let p = presets::workstation();
-        let wf = montage(40, 7).unwrap();
-        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-        let scale = 0.15 / plan.makespan().as_secs();
-        let threaded = ThreadedExecutor::new(scale)
-            .unwrap()
-            .execute_plan(&p, &wf, &plan)
-            .unwrap();
-        for (_, tasks) in threaded.schedule.tasks_by_device() {
-            for pair in tasks.windows(2) {
-                let a = threaded.schedule.placement(pair[0]).unwrap();
-                let b = threaded.schedule.placement(pair[1]).unwrap();
-                assert!(
-                    b.start >= a.finish,
-                    "device overlap after repair: {a:?} vs {b:?}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn validate_realized_rejects_bad_schedules() {
-        let wf = montage(30, 1).unwrap();
-        // Overlap on one device.
-        let mut placements: Vec<Placement> = (0..wf.num_tasks())
-            .map(|i| place(i, 0, i as f64, i as f64 + 1.0))
-            .collect();
-        placements[5].start = SimTime::from_secs(4.2);
-        let s = Schedule::new(placements).unwrap();
-        assert!(matches!(
-            validate_realized(&s, &wf),
-            Err(EngineError::Executor(_))
-        ));
-        // Missing task.
-        let s = Schedule::new(vec![place(0, 0, 0.0, 1.0)]).unwrap();
-        assert!(validate_realized(&s, &wf).is_err());
-    }
-}
+#[path = "executor_tests.rs"]
+mod tests;

@@ -1,0 +1,136 @@
+//! Tests of the threaded executor and the core's realized-schedule
+//! repair/validation services (split out of `executor.rs`).
+
+use super::*;
+use crate::{Engine, EngineConfig};
+use helios_platform::{presets, DeviceId};
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_workflow::generators::montage;
+
+#[test]
+fn threaded_matches_simulated_makespan() {
+    let p = presets::workstation();
+    let wf = montage(30, 1).unwrap();
+    let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
+    let simulated = Engine::new(EngineConfig::default())
+        .execute_plan(&p, &wf, &plan)
+        .unwrap();
+    // Scale so the whole run takes a few hundred ms of wall time.
+    let scale = 0.25 / simulated.makespan().as_secs();
+    let sim = simulated.makespan().as_secs();
+    // Wall-clock accuracy depends on how loaded the host is (other
+    // test binaries share the cores), so allow a few attempts
+    // before declaring the executor itself off.
+    let mut threaded = None;
+    for attempt in 0..3 {
+        let run = ThreadedExecutor::new(scale)
+            .unwrap()
+            .execute_plan(&p, &wf, &plan)
+            .unwrap();
+        let wall = run.makespan().as_secs();
+        let err = (wall - sim).abs() / sim;
+        if err < 0.35 {
+            threaded = Some(run);
+            break;
+        }
+        assert!(
+            attempt < 2,
+            "threaded {wall} vs simulated {sim} ({:.1}% off)",
+            err * 100.0
+        );
+    }
+    let threaded = threaded.unwrap();
+    // Precedence holds in the realized wall-clock schedule.
+    for pl in threaded.schedule.placements() {
+        for &e in wf.predecessors(pl.task) {
+            let edge = wf.edge(e);
+            let pred = threaded.schedule.placement(edge.src).unwrap();
+            assert!(pred.finish.as_secs() <= pl.finish.as_secs() + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn invalid_scale_rejected() {
+    assert!(ThreadedExecutor::new(0.0).is_err());
+    assert!(ThreadedExecutor::new(f64::NAN).is_err());
+}
+
+fn place(task: usize, dev: usize, start: f64, finish: f64) -> Placement {
+    Placement {
+        task: TaskId(task),
+        device: DeviceId(dev),
+        level: helios_platform::DvfsLevel(2),
+        start: SimTime::from_secs(start),
+        finish: SimTime::from_secs(finish),
+    }
+}
+
+#[test]
+fn repair_clamps_overlapping_starts_per_device() {
+    // Device 0: task 1's derived start lands inside task 0; task 2 is
+    // clean. Device 1 is untouched.
+    let mut placements = vec![
+        place(0, 0, 0.0, 10.0),
+        place(1, 0, 9.9, 20.0),
+        place(2, 0, 20.0, 30.0),
+        place(3, 1, 0.0, 5.0),
+    ];
+    repair_device_overlaps(&mut placements);
+    assert_eq!(placements[1].start, SimTime::from_secs(10.0));
+    assert_eq!(placements[1].finish, SimTime::from_secs(20.0));
+    assert_eq!(placements[0].start, SimTime::from_secs(0.0));
+    assert_eq!(placements[2].start, SimTime::from_secs(20.0));
+    assert_eq!(placements[3].start, SimTime::from_secs(0.0));
+}
+
+#[test]
+fn repair_never_moves_a_start_past_its_finish() {
+    let mut placements = vec![place(0, 0, 0.0, 10.0), place(1, 0, 2.0, 4.0)];
+    // Malformed input (finishes not monotone): the repair must stay
+    // total and keep start <= finish.
+    repair_device_overlaps(&mut placements);
+    for p in &placements {
+        assert!(p.start <= p.finish, "{p:?}");
+    }
+}
+
+#[test]
+fn realized_schedule_has_no_device_overlaps() {
+    let p = presets::workstation();
+    let wf = montage(40, 7).unwrap();
+    let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
+    let scale = 0.15 / plan.makespan().as_secs();
+    let threaded = ThreadedExecutor::new(scale)
+        .unwrap()
+        .execute_plan(&p, &wf, &plan)
+        .unwrap();
+    for (_, tasks) in threaded.schedule.tasks_by_device() {
+        for pair in tasks.windows(2) {
+            let a = threaded.schedule.placement(pair[0]).unwrap();
+            let b = threaded.schedule.placement(pair[1]).unwrap();
+            assert!(
+                b.start >= a.finish,
+                "device overlap after repair: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn validate_realized_rejects_bad_schedules() {
+    let wf = montage(30, 1).unwrap();
+    // Overlap on one device.
+    let mut placements: Vec<Placement> = (0..wf.num_tasks())
+        .map(|i| place(i, 0, i as f64, i as f64 + 1.0))
+        .collect();
+    placements[5].start = SimTime::from_secs(4.2);
+    let s = Schedule::new(placements).unwrap();
+    assert!(matches!(
+        validate_realized(&s, &wf),
+        Err(EngineError::Executor(_))
+    ));
+    // Missing task.
+    let s = Schedule::new(vec![place(0, 0, 0.0, 1.0)]).unwrap();
+    assert!(validate_realized(&s, &wf).is_err());
+}

@@ -66,12 +66,17 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The execution core holds the only copy of the staging/occupancy/
+// charging math: a re-implemented private helper on some path is dead
+// weight and a future drift hazard, so it is a hard error.
+#![deny(dead_code)]
 
 pub mod campaign;
 mod config;
 mod engine;
 pub mod ensemble;
 mod error;
+pub mod exec;
 pub mod executor;
 pub mod online;
 mod report;
@@ -80,12 +85,14 @@ pub mod resilience;
 pub use campaign::{
     cell_rng, merge_shards, CampaignEngine, CampaignError, CampaignSpec, CellResult, DvfsKnob,
     FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob, ResilienceKnob, ResumeOutcome,
-    SeedRange, ShardReport, ShardSpec, SummaryRow, SweepCell, SweepDriver, SweepReport,
+    SchedulerParamsKnob, SeedRange, ShardReport, ShardSpec, SummaryRow, SweepCell, SweepDriver,
+    SweepReport,
 };
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
 pub use engine::Engine;
 pub use ensemble::{EnsembleMember, EnsemblePolicy, EnsembleReport, EnsembleRunner, MemberReport};
 pub use error::EngineError;
+pub use exec::IncompleteReason;
 pub use online::{OnlinePolicy, OnlineRunner};
 pub use report::{ExecutionReport, TransferStats};
 pub use resilience::{

@@ -5,16 +5,26 @@
 //! the online-scheduling literature prescribes when task durations are
 //! noisy and static plans go stale. A [`DvfsGovernor`] may be attached;
 //! it picks the DVFS level per dispatch from the current load pressure.
+//!
+//! The runner is the online re-planning hook set over the execution
+//! core ([`crate::exec`]): its [`Hooks`] implementation owns the
+//! ready-set, the calibration model and the just-in-time dispatch rule,
+//! while the step loop, occupancy math, transfer staging, residency
+//! caching and report accounting are the core's single copy.
 
-use helios_energy::{account, DvfsGovernor};
-use helios_platform::{DeviceId, Platform};
-use helios_sched::{Placement, Schedule};
+use helios_energy::DvfsGovernor;
+use helios_platform::{DeviceId, DvfsLevel, Platform};
+use helios_sched::Placement;
+use helios_sim::trace::Trace;
 use helios_sim::{EventQueue, SimRng, SimTime};
 use helios_workflow::{analysis, TaskId, Workflow};
 
-use crate::config::EngineConfig;
-use crate::engine::{occupancy_on, LinkState, FAULT_STREAM_BASE, NOISE_STREAM_BASE};
+use crate::config::{EngineConfig, FaultView};
 use crate::error::EngineError;
+use crate::exec::{
+    drive, fault_occupancy, finish_report, noise_factor, slowdown_factor, BudgetPoint,
+    DeliveredCache, Hooks, LinkState,
+};
 use crate::report::{ExecutionReport, TransferStats};
 
 /// Task-selection policy for the online dispatcher.
@@ -113,384 +123,292 @@ impl OnlineRunner {
             OnlinePolicy::RankedJit => analysis::bottom_levels(believed, platform)?,
             OnlinePolicy::Jit => vec![0.0; n],
         };
+        let preds_left: Vec<usize> = (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect();
+        let ready: Vec<TaskId> = (0..n).filter(|&i| preds_left[i] == 0).map(TaskId).collect();
 
-        let mut preds_left: Vec<usize> = (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect();
-        let mut finished = vec![false; n];
-        let mut producer_device = vec![DeviceId(0); n];
-        let mut realized: Vec<Option<Placement>> = vec![None; n];
-        let mut ready: Vec<TaskId> = (0..n).filter(|&i| preds_left[i] == 0).map(TaskId).collect();
-        let mut device_idle = vec![true; platform.num_devices()];
-
-        let view = self.config.fault_view()?;
-        let base_rng = SimRng::seed_from(self.config.seed);
-        let mut links = LinkState::new(platform);
-        let mut stats = TransferStats::default();
-        let mut trace = self.config.tracing.then(helios_sim::trace::Trace::new);
-        // data_caching: (producer, destination) -> availability instant.
-        let mut delivered: std::collections::BTreeMap<(TaskId, DeviceId), SimTime> =
-            std::collections::BTreeMap::new();
-        let mut failures = 0u32;
-        let mut retries = 0u32;
-        let mut completed = 0usize;
-        let mut queue: EventQueue<TaskId> = EventQueue::new();
-
-        // Per-device calibration: an exponentially weighted running
-        // ratio of observed to believed duration. This is how adaptive
-        // runtimes keep their performance models honest — a throttled
-        // or misestimated device is quickly predicted as slow and work
-        // routes around it.
-        let mut calibration = vec![1.0f64; platform.num_devices()];
-        let mut believed_dur = vec![0.0f64; n];
-        // Fault-free device time per task, for calibration: retry stalls
-        // say nothing about how fast the device executes work.
-        let mut work_dur = vec![0.0f64; n];
-        const CALIBRATION_EWMA: f64 = 0.5;
-
-        // Predicted completion of `task` on `device`, using believed
-        // costs scaled by the device's learned calibration (the
-        // dispatcher cannot see the noise it is about to suffer).
-        let predict = |task: TaskId,
-                       device: DeviceId,
-                       now: SimTime,
-                       producer_device: &[DeviceId],
-                       calibration: &[f64],
-                       level: helios_platform::DvfsLevel|
-         -> Result<f64, EngineError> {
-            let mut data_at = now;
-            for &e in wf.predecessors(task) {
-                let edge = wf.edge(e);
-                let t = platform.transfer_time(edge.bytes, producer_device[edge.src.0], device)?;
-                data_at = data_at.max(now + t);
-            }
-            let exec = platform
-                .device(device)?
-                .execution_time(believed.task(task)?.cost(), level)?;
-            Ok((data_at + exec * calibration[device.0]).as_secs())
+        let mut exec = OnlineExec {
+            config: &self.config,
+            policy: self.policy,
+            governor: self.governor.as_deref(),
+            platform,
+            wf,
+            believed,
+            view: self.config.fault_view()?,
+            base_rng: SimRng::seed_from(self.config.seed),
+            ranks,
+            preds_left,
+            producer_device: vec![DeviceId(0); n],
+            realized: vec![None; n],
+            ready,
+            device_idle: vec![true; platform.num_devices()],
+            links: LinkState::new(platform),
+            stats: TransferStats::default(),
+            trace: self.config.tracing.then(Trace::new),
+            delivered: DeliveredCache::new(self.config.data_caching),
+            failures: 0,
+            retries: 0,
+            completed: 0,
+            queue: EventQueue::new(),
+            calibration: vec![1.0f64; platform.num_devices()],
+            believed_dur: vec![0.0f64; n],
+            work_dur: vec![0.0f64; n],
+            device_free_pred: vec![SimTime::ZERO; platform.num_devices()],
         };
+        exec.dispatch(SimTime::ZERO)?;
+        drive(&mut exec)?;
+        finish_report(
+            platform,
+            wf,
+            exec.realized,
+            exec.trace,
+            exec.stats,
+            exec.failures,
+            exec.retries,
+        )
+    }
+}
 
-        // Predicted instant each device frees up (modeled, since a real
-        // runtime cannot observe the noise ahead of time).
-        let mut device_free_pred = vec![SimTime::ZERO; platform.num_devices()];
+/// Per-device calibration: an exponentially weighted running ratio of
+/// observed to believed duration. This is how adaptive runtimes keep
+/// their performance models honest — a throttled or misestimated device
+/// is quickly predicted as slow and work routes around it.
+const CALIBRATION_EWMA: f64 = 0.5;
 
-        macro_rules! dispatch {
-            ($now:expr) => {{
-                let now: SimTime = $now;
-                // Keep committing until no task's *best* device is idle.
-                // A task whose best device is busy waits — forcing it onto
-                // a slow idle device (OLB behaviour) is the failure mode
-                // this dispatcher exists to avoid.
-                'rounds: loop {
-                    let idle_count = device_idle.iter().filter(|&&i| i).count();
-                    if idle_count == 0 || ready.is_empty() {
-                        break;
+/// The online re-planning hook set: a ready-set dispatched just-in-time
+/// by predicted completion, with task finishes as the only events.
+struct OnlineExec<'a> {
+    config: &'a EngineConfig,
+    policy: OnlinePolicy,
+    governor: Option<&'a dyn DvfsGovernor>,
+    platform: &'a Platform,
+    wf: &'a Workflow,
+    believed: &'a Workflow,
+    view: FaultView,
+    base_rng: SimRng,
+    ranks: Vec<f64>,
+    preds_left: Vec<usize>,
+    producer_device: Vec<DeviceId>,
+    realized: Vec<Option<Placement>>,
+    ready: Vec<TaskId>,
+    device_idle: Vec<bool>,
+    links: LinkState,
+    stats: TransferStats,
+    trace: Option<Trace>,
+    delivered: DeliveredCache,
+    failures: u32,
+    retries: u32,
+    completed: usize,
+    queue: EventQueue<TaskId>,
+    calibration: Vec<f64>,
+    believed_dur: Vec<f64>,
+    // Fault-free device time per task, for calibration: retry stalls
+    // say nothing about how fast the device executes work.
+    work_dur: Vec<f64>,
+    // Predicted instant each device frees up (modeled, since a real
+    // runtime cannot observe the noise ahead of time).
+    device_free_pred: Vec<SimTime>,
+}
+
+impl OnlineExec<'_> {
+    /// Predicted completion of `task` on `device`, using believed costs
+    /// scaled by the device's learned calibration (the dispatcher
+    /// cannot see the noise it is about to suffer).
+    fn predict(
+        &self,
+        task: TaskId,
+        device: DeviceId,
+        now: SimTime,
+        level: DvfsLevel,
+    ) -> Result<f64, EngineError> {
+        let mut data_at = now;
+        for &e in self.wf.predecessors(task) {
+            let edge = self.wf.edge(e);
+            let t = self.platform.transfer_time(
+                edge.bytes,
+                self.producer_device[edge.src.0],
+                device,
+            )?;
+            data_at = data_at.max(now + t);
+        }
+        let exec = self
+            .platform
+            .device(device)?
+            .execution_time(self.believed.task(task)?.cost(), level)?;
+        Ok((data_at + exec * self.calibration[device.0]).as_secs())
+    }
+
+    /// Keeps committing (ready task, idle device) pairs until no task's
+    /// *best* device is idle. A task whose best device is busy waits —
+    /// forcing it onto a slow idle device (OLB behaviour) is the failure
+    /// mode this dispatcher exists to avoid.
+    fn dispatch(&mut self, now: SimTime) -> Result<(), EngineError> {
+        let platform = self.platform;
+        let wf = self.wf;
+        'rounds: loop {
+            let idle_count = self.device_idle.iter().filter(|&&i| i).count();
+            if idle_count == 0 || self.ready.is_empty() {
+                break;
+            }
+            let pressure = self.ready.len() as f64 / idle_count as f64;
+
+            // Candidate tasks per policy.
+            let tasks: Vec<TaskId> = match self.policy {
+                OnlinePolicy::Jit => self.ready.clone(),
+                OnlinePolicy::RankedJit => {
+                    let mut sorted = self.ready.clone();
+                    sorted.sort_by(|a, b| {
+                        self.ranks[b.0]
+                            .total_cmp(&self.ranks[a.0])
+                            .then(a.0.cmp(&b.0))
+                    });
+                    sorted
+                }
+            };
+            for task in tasks {
+                // Best device over ALL devices, busy ones at their
+                // predicted free time.
+                let mut best: Option<(DeviceId, DvfsLevel, f64)> = None;
+                for d in 0..platform.num_devices() {
+                    let dev = DeviceId(d);
+                    let device = platform.device(dev)?;
+                    if !helios_sched::placement_feasible(device, wf.task(task)?) {
+                        continue;
                     }
-                    let pressure = ready.len() as f64 / idle_count as f64;
-
-                    // Candidate tasks per policy.
-                    let tasks: Vec<TaskId> = match self.policy {
-                        OnlinePolicy::Jit => ready.clone(),
-                        OnlinePolicy::RankedJit => {
-                            let mut sorted = ready.clone();
-                            sorted.sort_by(|a, b| {
-                                ranks[b.0].total_cmp(&ranks[a.0]).then(a.0.cmp(&b.0))
-                            });
-                            sorted
-                        }
+                    let level = match self.governor {
+                        Some(g) => g.select_level(device, pressure),
+                        None => device.nominal_level(),
                     };
-                    for task in tasks {
-                        // Best device over ALL devices, busy ones at their
-                        // predicted free time.
-                        let mut best: Option<(DeviceId, helios_platform::DvfsLevel, f64)> = None;
-                        for d in 0..platform.num_devices() {
-                            let dev = DeviceId(d);
-                            let device = platform.device(dev)?;
-                            if !helios_sched::placement_feasible(device, wf.task(task)?) {
-                                continue;
-                            }
-                            let level = match &self.governor {
-                                Some(g) => g.select_level(device, pressure),
-                                None => device.nominal_level(),
-                            };
-                            let est = now.max(device_free_pred[d]);
-                            let score =
-                                predict(task, dev, est, &producer_device, &calibration, level)?;
-                            if best.map_or(true, |(_, _, b)| score < b) {
-                                best = Some((dev, level, score));
-                            }
-                        }
-                        let (dev, level, score) = best.ok_or(EngineError::Sched(
-                            helios_sched::SchedError::NoFeasibleDevice(task),
-                        ))?;
-                        if !device_idle[dev.0] {
-                            // Best device busy: wait for it (this task will
-                            // be reconsidered at the next event).
-                            continue;
-                        }
-                        let task_commit = task;
-                        let dev_commit = dev;
-                        let level_commit = level;
-                        let _ = score;
-                        let (task, dev, level) = (task_commit, dev_commit, level_commit);
-                        ready.retain(|&t| t != task);
-                        device_idle[dev.0] = false;
-
-                        // Pull inputs now; execution starts when the last
-                        // arrives.
-                        let mut start = now;
-                        for &e in wf.predecessors(task) {
-                            let edge = wf.edge(e);
-                            if self.config.data_caching {
-                                if let Some(&at) = delivered.get(&(edge.src, dev)) {
-                                    start = start.max(at);
-                                    continue;
-                                }
-                            }
-                            let label = format!("{}->{}", edge.src, edge.dst);
-                            let arrival = links.transfer_arrival(
-                                platform,
-                                self.config.link_contention,
-                                edge.bytes,
-                                producer_device[edge.src.0],
-                                dev,
-                                now,
-                                &mut stats,
-                                trace.as_mut().map(|t| (t, label.as_str())),
-                            )?;
-                            if self.config.data_caching {
-                                delivered.insert((edge.src, dev), arrival);
-                            }
-                            start = start.max(arrival);
-                        }
-                        let device = platform.device(dev)?;
-                        let believed_exec =
-                            device.execution_time(believed.task(task)?.cost(), level)?;
-                        let modeled = device.execution_time(wf.task(task)?.cost(), level)?;
-                        let slow = self
-                            .config
-                            .device_slowdown
-                            .as_ref()
-                            .and_then(|v| v.get(dev.0))
-                            .copied()
-                            .unwrap_or(1.0);
-                        let noise = if self.config.noise_cv > 0.0 {
-                            let mut rng = base_rng.fork(NOISE_STREAM_BASE + task.0 as u64);
-                            rng.normal(1.0, self.config.noise_cv).max(0.05)
-                        } else {
-                            1.0
-                        };
-                        let mut fault_rng = base_rng.fork(FAULT_STREAM_BASE + task.0 as u64);
-                        let occ = occupancy_on(
-                            &view,
-                            modeled * noise * slow,
-                            task,
-                            dev.0,
-                            &mut fault_rng,
-                        )?;
-                        failures += occ.failures;
-                        retries += occ.retries;
-                        let finish = start + occ.total;
-                        device_free_pred[dev.0] = start + believed_exec * calibration[dev.0];
-                        believed_dur[task.0] = believed_exec.as_secs();
-                        work_dur[task.0] = occ.work.as_secs();
-                        realized[task.0] = Some(Placement {
-                            task,
-                            device: dev,
-                            level,
-                            start,
-                            finish,
-                        });
-                        producer_device[task.0] = dev;
-                        queue.push(finish, task);
-                        // A commitment changed the state: restart the
-                        // round so remaining tasks see the new free times.
-                        continue 'rounds;
+                    let est = now.max(self.device_free_pred[d]);
+                    let score = self.predict(task, dev, est, level)?;
+                    if best.is_none_or(|(_, _, b)| score < b) {
+                        best = Some((dev, level, score));
                     }
-                    // No task could commit this round.
-                    break;
                 }
-            }};
-        }
-
-        dispatch!(SimTime::ZERO);
-        while let Some((now, task)) = queue.pop() {
-            finished[task.0] = true;
-            completed += 1;
-            let placement = realized[task.0].expect("placed before finishing");
-            let dev = placement.device;
-            device_idle[dev.0] = true;
-            // Learn from the observation (fault-free portion only, so
-            // retry stalls don't poison the model of device speed).
-            if believed_dur[task.0] > 0.0 && work_dur[task.0] > 0.0 {
-                let ratio = work_dur[task.0] / believed_dur[task.0];
-                calibration[dev.0] =
-                    (1.0 - CALIBRATION_EWMA) * calibration[dev.0] + CALIBRATION_EWMA * ratio;
-            }
-            for succ in wf.successor_tasks(task) {
-                preds_left[succ.0] -= 1;
-                if preds_left[succ.0] == 0 {
-                    ready.push(succ);
+                let (dev, level, _score) = best.ok_or(EngineError::Sched(
+                    helios_sched::SchedError::NoFeasibleDevice(task),
+                ))?;
+                if !self.device_idle[dev.0] {
+                    // Best device busy: wait for it (this task will be
+                    // reconsidered at the next event).
+                    continue;
                 }
-            }
-            dispatch!(now);
-        }
+                self.ready.retain(|&t| t != task);
+                self.device_idle[dev.0] = false;
 
-        if completed != n {
-            return Err(EngineError::Stalled {
-                completed,
-                total: n,
-            });
+                // Pull inputs now; execution starts when the last
+                // arrives.
+                let mut start = now;
+                for &e in wf.predecessors(task) {
+                    let edge = wf.edge(e);
+                    if let Some(at) = self.delivered.lookup(edge.src, dev) {
+                        start = start.max(at);
+                        continue;
+                    }
+                    let label = format!("{}->{}", edge.src, edge.dst);
+                    let arrival = self.links.transfer_arrival(
+                        platform,
+                        self.config.link_contention,
+                        edge.bytes,
+                        self.producer_device[edge.src.0],
+                        dev,
+                        now,
+                        &mut self.stats,
+                        self.trace.as_mut().map(|t| (t, label.as_str())),
+                    )?;
+                    self.delivered.record(edge.src, dev, arrival);
+                    start = start.max(arrival);
+                }
+                let device = platform.device(dev)?;
+                let believed_exec =
+                    device.execution_time(self.believed.task(task)?.cost(), level)?;
+                let modeled = device.execution_time(wf.task(task)?.cost(), level)?;
+                let slow = slowdown_factor(self.config.device_slowdown.as_ref(), dev.0);
+                let noise = noise_factor(self.config.noise_cv, &self.base_rng, task.0);
+                let occ = fault_occupancy(
+                    &self.view,
+                    &self.base_rng,
+                    modeled * noise * slow,
+                    task,
+                    dev.0,
+                )?;
+                self.failures += occ.failures;
+                self.retries += occ.retries;
+                let finish = start + occ.total;
+                self.device_free_pred[dev.0] = start + believed_exec * self.calibration[dev.0];
+                self.believed_dur[task.0] = believed_exec.as_secs();
+                self.work_dur[task.0] = occ.work.as_secs();
+                self.realized[task.0] = Some(Placement {
+                    task,
+                    device: dev,
+                    level,
+                    start,
+                    finish,
+                });
+                self.producer_device[task.0] = dev;
+                self.queue.push(finish, task);
+                // A commitment changed the state: restart the round so
+                // remaining tasks see the new free times.
+                continue 'rounds;
+            }
+            // No task could commit this round.
+            break;
         }
-        let placements: Vec<Placement> = realized
-            .into_iter()
-            .map(|p| p.expect("all tasks completed"))
-            .collect();
-        if let Some(trace) = trace.as_mut() {
-            for p in &placements {
-                trace.record(
-                    wf.task(p.task)?.name().to_owned(),
-                    helios_sim::trace::TraceKind::Execution,
-                    p.device.0,
-                    p.start,
-                    p.finish,
-                );
+        Ok(())
+    }
+}
+
+impl Hooks for OnlineExec<'_> {
+    type Event = TaskId;
+
+    fn budget(&self) -> Option<u64> {
+        // The online loop pops exactly one finish per dispatched task,
+        // so it cannot grind: no watchdog.
+        None
+    }
+
+    fn budget_point(&self) -> BudgetPoint {
+        BudgetPoint::AfterPop
+    }
+
+    fn completed(&self) -> usize {
+        self.completed
+    }
+
+    fn total(&self) -> usize {
+        self.wf.num_tasks()
+    }
+
+    fn exit_on_complete(&self) -> bool {
+        false
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, TaskId)> {
+        self.queue.pop()
+    }
+
+    fn handle(&mut self, now: SimTime, task: TaskId) -> Result<(), EngineError> {
+        self.completed += 1;
+        let placement = self.realized[task.0].expect("placed before finishing");
+        let dev = placement.device;
+        self.device_idle[dev.0] = true;
+        // Learn from the observation (fault-free portion only, so retry
+        // stalls don't poison the model of device speed).
+        if self.believed_dur[task.0] > 0.0 && self.work_dur[task.0] > 0.0 {
+            let ratio = self.work_dur[task.0] / self.believed_dur[task.0];
+            self.calibration[dev.0] =
+                (1.0 - CALIBRATION_EWMA) * self.calibration[dev.0] + CALIBRATION_EWMA * ratio;
+        }
+        let wf = self.wf;
+        for succ in wf.successor_tasks(task) {
+            self.preds_left[succ.0] -= 1;
+            if self.preds_left[succ.0] == 0 {
+                self.ready.push(succ);
             }
         }
-        let schedule = Schedule::new(placements)?;
-        let energy = account(&schedule, wf, platform, false)?;
-        Ok(ExecutionReport::new(
-            schedule, energy, stats, failures, retries, trace,
-        ))
+        self.dispatch(now)
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::Engine;
-    use helios_energy::{OnDemand, Powersave};
-    use helios_platform::presets;
-    use helios_sched::{HeftScheduler, Scheduler};
-    use helios_workflow::generators::{montage, sipht};
-
-    #[test]
-    fn online_completes_all_tasks() {
-        let p = presets::hpc_node();
-        let wf = montage(60, 1).unwrap();
-        for policy in [OnlinePolicy::Jit, OnlinePolicy::RankedJit] {
-            let r = OnlineRunner::new(EngineConfig::default(), policy)
-                .run(&p, &wf)
-                .unwrap();
-            assert_eq!(r.schedule().placements().len(), wf.num_tasks());
-            assert!(r.makespan().as_secs() > 0.0);
-        }
-    }
-
-    #[test]
-    fn online_respects_precedence() {
-        let p = presets::hpc_node();
-        let wf = sipht(50, 2).unwrap();
-        let r = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
-            .run(&p, &wf)
-            .unwrap();
-        for pl in r.schedule().placements() {
-            for &e in wf.predecessors(pl.task) {
-                let edge = wf.edge(e);
-                let pred = r.schedule().placement(edge.src).unwrap();
-                assert!(
-                    pred.finish.as_secs() <= pl.start.as_secs() + 1e-9,
-                    "{} started before {} finished",
-                    pl.task,
-                    edge.src
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn online_is_competitive_without_noise() {
-        let p = presets::hpc_node();
-        let wf = montage(80, 3).unwrap();
-        let static_report = Engine::default()
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap();
-        let online = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
-            .run(&p, &wf)
-            .unwrap();
-        let ratio = online.makespan().as_secs() / static_report.makespan().as_secs();
-        assert!(ratio < 2.0, "online {ratio}x of static HEFT");
-    }
-
-    #[test]
-    fn online_gains_under_heavy_noise() {
-        // Average over several seeds: with large duration noise the
-        // static plan's device order goes stale, while JIT adapts.
-        let p = presets::hpc_node();
-        let mut static_total = 0.0;
-        let mut online_total = 0.0;
-        for seed in 0..8 {
-            let wf = sipht(60, seed).unwrap();
-            let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
-            let cfg = EngineConfig {
-                noise_cv: 0.6,
-                seed,
-                ..Default::default()
-            };
-            static_total += Engine::new(cfg.clone())
-                .execute_plan(&p, &wf, &plan)
-                .unwrap()
-                .makespan()
-                .as_secs();
-            online_total += OnlineRunner::new(cfg, OnlinePolicy::RankedJit)
-                .run(&p, &wf)
-                .unwrap()
-                .makespan()
-                .as_secs();
-        }
-        assert!(
-            online_total < 1.35 * static_total,
-            "online {online_total} should track static {static_total} under noise"
-        );
-    }
-
-    #[test]
-    fn governor_changes_levels_and_energy() {
-        let p = presets::hpc_node();
-        let wf = montage(60, 4).unwrap();
-        let perf = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
-            .run(&p, &wf)
-            .unwrap();
-        let save = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
-            .with_governor(Box::new(Powersave))
-            .run(&p, &wf)
-            .unwrap();
-        assert!(save.makespan() > perf.makespan(), "powersave is slower");
-        assert!(
-            save.energy().active_j < perf.energy().active_j,
-            "powersave must cut active energy"
-        );
-        let ondemand = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
-            .with_governor(Box::new(OnDemand::default()))
-            .run(&p, &wf)
-            .unwrap();
-        assert!(ondemand.makespan() >= perf.makespan());
-        assert!(ondemand.makespan() <= save.makespan());
-    }
-
-    #[test]
-    fn online_deterministic_per_seed() {
-        let p = presets::workstation();
-        let wf = montage(40, 5).unwrap();
-        let cfg = EngineConfig {
-            noise_cv: 0.3,
-            seed: 9,
-            ..Default::default()
-        };
-        let a = OnlineRunner::new(cfg.clone(), OnlinePolicy::Jit)
-            .run(&p, &wf)
-            .unwrap();
-        let b = OnlineRunner::new(cfg, OnlinePolicy::Jit)
-            .run(&p, &wf)
-            .unwrap();
-        assert_eq!(a, b);
-    }
-}
+#[path = "online_tests.rs"]
+mod tests;

@@ -1,0 +1,131 @@
+//! Tests of the online dispatcher (split out of `online.rs` so the
+//! path source holds only the hook implementation).
+
+use super::*;
+use crate::Engine;
+use helios_energy::{OnDemand, Powersave};
+use helios_platform::presets;
+use helios_sched::{HeftScheduler, Scheduler};
+use helios_workflow::generators::{montage, sipht};
+
+#[test]
+fn online_completes_all_tasks() {
+    let p = presets::hpc_node();
+    let wf = montage(60, 1).unwrap();
+    for policy in [OnlinePolicy::Jit, OnlinePolicy::RankedJit] {
+        let r = OnlineRunner::new(EngineConfig::default(), policy)
+            .run(&p, &wf)
+            .unwrap();
+        assert_eq!(r.schedule().placements().len(), wf.num_tasks());
+        assert!(r.makespan().as_secs() > 0.0);
+    }
+}
+
+#[test]
+fn online_respects_precedence() {
+    let p = presets::hpc_node();
+    let wf = sipht(50, 2).unwrap();
+    let r = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+        .run(&p, &wf)
+        .unwrap();
+    for pl in r.schedule().placements() {
+        for &e in wf.predecessors(pl.task) {
+            let edge = wf.edge(e);
+            let pred = r.schedule().placement(edge.src).unwrap();
+            assert!(
+                pred.finish.as_secs() <= pl.start.as_secs() + 1e-9,
+                "{} started before {} finished",
+                pl.task,
+                edge.src
+            );
+        }
+    }
+}
+
+#[test]
+fn online_is_competitive_without_noise() {
+    let p = presets::hpc_node();
+    let wf = montage(80, 3).unwrap();
+    let static_report = Engine::default()
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap();
+    let online = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
+        .run(&p, &wf)
+        .unwrap();
+    let ratio = online.makespan().as_secs() / static_report.makespan().as_secs();
+    assert!(ratio < 2.0, "online {ratio}x of static HEFT");
+}
+
+#[test]
+fn online_gains_under_heavy_noise() {
+    // Average over several seeds: with large duration noise the
+    // static plan's device order goes stale, while JIT adapts.
+    let p = presets::hpc_node();
+    let mut static_total = 0.0;
+    let mut online_total = 0.0;
+    for seed in 0..8 {
+        let wf = sipht(60, seed).unwrap();
+        let plan = HeftScheduler::default().schedule(&wf, &p).unwrap();
+        let cfg = EngineConfig {
+            noise_cv: 0.6,
+            seed,
+            ..Default::default()
+        };
+        static_total += Engine::new(cfg.clone())
+            .execute_plan(&p, &wf, &plan)
+            .unwrap()
+            .makespan()
+            .as_secs();
+        online_total += OnlineRunner::new(cfg, OnlinePolicy::RankedJit)
+            .run(&p, &wf)
+            .unwrap()
+            .makespan()
+            .as_secs();
+    }
+    assert!(
+        online_total < 1.35 * static_total,
+        "online {online_total} should track static {static_total} under noise"
+    );
+}
+
+#[test]
+fn governor_changes_levels_and_energy() {
+    let p = presets::hpc_node();
+    let wf = montage(60, 4).unwrap();
+    let perf = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+        .run(&p, &wf)
+        .unwrap();
+    let save = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+        .with_governor(Box::new(Powersave))
+        .run(&p, &wf)
+        .unwrap();
+    assert!(save.makespan() > perf.makespan(), "powersave is slower");
+    assert!(
+        save.energy().active_j < perf.energy().active_j,
+        "powersave must cut active energy"
+    );
+    let ondemand = OnlineRunner::new(EngineConfig::default(), OnlinePolicy::Jit)
+        .with_governor(Box::new(OnDemand::default()))
+        .run(&p, &wf)
+        .unwrap();
+    assert!(ondemand.makespan() >= perf.makespan());
+    assert!(ondemand.makespan() <= save.makespan());
+}
+
+#[test]
+fn online_deterministic_per_seed() {
+    let p = presets::workstation();
+    let wf = montage(40, 5).unwrap();
+    let cfg = EngineConfig {
+        noise_cv: 0.3,
+        seed: 9,
+        ..Default::default()
+    };
+    let a = OnlineRunner::new(cfg.clone(), OnlinePolicy::Jit)
+        .run(&p, &wf)
+        .unwrap();
+    let b = OnlineRunner::new(cfg, OnlinePolicy::Jit)
+        .run(&p, &wf)
+        .unwrap();
+    assert_eq!(a, b);
+}

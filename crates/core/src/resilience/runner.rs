@@ -2,6 +2,14 @@
 //! static plan while devices fail (transiently, by degradation, or
 //! permanently) and a [`RecoveryPolicy`] repairs the damage.
 //!
+//! This file holds the hook set over the execution core
+//! ([`crate::exec`]): the replica/device/domain state, the dispatcher,
+//! and the [`Hooks`](crate::exec) implementation that plugs them into
+//! the shared step loop. The fault-injection handlers live in
+//! [`faults`], the recovery machinery (device loss, lineage
+//! re-materialization, reassignment, replanning) in [`recovery`]; both
+//! are `impl` extensions of [`Sim`].
+//!
 //! # Determinism
 //!
 //! Every stochastic input comes from a dedicated forked stream of the
@@ -23,25 +31,26 @@
 //! fault-free run of the same configuration and seed — a property the
 //! test battery pins down.
 
-use std::collections::BTreeMap;
-
 use helios_energy::account;
-use helios_platform::{
-    Availability, DeviceId, DvfsLevel, LinkAvailability, LinkHealth, LinkId, Platform,
-};
+use helios_platform::{Availability, DeviceId, DvfsLevel, LinkAvailability, LinkId, Platform};
 use helios_sched::{placement_feasible, scheduler_by_name, Placement, Schedule, Scheduler};
 use helios_sim::failure::{FailureKind, FailureProcess, LinkFailureKind, LinkFailureProcess};
 use helios_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use helios_workflow::{TaskId, Workflow};
 
 use crate::config::EngineConfig;
-use crate::engine::{
-    LinkState, DOMAIN_STREAM_BASE, FAILURE_TRACE_STREAM_BASE, LINK_FAULT_STREAM_BASE,
-    NOISE_STREAM_BASE,
-};
 use crate::error::EngineError;
+use crate::exec::{
+    choose_route, drive, noise_factor, slowdown_factor, BudgetPoint, DeliveredCache, Hooks,
+    LinkState, RouteChoice, DOMAIN_STREAM_BASE, FAILURE_TRACE_STREAM_BASE, LINK_FAULT_STREAM_BASE,
+};
 use crate::report::{ExecutionReport, TransferStats};
 use crate::resilience::{RecoveryPolicy, ResilienceConfig, ResilienceMetrics};
+
+#[path = "faults.rs"]
+mod faults;
+#[path = "recovery.rs"]
+mod recovery;
 
 /// Executes static plans under a failure model and a recovery policy,
 /// attaching [`ResilienceMetrics`] to the report.
@@ -358,8 +367,8 @@ struct Sim<'a> {
     counters: Counters,
     links: LinkState,
     stats: TransferStats,
-    /// (producer, destination) -> availability instant, when caching.
-    delivered: BTreeMap<(TaskId, DeviceId), SimTime>,
+    /// Data-product residency per destination device, when caching.
+    delivered: DeliveredCache,
     queue: EventQueue<Ev>,
     process: FailureProcess,
     /// Link health, consulted when a transfer is staged. Running
@@ -376,16 +385,6 @@ struct Sim<'a> {
     /// Set when recovery queues new replicas mid-dispatch, forcing
     /// another dispatch pass over all devices.
     dispatch_dirty: bool,
-}
-
-/// Health of one candidate route at staging time.
-enum RouteNow {
-    /// Every link carries data; transfers stretch by `scale` (≥ 1).
-    Up { scale: f64 },
-    /// Some link is down but repairs; all-up at `at`, then `scale`.
-    Heals { at: SimTime, scale: f64 },
-    /// Some link is down forever: the route is severed.
-    Severed,
 }
 
 impl<'a> Sim<'a> {
@@ -463,14 +462,7 @@ impl<'a> Sim<'a> {
         // Task-intrinsic noise: drawn once per task from its own stream
         // and replayed on every retry and replica.
         let noise: Vec<f64> = (0..n)
-            .map(|t| {
-                if cfg.noise_cv > 0.0 {
-                    let mut r = base_rng.fork(NOISE_STREAM_BASE + t as u64);
-                    r.normal(1.0, cfg.noise_cv).max(0.05)
-                } else {
-                    1.0
-                }
-            })
+            .map(|t| noise_factor(cfg.noise_cv, &base_rng, t))
             .collect();
 
         let mut plan_dev = vec![DeviceId(0); n];
@@ -501,7 +493,7 @@ impl<'a> Sim<'a> {
             counters: Counters::default(),
             links: LinkState::new(platform),
             stats: TransferStats::default(),
-            delivered: BTreeMap::new(),
+            delivered: DeliveredCache::new(cfg.data_caching),
             queue: EventQueue::new(),
             process: res.failures.process()?,
             links_avail: LinkAvailability::new(nl),
@@ -614,7 +606,8 @@ impl<'a> Sim<'a> {
             }
         }
 
-        sim.run_loop(n)?;
+        sim.dispatch_all(SimTime::ZERO)?;
+        drive(&mut sim)?;
 
         let placements: Vec<Placement> = sim
             .realized
@@ -628,42 +621,6 @@ impl<'a> Sim<'a> {
         })
     }
 
-    fn run_loop(&mut self, n: usize) -> Result<(), EngineError> {
-        let mut steps: u64 = 0;
-        self.dispatch_all(SimTime::ZERO)?;
-        while self.completed < n {
-            if let Some(budget) = self.cfg.step_budget {
-                if steps >= budget {
-                    // Watchdog: the fault configuration is grinding this
-                    // cell, not hanging the whole campaign.
-                    return Err(EngineError::StepBudgetExceeded {
-                        steps: budget,
-                        completed: self.completed,
-                        total: n,
-                    });
-                }
-            }
-            steps += 1;
-            let Some((now, ev)) = self.queue.pop() else {
-                return Err(EngineError::Stalled {
-                    completed: self.completed,
-                    total: n,
-                });
-            };
-            match ev {
-                Ev::Finish { replica, gen } => self.handle_finish(replica, gen, now)?,
-                Ev::Resume { replica, gen } => self.handle_resume(replica, gen, now)?,
-                Ev::Fault { device } => self.handle_fault(device, now)?,
-                Ev::Repair { device, seq } => self.handle_repair(device, seq, now),
-                Ev::LinkFault { link } => self.handle_link_fault(link, now),
-                Ev::LinkRepair { link, seq } => self.handle_link_repair(link, seq),
-                Ev::DomainFault { domain } => self.handle_domain_fault(domain, now)?,
-            }
-            self.dispatch_all(now)?;
-        }
-        Ok(())
-    }
-
     /// Modeled execution time of `task` on `device` at `level`, folding
     /// in the task's noise multiplier and the device's static slowdown.
     fn work_on(
@@ -674,244 +631,8 @@ impl<'a> Sim<'a> {
     ) -> Result<SimDuration, EngineError> {
         let dev = self.platform.device(device)?;
         let modeled = dev.execution_time(self.wf.task(task)?.cost(), level)?;
-        let slow = self
-            .cfg
-            .device_slowdown
-            .as_ref()
-            .and_then(|v| v.get(device.0))
-            .copied()
-            .unwrap_or(1.0);
+        let slow = slowdown_factor(self.cfg.device_slowdown.as_ref(), device.0);
         Ok(modeled * self.noise[task.0] * slow)
-    }
-
-    /// Effective seconds one attempt needs: the base work plus one
-    /// checkpoint write per completed interval under CheckpointRestart.
-    fn attempt_effective(&self, remaining: SimDuration) -> SimDuration {
-        match self.res.policy {
-            RecoveryPolicy::CheckpointRestart {
-                interval_secs,
-                overhead_secs,
-                ..
-            } => {
-                let snapshots = (remaining.as_secs() / interval_secs).floor();
-                remaining + SimDuration::from_secs(overhead_secs * snapshots)
-            }
-            _ => remaining,
-        }
-    }
-
-    /// Base-work seconds preserved by completed checkpoints when an
-    /// attempt with `done_eff` effective progress aborts.
-    fn preserved_work(&self, done_eff: SimDuration) -> SimDuration {
-        match self.res.policy {
-            RecoveryPolicy::CheckpointRestart {
-                interval_secs,
-                overhead_secs,
-                ..
-            } => {
-                let stride = interval_secs + overhead_secs;
-                let units = (done_eff.as_secs() / stride).floor();
-                SimDuration::from_secs(interval_secs * units)
-            }
-            _ => SimDuration::ZERO,
-        }
-    }
-
-    fn schedule_next_fault(&mut self, d: usize, now: SimTime) {
-        let ev = self.process.next_after(&mut self.devs[d].rng, now);
-        self.devs[d].pending_kind = Some(ev.kind);
-        self.queue.push(ev.at, Ev::Fault { device: d });
-    }
-
-    fn schedule_next_link_fault(&mut self, l: usize, now: SimTime) {
-        let proc = self
-            .link_proc
-            .as_ref()
-            .expect("link faults scheduled without a model");
-        let ev = proc.next_after(&mut self.link_rt[l].rng, now);
-        self.link_rt[l].pending = Some(ev.kind);
-        self.queue.push(ev.at, Ev::LinkFault { link: l });
-    }
-
-    fn schedule_next_domain_fault(&mut self, i: usize, now: SimTime) {
-        let drt = &mut self.domains_rt[i];
-        let ev = drt.process.next_after(&mut drt.rng, now);
-        drt.pending = Some(ev.kind);
-        self.queue.push(ev.at, Ev::DomainFault { domain: i });
-    }
-
-    fn handle_link_fault(&mut self, l: usize, now: SimTime) {
-        let link = LinkId(l);
-        if self.links_avail.down_until(link).is_some() {
-            // Already out. A permanently severed link ends its trace; a
-            // timed outage just waits for the next draw.
-            if !matches!(self.links_avail.down_until(link), Some(None)) {
-                self.schedule_next_link_fault(l, now);
-            }
-            return;
-        }
-        let kind = self.link_rt[l]
-            .pending
-            .take()
-            .expect("link fault event without a drawn mode");
-        let lf = self
-            .res
-            .link_faults
-            .as_ref()
-            .expect("link fault event without a model");
-        self.counters.link_faults += 1;
-        self.link_rt[l].repair_seq += 1;
-        let seq = self.link_rt[l].repair_seq;
-        match kind {
-            LinkFailureKind::Degraded => {
-                self.links_avail.set_degraded(link, lf.degraded_factor);
-                self.queue.push(
-                    now + SimDuration::from_secs(lf.degraded_repair_secs),
-                    Ev::LinkRepair { link: l, seq },
-                );
-            }
-            LinkFailureKind::Outage => {
-                let until = now + SimDuration::from_secs(lf.outage_secs);
-                self.links_avail.set_down(link, Some(until));
-                self.queue.push(until, Ev::LinkRepair { link: l, seq });
-            }
-        }
-        self.schedule_next_link_fault(l, now);
-    }
-
-    fn handle_link_repair(&mut self, l: usize, seq: u32) {
-        if self.link_rt[l].repair_seq != seq {
-            return; // Superseded by a newer fault or domain outage.
-        }
-        if matches!(self.links_avail.down_until(LinkId(l)), Some(None)) {
-            return; // Permanent losses stay down.
-        }
-        self.links_avail.repair(LinkId(l));
-    }
-
-    /// Takes every member link of domain `i` down until `now +
-    /// outage`, superseding pending repairs. Links that are already
-    /// down — permanently severed or mid-outage — are left alone: an
-    /// outage runs its configured course from its onset, it is not
-    /// extended by later strikes.
-    fn domain_link_outage(&mut self, i: usize, now: SimTime) {
-        let until = now + self.domains_rt[i].outage;
-        let links = self.domains_rt[i].link_ids.clone();
-        for link in links {
-            if self.links_avail.down_until(link).is_some() {
-                continue;
-            }
-            self.links_avail.set_down(link, Some(until));
-            self.link_rt[link.0].repair_seq += 1;
-            let seq = self.link_rt[link.0].repair_seq;
-            self.queue.push(until, Ev::LinkRepair { link: link.0, seq });
-        }
-    }
-
-    fn handle_domain_fault(&mut self, i: usize, now: SimTime) -> Result<(), EngineError> {
-        // A fully dead domain (every member device and link permanently
-        // gone) generates no further events, bounding the event stream.
-        let any_live = self.domains_rt[i]
-            .device_ids
-            .iter()
-            .any(|&d| self.avail.is_up(DeviceId(d)))
-            || self.domains_rt[i]
-                .link_ids
-                .iter()
-                .any(|&l| !matches!(self.links_avail.down_until(l), Some(None)));
-        if !any_live {
-            return Ok(());
-        }
-        let kind = self.domains_rt[i]
-            .pending
-            .take()
-            .expect("domain fault event without a drawn mode");
-        self.counters.domain_events += 1;
-        let member_devs = self.domains_rt[i].device_ids.clone();
-        match kind {
-            FailureKind::Transient => {
-                for &d in &member_devs {
-                    if !self.avail.is_up(DeviceId(d)) {
-                        continue;
-                    }
-                    if let Some(ri) = self.devs[d].running {
-                        if self.replicas[ri].state == RState::Running {
-                            self.counters.transient += 1;
-                            self.abort_attempt(ri, now)?;
-                        }
-                    }
-                }
-                self.domain_link_outage(i, now);
-                self.schedule_next_domain_fault(i, now);
-            }
-            FailureKind::Degraded => {
-                let factor = self.res.failures.degraded_slowdown;
-                let repair = self.res.failures.degraded_repair_secs;
-                for &d in &member_devs {
-                    if !self.avail.is_up(DeviceId(d)) {
-                        continue;
-                    }
-                    self.counters.degraded += 1;
-                    self.avail.set_degraded(DeviceId(d), factor);
-                    if let Some(ri) = self.devs[d].running {
-                        if self.replicas[ri].state == RState::Running {
-                            self.reproject(ri, now, factor);
-                        }
-                    }
-                    self.devs[d].repair_seq += 1;
-                    let seq = self.devs[d].repair_seq;
-                    self.queue.push(
-                        now + SimDuration::from_secs(repair),
-                        Ev::Repair { device: d, seq },
-                    );
-                }
-                self.domain_link_outage(i, now);
-                self.schedule_next_domain_fault(i, now);
-            }
-            FailureKind::Permanent => {
-                // Sever member links first so recovery placement sees the
-                // partition, then fail the member devices as one batch
-                // (one data-loss pass, one recovery pass).
-                let links = self.domains_rt[i].link_ids.clone();
-                for link in links {
-                    self.links_avail.set_down(link, None);
-                    self.link_rt[link.0].repair_seq += 1;
-                }
-                let dead: Vec<usize> = member_devs
-                    .iter()
-                    .copied()
-                    .filter(|&d| self.avail.is_up(DeviceId(d)))
-                    .collect();
-                self.counters.permanent += dead.len() as u32;
-                self.fail_devices(&dead, now)?;
-                // The domain burnt itself out: no further events.
-            }
-        }
-        Ok(())
-    }
-
-    /// Health of `route` right now, folding per-link states into one
-    /// verdict: worst slowdown, latest repair, or permanent severance.
-    fn classify_route(la: &LinkAvailability, route: &[LinkId], ready: SimTime) -> RouteNow {
-        let mut scale = 1.0_f64;
-        let mut heal = ready;
-        let mut down = false;
-        for &l in route {
-            match la.state(l) {
-                LinkHealth::Up => {}
-                LinkHealth::Degraded { factor } => scale = scale.max(factor),
-                LinkHealth::Down { until: Some(t) } => {
-                    down = true;
-                    heal = heal.max(t);
-                }
-                LinkHealth::Down { until: None } => return RouteNow::Severed,
-            }
-        }
-        if down {
-            RouteNow::Heals { at: heal, scale }
-        } else {
-            RouteNow::Up { scale }
-        }
     }
 
     /// Arrival instant of one input transfer at `device`, honoring link
@@ -953,28 +674,15 @@ impl<'a> Sim<'a> {
             .default_link()
             .map(|dl| vec![dl])
             .filter(|f| f[..] != primary[..]);
-        let pri = Sim::classify_route(&self.links_avail, &primary, ready);
-        let fb = fallback
-            .as_ref()
-            .map(|r| Sim::classify_route(&self.links_avail, r, ready));
-        // Preference order: any route that is up now (primary first),
-        // then the route that heals earliest (primary on ties).
-        let (route, anchor, scale, rerouted) = match (pri, fb) {
-            (RouteNow::Up { scale }, _) => (&primary, ready, scale, false),
-            (_, Some(RouteNow::Up { scale })) => {
-                (fallback.as_ref().expect("classified"), ready, scale, true)
-            }
-            (RouteNow::Heals { at, scale }, fb) => match fb {
-                Some(RouteNow::Heals {
-                    at: fat,
-                    scale: fsc,
-                }) if fat < at => (fallback.as_ref().expect("classified"), fat, fsc, true),
-                _ => (&primary, at, scale, false),
-            },
-            (RouteNow::Severed, Some(RouteNow::Heals { at, scale })) => {
-                (fallback.as_ref().expect("classified"), at, scale, true)
-            }
-            (RouteNow::Severed, _) => return Ok(None),
+        let choice = choose_route(&self.links_avail, &primary, fallback.as_deref(), ready);
+        let RouteChoice::Go {
+            route,
+            anchor,
+            scale,
+            rerouted,
+        } = choice
+        else {
+            return Ok(None);
         };
         if rerouted {
             self.counters.reroutes += 1;
@@ -992,67 +700,6 @@ impl<'a> Sim<'a> {
             &mut self.stats,
         )?;
         Ok(Some(arrival))
-    }
-
-    /// Marks `ri` Lost because its inputs are permanently unreachable
-    /// from its device, releases the device, and reassigns the task to a
-    /// reachable device when no sibling survives.
-    fn strand_replica(&mut self, ri: usize, now: SimTime) -> Result<(), EngineError> {
-        let task = self.replicas[ri].task;
-        let d = self.replicas[ri].device.0;
-        self.replicas[ri].state = RState::Lost;
-        self.replicas[ri].gen += 1;
-        self.devs[d].running = None;
-        self.devs[d].pos += 1;
-        if !self.task_has_live_replica(task) {
-            // Partition recovery is always local reassignment (a full
-            // replan cannot see link health and could re-place the task
-            // on the severed device forever).
-            self.greedy_reassign(&[task], now)?;
-        }
-        Ok(())
-    }
-
-    /// Whether `dev` can stage every already-produced input of `task`:
-    /// no producer's product sits across a permanently severed route.
-    /// Unfinished producers are judged optimistically — if they later
-    /// finish somewhere unreachable, the consumer strands then and
-    /// recovers again.
-    fn reachable_for(&self, task: TaskId, dev: DeviceId) -> Result<bool, EngineError> {
-        if !self.link_health_active {
-            return Ok(true);
-        }
-        let ic = self.platform.interconnect();
-        let severed = |route: &[LinkId]| {
-            route
-                .iter()
-                .any(|&l| matches!(self.links_avail.down_until(l), Some(None)))
-        };
-        for &e in self.wf.predecessors(task) {
-            let edge = self.wf.edge(e);
-            let src = edge.src;
-            let Some(src_dev) = self.winner_dev[src.0] else {
-                continue;
-            };
-            if src_dev == dev {
-                continue;
-            }
-            if self.cfg.data_caching && self.delivered.contains_key(&(src, dev)) {
-                continue;
-            }
-            let primary = ic.route(src_dev, dev)?;
-            if !severed(&primary) {
-                continue;
-            }
-            let fallback_ok = match ic.default_link() {
-                Some(dl) => primary[..] != [dl] && !severed(&[dl]),
-                None => false,
-            };
-            if !fallback_ok {
-                return Ok(false);
-            }
-        }
-        Ok(true)
     }
 
     /// Scans every device (in id order) and starts the next eligible
@@ -1134,18 +781,14 @@ impl<'a> Sim<'a> {
             let src = edge.src;
             let src_dev = self.winner_dev[src.0].expect("predecessor finished");
             let ready = self.finished_at[src.0].expect("predecessor finished");
-            if self.cfg.data_caching {
-                if let Some(&at) = self.delivered.get(&(src, device)) {
-                    data_at = data_at.max(at);
-                    continue;
-                }
+            if let Some(at) = self.delivered.lookup(src, device) {
+                data_at = data_at.max(at);
+                continue;
             }
             let Some(arrival) = self.staged_arrival(src_dev, device, edge.bytes, ready)? else {
                 return self.strand_replica(ri, now);
             };
-            if self.cfg.data_caching {
-                self.delivered.insert((src, device), arrival);
-            }
+            self.delivered.record(src, device, arrival);
             data_at = data_at.max(arrival);
         }
 
@@ -1184,20 +827,6 @@ impl<'a> Sim<'a> {
         a.last_update = a.last_update.max(now);
     }
 
-    /// Re-schedules the running attempt's Finish under a new slowdown.
-    fn reproject(&mut self, ri: usize, now: SimTime, new_slowdown: f64) {
-        self.update_progress(ri, now);
-        let r = &mut self.replicas[ri];
-        r.attempt.slowdown = new_slowdown;
-        r.gen += 1;
-        let gen = r.gen;
-        let left = r.attempt.total_eff - r.attempt.done_eff;
-        self.queue.push(
-            r.attempt.last_update + left * new_slowdown,
-            Ev::Finish { replica: ri, gen },
-        );
-    }
-
     /// Whether `task` still has a replica that can finish.
     fn task_has_live_replica(&self, task: TaskId) -> bool {
         self.task_replicas[task.0].iter().any(|&ri| {
@@ -1206,46 +835,6 @@ impl<'a> Sim<'a> {
                 RState::Failed | RState::Cancelled | RState::Lost
             )
         })
-    }
-
-    /// Aborts the running attempt of `ri` after a transient fault:
-    /// either queues a retry (device stays held through the restart
-    /// overhead and backoff) or fails the replica for good.
-    fn abort_attempt(&mut self, ri: usize, now: SimTime) -> Result<(), EngineError> {
-        self.update_progress(ri, now);
-        let done_eff = self.replicas[ri].attempt.done_eff;
-        let preserved = self.preserved_work(done_eff);
-        self.counters.wasted += (done_eff - preserved).as_secs();
-        let max_retries = self.res.policy.max_retries();
-        let r = &mut self.replicas[ri];
-        r.remaining_work = r.remaining_work - preserved;
-        if r.retries >= max_retries {
-            r.state = RState::Failed;
-            r.gen += 1;
-            let task = r.task;
-            let attempts = r.retries + 1;
-            let d = r.device.0;
-            self.devs[d].running = None;
-            self.devs[d].pos += 1;
-            if !self.task_has_live_replica(task) {
-                return Err(EngineError::RetriesExhausted { task, attempts });
-            }
-            return Ok(());
-        }
-        r.retries += 1;
-        let retry = r.retries;
-        r.state = RState::WaitingRestart;
-        r.gen += 1;
-        let gen = r.gen;
-        self.counters.retries += 1;
-        let delay =
-            self.res.failures.restart_overhead_secs + self.res.policy.backoff_delay_secs(retry);
-        self.counters.recovery += delay;
-        self.queue.push(
-            now + SimDuration::from_secs(delay),
-            Ev::Resume { replica: ri, gen },
-        );
-        Ok(())
     }
 
     /// Cancels a losing replica exactly once (guarded by its state).
@@ -1339,929 +928,65 @@ impl<'a> Sim<'a> {
         }
         self.start_attempt(ri, now)
     }
+}
 
-    fn handle_fault(&mut self, d: usize, now: SimTime) -> Result<(), EngineError> {
-        if !self.avail.is_up(DeviceId(d)) {
-            return Ok(()); // The device already failed permanently.
-        }
-        let kind = self.devs[d]
-            .pending_kind
-            .take()
-            .expect("fault event without a drawn mode");
-        match kind {
-            FailureKind::Transient => {
-                // Idle devices shrug transient faults off.
-                if let Some(ri) = self.devs[d].running {
-                    if self.replicas[ri].state == RState::Running {
-                        self.counters.transient += 1;
-                        self.abort_attempt(ri, now)?;
-                    }
-                }
-                self.schedule_next_fault(d, now);
-            }
-            FailureKind::Degraded => {
-                self.counters.degraded += 1;
-                let factor = self.res.failures.degraded_slowdown;
-                self.avail.set_degraded(DeviceId(d), factor);
-                if let Some(ri) = self.devs[d].running {
-                    if self.replicas[ri].state == RState::Running {
-                        self.reproject(ri, now, factor);
-                    }
-                }
-                self.devs[d].repair_seq += 1;
-                let seq = self.devs[d].repair_seq;
-                self.queue.push(
-                    now + SimDuration::from_secs(self.res.failures.degraded_repair_secs),
-                    Ev::Repair { device: d, seq },
-                );
-                self.schedule_next_fault(d, now);
-            }
-            FailureKind::Permanent => {
-                self.counters.permanent += 1;
-                self.handle_device_loss(d, now)?;
-            }
-        }
-        Ok(())
+/// The resilient hook set: completion-exit semantics (fault processes
+/// generate events forever, so the queue never drains), the step budget
+/// charged *before* the pop, and a full dispatcher pass after every
+/// event.
+impl Hooks for Sim<'_> {
+    type Event = Ev;
+
+    fn budget(&self) -> Option<u64> {
+        self.cfg.step_budget
     }
 
-    fn handle_repair(&mut self, d: usize, seq: u32, now: SimTime) {
-        if self.devs[d].repair_seq != seq || !self.avail.is_up(DeviceId(d)) {
-            return; // Superseded by a newer degradation, or device lost.
-        }
-        self.avail.repair(DeviceId(d));
-        if let Some(ri) = self.devs[d].running {
-            if self.replicas[ri].state == RState::Running {
-                self.reproject(ri, now, 1.0);
+    fn budget_point(&self) -> BudgetPoint {
+        BudgetPoint::BeforePop
+    }
+
+    fn completed(&self) -> usize {
+        self.completed
+    }
+
+    fn total(&self) -> usize {
+        self.wf.num_tasks()
+    }
+
+    fn exit_on_complete(&self) -> bool {
+        true
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        self.queue.pop()
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) -> Result<(), EngineError> {
+        match ev {
+            Ev::Finish { replica, gen } => self.handle_finish(replica, gen, now),
+            Ev::Resume { replica, gen } => self.handle_resume(replica, gen, now),
+            Ev::Fault { device } => self.handle_fault(device, now),
+            Ev::Repair { device, seq } => {
+                self.handle_repair(device, seq, now);
+                Ok(())
             }
+            Ev::LinkFault { link } => {
+                self.handle_link_fault(link, now);
+                Ok(())
+            }
+            Ev::LinkRepair { link, seq } => {
+                self.handle_link_repair(link, seq);
+                Ok(())
+            }
+            Ev::DomainFault { domain } => self.handle_domain_fault(domain, now),
         }
     }
 
-    /// Permanent loss of device `d` alone (per-device failure trace).
-    fn handle_device_loss(&mut self, d: usize, now: SimTime) -> Result<(), EngineError> {
-        self.fail_devices(&[d], now)
-    }
-
-    /// Permanent loss of every device in `dead` at once (one batch for a
-    /// correlated domain event): orphan their replicas, destroy the data
-    /// products resident on them, re-materialize the lost lineage, then
-    /// recover stranded tasks by policy (full replan under Reschedule,
-    /// greedy per-task reassignment otherwise).
-    fn fail_devices(&mut self, dead: &[usize], now: SimTime) -> Result<(), EngineError> {
-        for &d in dead {
-            self.avail.set_down(DeviceId(d));
-            self.devs[d].running = None;
-            let suffix: Vec<usize> = self.devs[d].queue[self.devs[d].pos..].to_vec();
-            for ri in suffix {
-                match self.replicas[ri].state {
-                    RState::Running => {
-                        self.update_progress(ri, now);
-                        self.counters.wasted += self.replicas[ri].attempt.done_eff.as_secs();
-                        self.replicas[ri].state = RState::Lost;
-                        self.replicas[ri].gen += 1;
-                    }
-                    RState::Queued | RState::WaitingRestart => {
-                        self.replicas[ri].state = RState::Lost;
-                        self.replicas[ri].gen += 1;
-                    }
-                    _ => {}
-                }
-            }
-        }
-        let n = self.wf.num_tasks();
-        if self.avail.num_up() == 0 {
-            return Err(EngineError::AllDevicesLost {
-                at_secs: now.as_secs(),
-                completed: self.completed,
-                total: n,
-            });
-        }
-        self.rematerialize_lost_products();
-        let stranded: Vec<TaskId> = (0..n)
-            .map(TaskId)
-            .filter(|&t| self.finished_at[t.0].is_none() && !self.task_has_live_replica(t))
-            .collect();
-        match self.res.policy.clone() {
-            RecoveryPolicy::Reschedule {
-                scheduler,
-                overhead_secs,
-                ..
-            } => self.reschedule_replan(&scheduler, overhead_secs, now),
-            _ => self.greedy_reassign(&stranded, now),
-        }
-    }
-
-    /// Data-product loss and lineage recovery.
-    ///
-    /// A finished task's product lives on its winner device plus any
-    /// delivered cache copies. Dead devices take their copies with them:
-    /// products with a surviving copy are re-pointed there; products
-    /// with none are *lost*. Walking lineage upward from every
-    /// unfinished task, each finished ancestor whose product is lost is
-    /// un-finished so it re-executes — and only those: the walk stops at
-    /// ancestors whose products survive, so exactly the lost ancestor
-    /// chain is re-materialized.
-    fn rematerialize_lost_products(&mut self) {
-        let n = self.wf.num_tasks();
-        // 1. Purge copies that died with their devices.
-        let avail = &self.avail;
-        self.delivered.retain(|&(_, dev), _| avail.is_up(dev));
-        // 2. Re-point dead winners at the smallest surviving cached
-        //    copy; products with no copy anywhere are lost.
-        let mut lost = vec![false; n];
-        for (t, lost_t) in lost.iter_mut().enumerate() {
-            let Some(w) = self.winner_dev[t] else {
-                continue;
-            };
-            if self.avail.is_up(w) {
-                continue;
-            }
-            let copy = self
-                .delivered
-                .iter()
-                .filter(|((src, _), _)| src.0 == t)
-                .map(|((_, dev), &at)| (dev.0, at))
-                .min();
-            match copy {
-                Some((d2, at)) => {
-                    self.winner_dev[t] = Some(DeviceId(d2));
-                    // The copy only became usable when it arrived there.
-                    let f = self.finished_at[t].expect("winner implies finished");
-                    self.finished_at[t] = Some(f.max(at));
-                }
-                None => *lost_t = true,
-            }
-        }
-        // 3. Lineage walk from unfinished tasks: a lost finished
-        //    ancestor needs re-materializing, and so (recursively) do
-        //    the lost ancestors feeding *its* re-run.
-        let mut need = vec![false; n];
-        let mut visited = vec![false; n];
-        let mut stack: Vec<usize> = (0..n).filter(|&t| self.finished_at[t].is_none()).collect();
-        for &t in &stack {
-            visited[t] = true;
-        }
-        while let Some(t) = stack.pop() {
-            for &e in self.wf.predecessors(TaskId(t)) {
-                let p = self.wf.edge(e).src.0;
-                if visited[p] {
-                    continue;
-                }
-                if self.finished_at[p].is_some() && lost[p] {
-                    visited[p] = true;
-                    need[p] = true;
-                    stack.push(p);
-                }
-            }
-        }
-        // 4. Un-finish the chain and charge the re-materialization.
-        for t in (0..n).filter(|&t| need[t]) {
-            self.finished_at[t] = None;
-            self.winner_dev[t] = None;
-            self.realized[t] = None;
-            self.completed -= 1;
-            self.counters.remat_tasks += 1;
-            for &e in self.wf.successors(TaskId(t)) {
-                self.counters.remat_bytes += self.wf.edge(e).bytes;
-            }
-            for ri in self.task_replicas[t].clone() {
-                if self.replicas[ri].state == RState::Done {
-                    // The winning attempt's work is gone with its output.
-                    self.counters.wasted += self.replicas[ri].attempt.total_eff.as_secs();
-                    self.replicas[ri].state = RState::Lost;
-                    self.replicas[ri].gen += 1;
-                }
-            }
-        }
-        if need.iter().any(|&x| x) {
-            // Finished-edge counts changed; rebuild them for every
-            // unfinished task (re-run consumers wait for re-run inputs).
-            for t in 0..n {
-                if self.finished_at[t].is_some() {
-                    continue;
-                }
-                self.preds_left[t] = self
-                    .wf
-                    .predecessors(TaskId(t))
-                    .iter()
-                    .filter(|&&e| self.finished_at[self.wf.edge(e).src.0].is_none())
-                    .count();
-            }
-        }
-    }
-
-    /// Moves each stranded task to the surviving feasible *reachable*
-    /// device where it runs fastest (ties break on device id),
-    /// restarting from zero (checkpoints are device-local).
-    fn greedy_reassign(&mut self, stranded: &[TaskId], now: SimTime) -> Result<(), EngineError> {
-        let n = self.wf.num_tasks();
-        for &task in stranded {
-            let mut best: Option<(f64, usize)> = None;
-            for dev in self.avail.surviving() {
-                let device = self.platform.device(dev)?;
-                if !placement_feasible(device, self.wf.task(task)?) {
-                    continue;
-                }
-                if !self.reachable_for(task, dev)? {
-                    continue;
-                }
-                let secs = self.work_on(task, dev, device.nominal_level())?.as_secs();
-                let cand = (secs, dev.0);
-                if best.is_none() || cand < best.expect("checked") {
-                    best = Some(cand);
-                }
-            }
-            let Some((_, d)) = best else {
-                return Err(EngineError::AllDevicesLost {
-                    at_secs: now.as_secs(),
-                    completed: self.completed,
-                    total: n,
-                });
-            };
-            let device = DeviceId(d);
-            let level = self.platform.device(device)?.nominal_level();
-            let overhead = self.res.failures.restart_overhead_secs;
-            self.counters.recovery += overhead;
-            let ordinal = self.task_replicas[task.0].len();
-            let ri = self.replicas.len();
-            let remaining = self.work_on(task, device, level)?;
-            self.replicas.push(Replica {
-                task,
-                device,
-                level,
-                sort_key: (self.plan_key[task.0], task.0, ordinal),
-                state: RState::Queued,
-                gen: 0,
-                retries: 0,
-                launched: false,
-                occupied_from: SimTime::ZERO,
-                remaining_work: remaining,
-                floor: now + SimDuration::from_secs(overhead),
-                attempt: Attempt::default(),
-            });
-            self.task_replicas[task.0].push(ri);
-            self.insert_queued(d, ri);
-        }
-        Ok(())
-    }
-
-    /// Inserts a new queued replica into the unconsumed suffix of device
-    /// `d`'s queue, keeping it sorted by `sort_key`.
-    fn insert_queued(&mut self, d: usize, ri: usize) {
-        self.dispatch_dirty = true;
-        let start = self.devs[d].pos + usize::from(self.devs[d].running.is_some());
-        let key = self.replicas[ri].sort_key;
-        let queue = &mut self.devs[d].queue;
-        let at = queue
-            .iter()
-            .enumerate()
-            .skip(start.min(queue.len()))
-            .find(|&(_, &qri)| self.replicas[qri].sort_key > key)
-            .map_or(queue.len(), |(i, _)| i);
-        queue.insert(at, ri);
-    }
-
-    /// Full replan on the surviving platform: every unfinished task
-    /// without a held (running or restarting) replica adopts the new
-    /// plan's placement; held replicas keep running where they are.
-    fn reschedule_replan(
-        &mut self,
-        scheduler: &str,
-        overhead_secs: f64,
-        now: SimTime,
-    ) -> Result<(), EngineError> {
-        self.counters.reschedules += 1;
-        self.counters.recovery += overhead_secs;
-        self.dispatch_dirty = true;
-        let alive = self.avail.surviving();
-        let sub = self.platform.survivors(&alive)?;
-        let sched = scheduler_by_name(scheduler).ok_or_else(|| {
-            EngineError::Config(format!("unknown scheduler {scheduler:?} for reschedule"))
-        })?;
-        let plan2 = sched.schedule(self.wf, &sub)?;
-        let floor = now + SimDuration::from_secs(overhead_secs);
-
-        let mut new_queues: Vec<Vec<usize>> = vec![Vec::new(); self.devs.len()];
-        for p in plan2.placements() {
-            let t = p.task;
-            if self.finished_at[t.0].is_some() {
-                continue;
-            }
-            let held = self.task_replicas[t.0].iter().any(|&ri| {
-                matches!(
-                    self.replicas[ri].state,
-                    RState::Running | RState::WaitingRestart
-                )
-            });
-            if held {
-                continue;
-            }
-            // Retire any still-queued replicas of the task; the replan
-            // supersedes them.
-            let old = self.task_replicas[t.0].clone();
-            for ri in old {
-                if self.replicas[ri].state == RState::Queued {
-                    self.replicas[ri].state = RState::Lost;
-                    self.replicas[ri].gen += 1;
-                }
-            }
-            // plan2's device ids index the surviving platform; map back.
-            let orig = alive[p.device.0];
-            self.plan_key[t.0] = p.start;
-            let ordinal = self.task_replicas[t.0].len();
-            let ri = self.replicas.len();
-            let remaining = self.work_on(t, orig, p.level)?;
-            self.replicas.push(Replica {
-                task: t,
-                device: orig,
-                level: p.level,
-                sort_key: (p.start, t.0, ordinal),
-                state: RState::Queued,
-                gen: 0,
-                retries: 0,
-                launched: false,
-                occupied_from: SimTime::ZERO,
-                remaining_work: remaining,
-                floor,
-                attempt: Attempt::default(),
-            });
-            self.task_replicas[t.0].push(ri);
-            new_queues[orig.0].push(ri);
-        }
-        for (d, queued) in new_queues.iter_mut().enumerate() {
-            if !self.avail.is_up(DeviceId(d)) {
-                continue;
-            }
-            let keep = (self.devs[d].pos + usize::from(self.devs[d].running.is_some()))
-                .min(self.devs[d].queue.len());
-            self.devs[d].queue.truncate(keep);
-            let mut tail = std::mem::take(queued);
-            tail.sort_by_key(|&ri| self.replicas[ri].sort_key);
-            self.devs[d].queue.extend(tail);
-        }
-        Ok(())
+    fn after_event(&mut self, now: SimTime) -> Result<(), EngineError> {
+        self.dispatch_all(now)
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::resilience::FailureModel;
-    use helios_platform::presets;
-    use helios_sched::HeftScheduler;
-    use helios_workflow::generators::{cybershake, montage};
-
-    fn config_with(seed: u64, failures: FailureModel, policy: RecoveryPolicy) -> EngineConfig {
-        EngineConfig {
-            seed,
-            noise_cv: 0.2,
-            resilience: Some(ResilienceConfig::new(failures, policy)),
-            ..Default::default()
-        }
-    }
-
-    fn policies() -> Vec<RecoveryPolicy> {
-        vec![
-            RecoveryPolicy::RetryBackoff {
-                base_secs: 0.005,
-                factor: 2.0,
-                cap_secs: 0.05,
-                max_retries: 10_000,
-            },
-            RecoveryPolicy::ReplicateK {
-                replicas: 2,
-                max_retries: 10_000,
-            },
-            RecoveryPolicy::CheckpointRestart {
-                interval_secs: 0.05,
-                overhead_secs: 0.002,
-                max_retries: 10_000,
-            },
-            RecoveryPolicy::Reschedule {
-                scheduler: "heft".into(),
-                overhead_secs: 0.01,
-                max_retries: 10_000,
-            },
-        ]
-    }
-
-    #[test]
-    fn requires_resilience_config() {
-        let p = presets::hpc_node();
-        let wf = montage(20, 1).unwrap();
-        let err = ResilientRunner::new(EngineConfig::default())
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap_err();
-        assert!(matches!(err, EngineError::Config(_)), "{err}");
-    }
-
-    #[test]
-    fn every_policy_completes_under_transient_faults() {
-        let p = presets::hpc_node();
-        let wf = montage(50, 2).unwrap();
-        for policy in policies() {
-            let cfg = config_with(3, FailureModel::exponential(0.03), policy.clone());
-            let report = ResilientRunner::new(cfg)
-                .run(&p, &wf, &HeftScheduler::default())
-                .unwrap_or_else(|e| panic!("{} failed: {e}", policy.name()));
-            assert_eq!(report.schedule().placements().len(), wf.num_tasks());
-            let m = report.resilience().unwrap();
-            assert_eq!(m.policy, policy.name());
-            assert!(
-                m.makespan_degradation >= -1e-9,
-                "{}: faults sped the run up ({})",
-                policy.name(),
-                m.makespan_degradation
-            );
-            assert!(m.fault_free_makespan_secs > 0.0);
-        }
-    }
-
-    #[test]
-    fn deterministic_per_seed() {
-        let p = presets::hpc_node();
-        let wf = cybershake(40, 3).unwrap();
-        for policy in policies() {
-            let cfg = config_with(11, FailureModel::weibull(0.04, 1.5), policy.clone());
-            let a = ResilientRunner::new(cfg.clone())
-                .run(&p, &wf, &HeftScheduler::default())
-                .unwrap();
-            let b = ResilientRunner::new(cfg.clone())
-                .run(&p, &wf, &HeftScheduler::default())
-                .unwrap();
-            assert_eq!(a, b, "{} must be deterministic", policy.name());
-            let mut other = cfg;
-            other.seed = 12;
-            let c = ResilientRunner::new(other)
-                .run(&p, &wf, &HeftScheduler::default())
-                .unwrap();
-            assert_ne!(a, c, "{} must react to the seed", policy.name());
-        }
-    }
-
-    #[test]
-    fn degraded_devices_extend_makespan() {
-        let p = presets::hpc_node();
-        let wf = montage(50, 4).unwrap();
-        let mut fm = FailureModel::exponential(0.01);
-        fm.degraded_prob = 1.0; // Every fault degrades; none abort.
-        fm.degraded_slowdown = 4.0;
-        fm.degraded_repair_secs = 0.05;
-        let cfg = config_with(
-            5,
-            fm,
-            RecoveryPolicy::RetryBackoff {
-                base_secs: 0.0,
-                factor: 1.0,
-                cap_secs: 0.0,
-                max_retries: 0,
-            },
-        );
-        let report = ResilientRunner::new(cfg)
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap();
-        let m = report.resilience().unwrap();
-        assert!(m.degraded_failures > 0);
-        assert_eq!(m.transient_failures, 0);
-        assert!(
-            m.makespan_degradation > 0.0,
-            "slowdowns must cost time, got {}",
-            m.makespan_degradation
-        );
-    }
-
-    #[test]
-    fn permanent_loss_reassigns_and_completes() {
-        let p = presets::hpc_node();
-        let wf = montage(60, 5).unwrap();
-        for policy in policies() {
-            let mut fm = FailureModel::exponential(0.05);
-            fm.permanent_prob = 0.3;
-            fm.restart_overhead_secs = 0.002;
-            let cfg = config_with(21, fm, policy.clone());
-            match ResilientRunner::new(cfg).run(&p, &wf, &HeftScheduler::default()) {
-                Ok(report) => {
-                    let m = report.resilience().unwrap();
-                    assert_eq!(report.schedule().placements().len(), wf.num_tasks());
-                    if m.permanent_failures > 0 && policy.name() == "reschedule" {
-                        assert!(m.reschedules > 0, "losses must trigger a replan");
-                    }
-                }
-                // Losing every feasible device is a legal outcome.
-                Err(EngineError::AllDevicesLost { .. }) => {}
-                Err(e) => panic!("{}: unexpected error {e}", policy.name()),
-            }
-        }
-    }
-
-    #[test]
-    fn replicate_k_counts_are_consistent() {
-        let p = presets::hpc_node();
-        let wf = cybershake(50, 6).unwrap();
-        let cfg = config_with(
-            9,
-            FailureModel::exponential(0.05),
-            RecoveryPolicy::ReplicateK {
-                replicas: 3,
-                max_retries: 10_000,
-            },
-        );
-        let report = ResilientRunner::new(cfg)
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap();
-        let m = report.resilience().unwrap();
-        assert_eq!(m.permanent_failures, 0);
-        assert_eq!(
-            m.replicas_launched,
-            wf.num_tasks() as u32 + m.replicas_cancelled,
-            "every launch either wins its task or is cancelled"
-        );
-        assert!(m.replicas_cancelled > 0, "replicas must actually race");
-    }
-
-    #[test]
-    fn fault_free_baseline_matches_injection_disabled() {
-        // With failure injection on but an astronomically large MTTF the
-        // run must coincide with its own baseline.
-        let p = presets::hpc_node();
-        let wf = montage(40, 7).unwrap();
-        let cfg = config_with(
-            13,
-            FailureModel::exponential(1e12),
-            RecoveryPolicy::CheckpointRestart {
-                interval_secs: 0.05,
-                overhead_secs: 0.002,
-                max_retries: 5,
-            },
-        );
-        let report = ResilientRunner::new(cfg)
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap();
-        let m = report.resilience().unwrap();
-        assert!(
-            m.makespan_degradation.abs() < 1e-9,
-            "{}",
-            m.makespan_degradation
-        );
-        assert_eq!(m.wasted_work_secs, 0.0);
-        assert_eq!(m.transient_failures, 0);
-    }
-
-    // ---- interconnect faults, correlated domains, lineage recovery ----
-
-    use crate::resilience::{FailureDomain, LinkFaultModel};
-    use helios_platform::{
-        ComputeCost, DeviceBuilder, DeviceKind, InterconnectBuilder, KernelClass, Link,
-        PlatformBuilder,
-    };
-    use helios_sched::SchedError;
-    use helios_workflow::{Task, WorkflowBuilder};
-
-    /// A scheduler that returns a pre-built plan, so tests control the
-    /// exact placement and queue order the runner executes.
-    struct FixedPlan(Schedule);
-
-    impl Scheduler for FixedPlan {
-        fn name(&self) -> &str {
-            "fixed"
-        }
-        fn schedule(&self, _wf: &Workflow, _p: &Platform) -> Result<Schedule, SchedError> {
-            Ok(self.0.clone())
-        }
-    }
-
-    fn retry_policy() -> RecoveryPolicy {
-        RecoveryPolicy::RetryBackoff {
-            base_secs: 0.0,
-            factor: 1.0,
-            cap_secs: 0.0,
-            max_retries: 10_000,
-        }
-    }
-
-    /// A rack-style domain striking devices `devices` and links `links`
-    /// near t ≈ 0.14–0.22 s (Weibull scale 0.2, shape 60 is almost a
-    /// delta function there), with the given event-kind mix.
-    fn tight_domain(
-        devices: &[&str],
-        links: &[&str],
-        degraded_prob: f64,
-        permanent_prob: f64,
-        outage_secs: f64,
-    ) -> FailureDomain {
-        FailureDomain {
-            kind: "rack".into(),
-            name: "r0".into(),
-            devices: devices.iter().map(|s| s.to_string()).collect(),
-            links: links.iter().map(|s| s.to_string()).collect(),
-            mttf_secs: 0.2,
-            weibull_shape: Some(60.0),
-            degraded_prob,
-            permanent_prob,
-            outage_secs,
-        }
-    }
-
-    /// Two 1 TFLOP/s CPUs joined by a single 10 GB/s link. Reduction
-    /// kernels run at efficiency 0.8, so a task of `g` GFLOP takes
-    /// `g / 800` seconds — exact, because `noise_cv` is zero in these
-    /// tests.
-    fn pair_platform(default_link: Option<(&str, f64)>) -> Platform {
-        let mut b = PlatformBuilder::new("pair");
-        let a = b.add_device(
-            DeviceBuilder::new("a", DeviceKind::Cpu)
-                .peak_gflops(1000.0)
-                .build()
-                .unwrap(),
-        );
-        let bb = b.add_device(
-            DeviceBuilder::new("b", DeviceKind::Cpu)
-                .peak_gflops(1000.0)
-                .build()
-                .unwrap(),
-        );
-        let mut ic = InterconnectBuilder::new();
-        let wire = ic.add_link(Link::new("wire", 10.0, SimDuration::from_secs(5e-6)).unwrap());
-        ic.route_symmetric(a, bb, vec![wire]);
-        if let Some((name, gbs)) = default_link {
-            let alt = ic.add_link(Link::new(name, gbs, SimDuration::from_secs(5e-6)).unwrap());
-            ic.default_link(alt);
-        }
-        b.interconnect(ic.build());
-        b.build().unwrap()
-    }
-
-    fn place(task: usize, dev: usize, start: f64, finish: f64) -> Placement {
-        Placement {
-            task: TaskId(task),
-            device: DeviceId(dev),
-            level: DvfsLevel(2),
-            start: SimTime::from_secs(start),
-            finish: SimTime::from_secs(finish),
-        }
-    }
-
-    fn exact_config(seed: u64, res: ResilienceConfig) -> EngineConfig {
-        EngineConfig {
-            seed,
-            noise_cv: 0.0,
-            resilience: Some(res),
-            ..Default::default()
-        }
-    }
-
-    /// A producer-side chain on device `a` plus a long straggler on `b`:
-    /// t0→t2 and t3→t4 cross the link, t5 has no consumers, t1 keeps
-    /// `b` busy for a full second. Paired with its fixed plan.
-    fn lineage_fixture() -> (Workflow, Schedule) {
-        let mut w = WorkflowBuilder::new("lineage");
-        let quick = ComputeCost::new(8.0, 0.0, KernelClass::Reduction); // 10 ms
-        let slow = ComputeCost::new(800.0, 0.0, KernelClass::Reduction); // 1 s
-        let t0 = w.add_task(Task::new("t0", "s", quick));
-        let t1 = w.add_task(Task::new("t1", "s", slow));
-        let t2 = w.add_task(Task::new("t2", "s", quick));
-        let t3 = w.add_task(Task::new("t3", "s", quick));
-        let t4 = w.add_task(Task::new("t4", "s", quick));
-        let t5 = w.add_task(Task::new("t5", "s", quick));
-        w.add_dep(t0, t2, 2e6).unwrap();
-        w.add_dep(t3, t4, 3e6).unwrap();
-        let _ = t1;
-        let _ = t5;
-        let wf = w.build().unwrap();
-        let plan = Schedule::new(vec![
-            place(0, 0, 0.00, 0.01),
-            place(3, 0, 0.02, 0.03),
-            place(5, 0, 0.04, 0.05),
-            place(1, 1, 0.00, 1.00),
-            place(2, 1, 1.05, 1.06),
-            place(4, 1, 1.07, 1.08),
-        ])
-        .unwrap();
-        (wf, plan)
-    }
-
-    #[test]
-    fn permanent_domain_loss_rematerializes_only_lost_ancestors() {
-        // Device `a` finishes t0, t3, t5 by t ≈ 0.03 s, then its PSU
-        // domain kills it near t ≈ 0.17 s while t1 still holds `b`.
-        // The products of t0 and t3 are lost before their consumers
-        // staged them; lineage recovery must re-run exactly those two —
-        // not t5, whose product nobody needs.
-        let p = pair_platform(None);
-        let (wf, plan) = lineage_fixture();
-        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
-            .with_domains(vec![FailureDomain {
-                kind: "psu".into(),
-                devices: vec!["a".into()],
-                links: vec![],
-                ..tight_domain(&[], &[], 0.0, 1.0, 0.0)
-            }]);
-        let report = ResilientRunner::new(exact_config(9, res))
-            .run(&p, &wf, &FixedPlan(plan))
-            .unwrap();
-        let m = report.resilience().unwrap();
-        assert_eq!(m.domain_events, 1, "domain dies with its first strike");
-        assert_eq!(m.permanent_failures, 1);
-        assert_eq!(m.rematerialized_tasks, 2, "t0 and t3, not t5");
-        assert!(
-            (m.rematerialized_bytes - 5e6).abs() < 1.0,
-            "re-staged bytes must equal the lost products' out-edges, got {}",
-            m.rematerialized_bytes
-        );
-        assert!(m.wasted_work_secs > 0.0, "re-running t0/t3 is wasted work");
-        assert!(m.makespan_degradation > 0.0);
-        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
-    }
-
-    #[test]
-    fn severed_primary_route_reroutes_over_default_link() {
-        // The rack strike permanently severs the fast primary link at
-        // t ≈ 0.17 s; t1 stages its input at t = 1 s and must fall back
-        // to the slower default link instead of stranding.
-        let p = pair_platform(Some(("alt", 2.0)));
-        let mut w = WorkflowBuilder::new("reroute");
-        let t0 = w.add_task(Task::new(
-            "t0",
-            "s",
-            ComputeCost::new(800.0, 0.0, KernelClass::Reduction),
-        ));
-        let t1 = w.add_task(Task::new(
-            "t1",
-            "s",
-            ComputeCost::new(8.0, 0.0, KernelClass::Reduction),
-        ));
-        w.add_dep(t0, t1, 2e7).unwrap();
-        let wf = w.build().unwrap();
-        let plan = Schedule::new(vec![place(0, 0, 0.0, 1.0), place(1, 1, 1.0, 1.1)]).unwrap();
-        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
-            .with_domains(vec![tight_domain(&[], &["wire"], 0.0, 1.0, 0.0)]);
-        let report = ResilientRunner::new(exact_config(4, res))
-            .run(&p, &wf, &FixedPlan(plan))
-            .unwrap();
-        let m = report.resilience().unwrap();
-        assert_eq!(m.domain_events, 1);
-        assert_eq!(m.permanent_failures, 0, "links died, devices did not");
-        assert_eq!(m.reroutes, 1, "the one cross-link transfer reroutes");
-        assert!(
-            m.makespan_degradation > 0.0,
-            "the 2 GB/s detour must cost time over the 10 GB/s primary, got {}",
-            m.makespan_degradation
-        );
-        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
-    }
-
-    #[test]
-    fn link_outage_without_fallback_stalls_transfers() {
-        // Same topology but no default link: a 1000 s outage starting
-        // near t ≈ 0.17 s leaves the staging at t = 1 s nothing to
-        // reroute over, so the transfer stalls until the link heals and
-        // the stall is booked as partition downtime.
-        let p = pair_platform(None);
-        let mut w = WorkflowBuilder::new("stall");
-        let t0 = w.add_task(Task::new(
-            "t0",
-            "s",
-            ComputeCost::new(800.0, 0.0, KernelClass::Reduction),
-        ));
-        let t1 = w.add_task(Task::new(
-            "t1",
-            "s",
-            ComputeCost::new(8.0, 0.0, KernelClass::Reduction),
-        ));
-        w.add_dep(t0, t1, 2e6).unwrap();
-        let wf = w.build().unwrap();
-        let plan = Schedule::new(vec![place(0, 0, 0.0, 1.0), place(1, 1, 1.0, 1.1)]).unwrap();
-        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
-            .with_domains(vec![tight_domain(&[], &["wire"], 0.0, 0.0, 1000.0)]);
-        let report = ResilientRunner::new(exact_config(4, res))
-            .run(&p, &wf, &FixedPlan(plan))
-            .unwrap();
-        let m = report.resilience().unwrap();
-        assert!(m.domain_events >= 1);
-        assert_eq!(m.reroutes, 0, "nothing to reroute over");
-        assert!(
-            m.partition_downtime_secs > 100.0,
-            "staging must wait out most of the outage, got {}",
-            m.partition_downtime_secs
-        );
-        assert!(m.makespan_degradation > 100.0);
-        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
-    }
-
-    #[test]
-    fn link_faults_cost_time_and_stay_deterministic() {
-        let p = presets::hpc_node();
-        let wf = montage(50, 2).unwrap();
-        let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
-            .with_link_faults(LinkFaultModel::exponential(0.05));
-        let cfg = EngineConfig {
-            seed: 17,
-            noise_cv: 0.1,
-            resilience: Some(res),
-            ..Default::default()
-        };
-        let a = ResilientRunner::new(cfg.clone())
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap();
-        let m = a.resilience().unwrap();
-        assert!(m.link_faults > 0, "MTTF 0.05 s must actually fire");
-        assert_eq!(m.transient_failures, 0, "devices were not touched");
-        assert!(
-            m.makespan_degradation >= -1e-9,
-            "link faults must never speed the run up, got {}",
-            m.makespan_degradation
-        );
-        assert_eq!(a.schedule().placements().len(), wf.num_tasks());
-        let b = ResilientRunner::new(cfg)
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap();
-        assert_eq!(a, b, "link-fault runs must be deterministic per seed");
-    }
-
-    #[test]
-    fn correlated_domain_strikes_every_policy_survives() {
-        let p = presets::hpc_node();
-        let wf = montage(30, 3).unwrap();
-        for policy in policies() {
-            let res = ResilienceConfig::new(FailureModel::exponential(1e12), policy.clone())
-                .with_domains(vec![FailureDomain {
-                    kind: "rack".into(),
-                    name: "gpu-rack".into(),
-                    devices: vec!["gpu0".into(), "gpu1".into()],
-                    links: vec!["nvlink".into()],
-                    mttf_secs: 0.002,
-                    weibull_shape: None,
-                    degraded_prob: 0.3,
-                    permanent_prob: 0.0,
-                    outage_secs: 0.005,
-                }]);
-            let cfg = EngineConfig {
-                seed: 23,
-                noise_cv: 0.1,
-                resilience: Some(res),
-                ..Default::default()
-            };
-            let a = ResilientRunner::new(cfg.clone())
-                .run(&p, &wf, &HeftScheduler::default())
-                .unwrap_or_else(|e| panic!("{} failed: {e}", policy.name()));
-            let m = a.resilience().unwrap();
-            assert!(m.domain_events > 0, "{}: domain must strike", policy.name());
-            assert!(
-                m.makespan_degradation >= -1e-9,
-                "{}: correlated faults must never speed the run up, got {}",
-                policy.name(),
-                m.makespan_degradation
-            );
-            assert_eq!(a.schedule().placements().len(), wf.num_tasks());
-            let b = ResilientRunner::new(cfg)
-                .run(&p, &wf, &HeftScheduler::default())
-                .unwrap();
-            assert_eq!(a, b, "{} must be deterministic", policy.name());
-        }
-    }
-
-    #[test]
-    fn unknown_domain_members_are_actionable_config_errors() {
-        let p = presets::hpc_node();
-        let wf = montage(20, 1).unwrap();
-        let bad_dev = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
-            .with_domains(vec![tight_domain(&["nope"], &[], 0.0, 0.0, 0.1)]);
-        let err = ResilientRunner::new(exact_config(1, bad_dev))
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap_err();
-        let msg = err.to_string();
-        assert!(matches!(err, EngineError::Config(_)), "{err}");
-        assert!(msg.contains("nope") && msg.contains("cpu0"), "{msg}");
-
-        let bad_link = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
-            .with_domains(vec![tight_domain(&[], &["nolink"], 0.0, 0.0, 0.1)]);
-        let err = ResilientRunner::new(exact_config(1, bad_link))
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap_err();
-        let msg = err.to_string();
-        assert!(matches!(err, EngineError::Config(_)), "{err}");
-        assert!(msg.contains("nolink") && msg.contains("nvlink"), "{msg}");
-    }
-
-    #[test]
-    fn step_budget_watchdog_aborts_grinding_runs() {
-        let p = presets::hpc_node();
-        let wf = montage(40, 1).unwrap();
-        let cfg = EngineConfig {
-            seed: 3,
-            step_budget: Some(10),
-            resilience: Some(ResilienceConfig::new(
-                FailureModel::exponential(0.05),
-                retry_policy(),
-            )),
-            ..Default::default()
-        };
-        let err = ResilientRunner::new(cfg)
-            .run(&p, &wf, &HeftScheduler::default())
-            .unwrap_err();
-        assert!(
-            matches!(err, EngineError::StepBudgetExceeded { steps: 10, .. }),
-            "{err}"
-        );
-        assert!(err.to_string().contains("step budget"), "{err}");
-    }
-}
+#[path = "runner_tests.rs"]
+mod tests;

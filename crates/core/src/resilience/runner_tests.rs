@@ -1,0 +1,564 @@
+//! Tests of the resilient runner (split out of `runner.rs` so the path
+//! source holds only the hook set and its state machine).
+
+use super::*;
+use crate::resilience::FailureModel;
+use helios_platform::presets;
+use helios_sched::HeftScheduler;
+use helios_workflow::generators::{cybershake, montage};
+
+fn config_with(seed: u64, failures: FailureModel, policy: RecoveryPolicy) -> EngineConfig {
+    EngineConfig {
+        seed,
+        noise_cv: 0.2,
+        resilience: Some(ResilienceConfig::new(failures, policy)),
+        ..Default::default()
+    }
+}
+
+fn policies() -> Vec<RecoveryPolicy> {
+    vec![
+        RecoveryPolicy::RetryBackoff {
+            base_secs: 0.005,
+            factor: 2.0,
+            cap_secs: 0.05,
+            max_retries: 10_000,
+        },
+        RecoveryPolicy::ReplicateK {
+            replicas: 2,
+            max_retries: 10_000,
+        },
+        RecoveryPolicy::CheckpointRestart {
+            interval_secs: 0.05,
+            overhead_secs: 0.002,
+            max_retries: 10_000,
+        },
+        RecoveryPolicy::Reschedule {
+            scheduler: "heft".into(),
+            overhead_secs: 0.01,
+            max_retries: 10_000,
+        },
+    ]
+}
+
+#[test]
+fn requires_resilience_config() {
+    let p = presets::hpc_node();
+    let wf = montage(20, 1).unwrap();
+    let err = ResilientRunner::new(EngineConfig::default())
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Config(_)), "{err}");
+}
+
+#[test]
+fn every_policy_completes_under_transient_faults() {
+    let p = presets::hpc_node();
+    let wf = montage(50, 2).unwrap();
+    for policy in policies() {
+        let cfg = config_with(3, FailureModel::exponential(0.03), policy.clone());
+        let report = ResilientRunner::new(cfg)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", policy.name()));
+        assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+        let m = report.resilience().unwrap();
+        assert_eq!(m.policy, policy.name());
+        assert!(
+            m.makespan_degradation >= -1e-9,
+            "{}: faults sped the run up ({})",
+            policy.name(),
+            m.makespan_degradation
+        );
+        assert!(m.fault_free_makespan_secs > 0.0);
+    }
+}
+
+#[test]
+fn deterministic_per_seed() {
+    let p = presets::hpc_node();
+    let wf = cybershake(40, 3).unwrap();
+    for policy in policies() {
+        let cfg = config_with(11, FailureModel::weibull(0.04, 1.5), policy.clone());
+        let a = ResilientRunner::new(cfg.clone())
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        let b = ResilientRunner::new(cfg.clone())
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        assert_eq!(a, b, "{} must be deterministic", policy.name());
+        let mut other = cfg;
+        other.seed = 12;
+        let c = ResilientRunner::new(other)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        assert_ne!(a, c, "{} must react to the seed", policy.name());
+    }
+}
+
+#[test]
+fn degraded_devices_extend_makespan() {
+    let p = presets::hpc_node();
+    let wf = montage(50, 4).unwrap();
+    let mut fm = FailureModel::exponential(0.01);
+    fm.degraded_prob = 1.0; // Every fault degrades; none abort.
+    fm.degraded_slowdown = 4.0;
+    fm.degraded_repair_secs = 0.05;
+    let cfg = config_with(
+        5,
+        fm,
+        RecoveryPolicy::RetryBackoff {
+            base_secs: 0.0,
+            factor: 1.0,
+            cap_secs: 0.0,
+            max_retries: 0,
+        },
+    );
+    let report = ResilientRunner::new(cfg)
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap();
+    let m = report.resilience().unwrap();
+    assert!(m.degraded_failures > 0);
+    assert_eq!(m.transient_failures, 0);
+    assert!(
+        m.makespan_degradation > 0.0,
+        "slowdowns must cost time, got {}",
+        m.makespan_degradation
+    );
+}
+
+#[test]
+fn permanent_loss_reassigns_and_completes() {
+    let p = presets::hpc_node();
+    let wf = montage(60, 5).unwrap();
+    for policy in policies() {
+        let mut fm = FailureModel::exponential(0.05);
+        fm.permanent_prob = 0.3;
+        fm.restart_overhead_secs = 0.002;
+        let cfg = config_with(21, fm, policy.clone());
+        match ResilientRunner::new(cfg).run(&p, &wf, &HeftScheduler::default()) {
+            Ok(report) => {
+                let m = report.resilience().unwrap();
+                assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+                if m.permanent_failures > 0 && policy.name() == "reschedule" {
+                    assert!(m.reschedules > 0, "losses must trigger a replan");
+                }
+            }
+            // Losing every feasible device is a legal outcome.
+            Err(EngineError::AllDevicesLost { .. }) => {}
+            Err(e) => panic!("{}: unexpected error {e}", policy.name()),
+        }
+    }
+}
+
+#[test]
+fn replicate_k_counts_are_consistent() {
+    let p = presets::hpc_node();
+    let wf = cybershake(50, 6).unwrap();
+    let cfg = config_with(
+        9,
+        FailureModel::exponential(0.05),
+        RecoveryPolicy::ReplicateK {
+            replicas: 3,
+            max_retries: 10_000,
+        },
+    );
+    let report = ResilientRunner::new(cfg)
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap();
+    let m = report.resilience().unwrap();
+    assert_eq!(m.permanent_failures, 0);
+    assert_eq!(
+        m.replicas_launched,
+        wf.num_tasks() as u32 + m.replicas_cancelled,
+        "every launch either wins its task or is cancelled"
+    );
+    assert!(m.replicas_cancelled > 0, "replicas must actually race");
+}
+
+#[test]
+fn fault_free_baseline_matches_injection_disabled() {
+    // With failure injection on but an astronomically large MTTF the
+    // run must coincide with its own baseline.
+    let p = presets::hpc_node();
+    let wf = montage(40, 7).unwrap();
+    let cfg = config_with(
+        13,
+        FailureModel::exponential(1e12),
+        RecoveryPolicy::CheckpointRestart {
+            interval_secs: 0.05,
+            overhead_secs: 0.002,
+            max_retries: 5,
+        },
+    );
+    let report = ResilientRunner::new(cfg)
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap();
+    let m = report.resilience().unwrap();
+    assert!(
+        m.makespan_degradation.abs() < 1e-9,
+        "{}",
+        m.makespan_degradation
+    );
+    assert_eq!(m.wasted_work_secs, 0.0);
+    assert_eq!(m.transient_failures, 0);
+}
+
+// ---- interconnect faults, correlated domains, lineage recovery ----
+
+use crate::resilience::{FailureDomain, LinkFaultModel};
+use helios_platform::{
+    ComputeCost, DeviceBuilder, DeviceKind, InterconnectBuilder, KernelClass, Link, PlatformBuilder,
+};
+use helios_sched::SchedError;
+use helios_workflow::{Task, WorkflowBuilder};
+
+/// A scheduler that returns a pre-built plan, so tests control the
+/// exact placement and queue order the runner executes.
+struct FixedPlan(Schedule);
+
+impl Scheduler for FixedPlan {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+    fn schedule(&self, _wf: &Workflow, _p: &Platform) -> Result<Schedule, SchedError> {
+        Ok(self.0.clone())
+    }
+}
+
+fn retry_policy() -> RecoveryPolicy {
+    RecoveryPolicy::RetryBackoff {
+        base_secs: 0.0,
+        factor: 1.0,
+        cap_secs: 0.0,
+        max_retries: 10_000,
+    }
+}
+
+/// A rack-style domain striking devices `devices` and links `links`
+/// near t ≈ 0.14–0.22 s (Weibull scale 0.2, shape 60 is almost a
+/// delta function there), with the given event-kind mix.
+fn tight_domain(
+    devices: &[&str],
+    links: &[&str],
+    degraded_prob: f64,
+    permanent_prob: f64,
+    outage_secs: f64,
+) -> FailureDomain {
+    FailureDomain {
+        kind: "rack".into(),
+        name: "r0".into(),
+        devices: devices.iter().map(|s| s.to_string()).collect(),
+        links: links.iter().map(|s| s.to_string()).collect(),
+        mttf_secs: 0.2,
+        weibull_shape: Some(60.0),
+        degraded_prob,
+        permanent_prob,
+        outage_secs,
+    }
+}
+
+/// Two 1 TFLOP/s CPUs joined by a single 10 GB/s link. Reduction
+/// kernels run at efficiency 0.8, so a task of `g` GFLOP takes
+/// `g / 800` seconds — exact, because `noise_cv` is zero in these
+/// tests.
+fn pair_platform(default_link: Option<(&str, f64)>) -> Platform {
+    let mut b = PlatformBuilder::new("pair");
+    let a = b.add_device(
+        DeviceBuilder::new("a", DeviceKind::Cpu)
+            .peak_gflops(1000.0)
+            .build()
+            .unwrap(),
+    );
+    let bb = b.add_device(
+        DeviceBuilder::new("b", DeviceKind::Cpu)
+            .peak_gflops(1000.0)
+            .build()
+            .unwrap(),
+    );
+    let mut ic = InterconnectBuilder::new();
+    let wire = ic.add_link(Link::new("wire", 10.0, SimDuration::from_secs(5e-6)).unwrap());
+    ic.route_symmetric(a, bb, vec![wire]);
+    if let Some((name, gbs)) = default_link {
+        let alt = ic.add_link(Link::new(name, gbs, SimDuration::from_secs(5e-6)).unwrap());
+        ic.default_link(alt);
+    }
+    b.interconnect(ic.build());
+    b.build().unwrap()
+}
+
+fn place(task: usize, dev: usize, start: f64, finish: f64) -> Placement {
+    Placement {
+        task: TaskId(task),
+        device: DeviceId(dev),
+        level: DvfsLevel(2),
+        start: SimTime::from_secs(start),
+        finish: SimTime::from_secs(finish),
+    }
+}
+
+fn exact_config(seed: u64, res: ResilienceConfig) -> EngineConfig {
+    EngineConfig {
+        seed,
+        noise_cv: 0.0,
+        resilience: Some(res),
+        ..Default::default()
+    }
+}
+
+/// A producer-side chain on device `a` plus a long straggler on `b`:
+/// t0→t2 and t3→t4 cross the link, t5 has no consumers, t1 keeps
+/// `b` busy for a full second. Paired with its fixed plan.
+fn lineage_fixture() -> (Workflow, Schedule) {
+    let mut w = WorkflowBuilder::new("lineage");
+    let quick = ComputeCost::new(8.0, 0.0, KernelClass::Reduction); // 10 ms
+    let slow = ComputeCost::new(800.0, 0.0, KernelClass::Reduction); // 1 s
+    let t0 = w.add_task(Task::new("t0", "s", quick));
+    let t1 = w.add_task(Task::new("t1", "s", slow));
+    let t2 = w.add_task(Task::new("t2", "s", quick));
+    let t3 = w.add_task(Task::new("t3", "s", quick));
+    let t4 = w.add_task(Task::new("t4", "s", quick));
+    let t5 = w.add_task(Task::new("t5", "s", quick));
+    w.add_dep(t0, t2, 2e6).unwrap();
+    w.add_dep(t3, t4, 3e6).unwrap();
+    let _ = t1;
+    let _ = t5;
+    let wf = w.build().unwrap();
+    let plan = Schedule::new(vec![
+        place(0, 0, 0.00, 0.01),
+        place(3, 0, 0.02, 0.03),
+        place(5, 0, 0.04, 0.05),
+        place(1, 1, 0.00, 1.00),
+        place(2, 1, 1.05, 1.06),
+        place(4, 1, 1.07, 1.08),
+    ])
+    .unwrap();
+    (wf, plan)
+}
+
+#[test]
+fn permanent_domain_loss_rematerializes_only_lost_ancestors() {
+    // Device `a` finishes t0, t3, t5 by t ≈ 0.03 s, then its PSU
+    // domain kills it near t ≈ 0.17 s while t1 still holds `b`.
+    // The products of t0 and t3 are lost before their consumers
+    // staged them; lineage recovery must re-run exactly those two —
+    // not t5, whose product nobody needs.
+    let p = pair_platform(None);
+    let (wf, plan) = lineage_fixture();
+    let res =
+        ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy()).with_domains(vec![
+            FailureDomain {
+                kind: "psu".into(),
+                devices: vec!["a".into()],
+                links: vec![],
+                ..tight_domain(&[], &[], 0.0, 1.0, 0.0)
+            },
+        ]);
+    let report = ResilientRunner::new(exact_config(9, res))
+        .run(&p, &wf, &FixedPlan(plan))
+        .unwrap();
+    let m = report.resilience().unwrap();
+    assert_eq!(m.domain_events, 1, "domain dies with its first strike");
+    assert_eq!(m.permanent_failures, 1);
+    assert_eq!(m.rematerialized_tasks, 2, "t0 and t3, not t5");
+    assert!(
+        (m.rematerialized_bytes - 5e6).abs() < 1.0,
+        "re-staged bytes must equal the lost products' out-edges, got {}",
+        m.rematerialized_bytes
+    );
+    assert!(m.wasted_work_secs > 0.0, "re-running t0/t3 is wasted work");
+    assert!(m.makespan_degradation > 0.0);
+    assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+}
+
+#[test]
+fn severed_primary_route_reroutes_over_default_link() {
+    // The rack strike permanently severs the fast primary link at
+    // t ≈ 0.17 s; t1 stages its input at t = 1 s and must fall back
+    // to the slower default link instead of stranding.
+    let p = pair_platform(Some(("alt", 2.0)));
+    let mut w = WorkflowBuilder::new("reroute");
+    let t0 = w.add_task(Task::new(
+        "t0",
+        "s",
+        ComputeCost::new(800.0, 0.0, KernelClass::Reduction),
+    ));
+    let t1 = w.add_task(Task::new(
+        "t1",
+        "s",
+        ComputeCost::new(8.0, 0.0, KernelClass::Reduction),
+    ));
+    w.add_dep(t0, t1, 2e7).unwrap();
+    let wf = w.build().unwrap();
+    let plan = Schedule::new(vec![place(0, 0, 0.0, 1.0), place(1, 1, 1.0, 1.1)]).unwrap();
+    let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+        .with_domains(vec![tight_domain(&[], &["wire"], 0.0, 1.0, 0.0)]);
+    let report = ResilientRunner::new(exact_config(4, res))
+        .run(&p, &wf, &FixedPlan(plan))
+        .unwrap();
+    let m = report.resilience().unwrap();
+    assert_eq!(m.domain_events, 1);
+    assert_eq!(m.permanent_failures, 0, "links died, devices did not");
+    assert_eq!(m.reroutes, 1, "the one cross-link transfer reroutes");
+    assert!(
+        m.makespan_degradation > 0.0,
+        "the 2 GB/s detour must cost time over the 10 GB/s primary, got {}",
+        m.makespan_degradation
+    );
+    assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+}
+
+#[test]
+fn link_outage_without_fallback_stalls_transfers() {
+    // Same topology but no default link: a 1000 s outage starting
+    // near t ≈ 0.17 s leaves the staging at t = 1 s nothing to
+    // reroute over, so the transfer stalls until the link heals and
+    // the stall is booked as partition downtime.
+    let p = pair_platform(None);
+    let mut w = WorkflowBuilder::new("stall");
+    let t0 = w.add_task(Task::new(
+        "t0",
+        "s",
+        ComputeCost::new(800.0, 0.0, KernelClass::Reduction),
+    ));
+    let t1 = w.add_task(Task::new(
+        "t1",
+        "s",
+        ComputeCost::new(8.0, 0.0, KernelClass::Reduction),
+    ));
+    w.add_dep(t0, t1, 2e6).unwrap();
+    let wf = w.build().unwrap();
+    let plan = Schedule::new(vec![place(0, 0, 0.0, 1.0), place(1, 1, 1.0, 1.1)]).unwrap();
+    let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+        .with_domains(vec![tight_domain(&[], &["wire"], 0.0, 0.0, 1000.0)]);
+    let report = ResilientRunner::new(exact_config(4, res))
+        .run(&p, &wf, &FixedPlan(plan))
+        .unwrap();
+    let m = report.resilience().unwrap();
+    assert!(m.domain_events >= 1);
+    assert_eq!(m.reroutes, 0, "nothing to reroute over");
+    assert!(
+        m.partition_downtime_secs > 100.0,
+        "staging must wait out most of the outage, got {}",
+        m.partition_downtime_secs
+    );
+    assert!(m.makespan_degradation > 100.0);
+    assert_eq!(report.schedule().placements().len(), wf.num_tasks());
+}
+
+#[test]
+fn link_faults_cost_time_and_stay_deterministic() {
+    let p = presets::hpc_node();
+    let wf = montage(50, 2).unwrap();
+    let res = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+        .with_link_faults(LinkFaultModel::exponential(0.05));
+    let cfg = EngineConfig {
+        seed: 17,
+        noise_cv: 0.1,
+        resilience: Some(res),
+        ..Default::default()
+    };
+    let a = ResilientRunner::new(cfg.clone())
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap();
+    let m = a.resilience().unwrap();
+    assert!(m.link_faults > 0, "MTTF 0.05 s must actually fire");
+    assert_eq!(m.transient_failures, 0, "devices were not touched");
+    assert!(
+        m.makespan_degradation >= -1e-9,
+        "link faults must never speed the run up, got {}",
+        m.makespan_degradation
+    );
+    assert_eq!(a.schedule().placements().len(), wf.num_tasks());
+    let b = ResilientRunner::new(cfg)
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap();
+    assert_eq!(a, b, "link-fault runs must be deterministic per seed");
+}
+
+#[test]
+fn correlated_domain_strikes_every_policy_survives() {
+    let p = presets::hpc_node();
+    let wf = montage(30, 3).unwrap();
+    for policy in policies() {
+        let res = ResilienceConfig::new(FailureModel::exponential(1e12), policy.clone())
+            .with_domains(vec![FailureDomain {
+                kind: "rack".into(),
+                name: "gpu-rack".into(),
+                devices: vec!["gpu0".into(), "gpu1".into()],
+                links: vec!["nvlink".into()],
+                mttf_secs: 0.002,
+                weibull_shape: None,
+                degraded_prob: 0.3,
+                permanent_prob: 0.0,
+                outage_secs: 0.005,
+            }]);
+        let cfg = EngineConfig {
+            seed: 23,
+            noise_cv: 0.1,
+            resilience: Some(res),
+            ..Default::default()
+        };
+        let a = ResilientRunner::new(cfg.clone())
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", policy.name()));
+        let m = a.resilience().unwrap();
+        assert!(m.domain_events > 0, "{}: domain must strike", policy.name());
+        assert!(
+            m.makespan_degradation >= -1e-9,
+            "{}: correlated faults must never speed the run up, got {}",
+            policy.name(),
+            m.makespan_degradation
+        );
+        assert_eq!(a.schedule().placements().len(), wf.num_tasks());
+        let b = ResilientRunner::new(cfg)
+            .run(&p, &wf, &HeftScheduler::default())
+            .unwrap();
+        assert_eq!(a, b, "{} must be deterministic", policy.name());
+    }
+}
+
+#[test]
+fn unknown_domain_members_are_actionable_config_errors() {
+    let p = presets::hpc_node();
+    let wf = montage(20, 1).unwrap();
+    let bad_dev = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+        .with_domains(vec![tight_domain(&["nope"], &[], 0.0, 0.0, 0.1)]);
+    let err = ResilientRunner::new(exact_config(1, bad_dev))
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(matches!(err, EngineError::Config(_)), "{err}");
+    assert!(msg.contains("nope") && msg.contains("cpu0"), "{msg}");
+
+    let bad_link = ResilienceConfig::new(FailureModel::exponential(1e12), retry_policy())
+        .with_domains(vec![tight_domain(&[], &["nolink"], 0.0, 0.0, 0.1)]);
+    let err = ResilientRunner::new(exact_config(1, bad_link))
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(matches!(err, EngineError::Config(_)), "{err}");
+    assert!(msg.contains("nolink") && msg.contains("nvlink"), "{msg}");
+}
+
+#[test]
+fn step_budget_watchdog_aborts_grinding_runs() {
+    let p = presets::hpc_node();
+    let wf = montage(40, 1).unwrap();
+    let cfg = EngineConfig {
+        seed: 3,
+        step_budget: Some(10),
+        resilience: Some(ResilienceConfig::new(
+            FailureModel::exponential(0.05),
+            retry_policy(),
+        )),
+        ..Default::default()
+    };
+    let err = ResilientRunner::new(cfg)
+        .run(&p, &wf, &HeftScheduler::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::StepBudgetExceeded { steps: 10, .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("step budget"), "{err}");
+}
