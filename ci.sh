@@ -104,6 +104,30 @@ pspec=examples/specs/partition_smoke.json
 cmp "$sweep_tmp/pfull.json" "$sweep_tmp/pmerged.json"
 echo "2-shard merge is byte-identical under the full fault stack"
 
+echo "==> perf-trajectory smoke"
+# Reduced-iteration run of the pinned benchmark harness: verifies the
+# harness executes and emits well-formed JSON with both series, without
+# spending full-run wall clock. Committed BENCH_<PR>.json files must
+# come from a full (non-smoke) run; the bench crate's test suite checks
+# the committed file carries both series.
+target/release/perf_trajectory --smoke --out "$sweep_tmp/bench_smoke.json"
+for series in paper_grid_cells_per_sec synthetic_dag_steps_per_sec; do
+    if ! grep -q "\"$series\"" "$sweep_tmp/bench_smoke.json"; then
+        echo "bench smoke output is missing the $series series" >&2
+        exit 1
+    fi
+done
+bench_committed=$(ls BENCH_*.json 2> /dev/null | tail -1)
+if [ -z "$bench_committed" ]; then
+    echo "no committed BENCH_*.json trajectory file found" >&2
+    exit 1
+fi
+if grep -q '"smoke": true' "$bench_committed"; then
+    echo "$bench_committed was generated with --smoke; commit a full run" >&2
+    exit 1
+fi
+echo "bench harness OK; committed trajectory: $bench_committed"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,185 @@
+//! The pinned perf trajectory: emits `BENCH_<PR>.json` with the two
+//! series every PR must keep honest (ROADMAP item 2).
+//!
+//! * `paper_grid_cells_per_sec` — grid cells executed per second,
+//!   sweeping `examples/specs/paper_grid.json` (5 families × 4
+//!   platforms × 12 schedulers × 5 seeds = 1200 cells of 100 tasks,
+//!   link contention + data caching on) through the sequential
+//!   `SweepDriver`. This is the end-to-end number: generation,
+//!   planning and the exec-core step loop together.
+//! * `synthetic_dag_steps_per_sec` — simulated events processed per
+//!   second executing a 10⁵-task layered DAG through
+//!   `Engine::execute_plan` (one Finish per task, one Arrival per
+//!   edge), planning excluded. This isolates the `exec::drive` hot
+//!   path the arena/batching work targets.
+//!
+//! Usage: `perf_trajectory [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks both series (a 1/40 shard of the grid, one
+//! iteration of a 10⁴-task DAG) so CI can verify the harness and the
+//! JSON shape in seconds; committed trajectory files must come from a
+//! full run. The JSON is stable-keyed so `BENCH_*.json` files diff
+//! cleanly across PRs.
+
+use std::time::Instant;
+
+use helios_core::campaign::{CampaignSpec, ShardSpec, SweepDriver};
+use helios_core::{Engine, EngineConfig};
+use helios_platform::presets;
+use helios_sched::{RoundRobinScheduler, Scheduler};
+use helios_workflow::generators::synthetic::{layered_random, LayeredConfig};
+
+/// The PR number this trajectory file belongs to.
+const PR: u32 = 6;
+
+struct SeriesOut {
+    name: &'static str,
+    unit: &'static str,
+    value: f64,
+    detail: Vec<(&'static str, f64)>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{PR}.json"));
+    if let Err(e) = run(smoke, &out_path) {
+        eprintln!("perf_trajectory failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(smoke: bool, out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let grid = bench_paper_grid(smoke)?;
+    let dag = bench_synthetic_dag(smoke)?;
+    let json = render(smoke, &[grid, dag]);
+    std::fs::write(out_path, &json)?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}
+
+/// Cells/sec sweeping the committed paper grid spec (sequential, so the
+/// number measures the exec core and not the `--jobs` fan-out).
+fn bench_paper_grid(smoke: bool) -> Result<SeriesOut, Box<dyn std::error::Error>> {
+    let spec_path = spec_path("examples/specs/paper_grid.json");
+    let spec = CampaignSpec::from_json(&std::fs::read_to_string(&spec_path)?)?;
+    let shard = if smoke {
+        // 30 of 1200 cells: enough to touch every family and platform.
+        ShardSpec::new(1, 40)?
+    } else {
+        ShardSpec::full()
+    };
+    let driver = SweepDriver::new(1);
+    let start = Instant::now();
+    let report = driver.run_shard(&spec, shard)?;
+    let wall = start.elapsed().as_secs_f64();
+    let cells = report.cells.len() as f64;
+    Ok(SeriesOut {
+        name: "paper_grid_cells_per_sec",
+        unit: "cells/sec",
+        value: cells / wall,
+        detail: vec![("cells", cells), ("wall_secs", wall)],
+    })
+}
+
+/// Steps/sec of `exec::drive` on a huge synthetic DAG: the engine
+/// processes exactly one Finish event per task and one Arrival event
+/// per edge, so events/wall-clock is the step-loop throughput.
+fn bench_synthetic_dag(smoke: bool) -> Result<SeriesOut, Box<dyn std::error::Error>> {
+    let (levels, width, iters) = if smoke {
+        (50, 200, 1) // 10^4 tasks: shape check only.
+    } else {
+        (250, 400, 3) // 10^5 tasks, best-of-3.
+    };
+    let wf = layered_random(
+        &LayeredConfig {
+            levels,
+            width,
+            edge_prob: 0.004,
+            // Small working sets so every task fits every device: the
+            // series measures the step loop, not feasibility pruning.
+            mean_gflop: 1.0,
+            mean_bytes: 1e6,
+            ..LayeredConfig::default()
+        },
+        42,
+    )?;
+    let platform = presets::hpc_node();
+    // Round-robin keeps planning O(n): the series measures execution.
+    let plan = RoundRobinScheduler::default().schedule(&wf, &platform)?;
+    let engine = Engine::new(EngineConfig {
+        link_contention: true,
+        data_caching: true,
+        ..Default::default()
+    });
+    let events = (wf.num_tasks() + wf.num_edges()) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let report = engine.execute_plan(&platform, &wf, &plan)?;
+        let wall = start.elapsed().as_secs_f64();
+        assert!(report.makespan().as_secs() > 0.0);
+        best = best.min(wall);
+    }
+    Ok(SeriesOut {
+        name: "synthetic_dag_steps_per_sec",
+        unit: "steps/sec",
+        value: events / best,
+        detail: vec![
+            ("tasks", wf.num_tasks() as f64),
+            ("events", events),
+            ("wall_secs", best),
+        ],
+    })
+}
+
+/// Locates a repo-relative path from either the repo root or a crate dir.
+fn spec_path(rel: &str) -> std::path::PathBuf {
+    let direct = std::path::PathBuf::from(rel);
+    if direct.exists() {
+        return direct;
+    }
+    // Fall back to CARGO_MANIFEST_DIR/../.. (crates/bench → repo root).
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(rel);
+    p
+}
+
+/// Hand-rendered stable-keyed JSON (two decimal places on rates keeps
+/// run-to-run jitter out of diffs while pinning the magnitude).
+fn render(smoke: bool, series: &[SeriesOut]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"pr\": {PR},\n"));
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str("  \"series\": [\n");
+    for (i, sr) in series.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", sr.name));
+        s.push_str(&format!("      \"unit\": \"{}\",\n", sr.unit));
+        s.push_str(&format!("      \"value\": {:.2},\n", sr.value));
+        for (j, (k, v)) in sr.detail.iter().enumerate() {
+            let comma = if j + 1 == sr.detail.len() { "" } else { "," };
+            // Counts render as integers, timings keep microsecond detail.
+            if v.fract() == 0.0 && *v < 1e15 {
+                s.push_str(&format!("      \"{k}\": {}{comma}\n", *v as u64));
+            } else {
+                s.push_str(&format!("      \"{k}\": {v:.6}{comma}\n"));
+            }
+        }
+        s.push_str(if i + 1 == series.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

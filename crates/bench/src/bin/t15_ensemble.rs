@@ -104,15 +104,19 @@ fn run_spec(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         "energy (J)",
     ]);
     for row in &report.summary {
+        let dash = |v: Option<f64>, prec: usize| match v {
+            Some(v) => format!("{v:.prec$}"),
+            None => "-".to_owned(),
+        };
         println!(
-            "{:>16}{:>16}{:>16}{:>16}{:>16.4}{:>16.3}{:>16.1}",
+            "{:>16}{:>16}{:>16}{:>16}{:>16}{:>16}{:>16}",
             row.family,
             row.platform,
             row.scheduler,
             row.cells,
-            row.mean_makespan_secs,
-            row.mean_slr,
-            row.mean_energy_j
+            dash(row.mean_makespan_secs, 4),
+            dash(row.mean_slr, 3),
+            dash(row.mean_energy_j, 1)
         );
     }
     if let Some(out) = &args.out {

@@ -413,16 +413,22 @@ fn write_sweep_summary(
         "family", "platform", "scheduler", "cells", "makespan (s)", "SLR", "energy (J)", "compl"
     )?;
     for row in &report.summary {
+        // Rows where no cell completed have no means: print a dash, not
+        // a zero that would read as an instant run.
+        let dash = |v: Option<f64>, prec: usize| match v {
+            Some(v) => format!("{v:.prec$}"),
+            None => "-".to_owned(),
+        };
         writeln!(
             out,
-            "{:<14}{:<14}{:<12}{:>6}{:>16.6}{:>10.3}{:>14.1}{:>8.2}",
+            "{:<14}{:<14}{:<12}{:>6}{:>16}{:>10}{:>14}{:>8.2}",
             row.family,
             row.platform,
             row.scheduler,
             row.cells,
-            row.mean_makespan_secs,
-            row.mean_slr,
-            row.mean_energy_j,
+            dash(row.mean_makespan_secs, 6),
+            dash(row.mean_slr, 3),
+            dash(row.mean_energy_j, 1),
             row.completion_probability
         )?;
     }

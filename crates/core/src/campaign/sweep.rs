@@ -165,7 +165,8 @@ pub struct CellResult {
     #[serde(default)]
     pub rematerialized_bytes: f64,
     /// Why an incomplete cell stopped: `retries_exhausted`,
-    /// `all_devices_lost` or `timed_out`. `None` for completed cells.
+    /// `all_devices_lost`, `timed_out` or `infeasible`. `None` for
+    /// completed cells.
     #[serde(default)]
     pub incomplete_reason: Option<String>,
 }
@@ -208,12 +209,20 @@ pub struct SummaryRow {
     pub scheduler: String,
     /// Cells aggregated into this row.
     pub cells: usize,
-    /// Mean makespan over completed cells, seconds.
-    pub mean_makespan_secs: f64,
-    /// Mean schedule length ratio over completed cells.
-    pub mean_slr: f64,
-    /// Mean energy over completed cells, joules.
-    pub mean_energy_j: f64,
+    /// Mean makespan over completed cells, seconds. `None` (serialized
+    /// as `null`) when every cell in the row is incomplete: there is
+    /// nothing to average, and a missing mean must stay distinguishable
+    /// from a genuine zero.
+    #[serde(default)]
+    pub mean_makespan_secs: Option<f64>,
+    /// Mean schedule length ratio over completed cells; `None` for
+    /// rows with no completed cells.
+    #[serde(default)]
+    pub mean_slr: Option<f64>,
+    /// Mean energy over completed cells, joules; `None` for rows with
+    /// no completed cells.
+    #[serde(default)]
+    pub mean_energy_j: Option<f64>,
     /// Fraction of the row's cells that ran to completion (1.0 without
     /// fault injection).
     #[serde(default = "default_one")]
@@ -424,8 +433,6 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         .ok_or_else(|| EngineError::Config(format!("unknown scheduler {:?}", cell.scheduler)))?;
 
     let wf = class.generate(spec.tasks, cell.seed)?;
-    let plan = scheduler.schedule(&wf, &platform)?;
-    let plan = apply_dvfs(spec.dvfs, &platform, plan)?;
 
     let faults = match &spec.faults {
         None => None,
@@ -471,17 +478,26 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
     };
 
     let resilient = config.resilience.is_some();
-    let outcome = if resilient {
-        ResilientRunner::new(config).execute_plan(&platform, &wf, &plan)
-    } else {
-        Engine::new(config).execute_plan(&platform, &wf, &plan)
-    };
+    // Planning and execution share one error funnel: an infeasible
+    // family × platform pairing fails in `schedule`, everything else in
+    // the runner, and both must become measurements when classifiable.
+    let outcome = scheduler
+        .schedule(&wf, &platform)
+        .map_err(EngineError::from)
+        .and_then(|plan| apply_dvfs(spec.dvfs, &platform, plan))
+        .and_then(|plan| {
+            if resilient {
+                ResilientRunner::new(config).execute_plan(&platform, &wf, &plan)
+            } else {
+                Engine::new(config).execute_plan(&platform, &wf, &plan)
+            }
+        });
     let report = match outcome {
         Ok(report) => report,
-        // A lost or stalled workload is a measurement, not a driver
-        // error: the cell records completed = false, zero metrics and
-        // why it stopped, and its failure depresses the row's
-        // completion probability. Both paths classify through
+        // A lost, stalled or never-placeable workload is a measurement,
+        // not a driver error: the cell records completed = false, zero
+        // metrics and why it stopped, and its failure depresses the
+        // row's completion probability. All paths classify through
         // [`IncompleteReason`], the one normalized vocabulary — no
         // runner gets to invent its own reason strings.
         Err(e) => match IncompleteReason::from_error(&e) {
@@ -647,10 +663,13 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> 
 ///
 /// Means cover completed cells only (a lost workload has no makespan);
 /// incomplete cells count toward the row's size and depress its
-/// completion probability instead.
+/// completion probability instead. A row where *every* cell is
+/// incomplete carries `None` means: `0.0` would be indistinguishable
+/// from a genuinely instant run.
 fn summarize(cells: &[CellResult]) -> Vec<SummaryRow> {
     let mut rows: Vec<SummaryRow> = Vec::new();
     let mut done_per_row: Vec<usize> = Vec::new();
+    let mut sums: Vec<(f64, f64, f64)> = Vec::new();
     for c in cells {
         let at = match rows.iter().position(|r| {
             r.family == c.family && r.platform == c.platform && r.scheduler == c.scheduler
@@ -662,30 +681,30 @@ fn summarize(cells: &[CellResult]) -> Vec<SummaryRow> {
                     platform: c.platform.clone(),
                     scheduler: c.scheduler.clone(),
                     cells: 0,
-                    mean_makespan_secs: 0.0,
-                    mean_slr: 0.0,
-                    mean_energy_j: 0.0,
+                    mean_makespan_secs: None,
+                    mean_slr: None,
+                    mean_energy_j: None,
                     completion_probability: 0.0,
                 });
                 done_per_row.push(0);
+                sums.push((0.0, 0.0, 0.0));
                 rows.len() - 1
             }
         };
-        let row = &mut rows[at];
-        row.cells += 1;
+        rows[at].cells += 1;
         if c.completed {
             done_per_row[at] += 1;
-            row.mean_makespan_secs += c.makespan_secs;
-            row.mean_slr += c.slr;
-            row.mean_energy_j += c.energy_j;
+            sums[at].0 += c.makespan_secs;
+            sums[at].1 += c.slr;
+            sums[at].2 += c.energy_j;
         }
     }
-    for (row, &done) in rows.iter_mut().zip(&done_per_row) {
+    for ((row, &done), sum) in rows.iter_mut().zip(&done_per_row).zip(&sums) {
         if done > 0 {
             let n = done as f64;
-            row.mean_makespan_secs /= n;
-            row.mean_slr /= n;
-            row.mean_energy_j /= n;
+            row.mean_makespan_secs = Some(sum.0 / n);
+            row.mean_slr = Some(sum.1 / n);
+            row.mean_energy_j = Some(sum.2 / n);
         }
         row.completion_probability = done as f64 / row.cells as f64;
     }
@@ -888,10 +907,88 @@ mod tests {
         );
         if lost.len() < report.cells.len() {
             assert!(
-                row.mean_makespan_secs > 0.0,
+                row.mean_makespan_secs.expect("some cell completed") > 0.0,
                 "means cover completed cells only"
             );
         }
+    }
+
+    #[test]
+    fn rows_with_no_completed_cells_have_null_means() {
+        // A lethal failure model (sub-millisecond MTTF, one retry) loses
+        // every cell: the row must carry absent means — `0.0` would be
+        // indistinguishable from a genuinely instant run — and the JSON
+        // form must say `null`, not `0.0`.
+        let spec = resilient_spec(
+            r#"{"kind": "retry-backoff", "base_secs": 0.0, "factor": 2.0,
+                "cap_secs": 0.0, "max_retries": 1}"#,
+        );
+        let spec = CampaignSpec {
+            resilience: spec.resilience.map(|mut rk| {
+                rk.mttf_secs = 0.0001;
+                rk
+            }),
+            ..spec
+        };
+        let report = SweepDriver::new(1).run(&spec).unwrap();
+        assert!(
+            report.cells.iter().all(|c| !c.completed),
+            "a 0.1 ms MTTF with one retry must lose every cell"
+        );
+        let row = &report.summary[0];
+        assert_eq!(row.completion_probability, 0.0);
+        assert_eq!(row.mean_makespan_secs, None);
+        assert_eq!(row.mean_slr, None);
+        assert_eq!(row.mean_energy_j, None);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"mean_makespan_secs\":null"), "{json}");
+        // And the null round-trips.
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn infeasible_combinations_are_measurements_not_errors() {
+        // cybershake working sets exceed every edge_soc device: the
+        // planner can never place them. Such cells must come back as
+        // incomplete measurements with the pinned `infeasible` reason —
+        // a grid mixing heavyweight families with small platforms would
+        // otherwise crash the whole sweep.
+        let spec = CampaignSpec::from_json(
+            r#"{
+                "name": "infeasible",
+                "families": ["cybershake", "montage"],
+                "platforms": ["edge_soc"],
+                "schedulers": ["heft"],
+                "seeds": {"base": 0, "count": 2},
+                "tasks": 30,
+                "noise_cv": 0.1
+            }"#,
+        )
+        .unwrap();
+        let report = SweepDriver::new(1).run(&spec).unwrap();
+        let (cyber, montage): (Vec<&CellResult>, Vec<&CellResult>) =
+            report.cells.iter().partition(|c| c.family == "cybershake");
+        assert!(
+            cyber.iter().all(|c| !c.completed
+                && c.incomplete_reason.as_deref() == Some("infeasible")
+                && c.makespan_secs == 0.0),
+            "infeasible cells are zero-metric measurements"
+        );
+        assert!(
+            montage.iter().all(|c| c.completed),
+            "feasible families in the same grid still run"
+        );
+        let cyber_row = report
+            .summary
+            .iter()
+            .find(|r| r.family == "cybershake")
+            .unwrap();
+        assert_eq!(cyber_row.completion_probability, 0.0);
+        assert_eq!(cyber_row.mean_makespan_secs, None);
+        // Jobs-invariance holds for infeasible cells too.
+        let par = SweepDriver::new(4).run(&spec).unwrap();
+        assert_eq!(report, par);
     }
 
     #[test]

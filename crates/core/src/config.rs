@@ -226,6 +226,31 @@ impl EngineConfig {
         Ok(())
     }
 
+    /// [`validate`](EngineConfig::validate) plus the platform-dependent
+    /// checks every executor runs at entry: a configured
+    /// `device_slowdown` vector must name exactly one factor per device.
+    /// A shorter vector used to silently un-slow the devices it missed
+    /// (`v.get(device)` fell back to 1.0); now the mismatch is a typed
+    /// error naming both counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] on any validation failure.
+    pub fn validate_for(&self, platform: &helios_platform::Platform) -> Result<(), EngineError> {
+        self.validate()?;
+        if let Some(slow) = &self.device_slowdown {
+            if slow.len() != platform.num_devices() {
+                return Err(EngineError::Config(format!(
+                    "device_slowdown has {} factors but the platform has {} devices; \
+                     list exactly one factor per device",
+                    slow.len(),
+                    platform.num_devices()
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Resolves the fault parameters the per-attempt occupancy model
     /// runs with. A [`ResilienceConfig`] maps onto it only when its
     /// failure model is exponential and transient-only and its policy is
@@ -323,6 +348,53 @@ mod tests {
         assert!(FaultConfig::new(100.0, SimDuration::ZERO, 1).is_ok());
         assert!(CheckpointConfig::new(SimDuration::ZERO, SimDuration::ZERO).is_err());
         assert!(CheckpointConfig::new(SimDuration::from_secs(1.0), SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn slowdown_vector_must_match_the_platform_device_count() {
+        // A workstation has more than two devices: a two-entry vector
+        // used to silently leave the rest at full speed. Now it is a
+        // typed config error naming both counts.
+        let platform = helios_platform::presets::workstation();
+        let c = EngineConfig {
+            device_slowdown: Some(vec![1.5, 2.0]),
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok(), "length is a platform-level concern");
+        let err = c.validate_for(&platform).unwrap_err().to_string();
+        assert!(err.contains("2 factors"), "{err}");
+        assert!(
+            err.contains(&format!("{} devices", platform.num_devices())),
+            "{err}"
+        );
+        let c = EngineConfig {
+            device_slowdown: Some(vec![1.0; platform.num_devices()]),
+            ..Default::default()
+        };
+        assert!(c.validate_for(&platform).is_ok());
+        // Executors reject the mismatch at entry.
+        let wf = helios_workflow::generators::synthetic::layered_random(
+            &helios_workflow::generators::synthetic::LayeredConfig {
+                levels: 2,
+                width: 2,
+                ..Default::default()
+            },
+            7,
+        )
+        .unwrap();
+        let bad = EngineConfig {
+            device_slowdown: Some(vec![2.0]),
+            ..Default::default()
+        };
+        let err = crate::Engine::new(bad)
+            .run(
+                &platform,
+                &wf,
+                &helios_sched::RoundRobinScheduler::default(),
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("1 factors"), "{err}");
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! The simulated plan executor.
 
-use std::collections::BTreeMap;
-
 use helios_platform::{DeviceId, DvfsLevel, Platform};
 use helios_sched::{Placement, Schedule, Scheduler};
 use helios_sim::trace::Trace;
@@ -84,12 +82,11 @@ impl Engine {
         wf: &Workflow,
         plan: &Schedule,
     ) -> Result<ExecutionReport, EngineError> {
-        self.config.validate()?;
+        self.config.validate_for(platform)?;
         let mut exec = PlanExec::new(&self.config, platform, wf, plan)?;
         // Kick off: every device tries its queue head at t = 0.
-        let devices: Vec<DeviceId> = exec.device_queue.keys().copied().collect();
-        for &d in &devices {
-            exec.try_start(d, SimTime::ZERO)?;
+        for d in 0..platform.num_devices() {
+            exec.try_start(DeviceId(d), SimTime::ZERO)?;
         }
         drive(&mut exec)?;
         finish_report(
@@ -106,17 +103,24 @@ impl Engine {
 
 /// The static-plan hook set: per-device plan queues dispatched
 /// head-first, with arrivals and finishes as the only events.
+///
+/// All per-device state lives in device-indexed arenas (the plan's
+/// devices are dense platform indices), and per-task noise is drawn up
+/// front from each task's dedicated stream — both byte-identical to the
+/// map-keyed, fork-per-start layout they replaced, since device
+/// iteration order and the noise streams are unchanged.
 struct PlanExec<'a> {
     config: &'a EngineConfig,
     platform: &'a Platform,
     wf: &'a Workflow,
     view: FaultView,
     base_rng: SimRng,
-    device_queue: BTreeMap<DeviceId, Vec<TaskId>>,
-    device_pos: BTreeMap<DeviceId, usize>,
-    device_busy: BTreeMap<DeviceId, bool>,
+    device_queue: Vec<Vec<TaskId>>,
+    device_pos: Vec<usize>,
+    device_busy: Vec<bool>,
     assigned_device: Vec<DeviceId>,
     level: Vec<DvfsLevel>,
+    noise: Vec<f64>,
     inputs_pending: Vec<usize>,
     started: Vec<bool>,
     realized: Vec<Option<Placement>>,
@@ -127,6 +131,9 @@ struct PlanExec<'a> {
     trace: Option<Trace>,
     delivered: DeliveredCache,
     queue: EventQueue<Event>,
+    /// Scratch for one finish's outgoing arrivals, staged then
+    /// bulk-pushed; reused across events to avoid per-step allocation.
+    arrivals: Vec<(SimTime, TaskId)>,
     completed: usize,
 }
 
@@ -138,28 +145,36 @@ impl<'a> PlanExec<'a> {
         plan: &Schedule,
     ) -> Result<PlanExec<'a>, EngineError> {
         let n = wf.num_tasks();
-        // Plan-derived structures.
-        let device_queue: BTreeMap<DeviceId, Vec<TaskId>> = plan.tasks_by_device();
-        let device_pos: BTreeMap<DeviceId, usize> = device_queue.keys().map(|&d| (d, 0)).collect();
-        let device_busy: BTreeMap<DeviceId, bool> =
-            device_queue.keys().map(|&d| (d, false)).collect();
+        let nd = platform.num_devices();
+        // Plan-derived structures, as dense device-indexed arenas.
+        let mut device_queue: Vec<Vec<TaskId>> = vec![Vec::new(); nd];
+        for (dev, q) in plan.tasks_by_device() {
+            device_queue[dev.0] = q;
+        }
         let mut assigned_device = vec![DeviceId(0); n];
         let mut level = vec![DvfsLevel(0); n];
         for p in plan.placements() {
             assigned_device[p.task.0] = p.device;
             level[p.task.0] = p.level;
         }
+        let base_rng = SimRng::seed_from(config.seed);
         Ok(PlanExec {
             view: config.fault_view()?,
-            base_rng: SimRng::seed_from(config.seed),
             trace: config.tracing.then(Trace::new),
-            delivered: DeliveredCache::new(config.data_caching),
+            delivered: DeliveredCache::new(config.data_caching, n, nd),
+            // Task-intrinsic noise: each task's factor comes from its own
+            // stream, so drawing all of them up front replays the exact
+            // values the per-start forks produced.
+            noise: (0..n)
+                .map(|t| noise_factor(config.noise_cv, &base_rng, t))
+                .collect(),
+            base_rng,
             config,
             platform,
             wf,
             device_queue,
-            device_pos,
-            device_busy,
+            device_pos: vec![0; nd],
+            device_busy: vec![false; nd],
             assigned_device,
             level,
             inputs_pending: (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect(),
@@ -170,6 +185,7 @@ impl<'a> PlanExec<'a> {
             failures: 0,
             retries: 0,
             queue: EventQueue::new(),
+            arrivals: Vec::new(),
             completed: 0,
         })
     }
@@ -177,11 +193,11 @@ impl<'a> PlanExec<'a> {
     /// A task starts when its inputs are at its device, it heads its
     /// device's plan queue, and the device is idle.
     fn try_start(&mut self, dev: DeviceId, now: SimTime) -> Result<(), EngineError> {
-        if self.device_busy[&dev] {
+        if self.device_busy[dev.0] {
             return Ok(());
         }
-        let pos = self.device_pos[&dev];
-        let q = &self.device_queue[&dev];
+        let pos = self.device_pos[dev.0];
+        let q = &self.device_queue[dev.0];
         if pos >= q.len() {
             return Ok(());
         }
@@ -190,10 +206,10 @@ impl<'a> PlanExec<'a> {
             return Ok(());
         }
         self.started[task.0] = true;
-        *self.device_busy.get_mut(&dev).expect("known device") = true;
+        self.device_busy[dev.0] = true;
         let device = self.platform.device(dev)?;
         let modeled = device.execution_time(self.wf.task(task)?.cost(), self.level[task.0])?;
-        let noise = noise_factor(self.config.noise_cv, &self.base_rng, task.0);
+        let noise = self.noise[task.0];
         let slow = slowdown_factor(self.config.device_slowdown.as_ref(), dev.0);
         let actual = modeled * noise * slow;
         let occ = fault_occupancy(&self.view, &self.base_rng, actual, task, dev.0)?;
@@ -249,20 +265,31 @@ impl Hooks for PlanExec<'_> {
             Event::Finish(task) => {
                 self.completed += 1;
                 let dev = self.assigned_device[task.0];
-                *self.device_busy.get_mut(&dev).expect("known device") = false;
-                *self.device_pos.get_mut(&dev).expect("known device") += 1;
-                // Launch output transfers.
+                self.device_busy[dev.0] = false;
+                self.device_pos[dev.0] += 1;
+                // Stage output transfers in edge order, then bulk-push:
+                // a finish commonly fans out several same-timestamp
+                // arrivals (cached or co-located consumers), which the
+                // queue can sequence as one reserved batch. Staging
+                // preserves the push order, so tie-break sequencing is
+                // unchanged.
                 let wf = self.wf;
+                self.arrivals.clear();
                 for &e in wf.successors(task) {
                     let edge = wf.edge(e);
                     let dst_dev = self.assigned_device[edge.dst.0];
                     if let Some(at) = self.delivered.lookup(task, dst_dev) {
                         // The product is already on (or en route to)
                         // that device: no second transfer.
-                        self.queue.push(at.max(now), Event::Arrival(edge.dst));
+                        self.arrivals.push((at.max(now), edge.dst));
                         continue;
                     }
-                    let label = format!("{}->{}", edge.src, edge.dst);
+                    // The transfer label is only rendered when a trace
+                    // is actually recording.
+                    let label = self
+                        .trace
+                        .is_some()
+                        .then(|| format!("{}->{}", edge.src, edge.dst));
                     let arrival = self.links.transfer_arrival(
                         self.platform,
                         self.config.link_contention,
@@ -271,10 +298,27 @@ impl Hooks for PlanExec<'_> {
                         dst_dev,
                         now,
                         &mut self.stats,
-                        self.trace.as_mut().map(|t| (t, label.as_str())),
+                        self.trace
+                            .as_mut()
+                            .and_then(|t| label.as_deref().map(|l| (t, l))),
                     )?;
                     self.delivered.record(task, dst_dev, arrival);
-                    self.queue.push(arrival, Event::Arrival(edge.dst));
+                    self.arrivals.push((arrival, edge.dst));
+                }
+                let mut i = 0;
+                while i < self.arrivals.len() {
+                    let at = self.arrivals[i].0;
+                    let mut j = i + 1;
+                    while j < self.arrivals.len() && self.arrivals[j].0 == at {
+                        j += 1;
+                    }
+                    self.queue.push_batch(
+                        at,
+                        self.arrivals[i..j]
+                            .iter()
+                            .map(|&(_, dst)| Event::Arrival(dst)),
+                    );
+                    i = j;
                 }
                 self.try_start(dev, now)
             }

@@ -110,7 +110,7 @@ impl EnsembleRunner {
         platform: &Platform,
         members: &[EnsembleMember],
     ) -> Result<EnsembleReport, EngineError> {
-        self.config.validate()?;
+        self.config.validate_for(platform)?;
         if members.is_empty() {
             return Err(EngineError::Config("ensemble has no members".into()));
         }

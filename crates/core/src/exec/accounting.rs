@@ -66,24 +66,32 @@ pub enum IncompleteReason {
     /// Every device failed permanently
     /// ([`EngineError::AllDevicesLost`]).
     AllDevicesLost,
+    /// No device on the platform can hold some task's working set
+    /// ([`SchedError::NoFeasibleDevice`](helios_sched::SchedError)), so
+    /// the cell could never have run. A grid pairing a large-memory
+    /// family with a small-memory platform is a measurement — completion
+    /// probability zero — not a campaign-driver crash.
+    Infeasible,
 }
 
 impl IncompleteReason {
     /// All reasons, in report order.
-    pub const ALL: [IncompleteReason; 3] = [
+    pub const ALL: [IncompleteReason; 4] = [
         IncompleteReason::TimedOut,
         IncompleteReason::RetriesExhausted,
         IncompleteReason::AllDevicesLost,
+        IncompleteReason::Infeasible,
     ];
 
     /// The canonical report string (`timed_out`, `retries_exhausted`,
-    /// `all_devices_lost`).
+    /// `all_devices_lost`, `infeasible`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             IncompleteReason::TimedOut => "timed_out",
             IncompleteReason::RetriesExhausted => "retries_exhausted",
             IncompleteReason::AllDevicesLost => "all_devices_lost",
+            IncompleteReason::Infeasible => "infeasible",
         }
     }
 
@@ -95,6 +103,9 @@ impl IncompleteReason {
             EngineError::StepBudgetExceeded { .. } => Some(IncompleteReason::TimedOut),
             EngineError::RetriesExhausted { .. } => Some(IncompleteReason::RetriesExhausted),
             EngineError::AllDevicesLost { .. } => Some(IncompleteReason::AllDevicesLost),
+            EngineError::Sched(helios_sched::SchedError::NoFeasibleDevice(_)) => {
+                Some(IncompleteReason::Infeasible)
+            }
             _ => None,
         }
     }
@@ -116,7 +127,12 @@ mod tests {
         let strings: Vec<&str> = IncompleteReason::ALL.iter().map(|r| r.as_str()).collect();
         assert_eq!(
             strings,
-            vec!["timed_out", "retries_exhausted", "all_devices_lost"]
+            vec![
+                "timed_out",
+                "retries_exhausted",
+                "all_devices_lost",
+                "infeasible"
+            ]
         );
     }
 
@@ -146,7 +162,20 @@ mod tests {
             Some(IncompleteReason::AllDevicesLost)
         );
         assert_eq!(
+            IncompleteReason::from_error(&EngineError::Sched(
+                helios_sched::SchedError::NoFeasibleDevice(TaskId(1))
+            )),
+            Some(IncompleteReason::Infeasible)
+        );
+        assert_eq!(
             IncompleteReason::from_error(&EngineError::Config("x".into())),
+            None
+        );
+        // Other scheduling errors are real bugs and must propagate.
+        assert_eq!(
+            IncompleteReason::from_error(&EngineError::Sched(
+                helios_sched::SchedError::Unscheduled(TaskId(0))
+            )),
             None
         );
     }

@@ -2,8 +2,6 @@
 //! the data-product residency cache. The single copy shared by every
 //! execution path.
 
-use std::collections::BTreeMap;
-
 use helios_platform::{DeviceId, Platform};
 use helios_sim::{SimDuration, SimTime};
 use helios_workflow::TaskId;
@@ -129,59 +127,135 @@ impl LinkState {
     }
 }
 
-/// Data-product residency for `data_caching`: maps `(producer,
-/// destination device)` to the instant the product is (or will be)
-/// available there, so a product is shipped to a device at most once.
-/// Disabled, every lookup misses and every record is a no-op, so the
-/// cache can be threaded through unconditionally.
+/// Data-product residency for `data_caching`: the instant each
+/// producer's product is (or will be) available on each device, so a
+/// product is shipped to a device at most once. Disabled, every lookup
+/// misses and every record is a no-op, so the cache can be threaded
+/// through unconditionally.
+///
+/// Residency is a task-major paged arena — one lazily-allocated
+/// device-indexed page per producer — so the per-step `lookup`/`record`/
+/// `has` calls are O(1) array indexing instead of a `BTreeMap` walk over
+/// `(TaskId, DeviceId)` keys, and [`surviving_copy`] scans one page
+/// instead of the whole map. Pages only exist for tasks that have
+/// actually produced something, so a 10⁵-task run with caching disabled
+/// costs one empty `Vec`.
+///
+/// [`surviving_copy`]: DeliveredCache::surviving_copy
 #[derive(Debug, Default)]
 pub(crate) struct DeliveredCache {
     enabled: bool,
-    map: BTreeMap<(TaskId, DeviceId), SimTime>,
+    num_devices: usize,
+    /// `pages[task][device]` = availability instant, `None` when absent.
+    pages: Vec<Option<Box<[Option<SimTime>]>>>,
 }
 
 impl DeliveredCache {
-    pub(crate) fn new(enabled: bool) -> DeliveredCache {
+    pub(crate) fn new(enabled: bool, num_tasks: usize, num_devices: usize) -> DeliveredCache {
         DeliveredCache {
             enabled,
-            map: BTreeMap::new(),
+            num_devices,
+            pages: if enabled {
+                let mut v = Vec::new();
+                v.resize_with(num_tasks, || None);
+                v
+            } else {
+                Vec::new()
+            },
         }
     }
 
     /// The availability instant of `src`'s product on `dev`, if cached.
     pub(crate) fn lookup(&self, src: TaskId, dev: DeviceId) -> Option<SimTime> {
-        if !self.enabled {
-            return None;
-        }
-        self.map.get(&(src, dev)).copied()
+        self.pages.get(src.0)?.as_ref()?.get(dev.0).copied()?
     }
 
     /// Records that `src`'s product reaches `dev` at `at`.
     pub(crate) fn record(&mut self, src: TaskId, dev: DeviceId, at: SimTime) {
-        if self.enabled {
-            self.map.insert((src, dev), at);
+        if !self.enabled {
+            return;
         }
+        let num_devices = self.num_devices;
+        let page =
+            self.pages[src.0].get_or_insert_with(|| vec![None; num_devices].into_boxed_slice());
+        page[dev.0] = Some(at);
     }
 
     /// Whether `src`'s product is resident (or en route) on `dev`.
     pub(crate) fn has(&self, src: TaskId, dev: DeviceId) -> bool {
-        self.enabled && self.map.contains_key(&(src, dev))
+        self.lookup(src, dev).is_some()
     }
 
     /// Drops every copy held on a device `is_up` rejects (permanent
     /// device loss destroys resident products).
     pub(crate) fn purge_lost(&mut self, is_up: impl Fn(DeviceId) -> bool) {
-        self.map.retain(|&(_, dev), _| is_up(dev));
+        for page in self.pages.iter_mut().flatten() {
+            for (d, slot) in page.iter_mut().enumerate() {
+                if slot.is_some() && !is_up(DeviceId(d)) {
+                    *slot = None;
+                }
+            }
+        }
     }
 
-    /// The lowest-numbered surviving copy of `src`'s product, as
-    /// `(device index, availability instant)` — the deterministic pick
-    /// for lineage recovery.
+    /// The surviving copy of `src`'s product picked for lineage
+    /// recovery, as `(device index, availability instant)`: earliest
+    /// availability first, lowest device index on ties — the copy that
+    /// unblocks re-staging soonest, deterministically.
     pub(crate) fn surviving_copy(&self, src: TaskId) -> Option<(usize, SimTime)> {
-        self.map
-            .iter()
-            .filter(|((s, _), _)| *s == src)
-            .map(|((_, dev), &at)| (dev.0, at))
-            .min()
+        let page = self.pages.get(src.0)?.as_ref()?;
+        page.iter()
+            .enumerate()
+            .filter_map(|(d, at)| at.map(|at| (d, at)))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn cache_is_inert_when_disabled() {
+        let mut c = DeliveredCache::new(false, 4, 2);
+        c.record(TaskId(0), DeviceId(1), t(1.0));
+        assert_eq!(c.lookup(TaskId(0), DeviceId(1)), None);
+        assert!(!c.has(TaskId(0), DeviceId(1)));
+        assert_eq!(c.surviving_copy(TaskId(0)), None);
+    }
+
+    #[test]
+    fn record_lookup_purge_roundtrip() {
+        let mut c = DeliveredCache::new(true, 3, 3);
+        c.record(TaskId(1), DeviceId(0), t(2.0));
+        c.record(TaskId(1), DeviceId(2), t(1.0));
+        assert_eq!(c.lookup(TaskId(1), DeviceId(0)), Some(t(2.0)));
+        assert!(c.has(TaskId(1), DeviceId(2)));
+        assert!(!c.has(TaskId(1), DeviceId(1)));
+        assert!(!c.has(TaskId(0), DeviceId(0)));
+        c.purge_lost(|d| d.0 != 2);
+        assert!(!c.has(TaskId(1), DeviceId(2)));
+        assert_eq!(c.lookup(TaskId(1), DeviceId(0)), Some(t(2.0)));
+    }
+
+    /// Regression for the lineage-recovery tie-break: the pick is the
+    /// copy available *earliest*, with the device index only breaking
+    /// exact-time ties — not the lowest device regardless of when its
+    /// copy lands.
+    #[test]
+    fn surviving_copy_prefers_earliest_then_lowest_device() {
+        let mut c = DeliveredCache::new(true, 2, 3);
+        // Device 0 holds a late copy, device 2 an early one.
+        c.record(TaskId(0), DeviceId(0), t(9.0));
+        c.record(TaskId(0), DeviceId(2), t(3.0));
+        assert_eq!(c.surviving_copy(TaskId(0)), Some((2, t(3.0))));
+        // Exact-time tie: lowest device wins.
+        c.record(TaskId(0), DeviceId(1), t(3.0));
+        assert_eq!(c.surviving_copy(TaskId(0)), Some((1, t(3.0))));
+        assert_eq!(c.surviving_copy(TaskId(1)), None);
     }
 }

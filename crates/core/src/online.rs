@@ -109,7 +109,7 @@ impl OnlineRunner {
     /// Returns [`EngineError::RetriesExhausted`] under fault injection
     /// when a task exceeds its retry budget, or propagates model errors.
     pub fn run(&self, platform: &Platform, wf: &Workflow) -> Result<ExecutionReport, EngineError> {
-        self.config.validate()?;
+        self.config.validate_for(platform)?;
         let n = wf.num_tasks();
         // The dispatcher's beliefs come from the estimate view when one
         // is attached; execution always uses the true costs in `wf`.
@@ -126,6 +126,7 @@ impl OnlineRunner {
         let preds_left: Vec<usize> = (0..n).map(|i| wf.predecessors(TaskId(i)).len()).collect();
         let ready: Vec<TaskId> = (0..n).filter(|&i| preds_left[i] == 0).map(TaskId).collect();
 
+        let base_rng = SimRng::seed_from(self.config.seed);
         let mut exec = OnlineExec {
             config: &self.config,
             policy: self.policy,
@@ -134,17 +135,24 @@ impl OnlineRunner {
             wf,
             believed,
             view: self.config.fault_view()?,
-            base_rng: SimRng::seed_from(self.config.seed),
+            // Task-intrinsic noise: each task's factor comes from its own
+            // stream, so drawing all of them up front replays the exact
+            // values the per-dispatch forks produced.
+            noise: (0..n)
+                .map(|t| noise_factor(self.config.noise_cv, &base_rng, t))
+                .collect(),
+            base_rng,
             ranks,
             preds_left,
             producer_device: vec![DeviceId(0); n],
             realized: vec![None; n],
             ready,
+            candidates: Vec::new(),
             device_idle: vec![true; platform.num_devices()],
             links: LinkState::new(platform),
             stats: TransferStats::default(),
             trace: self.config.tracing.then(Trace::new),
-            delivered: DeliveredCache::new(self.config.data_caching),
+            delivered: DeliveredCache::new(self.config.data_caching, n, platform.num_devices()),
             failures: 0,
             retries: 0,
             completed: 0,
@@ -185,11 +193,15 @@ struct OnlineExec<'a> {
     believed: &'a Workflow,
     view: FaultView,
     base_rng: SimRng,
+    noise: Vec<f64>,
     ranks: Vec<f64>,
     preds_left: Vec<usize>,
     producer_device: Vec<DeviceId>,
     realized: Vec<Option<Placement>>,
     ready: Vec<TaskId>,
+    /// Scratch for one dispatch round's policy-ordered candidates,
+    /// reused across rounds to avoid per-round clone + allocation.
+    candidates: Vec<TaskId>,
     device_idle: Vec<bool>,
     links: LinkState,
     stats: TransferStats,
@@ -244,27 +256,28 @@ impl OnlineExec<'_> {
     fn dispatch(&mut self, now: SimTime) -> Result<(), EngineError> {
         let platform = self.platform;
         let wf = self.wf;
-        'rounds: loop {
+        loop {
             let idle_count = self.device_idle.iter().filter(|&&i| i).count();
             if idle_count == 0 || self.ready.is_empty() {
                 break;
             }
             let pressure = self.ready.len() as f64 / idle_count as f64;
 
-            // Candidate tasks per policy.
-            let tasks: Vec<TaskId> = match self.policy {
-                OnlinePolicy::Jit => self.ready.clone(),
-                OnlinePolicy::RankedJit => {
-                    let mut sorted = self.ready.clone();
-                    sorted.sort_by(|a, b| {
-                        self.ranks[b.0]
-                            .total_cmp(&self.ranks[a.0])
-                            .then(a.0.cmp(&b.0))
-                    });
-                    sorted
-                }
-            };
-            for task in tasks {
+            // Candidate tasks per policy, staged in the reusable scratch
+            // (taken out of `self` for the duration of the round so the
+            // commit path below can borrow `self` mutably).
+            let mut tasks = std::mem::take(&mut self.candidates);
+            tasks.clear();
+            tasks.extend_from_slice(&self.ready);
+            if self.policy == OnlinePolicy::RankedJit {
+                tasks.sort_by(|a, b| {
+                    self.ranks[b.0]
+                        .total_cmp(&self.ranks[a.0])
+                        .then(a.0.cmp(&b.0))
+                });
+            }
+            let mut committed = false;
+            for &task in &tasks {
                 // Best device over ALL devices, busy ones at their
                 // predicted free time.
                 let mut best: Option<(DeviceId, DvfsLevel, f64)> = None;
@@ -304,7 +317,12 @@ impl OnlineExec<'_> {
                         start = start.max(at);
                         continue;
                     }
-                    let label = format!("{}->{}", edge.src, edge.dst);
+                    // The transfer label is only rendered when a trace
+                    // is actually recording.
+                    let label = self
+                        .trace
+                        .is_some()
+                        .then(|| format!("{}->{}", edge.src, edge.dst));
                     let arrival = self.links.transfer_arrival(
                         platform,
                         self.config.link_contention,
@@ -313,7 +331,9 @@ impl OnlineExec<'_> {
                         dev,
                         now,
                         &mut self.stats,
-                        self.trace.as_mut().map(|t| (t, label.as_str())),
+                        self.trace
+                            .as_mut()
+                            .and_then(|t| label.as_deref().map(|l| (t, l))),
                     )?;
                     self.delivered.record(edge.src, dev, arrival);
                     start = start.max(arrival);
@@ -323,7 +343,7 @@ impl OnlineExec<'_> {
                     device.execution_time(self.believed.task(task)?.cost(), level)?;
                 let modeled = device.execution_time(wf.task(task)?.cost(), level)?;
                 let slow = slowdown_factor(self.config.device_slowdown.as_ref(), dev.0);
-                let noise = noise_factor(self.config.noise_cv, &self.base_rng, task.0);
+                let noise = self.noise[task.0];
                 let occ = fault_occupancy(
                     &self.view,
                     &self.base_rng,
@@ -348,10 +368,14 @@ impl OnlineExec<'_> {
                 self.queue.push(finish, task);
                 // A commitment changed the state: restart the round so
                 // remaining tasks see the new free times.
-                continue 'rounds;
+                committed = true;
+                break;
             }
-            // No task could commit this round.
-            break;
+            self.candidates = tasks;
+            if !committed {
+                // No task could commit this round.
+                break;
+            }
         }
         Ok(())
     }

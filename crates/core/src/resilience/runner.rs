@@ -140,7 +140,7 @@ impl ResilientRunner {
         wf: &Workflow,
         plan: &Schedule,
     ) -> Result<ExecutionReport, EngineError> {
-        self.config.validate()?;
+        self.config.validate_for(platform)?;
         let res = self.config.resilience.as_ref().ok_or_else(|| {
             EngineError::Config("ResilientRunner requires EngineConfig::resilience".into())
         })?;
@@ -493,7 +493,7 @@ impl<'a> Sim<'a> {
             counters: Counters::default(),
             links: LinkState::new(platform),
             stats: TransferStats::default(),
-            delivered: DeliveredCache::new(cfg.data_caching),
+            delivered: DeliveredCache::new(cfg.data_caching, n, nd),
             queue: EventQueue::new(),
             process: res.failures.process()?,
             links_avail: LinkAvailability::new(nl),
@@ -890,13 +890,15 @@ impl<'a> Sim<'a> {
         self.completed += 1;
         self.devs[device.0].running = None;
         self.devs[device.0].pos += 1;
-        // First finisher wins: cancel every sibling.
-        let siblings = self.task_replicas[task.0].clone();
-        for si in siblings {
+        // First finisher wins: cancel every sibling. Taken, not cloned:
+        // `cancel_replica` never touches `task_replicas`.
+        let siblings = std::mem::take(&mut self.task_replicas[task.0]);
+        for &si in &siblings {
             if si != ri {
                 self.cancel_replica(si, now);
             }
         }
+        self.task_replicas[task.0] = siblings;
         let wf = self.wf;
         for &e in wf.successors(task) {
             let dst = wf.edge(e).dst.0;

@@ -1,0 +1,62 @@
+//! Property test pinning the hot-path rewrite: sweep reports are a
+//! pure function of the spec — worker count and shard geometry never
+//! leak into the bytes, across random seed bases and engine knobs.
+//!
+//! This is the campaign-level safety net for the arena/batching work in
+//! `helios_core::exec`: any nondeterminism the index-based state or the
+//! batched event queue introduced would show up here as a byte diff
+//! between the sequential reference and the parallel or sharded runs.
+
+use proptest::prelude::*;
+
+use helios_core::{merge_shards, CampaignSpec, ShardSpec, SweepDriver, SweepReport};
+
+fn spec_json(base: u64, noise_cv: f64, caching: bool, contention: bool) -> String {
+    format!(
+        r#"{{
+            "name": "prop-identity",
+            "families": ["montage", "epigenomics"],
+            "platforms": ["workstation"],
+            "schedulers": ["heft", "round-robin"],
+            "seeds": {{"base": {base}, "count": 2}},
+            "tasks": 18,
+            "noise_cv": {noise_cv},
+            "link_contention": {contention},
+            "data_caching": {caching}
+        }}"#
+    )
+}
+
+fn bytes(report: &SweepReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random seeds and engine knobs: `--jobs 1` vs `--jobs 4` and
+    /// the 1/1 vs {1/2, 2/2} partitions all produce the same bytes.
+    #[test]
+    fn sweep_reports_are_jobs_and_shard_invariant(
+        base in 0u64..1000,
+        noise in 0.0f64..0.3,
+        caching: bool,
+        contention: bool,
+    ) {
+        let spec = CampaignSpec::from_json(&spec_json(base, noise, caching, contention))
+            .expect("generated spec is valid");
+        let reference = bytes(&SweepDriver::new(1).run(&spec).expect("sequential run"));
+
+        let parallel = bytes(&SweepDriver::new(4).run(&spec).expect("parallel run"));
+        prop_assert_eq!(&reference, &parallel, "--jobs must not change the bytes");
+
+        let s1 = SweepDriver::new(1)
+            .run_shard(&spec, ShardSpec::new(1, 2).unwrap())
+            .expect("shard 1/2");
+        let s2 = SweepDriver::new(4)
+            .run_shard(&spec, ShardSpec::new(2, 2).unwrap())
+            .expect("shard 2/2");
+        let merged = bytes(&merge_shards(&[s2, s1]).expect("merge"));
+        prop_assert_eq!(&reference, &merged, "sharding must not change the bytes");
+    }
+}

@@ -105,7 +105,7 @@ fn sweep_report_roundtrips_through_json() {
     assert_eq!(report.summary.len(), 4, "one row per (family, scheduler)");
     for row in &report.summary {
         assert_eq!(row.cells, 2, "two seeds per combination");
-        assert!(row.mean_makespan_secs > 0.0 && row.mean_slr >= 1.0);
+        assert!(row.mean_makespan_secs.unwrap() > 0.0 && row.mean_slr.unwrap() >= 1.0);
     }
 }
 
