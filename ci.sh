@@ -104,6 +104,41 @@ pspec=examples/specs/partition_smoke.json
 cmp "$sweep_tmp/pfull.json" "$sweep_tmp/pmerged.json"
 echo "2-shard merge is byte-identical under the full fault stack"
 
+echo "==> adversarial fuzz smoke (differential oracles)"
+# A deterministic slice of the fuzz harness through the release binary:
+# 25 random campaign specs from seed 7, each checked against the
+# differential oracles (hooks-off identity, --jobs and shard
+# byte-identity, fault-free lower bound, schedule invariants). Any
+# divergence shrinks to a fixture and fails this step.
+"$helios" fuzz --seed 7 --runs 25
+
+echo "==> bugbase replay (fixed bugs stay fixed)"
+# Every committed fixture replays through the oracles, via the binary
+# and via the in-process harness test; the count cross-check makes a
+# fixture the replay did not pick up a hard failure.
+fixture_count=$(ls tests/bugbase/*.json | wc -l | tr -d ' ')
+"$helios" fuzz --replay tests/bugbase | tee "$sweep_tmp/replay.log"
+if ! grep -q "replayed $fixture_count fixture(s), 0 diverging" "$sweep_tmp/replay.log"; then
+    echo "bugbase replay missed fixtures: expected $fixture_count, see replay.log" >&2
+    exit 1
+fi
+cargo test -q --test bugbase
+
+echo "==> infeasible-grid smoke (incomplete cells survive shard merge)"
+# cybershake on edge_soc can never be placed: every cell must come back
+# as an `infeasible` measurement with null summary means, and a 2-shard
+# partition must recombine byte-identical to the unsharded run.
+ispec=examples/specs/infeasible_smoke.json
+"$helios" campaign run --spec "$ispec" --out "$sweep_tmp/ifull.json" > /dev/null
+grep -q '"incomplete_reason": "infeasible"' "$sweep_tmp/ifull.json"
+grep -q '"mean_makespan_secs": null' "$sweep_tmp/ifull.json"
+"$helios" campaign run --spec "$ispec" --shard 1/2 --out "$sweep_tmp/i1.json" > /dev/null
+"$helios" campaign run --spec "$ispec" --shard 2/2 --out "$sweep_tmp/i2.json" > /dev/null
+"$helios" campaign merge --in "$sweep_tmp/i1.json" --in "$sweep_tmp/i2.json" \
+    --out "$sweep_tmp/imerged.json" > /dev/null
+cmp "$sweep_tmp/ifull.json" "$sweep_tmp/imerged.json"
+echo "infeasible cells are measurements and merge byte-identically"
+
 echo "==> perf-trajectory smoke"
 # Reduced-iteration run of the pinned benchmark harness: verifies the
 # harness executes and emits well-formed JSON with both series, without

@@ -543,6 +543,150 @@ fn campaign_members(argv: &[String], out: &mut dyn Write) -> Result<(), CliError
     Ok(())
 }
 
+/// `helios fuzz` — the adversarial simulation harness.
+///
+/// Without `--replay`, generates `--runs` random campaign specs from
+/// `--seed` and checks each against the differential oracles. The first
+/// divergence is shrunk to a minimal spec and written as a replayable
+/// fixture under `--bugbase` (default `tests/bugbase`), and the run
+/// exits non-zero. A clean run prints a one-line summary.
+///
+/// With `--replay PATH`, re-runs one fixture (or every `*.json` fixture
+/// in a directory) through the oracles; any divergence is a regression
+/// and exits non-zero.
+///
+/// The `HELIOS_FUZZ_BREAK_ORACLE=<oracle>` environment hook sabotages
+/// the named oracle so it fires on every (compatible) case — the CI
+/// acceptance path proving that find → shrink → fixture → replay works
+/// end to end.
+pub fn fuzz(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use helios_core::fuzz::{check_spec, generate_spec, shrink_spec, BugFixture, ORACLES};
+
+    let args = Args::parse(argv, &["seed", "runs", "bugbase", "replay"], &[])?;
+    let broken_owned: Option<String> = match std::env::var("HELIOS_FUZZ_BREAK_ORACLE") {
+        Ok(name) => {
+            if !ORACLES.contains(&name.as_str()) {
+                return Err(CliError::Usage(format!(
+                    "HELIOS_FUZZ_BREAK_ORACLE names unknown oracle {name:?}; oracles: {}",
+                    ORACLES.join(", ")
+                )));
+            }
+            Some(name)
+        }
+        Err(_) => None,
+    };
+    let broken = broken_owned.as_deref();
+
+    if let Some(path) = args.get("replay") {
+        return fuzz_replay(path, broken, out);
+    }
+
+    let seed = args.parse_or("seed", 0u64)?;
+    let runs = args.parse_or("runs", 50usize)?;
+    let bugbase = args.get("bugbase").unwrap_or("tests/bugbase");
+
+    for case in 0..runs {
+        let spec = generate_spec(seed, case);
+        let Some(div) = check_spec(&spec, broken)? else {
+            continue;
+        };
+        writeln!(
+            out,
+            "case {case} of seed {seed} diverges on oracle {}: {}",
+            div.oracle, div.detail
+        )?;
+        let shrunk = shrink_spec(&spec, &div, broken);
+        writeln!(
+            out,
+            "shrunk in {} steps ({} oracle evaluations): {} families x {} platforms x \
+             {} schedulers x {} seeds, {} tasks",
+            shrunk.steps,
+            shrunk.evals,
+            shrunk.spec.families.len(),
+            shrunk.spec.platforms.len(),
+            shrunk.spec.schedulers.len(),
+            shrunk.spec.seeds.count,
+            shrunk.spec.tasks
+        )?;
+        let fixture = BugFixture::new(&shrunk.divergence, seed, case, shrunk.steps, shrunk.spec);
+        std::fs::create_dir_all(bugbase)?;
+        let path = std::path::Path::new(bugbase).join(fixture.file_name());
+        std::fs::write(&path, fixture.to_json()?)?;
+        return Err(CliError::Helios(format!(
+            "fuzzing found a divergence on oracle {}; minimal fixture written to \
+             {} — replay with: helios fuzz --replay {}",
+            fixture.oracle,
+            path.display(),
+            path.display()
+        )));
+    }
+    writeln!(out, "fuzz: {runs} case(s) from seed {seed}, 0 divergences")?;
+    Ok(())
+}
+
+/// Replays one fixture file, or every `*.json` fixture in a directory,
+/// through the oracles.
+fn fuzz_replay(path: &str, broken: Option<&str>, out: &mut dyn Write) -> Result<(), CliError> {
+    use helios_core::fuzz::BugFixture;
+
+    let root = std::path::Path::new(path);
+    let mut files: Vec<std::path::PathBuf> = if root.is_dir() {
+        std::fs::read_dir(root)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect()
+    } else {
+        vec![root.to_path_buf()]
+    };
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::Helios(format!(
+            "no *.json fixtures under {path:?}; run `helios fuzz` to populate the bugbase"
+        )));
+    }
+
+    let mut diverging = 0usize;
+    for file in &files {
+        let json = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Helios(format!("cannot read fixture {file:?}: {e}")))?;
+        let fixture = BugFixture::from_json(&json)
+            .map_err(|e| CliError::Helios(format!("fixture {file:?}: {e}")))?;
+        match fixture.replay(broken)? {
+            None => writeln!(
+                out,
+                "{}: clean (oracle {}, seed {} case {})",
+                file.display(),
+                fixture.oracle,
+                fixture.fuzz_seed,
+                fixture.case_index
+            )?,
+            Some(div) => {
+                diverging += 1;
+                writeln!(
+                    out,
+                    "{}: DIVERGES on oracle {}: {}",
+                    file.display(),
+                    div.oracle,
+                    div.detail
+                )?;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "replayed {} fixture(s), {diverging} diverging",
+        files.len()
+    )?;
+    if diverging > 0 {
+        return Err(CliError::Helios(format!(
+            "{diverging} fixture(s) diverge — a fixed bug has regressed"
+        )));
+    }
+    Ok(())
+}
+
 /// `helios platforms` — list the presets.
 pub fn platforms(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let _ = Args::parse(argv, &[], &[])?;

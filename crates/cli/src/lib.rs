@@ -85,6 +85,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "schedule" => commands::schedule(rest, out),
         "run" => commands::run(rest, out),
         "campaign" => commands::campaign(rest, out),
+        "fuzz" => commands::fuzz(rest, out),
         "platforms" => commands::platforms(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
@@ -112,6 +113,8 @@ pub fn usage() -> String {
        campaign run    sweep a spec grid (--spec file.json, --shard K/N,\n\
                        --jobs N, --out report.json)\n\
        campaign merge  recombine shard reports (--in shard.json ..., --out)\n\
+       fuzz       adversarial harness: random specs vs differential oracles\n\
+                  (--seed, --runs, --bugbase DIR, --replay FILE|DIR)\n\
        platforms  list the preset platforms\n\
        help       show this message"
         .to_owned()

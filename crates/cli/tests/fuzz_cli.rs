@@ -1,0 +1,195 @@
+//! End-to-end tests of `helios fuzz`: determinism, the sabotage
+//! acceptance path (find → shrink → fixture → replay), and the
+//! CLI-level infeasible-grid smoke.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use helios_core::fuzz::BugFixture;
+
+fn helios() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_helios"));
+    // The sabotage hook must never leak in from the ambient environment.
+    cmd.env_remove("HELIOS_FUZZ_BREAK_ORACLE");
+    cmd
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Repo-relative path to a committed file, resolved from the cli crate.
+fn repo_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+#[test]
+fn fuzz_run_is_deterministic_and_clean() {
+    let run = || {
+        let out = helios()
+            .args(["fuzz", "--seed", "7", "--runs", "8"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    assert!(
+        first.contains("8 case(s) from seed 7, 0 divergences"),
+        "{first}"
+    );
+    assert_eq!(first, run(), "same seed and runs must print identically");
+}
+
+#[test]
+fn sabotaged_oracle_shrinks_to_a_replayable_fixture() {
+    let dir = temp_dir("helios-fuzz-sabotage");
+
+    // Find: the sabotaged oracle fires on the first case, the run
+    // shrinks it and exits non-zero with a fixture on disk.
+    let out = helios()
+        .args(["fuzz", "--seed", "7", "--runs", "3"])
+        .args(["--bugbase", dir.to_str().unwrap()])
+        .env("HELIOS_FUZZ_BREAK_ORACLE", "jobs_identity")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--replay"), "{stderr}");
+
+    let fixtures: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(fixtures.len(), 1, "exactly one fixture: {fixtures:?}");
+    let fixture = BugFixture::from_json(&std::fs::read_to_string(&fixtures[0]).unwrap()).unwrap();
+    assert_eq!(fixture.oracle, "jobs_identity");
+    // The shrinker reduced the spec to the structural floor.
+    assert_eq!(fixture.spec.families.len(), 1);
+    assert_eq!(fixture.spec.platforms.len(), 1);
+    assert_eq!(fixture.spec.schedulers.len(), 1);
+    assert_eq!(fixture.spec.seeds.count, 1);
+    assert!(fixture.spec.resilience.is_none());
+
+    // Replay with the hook armed: the recorded failure reproduces.
+    let out = helios()
+        .args(["fuzz", "--replay", fixtures[0].to_str().unwrap()])
+        .env("HELIOS_FUZZ_BREAK_ORACLE", "jobs_identity")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("DIVERGES"));
+
+    // Replay without the hook: the "bug" is fixed, the replay is clean —
+    // and a directory replay picks the fixture up the same way.
+    let out = helios()
+        .args(["fuzz", "--replay", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("replayed 1 fixture(s), 0 diverging"));
+}
+
+#[test]
+fn unknown_sabotage_oracle_is_a_usage_error() {
+    let out = helios()
+        .args(["fuzz", "--seed", "1", "--runs", "1"])
+        .env("HELIOS_FUZZ_BREAK_ORACLE", "no_such_oracle")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no_such_oracle"), "{stderr}");
+    assert!(stderr.contains("jobs_identity"), "lists oracles: {stderr}");
+}
+
+#[test]
+fn replay_of_missing_fixture_dir_is_an_error() {
+    let dir = temp_dir("helios-fuzz-empty");
+    let out = helios()
+        .args(["fuzz", "--replay", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no *.json fixtures"));
+}
+
+#[test]
+fn infeasible_grid_smoke_survives_shard_merge() {
+    // cybershake working sets exceed every edge_soc device: the sweep
+    // must report every cell as an `infeasible` measurement (null
+    // summary means), never an error — and shard + merge must agree
+    // byte-for-byte with the unsharded run.
+    let dir = temp_dir("helios-infeasible-smoke");
+    let spec = repo_file("examples/specs/infeasible_smoke.json");
+    let spec = spec.to_str().unwrap();
+
+    let whole = dir.join("whole.json");
+    let out = helios()
+        .args(["campaign", "run", "--spec", spec])
+        .args(["--out", whole.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let whole_json = std::fs::read_to_string(&whole).unwrap();
+    assert!(
+        whole_json.contains("\"incomplete_reason\": \"infeasible\""),
+        "cells carry the pinned reason"
+    );
+    assert!(
+        whole_json.contains("\"mean_makespan_secs\": null"),
+        "summary means stay null for all-incomplete rows"
+    );
+    assert!(!whole_json.contains("\"completed\": true"));
+
+    // The same grid through two shards and a merge.
+    let merged = dir.join("merged.json");
+    for k in 1..=2 {
+        let shard = dir.join(format!("shard{k}.json"));
+        let out = helios()
+            .args(["campaign", "run", "--spec", spec])
+            .args(["--shard", &format!("{k}/2")])
+            .args(["--out", shard.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = helios()
+        .args(["campaign", "merge"])
+        .args(["--in", dir.join("shard1.json").to_str().unwrap()])
+        .args(["--in", dir.join("shard2.json").to_str().unwrap()])
+        .args(["--out", merged.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        whole_json,
+        std::fs::read_to_string(&merged).unwrap(),
+        "sharded infeasible grid merges byte-identically"
+    );
+}

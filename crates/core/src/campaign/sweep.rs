@@ -403,8 +403,9 @@ pub struct ResumeOutcome {
 /// Builds the scheduler for one cell, honoring the spec's per-scheduler
 /// tuning overrides; schedulers without an override come from the
 /// default lineup, so a knob-free spec is byte-identical to one swept
-/// before the knobs existed.
-fn cell_scheduler(spec: &CampaignSpec, name: &str) -> Option<Box<dyn Scheduler>> {
+/// before the knobs existed. Shared with the [`fuzz`](crate::fuzz)
+/// oracles, which must plan cells exactly the way the sweep does.
+pub(crate) fn cell_scheduler(spec: &CampaignSpec, name: &str) -> Option<Box<dyn Scheduler>> {
     if let Some(params) = &spec.scheduler_params {
         match name {
             "annealing" => {

@@ -1,0 +1,193 @@
+//! Replayable bug fixtures: the JSON files committed under
+//! `tests/bugbase/` when a fuzz case diverges. A fixture carries the
+//! shrunk spec plus a structured trace — which oracle fired, on which
+//! case of which fuzz seed, and after how many shrink steps — so a
+//! single `helios fuzz --replay <fixture>` re-runs the exact case
+//! deterministically, and the bugbase harness test replays the whole
+//! corpus to keep fixed bugs fixed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::CampaignSpec;
+use crate::error::EngineError;
+
+use super::oracle::{check_spec, Divergence};
+
+/// One shrunk, replayable fuzz failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BugFixture {
+    /// Fixture format version, for forward evolution of the bugbase.
+    pub version: u32,
+    /// The oracle that fired, one of [`ORACLES`](super::ORACLES).
+    pub oracle: String,
+    /// The divergence trace at the minimal spec.
+    pub detail: String,
+    /// The `--seed` of the fuzz run that found the bug.
+    pub fuzz_seed: u64,
+    /// The case index within that run.
+    pub case_index: u64,
+    /// Reductions the shrinker applied to reach the minimal spec.
+    pub shrink_steps: u64,
+    /// Content digest of the shrunk spec (see [`CampaignSpec::digest`]);
+    /// replay refuses a fixture whose spec was edited without updating
+    /// the digest.
+    pub spec_digest: String,
+    /// The minimal spec that reproduced the divergence.
+    pub spec: CampaignSpec,
+}
+
+impl BugFixture {
+    /// The current fixture format version.
+    pub const VERSION: u32 = 1;
+
+    /// Packages a shrunk divergence as a fixture.
+    #[must_use]
+    pub fn new(
+        divergence: &Divergence,
+        fuzz_seed: u64,
+        case_index: usize,
+        shrink_steps: usize,
+        spec: CampaignSpec,
+    ) -> BugFixture {
+        BugFixture {
+            version: BugFixture::VERSION,
+            oracle: divergence.oracle.clone(),
+            detail: divergence.detail.clone(),
+            fuzz_seed,
+            case_index: case_index as u64,
+            shrink_steps: shrink_steps as u64,
+            spec_digest: spec.digest(),
+            spec,
+        }
+    }
+
+    /// The canonical file name inside the bugbase directory: the oracle
+    /// that fired plus the spec digest, so distinct bugs never collide
+    /// and re-finding the same shrunk spec overwrites in place.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("{}-{}.json", self.oracle, self.spec_digest)
+    }
+
+    /// Serializes the fixture as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, EngineError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| EngineError::Config(format!("fixture does not serialize: {e}")))
+    }
+
+    /// Parses and cross-checks a fixture: the JSON must deserialize,
+    /// the embedded spec must validate, the recorded oracle must exist
+    /// and the spec digest must match the embedded spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] naming what is wrong with the
+    /// fixture.
+    pub fn from_json(json: &str) -> Result<BugFixture, EngineError> {
+        let fixture: BugFixture = serde_json::from_str(json)
+            .map_err(|e| EngineError::Config(format!("malformed bug fixture: {e}")))?;
+        if fixture.version != BugFixture::VERSION {
+            return Err(EngineError::Config(format!(
+                "bug fixture version {} is not the supported version {}",
+                fixture.version,
+                BugFixture::VERSION
+            )));
+        }
+        if !super::ORACLES.contains(&fixture.oracle.as_str()) {
+            return Err(EngineError::Config(format!(
+                "bug fixture names unknown oracle {:?}; oracles: {}",
+                fixture.oracle,
+                super::ORACLES.join(", ")
+            )));
+        }
+        fixture.spec.validate()?;
+        let digest = fixture.spec.digest();
+        if digest != fixture.spec_digest {
+            return Err(EngineError::Config(format!(
+                "bug fixture digest {} does not match its spec ({digest}); \
+                 re-shrink instead of editing fixtures by hand",
+                fixture.spec_digest
+            )));
+        }
+        Ok(fixture)
+    }
+
+    /// Re-runs the fixture's spec through the oracles. `None` means the
+    /// recorded bug stays fixed; `Some` is a regression (or, with the
+    /// sabotage hook armed, the harness acceptance path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the spec cannot be swept at all.
+    pub fn replay(&self, broken: Option<&str>) -> Result<Option<Divergence>, EngineError> {
+        check_spec(&self.spec, broken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> BugFixture {
+        let spec = CampaignSpec::from_json(
+            r#"{
+                "name": "fixture-roundtrip",
+                "families": ["montage"],
+                "platforms": ["workstation"],
+                "schedulers": ["heft"],
+                "seeds": {"base": 0, "count": 1},
+                "tasks": 16
+            }"#,
+        )
+        .expect("spec is valid");
+        let div = Divergence {
+            oracle: "jobs_identity".into(),
+            detail: "test trace".into(),
+        };
+        BugFixture::new(&div, 7, 3, 5, spec)
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let f = fixture();
+        let json = f.to_json().expect("serializes");
+        let back = BugFixture::from_json(&json).expect("parses");
+        assert_eq!(f, back);
+        assert_eq!(
+            back.file_name(),
+            format!("jobs_identity-{}.json", back.spec_digest)
+        );
+    }
+
+    #[test]
+    fn rejects_tampered_spec_and_unknown_oracle() {
+        let f = fixture();
+        let json = f.to_json().expect("serializes");
+        let tampered = json.replace("\"tasks\": 16", "\"tasks\": 17");
+        let err = BugFixture::from_json(&tampered).expect_err("digest mismatch");
+        assert!(err.to_string().contains("digest"), "{err}");
+
+        let bad_oracle = json.replace("jobs_identity", "no_such_oracle");
+        let err = BugFixture::from_json(&bad_oracle).expect_err("unknown oracle");
+        assert!(err.to_string().contains("no_such_oracle"), "{err}");
+
+        let bad_version = json.replace("\"version\": 1", "\"version\": 99");
+        let err = BugFixture::from_json(&bad_version).expect_err("bad version");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn replay_of_a_clean_spec_is_clean() {
+        assert_eq!(fixture().replay(None).expect("replays"), None);
+        // With the sabotage hook armed the recorded failure reproduces.
+        let d = fixture()
+            .replay(Some("jobs_identity"))
+            .expect("replays")
+            .expect("sabotage fires");
+        assert_eq!(d.oracle, "jobs_identity");
+    }
+}

@@ -1,0 +1,406 @@
+//! Seeded campaign-spec generator: one deterministic, valid-by-
+//! construction [`CampaignSpec`] per `(fuzz_seed, case)` pair, drawn
+//! from the full knob space the sweep driver accepts.
+//!
+//! The generator is the scenario-diversity engine of the adversarial
+//! harness: every case samples families, presets and schedulers plus
+//! the noise/contention/caching/DVFS knobs, per-scheduler tuning
+//! overrides, the legacy fault block or a full resilience stack
+//! (recovery policy, interconnect faults, correlated failure domains)
+//! and an occasional tight step budget. Grids are kept small (at most
+//! 2 × 2 × 2 × 2 cells, 15–30 tasks) because every case is swept
+//! several times over by the differential oracles.
+
+use helios_sim::SimRng;
+
+use crate::campaign::{
+    CampaignSpec, DvfsKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob,
+    ResilienceKnob, SchedulerParamsKnob, SeedRange,
+};
+
+/// Workflow families a generated spec may sweep.
+pub const FAMILIES: &[&str] = &["montage", "cybershake", "epigenomics", "ligo", "sipht"];
+
+/// Platform presets a generated spec may sweep.
+pub const PLATFORMS: &[&str] = &[
+    "workstation",
+    "hpc_node",
+    "cluster2",
+    "cluster3",
+    "edge_soc",
+];
+
+/// Schedulers a generated spec may sweep — the full lineup.
+pub const SCHEDULERS: &[&str] = &[
+    "heft",
+    "cpop",
+    "peft",
+    "lookahead",
+    "min-min",
+    "max-min",
+    "mct",
+    "met",
+    "olb",
+    "round-robin",
+    "random",
+    "annealing",
+];
+
+/// The smallest `tasks` value every family's generator accepts
+/// (epigenomics needs n ≥ 15, the largest of the five minimums).
+pub const MIN_TASKS: usize = 15;
+
+/// Member devices and links of each preset, for generating failure
+/// domains whose members resolve during spec validation.
+fn domain_members(platform: &str) -> (&'static [&'static str], &'static [&'static str]) {
+    match platform {
+        "workstation" => (&["cpu0", "cpu1", "gpu0"], &["dram", "pcie3-x16"]),
+        "hpc_node" => (
+            &[
+                "cpu0", "cpu1", "gpu0", "gpu1", "gpu2", "gpu3", "fpga0", "asic0",
+            ],
+            &["dram", "pcie4-x16", "nvlink"],
+        ),
+        "cluster2" => (
+            &["node0-cpu", "node0-gpu", "node1-cpu", "node1-gpu"],
+            &["pcie4-x16", "100gbe"],
+        ),
+        "cluster3" => (
+            &[
+                "node0-cpu",
+                "node0-gpu",
+                "node1-cpu",
+                "node1-gpu",
+                "node2-cpu",
+                "node2-gpu",
+            ],
+            &["pcie4-x16", "100gbe"],
+        ),
+        "edge_soc" => (&["cpu0", "dsp0", "npu0"], &["soc-bus"]),
+        other => unreachable!("no domain-member table for preset {other:?}"),
+    }
+}
+
+/// Draws `n` distinct entries from `menu`, in shuffled order.
+fn pick_distinct(rng: &mut SimRng, menu: &[&str], n: usize) -> Vec<String> {
+    let mut idx: Vec<usize> = (0..menu.len()).collect();
+    rng.shuffle(&mut idx);
+    idx[..n].iter().map(|&i| menu[i].to_owned()).collect()
+}
+
+/// Draws the recovery-policy knob; all four kinds are reachable.
+fn gen_policy(rng: &mut SimRng) -> PolicyKnob {
+    let max_retries = rng.uniform_usize(1, 8) as u32;
+    match rng.uniform_usize(0, 3) {
+        0 => {
+            let base_secs = rng.uniform(0.0, 0.01);
+            PolicyKnob::RetryBackoff {
+                base_secs,
+                factor: rng.uniform(1.0, 3.0),
+                cap_secs: base_secs + rng.uniform(0.0, 0.05),
+                max_retries,
+            }
+        }
+        1 => PolicyKnob::ReplicateK {
+            replicas: rng.uniform_usize(2, 3),
+            max_retries,
+        },
+        2 => PolicyKnob::CheckpointRestart {
+            interval_secs: rng.uniform(0.05, 0.5),
+            overhead_secs: rng.uniform(0.0, 0.02),
+            max_retries,
+        },
+        _ => PolicyKnob::Reschedule {
+            scheduler: (*rng.choose(SCHEDULERS).expect("scheduler menu is non-empty")).to_owned(),
+            overhead_secs: rng.uniform(0.0, 0.02),
+            max_retries,
+        },
+    }
+}
+
+/// Draws the device failure model plus recovery policy.
+fn gen_resilience(rng: &mut SimRng) -> ResilienceKnob {
+    ResilienceKnob {
+        mttf_secs: rng.uniform(0.5, 5.0),
+        weibull_shape: if rng.chance(0.3) {
+            Some(rng.uniform(0.7, 2.2))
+        } else {
+            None
+        },
+        degraded_prob: if rng.chance(0.5) {
+            rng.uniform(0.0, 0.4)
+        } else {
+            0.0
+        },
+        permanent_prob: if rng.chance(0.3) {
+            rng.uniform(0.0, 0.2)
+        } else {
+            0.0
+        },
+        degraded_slowdown: rng.uniform(1.0, 3.0),
+        degraded_repair_secs: rng.uniform(0.0, 0.3),
+        restart_overhead_secs: rng.uniform(0.0, 0.01),
+        policy: gen_policy(rng),
+    }
+}
+
+/// Draws the per-link interconnect fault model.
+fn gen_interconnect(rng: &mut SimRng) -> InterconnectFaultKnob {
+    InterconnectFaultKnob {
+        mttf_secs: rng.uniform(0.2, 3.0),
+        weibull_shape: if rng.chance(0.3) {
+            Some(rng.uniform(0.7, 2.0))
+        } else {
+            None
+        },
+        degraded_prob: rng.uniform(0.0, 0.6),
+        degraded_factor: rng.uniform(1.0, 4.0),
+        outage_secs: rng.uniform(0.0, 0.2),
+        degraded_repair_secs: rng.uniform(0.0, 0.2),
+    }
+}
+
+/// Draws 1–2 correlated failure domains whose members exist on
+/// `platform`.
+fn gen_domains(rng: &mut SimRng, platform: &str) -> Vec<FailureDomainKnob> {
+    let (devices, links) = domain_members(platform);
+    let n = rng.uniform_usize(1, 2);
+    (0..n)
+        .map(|i| {
+            let n_devices = rng.uniform_usize(1, 2.min(devices.len()));
+            FailureDomainKnob {
+                kind: (*rng
+                    .choose(&["rack", "node", "psu"])
+                    .expect("kind menu is non-empty"))
+                .to_owned(),
+                name: format!("d{i}"),
+                devices: pick_distinct(rng, devices, n_devices),
+                links: if rng.chance(0.4) {
+                    pick_distinct(rng, links, 1)
+                } else {
+                    Vec::new()
+                },
+                mttf_secs: rng.uniform(0.5, 5.0),
+                weibull_shape: if rng.chance(0.25) {
+                    Some(rng.uniform(0.7, 2.0))
+                } else {
+                    None
+                },
+                degraded_prob: if rng.chance(0.5) {
+                    rng.uniform(0.0, 0.5)
+                } else {
+                    0.0
+                },
+                permanent_prob: if rng.chance(0.3) {
+                    rng.uniform(0.0, 0.3)
+                } else {
+                    0.0
+                },
+                outage_secs: rng.uniform(0.0, 0.2),
+            }
+        })
+        .collect()
+}
+
+/// Generates the deterministic spec of fuzz case `case` under
+/// `fuzz_seed`. The result always passes [`CampaignSpec::validate`];
+/// the harness's unit tests pin that property over many cases.
+#[must_use]
+pub fn generate_spec(fuzz_seed: u64, case: usize) -> CampaignSpec {
+    let mut rng = SimRng::seed_from(fuzz_seed).fork(case as u64 + 1);
+
+    let families = {
+        let n = rng.uniform_usize(1, 2);
+        pick_distinct(&mut rng, FAMILIES, n)
+    };
+
+    // Fault mode: ~40% fault-free, ~20% legacy flat-retry faults, ~40%
+    // full resilience stack. Correlated domains pin the grid to a
+    // single preset so domain members resolve on every spec platform.
+    let fault_roll = rng.uniform_usize(0, 9);
+    let with_resilience = fault_roll >= 6;
+    let with_legacy_faults = (4..6).contains(&fault_roll);
+    let with_domains = with_resilience && rng.chance(0.45);
+
+    let platforms = if with_domains {
+        pick_distinct(&mut rng, PLATFORMS, 1)
+    } else {
+        let n = rng.uniform_usize(1, 2);
+        pick_distinct(&mut rng, PLATFORMS, n)
+    };
+
+    let schedulers = {
+        let n = rng.uniform_usize(1, 2);
+        pick_distinct(&mut rng, SCHEDULERS, n)
+    };
+
+    let has = |name: &str| schedulers.iter().any(|s| s == name);
+    let scheduler_params = if (has("annealing") || has("lookahead")) && rng.chance(0.5) {
+        let knob = SchedulerParamsKnob {
+            annealing_iterations: if has("annealing") && rng.chance(0.8) {
+                Some(rng.uniform_usize(5, 120) as u32)
+            } else {
+                None
+            },
+            lookahead_depth: if has("lookahead") && rng.chance(0.8) {
+                Some(rng.uniform_usize(1, 2) as u32)
+            } else {
+                None
+            },
+        };
+        (!knob.is_empty()).then_some(knob)
+    } else {
+        None
+    };
+
+    let seeds = SeedRange {
+        base: rng.uniform_usize(0, 999) as u64,
+        count: rng.uniform_usize(1, 2),
+    };
+    let tasks = rng.uniform_usize(MIN_TASKS, 30);
+    let noise_cv = if rng.chance(0.5) {
+        rng.uniform(0.01, 0.25)
+    } else {
+        0.0
+    };
+    let link_contention = rng.chance(0.4);
+    let data_caching = rng.chance(0.4);
+    let dvfs = match rng.uniform_usize(0, 9) {
+        0..=5 => DvfsKnob::Nominal,
+        6 | 7 => DvfsKnob::Powersave,
+        _ => DvfsKnob::Performance,
+    };
+
+    let faults = with_legacy_faults.then(|| FaultKnob {
+        mtbf_secs: rng.uniform(0.5, 4.0),
+        restart_overhead_secs: rng.uniform(0.0, 0.01),
+        max_retries: rng.uniform_usize(0, 6) as u32,
+    });
+    let resilience = with_resilience.then(|| gen_resilience(&mut rng));
+    let interconnect_faults =
+        (with_resilience && rng.chance(0.4)).then(|| gen_interconnect(&mut rng));
+    let failure_domains = if with_domains {
+        gen_domains(&mut rng, &platforms[0])
+    } else {
+        Vec::new()
+    };
+
+    // A tight budget occasionally exercises the timed_out path; most
+    // cases run unbudgeted or under a ceiling no healthy cell reaches.
+    let cell_step_budget = match rng.uniform_usize(0, 9) {
+        0 => Some(rng.uniform_usize(50, 2_000) as u64),
+        1..=5 => None,
+        _ => Some(5_000_000),
+    };
+
+    CampaignSpec {
+        name: format!("fuzz-{fuzz_seed}-{case}"),
+        families,
+        platforms,
+        schedulers,
+        scheduler_params,
+        seeds,
+        tasks,
+        noise_cv,
+        link_contention,
+        data_caching,
+        dvfs,
+        faults,
+        resilience,
+        interconnect_faults,
+        failure_domains,
+        cell_step_budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn menus_resolve() {
+        for f in FAMILIES {
+            assert!(
+                crate::campaign::spec::family_class(f).is_some(),
+                "{f:?} is not a workflow family"
+            );
+        }
+        for p in PLATFORMS {
+            assert!(
+                helios_platform::presets::by_name(p).is_some(),
+                "{p:?} is not a platform preset"
+            );
+        }
+        for s in SCHEDULERS {
+            assert!(
+                helios_sched::scheduler_by_name(s).is_some(),
+                "{s:?} is not a scheduler"
+            );
+        }
+        assert_eq!(
+            SCHEDULERS.len(),
+            helios_sched::all_schedulers().len(),
+            "the fuzz menu must cover the whole lineup"
+        );
+    }
+
+    #[test]
+    fn generated_specs_validate_and_are_deterministic() {
+        let mut with_resilience = 0;
+        let mut with_domains = 0;
+        let mut with_faults = 0;
+        for case in 0..200 {
+            let spec = generate_spec(42, case);
+            spec.validate()
+                .unwrap_or_else(|e| panic!("case {case} does not validate: {e}"));
+            assert_eq!(
+                spec,
+                generate_spec(42, case),
+                "case {case} is not deterministic"
+            );
+            assert!(spec.num_cells() <= 16, "case {case} grid too large");
+            with_resilience += usize::from(spec.resilience.is_some());
+            with_domains += usize::from(!spec.failure_domains.is_empty());
+            with_faults += usize::from(spec.faults.is_some());
+        }
+        // The knob-space sweep must actually reach every fault class.
+        assert!(
+            with_resilience > 20,
+            "resilience undersampled: {with_resilience}"
+        );
+        assert!(
+            with_domains > 5,
+            "failure domains undersampled: {with_domains}"
+        );
+        assert!(
+            with_faults > 10,
+            "legacy faults undersampled: {with_faults}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_cases() {
+        assert_ne!(generate_spec(1, 0), generate_spec(2, 0));
+        assert_ne!(generate_spec(1, 0), generate_spec(1, 1));
+    }
+
+    #[test]
+    fn domain_member_tables_match_presets() {
+        for p in PLATFORMS {
+            let platform = helios_platform::presets::by_name(p).expect("preset resolves");
+            let (devices, links) = domain_members(p);
+            for d in devices {
+                assert!(
+                    platform.device_by_name(d).is_some(),
+                    "{p}: device {d:?} missing"
+                );
+            }
+            for l in links {
+                assert!(
+                    !platform.interconnect().links_by_name(l).is_empty(),
+                    "{p}: link {l:?} missing"
+                );
+            }
+        }
+    }
+}

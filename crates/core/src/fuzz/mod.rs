@@ -1,0 +1,47 @@
+//! The adversarial simulation harness behind `helios fuzz`.
+//!
+//! Every hot-path rewrite in the execution core leans on two safety
+//! nets — the golden reports and the conformance proptest — that only
+//! cover hand-picked specs. This module is the standing generalization:
+//! a seeded generator draws random campaign specs from the full knob
+//! space ([`gen`]), a fixed battery of differential oracles checks each
+//! one ([`oracle`]), a greedy structural shrinker reduces any
+//! divergence to a minimal failing spec ([`shrink`]), and the result is
+//! written as a replayable JSON fixture ([`fixture`]) under
+//! `tests/bugbase/`, where a harness test replays the whole corpus
+//! forever after.
+//!
+//! The pipeline for one case:
+//!
+//! ```text
+//! generate_spec(seed, case) ──▶ check_spec ──▶ None  (case passed)
+//!                                   │
+//!                                   ▼ Some(divergence)
+//!                              shrink_spec ──▶ BugFixture ──▶ tests/bugbase/<oracle>-<digest>.json
+//! ```
+//!
+//! Everything is deterministic: the same `(seed, case)` pair generates
+//! the same spec, the oracles run in a fixed order, and a fixture
+//! replays the exact shrunk spec — so `helios fuzz --seed S --runs N`
+//! prints the same verdicts on every machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_core::fuzz::{check_spec, generate_spec};
+//!
+//! let spec = generate_spec(7, 0);
+//! assert_eq!(spec, generate_spec(7, 0)); // deterministic
+//! assert!(check_spec(&spec, None)?.is_none()); // all oracles pass
+//! # Ok::<(), helios_core::EngineError>(())
+//! ```
+
+pub mod fixture;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use fixture::BugFixture;
+pub use gen::generate_spec;
+pub use oracle::{check_spec, Divergence, ORACLES};
+pub use shrink::{shrink_spec, ShrinkOutcome};

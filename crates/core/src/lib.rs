@@ -37,7 +37,13 @@
 //!   (family × platform × scheduler × seed) cells; the [`SweepDriver`]
 //!   runs any `K/N` shard of it and [`merge_shards`] recombines shard
 //!   reports into an aggregate that is byte-identical to the unsharded
-//!   run.
+//!   run,
+//! * **adversarial self-checking** — the [`fuzz`] harness generates
+//!   random campaign specs over the full knob space, checks each one
+//!   against differential oracles (hooks-off identity, `--jobs` and
+//!   shard byte-identity, fault-free lower bounds, schedule
+//!   invariants), shrinks any divergence to a minimal spec and writes
+//!   it as a replayable bug fixture.
 //!
 //! A run yields an [`ExecutionReport`]: realized placements, makespan,
 //! energy (via `helios-energy` accounting), transfer and fault
@@ -78,6 +84,7 @@ pub mod ensemble;
 mod error;
 pub mod exec;
 pub mod executor;
+pub mod fuzz;
 pub mod online;
 mod report;
 pub mod resilience;

@@ -1,0 +1,61 @@
+//! The bugbase harness: replays every fixture committed under
+//! `tests/bugbase/` through the fuzz oracles. A fixture that diverges
+//! again means a previously-fixed bug has regressed; a non-fixture file
+//! in the directory means the corpus is corrupted. CI cross-checks the
+//! fixture count against `helios fuzz --replay`, so a fixture this
+//! harness does not pick up fails the build.
+
+use std::path::PathBuf;
+
+use helios_core::fuzz::BugFixture;
+
+fn bugbase_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/bugbase")
+}
+
+#[test]
+fn every_committed_fixture_replays_clean() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(bugbase_dir())
+        .expect("tests/bugbase/ exists")
+        .map(|e| e.expect("directory entry").path())
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "the bugbase ships at least one example fixture"
+    );
+
+    for file in &files {
+        assert_eq!(
+            file.extension().and_then(|e| e.to_str()),
+            Some("json"),
+            "stray non-fixture file in the bugbase: {file:?}"
+        );
+        let json = std::fs::read_to_string(file).expect("fixture is readable");
+        let fixture = BugFixture::from_json(&json)
+            .unwrap_or_else(|e| panic!("corrupt fixture {file:?}: {e}"));
+        let verdict = fixture
+            .replay(None)
+            .unwrap_or_else(|e| panic!("fixture {file:?} cannot be swept: {e}"));
+        assert_eq!(
+            verdict, None,
+            "fixture {file:?} diverges again — a fixed bug has regressed"
+        );
+    }
+}
+
+#[test]
+fn fixture_file_names_are_canonical() {
+    // `<oracle>-<digest>.json` keeps distinct bugs from colliding and
+    // makes re-finding the same shrunk spec overwrite in place.
+    for entry in std::fs::read_dir(bugbase_dir()).expect("tests/bugbase/ exists") {
+        let file = entry.expect("directory entry").path();
+        let json = std::fs::read_to_string(&file).expect("fixture is readable");
+        let fixture = BugFixture::from_json(&json).expect("fixture parses");
+        assert_eq!(
+            file.file_name().and_then(|n| n.to_str()),
+            Some(fixture.file_name().as_str()),
+            "fixture {file:?} is not named <oracle>-<digest>.json"
+        );
+    }
+}

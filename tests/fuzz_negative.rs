@@ -1,0 +1,223 @@
+//! Negative-validation property test for the campaign spec surface the
+//! fuzz harness generates over: every malformed spec must come back as
+//! a *typed* [`CampaignError`] naming the offending field — never a
+//! panic, and never a silent acceptance. This is the flip side of the
+//! generator's valid-by-construction guarantee: `helios fuzz` only
+//! explores legal specs, so this test patrols the illegal border.
+
+use proptest::prelude::*;
+
+use helios_core::{CampaignError, CampaignSpec, EngineError};
+
+/// A minimal valid spec with a hole for extra top-level fields.
+fn spec_with(extra: &str) -> String {
+    format!(
+        r#"{{
+            "name": "negative",
+            "families": ["montage"],
+            "platforms": ["workstation"],
+            "schedulers": ["heft"],
+            "seeds": {{"base": 0, "count": 1}},
+            "tasks": 16{extra}
+        }}"#
+    )
+}
+
+/// Garbage identifiers substituted for family / platform / scheduler /
+/// kind names; indexed by the proptest-drawn `tag`.
+const BAD_NAMES: [&str; 5] = ["", "frobnicate", "HEFT ", "montage2", "no-such-thing"];
+
+/// One corruption class: a label, the corrupted spec JSON, and a
+/// needle the error message must contain (the offending field).
+struct Corruption {
+    label: &'static str,
+    json: String,
+    needle: &'static str,
+}
+
+/// Every corruption class, parameterized on a garbage name and a
+/// poison number so repeated cases probe different illegal values.
+fn corruptions(bad: &str, poison: f64) -> Vec<Corruption> {
+    let resilience_with = |policy: &str| {
+        spec_with(&format!(
+            r#", "resilience": {{"mttf_secs": 50.0, "policy": {policy}}}"#
+        ))
+    };
+    vec![
+        Corruption {
+            label: "unknown family",
+            json: spec_with("").replace("montage", bad),
+            needle: "family",
+        },
+        Corruption {
+            label: "unknown platform",
+            json: spec_with("").replace("workstation", bad),
+            needle: "platform",
+        },
+        Corruption {
+            label: "unknown scheduler",
+            json: spec_with("").replace("heft", bad),
+            needle: "scheduler",
+        },
+        Corruption {
+            label: "empty families axis",
+            json: spec_with("").replace(r#"["montage"]"#, "[]"),
+            needle: "families",
+        },
+        Corruption {
+            label: "zero seed count",
+            json: spec_with("").replace(r#""count": 1"#, r#""count": 0"#),
+            needle: "seeds.count",
+        },
+        Corruption {
+            label: "zero tasks",
+            json: spec_with("").replace(r#""tasks": 16"#, r#""tasks": 0"#),
+            needle: "tasks",
+        },
+        Corruption {
+            label: "negative noise_cv",
+            json: spec_with(&format!(r#", "noise_cv": -{poison}"#)),
+            needle: "noise_cv",
+        },
+        Corruption {
+            label: "unknown dvfs level",
+            json: spec_with(&format!(r#", "dvfs": "{bad}""#)),
+            needle: "dvfs",
+        },
+        Corruption {
+            label: "zero cell_step_budget",
+            json: spec_with(r#", "cell_step_budget": 0"#),
+            needle: "cell_step_budget",
+        },
+        Corruption {
+            label: "zero annealing iterations",
+            json: spec_with(r#", "scheduler_params": {"annealing_iterations": 0}"#),
+            needle: "annealing_iterations",
+        },
+        Corruption {
+            label: "faults and resilience together",
+            json: spec_with(
+                r#", "faults": {"mtbf_secs": 100.0},
+                   "resilience": {"mttf_secs": 50.0,
+                                  "policy": {"kind": "retry-backoff", "base_secs": 0,
+                                             "factor": 1, "cap_secs": 0, "max_retries": 3}}"#,
+            ),
+            needle: "mutually exclusive",
+        },
+        Corruption {
+            label: "negative fault mtbf",
+            json: spec_with(&format!(r#", "faults": {{"mtbf_secs": -{poison}}}"#)),
+            needle: "mtbf_secs",
+        },
+        Corruption {
+            label: "interconnect faults without resilience",
+            json: spec_with(
+                r#", "interconnect_faults": {"distribution": "exponential",
+                                             "mttf_secs": 100.0}"#,
+            ),
+            needle: "resilience",
+        },
+        Corruption {
+            label: "failure domains without resilience",
+            json: spec_with(
+                r#", "failure_domains": [{"kind": "rack", "name": "r0",
+                                          "devices": ["cpu0"], "mttf_secs": 100.0}]"#,
+            ),
+            needle: "resilience",
+        },
+        Corruption {
+            label: "unknown policy kind",
+            json: resilience_with(&format!(r#"{{"kind": "{bad}"}}"#)),
+            needle: "kind",
+        },
+        Corruption {
+            label: "single-copy replication",
+            json: resilience_with(r#"{"kind": "replicate-k", "replicas": 1, "max_retries": 3}"#),
+            needle: "replicas",
+        },
+        Corruption {
+            label: "non-positive checkpoint interval",
+            json: resilience_with(
+                r#"{"kind": "checkpoint-restart", "interval_secs": 0,
+                    "overhead_secs": 1, "max_retries": 3}"#,
+            ),
+            needle: "interval_secs",
+        },
+        Corruption {
+            label: "dangling domain device",
+            json: spec_with(&format!(
+                r#", "resilience": {{"mttf_secs": 50.0,
+                                     "policy": {{"kind": "retry-backoff", "base_secs": 0,
+                                                 "factor": 1, "cap_secs": 0, "max_retries": 3}}}},
+                    "failure_domains": [{{"kind": "rack", "name": "r0",
+                                          "devices": ["{bad}"], "mttf_secs": 100.0}}]"#
+            )),
+            needle: "unknown device",
+        },
+        Corruption {
+            label: "unknown domain kind",
+            json: spec_with(&format!(
+                r#", "resilience": {{"mttf_secs": 50.0,
+                                     "policy": {{"kind": "retry-backoff", "base_secs": 0,
+                                                 "factor": 1, "cap_secs": 0, "max_retries": 3}}}},
+                    "failure_domains": [{{"kind": "{bad}", "name": "r0",
+                                          "devices": ["cpu0"], "mttf_secs": 100.0}}]"#
+            )),
+            needle: "kind",
+        },
+        Corruption {
+            label: "duplicate domain names",
+            json: spec_with(
+                r#", "resilience": {"mttf_secs": 50.0,
+                                    "policy": {"kind": "retry-backoff", "base_secs": 0,
+                                               "factor": 1, "cap_secs": 0, "max_retries": 3}},
+                    "failure_domains": [
+                        {"kind": "rack", "name": "r0", "devices": ["cpu0"], "mttf_secs": 100.0},
+                        {"kind": "rack", "name": "r0", "devices": ["cpu1"], "mttf_secs": 100.0}]"#,
+            ),
+            needle: "unique",
+        },
+        Corruption {
+            label: "truncated JSON",
+            json: spec_with("").split_at(40).0.to_owned(),
+            needle: "malformed",
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(BAD_NAMES.len() as u32))]
+
+    /// Every corruption class yields a typed campaign error whose
+    /// message names the offending field — across a spread of garbage
+    /// names and poison values, and never a panic.
+    #[test]
+    fn malformed_specs_fail_typed_and_named(
+        tag in 0usize..BAD_NAMES.len(),
+        poison in 0.5f64..1e6,
+    ) {
+        for c in corruptions(BAD_NAMES[tag], poison) {
+            let err = match CampaignSpec::from_json(&c.json) {
+                Err(e) => e,
+                Ok(_) => panic!("{}: corrupted spec was accepted:\n{}", c.label, c.json),
+            };
+            prop_assert!(
+                matches!(
+                    err,
+                    EngineError::Campaign(
+                        CampaignError::MalformedSpec(_) | CampaignError::InvalidSpec { .. }
+                    )
+                ),
+                "{}: wrong error type: {err:?}",
+                c.label
+            );
+            let msg = err.to_string();
+            prop_assert!(
+                msg.contains(c.needle),
+                "{}: error does not name {:?}: {msg}",
+                c.label,
+                c.needle
+            );
+        }
+    }
+}
