@@ -28,6 +28,9 @@ cargo test -q --test sched_conformance
 echo "==> resilience battery"
 cargo test -q --test fault_paths
 
+echo "==> elasticity battery (join/drain/preempt, dead capacity, exhaustion)"
+cargo test -q --test elastic_paths
+
 echo "==> extended fault battery (link faults, domains, lineage recovery)"
 cargo test -q -p helios-core resilience::
 cargo test -q -p helios-core campaign::
@@ -103,6 +106,22 @@ pspec=examples/specs/partition_smoke.json
     --out "$sweep_tmp/pmerged.json" > /dev/null
 cmp "$sweep_tmp/pfull.json" "$sweep_tmp/pmerged.json"
 echo "2-shard merge is byte-identical under the full fault stack"
+
+echo "==> elastic-capacity smoke (spot preempt + drain + churn)"
+# Capacity events through the release binary: a timed preempt/drain/join
+# plan plus a spot-churn renewal, with the benign synthesized resilience
+# stack. A 2-shard partition must recombine byte-identical to the
+# unsharded sweep — capacity realizations are keyed by entity id, never
+# by worker or shard.
+espec=examples/specs/elastic_smoke.json
+"$helios" campaign run --spec "$espec" --out "$sweep_tmp/efull.json" > /dev/null
+grep -q '"preemptions"' "$sweep_tmp/efull.json"
+"$helios" campaign run --spec "$espec" --shard 1/2 --out "$sweep_tmp/e1.json" > /dev/null
+"$helios" campaign run --spec "$espec" --shard 2/2 --out "$sweep_tmp/e2.json" > /dev/null
+"$helios" campaign merge --in "$sweep_tmp/e1.json" --in "$sweep_tmp/e2.json" \
+    --out "$sweep_tmp/emerged.json" > /dev/null
+cmp "$sweep_tmp/efull.json" "$sweep_tmp/emerged.json"
+echo "2-shard merge is byte-identical under elastic capacity"
 
 echo "==> adversarial fuzz smoke (differential oracles)"
 # A deterministic slice of the fuzz harness through the release binary:

@@ -30,7 +30,7 @@ use helios_sched::{RoundRobinScheduler, Scheduler};
 use helios_workflow::generators::synthetic::{layered_random, LayeredConfig};
 
 /// The PR number this trajectory file belongs to.
-const PR: u32 = 6;
+const PR: u32 = 8;
 
 struct SeriesOut {
     name: &'static str,

@@ -75,8 +75,8 @@ impl fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {}
 
 pub use spec::{
-    CampaignSpec, DvfsKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob,
-    ResilienceKnob, SchedulerParamsKnob, SeedRange, SweepCell,
+    CampaignSpec, DvfsKnob, ElasticityKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob,
+    PolicyKnob, ResilienceKnob, SchedulerParamsKnob, SeedRange, SweepCell,
 };
 pub use sweep::{
     merge_shards, CellResult, ResumeOutcome, ShardReport, ShardSpec, SummaryRow, SweepDriver,

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use helios_workflow::generators::WorkflowClass;
 
 use super::CampaignError;
+use crate::elastic::{ElasticChurn, ElasticEvent, ElasticEventKind, ElasticityConfig};
 use crate::resilience::{
     FailureDomain, FailureModel, LinkFaultModel, RecoveryPolicy, ResilienceConfig,
 };
@@ -671,6 +672,177 @@ impl<'de> Deserialize<'de> for SchedulerParamsKnob {
     }
 }
 
+/// Elastic-capacity knob of a spec, mirroring
+/// [`ElasticityConfig`](crate::ElasticityConfig): timed `kind`-tagged
+/// capacity events plus stochastic spot churn. Spelled in spec files
+/// as, e.g.
+/// `{"events": [{"kind": "preempt", "device": "gpu0", "at_secs": 0.2,
+/// "notice_secs": 0.05}], "churn": [{"device": "cpu1",
+/// "mtbp_secs": 0.5, "notice_secs": 0.02, "rejoin_secs": 0.2}]}`.
+/// Any elasticity block is part of the spec's content
+/// [`digest`](CampaignSpec::digest).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ElasticityKnob {
+    /// Timed capacity events, executed in time order.
+    pub events: Vec<ElasticEvent>,
+    /// Stochastic churn processes, at most one per device.
+    pub churn: Vec<ElasticChurn>,
+}
+
+impl ElasticityKnob {
+    /// Maps the knob onto the engine-level elasticity configuration.
+    #[must_use]
+    pub fn to_config(&self) -> ElasticityConfig {
+        ElasticityConfig {
+            events: self.events.clone(),
+            churn: self.churn.clone(),
+        }
+    }
+}
+
+// Hand-written impls: the vendored derive has no tagging, and the
+// `kind` tag decides which extra field (`deadline_secs`,
+// `notice_secs`) each event requires.
+impl Serialize for ElasticityKnob {
+    fn to_value(&self) -> serde::Value {
+        let num = serde::Value::Number;
+        let events: Vec<serde::Value> = self
+            .events
+            .iter()
+            .map(|ev| {
+                let mut obj: Vec<(String, serde::Value)> = vec![
+                    (
+                        "kind".to_owned(),
+                        serde::Value::String(ev.kind.name().to_owned()),
+                    ),
+                    ("device".to_owned(), serde::Value::String(ev.device.clone())),
+                    ("at_secs".to_owned(), num(ev.at_secs)),
+                ];
+                match ev.kind {
+                    ElasticEventKind::Drain { deadline_secs } => {
+                        obj.push(("deadline_secs".to_owned(), num(deadline_secs)));
+                    }
+                    ElasticEventKind::Preempt { notice_secs } => {
+                        obj.push(("notice_secs".to_owned(), num(notice_secs)));
+                    }
+                    ElasticEventKind::Join | ElasticEventKind::Leave => {}
+                }
+                serde::Value::Object(obj)
+            })
+            .collect();
+        let churn: Vec<serde::Value> = self
+            .churn
+            .iter()
+            .map(|c| {
+                let mut obj: Vec<(String, serde::Value)> = vec![
+                    ("device".to_owned(), serde::Value::String(c.device.clone())),
+                    ("mtbp_secs".to_owned(), num(c.mtbp_secs)),
+                ];
+                if let Some(shape) = c.weibull_shape {
+                    obj.push(("weibull_shape".to_owned(), num(shape)));
+                }
+                obj.push(("notice_secs".to_owned(), num(c.notice_secs)));
+                obj.push(("rejoin_secs".to_owned(), num(c.rejoin_secs)));
+                serde::Value::Object(obj)
+            })
+            .collect();
+        serde::Value::Object(vec![
+            ("events".to_owned(), serde::Value::Array(events)),
+            ("churn".to_owned(), serde::Value::Array(churn)),
+        ])
+    }
+}
+
+/// Required numeric field of one elasticity object.
+fn req_f64(value: &serde::Value, ctx: &str, key: &str) -> Result<f64, serde::DeError> {
+    value
+        .get(key)
+        .and_then(serde::Value::as_f64)
+        .ok_or_else(|| serde::DeError::new(format!("{ctx} requires a numeric {key:?} field")))
+}
+
+/// Required string field of one elasticity object.
+fn req_str(value: &serde::Value, ctx: &str, key: &str) -> Result<String, serde::DeError> {
+    value
+        .get(key)
+        .and_then(serde::Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| serde::DeError::new(format!("{ctx} requires a string {key:?} field")))
+}
+
+impl<'de> Deserialize<'de> for ElasticityKnob {
+    fn from_value(value: &serde::Value) -> Result<ElasticityKnob, serde::DeError> {
+        let ctx = "elasticity";
+        if !matches!(value, serde::Value::Object(_)) {
+            return Err(serde::DeError::new(format!(
+                "{ctx} must be an object with \"events\" and/or \"churn\" arrays"
+            )));
+        }
+        let arr = |key: &str| -> Result<&[serde::Value], serde::DeError> {
+            match value.get(key) {
+                None => Ok(&[]),
+                Some(serde::Value::Array(items)) => Ok(items),
+                Some(other) => Err(serde::DeError::new(format!(
+                    "{ctx}: {key:?} must be an array, got {other:?}"
+                ))),
+            }
+        };
+        let mut events = Vec::new();
+        for (i, ev) in arr("events")?.iter().enumerate() {
+            let ctx = format!("{ctx} event {i}");
+            let kind_tag = ev
+                .get("kind")
+                .and_then(serde::Value::as_str)
+                .ok_or_else(|| {
+                    serde::DeError::new(format!(
+                        "{ctx} must be an object with a \"kind\" tag, one of: {}",
+                        ElasticEventKind::kinds().join(", ")
+                    ))
+                })?;
+            let kind = match kind_tag {
+                "join" => ElasticEventKind::Join,
+                "drain" => ElasticEventKind::Drain {
+                    deadline_secs: req_f64(ev, &ctx, "deadline_secs")?,
+                },
+                "preempt" => ElasticEventKind::Preempt {
+                    notice_secs: req_f64(ev, &ctx, "notice_secs")?,
+                },
+                "leave" => ElasticEventKind::Leave,
+                other => {
+                    return Err(serde::DeError::new(format!(
+                        "{ctx}: unknown kind {other:?}; legal values: {}",
+                        ElasticEventKind::kinds().join(", ")
+                    )))
+                }
+            };
+            events.push(ElasticEvent {
+                device: req_str(ev, &ctx, "device")?,
+                at_secs: req_f64(ev, &ctx, "at_secs")?,
+                kind,
+            });
+        }
+        let mut churn = Vec::new();
+        for (i, c) in arr("churn")?.iter().enumerate() {
+            let ctx = format!("{ctx} churn {i}");
+            churn.push(ElasticChurn {
+                device: req_str(c, &ctx, "device")?,
+                mtbp_secs: req_f64(c, &ctx, "mtbp_secs")?,
+                weibull_shape: match c.get("weibull_shape") {
+                    None => None,
+                    Some(v) => Some(v.as_f64().ok_or_else(|| {
+                        serde::DeError::new(format!(
+                            "{ctx}: \"weibull_shape\" must be a number, got {v:?}"
+                        ))
+                    })?),
+                },
+                notice_secs: req_f64(c, &ctx, "notice_secs")?,
+                rejoin_secs: req_f64(c, &ctx, "rejoin_secs")?,
+            });
+        }
+        Ok(ElasticityKnob { events, churn })
+    }
+}
+
 fn default_tasks() -> usize {
     50
 }
@@ -743,6 +915,15 @@ pub struct CampaignSpec {
     /// members fail together. Requires a `resilience` block.
     #[serde(default)]
     pub failure_domains: Vec<FailureDomainKnob>,
+    /// Optional elastic-capacity plan: timed join/drain/preempt/leave
+    /// events and stochastic spot churn. Cells run through the
+    /// [`ResilientRunner`](crate::ResilientRunner) (a benign default
+    /// resilience config is synthesized when no `resilience` block is
+    /// present). Mutually exclusive with `faults`; omitted from the
+    /// canonical JSON when absent, so elasticity-free specs keep their
+    /// digests.
+    #[serde(default)]
+    pub elasticity: Option<ElasticityKnob>,
     /// Optional watchdog budget on simulated events per cell; a cell
     /// exceeding it is recorded as timed out instead of grinding the
     /// campaign. Overridable at run time via the
@@ -752,11 +933,11 @@ pub struct CampaignSpec {
 }
 
 // Hand-written Serialize: identical to the derive output except that
-// `scheduler_params` is *omitted* when absent (the vendored `Option`
-// impl would write `null`, which would shift the canonical JSON — and
-// therefore the content digest of every existing spec — the day the
-// field was added). Field order mirrors the declaration, like the
-// derive.
+// `scheduler_params` and `elasticity` are *omitted* when absent (the
+// vendored `Option` impl would write `null`, which would shift the
+// canonical JSON — and therefore the content digest of every existing
+// spec — the day the field was added). Field order mirrors the
+// declaration, like the derive.
 impl Serialize for CampaignSpec {
     fn to_value(&self) -> serde::Value {
         let mut fields: Vec<(String, serde::Value)> = vec![
@@ -787,6 +968,9 @@ impl Serialize for CampaignSpec {
             "failure_domains".to_owned(),
             self.failure_domains.to_value(),
         ));
+        if let Some(el) = &self.elasticity {
+            fields.push(("elasticity".to_owned(), el.to_value()));
+        }
         fields.push((
             "cell_step_budget".to_owned(),
             self.cell_step_budget.to_value(),
@@ -943,6 +1127,13 @@ impl CampaignSpec {
                     .into(),
             );
         }
+        if self.elasticity.is_some() && self.faults.is_some() {
+            return fail(
+                "`faults` and `elasticity` are mutually exclusive: capacity events run \
+                 through the resilient runner, which replaces the legacy fault path"
+                    .into(),
+            );
+        }
         if self.resilience.is_none()
             && (self.interconnect_faults.is_some() || !self.failure_domains.is_empty())
         {
@@ -964,8 +1155,20 @@ impl CampaignSpec {
                 detail: format!("`resilience`: {e}"),
             })
         })?;
-        // Domain members must resolve on *every* platform of the grid —
-        // a typo must die at validation, not in shard 7 of 32.
+        // Times, notices and churn rates are validated by the
+        // engine-level elasticity config; device names below, per
+        // platform.
+        if let Some(el) = &self.elasticity {
+            el.to_config().validate().map_err(|e| {
+                EngineError::Campaign(CampaignError::InvalidSpec {
+                    spec: self.name.clone(),
+                    detail: format!("`elasticity`: {e}"),
+                })
+            })?;
+        }
+        // Domain members and elasticity targets must resolve on *every*
+        // platform of the grid — a typo must die at validation, not in
+        // shard 7 of 32.
         for pname in &self.platforms {
             let Some(platform) = helios_platform::presets::by_name(pname) else {
                 continue; // Unknown platforms were rejected above.
@@ -1001,6 +1204,29 @@ impl CampaignSpec {
                     }
                 }
             }
+            if let Some(el) = &self.elasticity {
+                let unknown_device = |what: String, dev: &str| {
+                    let names: Vec<&str> = platform.devices().iter().map(|d| d.name()).collect();
+                    fail(format!(
+                        "{what}: unknown device {dev:?} on platform {pname:?} \
+                         (devices: {})",
+                        names.join(", ")
+                    ))
+                };
+                for (i, ev) in el.events.iter().enumerate() {
+                    if platform.device_by_name(&ev.device).is_none() {
+                        return unknown_device(
+                            format!("elasticity event {i} ({})", ev.kind.name()),
+                            &ev.device,
+                        );
+                    }
+                }
+                for c in &el.churn {
+                    if platform.device_by_name(&c.device).is_none() {
+                        return unknown_device("elasticity churn".to_owned(), &c.device);
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -1025,6 +1251,21 @@ impl CampaignSpec {
             config =
                 config.with_domains(self.failure_domains.iter().map(|d| d.to_domain()).collect());
         }
+        config.validate()?;
+        Ok(Some(config))
+    }
+
+    /// The engine-level elasticity configuration of the spec, validated.
+    /// `None` without an `elasticity` block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] naming the offending field.
+    pub fn elasticity_config(&self) -> Result<Option<ElasticityConfig>, EngineError> {
+        let Some(ek) = &self.elasticity else {
+            return Ok(None);
+        };
+        let config = ek.to_config();
         config.validate()?;
         Ok(Some(config))
     }
@@ -1567,6 +1808,171 @@ mod tests {
                 assert_ne!(digests[i], digests[j], "digest {i} vs {j}");
             }
         }
+    }
+
+    /// A spec with an elasticity block spliced in before the closing
+    /// brace.
+    fn elastic_json(body: &str) -> String {
+        minimal_json().trim_end().trim_end_matches('}').to_owned()
+            + &format!(r#", "elasticity": {body}}}"#)
+    }
+
+    #[test]
+    fn elasticity_parses_roundtrips_and_stays_out_of_knobfree_json() {
+        // Knob-free spec: no elasticity key in the canonical JSON, so
+        // pre-existing digests are untouched by the field's existence.
+        let spec = CampaignSpec::from_json(&minimal_json()).unwrap();
+        assert!(spec.elasticity.is_none());
+        let canonical = serde_json::to_string(&spec).unwrap();
+        assert!(
+            !canonical.contains("elasticity"),
+            "absent knob must be omitted, not serialized as null: {canonical}"
+        );
+
+        let spec = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [
+                {"kind": "join", "device": "gpu0", "at_secs": 0.5},
+                {"kind": "drain", "device": "cpu0", "at_secs": 0.2, "deadline_secs": 0.4},
+                {"kind": "preempt", "device": "cpu1", "at_secs": 0.1, "notice_secs": 0.05},
+                {"kind": "leave", "device": "gpu0", "at_secs": 2.0}
+            ],
+            "churn": [
+                {"device": "cpu1", "mtbp_secs": 0.5, "weibull_shape": 1.4,
+                 "notice_secs": 0.02, "rejoin_secs": 0.2}
+            ]}"#,
+        ))
+        .unwrap();
+        let el = spec.elasticity.as_ref().expect("elasticity parsed");
+        assert_eq!(el.events.len(), 4);
+        assert_eq!(el.events[0].kind, ElasticEventKind::Join);
+        assert_eq!(
+            el.events[1].kind,
+            ElasticEventKind::Drain { deadline_secs: 0.4 }
+        );
+        assert_eq!(
+            el.events[2].kind,
+            ElasticEventKind::Preempt { notice_secs: 0.05 }
+        );
+        assert_eq!(el.churn[0].weibull_shape, Some(1.4));
+        let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, round);
+        // And the knob lowers into a validating engine config.
+        spec.elasticity_config().unwrap().unwrap();
+
+        // Churn-only block, exponential (no shape).
+        let spec = CampaignSpec::from_json(&elastic_json(
+            r#"{"churn": [{"device": "gpu0", "mtbp_secs": 1.0,
+                           "notice_secs": 0.01, "rejoin_secs": 0.5}]}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            spec.elasticity.as_ref().unwrap().churn[0].weibull_shape,
+            None
+        );
+        let round = CampaignSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, round);
+    }
+
+    #[test]
+    fn elasticity_rejects_bad_input_naming_legal_values() {
+        // Unknown kind: the error names every legal kind tag.
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "vanish", "device": "cpu0", "at_secs": 1.0}]}"#,
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("join") && msg.contains("drain") && msg.contains("preempt"),
+            "error must name the legal kinds: {msg}"
+        );
+        // Missing kind tag and missing required fields are typed errors.
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"device": "cpu0", "at_secs": 1.0}]}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "drain", "device": "cpu0", "at_secs": 1.0}]}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("deadline_secs"), "{err}");
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "join", "device": "cpu0"}]}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("at_secs"), "{err}");
+        // Engine-level parameter validation is surfaced as InvalidSpec:
+        // negative times, zero notice, drain deadline at/before notice.
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "join", "device": "cpu0", "at_secs": -1.0}]}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("at_secs"), "{err}");
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "preempt", "device": "cpu0",
+                            "at_secs": 1.0, "notice_secs": 0.0}]}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("notice_secs"), "{err}");
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "drain", "device": "cpu0",
+                            "at_secs": 1.0, "deadline_secs": 1.0}]}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("deadline_secs"), "{err}");
+        // An empty block is rejected — it would silently change nothing.
+        let err = CampaignSpec::from_json(&elastic_json(r#"{"events": []}"#)).unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
+        // Unknown device: the error names the platform's real devices.
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "join", "device": "xpu9", "at_secs": 1.0}]}"#,
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("xpu9") && msg.contains("cpu0"), "{msg}");
+        let err = CampaignSpec::from_json(&elastic_json(
+            r#"{"churn": [{"device": "xpu9", "mtbp_secs": 1.0,
+                           "notice_secs": 0.01, "rejoin_secs": 0.5}]}"#,
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("xpu9") && msg.contains("cpu0"), "{msg}");
+        // Legacy faults and elasticity cannot be combined.
+        let json =
+            elastic_json(r#"{"events": [{"kind": "join", "device": "gpu0", "at_secs": 1.0}]}"#)
+                .trim_end()
+                .trim_end_matches('}')
+                .to_owned()
+                + r#"}, "faults": {"mtbf_secs": 2.0}}"#;
+        let err = CampaignSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn elasticity_changes_the_digest() {
+        let base = CampaignSpec::from_json(&minimal_json()).unwrap();
+        let with = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "preempt", "device": "gpu0",
+                            "at_secs": 0.2, "notice_secs": 0.05}]}"#,
+        ))
+        .unwrap();
+        assert_ne!(base.digest(), with.digest());
+        let tweaked = CampaignSpec::from_json(&elastic_json(
+            r#"{"events": [{"kind": "preempt", "device": "gpu0",
+                            "at_secs": 0.3, "notice_secs": 0.05}]}"#,
+        ))
+        .unwrap();
+        assert_ne!(
+            with.digest(),
+            tweaked.digest(),
+            "event parameters are part of the content digest"
+        );
+        let churned = CampaignSpec::from_json(&elastic_json(
+            r#"{"churn": [{"device": "gpu0", "mtbp_secs": 1.0,
+                           "notice_secs": 0.01, "rejoin_secs": 0.5}]}"#,
+        ))
+        .unwrap();
+        assert_ne!(with.digest(), churned.digest());
     }
 
     #[test]

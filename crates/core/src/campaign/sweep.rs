@@ -165,10 +165,25 @@ pub struct CellResult {
     #[serde(default)]
     pub rematerialized_bytes: f64,
     /// Why an incomplete cell stopped: `retries_exhausted`,
-    /// `all_devices_lost`, `timed_out` or `infeasible`. `None` for
-    /// completed cells.
+    /// `all_devices_lost`, `timed_out`, `infeasible` or
+    /// `capacity_exhausted`. `None` for completed cells.
     #[serde(default)]
     pub incomplete_reason: Option<String>,
+    /// Device-seconds of live capacity integrated over the run
+    /// (elasticity cells only).
+    #[serde(default)]
+    pub capacity_secs: f64,
+    /// Spot-preemption kills executed (elasticity cells only).
+    #[serde(default)]
+    pub preemptions: u32,
+    /// Queued task copies migrated off draining or preempted devices
+    /// (elasticity cells only).
+    #[serde(default)]
+    pub drain_migrated_tasks: u32,
+    /// Busy fraction of capacity contributed by devices that joined
+    /// mid-run (elasticity cells only; 0 when nothing joined).
+    #[serde(default)]
+    pub join_utilization: f64,
 }
 
 fn default_true() -> bool {
@@ -443,13 +458,23 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
             fk.max_retries,
         )?),
     };
+    // Elastic cells always run through the resilient runner: departures
+    // feed its recovery machinery. A spec with capacity events but no
+    // `resilience` block gets a benign stack — failures effectively
+    // never fire, departures recover through flat retry.
+    let elasticity = spec.elasticity_config()?;
+    let mut resilience = spec.resilience_config()?;
+    if elasticity.is_some() && resilience.is_none() {
+        resilience = Some(benign_resilience());
+    }
     let config = EngineConfig {
         seed: cell.seed,
         noise_cv: spec.noise_cv,
         link_contention: spec.link_contention,
         data_caching: spec.data_caching,
         faults,
-        resilience: spec.resilience_config()?,
+        resilience,
+        elasticity,
         step_budget: cell_step_budget(spec)?,
         ..Default::default()
     };
@@ -476,6 +501,10 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         rematerialized_tasks: 0,
         rematerialized_bytes: 0.0,
         incomplete_reason: None,
+        capacity_secs: 0.0,
+        preemptions: 0,
+        drain_migrated_tasks: 0,
+        join_utilization: 0.0,
     };
 
     let resilient = config.resilience.is_some();
@@ -527,7 +556,38 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         result.rematerialized_tasks = m.rematerialized_tasks;
         result.rematerialized_bytes = m.rematerialized_bytes;
     }
+    if let Some(m) = report.elasticity() {
+        result.capacity_secs = m.capacity_secs;
+        result.preemptions = m.preemptions;
+        result.drain_migrated_tasks = m.drain_migrated_tasks;
+        result.join_utilization = m.join_utilization;
+    }
     Ok(result)
+}
+
+/// The resilience stack backing elastic cells of a spec without a
+/// `resilience` block: an astronomical MTTF keeps the failure machinery
+/// quiet, and flat retry with a generous budget recovers work lost to
+/// departures.
+fn benign_resilience() -> crate::resilience::ResilienceConfig {
+    use crate::resilience::{FailureModel, RecoveryPolicy, ResilienceConfig};
+    ResilienceConfig::new(
+        FailureModel {
+            mttf_secs: 1e12,
+            weibull_shape: None,
+            degraded_prob: 0.0,
+            permanent_prob: 0.0,
+            degraded_slowdown: 2.0,
+            degraded_repair_secs: 1.0,
+            restart_overhead_secs: 0.0,
+        },
+        RecoveryPolicy::RetryBackoff {
+            base_secs: 0.0,
+            factor: 2.0,
+            cap_secs: 0.0,
+            max_retries: 100,
+        },
+    )
 }
 
 /// The per-cell simulated-event watchdog budget: the
@@ -772,6 +832,10 @@ mod tests {
                     rematerialized_tasks: 0,
                     rematerialized_bytes: 0.0,
                     incomplete_reason: None,
+                    capacity_secs: 0.0,
+                    preemptions: 0,
+                    drain_migrated_tasks: 0,
+                    join_utilization: 0.0,
                 })
                 .collect(),
         };

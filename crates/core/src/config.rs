@@ -2,6 +2,7 @@
 
 use helios_sim::SimDuration;
 
+use crate::elastic::ElasticityConfig;
 use crate::error::EngineError;
 use crate::resilience::{RecoveryPolicy, ResilienceConfig};
 
@@ -164,6 +165,13 @@ pub struct EngineConfig {
     /// transient-only failures under retry-backoff or
     /// checkpoint-restart).
     pub resilience: Option<ResilienceConfig>,
+    /// Elastic capacity plan: timed join/drain/preempt/leave events
+    /// plus stochastic spot churn
+    /// ([`ElasticityConfig`](crate::ElasticityConfig)). Requires the
+    /// [`ResilientRunner`](crate::ResilientRunner) — departures are
+    /// recovered through the same machinery as permanent faults, so
+    /// the other executors reject this knob.
+    pub elasticity: Option<ElasticityConfig>,
     /// Watchdog budget on simulated events processed by the
     /// [`ResilientRunner`](crate::ResilientRunner) event loop (per run,
     /// so per campaign cell). Exceeding it aborts the run with
@@ -223,6 +231,16 @@ impl EngineConfig {
             }
             res.validate()?;
         }
+        if let Some(el) = &self.elasticity {
+            if self.faults.is_some() || self.checkpointing.is_some() {
+                return Err(EngineError::Config(
+                    "elasticity is mutually exclusive with the legacy faults/checkpointing \
+                     options; use a resilience block for failure injection"
+                        .into(),
+                ));
+            }
+            el.validate()?;
+        }
         Ok(())
     }
 
@@ -257,6 +275,11 @@ impl EngineConfig {
     /// retry-backoff or checkpoint-restart; richer configurations need
     /// the [`ResilientRunner`](crate::ResilientRunner).
     pub(crate) fn fault_view(&self) -> Result<FaultView, EngineError> {
+        if self.elasticity.is_some() {
+            return Err(EngineError::Config(
+                "elastic capacity events require the ResilientRunner".into(),
+            ));
+        }
         let Some(res) = &self.resilience else {
             return Ok(FaultView {
                 faults: self.faults.clone(),
@@ -481,6 +504,40 @@ mod tests {
         });
         c.resilience.as_mut().unwrap().failures.permanent_prob = 0.1;
         assert!(c.fault_view().is_err());
+    }
+
+    #[test]
+    fn elasticity_requires_the_resilient_runner() {
+        use crate::elastic::{ElasticEvent, ElasticEventKind, ElasticityConfig};
+        let el = ElasticityConfig {
+            events: vec![ElasticEvent {
+                device: "gpu0".into(),
+                at_secs: 1.0,
+                kind: ElasticEventKind::Leave,
+            }],
+            churn: Vec::new(),
+        };
+        let c = EngineConfig {
+            elasticity: Some(el.clone()),
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+        let err = c.fault_view().unwrap_err().to_string();
+        assert!(err.contains("ResilientRunner"), "{err}");
+        // Mutually exclusive with the legacy fault pair.
+        let c = EngineConfig {
+            elasticity: Some(el),
+            faults: Some(FaultConfig::new(1.0, SimDuration::ZERO, 1).unwrap()),
+            ..Default::default()
+        };
+        let err = c.validate().unwrap_err().to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // An empty elasticity block is a config error, not a silent no-op.
+        let c = EngineConfig {
+            elasticity: Some(ElasticityConfig::default()),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub enum EngineError {
         /// Total tasks.
         total: usize,
     },
+    /// Every elastic device departed (preemption, drain or leave) with
+    /// no join still pending, so the remaining work has nowhere to run.
+    /// Campaign sweeps record this as a measurement
+    /// (`incomplete_reason = "capacity_exhausted"`), not an error.
+    CapacityExhausted {
+        /// Simulation time of the final departure, seconds.
+        at_secs: f64,
+        /// Tasks completed before capacity ran out.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
     /// The engine's event loop drained without completing every task —
     /// an internal invariant violation.
     Stalled {
@@ -80,6 +92,16 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "all devices failed permanently at {at_secs:.3}s with {completed}/{total} tasks complete"
+                )
+            }
+            EngineError::CapacityExhausted {
+                at_secs,
+                completed,
+                total,
+            } => {
+                write!(
+                    f,
+                    "all elastic capacity departed at {at_secs:.3}s with {completed}/{total} tasks complete"
                 )
             }
             EngineError::Stalled { completed, total } => {
@@ -165,5 +187,13 @@ mod tests {
         };
         assert!(e.to_string().contains("2.500s"), "{e}");
         assert!(e.to_string().contains("3/9"), "{e}");
+        let e = EngineError::CapacityExhausted {
+            at_secs: 4.25,
+            completed: 2,
+            total: 7,
+        };
+        assert!(e.to_string().contains("4.250s"), "{e}");
+        assert!(e.to_string().contains("2/7"), "{e}");
+        assert!(e.to_string().contains("capacity"), "{e}");
     }
 }

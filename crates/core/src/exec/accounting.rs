@@ -66,6 +66,11 @@ pub enum IncompleteReason {
     /// Every device failed permanently
     /// ([`EngineError::AllDevicesLost`]).
     AllDevicesLost,
+    /// Every elastic device departed with no join still pending
+    /// ([`EngineError::CapacityExhausted`]). Elastic capacity running
+    /// out is a property of the capacity plan being measured, not a
+    /// campaign-driver failure.
+    CapacityExhausted,
     /// No device on the platform can hold some task's working set
     /// ([`SchedError::NoFeasibleDevice`](helios_sched::SchedError)), so
     /// the cell could never have run. A grid pairing a large-memory
@@ -76,21 +81,23 @@ pub enum IncompleteReason {
 
 impl IncompleteReason {
     /// All reasons, in report order.
-    pub const ALL: [IncompleteReason; 4] = [
+    pub const ALL: [IncompleteReason; 5] = [
         IncompleteReason::TimedOut,
         IncompleteReason::RetriesExhausted,
         IncompleteReason::AllDevicesLost,
+        IncompleteReason::CapacityExhausted,
         IncompleteReason::Infeasible,
     ];
 
     /// The canonical report string (`timed_out`, `retries_exhausted`,
-    /// `all_devices_lost`, `infeasible`).
+    /// `all_devices_lost`, `capacity_exhausted`, `infeasible`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             IncompleteReason::TimedOut => "timed_out",
             IncompleteReason::RetriesExhausted => "retries_exhausted",
             IncompleteReason::AllDevicesLost => "all_devices_lost",
+            IncompleteReason::CapacityExhausted => "capacity_exhausted",
             IncompleteReason::Infeasible => "infeasible",
         }
     }
@@ -103,6 +110,7 @@ impl IncompleteReason {
             EngineError::StepBudgetExceeded { .. } => Some(IncompleteReason::TimedOut),
             EngineError::RetriesExhausted { .. } => Some(IncompleteReason::RetriesExhausted),
             EngineError::AllDevicesLost { .. } => Some(IncompleteReason::AllDevicesLost),
+            EngineError::CapacityExhausted { .. } => Some(IncompleteReason::CapacityExhausted),
             EngineError::Sched(helios_sched::SchedError::NoFeasibleDevice(_)) => {
                 Some(IncompleteReason::Infeasible)
             }
@@ -131,6 +139,7 @@ mod tests {
                 "timed_out",
                 "retries_exhausted",
                 "all_devices_lost",
+                "capacity_exhausted",
                 "infeasible"
             ]
         );
@@ -160,6 +169,14 @@ mod tests {
                 total: 4
             }),
             Some(IncompleteReason::AllDevicesLost)
+        );
+        assert_eq!(
+            IncompleteReason::from_error(&EngineError::CapacityExhausted {
+                at_secs: 3.0,
+                completed: 2,
+                total: 4
+            }),
+            Some(IncompleteReason::CapacityExhausted)
         );
         assert_eq!(
             IncompleteReason::from_error(&EngineError::Sched(

@@ -50,6 +50,7 @@ fn all_hooks_off(seed: u64) -> EngineConfig {
         checkpointing: None,
         tracing: false,
         resilience: None,
+        elasticity: None,
         step_budget: Some(u64::MAX),
     }
 }

@@ -70,3 +70,8 @@ pub(crate) const FAILURE_TRACE_STREAM_BASE: u64 = 3 << 32;
 /// entities, never positional in the event timeline.
 pub(crate) const LINK_FAULT_STREAM_BASE: u64 = 4 << 32;
 pub(crate) const DOMAIN_STREAM_BASE: u64 = 5 << 32;
+/// Device `d` draws its elastic-capacity churn trace (spot preemptions
+/// and re-acquisitions) from `ELASTIC_STREAM_BASE + d`. Timed elasticity
+/// events consume no randomness at all; only stochastic churn samples
+/// this stream.
+pub(crate) const ELASTIC_STREAM_BASE: u64 = 6 << 32;

@@ -6,17 +6,20 @@
 //! harness: every case samples families, presets and schedulers plus
 //! the noise/contention/caching/DVFS knobs, per-scheduler tuning
 //! overrides, the legacy fault block or a full resilience stack
-//! (recovery policy, interconnect faults, correlated failure domains)
-//! and an occasional tight step budget. Grids are kept small (at most
+//! (recovery policy, interconnect faults, correlated failure domains),
+//! elastic-capacity plans (timed join/drain/preempt/leave events and
+//! stochastic spot churn) and an occasional tight step budget. Grids
+//! are kept small (at most
 //! 2 × 2 × 2 × 2 cells, 15–30 tasks) because every case is swept
 //! several times over by the differential oracles.
 
 use helios_sim::SimRng;
 
 use crate::campaign::{
-    CampaignSpec, DvfsKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob,
-    ResilienceKnob, SchedulerParamsKnob, SeedRange,
+    CampaignSpec, DvfsKnob, ElasticityKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob,
+    PolicyKnob, ResilienceKnob, SchedulerParamsKnob, SeedRange,
 };
+use crate::elastic::{ElasticChurn, ElasticEvent, ElasticEventKind};
 
 /// Workflow families a generated spec may sweep.
 pub const FAMILIES: &[&str] = &["montage", "cybershake", "epigenomics", "ligo", "sipht"];
@@ -202,6 +205,107 @@ fn gen_domains(rng: &mut SimRng, platform: &str) -> Vec<FailureDomainKnob> {
         .collect()
 }
 
+/// Devices present on *every* platform of the grid — the only legal
+/// targets for elasticity events, which spec validation resolves per
+/// platform.
+fn elastic_members(platforms: &[String]) -> Vec<&'static str> {
+    let mut menu: Vec<&'static str> = domain_members(&platforms[0]).0.to_vec();
+    for p in &platforms[1..] {
+        let (devs, _) = domain_members(p);
+        menu.retain(|d| devs.contains(d));
+    }
+    menu
+}
+
+/// Draws an elasticity block over `devices`: join-only plans (devices
+/// start the run absent), preempt storms on a single device, mixed
+/// timed plans, or stochastic spot churn. Pathological-but-valid shapes
+/// are deliberate; invalid ones (drain deadline at/before the notice,
+/// zero notices) are ruled out by construction, matching what spec
+/// validation would reject.
+fn gen_elasticity(rng: &mut SimRng, devices: &[&str]) -> ElasticityKnob {
+    let mut events = Vec::new();
+    let mut churn = Vec::new();
+    match rng.uniform_usize(0, 3) {
+        // Join-only plan: the named devices start absent and arrive
+        // mid-flight; everything queued for them waits.
+        0 => {
+            let cap = devices.len().saturating_sub(1).clamp(1, 2);
+            let n = rng.uniform_usize(1, cap);
+            for device in pick_distinct(rng, devices, n) {
+                events.push(ElasticEvent {
+                    device,
+                    at_secs: rng.uniform(0.0, 1.0),
+                    kind: ElasticEventKind::Join,
+                });
+            }
+        }
+        // Preempt storm: repeated spot kills and re-acquisitions of one
+        // device.
+        1 => {
+            let device = (*rng.choose(devices).expect("device menu is non-empty")).to_owned();
+            let mut at = 0.0;
+            for _ in 0..rng.uniform_usize(2, 4) {
+                at += rng.uniform(0.05, 0.6);
+                events.push(ElasticEvent {
+                    device: device.clone(),
+                    at_secs: at,
+                    kind: ElasticEventKind::Preempt {
+                        notice_secs: rng.uniform(0.005, 0.1),
+                    },
+                });
+                at += rng.uniform(0.05, 0.4);
+                events.push(ElasticEvent {
+                    device: device.clone(),
+                    at_secs: at,
+                    kind: ElasticEventKind::Join,
+                });
+            }
+        }
+        // Mixed timed plan across random devices.
+        2 => {
+            for _ in 0..rng.uniform_usize(1, 3) {
+                let device = (*rng.choose(devices).expect("device menu is non-empty")).to_owned();
+                let at_secs = rng.uniform(0.0, 1.5);
+                let kind = match rng.uniform_usize(0, 3) {
+                    0 => ElasticEventKind::Join,
+                    1 => ElasticEventKind::Drain {
+                        deadline_secs: at_secs + rng.uniform(0.01, 0.5),
+                    },
+                    2 => ElasticEventKind::Preempt {
+                        notice_secs: rng.uniform(0.005, 0.2),
+                    },
+                    _ => ElasticEventKind::Leave,
+                };
+                events.push(ElasticEvent {
+                    device,
+                    at_secs,
+                    kind,
+                });
+            }
+        }
+        // Stochastic spot churn on 1–2 devices.
+        _ => {
+            let n = rng.uniform_usize(1, 2.min(devices.len()));
+            for device in pick_distinct(rng, devices, n) {
+                let weibull_shape = if rng.chance(0.3) {
+                    Some(rng.uniform(0.7, 2.0))
+                } else {
+                    None
+                };
+                churn.push(ElasticChurn {
+                    device,
+                    mtbp_secs: rng.uniform(0.3, 3.0),
+                    weibull_shape,
+                    notice_secs: rng.uniform(0.005, 0.1),
+                    rejoin_secs: rng.uniform(0.05, 0.8),
+                });
+            }
+        }
+    }
+    ElasticityKnob { events, churn }
+}
+
 /// Generates the deterministic spec of fuzz case `case` under
 /// `fuzz_seed`. The result always passes [`CampaignSpec::validate`];
 /// the harness's unit tests pin that property over many cases.
@@ -293,6 +397,14 @@ pub fn generate_spec(fuzz_seed: u64, case: usize) -> CampaignSpec {
         _ => Some(5_000_000),
     };
 
+    // Elastic capacity: ~30% of non-legacy-fault cases get an
+    // elasticity block (legacy faults are mutually exclusive with
+    // capacity events). Event targets come from the intersection of the
+    // grid's platform device menus so every name resolves everywhere.
+    let elastic_menu = elastic_members(&platforms);
+    let elasticity = (!with_legacy_faults && !elastic_menu.is_empty() && rng.chance(0.3))
+        .then(|| gen_elasticity(&mut rng, &elastic_menu));
+
     CampaignSpec {
         name: format!("fuzz-{fuzz_seed}-{case}"),
         families,
@@ -309,6 +421,7 @@ pub fn generate_spec(fuzz_seed: u64, case: usize) -> CampaignSpec {
         resilience,
         interconnect_faults,
         failure_domains,
+        elasticity,
         cell_step_budget,
     }
 }
@@ -349,6 +462,8 @@ mod tests {
         let mut with_resilience = 0;
         let mut with_domains = 0;
         let mut with_faults = 0;
+        let mut with_elasticity = 0;
+        let mut with_churn = 0;
         for case in 0..200 {
             let spec = generate_spec(42, case);
             spec.validate()
@@ -362,6 +477,12 @@ mod tests {
             with_resilience += usize::from(spec.resilience.is_some());
             with_domains += usize::from(!spec.failure_domains.is_empty());
             with_faults += usize::from(spec.faults.is_some());
+            with_elasticity += usize::from(spec.elasticity.is_some());
+            with_churn += usize::from(
+                spec.elasticity
+                    .as_ref()
+                    .is_some_and(|el| !el.churn.is_empty()),
+            );
         }
         // The knob-space sweep must actually reach every fault class.
         assert!(
@@ -376,6 +497,11 @@ mod tests {
             with_faults > 10,
             "legacy faults undersampled: {with_faults}"
         );
+        assert!(
+            with_elasticity > 15,
+            "elasticity undersampled: {with_elasticity}"
+        );
+        assert!(with_churn > 3, "spot churn undersampled: {with_churn}");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! |                       | byte-identical to the unsharded reference           |
 //! | `fault_free_bound`    | per completed cell, the faulted/resilient makespan  |
 //! |                       | is ≥ the makespan of the same spec with injection   |
-//! |                       | disabled, and `makespan_degradation ≥ 0`            |
+//! |                       | disabled, and `makespan_degradation ≥ 0`; stands    |
+//! |                       | down for elastic specs (a mid-run join can legally  |
+//! |                       | beat the static bound)                              |
 
 use helios_platform::presets;
 use serde::{Deserialize, Serialize};
@@ -185,6 +187,7 @@ fn all_hooks_off(seed: u64) -> EngineConfig {
         checkpointing: None,
         tracing: false,
         resilience: None,
+        elasticity: None,
         step_budget: Some(u64::MAX),
     }
 }
@@ -306,6 +309,8 @@ fn cell_result_violation(spec: &CampaignSpec, report: &SweepReport) -> Option<St
                 ("wasted_work_secs", r.wasted_work_secs),
                 ("recovery_overhead_secs", r.recovery_overhead_secs),
                 ("partition_downtime_secs", r.partition_downtime_secs),
+                ("capacity_secs", r.capacity_secs),
+                ("join_utilization", r.join_utilization),
             ] {
                 if !v.is_finite() || v < 0.0 {
                     return Some(format!("{at}: {name} = {v} is not finite and non-negative"));
@@ -404,6 +409,14 @@ fn bound_applies(spec: &CampaignSpec) -> bool {
         // Shared-link queueing is not work-conserving across cells: a
         // delayed transfer reorders the contention queue and can let a
         // competing chain finish earlier than in the fault-free run.
+        return false;
+    }
+    if spec.elasticity.is_some() {
+        // Capacity events re-shape the platform itself: a mid-run join
+        // adds a device the static bound never had (and can legally
+        // beat it), and a departure migrates the victim's queue — an
+        // implicit replan. Mirrors the replicate-k exclusion; see
+        // DESIGN.md §8.
         return false;
     }
     match &spec.resilience {

@@ -26,6 +26,10 @@
 //!   performance as it goes,
 //! * **data-product caching** — outputs consumed by several tasks on
 //!   one device transfer once,
+//! * **elastic capacity** — the [`elastic`] subsystem models devices
+//!   that join, drain, get preempted (spot kills with notice) and
+//!   leave mid-run, via timed plans or stochastic churn on forked
+//!   per-device RNG streams, with capacity metrics on the report,
 //! * **workflow ensembles** — the [`ensemble`] runner shares the
 //!   platform between several workflows arriving over time (FIFO /
 //!   priority / fair-share arbitration),
@@ -79,6 +83,7 @@
 
 pub mod campaign;
 mod config;
+pub mod elastic;
 mod engine;
 pub mod ensemble;
 mod error;
@@ -91,11 +96,14 @@ pub mod resilience;
 
 pub use campaign::{
     cell_rng, merge_shards, CampaignEngine, CampaignError, CampaignSpec, CellResult, DvfsKnob,
-    FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob, ResilienceKnob, ResumeOutcome,
-    SchedulerParamsKnob, SeedRange, ShardReport, ShardSpec, SummaryRow, SweepCell, SweepDriver,
-    SweepReport,
+    ElasticityKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob,
+    ResilienceKnob, ResumeOutcome, SchedulerParamsKnob, SeedRange, ShardReport, ShardSpec,
+    SummaryRow, SweepCell, SweepDriver, SweepReport,
 };
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
+pub use elastic::{
+    ElasticChurn, ElasticEvent, ElasticEventKind, ElasticityConfig, ElasticityMetrics,
+};
 pub use engine::Engine;
 pub use ensemble::{EnsembleMember, EnsemblePolicy, EnsembleReport, EnsembleRunner, MemberReport};
 pub use error::EngineError;

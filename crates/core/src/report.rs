@@ -9,6 +9,7 @@ use helios_sim::trace::Trace;
 use helios_sim::SimDuration;
 use helios_workflow::Workflow;
 
+use crate::elastic::ElasticityMetrics;
 use crate::resilience::ResilienceMetrics;
 
 /// Aggregate data-movement statistics for one run.
@@ -36,6 +37,8 @@ pub struct ExecutionReport {
     trace: Option<Trace>,
     #[serde(default)]
     resilience: Option<ResilienceMetrics>,
+    #[serde(default)]
+    elasticity: Option<ElasticityMetrics>,
 }
 
 impl ExecutionReport {
@@ -55,6 +58,7 @@ impl ExecutionReport {
             retries,
             trace,
             resilience: None,
+            elasticity: None,
         }
     }
 
@@ -70,6 +74,20 @@ impl ExecutionReport {
     #[must_use]
     pub fn resilience(&self) -> Option<&ResilienceMetrics> {
         self.resilience.as_ref()
+    }
+
+    /// Attaches elasticity metrics (set by the
+    /// [`ResilientRunner`](crate::ResilientRunner) when the run had an
+    /// elasticity block).
+    pub(crate) fn with_elasticity(mut self, metrics: ElasticityMetrics) -> ExecutionReport {
+        self.elasticity = Some(metrics);
+        self
+    }
+
+    /// Elasticity metrics, when the run had a capacity-event plan.
+    #[must_use]
+    pub fn elasticity(&self) -> Option<&ElasticityMetrics> {
+        self.elasticity.as_ref()
     }
 
     /// The realized schedule: actual start/finish times as executed.

@@ -114,6 +114,7 @@ impl Sim<'_> {
     pub(super) fn fail_devices(&mut self, dead: &[usize], now: SimTime) -> Result<(), EngineError> {
         for &d in dead {
             self.avail.set_down(DeviceId(d));
+            self.elastic_note_dead(d, now);
             self.devs[d].running = None;
             let suffix: Vec<usize> = self.devs[d].queue[self.devs[d].pos..].to_vec();
             for ri in suffix {
@@ -145,14 +146,39 @@ impl Sim<'_> {
             .map(TaskId)
             .filter(|&t| self.finished_at[t.0].is_none() && !self.task_has_live_replica(t))
             .collect();
-        match self.res.policy.clone() {
-            RecoveryPolicy::Reschedule {
-                scheduler,
-                overhead_secs,
-                ..
-            } => self.reschedule_replan(&scheduler, overhead_secs, now),
-            _ => self.greedy_reassign(&stranded, now),
+        self.recover_stranded(&stranded, now)?;
+        self.check_parked(now)
+    }
+
+    /// Places stranded tasks by policy: a full replan under Reschedule
+    /// (any capacity change re-ranks the whole remaining workload),
+    /// greedy per-task reassignment otherwise. Under an elastic
+    /// configuration, a task with no live candidate parks until
+    /// capacity returns instead of failing the run.
+    pub(super) fn recover_stranded(
+        &mut self,
+        stranded: &[TaskId],
+        now: SimTime,
+    ) -> Result<(), EngineError> {
+        if let RecoveryPolicy::Reschedule {
+            scheduler,
+            overhead_secs,
+            ..
+        } = self.res.policy.clone()
+        {
+            if (0..self.devs.len()).any(|d| self.dispatchable(d)) {
+                return self.reschedule_replan(&scheduler, overhead_secs, now);
+            }
         }
+        for &t in stranded {
+            if let Err(e) = self.greedy_reassign(&[t], now) {
+                match e {
+                    EngineError::AllDevicesLost { .. } => self.park_or_exhaust(t, now, e)?,
+                    _ => return Err(e),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Data-product loss and lineage recovery.
@@ -165,11 +191,14 @@ impl Sim<'_> {
     /// un-finished so it re-executes — and only those: the walk stops at
     /// ancestors whose products survive, so exactly the lost ancestor
     /// chain is re-materialized.
-    fn rematerialize_lost_products(&mut self) {
+    pub(super) fn rematerialize_lost_products(&mut self) {
         let n = self.wf.num_tasks();
-        // 1. Purge copies that died with their devices.
+        // 1. Purge copies that died with their devices — or departed
+        //    with them: an absent device's local storage is gone.
         let avail = &self.avail;
-        self.delivered.purge_lost(|dev| avail.is_up(dev));
+        let el = self.elastic.as_ref();
+        self.delivered
+            .purge_lost(|dev| avail.is_up(dev) && el.is_none_or(|e| e.is_present(dev.0)));
         // 2. Re-point dead winners at the smallest surviving cached
         //    copy; products with no copy anywhere are lost.
         let mut lost = vec![false; n];
@@ -177,7 +206,7 @@ impl Sim<'_> {
             let Some(w) = self.winner_dev[t] else {
                 continue;
             };
-            if self.avail.is_up(w) {
+            if self.device_live(w.0) {
                 continue;
             }
             match self.delivered.surviving_copy(TaskId(t)) {
@@ -256,6 +285,9 @@ impl Sim<'_> {
         for &task in stranded {
             let mut best: Option<(f64, usize)> = None;
             for dev in self.avail.surviving() {
+                if !self.dispatchable(dev.0) {
+                    continue;
+                }
                 let device = self.platform.device(dev)?;
                 if !placement_feasible(device, self.wf.task(task)?) {
                     continue;
@@ -331,7 +363,12 @@ impl Sim<'_> {
         self.counters.reschedules += 1;
         self.counters.recovery += overhead_secs;
         self.dispatch_dirty = true;
-        let alive = self.avail.surviving();
+        let alive: Vec<DeviceId> = self
+            .avail
+            .surviving()
+            .into_iter()
+            .filter(|dev| self.dispatchable(dev.0))
+            .collect();
         let sub = self.platform.survivors(&alive)?;
         let sched = scheduler_by_name(scheduler).ok_or_else(|| {
             EngineError::Config(format!("unknown scheduler {scheduler:?} for reschedule"))
@@ -387,7 +424,7 @@ impl Sim<'_> {
             new_queues[orig.0].push(ri);
         }
         for (d, queued) in new_queues.iter_mut().enumerate() {
-            if !self.avail.is_up(DeviceId(d)) {
+            if !self.device_live(d) {
                 continue;
             }
             let keep = (self.devs[d].pos + usize::from(self.devs[d].running.is_some()))

@@ -7,7 +7,9 @@
 //! and the [`Hooks`](crate::exec) implementation that plugs them into
 //! the shared step loop. The fault-injection handlers live in
 //! [`faults`], the recovery machinery (device loss, lineage
-//! re-materialization, reassignment, replanning) in [`recovery`]; both
+//! re-materialization, reassignment, replanning) in [`recovery`], the
+//! work/transfer modeling in [`staging`], and the elastic-capacity
+//! handlers (join/drain/preempt/leave, spot churn) in [`elastic`]; all
 //! are `impl` extensions of [`Sim`].
 //!
 //! # Determinism
@@ -18,8 +20,10 @@
 //! stream `FAILURE_TRACE_STREAM_BASE + d`, link `l` draws its fault
 //! trace from stream `LINK_FAULT_STREAM_BASE + l`, and failure domain
 //! `i` draws its correlated-event trace from stream
-//! `DOMAIN_STREAM_BASE + i`. Nothing is sampled inside the event loop
-//! in event order, so identical seeds give byte-identical reports
+//! `DOMAIN_STREAM_BASE + i`, and device `d`'s elastic churn renewal
+//! draws from `ELASTIC_STREAM_BASE + d` (timed elasticity events
+//! consume no randomness at all). Nothing is sampled inside the event
+//! loop in event order, so identical seeds give byte-identical reports
 //! regardless of how the surrounding campaign is threaded or sharded.
 //!
 //! # Monotonicity
@@ -47,10 +51,14 @@ use crate::exec::{
 use crate::report::{ExecutionReport, TransferStats};
 use crate::resilience::{RecoveryPolicy, ResilienceConfig, ResilienceMetrics};
 
+#[path = "elastic.rs"]
+mod elastic;
 #[path = "faults.rs"]
 mod faults;
 #[path = "recovery.rs"]
 mod recovery;
+#[path = "staging.rs"]
+mod staging;
 
 /// Executes static plans under a failure model and a recovery policy,
 /// attaching [`ResilienceMetrics`] to the report.
@@ -186,7 +194,8 @@ impl ResilientRunner {
         // not in joules (a documented approximation).
         let energy = account(&faulty.schedule, wf, platform, false)?;
         let failures = c.transient + c.degraded + c.permanent;
-        Ok(ExecutionReport::new(
+        let elasticity = faulty.elastic.as_ref().map(|e| e.metrics(&faulty.schedule));
+        let mut report = ExecutionReport::new(
             faulty.schedule,
             energy,
             faulty.stats,
@@ -194,7 +203,11 @@ impl ResilientRunner {
             c.retries,
             None,
         )
-        .with_resilience(metrics))
+        .with_resilience(metrics);
+        if let Some(m) = elasticity {
+            report = report.with_elasticity(m);
+        }
+        Ok(report)
     }
 }
 
@@ -315,6 +328,9 @@ enum Ev {
     LinkFault { link: usize },
     LinkRepair { link: usize, seq: u32 },
     DomainFault { domain: usize },
+    ElasticTimed { event: usize },
+    ElasticChurn { device: usize, seq: u32 },
+    ElasticDeadline { device: usize, seq: u32 },
 }
 
 #[derive(Debug, Default)]
@@ -344,6 +360,7 @@ struct Outcome {
     schedule: Schedule,
     stats: TransferStats,
     counters: Counters,
+    elastic: Option<elastic::ElasticOutcome>,
 }
 
 struct Sim<'a> {
@@ -385,6 +402,9 @@ struct Sim<'a> {
     /// Set when recovery queues new replicas mid-dispatch, forcing
     /// another dispatch pass over all devices.
     dispatch_dirty: bool,
+    /// Elastic-capacity runtime, when the config has an elasticity
+    /// block (both passes: capacity is reality, not fault injection).
+    elastic: Option<elastic::ElasticRt>,
 }
 
 impl<'a> Sim<'a> {
@@ -508,7 +528,9 @@ impl<'a> Sim<'a> {
             domains_rt,
             link_health_active,
             dispatch_dirty: false,
+            elastic: None,
         };
+        sim.init_elastic(&base_rng)?;
 
         // Build replicas: the planned placement, plus k-1 copies on the
         // fastest other feasible devices under ReplicateK.
@@ -540,7 +562,7 @@ impl<'a> Sim<'a> {
                 // Fastest feasible alternates first; ties break on id.
                 let mut cands: Vec<(f64, usize)> = Vec::new();
                 for d in 0..nd {
-                    if d == primary.0 {
+                    if d == primary.0 || !sim.device_live(d) {
                         continue;
                     }
                     let device = platform.device(DeviceId(d))?;
@@ -609,97 +631,18 @@ impl<'a> Sim<'a> {
         sim.dispatch_all(SimTime::ZERO)?;
         drive(&mut sim)?;
 
-        let placements: Vec<Placement> = sim
-            .realized
+        let placements: Vec<Placement> = std::mem::take(&mut sim.realized)
             .into_iter()
             .map(|p| p.expect("all tasks completed"))
             .collect();
+        let schedule = Schedule::new(placements)?;
+        let elastic = sim.elastic_outcome(schedule.makespan());
         Ok(Outcome {
-            schedule: Schedule::new(placements)?,
+            schedule,
             stats: sim.stats,
             counters: sim.counters,
+            elastic,
         })
-    }
-
-    /// Modeled execution time of `task` on `device` at `level`, folding
-    /// in the task's noise multiplier and the device's static slowdown.
-    fn work_on(
-        &self,
-        task: TaskId,
-        device: DeviceId,
-        level: DvfsLevel,
-    ) -> Result<SimDuration, EngineError> {
-        let dev = self.platform.device(device)?;
-        let modeled = dev.execution_time(self.wf.task(task)?.cost(), level)?;
-        let slow = slowdown_factor(self.cfg.device_slowdown.as_ref(), device.0);
-        Ok(modeled * self.noise[task.0] * slow)
-    }
-
-    /// Arrival instant of one input transfer at `device`, honoring link
-    /// health at staging time: degraded links stretch the transfer,
-    /// downed links force a reroute over the default link or stall the
-    /// transfer until the earliest repair. Returns `Ok(None)` when every
-    /// candidate route is permanently severed — the device is
-    /// partitioned away from the producer.
-    fn staged_arrival(
-        &mut self,
-        src_dev: DeviceId,
-        device: DeviceId,
-        bytes: f64,
-        ready: SimTime,
-    ) -> Result<Option<SimTime>, EngineError> {
-        if src_dev == device {
-            return Ok(Some(ready));
-        }
-        let platform = self.platform;
-        if !self.link_health_active {
-            let arrival = self.links.transfer_arrival(
-                platform,
-                self.cfg.link_contention,
-                bytes,
-                src_dev,
-                device,
-                ready,
-                &mut self.stats,
-                None,
-            )?;
-            return Ok(Some(arrival));
-        }
-        let ic = platform.interconnect();
-        let primary = ic.route(src_dev, device)?;
-        // The only alternate path the model knows is the default link
-        // (presets route unrelated pairs over it); a fallback identical
-        // to the primary is no detour.
-        let fallback: Option<Vec<LinkId>> = ic
-            .default_link()
-            .map(|dl| vec![dl])
-            .filter(|f| f[..] != primary[..]);
-        let choice = choose_route(&self.links_avail, &primary, fallback.as_deref(), ready);
-        let RouteChoice::Go {
-            route,
-            anchor,
-            scale,
-            rerouted,
-        } = choice
-        else {
-            return Ok(None);
-        };
-        if rerouted {
-            self.counters.reroutes += 1;
-        }
-        if anchor > ready {
-            self.counters.partition_downtime += anchor.saturating_since(ready).as_secs();
-        }
-        let arrival = self.links.transfer_arrival_on_route(
-            platform,
-            self.cfg.link_contention,
-            bytes,
-            route,
-            anchor,
-            scale,
-            &mut self.stats,
-        )?;
-        Ok(Some(arrival))
     }
 
     /// Scans every device (in id order) and starts the next eligible
@@ -711,7 +654,7 @@ impl<'a> Sim<'a> {
         loop {
             self.dispatch_dirty = false;
             for d in 0..self.devs.len() {
-                if !self.avail.is_up(DeviceId(d)) {
+                if !self.dispatchable(d) {
                     continue;
                 }
                 loop {
@@ -981,6 +924,9 @@ impl Hooks for Sim<'_> {
                 Ok(())
             }
             Ev::DomainFault { domain } => self.handle_domain_fault(domain, now),
+            Ev::ElasticTimed { event } => self.handle_elastic_timed(event, now),
+            Ev::ElasticChurn { device, seq } => self.handle_elastic_churn(device, seq, now),
+            Ev::ElasticDeadline { device, seq } => self.handle_elastic_deadline(device, seq, now),
         }
     }
 

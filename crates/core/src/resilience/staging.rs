@@ -1,0 +1,90 @@
+//! Work and transfer modeling for the resilient executor: task
+//! duration on a device (noise and slowdown folded in) and link-health
+//! aware input staging. An `impl` extension of [`Sim`], split out of
+//! `runner.rs` so the path source holds only the hook set and the
+//! dispatcher.
+
+use super::*;
+
+impl Sim<'_> {
+    /// Modeled execution time of `task` on `device` at `level`, folding
+    /// in the task's noise multiplier and the device's static slowdown.
+    pub(super) fn work_on(
+        &self,
+        task: TaskId,
+        device: DeviceId,
+        level: DvfsLevel,
+    ) -> Result<SimDuration, EngineError> {
+        let dev = self.platform.device(device)?;
+        let modeled = dev.execution_time(self.wf.task(task)?.cost(), level)?;
+        let slow = slowdown_factor(self.cfg.device_slowdown.as_ref(), device.0);
+        Ok(modeled * self.noise[task.0] * slow)
+    }
+
+    /// Arrival instant of one input transfer at `device`, honoring link
+    /// health at staging time: degraded links stretch the transfer,
+    /// downed links force a reroute over the default link or stall the
+    /// transfer until the earliest repair. Returns `Ok(None)` when every
+    /// candidate route is permanently severed — the device is
+    /// partitioned away from the producer.
+    pub(super) fn staged_arrival(
+        &mut self,
+        src_dev: DeviceId,
+        device: DeviceId,
+        bytes: f64,
+        ready: SimTime,
+    ) -> Result<Option<SimTime>, EngineError> {
+        if src_dev == device {
+            return Ok(Some(ready));
+        }
+        let platform = self.platform;
+        if !self.link_health_active {
+            let arrival = self.links.transfer_arrival(
+                platform,
+                self.cfg.link_contention,
+                bytes,
+                src_dev,
+                device,
+                ready,
+                &mut self.stats,
+                None,
+            )?;
+            return Ok(Some(arrival));
+        }
+        let ic = platform.interconnect();
+        let primary = ic.route(src_dev, device)?;
+        // The only alternate path the model knows is the default link
+        // (presets route unrelated pairs over it); a fallback identical
+        // to the primary is no detour.
+        let fallback: Option<Vec<LinkId>> = ic
+            .default_link()
+            .map(|dl| vec![dl])
+            .filter(|f| f[..] != primary[..]);
+        let choice = choose_route(&self.links_avail, &primary, fallback.as_deref(), ready);
+        let RouteChoice::Go {
+            route,
+            anchor,
+            scale,
+            rerouted,
+        } = choice
+        else {
+            return Ok(None);
+        };
+        if rerouted {
+            self.counters.reroutes += 1;
+        }
+        if anchor > ready {
+            self.counters.partition_downtime += anchor.saturating_since(ready).as_secs();
+        }
+        let arrival = self.links.transfer_arrival_on_route(
+            platform,
+            self.cfg.link_contention,
+            bytes,
+            route,
+            anchor,
+            scale,
+            &mut self.stats,
+        )?;
+        Ok(Some(arrival))
+    }
+}

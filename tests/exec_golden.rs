@@ -23,8 +23,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use helios::core::{
-    Engine, EngineConfig, ExecutionReport, FailureModel, FaultConfig, OnlinePolicy, OnlineRunner,
-    RecoveryPolicy, ResilienceConfig, ResilientRunner,
+    ElasticEvent, ElasticEventKind, ElasticityConfig, Engine, EngineConfig, ExecutionReport,
+    FailureModel, FaultConfig, OnlinePolicy, OnlineRunner, RecoveryPolicy, ResilienceConfig,
+    ResilientRunner,
 };
 use helios::platform::presets;
 use helios::sched::{HeftScheduler, Scheduler};
@@ -94,6 +95,7 @@ fn current_entries() -> Vec<GoldenEntry> {
             max_retries: 10_000,
         },
     );
+    let elastic_resilience = resilience.clone();
 
     let modes: Vec<(&'static str, ExecutionReport)> = vec![
         (
@@ -157,6 +159,42 @@ fn current_entries() -> Vec<GoldenEntry> {
             OnlineRunner::new(EngineConfig::default(), OnlinePolicy::RankedJit)
                 .run(&platform, &wf)
                 .expect("online_ranked"),
+        ),
+        (
+            // Appended after the original seven modes so their fixture
+            // rows stay byte-identical: capacity events must not
+            // perturb any pre-existing digest.
+            "elastic",
+            ResilientRunner::new(EngineConfig {
+                seed: 5,
+                noise_cv: 0.1,
+                resilience: Some(elastic_resilience),
+                elasticity: Some(ElasticityConfig {
+                    events: vec![
+                        ElasticEvent {
+                            device: "cpu1".into(),
+                            at_secs: 0.002,
+                            kind: ElasticEventKind::Preempt { notice_secs: 0.001 },
+                        },
+                        ElasticEvent {
+                            device: "gpu0".into(),
+                            at_secs: 0.004,
+                            kind: ElasticEventKind::Drain {
+                                deadline_secs: 0.006,
+                            },
+                        },
+                        ElasticEvent {
+                            device: "cpu1".into(),
+                            at_secs: 0.02,
+                            kind: ElasticEventKind::Join,
+                        },
+                    ],
+                    churn: Vec::new(),
+                }),
+                ..Default::default()
+            })
+            .run(&platform, &wf, &HeftScheduler::default())
+            .expect("elastic"),
         ),
     ];
 

@@ -178,6 +178,71 @@ fn corruptions(bad: &str, poison: f64) -> Vec<Corruption> {
             needle: "unique",
         },
         Corruption {
+            label: "elasticity event names unknown device",
+            json: spec_with(&format!(
+                r#", "elasticity": {{"events": [{{"kind": "join", "device": "{bad}",
+                                                 "at_secs": 0.5}}]}}"#
+            )),
+            // "" trips the engine's empty-name check, everything else
+            // the per-platform resolution; both name the device field.
+            needle: "device",
+        },
+        Corruption {
+            label: "negative elasticity event time",
+            json: spec_with(&format!(
+                r#", "elasticity": {{"events": [{{"kind": "join", "device": "cpu0",
+                                                 "at_secs": -{poison}}}]}}"#
+            )),
+            needle: "at_secs",
+        },
+        Corruption {
+            label: "zero preempt notice",
+            json: spec_with(
+                r#", "elasticity": {"events": [{"kind": "preempt", "device": "cpu0",
+                                                "at_secs": 0.5, "notice_secs": 0}]}"#,
+            ),
+            needle: "notice_secs",
+        },
+        Corruption {
+            label: "unknown elasticity event kind",
+            json: spec_with(&format!(
+                r#", "elasticity": {{"events": [{{"kind": "{bad}", "device": "cpu0",
+                                                 "at_secs": 0.5}}]}}"#
+            )),
+            needle: "kind",
+        },
+        Corruption {
+            label: "drain deadline not after its notice",
+            json: spec_with(
+                r#", "elasticity": {"events": [{"kind": "drain", "device": "cpu0",
+                                                "at_secs": 0.5, "deadline_secs": 0.5}]}"#,
+            ),
+            needle: "deadline_secs",
+        },
+        Corruption {
+            label: "empty elasticity block",
+            json: spec_with(r#", "elasticity": {"events": [], "churn": []}"#),
+            needle: "at least one",
+        },
+        Corruption {
+            label: "faults and elasticity together",
+            json: spec_with(
+                r#", "faults": {"mtbf_secs": 100.0},
+                   "elasticity": {"events": [{"kind": "join", "device": "cpu0",
+                                              "at_secs": 0.5}]}"#,
+            ),
+            needle: "mutually exclusive",
+        },
+        Corruption {
+            label: "non-positive churn period",
+            json: spec_with(&format!(
+                r#", "elasticity": {{"churn": [{{"device": "cpu0", "mtbp_secs": 0,
+                                                "notice_secs": {poison},
+                                                "rejoin_secs": {poison}}}]}}"#
+            )),
+            needle: "mtbp_secs",
+        },
+        Corruption {
             label: "truncated JSON",
             json: spec_with("").split_at(40).0.to_owned(),
             needle: "malformed",
