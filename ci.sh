@@ -92,6 +92,68 @@ cmp "$sweep_tmp/rfull.json" "$sweep_tmp/rresume.json"
 cmp "$sweep_tmp/rfull.json" "$sweep_tmp/rmerged.json"
 echo "kill-and-resume and 2-shard merge are byte-identical under resilience"
 
+echo "==> kill -9 chaos loop (write-ahead journal survives hard kills)"
+# The release binary sweeps a 6000-cell resilient spec through the
+# fsync'd cell journal while being kill -9'd at randomized delays: at
+# least 5 hard kills land wherever they land — between records or
+# mid-record. `campaign recover` then salvages the journal (truncating
+# any torn tail) and a final run completes it; the compiled view must be
+# byte-identical to a run that was never interrupted. HELIOS_POISON_LIMIT
+# is raised so a cell the random kills keep hitting is retried rather
+# than quarantined (quarantine changes the bytes by design).
+cspec="$sweep_tmp/chaos_spec.json"
+sed 's/"count": 3/"count": 3000/' "$rspec" > "$cspec"
+"$helios" campaign run --spec "$cspec" --out "$sweep_tmp/chaos_ref.json" > /dev/null
+kills=0
+tries=0
+while [ "$kills" -lt 5 ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 60 ]; then
+        echo "chaos loop could not land 5 kills in $tries tries" >&2
+        exit 1
+    fi
+    HELIOS_POISON_LIMIT=100 "$helios" campaign run --spec "$cspec" \
+        --journal "$sweep_tmp/chaos.journal" --out "$sweep_tmp/chaos.json" \
+        > /dev/null 2>&1 &
+    chaos_pid=$!
+    # POSIX sh has no $RANDOM: draw two bytes from /dev/urandom for a
+    # randomized 20-490 ms kill delay.
+    delay=$(od -An -N2 -tu2 /dev/urandom | tr -d ' ')
+    sleep "$(printf '0.%03d' $((delay % 470 + 20)))"
+    kill -9 "$chaos_pid" 2> /dev/null || true
+    if wait "$chaos_pid" 2> /dev/null; then
+        # The sweep finished before the kill landed: the journal is
+        # complete, so restart the chaos from an empty one.
+        rm -f "$sweep_tmp/chaos.journal" "$sweep_tmp/chaos.json"
+    else
+        kills=$((kills + 1))
+    fi
+done
+"$helios" campaign recover "$sweep_tmp/chaos.journal" > /dev/null
+HELIOS_POISON_LIMIT=100 "$helios" campaign run --spec "$cspec" \
+    --journal "$sweep_tmp/chaos.journal" --out "$sweep_tmp/chaos.json" > /dev/null
+cmp "$sweep_tmp/chaos_ref.json" "$sweep_tmp/chaos.json"
+echo "journal survived $kills hard kills ($tries runs) byte-identically"
+
+echo "==> torn-write smoke (mid-record kill is salvaged, not hand-repaired)"
+# The torn-write hook persists half of one record's bytes and dies —
+# the exact shape a kill mid-`write(2)` leaves behind. Recovery must
+# truncate the torn tail, report it, and resume byte-identically.
+if HELIOS_JOURNAL_TORN_WRITE=3 "$helios" campaign run --spec "$rspec" \
+    --journal "$sweep_tmp/torn.journal" > /dev/null 2>&1; then
+    echo "torn-write injection unexpectedly exited zero" >&2
+    exit 1
+fi
+"$helios" campaign recover "$sweep_tmp/torn.journal" | grep -q "torn byte(s)"
+"$helios" campaign run --spec "$rspec" \
+    --journal "$sweep_tmp/torn.journal" --out "$sweep_tmp/torn.json" > /dev/null
+cmp "$sweep_tmp/rfull.json" "$sweep_tmp/torn.json"
+# Journals are also merge inputs in their own right.
+"$helios" campaign merge --in "$sweep_tmp/torn.journal" \
+    --out "$sweep_tmp/torn_merged.json" > /dev/null
+cmp "$sweep_tmp/rfull.json" "$sweep_tmp/torn_merged.json"
+echo "torn journal salvaged and merged byte-identically"
+
 echo "==> partition smoke (correlated rack outage + interconnect faults)"
 # The full three-class fault stack through the release binary: a rack
 # domain that permanently kills node1 and severs the only inter-node
@@ -165,7 +227,8 @@ echo "==> perf-trajectory smoke"
 # come from a full (non-smoke) run; the bench crate's test suite checks
 # the committed file carries both series.
 target/release/perf_trajectory --smoke --out "$sweep_tmp/bench_smoke.json"
-for series in paper_grid_cells_per_sec synthetic_dag_steps_per_sec; do
+for series in paper_grid_cells_per_sec paper_grid_journal_cells_per_sec \
+    synthetic_dag_steps_per_sec; do
     if ! grep -q "\"$series\"" "$sweep_tmp/bench_smoke.json"; then
         echo "bench smoke output is missing the $series series" >&2
         exit 1

@@ -1,4 +1,4 @@
-//! The pinned perf trajectory: emits `BENCH_<PR>.json` with the two
+//! The pinned perf trajectory: emits `BENCH_<PR>.json` with the three
 //! series every PR must keep honest (ROADMAP item 2).
 //!
 //! * `paper_grid_cells_per_sec` — grid cells executed per second,
@@ -7,6 +7,10 @@
 //!   link contention + data caching on) through the sequential
 //!   `SweepDriver`. This is the end-to-end number: generation,
 //!   planning and the exec-core step loop together.
+//! * `paper_grid_journal_cells_per_sec` — the same grid driven through
+//!   the write-ahead cell journal (`SweepDriver::run_journal`), so the
+//!   durability tax — two fsync'd appends per cell — is a pinned number
+//!   next to the journal-free baseline instead of folklore.
 //! * `synthetic_dag_steps_per_sec` — simulated events processed per
 //!   second executing a 10⁵-task layered DAG through
 //!   `Engine::execute_plan` (one Finish per task, one Arrival per
@@ -30,7 +34,7 @@ use helios_sched::{RoundRobinScheduler, Scheduler};
 use helios_workflow::generators::synthetic::{layered_random, LayeredConfig};
 
 /// The PR number this trajectory file belongs to.
-const PR: u32 = 8;
+const PR: u32 = 9;
 
 struct SeriesOut {
     name: &'static str,
@@ -56,8 +60,9 @@ fn main() {
 
 fn run(smoke: bool, out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let grid = bench_paper_grid(smoke)?;
+    let journal = bench_paper_grid_journal(smoke)?;
     let dag = bench_synthetic_dag(smoke)?;
-    let json = render(smoke, &[grid, dag]);
+    let json = render(smoke, &[grid, journal, dag]);
     std::fs::write(out_path, &json)?;
     eprintln!("wrote {out_path}");
     Ok(())
@@ -81,6 +86,39 @@ fn bench_paper_grid(smoke: bool) -> Result<SeriesOut, Box<dyn std::error::Error>
     let cells = report.cells.len() as f64;
     Ok(SeriesOut {
         name: "paper_grid_cells_per_sec",
+        unit: "cells/sec",
+        value: cells / wall,
+        detail: vec![("cells", cells), ("wall_secs", wall)],
+    })
+}
+
+/// Cells/sec for the same grid slice through the write-ahead journal:
+/// identical execution plus two fsync'd record appends per cell. The
+/// gap between this and `paper_grid_cells_per_sec` is the durability
+/// overhead.
+fn bench_paper_grid_journal(smoke: bool) -> Result<SeriesOut, Box<dyn std::error::Error>> {
+    use helios_core::JournalOptions;
+
+    let spec_path = spec_path("examples/specs/paper_grid.json");
+    let spec = CampaignSpec::from_json(&std::fs::read_to_string(&spec_path)?)?;
+    let shard = if smoke {
+        ShardSpec::new(1, 40)?
+    } else {
+        ShardSpec::full()
+    };
+    let journal_path = std::env::temp_dir().join(format!(
+        "helios-bench-journal-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+    let driver = SweepDriver::new(1);
+    let start = Instant::now();
+    let run = driver.run_journal(&spec, shard, &journal_path, &JournalOptions::default())?;
+    let wall = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&journal_path);
+    let cells = run.report.cells.len() as f64;
+    Ok(SeriesOut {
+        name: "paper_grid_journal_cells_per_sec",
         unit: "cells/sec",
         value: cells / wall,
         detail: vec![("cells", cells), ("wall_secs", wall)],

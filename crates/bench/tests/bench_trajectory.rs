@@ -1,15 +1,19 @@
-//! The committed `BENCH_<PR>.json` must exist and carry both pinned
+//! The committed `BENCH_<PR>.json` must exist and carry every pinned
 //! series. A PR that drops a series (or commits an empty/garbled file)
 //! silently breaks the perf trajectory; this test makes that loud.
 
 use std::path::PathBuf;
 
 /// Every series the trajectory file must carry, by stable name.
-const REQUIRED_SERIES: [&str; 2] = ["paper_grid_cells_per_sec", "synthetic_dag_steps_per_sec"];
+const REQUIRED_SERIES: [&str; 3] = [
+    "paper_grid_cells_per_sec",
+    "paper_grid_journal_cells_per_sec",
+    "synthetic_dag_steps_per_sec",
+];
 
 /// The PR whose trajectory file this tree pins (matches
 /// `perf_trajectory::PR`).
-const PR: u32 = 6;
+const PR: u32 = 9;
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -19,7 +23,7 @@ fn repo_root() -> PathBuf {
 }
 
 #[test]
-fn bench_json_is_committed_with_both_series() {
+fn bench_json_is_committed_with_every_series() {
     let path = repo_root().join(format!("BENCH_{PR}.json"));
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(

@@ -218,21 +218,31 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `helios campaign` — campaigns of independent simulations.
 ///
-/// Three forms:
+/// Four forms:
 ///
-/// * `campaign run --spec FILE [--shard K/N] [--jobs N] [--out FILE]`
-///   — expand a declarative sweep spec and run it (or one shard of
-///   it). Without `--shard` the merged sweep report is produced
-///   directly; with `--shard`, a shard report for later `merge`.
+/// * `campaign run --spec FILE [--shard K/N] [--jobs N] [--out FILE]
+///   [--journal FILE]` — expand a declarative sweep spec and run it (or
+///   one shard of it). Without `--shard` the merged sweep report is
+///   produced directly; with `--shard`, a shard report for later
+///   `merge`. With `--journal`, every cell is appended to a fsync'd
+///   write-ahead journal first and `--out` becomes an optional view
+///   compiled from it; `kill -9` at any byte loses at most the torn
+///   tail record.
 /// * `campaign merge --in FILE [--in FILE …] [--out FILE]` — recombine
-///   shard reports (overlap/gap/spec-mismatch checked) into the
-///   aggregate sweep report, byte-identical to an unsharded run.
+///   shard reports or cell journals (overlap/gap/spec-mismatch checked)
+///   into the aggregate sweep report, byte-identical to an unsharded
+///   run.
+/// * `campaign recover FILE [--out FILE]` — salvage a torn journal
+///   (truncate to the longest valid record prefix) or a torn JSON shard
+///   report (cut back to the longest valid cell prefix), and say how to
+///   resume.
 /// * legacy member form: repeated `--member path[:arrival[:priority]]`
 ///   runs one ensemble campaign over `--seeds N` replicate seeds.
 pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match argv.first().map(String::as_str) {
         Some("run") => campaign_run(&argv[1..], out),
         Some("merge") => campaign_merge(&argv[1..], out),
+        Some("recover") => campaign_recover(&argv[1..], out),
         _ => campaign_members(argv, out),
     }
 }
@@ -244,16 +254,23 @@ pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// skipped and the merged result is byte-identical to an uninterrupted
 /// run. A file from a different spec or shard geometry is refused.
 ///
-/// The `HELIOS_SWEEP_ABORT_AFTER=N` environment hook simulates a crash
-/// for the kill-and-resume CI smoke: the run stops after executing `N`
-/// cells, writes the partial shard report to `--out`, and exits with an
-/// error.
+/// With `--journal FILE` the run is crash-consistent instead: cells are
+/// appended to a fsync'd write-ahead journal as they finish, resume
+/// salvages the longest valid prefix of an interrupted journal (torn
+/// tail truncated), and `--out` is only a view compiled from it.
+///
+/// Environment hooks (crash injection for the CI chaos smoke):
+/// `HELIOS_SWEEP_ABORT_AFTER=N` stops after executing `N` cells;
+/// `HELIOS_JOURNAL_CRASH_CELL=I` errors right after journaling the
+/// attempt on global cell `I`; `HELIOS_JOURNAL_TORN_WRITE=N` tears the
+/// Nth journal append halfway; `HELIOS_POISON_LIMIT=N` overrides the
+/// attempts-without-completion quarantine threshold.
 fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use helios_core::{
         merge_shards, CampaignSpec, ShardReport, ShardSpec, SweepDriver, SweepReport,
     };
 
-    let args = Args::parse(argv, &["spec", "shard", "jobs", "out"], &[])?;
+    let args = Args::parse(argv, &["spec", "shard", "jobs", "out", "journal"], &[])?;
     let spec_path = args.require("spec")?;
     let json = std::fs::read_to_string(spec_path)
         .map_err(|e| CliError::Helios(format!("cannot read spec file {spec_path:?}: {e}")))?;
@@ -262,24 +279,28 @@ fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let jobs = args.parse_or("jobs", 1usize)?;
     let driver = SweepDriver::new(jobs);
 
-    let abort_after: Option<usize> = match std::env::var("HELIOS_SWEEP_ABORT_AFTER") {
-        Ok(v) => Some(v.parse().map_err(|_| {
-            CliError::Usage(format!(
-                "HELIOS_SWEEP_ABORT_AFTER must be a cell count, got {v:?}"
-            ))
-        })?),
-        Err(_) => None,
-    };
+    let abort_after: Option<usize> = env_hook("HELIOS_SWEEP_ABORT_AFTER")?;
 
     let shard = match args.get("shard") {
         Some(s) => Some(ShardSpec::parse(s).map_err(|e| CliError::Usage(e.to_string()))?),
         None => None,
     };
     let out_path = args.get("out");
+    if let Some(journal_path) = args.get("journal") {
+        return campaign_run_journal(
+            &driver,
+            &spec,
+            shard,
+            journal_path,
+            out_path,
+            abort_after,
+            out,
+        );
+    }
     if (shard.is_some() || abort_after.is_some()) && out_path.is_none() {
         return Err(CliError::Usage(
             "--shard (and HELIOS_SWEEP_ABORT_AFTER) produce a partial result; \
-             --out FILE is required"
+             --out FILE is required (or use --journal FILE)"
                 .into(),
         ));
     }
@@ -289,8 +310,11 @@ fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // spec means "skip what is already done".
     let prior: Option<ShardReport> = match out_path {
         Some(path) if std::path::Path::new(path).exists() => {
-            let prior_json = std::fs::read_to_string(path)
+            // Lossy so a binary cell journal handed to --out still gets
+            // classified (its magic is ASCII) instead of a UTF-8 error.
+            let raw = std::fs::read(path)
                 .map_err(|e| CliError::Helios(format!("cannot read existing {path:?}: {e}")))?;
+            let prior_json = String::from_utf8_lossy(&raw).into_owned();
             match serde_json::from_str::<ShardReport>(&prior_json) {
                 Ok(report) => Some(report),
                 // A complete sweep report of the same spec: nothing to do.
@@ -304,14 +328,7 @@ fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                         )?;
                         return Ok(());
                     }
-                    _ => {
-                        return Err(CliError::Helios(format!(
-                            "refusing to overwrite {path:?}: it is not a shard report of \
-                             spec {:?} (digest {}); delete the file or point --out elsewhere",
-                            spec.name,
-                            spec.digest()
-                        )))
-                    }
+                    _ => return Err(classify_bad_resume_file(path, &prior_json, &spec)),
                 },
             }
         }
@@ -369,21 +386,286 @@ fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `helios campaign merge` — recombine shard reports.
+/// Parses an optional non-negative integer crash/drain hook from the
+/// environment; unset or empty means "off".
+fn env_hook<T: std::str::FromStr>(name: &str) -> Result<Option<T>, CliError> {
+    match std::env::var(name) {
+        Ok(v) if !v.trim().is_empty() => v.trim().parse().map(Some).map_err(|_| {
+            CliError::Usage(format!("{name} must be a non-negative integer, got {v:?}"))
+        }),
+        _ => Ok(None),
+    }
+}
+
+/// Classifies an existing `--out` file that failed to parse as a resume
+/// artifact: a cell journal handed to the wrong flag, a torn JSON
+/// report (typed [`CorruptResume`](helios_core::CampaignError) naming
+/// the byte offset and the `recover` remedy), or an intact-but-foreign
+/// file that is simply refused.
+fn classify_bad_resume_file(
+    path: &str,
+    contents: &str,
+    spec: &helios_core::CampaignSpec,
+) -> CliError {
+    use helios_core::campaign::journal;
+    use helios_core::{CampaignError, EngineError};
+
+    if journal::is_journal_bytes(contents.as_bytes()) {
+        return CliError::Usage(format!(
+            "{path:?} is a cell journal, not a JSON report; resume it with \
+             --journal {path} (and drop --out, or point --out elsewhere for the view)"
+        ));
+    }
+    // Intact JSON that is just not ours: refuse, don't diagnose a crash.
+    if serde_json::from_str::<serde_json::Value>(contents).is_ok() {
+        return CliError::Helios(format!(
+            "refusing to overwrite {path:?}: it is not a shard report of \
+             spec {:?} (digest {}); delete the file or point --out elsewhere",
+            spec.name,
+            spec.digest()
+        ));
+    }
+    // Truncated / torn JSON: report exactly where the valid bytes end
+    // and how to repair it.
+    let (offset, detail) = match journal::salvage_json_shard_report(contents) {
+        Some(s) => (
+            contents.len() as u64 - s.dropped_bytes,
+            format!(
+                "the JSON is torn mid-write ({} of {} cells still parse); run \
+                 `helios campaign recover {path}` to cut it back to the valid \
+                 prefix, then re-run with the same --out",
+                s.report.cells.len(),
+                s.report.total_cells
+            ),
+        ),
+        None => (
+            0,
+            format!(
+                "the JSON is damaged beyond salvage (no valid cell prefix); \
+                 delete the file, or switch to `--journal {path}.journal` for \
+                 crash-consistent sweeps"
+            ),
+        ),
+    };
+    EngineError::from(CampaignError::CorruptResume {
+        file: path.to_owned(),
+        offset,
+        detail,
+    })
+    .into()
+}
+
+/// The `--journal` arm of `campaign run`: every cell goes through the
+/// fsync'd write-ahead journal, `--out` is an optional view compiled
+/// from it, and SIGINT/SIGTERM drain instead of killing the run.
+fn campaign_run_journal(
+    driver: &helios_core::SweepDriver,
+    spec: &helios_core::CampaignSpec,
+    shard: Option<helios_core::ShardSpec>,
+    journal_path: &str,
+    out_path: Option<&str>,
+    abort_after: Option<usize>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use helios_core::{merge_shards, JournalOptions, ShardSpec};
+
+    let effective = shard.unwrap_or_else(ShardSpec::full);
+    let opts = JournalOptions {
+        limit: abort_after,
+        cancel: Some(crate::drain::install()),
+        crash_cell: env_hook("HELIOS_JOURNAL_CRASH_CELL")?,
+        tear_after: env_hook("HELIOS_JOURNAL_TORN_WRITE")?,
+        poison_limit: env_hook("HELIOS_POISON_LIMIT")?,
+    };
+    let run = driver.run_journal(spec, effective, std::path::Path::new(journal_path), &opts)?;
+
+    if run.salvaged_cells > 0 || run.dropped_bytes > 0 {
+        writeln!(
+            out,
+            "resumed {journal_path}: {} completed cell(s) salvaged, {} torn byte(s) dropped",
+            run.salvaged_cells, run.dropped_bytes
+        )?;
+    }
+    for cell in &run.poisoned {
+        writeln!(
+            out,
+            "cell {cell} quarantined as poisoned: it crashed the process repeatedly \
+             and is reported with completed=false"
+        )?;
+    }
+
+    let report = run.report;
+    let done = report.cells.len();
+    let owned = done + run.remaining;
+    if run.drained {
+        return Err(CliError::Interrupted(format!(
+            "drained on signal: {done} of {owned} owned cells durable in {journal_path}; \
+             re-run with the same --journal to resume"
+        )));
+    }
+    if run.remaining > 0 {
+        return Err(CliError::Helios(format!(
+            "aborted by HELIOS_SWEEP_ABORT_AFTER after {} cells: {done} of {owned} owned \
+             cells durable in {journal_path}, {} remaining; re-run with the same \
+             --journal to resume",
+            abort_after.unwrap_or(0),
+            run.remaining
+        )));
+    }
+
+    match shard {
+        Some(shard) => {
+            writeln!(
+                out,
+                "shard {shard} of {:?}: {} of {} cells journaled in {journal_path}",
+                report.spec_name, done, report.total_cells
+            )?;
+            if let Some(path) = out_path {
+                std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+                writeln!(out, "wrote {path} (view compiled from the journal)")?;
+            }
+        }
+        None => {
+            let merged = merge_shards(&[report])?;
+            write_sweep_summary(&merged, out)?;
+            if let Some(path) = out_path {
+                std::fs::write(path, serde_json::to_string_pretty(&merged)?)?;
+                writeln!(out, "wrote {path} (view compiled from the journal)")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `helios campaign recover FILE [--out FILE]` — salvage a torn resume
+/// artifact with zero hand-repair.
+///
+/// * A cell journal is truncated to its longest valid record prefix
+///   (in place; the `--out` view is optional) and the pending-attempt
+///   tally is printed so poisoned cells are visible before resuming.
+/// * An intact shard/sweep report needs nothing; say so.
+/// * A torn JSON shard report is cut back to the longest valid cell
+///   prefix (rewritten in place, or to `--out`).
+/// * Anything else is a typed `corrupt resume file` error.
+fn campaign_recover(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use helios_core::campaign::journal::{self, DEFAULT_POISON_LIMIT};
+    use helios_core::{CampaignError, EngineError, ShardReport, SweepReport};
+
+    let Some((file, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(
+            "campaign recover FILE [--out FILE] — FILE is the journal or JSON report".into(),
+        ));
+    };
+    if file.starts_with('-') {
+        return Err(CliError::Usage(format!(
+            "campaign recover takes the damaged file as its first argument, got {file:?}"
+        )));
+    }
+    let args = Args::parse(rest, &["out"], &[])?;
+    let bytes =
+        std::fs::read(file).map_err(|e| CliError::Helios(format!("cannot read {file:?}: {e}")))?;
+
+    if journal::is_journal_bytes(&bytes) {
+        let salvage = journal::recover_journal(std::path::Path::new(file))?;
+        let h = &salvage.header;
+        writeln!(
+            out,
+            "journal {file}: spec {:?} (digest {}), shard {}/{}, {} total cells",
+            h.spec_name, h.spec_digest, h.shard_index, h.shard_count, h.total_cells
+        )?;
+        writeln!(
+            out,
+            "salvaged {} completed cell(s); truncated {} torn byte(s)",
+            salvage.cells.len(),
+            salvage.dropped_bytes
+        )?;
+        for (cell, attempts) in salvage.pending_attempts() {
+            let fate = if attempts >= DEFAULT_POISON_LIMIT {
+                " — will be quarantined as poisoned on resume"
+            } else {
+                ""
+            };
+            writeln!(
+                out,
+                "cell {cell}: {attempts} attempt(s) without completion{fate}"
+            )?;
+        }
+        if let Some(path) = args.get("out") {
+            std::fs::write(
+                path,
+                serde_json::to_string_pretty(&salvage.to_shard_report())?,
+            )?;
+            writeln!(out, "wrote {path} (view compiled from the journal)")?;
+        }
+        writeln!(
+            out,
+            "resume with: helios campaign run --spec SPEC --journal {file}"
+        )?;
+        return Ok(());
+    }
+
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    if serde_json::from_str::<ShardReport>(&text).is_ok()
+        || serde_json::from_str::<SweepReport>(&text).is_ok()
+    {
+        writeln!(out, "{file}: intact report; nothing to recover")?;
+        return Ok(());
+    }
+    match journal::salvage_json_shard_report(&text) {
+        Some(s) => {
+            let target = args.get("out").unwrap_or(file);
+            std::fs::write(target, serde_json::to_string_pretty(&s.report)?)?;
+            writeln!(
+                out,
+                "salvaged {} of {} cell(s) from torn JSON report ({} byte(s) dropped); \
+                 wrote {target}",
+                s.report.cells.len(),
+                s.report.total_cells,
+                s.dropped_bytes
+            )?;
+            writeln!(
+                out,
+                "resume with: helios campaign run --spec SPEC --out {target}"
+            )?;
+            Ok(())
+        }
+        None => Err(EngineError::from(CampaignError::CorruptResume {
+            file: (*file).clone(),
+            offset: 0,
+            detail: "neither a cell journal nor a salvageable JSON report; \
+                     delete the file to start fresh"
+                .into(),
+        })
+        .into()),
+    }
+}
+
+/// `helios campaign merge` — recombine shard reports and/or cell
+/// journals (detected by magic bytes, salvaged read-only).
 fn campaign_merge(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use helios_core::campaign::journal;
     use helios_core::{merge_shards, ShardReport};
 
     let args = Args::parse(argv, &["in", "out"], &[])?;
     let inputs = args.get_all("in");
     if inputs.is_empty() {
         return Err(CliError::Usage(
-            "at least one --in shard-report file is required".into(),
+            "at least one --in shard-report (or journal) file is required".into(),
         ));
     }
     let mut shards = Vec::with_capacity(inputs.len());
     for path in inputs {
-        let json = std::fs::read_to_string(path)
+        let bytes = std::fs::read(path)
             .map_err(|e| CliError::Helios(format!("cannot read shard report {path:?}: {e}")))?;
+        if journal::is_journal_bytes(&bytes) {
+            // Merge reads the journal without truncating it; a torn tail
+            // only matters if it hid the last completions, and then
+            // merge_shards reports the missing cells by index.
+            let salvage = journal::read_journal(std::path::Path::new(path))?;
+            shards.push(salvage.to_shard_report());
+            continue;
+        }
+        let json = String::from_utf8_lossy(&bytes).into_owned();
         let shard: ShardReport = serde_json::from_str(&json)
             .map_err(|e| CliError::Helios(format!("shard report {path:?}: {e}")))?;
         shards.push(shard);

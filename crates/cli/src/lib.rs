@@ -18,6 +18,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod drain;
 
 use std::fmt;
 
@@ -30,6 +31,11 @@ pub enum CliError {
     Io(std::io::Error),
     /// Any error surfaced by the helios crates.
     Helios(String),
+    /// A journaled sweep drained on SIGINT/SIGTERM: in-flight cells were
+    /// finished and flushed, and the run can resume. Maps to exit code 3
+    /// so wrappers can distinguish "interrupted but resumable" from
+    /// failure.
+    Interrupted(String),
 }
 
 impl fmt::Display for CliError {
@@ -38,6 +44,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Helios(msg) => write!(f, "{msg}"),
+            CliError::Interrupted(msg) => write!(f, "interrupted: {msg}"),
         }
     }
 }
@@ -111,8 +118,11 @@ pub fn usage() -> String {
        campaign   run a workflow ensemble (--member path[:arrival[:prio]],\n\
                   --policy fifo|priority|fair-share)\n\
        campaign run    sweep a spec grid (--spec file.json, --shard K/N,\n\
-                       --jobs N, --out report.json)\n\
-       campaign merge  recombine shard reports (--in shard.json ..., --out)\n\
+                       --jobs N, --out report.json, --journal wal.journal)\n\
+       campaign merge  recombine shard reports or journals (--in shard.json\n\
+                       --in shard.journal ..., --out)\n\
+       campaign recover FILE  salvage a torn journal or JSON report in\n\
+                       place (--out to write the view elsewhere)\n\
        fuzz       adversarial harness: random specs vs differential oracles\n\
                   (--seed, --runs, --bugbase DIR, --replay FILE|DIR)\n\
        platforms  list the preset platforms\n\

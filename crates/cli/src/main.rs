@@ -13,6 +13,9 @@ fn main() {
         eprintln!("helios: {e}");
         std::process::exit(match e {
             helios_cli::CliError::Usage(_) => 2,
+            // Resumable drain (SIGINT/SIGTERM on a journaled sweep) gets
+            // its own code so wrappers can re-run instead of failing.
+            helios_cli::CliError::Interrupted(_) => 3,
             _ => 1,
         });
     }

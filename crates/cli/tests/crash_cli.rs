@@ -1,0 +1,334 @@
+//! End-to-end crash tests of the compiled `helios` binary: SIGTERM
+//! drain, torn-write injection + `campaign recover`, and the typed
+//! corrupt-resume error for damaged JSON reports.
+
+use std::process::Command;
+
+fn helios() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_helios"))
+}
+
+const SPEC_JSON: &str = r#"{
+    "name": "crash-cli",
+    "families": ["sipht"],
+    "platforms": ["workstation"],
+    "schedulers": ["heft"],
+    "seeds": {"base": 11, "count": 4},
+    "tasks": 20
+}"#;
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("helios-crashcli-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sigterm_drains_to_a_resumable_journal() {
+    let dir = fresh_dir("sigterm");
+    let path = |n: &str| dir.join(n).to_str().unwrap().to_owned();
+    // Enough cells that the run is still going ~0.3 s in (debug binary).
+    std::fs::write(
+        dir.join("spec.json"),
+        SPEC_JSON.replace(r#""count": 4"#, r#""count": 2000"#),
+    )
+    .unwrap();
+
+    let reference = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--out",
+            &path("ref.json"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    let child = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--journal",
+            &path("sweep.journal"),
+            "--out",
+            &path("out.json"),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let _ = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status();
+    let out = child.wait_with_output().unwrap();
+
+    match out.status.code() {
+        // Drained: exit code 3, resumable message, journal intact.
+        Some(3) => {
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains("re-run with the same --journal"),
+                "{stderr}"
+            );
+            let resume = helios()
+                .args([
+                    "campaign",
+                    "run",
+                    "--spec",
+                    &path("spec.json"),
+                    "--journal",
+                    &path("sweep.journal"),
+                    "--out",
+                    &path("out.json"),
+                ])
+                .output()
+                .unwrap();
+            assert!(
+                resume.status.success(),
+                "{}",
+                String::from_utf8_lossy(&resume.stderr)
+            );
+        }
+        // The run beat the signal: fine, it must simply have finished.
+        Some(0) => {}
+        other => panic!(
+            "expected drain (3) or completion (0), got {other:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ),
+    }
+    assert_eq!(
+        std::fs::read_to_string(path("out.json")).unwrap(),
+        std::fs::read_to_string(path("ref.json")).unwrap(),
+        "drained-and-resumed bytes must equal the uninterrupted run"
+    );
+}
+
+#[test]
+fn torn_write_is_salvaged_by_recover_and_resumes_byte_identically() {
+    let dir = fresh_dir("torn");
+    let path = |n: &str| dir.join(n).to_str().unwrap().to_owned();
+    std::fs::write(dir.join("spec.json"), SPEC_JSON).unwrap();
+
+    let reference = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--out",
+            &path("ref.json"),
+        ])
+        .output()
+        .unwrap();
+    assert!(reference.status.success());
+
+    // Tear the 4th journal append halfway through its bytes.
+    let torn = helios()
+        .env("HELIOS_JOURNAL_TORN_WRITE", "3")
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--journal",
+            &path("sweep.journal"),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(torn.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&torn.stderr);
+    assert!(stderr.contains("injected torn journal write"), "{stderr}");
+
+    let recover = helios()
+        .args(["campaign", "recover", &path("sweep.journal")])
+        .output()
+        .unwrap();
+    assert!(
+        recover.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recover.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&recover.stdout);
+    assert!(stdout.contains("torn byte(s)"), "{stdout}");
+    assert!(stdout.contains("resume with"), "{stdout}");
+
+    let resume = helios()
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--journal",
+            &path("sweep.journal"),
+            "--out",
+            &path("out.json"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        resume.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(path("out.json")).unwrap(),
+        std::fs::read_to_string(path("ref.json")).unwrap()
+    );
+
+    // The journal itself merges directly, producing the same bytes.
+    let merge = helios()
+        .args([
+            "campaign",
+            "merge",
+            "--in",
+            &path("sweep.journal"),
+            "--out",
+            &path("merged.json"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        merge.status.success(),
+        "{}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(path("merged.json")).unwrap(),
+        std::fs::read_to_string(path("ref.json")).unwrap()
+    );
+}
+
+#[test]
+fn corrupt_json_resume_is_typed_and_recover_repairs_it() {
+    let dir = fresh_dir("corruptjson");
+    let path = |n: &str| dir.join(n).to_str().unwrap().to_owned();
+    std::fs::write(dir.join("spec.json"), SPEC_JSON).unwrap();
+
+    let run = |args: &[&str]| helios().args(args).output().unwrap();
+    let reference = run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--out",
+        &path("full.json"),
+    ]);
+    assert!(reference.status.success());
+
+    for k in 1..=2 {
+        let out = run(&[
+            "campaign",
+            "run",
+            "--spec",
+            &path("spec.json"),
+            "--shard",
+            &format!("{k}/2"),
+            "--out",
+            &path(&format!("s{k}.json")),
+        ]);
+        assert!(out.status.success());
+    }
+
+    // Simulate a crash mid-write: chop the tail off shard 1's report.
+    let intact = std::fs::read_to_string(path("s1.json")).unwrap();
+    std::fs::write(path("s1.json"), &intact[..intact.len() * 3 / 5]).unwrap();
+
+    let refused = run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--shard",
+        "1/2",
+        "--out",
+        &path("s1.json"),
+    ]);
+    assert_eq!(refused.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&refused.stderr);
+    assert!(stderr.contains("corrupt resume file"), "{stderr}");
+    assert!(stderr.contains("at byte"), "{stderr}");
+    assert!(stderr.contains("campaign recover"), "{stderr}");
+
+    let recover = run(&["campaign", "recover", &path("s1.json")]);
+    assert!(
+        recover.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recover.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&recover.stdout);
+    assert!(stdout.contains("salvaged"), "{stdout}");
+
+    // The repaired file resumes cleanly, and the merged partition is
+    // byte-identical to the unsharded run.
+    let resumed = run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--shard",
+        "1/2",
+        "--out",
+        &path("s1.json"),
+    ]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let merged = run(&[
+        "campaign",
+        "merge",
+        "--in",
+        &path("s1.json"),
+        "--in",
+        &path("s2.json"),
+        "--out",
+        &path("merged.json"),
+    ]);
+    assert!(
+        merged.status.success(),
+        "{}",
+        String::from_utf8_lossy(&merged.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(path("merged.json")).unwrap(),
+        std::fs::read_to_string(path("full.json")).unwrap()
+    );
+
+    // Handing the journal to --out (or an intact report to recover) is
+    // guided, not punished.
+    let run_j = run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--journal",
+        &path("j.journal"),
+    ]);
+    assert!(run_j.status.success());
+    let misuse = run(&[
+        "campaign",
+        "run",
+        "--spec",
+        &path("spec.json"),
+        "--out",
+        &path("j.journal"),
+    ]);
+    assert_eq!(misuse.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&misuse.stderr);
+    assert!(stderr.contains("--journal"), "{stderr}");
+    let noop = run(&["campaign", "recover", &path("full.json")]);
+    assert!(noop.status.success());
+    assert!(String::from_utf8_lossy(&noop.stdout).contains("nothing to recover"));
+}

@@ -27,6 +27,7 @@ use std::sync::Mutex;
 
 use helios_sim::SimRng;
 
+pub mod journal;
 pub mod spec;
 pub mod sweep;
 
@@ -51,6 +52,18 @@ pub enum CampaignError {
     InvalidShard(String),
     /// A resume checkpoint disagrees with the spec being resumed.
     ResumeMismatch(String),
+    /// A resume artifact (JSON report or cell journal) is torn or
+    /// corrupt: a crash interrupted a write and left bytes that cannot
+    /// be trusted past `offset`.
+    CorruptResume {
+        /// Path of the damaged file.
+        file: String,
+        /// Byte offset where the valid prefix ends.
+        offset: u64,
+        /// What is wrong and how to repair it (usually: run
+        /// `helios campaign recover FILE`).
+        detail: String,
+    },
     /// Shard reports cannot be merged (different campaigns, overlaps,
     /// missing cells).
     MergeConflict(String),
@@ -67,6 +80,13 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::InvalidShard(msg) => write!(f, "{msg}"),
             CampaignError::ResumeMismatch(msg) => write!(f, "{msg}"),
+            CampaignError::CorruptResume {
+                file,
+                offset,
+                detail,
+            } => {
+                write!(f, "corrupt resume file {file:?} at byte {offset}: {detail}")
+            }
             CampaignError::MergeConflict(msg) => write!(f, "{msg}"),
         }
     }
@@ -74,13 +94,14 @@ impl fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+pub use journal::{JournalHeader, JournalWriter, JsonSalvage, Salvage};
 pub use spec::{
     CampaignSpec, DvfsKnob, ElasticityKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob,
     PolicyKnob, ResilienceKnob, SchedulerParamsKnob, SeedRange, SweepCell,
 };
 pub use sweep::{
-    merge_shards, CellResult, ResumeOutcome, ShardReport, ShardSpec, SummaryRow, SweepDriver,
-    SweepReport,
+    merge_shards, CellResult, JournalOptions, JournalRun, ResumeOutcome, ShardReport, ShardSpec,
+    SummaryRow, SweepDriver, SweepReport,
 };
 
 /// Runs the independent cells of a campaign across worker threads.
@@ -157,15 +178,54 @@ impl CampaignEngine {
         E: Send,
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
+        let (out, drained) = self.run_partial(inputs, None, f)?;
+        debug_assert!(!drained, "no cancel flag, so nothing can drain");
+        Ok(out)
+    }
+
+    /// Like [`run`](CampaignEngine::run), but drains cooperatively: once
+    /// `cancel` reads `true`, workers finish the cells they already
+    /// claimed and stop claiming new ones. Returns the completed prefix
+    /// of results plus whether the run was cut short.
+    ///
+    /// Because work is claimed through a shared counter, the claimed
+    /// indices always form a contiguous prefix of `inputs` — a drained
+    /// run returns results for cells `0..k` exactly, never a gappy
+    /// subset, which is what makes the journal's resume math trivial.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](CampaignEngine::run): the lowest-indexed failure.
+    pub fn run_partial<T, R, E, F>(
+        &self,
+        inputs: &[T],
+        cancel: Option<&AtomicBool>,
+        f: F,
+    ) -> Result<(Vec<R>, bool), E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let draining = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
         let jobs = self.effective_jobs(inputs.len());
         if jobs <= 1 {
-            return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+            let mut out = Vec::with_capacity(inputs.len());
+            for (i, x) in inputs.iter().enumerate() {
+                if draining() {
+                    break;
+                }
+                out.push(f(i, x)?);
+            }
+            let drained = out.len() < inputs.len();
+            return Ok((out, drained));
         }
 
         // Work is claimed through a shared counter, so claimed indices
         // form a contiguous prefix; every claimed cell stores into its
         // own slot. Unclaimed slots stay `None` and can only trail an
-        // error, never precede one.
+        // error or a drain, never precede one.
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let slots: Mutex<Vec<Option<Result<R, E>>>> =
@@ -174,7 +234,7 @@ impl CampaignEngine {
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
-                    if failed.load(Ordering::Relaxed) {
+                    if failed.load(Ordering::Relaxed) || draining() {
                         break;
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -189,17 +249,22 @@ impl CampaignEngine {
         });
 
         let slots = slots.into_inner().expect("no poisoned campaign slot lock");
-        let mut out = Vec::with_capacity(inputs.len());
+        let total = slots.len();
+        let mut out = Vec::with_capacity(total);
         for slot in slots {
             match slot {
                 Some(Ok(r)) => out.push(r),
                 Some(Err(e)) => return Err(e),
-                // A `None` before the first error would mean a claimed
-                // index was skipped, which the claiming scheme forbids.
-                None => unreachable!("unclaimed cell ahead of the first error"),
+                // A `None` before the first error can only follow a
+                // drain: the claiming scheme forbids skipped indices.
+                None => {
+                    assert!(cancel.is_some(), "unclaimed cell ahead of the first error");
+                    break;
+                }
             }
         }
-        Ok(out)
+        let drained = out.len() < total;
+        Ok((out, drained))
     }
 }
 

@@ -13,12 +13,17 @@
 //! **byte-identical** to the unsharded sequential run, while refusing
 //! overlapping shards, missing cells and shards of different specs.
 
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 
 use helios_platform::{presets, Platform};
 use helios_sched::{AnnealingScheduler, LookaheadScheduler, Placement, Schedule, Scheduler};
 use helios_sim::SimDuration;
 
+use super::journal::{self, JournalHeader, JournalWriter, DEFAULT_POISON_LIMIT};
 use super::spec::{family_class, CampaignSpec, DvfsKnob, SweepCell};
 use super::{CampaignEngine, CampaignError};
 use crate::exec::IncompleteReason;
@@ -165,8 +170,8 @@ pub struct CellResult {
     #[serde(default)]
     pub rematerialized_bytes: f64,
     /// Why an incomplete cell stopped: `retries_exhausted`,
-    /// `all_devices_lost`, `timed_out`, `infeasible` or
-    /// `capacity_exhausted`. `None` for completed cells.
+    /// `all_devices_lost`, `timed_out`, `infeasible`,
+    /// `capacity_exhausted` or `poisoned`. `None` for completed cells.
     #[serde(default)]
     pub incomplete_reason: Option<String>,
     /// Device-seconds of live capacity integrated over the run
@@ -399,6 +404,198 @@ impl SweepDriver {
             remaining,
         })
     }
+
+    /// Runs `shard` against a write-ahead cell journal at `path` — the
+    /// crash-consistent execution path. A fresh path is initialized
+    /// with a checksummed header binding the spec digest and shard
+    /// geometry; an existing journal is salvaged (torn tail truncated)
+    /// and resumed. Every cell appends an fsync'd attempt record before
+    /// executing and an fsync'd completion record after, so a `kill -9`
+    /// at any instant — including mid-write — loses at most the cell in
+    /// flight, and the compiled report is byte-identical to an
+    /// uninterrupted run.
+    ///
+    /// Cells whose attempt count reaches the poison limit with no
+    /// completion record have crashed the process that many times; they
+    /// are quarantined as `completed = false,
+    /// incomplete_reason = "poisoned"` instead of crash-looping.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::CorruptResume`] when `path` is not a journal or
+    /// its header is unreadable; [`CampaignError::ResumeMismatch`] when
+    /// the journal belongs to a different campaign or shard geometry —
+    /// plus I/O and cell execution errors.
+    pub fn run_journal(
+        &self,
+        spec: &CampaignSpec,
+        shard: ShardSpec,
+        path: &Path,
+        opts: &JournalOptions<'_>,
+    ) -> Result<JournalRun, EngineError> {
+        let cells = spec.expand()?;
+        let total_cells = cells.len();
+        let digest = spec.digest();
+        let header = JournalHeader {
+            spec_name: spec.name.clone(),
+            spec_digest: digest.clone(),
+            total_cells,
+            shard_index: shard.index(),
+            shard_count: shard.count(),
+        };
+
+        let exists = std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false);
+        let (writer, mut done, salvaged_cells, dropped_bytes, pending_attempts);
+        if exists {
+            let salvage = journal::recover_journal(path)?;
+            check_journal_header(&salvage.header, &header, shard)?;
+            pending_attempts = salvage.pending_attempts();
+            salvaged_cells = salvage.cells.len();
+            dropped_bytes = salvage.dropped_bytes;
+            done = salvage.cells;
+            writer = JournalWriter::open_append(path, opts.tear_after)?;
+        } else {
+            writer = JournalWriter::create(path, &header, opts.tear_after)?;
+            done = Vec::new();
+            salvaged_cells = 0;
+            dropped_bytes = 0;
+            pending_attempts = Vec::new();
+        }
+        done.sort_by_key(|c| c.cell);
+        if let Some(bad) = done
+            .iter()
+            .find(|c| !shard.owns(c.cell) || c.cell >= total_cells)
+        {
+            return Err(CampaignError::ResumeMismatch(format!(
+                "refusing to resume: the journal claims cell {}, which shard \
+                 {shard} of this {total_cells}-cell grid does not own",
+                bad.cell
+            ))
+            .into());
+        }
+
+        // Quarantine: a cell that has crashed the process `poison_limit`
+        // times becomes a zero-metric measurement, not a fourth attempt.
+        let writer = Mutex::new(writer);
+        let poison_limit = opts.poison_limit.unwrap_or(DEFAULT_POISON_LIMIT);
+        let mut poisoned: Vec<usize> = Vec::new();
+        for &(cell_idx, count) in &pending_attempts {
+            if count < poison_limit || !shard.owns(cell_idx) || cell_idx >= total_cells {
+                continue;
+            }
+            let result = poisoned_result(&cells[cell_idx]);
+            writer
+                .lock()
+                .expect("no poisoned journal lock")
+                .append_cell(&result)?;
+            done.push(result);
+            poisoned.push(cell_idx);
+        }
+        done.sort_by_key(|c| c.cell);
+
+        let skipped = done.len();
+        let mut pending: Vec<SweepCell> = cells
+            .into_iter()
+            .filter(|c| {
+                shard.owns(c.index) && done.binary_search_by_key(&c.index, |d| d.cell).is_err()
+            })
+            .collect();
+        let mut remaining = 0;
+        if let Some(cap) = opts.limit {
+            if pending.len() > cap {
+                remaining = pending.len() - cap;
+                pending.truncate(cap);
+            }
+        }
+
+        let (fresh, drained) = self.engine.run_partial(&pending, opts.cancel, |_, cell| {
+            {
+                let mut w = writer.lock().expect("no poisoned journal lock");
+                w.append_attempt(cell.index)?;
+                if opts.crash_cell == Some(cell.index) {
+                    return Err(EngineError::Config(format!(
+                        "injected crash while executing cell {}",
+                        cell.index
+                    )));
+                }
+            }
+            // The cell executes outside the journal lock; only the
+            // durable appends serialize.
+            let result = run_cell(spec, cell)?;
+            writer
+                .lock()
+                .expect("no poisoned journal lock")
+                .append_cell(&result)?;
+            Ok(result)
+        })?;
+        remaining += pending.len() - fresh.len();
+
+        done.extend(fresh);
+        done.sort_by_key(|c| c.cell);
+        Ok(JournalRun {
+            report: ShardReport {
+                spec_name: spec.name.clone(),
+                spec_digest: digest,
+                total_cells,
+                shard_index: shard.index(),
+                shard_count: shard.count(),
+                cells: done,
+            },
+            skipped,
+            remaining,
+            salvaged_cells,
+            dropped_bytes,
+            poisoned,
+            drained,
+        })
+    }
+}
+
+/// Refuses a journal whose header belongs to a different campaign or
+/// shard geometry, with the same actionable messages as JSON resume.
+fn check_journal_header(
+    found: &JournalHeader,
+    expected: &JournalHeader,
+    shard: ShardSpec,
+) -> Result<(), EngineError> {
+    if found.spec_name != expected.spec_name
+        || found.spec_digest != expected.spec_digest
+        || found.total_cells != expected.total_cells
+    {
+        return Err(CampaignError::ResumeMismatch(format!(
+            "refusing to resume: the existing journal is from a different campaign \
+             (spec {:?}, digest {}, {} cells) than this spec ({:?}, digest {}, {} \
+             cells); delete the file or point --journal elsewhere",
+            found.spec_name,
+            found.spec_digest,
+            found.total_cells,
+            expected.spec_name,
+            expected.spec_digest,
+            expected.total_cells
+        ))
+        .into());
+    }
+    if found.shard_index != shard.index() || found.shard_count != shard.count() {
+        return Err(CampaignError::ResumeMismatch(format!(
+            "refusing to resume: the existing journal is shard {}/{}, but this run \
+             is shard {shard}; re-run with --shard {}/{} or start fresh",
+            found.shard_index, found.shard_count, found.shard_index, found.shard_count
+        ))
+        .into());
+    }
+    Ok(())
+}
+
+/// The quarantine measurement for a cell that repeatedly killed the
+/// process: zero metrics, `completed = false`, the pinned `poisoned`
+/// reason.
+fn poisoned_result(cell: &SweepCell) -> CellResult {
+    let mut result = blank_result(cell);
+    result.completed = false;
+    result.incomplete_reason = Some(IncompleteReason::Poisoned.as_str().to_owned());
+    result
 }
 
 /// What [`SweepDriver::resume_shard`] did: the merged report plus how
@@ -413,6 +610,54 @@ pub struct ResumeOutcome {
     /// Owned cells still missing (nonzero only when a `limit` cut the
     /// run short).
     pub remaining: usize,
+}
+
+/// Knobs for [`SweepDriver::run_journal`]: the drain flag plus the
+/// crash-injection hooks. Hooks are explicit fields (not environment
+/// variables) so parallel tests cannot race on process state; the CLI
+/// translates its `HELIOS_*` variables into these.
+#[derive(Debug, Default)]
+pub struct JournalOptions<'a> {
+    /// Cap on cells *executed* by this invocation (the
+    /// `HELIOS_SWEEP_ABORT_AFTER` crash-injection hook).
+    pub limit: Option<usize>,
+    /// Cooperative drain: once set, in-flight cells finish and are
+    /// journaled, no new cells start ([`JournalRun::drained`] reports
+    /// the cut). The CLI arms this from SIGINT/SIGTERM.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Synthetic crash: error out right after durably appending the
+    /// attempt record for this global cell index — the repeatable
+    /// "this cell kills the process" poisoning scenario.
+    pub crash_cell: Option<usize>,
+    /// Torn-write injection: the Nth record append (0-based, attempts
+    /// and completions counted together) persists only half its bytes
+    /// and fails (the `HELIOS_JOURNAL_TORN_WRITE` hook).
+    pub tear_after: Option<u64>,
+    /// Attempts without completion before a cell is quarantined;
+    /// `None` means [`DEFAULT_POISON_LIMIT`].
+    pub poison_limit: Option<u32>,
+}
+
+/// What [`SweepDriver::run_journal`] did: the compiled report plus the
+/// salvage, quarantine and drain accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRun {
+    /// The shard report compiled from the journal after this
+    /// invocation (partial iff `remaining > 0` or `drained`).
+    pub report: ShardReport,
+    /// Cells taken over from the journal instead of re-run (salvaged
+    /// completions plus freshly quarantined cells).
+    pub skipped: usize,
+    /// Owned cells still missing (a `limit` or drain cut the run).
+    pub remaining: usize,
+    /// Completion records salvaged from the existing journal.
+    pub salvaged_cells: usize,
+    /// Torn-tail bytes truncated during salvage.
+    pub dropped_bytes: u64,
+    /// Cells quarantined as poisoned by *this* invocation, sorted.
+    pub poisoned: Vec<usize>,
+    /// Whether a drain request cut the run short.
+    pub drained: bool,
 }
 
 /// Builds the scheduler for one cell, honoring the spec's per-scheduler
@@ -479,33 +724,7 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         ..Default::default()
     };
 
-    let mut result = CellResult {
-        cell: cell.index,
-        family: cell.family.clone(),
-        platform: cell.platform.clone(),
-        scheduler: cell.scheduler.clone(),
-        seed: cell.seed,
-        makespan_secs: 0.0,
-        slr: 0.0,
-        energy_j: 0.0,
-        transfers: 0,
-        transfer_bytes: 0.0,
-        failures: 0,
-        retries: 0,
-        completed: true,
-        wasted_work_secs: 0.0,
-        recovery_overhead_secs: 0.0,
-        makespan_degradation: 0.0,
-        reroutes: 0,
-        partition_downtime_secs: 0.0,
-        rematerialized_tasks: 0,
-        rematerialized_bytes: 0.0,
-        incomplete_reason: None,
-        capacity_secs: 0.0,
-        preemptions: 0,
-        drain_migrated_tasks: 0,
-        join_utilization: 0.0,
-    };
+    let mut result = blank_result(cell);
 
     let resilient = config.resilience.is_some();
     // Planning and execution share one error funnel: an infeasible
@@ -563,6 +782,38 @@ fn run_cell(spec: &CampaignSpec, cell: &SweepCell) -> Result<CellResult, EngineE
         result.join_utilization = m.join_utilization;
     }
     Ok(result)
+}
+
+/// A zero-metric result carrying only the cell's coordinates: the
+/// starting point of [`run_cell`] and the body of quarantine records.
+fn blank_result(cell: &SweepCell) -> CellResult {
+    CellResult {
+        cell: cell.index,
+        family: cell.family.clone(),
+        platform: cell.platform.clone(),
+        scheduler: cell.scheduler.clone(),
+        seed: cell.seed,
+        makespan_secs: 0.0,
+        slr: 0.0,
+        energy_j: 0.0,
+        transfers: 0,
+        transfer_bytes: 0.0,
+        failures: 0,
+        retries: 0,
+        completed: true,
+        wasted_work_secs: 0.0,
+        recovery_overhead_secs: 0.0,
+        makespan_degradation: 0.0,
+        reroutes: 0,
+        partition_downtime_secs: 0.0,
+        rematerialized_tasks: 0,
+        rematerialized_bytes: 0.0,
+        incomplete_reason: None,
+        capacity_secs: 0.0,
+        preemptions: 0,
+        drain_migrated_tasks: 0,
+        join_utilization: 0.0,
+    }
 }
 
 /// The resilience stack backing elastic cells of a spec without a

@@ -77,20 +77,28 @@ pub enum IncompleteReason {
     /// family with a small-memory platform is a measurement — completion
     /// probability zero — not a campaign-driver crash.
     Infeasible,
+    /// The cell's attempt record appears `poison_limit` times in a
+    /// write-ahead journal with no completion record: executing it
+    /// killed the process that many times, so the sweep quarantines it
+    /// instead of crash-looping. Unlike the other reasons this is
+    /// diagnosed from the journal, never classified from an error.
+    Poisoned,
 }
 
 impl IncompleteReason {
     /// All reasons, in report order.
-    pub const ALL: [IncompleteReason; 5] = [
+    pub const ALL: [IncompleteReason; 6] = [
         IncompleteReason::TimedOut,
         IncompleteReason::RetriesExhausted,
         IncompleteReason::AllDevicesLost,
         IncompleteReason::CapacityExhausted,
         IncompleteReason::Infeasible,
+        IncompleteReason::Poisoned,
     ];
 
     /// The canonical report string (`timed_out`, `retries_exhausted`,
-    /// `all_devices_lost`, `capacity_exhausted`, `infeasible`).
+    /// `all_devices_lost`, `capacity_exhausted`, `infeasible`,
+    /// `poisoned`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
@@ -99,6 +107,7 @@ impl IncompleteReason {
             IncompleteReason::AllDevicesLost => "all_devices_lost",
             IncompleteReason::CapacityExhausted => "capacity_exhausted",
             IncompleteReason::Infeasible => "infeasible",
+            IncompleteReason::Poisoned => "poisoned",
         }
     }
 
@@ -140,7 +149,8 @@ mod tests {
                 "retries_exhausted",
                 "all_devices_lost",
                 "capacity_exhausted",
-                "infeasible"
+                "infeasible",
+                "poisoned"
             ]
         );
     }

@@ -17,6 +17,11 @@
 //! |                       | sequential reference                                |
 //! | `shard_identity`      | a merged {1/2, 2/2} partition serializes            |
 //! |                       | byte-identical to the unsharded reference           |
+//! | `crash_resume_identity` | a journaled sweep killed at a spec-derived cell   |
+//! |                       | boundary AND torn mid-record (the                   |
+//! |                       | `HELIOS_JOURNAL_TORN_WRITE` hook), then salvaged    |
+//! |                       | and resumed, serializes byte-identical to the       |
+//! |                       | straight-through run                                |
 //! | `fault_free_bound`    | per completed cell, the faulted/resilient makespan  |
 //! |                       | is ≥ the makespan of the same spec with injection   |
 //! |                       | disabled, and `makespan_degradation ≥ 0`; stands    |
@@ -42,6 +47,7 @@ pub const ORACLES: &[&str] = &[
     "hooks_off_identity",
     "jobs_identity",
     "shard_identity",
+    "crash_resume_identity",
     "fault_free_bound",
 ];
 
@@ -275,7 +281,127 @@ fn sweep_oracles(
         )));
     }
 
+    if let Some(d) = crash_resume_identity(spec, &reference_bytes, broken)? {
+        return Ok(Some(d));
+    }
+
     fault_free_bound(spec, &reference, broken)
+}
+
+/// Kills a journaled sweep twice — once at a spec-derived cell
+/// boundary, once mid-record via the torn-write hook — then salvages,
+/// resumes, and demands the compiled report match the straight-through
+/// bytes exactly. The crash points derive from the spec digest, so a
+/// shrunk fixture replays the identical crash.
+fn crash_resume_identity(
+    spec: &CampaignSpec,
+    reference_bytes: &str,
+    broken: Option<&str>,
+) -> Result<Option<Divergence>, EngineError> {
+    if broken == Some("crash_resume_identity") {
+        return Ok(Some(Divergence::sabotaged("crash_resume_identity")));
+    }
+    let total = spec.expand()?.len();
+    let digest = spec.digest();
+    let h = crate::campaign::spec::fnv1a(digest.as_bytes());
+    let driver = SweepDriver::new(1);
+    let path = scratch_journal_path();
+    let _ = std::fs::remove_file(&path);
+    let result = crash_resume_identity_at(spec, reference_bytes, total, h, &driver, &path);
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+fn crash_resume_identity_at(
+    spec: &CampaignSpec,
+    reference_bytes: &str,
+    total: usize,
+    h: u64,
+    driver: &SweepDriver,
+    path: &std::path::Path,
+) -> Result<Option<Divergence>, EngineError> {
+    use crate::campaign::journal::TORN_WRITE_INJECTED;
+    use crate::campaign::JournalOptions;
+
+    // (a) Crash at a cell boundary: run 0..total-1 cells, then resume.
+    let cut = (h as usize) % total;
+    driver.run_journal(
+        spec,
+        ShardSpec::full(),
+        path,
+        &JournalOptions {
+            limit: Some(cut),
+            ..JournalOptions::default()
+        },
+    )?;
+    let resumed = driver.run_journal(spec, ShardSpec::full(), path, &JournalOptions::default())?;
+    if resumed.salvaged_cells != cut {
+        return Ok(Some(Divergence::new(
+            "crash_resume_identity",
+            format!(
+                "journal salvaged {} cells after a boundary crash at {cut}",
+                resumed.salvaged_cells
+            ),
+        )));
+    }
+    if report_bytes(&merge_shards(&[resumed.report])?)? != reference_bytes {
+        return Ok(Some(Divergence::new(
+            "crash_resume_identity",
+            format!("resume after a boundary crash at cell {cut} diverges from the straight-through run"),
+        )));
+    }
+
+    // (b) Tear a record mid-write: every cell appends one attempt and
+    // one completion record, so ordinal `h % 2·total` always lands on
+    // a real append; salvage must truncate the half-record and the
+    // resumed bytes must still match.
+    std::fs::remove_file(path)
+        .map_err(|e| EngineError::Config(format!("fuzz scratch journal: {e}")))?;
+    let tear = h % (2 * total as u64);
+    match driver.run_journal(
+        spec,
+        ShardSpec::full(),
+        path,
+        &JournalOptions {
+            tear_after: Some(tear),
+            ..JournalOptions::default()
+        },
+    ) {
+        Ok(_) => {
+            return Ok(Some(Divergence::new(
+                "crash_resume_identity",
+                format!("armed torn-write hook at append {tear} never fired"),
+            )));
+        }
+        Err(e) if e.to_string().contains(TORN_WRITE_INJECTED) => {}
+        Err(e) => return Err(e),
+    }
+    let resumed = driver.run_journal(spec, ShardSpec::full(), path, &JournalOptions::default())?;
+    if resumed.dropped_bytes == 0 {
+        return Ok(Some(Divergence::new(
+            "crash_resume_identity",
+            format!("torn write at append {tear} left no measurable torn tail"),
+        )));
+    }
+    if report_bytes(&merge_shards(&[resumed.report])?)? != reference_bytes {
+        return Ok(Some(Divergence::new(
+            "crash_resume_identity",
+            format!(
+                "resume after a mid-record tear at append {tear} diverges from the \
+                 straight-through run"
+            ),
+        )));
+    }
+    Ok(None)
+}
+
+/// A collision-free scratch path for one oracle invocation: tests run
+/// `check_spec` concurrently, so pid alone is not unique.
+fn scratch_journal_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("helios-fuzz-{}-{seq}.journal", std::process::id()))
 }
 
 /// Serializes a sweep report the way `campaign run --out` does; the
@@ -498,6 +624,7 @@ mod tests {
             "hooks_off_identity",
             "jobs_identity",
             "shard_identity",
+            "crash_resume_identity",
         ] {
             let d = check_spec(&spec, Some(oracle))
                 .expect("oracles run")

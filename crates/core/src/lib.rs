@@ -96,9 +96,10 @@ pub mod resilience;
 
 pub use campaign::{
     cell_rng, merge_shards, CampaignEngine, CampaignError, CampaignSpec, CellResult, DvfsKnob,
-    ElasticityKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, PolicyKnob,
-    ResilienceKnob, ResumeOutcome, SchedulerParamsKnob, SeedRange, ShardReport, ShardSpec,
-    SummaryRow, SweepCell, SweepDriver, SweepReport,
+    ElasticityKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, JournalHeader,
+    JournalOptions, JournalRun, JournalWriter, JsonSalvage, PolicyKnob, ResilienceKnob,
+    ResumeOutcome, Salvage, SchedulerParamsKnob, SeedRange, ShardReport, ShardSpec, SummaryRow,
+    SweepCell, SweepDriver, SweepReport,
 };
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
 pub use elastic::{
