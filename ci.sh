@@ -220,6 +220,25 @@ grep -q '"mean_makespan_secs": null' "$sweep_tmp/ifull.json"
 cmp "$sweep_tmp/ifull.json" "$sweep_tmp/imerged.json"
 echo "infeasible cells are measurements and merge byte-identically"
 
+echo "==> columnar store + query smoke"
+# The smoke spec swept into 2 columnar store shards must merge (through
+# the mixed-format merge path) byte-identical to the unsharded JSON
+# report, and a GROUP BY scheduler query over the store shards must
+# byte-match the same query over the compiled JSON summary's report.
+"$helios" campaign run --spec examples/specs/smoke.json --shard 1/2 \
+    --store "$sweep_tmp/s1.store" > /dev/null
+"$helios" campaign run --spec examples/specs/smoke.json --shard 2/2 \
+    --store "$sweep_tmp/s2.store" > /dev/null
+"$helios" campaign merge --in "$sweep_tmp/s1.store" --in "$sweep_tmp/s2.store" \
+    --out "$sweep_tmp/store_merged.json" > /dev/null
+cmp "$sweep_tmp/full.json" "$sweep_tmp/store_merged.json"
+gq='SELECT scheduler, count(*), avg_completed(makespan_secs), frac(completed) GROUP BY scheduler'
+"$helios" query "$gq" --in "$sweep_tmp/s1.store" --in "$sweep_tmp/s2.store" \
+    --json > "$sweep_tmp/q_store.json"
+"$helios" query "$gq" --in "$sweep_tmp/full.json" --json > "$sweep_tmp/q_json.json"
+cmp "$sweep_tmp/q_store.json" "$sweep_tmp/q_json.json"
+echo "store merge and GROUP BY query are byte-identical to the JSON path"
+
 echo "==> perf-trajectory smoke"
 # Reduced-iteration run of the pinned benchmark harness: verifies the
 # harness executes and emits well-formed JSON with both series, without
@@ -228,13 +247,15 @@ echo "==> perf-trajectory smoke"
 # the committed file carries both series.
 target/release/perf_trajectory --smoke --out "$sweep_tmp/bench_smoke.json"
 for series in paper_grid_cells_per_sec paper_grid_journal_cells_per_sec \
-    synthetic_dag_steps_per_sec; do
+    merge_rows_per_sec synthetic_dag_steps_per_sec; do
     if ! grep -q "\"$series\"" "$sweep_tmp/bench_smoke.json"; then
         echo "bench smoke output is missing the $series series" >&2
         exit 1
     fi
 done
-bench_committed=$(ls BENCH_*.json 2> /dev/null | tail -1)
+# Numeric sort on the PR number: lexical `ls | tail -1` would pick
+# BENCH_9 over BENCH_10.
+bench_committed=$(ls BENCH_*.json 2> /dev/null | sort -t_ -k2 -n | tail -1)
 if [ -z "$bench_committed" ]; then
     echo "no committed BENCH_*.json trajectory file found" >&2
     exit 1

@@ -1,4 +1,4 @@
-//! The pinned perf trajectory: emits `BENCH_<PR>.json` with the three
+//! The pinned perf trajectory: emits `BENCH_<PR>.json` with the four
 //! series every PR must keep honest (ROADMAP item 2).
 //!
 //! * `paper_grid_cells_per_sec` — grid cells executed per second,
@@ -11,6 +11,11 @@
 //!   the write-ahead cell journal (`SweepDriver::run_journal`), so the
 //!   durability tax — two fsync'd appends per cell — is a pinned number
 //!   next to the journal-free baseline instead of folklore.
+//! * `merge_rows_per_sec` — shard-merge throughput over the columnar
+//!   cell store: a 100k-row synthetic sweep split into 4 shard
+//!   segments, read back and recombined by `merge_shards`. The JSON
+//!   path (4 pretty-printed `ShardReport` files through serde) is
+//!   timed next to it, so the store-vs-JSON gap is a pinned number.
 //! * `synthetic_dag_steps_per_sec` — simulated events processed per
 //!   second executing a 10⁵-task layered DAG through
 //!   `Engine::execute_plan` (one Finish per task, one Arrival per
@@ -34,7 +39,7 @@ use helios_sched::{RoundRobinScheduler, Scheduler};
 use helios_workflow::generators::synthetic::{layered_random, LayeredConfig};
 
 /// The PR number this trajectory file belongs to.
-const PR: u32 = 9;
+const PR: u32 = 10;
 
 struct SeriesOut {
     name: &'static str,
@@ -61,8 +66,9 @@ fn main() {
 fn run(smoke: bool, out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let grid = bench_paper_grid(smoke)?;
     let journal = bench_paper_grid_journal(smoke)?;
+    let merge = bench_merge_rows(smoke)?;
     let dag = bench_synthetic_dag(smoke)?;
-    let json = render(smoke, &[grid, journal, dag]);
+    let json = render(smoke, &[grid, journal, merge, dag]);
     std::fs::write(out_path, &json)?;
     eprintln!("wrote {out_path}");
     Ok(())
@@ -122,6 +128,125 @@ fn bench_paper_grid_journal(smoke: bool) -> Result<SeriesOut, Box<dyn std::error
         unit: "cells/sec",
         value: cells / wall,
         detail: vec![("cells", cells), ("wall_secs", wall)],
+    })
+}
+
+/// Merge rows/sec over the columnar store: a synthetic sweep split into
+/// 4 shard segment files, read back (salvage + checksum verification)
+/// and recombined by `merge_shards`. The same shards as pretty-printed
+/// JSON `ShardReport`s are timed next to it so the committed file pins
+/// both sides of the store-vs-JSON comparison.
+fn bench_merge_rows(smoke: bool) -> Result<SeriesOut, Box<dyn std::error::Error>> {
+    use helios_core::store::{schema_names, StoreHeader, StoreWriter};
+    use helios_core::{merge_shards, read_store, CellResult, ShardReport};
+
+    let rows: usize = if smoke { 4_000 } else { 100_000 };
+    let shard_count = 4usize;
+    let dir = std::env::temp_dir().join(format!("helios-bench-merge-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+
+    // A deterministic synthetic population: varied groups, ~1/7 lost
+    // cells, repeating-binary float fractions.
+    let cell = |i: usize| -> CellResult {
+        let completed = i % 7 != 3;
+        CellResult {
+            cell: i,
+            family: ["montage", "ligo", "sipht", "cybershake"][i % 4].to_owned(),
+            platform: ["workstation", "hpc_node"][(i / 4) % 2].to_owned(),
+            scheduler: ["heft", "olb", "mct"][(i / 8) % 3].to_owned(),
+            seed: i as u64,
+            makespan_secs: if completed { i as f64 / 7.0 } else { 0.0 },
+            slr: i as f64 / 3.0,
+            energy_j: i as f64 * 1.5,
+            transfers: i % 100,
+            transfer_bytes: i as f64 * 3e4,
+            failures: (i % 5) as u32,
+            retries: (i % 3) as u32,
+            completed,
+            wasted_work_secs: 0.0,
+            recovery_overhead_secs: 0.0,
+            makespan_degradation: 0.0,
+            reroutes: 0,
+            partition_downtime_secs: 0.0,
+            rematerialized_tasks: 0,
+            rematerialized_bytes: 0.0,
+            incomplete_reason: (!completed).then(|| "retries_exhausted".to_owned()),
+            capacity_secs: 0.0,
+            preemptions: 0,
+            drain_migrated_tasks: 0,
+            join_utilization: 0.0,
+        }
+    };
+
+    let mut store_bytes = 0u64;
+    let mut json_bytes = 0u64;
+    for s in 1..=shard_count {
+        let shard_cells: Vec<CellResult> = (0..rows)
+            .filter(|i| i % shard_count == s - 1)
+            .map(cell)
+            .collect();
+        let header = StoreHeader {
+            spec_name: "merge-bench".into(),
+            spec_digest: "synthetic".into(),
+            total_cells: rows,
+            shard_index: s,
+            shard_count,
+            columns: schema_names(),
+        };
+        let path = dir.join(format!("s{s}.store"));
+        let mut writer = StoreWriter::create(&path, &header)?;
+        for c in &shard_cells {
+            writer.append_cell(c)?;
+        }
+        writer.flush()?;
+        store_bytes += std::fs::metadata(&path)?.len();
+        let report = ShardReport {
+            spec_name: "merge-bench".into(),
+            spec_digest: "synthetic".into(),
+            total_cells: rows,
+            shard_index: s,
+            shard_count,
+            cells: shard_cells,
+        };
+        let jpath = dir.join(format!("s{s}.json"));
+        std::fs::write(&jpath, serde_json::to_string_pretty(&report)?)?;
+        json_bytes += std::fs::metadata(&jpath)?.len();
+    }
+
+    let start = Instant::now();
+    let mut store_shards = Vec::with_capacity(shard_count);
+    for s in 1..=shard_count {
+        store_shards.push(read_store(&dir.join(format!("s{s}.store")))?.to_shard_report());
+    }
+    let store_merged = merge_shards(&store_shards)?;
+    let store_wall = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut json_shards = Vec::with_capacity(shard_count);
+    for s in 1..=shard_count {
+        let text = std::fs::read_to_string(dir.join(format!("s{s}.json")))?;
+        json_shards.push(serde_json::from_str::<ShardReport>(&text)?);
+    }
+    let json_merged = merge_shards(&json_shards)?;
+    let json_wall = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        store_merged, json_merged,
+        "store and JSON merge paths must agree"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(SeriesOut {
+        name: "merge_rows_per_sec",
+        unit: "rows/sec",
+        value: rows as f64 / store_wall,
+        detail: vec![
+            ("rows", rows as f64),
+            ("store_wall_secs", store_wall),
+            ("json_wall_secs", json_wall),
+            ("store_bytes", store_bytes as f64),
+            ("json_bytes", json_bytes as f64),
+        ],
     })
 }
 

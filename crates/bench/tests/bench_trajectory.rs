@@ -5,15 +5,16 @@
 use std::path::PathBuf;
 
 /// Every series the trajectory file must carry, by stable name.
-const REQUIRED_SERIES: [&str; 3] = [
+const REQUIRED_SERIES: [&str; 4] = [
     "paper_grid_cells_per_sec",
     "paper_grid_journal_cells_per_sec",
+    "merge_rows_per_sec",
     "synthetic_dag_steps_per_sec",
 ];
 
 /// The PR whose trajectory file this tree pins (matches
 /// `perf_trajectory::PR`).
-const PR: u32 = 9;
+const PR: u32 = 10;
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -221,21 +221,25 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// Four forms:
 ///
 /// * `campaign run --spec FILE [--shard K/N] [--jobs N] [--out FILE]
-///   [--journal FILE]` — expand a declarative sweep spec and run it (or
-///   one shard of it). Without `--shard` the merged sweep report is
-///   produced directly; with `--shard`, a shard report for later
-///   `merge`. With `--journal`, every cell is appended to a fsync'd
-///   write-ahead journal first and `--out` becomes an optional view
-///   compiled from it; `kill -9` at any byte loses at most the torn
-///   tail record.
+///   [--journal FILE | --store FILE]` — expand a declarative sweep spec
+///   and run it (or one shard of it). Without `--shard` the merged
+///   sweep report is produced directly; with `--shard`, a shard report
+///   for later `merge`. With `--journal`, every cell is appended to a
+///   fsync'd write-ahead journal first and `--out` becomes an optional
+///   view compiled from it; `kill -9` at any byte loses at most the
+///   torn tail record. With `--store`, cells are appended to the
+///   columnar cell store instead (the `helios query` substrate) with
+///   the same durability and resume semantics.
 /// * `campaign merge --in FILE [--in FILE …] [--out FILE]` — recombine
-///   shard reports or cell journals (overlap/gap/spec-mismatch checked)
-///   into the aggregate sweep report, byte-identical to an unsharded
-///   run.
-/// * `campaign recover FILE [--out FILE]` — salvage a torn journal
-///   (truncate to the longest valid record prefix) or a torn JSON shard
-///   report (cut back to the longest valid cell prefix), and say how to
-///   resume.
+///   shard reports, cell journals and/or columnar stores
+///   (overlap/gap/spec-mismatch checked) into the aggregate sweep
+///   report, byte-identical to an unsharded run. Input kinds are
+///   detected by magic bytes and may be mixed freely in one
+///   invocation.
+/// * `campaign recover FILE [--out FILE]` — salvage a torn journal or
+///   columnar store (truncate to the longest valid record prefix) or a
+///   torn JSON shard report (cut back to the longest valid cell
+///   prefix), and say how to resume.
 /// * legacy member form: repeated `--member path[:arrival[:priority]]`
 ///   runs one ensemble campaign over `--seeds N` replicate seeds.
 pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -259,6 +263,10 @@ pub fn campaign(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// salvages the longest valid prefix of an interrupted journal (torn
 /// tail truncated), and `--out` is only a view compiled from it.
 ///
+/// With `--store FILE` the durable artifact is the columnar cell store
+/// (`helios query`'s native format) instead of a journal, with the same
+/// salvage-and-resume semantics.
+///
 /// Environment hooks (crash injection for the CI chaos smoke):
 /// `HELIOS_SWEEP_ABORT_AFTER=N` stops after executing `N` cells;
 /// `HELIOS_JOURNAL_CRASH_CELL=I` errors right after journaling the
@@ -270,7 +278,11 @@ fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         merge_shards, CampaignSpec, ShardReport, ShardSpec, SweepDriver, SweepReport,
     };
 
-    let args = Args::parse(argv, &["spec", "shard", "jobs", "out", "journal"], &[])?;
+    let args = Args::parse(
+        argv,
+        &["spec", "shard", "jobs", "out", "journal", "store"],
+        &[],
+    )?;
     let spec_path = args.require("spec")?;
     let json = std::fs::read_to_string(spec_path)
         .map_err(|e| CliError::Helios(format!("cannot read spec file {spec_path:?}: {e}")))?;
@@ -286,12 +298,28 @@ fn campaign_run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         None => None,
     };
     let out_path = args.get("out");
+    if args.get("journal").is_some() && args.get("store").is_some() {
+        return Err(CliError::Usage(
+            "--journal and --store are both durable result paths; pick one".into(),
+        ));
+    }
     if let Some(journal_path) = args.get("journal") {
         return campaign_run_journal(
             &driver,
             &spec,
             shard,
             journal_path,
+            out_path,
+            abort_after,
+            out,
+        );
+    }
+    if let Some(store_path) = args.get("store") {
+        return campaign_run_store(
+            &driver,
+            &spec,
+            shard,
+            store_path,
             out_path,
             abort_after,
             out,
@@ -416,6 +444,12 @@ fn classify_bad_resume_file(
              --journal {path} (and drop --out, or point --out elsewhere for the view)"
         ));
     }
+    if helios_core::store::is_store_bytes(contents.as_bytes()) {
+        return CliError::Usage(format!(
+            "{path:?} is a columnar cell store, not a JSON report; resume it with \
+             --store {path} (and drop --out, or point --out elsewhere for the view)"
+        ));
+    }
     // Intact JSON that is just not ours: refuse, don't diagnose a crash.
     if serde_json::from_str::<serde_json::Value>(contents).is_ok() {
         return CliError::Helios(format!(
@@ -537,12 +571,88 @@ fn campaign_run_journal(
     Ok(())
 }
 
+/// The `--store` arm of `campaign run`: every cell is appended to the
+/// columnar cell store as it finishes, `--out` is an optional JSON view
+/// compiled from it, and SIGINT/SIGTERM drain instead of killing the
+/// run. The store file is what `helios query` and `campaign merge`
+/// consume directly.
+fn campaign_run_store(
+    driver: &helios_core::SweepDriver,
+    spec: &helios_core::CampaignSpec,
+    shard: Option<helios_core::ShardSpec>,
+    store_path: &str,
+    out_path: Option<&str>,
+    abort_after: Option<usize>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use helios_core::{merge_shards, ShardSpec, StoreOptions};
+
+    let effective = shard.unwrap_or_else(ShardSpec::full);
+    let opts = StoreOptions {
+        limit: abort_after,
+        cancel: Some(crate::drain::install()),
+    };
+    let run = driver.run_store(spec, effective, std::path::Path::new(store_path), &opts)?;
+
+    if run.salvaged_rows > 0 || run.dropped_bytes > 0 {
+        writeln!(
+            out,
+            "resumed {store_path}: {} completed row(s) salvaged, {} torn byte(s) dropped",
+            run.salvaged_rows, run.dropped_bytes
+        )?;
+    }
+
+    let report = run.report;
+    let done = report.cells.len();
+    let owned = done + run.remaining;
+    if run.drained {
+        return Err(CliError::Interrupted(format!(
+            "drained on signal: {done} of {owned} owned cells durable in {store_path}; \
+             re-run with the same --store to resume"
+        )));
+    }
+    if run.remaining > 0 {
+        return Err(CliError::Helios(format!(
+            "aborted by HELIOS_SWEEP_ABORT_AFTER after {} cells: {done} of {owned} owned \
+             cells durable in {store_path}, {} remaining; re-run with the same \
+             --store to resume",
+            abort_after.unwrap_or(0),
+            run.remaining
+        )));
+    }
+
+    match shard {
+        Some(shard) => {
+            writeln!(
+                out,
+                "shard {shard} of {:?}: {} of {} cells stored in {store_path}",
+                report.spec_name, done, report.total_cells
+            )?;
+            if let Some(path) = out_path {
+                std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+                writeln!(out, "wrote {path} (view compiled from the store)")?;
+            }
+        }
+        None => {
+            let merged = merge_shards(&[report])?;
+            write_sweep_summary(&merged, out)?;
+            if let Some(path) = out_path {
+                std::fs::write(path, serde_json::to_string_pretty(&merged)?)?;
+                writeln!(out, "wrote {path} (view compiled from the store)")?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `helios campaign recover FILE [--out FILE]` — salvage a torn resume
 /// artifact with zero hand-repair.
 ///
 /// * A cell journal is truncated to its longest valid record prefix
 ///   (in place; the `--out` view is optional) and the pending-attempt
 ///   tally is printed so poisoned cells are visible before resuming.
+/// * A columnar cell store is likewise truncated to its longest valid
+///   row-group prefix.
 /// * An intact shard/sweep report needs nothing; say so.
 /// * A torn JSON shard report is cut back to the longest valid cell
 ///   prefix (rewritten in place, or to `--out`).
@@ -564,6 +674,34 @@ fn campaign_recover(argv: &[String], out: &mut dyn Write) -> Result<(), CliError
     let args = Args::parse(rest, &["out"], &[])?;
     let bytes =
         std::fs::read(file).map_err(|e| CliError::Helios(format!("cannot read {file:?}: {e}")))?;
+
+    if helios_core::store::is_store_bytes(&bytes) {
+        let salvage = helios_core::recover_store(std::path::Path::new(file))?;
+        let h = &salvage.header;
+        writeln!(
+            out,
+            "store {file}: spec {:?} (digest {}), shard {}/{}, {} total cells",
+            h.spec_name, h.spec_digest, h.shard_index, h.shard_count, h.total_cells
+        )?;
+        writeln!(
+            out,
+            "salvaged {} completed row(s); truncated {} torn byte(s)",
+            salvage.cells.len(),
+            salvage.dropped_bytes
+        )?;
+        if let Some(path) = args.get("out") {
+            std::fs::write(
+                path,
+                serde_json::to_string_pretty(&salvage.to_shard_report())?,
+            )?;
+            writeln!(out, "wrote {path} (view compiled from the store)")?;
+        }
+        writeln!(
+            out,
+            "resume with: helios campaign run --spec SPEC --store {file}"
+        )?;
+        return Ok(());
+    }
 
     if journal::is_journal_bytes(&bytes) {
         let salvage = journal::recover_journal(std::path::Path::new(file))?;
@@ -640,8 +778,11 @@ fn campaign_recover(argv: &[String], out: &mut dyn Write) -> Result<(), CliError
     }
 }
 
-/// `helios campaign merge` — recombine shard reports and/or cell
-/// journals (detected by magic bytes, salvaged read-only).
+/// `helios campaign merge` — recombine shard reports, cell journals
+/// and/or columnar stores (detected by magic bytes, salvaged
+/// read-only). The three kinds may be mixed freely in one invocation;
+/// a file from a different campaign is refused by the merge's
+/// spec-digest check.
 fn campaign_merge(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use helios_core::campaign::journal;
     use helios_core::{merge_shards, ShardReport};
@@ -650,13 +791,21 @@ fn campaign_merge(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> 
     let inputs = args.get_all("in");
     if inputs.is_empty() {
         return Err(CliError::Usage(
-            "at least one --in shard-report (or journal) file is required".into(),
+            "at least one --in shard-report (or journal/store) file is required".into(),
         ));
     }
     let mut shards = Vec::with_capacity(inputs.len());
     for path in inputs {
         let bytes = std::fs::read(path)
             .map_err(|e| CliError::Helios(format!("cannot read shard report {path:?}: {e}")))?;
+        if helios_core::store::is_store_bytes(&bytes) {
+            // Read-only, like the journal arm: a torn tail only matters
+            // if it hid the last rows, and then merge_shards names the
+            // missing cells.
+            let salvage = helios_core::read_store(std::path::Path::new(path))?;
+            shards.push(salvage.to_shard_report());
+            continue;
+        }
         if journal::is_journal_bytes(&bytes) {
             // Merge reads the journal without truncating it; a torn tail
             // only matters if it hid the last completions, and then
@@ -680,40 +829,274 @@ fn campaign_merge(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> 
 }
 
 /// Human-readable rendering of a merged sweep report.
+///
+/// The column list, widths and precisions are not hand-maintained here:
+/// they come from the store schema's `SUMMARY_KEYS` /
+/// `SUMMARY_AGGREGATES` plan, so a new summary column shows up in this
+/// table by construction.
 fn write_sweep_summary(
     report: &helios_core::SweepReport,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
+    use helios_core::store::{summary_row_values, Value, SUMMARY_AGGREGATES, SUMMARY_KEYS};
+
     writeln!(
         out,
         "sweep {:?} (digest {}): {} cells",
         report.spec_name, report.spec_digest, report.total_cells
     )?;
-    writeln!(
-        out,
-        "{:<14}{:<14}{:<12}{:>6}{:>16}{:>10}{:>14}{:>8}",
-        "family", "platform", "scheduler", "cells", "makespan (s)", "SLR", "energy (J)", "compl"
-    )?;
-    for row in &report.summary {
-        // Rows where no cell completed have no means: print a dash, not
-        // a zero that would read as an instant run.
-        let dash = |v: Option<f64>, prec: usize| match v {
-            Some(v) => format!("{v:.prec$}"),
-            None => "-".to_owned(),
-        };
-        writeln!(
-            out,
-            "{:<14}{:<14}{:<12}{:>6}{:>16}{:>10}{:>14}{:>8.2}",
-            row.family,
-            row.platform,
-            row.scheduler,
-            row.cells,
-            dash(row.mean_makespan_secs, 6),
-            dash(row.mean_slr, 3),
-            dash(row.mean_energy_j, 1),
-            row.completion_probability
-        )?;
+    let mut header = String::new();
+    for (col, width) in SUMMARY_KEYS {
+        header.push_str(&format!("{:<width$}", col.name()));
     }
+    for spec in SUMMARY_AGGREGATES {
+        header.push_str(&format!("{:>width$}", spec.header, width = spec.width));
+    }
+    writeln!(out, "{header}")?;
+    for row in &report.summary {
+        let values = summary_row_values(row);
+        let mut line = String::new();
+        for (i, (_, width)) in SUMMARY_KEYS.iter().enumerate() {
+            match &values[i] {
+                Value::Str(s) => line.push_str(&format!("{s:<width$}")),
+                other => unreachable!("summary key {i} is a string, got {other:?}"),
+            }
+        }
+        for (j, spec) in SUMMARY_AGGREGATES.iter().enumerate() {
+            let text = match (&values[SUMMARY_KEYS.len() + j], spec.precision) {
+                // Rows where no cell completed have no means: print a
+                // dash, not a zero that would read as an instant run.
+                (Value::Null, _) => "-".to_owned(),
+                (Value::F64(v), Some(prec)) => format!("{v:.prec$}"),
+                (Value::U64(v), None) => v.to_string(),
+                (other, prec) => {
+                    unreachable!("summary {:?} with precision {prec:?}: {other:?}", spec.name)
+                }
+            };
+            line.push_str(&format!("{text:>width$}", width = spec.width));
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// `helios query` — run a `SELECT … [WHERE …] [GROUP BY …]` expression
+/// over sweep results.
+///
+/// The expression is the first positional argument; `--in FILE`
+/// (repeatable) names the inputs. Each input may be a JSON sweep or
+/// shard report, a cell journal, or a columnar store — kinds are
+/// detected by magic bytes and may be mixed in one invocation as long
+/// as every file belongs to the same campaign. Rows are queried in
+/// global cell order; `--json` emits one JSON object per row instead of
+/// the aligned text table.
+pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((expr, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(
+            "query 'EXPR' --in FILE [--in FILE ...] [--json] — e.g. helios query \
+             'SELECT scheduler, avg_completed(makespan_secs) GROUP BY scheduler' \
+             --in sweep.json"
+                .into(),
+        ));
+    };
+    if expr.starts_with('-') {
+        return Err(CliError::Usage(format!(
+            "query takes the expression as its first argument, got {expr:?}"
+        )));
+    }
+    let args = Args::parse(rest, &["in"], &["json"])?;
+    let inputs = args.get_all("in");
+    if inputs.is_empty() {
+        return Err(CliError::Usage(
+            "at least one --in result file (JSON report, journal or store) is required".into(),
+        ));
+    }
+    let cells = load_query_cells(&inputs)?;
+    let result = helios_core::run_query(expr, &cells)?;
+
+    if args.flag("json") {
+        write_query_json(&result, out)?;
+    } else {
+        write_query_table(&result, out)?;
+    }
+    Ok(())
+}
+
+/// Loads and pools the cell rows of every `--in` file, whatever its
+/// format, refusing inputs that belong to different campaigns or that
+/// repeat a cell. Gaps are fine — a query over half the grid is a
+/// legitimate question — which is exactly where this is laxer than
+/// `campaign merge`.
+fn load_query_cells(inputs: &[&str]) -> Result<Vec<helios_core::CellResult>, CliError> {
+    use helios_core::campaign::journal;
+    use helios_core::{CampaignError, CellResult, EngineError, ShardReport, SweepReport};
+
+    let conflict = |detail: String| -> CliError {
+        EngineError::from(CampaignError::MergeConflict(detail)).into()
+    };
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    let mut spec: Option<(String, String, usize)> = None;
+    let mut seen_in: std::collections::HashMap<usize, String> = std::collections::HashMap::new();
+    for path in inputs {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CliError::Helios(format!("cannot read query input {path:?}: {e}")))?;
+        let shard: ShardReport = if helios_core::store::is_store_bytes(&bytes) {
+            helios_core::read_store(std::path::Path::new(path))?.to_shard_report()
+        } else if journal::is_journal_bytes(&bytes) {
+            journal::read_journal(std::path::Path::new(path))?.to_shard_report()
+        } else {
+            let json = String::from_utf8_lossy(&bytes).into_owned();
+            match serde_json::from_str::<ShardReport>(&json) {
+                Ok(shard) => shard,
+                Err(_) => {
+                    let full: SweepReport = serde_json::from_str(&json).map_err(|e| {
+                        CliError::Helios(format!(
+                            "query input {path:?} is neither a store, a journal, nor a \
+                             JSON sweep/shard report: {e}"
+                        ))
+                    })?;
+                    ShardReport {
+                        spec_name: full.spec_name,
+                        spec_digest: full.spec_digest,
+                        total_cells: full.total_cells,
+                        shard_index: 1,
+                        shard_count: 1,
+                        cells: full.cells,
+                    }
+                }
+            }
+        };
+        match &spec {
+            None => {
+                spec = Some((
+                    shard.spec_name.clone(),
+                    shard.spec_digest.clone(),
+                    shard.total_cells,
+                ));
+            }
+            Some((name, digest, total)) => {
+                if (name, digest, *total)
+                    != (&shard.spec_name, &shard.spec_digest, shard.total_cells)
+                {
+                    return Err(conflict(format!(
+                        "query inputs disagree on the spec: {path} is {:?} (digest {}, {} \
+                         cells) but earlier inputs are {name:?} (digest {digest}, {total} \
+                         cells)",
+                        shard.spec_name, shard.spec_digest, shard.total_cells
+                    )));
+                }
+            }
+        }
+        for cell in shard.cells {
+            if let Some(first) = seen_in.get(&cell.cell) {
+                return Err(conflict(format!(
+                    "cell {} appears in both {first} and {path}; drop one of the \
+                     overlapping inputs",
+                    cell.cell
+                )));
+            }
+            seen_in.insert(cell.cell, (*path).to_owned());
+            cells.push(cell);
+        }
+    }
+    Ok(cells)
+}
+
+/// Renders one query value for the text table.
+fn render_query_value(v: &helios_core::store::Value) -> String {
+    use helios_core::store::Value;
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::U32(n) => n.to_string(),
+        Value::F64(x) => format!("{x}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => s.clone(),
+        Value::Null => "-".to_owned(),
+    }
+}
+
+/// The aligned text rendering of a query result: columns sized to their
+/// widest value, keys left-aligned like the sweep summary table.
+fn write_query_table(
+    result: &helios_core::QueryOutput,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let rendered: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|row| row.iter().map(render_query_value).collect())
+        .collect();
+    let widths: Vec<usize> = result
+        .schema
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            rendered
+                .iter()
+                .map(|row| row[i].len())
+                .chain(std::iter::once(name.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let write_row = |out: &mut dyn Write, fields: Vec<&str>| -> Result<(), CliError> {
+        let mut line = String::new();
+        for (i, field) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{field:<width$}", width = widths[i]));
+        }
+        writeln!(out, "{}", line.trim_end())?;
+        Ok(())
+    };
+    write_row(out, result.schema.iter().map(String::as_str).collect())?;
+    for row in &rendered {
+        write_row(out, row.iter().map(String::as_str).collect())?;
+    }
+    writeln!(out, "({} row(s))", result.rows.len())?;
+    Ok(())
+}
+
+/// The `--json` rendering of a query result: a JSON array with one
+/// object per row, keys in SELECT order (built by hand so the order is
+/// the plan's, not a map's).
+fn write_query_json(
+    result: &helios_core::QueryOutput,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use helios_core::store::Value;
+    if result.rows.is_empty() {
+        writeln!(out, "[]")?;
+        return Ok(());
+    }
+    writeln!(out, "[")?;
+    for (r, row) in result.rows.iter().enumerate() {
+        let mut obj = String::from("  {");
+        for (i, (name, value)) in result.schema.iter().zip(row).enumerate() {
+            if i > 0 {
+                obj.push_str(", ");
+            }
+            obj.push_str(&serde_json::to_string(name)?);
+            obj.push_str(": ");
+            let json = match value {
+                Value::U64(n) => serde_json::to_string(n)?,
+                Value::U32(n) => serde_json::to_string(n)?,
+                Value::F64(x) => serde_json::to_string(x)?,
+                Value::Bool(b) => serde_json::to_string(b)?,
+                Value::Str(s) => serde_json::to_string(s)?,
+                Value::Null => "null".to_owned(),
+            };
+            obj.push_str(&json);
+        }
+        obj.push('}');
+        if r + 1 < result.rows.len() {
+            obj.push(',');
+        }
+        writeln!(out, "{obj}")?;
+    }
+    writeln!(out, "]")?;
     Ok(())
 }
 
@@ -1305,6 +1688,220 @@ mod campaign_tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("incomplete partition"), "{err}");
+    }
+
+    #[test]
+    fn store_run_mixed_merge_and_query_roundtrip() {
+        let dir = std::env::temp_dir().join("helios-cli-campaign-store");
+        // Stale outputs from earlier runs would trigger resume semantics.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(&spec, SPEC_JSON).unwrap();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                &path("spec.json"),
+                "--out",
+                &path("full.json"),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+
+        // Shard 1 to a columnar store, shard 2 to a plain JSON report:
+        // merge must accept the mix and reproduce the unsharded bytes.
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                &path("spec.json"),
+                "--shard",
+                "1/2",
+                "--store",
+                &path("s1.store"),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2 of 4 cells stored"), "{text}");
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                &path("spec.json"),
+                "--shard",
+                "2/2",
+                "--out",
+                &path("s2.json"),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "merge",
+                "--in",
+                &path("s1.store"),
+                "--in",
+                &path("s2.json"),
+                "--out",
+                &path("merged.json"),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let full = std::fs::read(dir.join("full.json")).unwrap();
+        let merged = std::fs::read(dir.join("merged.json")).unwrap();
+        assert_eq!(
+            full, merged,
+            "store+JSON merge must equal the unsharded run"
+        );
+
+        // The same aggregate through `helios query` must not depend on
+        // whether the rows come from stores or from the JSON report.
+        let q = "SELECT scheduler, count(*), avg_completed(makespan_secs) GROUP BY scheduler";
+        let run_query = |inputs: &[&str]| {
+            let mut a = vec![q.to_owned()];
+            for i in inputs {
+                a.push("--in".to_owned());
+                a.push((*i).to_owned());
+            }
+            a.push("--json".to_owned());
+            let mut buf = Vec::new();
+            query(&a, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let over_stores = run_query(&[&path("s1.store"), &path("s2.json")]);
+        let over_report = run_query(&[&path("full.json")]);
+        assert_eq!(over_stores, over_report);
+        assert!(
+            over_report.contains("\"scheduler\": \"heft\""),
+            "{over_report}"
+        );
+
+        // Resuming the finished store is a no-op run with salvage.
+        let mut buf = Vec::new();
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                &path("spec.json"),
+                "--shard",
+                "1/2",
+                "--store",
+                &path("s1.store"),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("resumed"), "{text}");
+    }
+
+    #[test]
+    fn query_argument_and_input_validation() {
+        let dir = std::env::temp_dir().join("helios-cli-query-err");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut buf = Vec::new();
+
+        // No expression / flag in expression position / no inputs.
+        assert!(query(&argv(&[]), &mut buf).is_err());
+        assert!(query(&argv(&["--in", "x.json"]), &mut buf).is_err());
+        assert!(query(&argv(&["SELECT *"]), &mut buf).is_err());
+
+        // --journal and --store are mutually exclusive on campaign run.
+        let spec = dir.join("spec.json");
+        std::fs::write(&spec, SPEC_JSON).unwrap();
+        let err = campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                spec.to_str().unwrap(),
+                "--journal",
+                "a.journal",
+                "--store",
+                "a.store",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("pick one"), "{err}");
+
+        // A bad expression surfaces the typed error naming the token.
+        let report = dir.join("r.json");
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                spec.to_str().unwrap(),
+                "--out",
+                report.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let err = query(
+            &argv(&["SELECT frobnicate", "--in", report.to_str().unwrap()]),
+            &mut buf,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("invalid query at \"frobnicate\""), "{err}");
+
+        // Inputs from different campaigns are refused.
+        let other_spec = dir.join("spec2.json");
+        std::fs::write(&other_spec, SPEC_JSON.replace("cli-smoke", "cli-other")).unwrap();
+        let other = dir.join("r2.json");
+        campaign(
+            &argv(&[
+                "run",
+                "--spec",
+                other_spec.to_str().unwrap(),
+                "--out",
+                other.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let err = query(
+            &argv(&[
+                "SELECT count(*)",
+                "--in",
+                report.to_str().unwrap(),
+                "--in",
+                other.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("disagree on the spec"), "{err}");
+
+        // The same file twice repeats every cell.
+        let err = query(
+            &argv(&[
+                "SELECT count(*)",
+                "--in",
+                report.to_str().unwrap(),
+                "--in",
+                report.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("appears in both"), "{err}");
     }
 
     #[test]

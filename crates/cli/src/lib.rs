@@ -92,6 +92,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "schedule" => commands::schedule(rest, out),
         "run" => commands::run(rest, out),
         "campaign" => commands::campaign(rest, out),
+        "query" => commands::query(rest, out),
         "fuzz" => commands::fuzz(rest, out),
         "platforms" => commands::platforms(rest, out),
         "help" | "--help" | "-h" => {
@@ -118,11 +119,14 @@ pub fn usage() -> String {
        campaign   run a workflow ensemble (--member path[:arrival[:prio]],\n\
                   --policy fifo|priority|fair-share)\n\
        campaign run    sweep a spec grid (--spec file.json, --shard K/N,\n\
-                       --jobs N, --out report.json, --journal wal.journal)\n\
-       campaign merge  recombine shard reports or journals (--in shard.json\n\
-                       --in shard.journal ..., --out)\n\
-       campaign recover FILE  salvage a torn journal or JSON report in\n\
-                       place (--out to write the view elsewhere)\n\
+                       --jobs N, --out report.json, --journal wal.journal,\n\
+                       --store cells.store)\n\
+       campaign merge  recombine shard reports, journals or stores\n\
+                       (--in shard.json --in shard.store ..., --out)\n\
+       campaign recover FILE  salvage a torn journal, store or JSON report\n\
+                       in place (--out to write the view elsewhere)\n\
+       query      run 'SELECT ... [WHERE ...] [GROUP BY ...]' over sweep\n\
+                  results (--in report.json|wal.journal|cells.store, --json)\n\
        fuzz       adversarial harness: random specs vs differential oracles\n\
                   (--seed, --runs, --bugbase DIR, --replay FILE|DIR)\n\
        platforms  list the preset platforms\n\

@@ -67,6 +67,13 @@ pub enum CampaignError {
     /// Shard reports cannot be merged (different campaigns, overlaps,
     /// missing cells).
     MergeConflict(String),
+    /// A `helios query` expression does not parse or plan.
+    InvalidQuery {
+        /// The offending token (empty when the expression ended early).
+        token: String,
+        /// What is wrong and what the legal forms are.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -88,6 +95,9 @@ impl fmt::Display for CampaignError {
                 write!(f, "corrupt resume file {file:?} at byte {offset}: {detail}")
             }
             CampaignError::MergeConflict(msg) => write!(f, "{msg}"),
+            CampaignError::InvalidQuery { token, detail } => {
+                write!(f, "invalid query at {token:?}: {detail}")
+            }
         }
     }
 }
@@ -101,7 +111,7 @@ pub use spec::{
 };
 pub use sweep::{
     merge_shards, CellResult, JournalOptions, JournalRun, ResumeOutcome, ShardReport, ShardSpec,
-    SummaryRow, SweepDriver, SweepReport,
+    StoreOptions, StoreRun, SummaryRow, SweepDriver, SweepReport,
 };
 
 /// Runs the independent cells of a campaign across worker threads.

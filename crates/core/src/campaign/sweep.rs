@@ -28,6 +28,7 @@ use super::spec::{family_class, CampaignSpec, DvfsKnob, SweepCell};
 use super::{CampaignEngine, CampaignError};
 use crate::exec::IncompleteReason;
 use crate::resilience::ResilientRunner;
+use crate::store::{StoreHeader, StoreWriter};
 use crate::{Engine, EngineConfig, EngineError, FaultConfig};
 
 /// One shard of a partition: `index` of `count`, 1-based.
@@ -551,6 +552,159 @@ impl SweepDriver {
             drained,
         })
     }
+
+    /// Runs `shard` against a columnar store segment file at `path` —
+    /// the append-as-you-go result path. A fresh path is initialized
+    /// with a checksummed header binding the spec digest, shard
+    /// geometry and row schema; an existing store is salvaged (torn
+    /// tail truncated) and resumed, re-running only the missing cells.
+    /// Finished cells are appended as columnar row groups, and the
+    /// JSON [`ShardReport`] is compiled *from* those rows — byte
+    /// identical to an uninterrupted `--out` run.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::CorruptResume`] when `path` is not a store or
+    /// its header is unreadable; [`CampaignError::ResumeMismatch`] when
+    /// the store belongs to a different campaign or shard geometry —
+    /// plus I/O and cell execution errors.
+    pub fn run_store(
+        &self,
+        spec: &CampaignSpec,
+        shard: ShardSpec,
+        path: &Path,
+        opts: &StoreOptions<'_>,
+    ) -> Result<StoreRun, EngineError> {
+        let cells = spec.expand()?;
+        let total_cells = cells.len();
+        let digest = spec.digest();
+        let header = StoreHeader {
+            spec_name: spec.name.clone(),
+            spec_digest: digest.clone(),
+            total_cells,
+            shard_index: shard.index(),
+            shard_count: shard.count(),
+            columns: crate::store::schema_names(),
+        };
+
+        let exists = std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false);
+        let (writer, mut done, salvaged_rows, dropped_bytes);
+        if exists {
+            let salvage = crate::store::recover_store(path)?;
+            check_store_header(&salvage.header, &header, shard)?;
+            salvaged_rows = salvage.cells.len();
+            dropped_bytes = salvage.dropped_bytes;
+            done = salvage.cells;
+            writer = StoreWriter::open_append(path)?;
+        } else {
+            writer = StoreWriter::create(path, &header)?;
+            done = Vec::new();
+            salvaged_rows = 0;
+            dropped_bytes = 0;
+        }
+        done.sort_by_key(|c| c.cell);
+        if let Some(bad) = done
+            .iter()
+            .find(|c| !shard.owns(c.cell) || c.cell >= total_cells)
+        {
+            return Err(CampaignError::ResumeMismatch(format!(
+                "refusing to resume: the store claims cell {}, which shard \
+                 {shard} of this {total_cells}-cell grid does not own",
+                bad.cell
+            ))
+            .into());
+        }
+
+        let skipped = done.len();
+        let mut pending: Vec<SweepCell> = cells
+            .into_iter()
+            .filter(|c| {
+                shard.owns(c.index) && done.binary_search_by_key(&c.index, |d| d.cell).is_err()
+            })
+            .collect();
+        let mut remaining = 0;
+        if let Some(cap) = opts.limit {
+            if pending.len() > cap {
+                remaining = pending.len() - cap;
+                pending.truncate(cap);
+            }
+        }
+
+        let writer = Mutex::new(writer);
+        let run: Result<(Vec<CellResult>, bool), EngineError> =
+            self.engine.run_partial(&pending, opts.cancel, |_, cell| {
+                // The cell executes outside the store lock; only the
+                // columnar appends serialize.
+                let result = run_cell(spec, cell)?;
+                writer
+                    .lock()
+                    .expect("no poisoned store lock")
+                    .append_cell(&result)?;
+                Ok(result)
+            });
+        // Flush the buffered group tail even when the run failed: rows
+        // already appended must become durable before the error (which
+        // takes precedence) propagates.
+        let flush = writer.lock().expect("no poisoned store lock").flush();
+        let (fresh, drained) = run?;
+        flush?;
+        remaining += pending.len() - fresh.len();
+
+        done.extend(fresh);
+        done.sort_by_key(|c| c.cell);
+        Ok(StoreRun {
+            report: ShardReport {
+                spec_name: spec.name.clone(),
+                spec_digest: digest,
+                total_cells,
+                shard_index: shard.index(),
+                shard_count: shard.count(),
+                cells: done,
+            },
+            skipped,
+            remaining,
+            salvaged_rows,
+            dropped_bytes,
+            drained,
+        })
+    }
+}
+
+/// Refuses a store whose header belongs to a different campaign or
+/// shard geometry, with the same actionable messages as journal resume.
+fn check_store_header(
+    found: &StoreHeader,
+    expected: &StoreHeader,
+    shard: ShardSpec,
+) -> Result<(), EngineError> {
+    if found.spec_name != expected.spec_name
+        || found.spec_digest != expected.spec_digest
+        || found.total_cells != expected.total_cells
+    {
+        return Err(CampaignError::ResumeMismatch(format!(
+            "refusing to resume: the existing store is from a different campaign \
+             (spec {:?}, digest {}, {} cells) than this spec ({:?}, digest {}, {} \
+             cells); delete the file or point --store elsewhere",
+            found.spec_name,
+            found.spec_digest,
+            found.total_cells,
+            expected.spec_name,
+            expected.spec_digest,
+            expected.total_cells
+        ))
+        .into());
+    }
+    if found.shard_index != shard.index() || found.shard_count != shard.count() {
+        return Err(CampaignError::ResumeMismatch(format!(
+            "refusing to resume: the existing store is shard {}/{}, but this run \
+             is shard {shard}; re-run with --shard {}/{} or start fresh",
+            found.shard_index, found.shard_count, found.shard_index, found.shard_count
+        ))
+        .into());
+    }
+    Ok(())
 }
 
 /// Refuses a journal whose header belongs to a different campaign or
@@ -656,6 +810,39 @@ pub struct JournalRun {
     pub dropped_bytes: u64,
     /// Cells quarantined as poisoned by *this* invocation, sorted.
     pub poisoned: Vec<usize>,
+    /// Whether a drain request cut the run short.
+    pub drained: bool,
+}
+
+/// Knobs for [`SweepDriver::run_store`]: the drain flag plus the
+/// crash-injection cap, mirroring [`JournalOptions`] for the columnar
+/// result path.
+#[derive(Debug, Default)]
+pub struct StoreOptions<'a> {
+    /// Cap on cells *executed* by this invocation (the
+    /// `HELIOS_SWEEP_ABORT_AFTER` crash-injection hook).
+    pub limit: Option<usize>,
+    /// Cooperative drain: once set, in-flight cells finish and are
+    /// appended, no new cells start ([`StoreRun::drained`] reports the
+    /// cut). The CLI arms this from SIGINT/SIGTERM.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+/// What [`SweepDriver::run_store`] did: the compiled report plus the
+/// salvage and drain accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRun {
+    /// The shard report compiled from the store after this invocation
+    /// (partial iff `remaining > 0` or `drained`).
+    pub report: ShardReport,
+    /// Cells taken over from the store instead of re-run.
+    pub skipped: usize,
+    /// Owned cells still missing (a `limit` or drain cut the run).
+    pub remaining: usize,
+    /// Rows salvaged from the existing store file.
+    pub salvaged_rows: usize,
+    /// Torn-tail bytes truncated during salvage.
+    pub dropped_bytes: u64,
     /// Whether a drain request cut the run short.
     pub drained: bool,
 }
@@ -978,49 +1165,15 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, EngineError> 
 /// completion probability instead. A row where *every* cell is
 /// incomplete carries `None` means: `0.0` would be indistinguishable
 /// from a genuinely instant run.
+/// Since PR 10 this is a group-by plan over the columnar executor
+/// pipeline — `SUMMARY_KEYS`/`SUMMARY_AGGREGATES` in
+/// [`crate::store::schema`] are the single description of the keys,
+/// the aggregates and the null-mean rule, shared with `helios query`
+/// and the CLI printer. The plan accumulates sums in the same
+/// cell-sorted order as the original sequential loop, so its output is
+/// bit-identical.
 fn summarize(cells: &[CellResult]) -> Vec<SummaryRow> {
-    let mut rows: Vec<SummaryRow> = Vec::new();
-    let mut done_per_row: Vec<usize> = Vec::new();
-    let mut sums: Vec<(f64, f64, f64)> = Vec::new();
-    for c in cells {
-        let at = match rows.iter().position(|r| {
-            r.family == c.family && r.platform == c.platform && r.scheduler == c.scheduler
-        }) {
-            Some(at) => at,
-            None => {
-                rows.push(SummaryRow {
-                    family: c.family.clone(),
-                    platform: c.platform.clone(),
-                    scheduler: c.scheduler.clone(),
-                    cells: 0,
-                    mean_makespan_secs: None,
-                    mean_slr: None,
-                    mean_energy_j: None,
-                    completion_probability: 0.0,
-                });
-                done_per_row.push(0);
-                sums.push((0.0, 0.0, 0.0));
-                rows.len() - 1
-            }
-        };
-        rows[at].cells += 1;
-        if c.completed {
-            done_per_row[at] += 1;
-            sums[at].0 += c.makespan_secs;
-            sums[at].1 += c.slr;
-            sums[at].2 += c.energy_j;
-        }
-    }
-    for ((row, &done), sum) in rows.iter_mut().zip(&done_per_row).zip(&sums) {
-        if done > 0 {
-            let n = done as f64;
-            row.mean_makespan_secs = Some(sum.0 / n);
-            row.mean_slr = Some(sum.1 / n);
-            row.mean_energy_j = Some(sum.2 / n);
-        }
-        row.completion_probability = done as f64 / row.cells as f64;
-    }
-    rows
+    crate::store::summarize_cells(cells)
 }
 
 #[cfg(test)]

@@ -22,6 +22,11 @@
 //! |                       | `HELIOS_JOURNAL_TORN_WRITE` hook), then salvaged    |
 //! |                       | and resumed, serializes byte-identical to the       |
 //! |                       | straight-through run                                |
+//! | `store_identity`      | the report compiled from the columnar cell store —  |
+//! |                       | straight through, and killed at a spec-derived cell |
+//! |                       | boundary then resumed from the salvaged row groups  |
+//! |                       | — serializes byte-identical to the straight-through |
+//! |                       | run                                                 |
 //! | `fault_free_bound`    | per completed cell, the faulted/resilient makespan  |
 //! |                       | is ≥ the makespan of the same spec with injection   |
 //! |                       | disabled, and `makespan_degradation ≥ 0`; stands    |
@@ -48,6 +53,7 @@ pub const ORACLES: &[&str] = &[
     "jobs_identity",
     "shard_identity",
     "crash_resume_identity",
+    "store_identity",
     "fault_free_bound",
 ];
 
@@ -285,6 +291,10 @@ fn sweep_oracles(
         return Ok(Some(d));
     }
 
+    if let Some(d) = store_identity(spec, &reference_bytes, broken)? {
+        return Ok(Some(d));
+    }
+
     fault_free_bound(spec, &reference, broken)
 }
 
@@ -305,7 +315,7 @@ fn crash_resume_identity(
     let digest = spec.digest();
     let h = crate::campaign::spec::fnv1a(digest.as_bytes());
     let driver = SweepDriver::new(1);
-    let path = scratch_journal_path();
+    let path = scratch_path("journal");
     let _ = std::fs::remove_file(&path);
     let result = crash_resume_identity_at(spec, reference_bytes, total, h, &driver, &path);
     let _ = std::fs::remove_file(&path);
@@ -395,13 +405,93 @@ fn crash_resume_identity_at(
     Ok(None)
 }
 
+/// Runs the same sweep through the columnar store path — straight
+/// through, and killed at a spec-derived cell boundary then resumed
+/// from the salvaged row groups — and demands the report compiled from
+/// the store match the straight-through bytes exactly. This is the
+/// round-trip theorem of the store refactor: encode → segment file →
+/// salvage → decode must reproduce every `CellResult` bit for bit.
+fn store_identity(
+    spec: &CampaignSpec,
+    reference_bytes: &str,
+    broken: Option<&str>,
+) -> Result<Option<Divergence>, EngineError> {
+    if broken == Some("store_identity") {
+        return Ok(Some(Divergence::sabotaged("store_identity")));
+    }
+    let total = spec.expand()?.len();
+    let digest = spec.digest();
+    let h = crate::campaign::spec::fnv1a(digest.as_bytes());
+    let driver = SweepDriver::new(1);
+    let path = scratch_path("store");
+    let _ = std::fs::remove_file(&path);
+    let result = store_identity_at(spec, reference_bytes, total, h, &driver, &path);
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+fn store_identity_at(
+    spec: &CampaignSpec,
+    reference_bytes: &str,
+    total: usize,
+    h: u64,
+    driver: &SweepDriver,
+    path: &std::path::Path,
+) -> Result<Option<Divergence>, EngineError> {
+    use crate::campaign::StoreOptions;
+
+    // (a) Straight through the store.
+    let run = driver.run_store(spec, ShardSpec::full(), path, &StoreOptions::default())?;
+    if report_bytes(&merge_shards(&[run.report])?)? != reference_bytes {
+        return Ok(Some(Divergence::new(
+            "store_identity",
+            "report compiled from the columnar store diverges from the straight-through run".into(),
+        )));
+    }
+
+    // (b) Crash at a spec-derived cell boundary, then resume from the
+    // salvaged row groups.
+    std::fs::remove_file(path)
+        .map_err(|e| EngineError::Config(format!("fuzz scratch store: {e}")))?;
+    let cut = (h as usize) % total;
+    driver.run_store(
+        spec,
+        ShardSpec::full(),
+        path,
+        &StoreOptions {
+            limit: Some(cut),
+            ..StoreOptions::default()
+        },
+    )?;
+    let resumed = driver.run_store(spec, ShardSpec::full(), path, &StoreOptions::default())?;
+    if resumed.salvaged_rows != cut {
+        return Ok(Some(Divergence::new(
+            "store_identity",
+            format!(
+                "store salvaged {} rows after a boundary crash at {cut}",
+                resumed.salvaged_rows
+            ),
+        )));
+    }
+    if report_bytes(&merge_shards(&[resumed.report])?)? != reference_bytes {
+        return Ok(Some(Divergence::new(
+            "store_identity",
+            format!(
+                "resume from the store after a boundary crash at cell {cut} diverges from \
+                 the straight-through run"
+            ),
+        )));
+    }
+    Ok(None)
+}
+
 /// A collision-free scratch path for one oracle invocation: tests run
 /// `check_spec` concurrently, so pid alone is not unique.
-fn scratch_journal_path() -> std::path::PathBuf {
+fn scratch_path(ext: &str) -> std::path::PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!("helios-fuzz-{}-{seq}.journal", std::process::id()))
+    std::env::temp_dir().join(format!("helios-fuzz-{}-{seq}.{ext}", std::process::id()))
 }
 
 /// Serializes a sweep report the way `campaign run --out` does; the
@@ -625,6 +715,7 @@ mod tests {
             "jobs_identity",
             "shard_identity",
             "crash_resume_identity",
+            "store_identity",
         ] {
             let d = check_spec(&spec, Some(oracle))
                 .expect("oracles run")

@@ -42,6 +42,12 @@
 //!   runs any `K/N` shard of it and [`merge_shards`] recombines shard
 //!   reports into an aggregate that is byte-identical to the unsharded
 //!   run,
+//! * **columnar results and queries** — the [`store`] module holds the
+//!   sweep row schema exactly once: an append-friendly columnar
+//!   segment format the driver writes as cells finish, plus a
+//!   volcano-style executor pipeline (scan → filter → project →
+//!   aggregate) that `summarize`, `campaign merge` and the
+//!   `helios query` expression language all compile onto,
 //! * **adversarial self-checking** — the [`fuzz`] harness generates
 //!   random campaign specs over the full knob space, checks each one
 //!   against differential oracles (hooks-off identity, `--jobs` and
@@ -93,13 +99,14 @@ pub mod fuzz;
 pub mod online;
 mod report;
 pub mod resilience;
+pub mod store;
 
 pub use campaign::{
     cell_rng, merge_shards, CampaignEngine, CampaignError, CampaignSpec, CellResult, DvfsKnob,
     ElasticityKnob, FailureDomainKnob, FaultKnob, InterconnectFaultKnob, JournalHeader,
     JournalOptions, JournalRun, JournalWriter, JsonSalvage, PolicyKnob, ResilienceKnob,
-    ResumeOutcome, Salvage, SchedulerParamsKnob, SeedRange, ShardReport, ShardSpec, SummaryRow,
-    SweepCell, SweepDriver, SweepReport,
+    ResumeOutcome, Salvage, SchedulerParamsKnob, SeedRange, ShardReport, ShardSpec, StoreOptions,
+    StoreRun, SummaryRow, SweepCell, SweepDriver, SweepReport,
 };
 pub use config::{CheckpointConfig, EngineConfig, FaultConfig};
 pub use elastic::{
@@ -114,4 +121,7 @@ pub use report::{ExecutionReport, TransferStats};
 pub use resilience::{
     FailureDomain, FailureModel, LinkFaultModel, RecoveryPolicy, ResilienceConfig,
     ResilienceMetrics, ResilientRunner,
+};
+pub use store::{
+    read_store, recover_store, run_query, QueryOutput, StoreHeader, StoreSalvage, StoreWriter,
 };

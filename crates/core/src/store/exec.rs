@@ -1,0 +1,683 @@
+//! The volcano-style executor pipeline over cell rows.
+//!
+//! Plans are trees of [`Executor`]s — scan → filter → project →
+//! aggregate/group-by — pulled one row at a time via `next()`, in the
+//! erdb planner/executors style. The same executors serve three
+//! callers: `summarize` (a fixed group-by plan, see
+//! [`summarize_cells`]), `campaign merge` (which recomputes the
+//! summary through that plan), and `helios query` (which compiles user
+//! expressions onto arbitrary plans). The sweep's aggregation math —
+//! first-seen group order, completed-only means, null means for groups
+//! with no completed cell — therefore exists exactly once, here.
+
+use crate::campaign::sweep::{CellResult, SummaryRow};
+use crate::EngineError;
+
+use super::schema::{
+    row_from_cell, schema_names, summary_row_from_values, Column, Row, SummaryAgg, Value,
+    SUMMARY_AGGREGATES, SUMMARY_KEYS,
+};
+
+/// A pull-based plan node: yields rows one at a time, knows its output
+/// schema, and can restart from the first row.
+pub trait Executor {
+    /// The names of the columns this node emits, in row order.
+    fn schema(&self) -> &[String];
+    /// The next output row; `None` when exhausted. Errors are yielded
+    /// in-band so a consumer can stop at the first failure.
+    fn next(&mut self) -> Option<Result<Row, EngineError>>;
+    /// Restarts the node (and its inputs) from the first row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input restart failures as [`EngineError`].
+    fn rewind(&mut self) -> Result<(), EngineError>;
+}
+
+impl std::fmt::Debug for dyn Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Executor({:?})", self.schema())
+    }
+}
+
+/// Leaf node: yields an in-memory row vector in order.
+#[derive(Debug)]
+pub struct ScanExec {
+    schema: Vec<String>,
+    rows: Vec<Row>,
+    at: usize,
+}
+
+impl ScanExec {
+    /// A scan over `rows`, all shaped by `schema`.
+    #[must_use]
+    pub fn new(schema: Vec<String>, rows: Vec<Row>) -> ScanExec {
+        ScanExec {
+            schema,
+            rows,
+            at: 0,
+        }
+    }
+
+    /// A full-schema scan over a slice of cells, in slice order.
+    #[must_use]
+    pub fn over_cells(cells: &[CellResult]) -> ScanExec {
+        ScanExec::new(schema_names(), cells.iter().map(row_from_cell).collect())
+    }
+}
+
+impl Executor for ScanExec {
+    fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Row, EngineError>> {
+        let row = self.rows.get(self.at)?.clone();
+        self.at += 1;
+        Some(Ok(row))
+    }
+
+    fn rewind(&mut self) -> Result<(), EngineError> {
+        self.at = 0;
+        Ok(())
+    }
+}
+
+/// A comparison operator in a filter predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A literal on the right-hand side of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A numeric literal, compared against any numeric column.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// A boolean literal.
+    Bool(bool),
+    /// The `null` literal (only `=`/`!=`, only nullable columns).
+    Null,
+}
+
+/// One `column op literal` conjunct of a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Input-schema index of the column under test.
+    pub col: usize,
+    /// The comparison.
+    pub op: CmpOp,
+    /// The right-hand literal.
+    pub literal: Literal,
+}
+
+impl Predicate {
+    /// Whether `row` satisfies this predicate. Type agreement is the
+    /// planner's job; a value/literal mismatch that slips through
+    /// compares as not-equal, never panics.
+    #[must_use]
+    pub fn matches(&self, row: &[Value]) -> bool {
+        let value = &row[self.col];
+        match &self.literal {
+            Literal::Num(rhs) => match value.as_f64() {
+                Some(lhs) => match self.op {
+                    CmpOp::Eq => lhs == *rhs,
+                    CmpOp::Ne => lhs != *rhs,
+                    CmpOp::Lt => lhs < *rhs,
+                    CmpOp::Le => lhs <= *rhs,
+                    CmpOp::Gt => lhs > *rhs,
+                    CmpOp::Ge => lhs >= *rhs,
+                },
+                None => self.op == CmpOp::Ne,
+            },
+            Literal::Str(rhs) => {
+                let eq = matches!(value, Value::Str(v) if v == rhs);
+                match self.op {
+                    CmpOp::Eq => eq,
+                    _ => !eq,
+                }
+            }
+            Literal::Bool(rhs) => {
+                let eq = matches!(value, Value::Bool(v) if v == rhs);
+                match self.op {
+                    CmpOp::Eq => eq,
+                    _ => !eq,
+                }
+            }
+            Literal::Null => {
+                let is_null = matches!(value, Value::Null);
+                match self.op {
+                    CmpOp::Eq => is_null,
+                    _ => !is_null,
+                }
+            }
+        }
+    }
+}
+
+/// Yields the input rows that satisfy every predicate (AND semantics).
+#[derive(Debug)]
+pub struct FilterExec {
+    input: Box<dyn Executor>,
+    predicates: Vec<Predicate>,
+}
+
+impl FilterExec {
+    /// Filters `input` by the conjunction of `predicates`.
+    #[must_use]
+    pub fn new(input: Box<dyn Executor>, predicates: Vec<Predicate>) -> FilterExec {
+        FilterExec { input, predicates }
+    }
+}
+
+impl Executor for FilterExec {
+    fn schema(&self) -> &[String] {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<Result<Row, EngineError>> {
+        loop {
+            let row = match self.input.next()? {
+                Ok(row) => row,
+                Err(e) => return Some(Err(e)),
+            };
+            if self.predicates.iter().all(|p| p.matches(&row)) {
+                return Some(Ok(row));
+            }
+        }
+    }
+
+    fn rewind(&mut self) -> Result<(), EngineError> {
+        self.input.rewind()
+    }
+}
+
+/// Reorders/narrows the input to the given column indices.
+#[derive(Debug)]
+pub struct ProjectExec {
+    input: Box<dyn Executor>,
+    indices: Vec<usize>,
+    schema: Vec<String>,
+}
+
+impl ProjectExec {
+    /// Projects `input` to `indices`, naming the outputs `names`.
+    #[must_use]
+    pub fn new(input: Box<dyn Executor>, indices: Vec<usize>, names: Vec<String>) -> ProjectExec {
+        ProjectExec {
+            input,
+            indices,
+            schema: names,
+        }
+    }
+}
+
+impl Executor for ProjectExec {
+    fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Row, EngineError>> {
+        let row = match self.input.next()? {
+            Ok(row) => row,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(Ok(self.indices.iter().map(|&i| row[i].clone()).collect()))
+    }
+
+    fn rewind(&mut self) -> Result<(), EngineError> {
+        self.input.rewind()
+    }
+}
+
+/// An aggregation over one input column (or the whole row for
+/// [`Agg::CountStar`]), by input-schema index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Row count of the group.
+    CountStar,
+    /// Sum of a numeric column; null over zero rows.
+    Sum(usize),
+    /// Mean of a numeric column; null over zero rows.
+    Avg(usize),
+    /// Minimum of a numeric column; null over zero rows.
+    Min(usize),
+    /// Maximum of a numeric column; null over zero rows.
+    Max(usize),
+    /// Mean of `metric` over rows where the boolean `completed`
+    /// column is true; null when none are — the sweep's null-mean
+    /// semantics.
+    AvgCompleted {
+        /// The numeric column being averaged.
+        metric: usize,
+        /// The boolean column gating contribution.
+        completed: usize,
+    },
+    /// Fraction of the group's rows where the boolean column is true.
+    CompletedFrac(usize),
+}
+
+/// A running accumulator for one [`Agg`] in one group. Sums are added
+/// in input-row order, so float results are bit-identical to the
+/// legacy sequential loop.
+#[derive(Debug, Clone, Copy)]
+struct Accum {
+    sum: f64,
+    n: u64,
+    rows: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Accum {
+    fn new() -> Accum {
+        Accum {
+            sum: 0.0,
+            n: 0,
+            rows: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn feed(&mut self, agg: Agg, row: &[Value]) {
+        self.rows += 1;
+        match agg {
+            Agg::CountStar => {}
+            Agg::Sum(col) | Agg::Avg(col) | Agg::Min(col) | Agg::Max(col) => {
+                if let Some(v) = row[col].as_f64() {
+                    self.sum += v;
+                    self.n += 1;
+                    self.min = self.min.min(v);
+                    self.max = self.max.max(v);
+                }
+            }
+            Agg::AvgCompleted { metric, completed } => {
+                if matches!(row[completed], Value::Bool(true)) {
+                    if let Some(v) = row[metric].as_f64() {
+                        self.sum += v;
+                        self.n += 1;
+                    }
+                }
+            }
+            Agg::CompletedFrac(col) => {
+                if matches!(row[col], Value::Bool(true)) {
+                    self.n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&self, agg: Agg) -> Value {
+        let mean = || {
+            if self.n > 0 {
+                Value::F64(self.sum / self.n as f64)
+            } else {
+                Value::Null
+            }
+        };
+        match agg {
+            Agg::CountStar => Value::U64(self.rows),
+            Agg::Sum(_) => {
+                if self.n > 0 {
+                    Value::F64(self.sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Agg::Avg(_) | Agg::AvgCompleted { .. } => mean(),
+            Agg::Min(_) => {
+                if self.n > 0 {
+                    Value::F64(self.min)
+                } else {
+                    Value::Null
+                }
+            }
+            Agg::Max(_) => {
+                if self.n > 0 {
+                    Value::F64(self.max)
+                } else {
+                    Value::Null
+                }
+            }
+            Agg::CompletedFrac(_) => {
+                if self.rows > 0 {
+                    Value::F64(self.n as f64 / self.rows as f64)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+/// Group-by + aggregate node. Output rows are the group-key values
+/// followed by one value per aggregate; groups appear in first-seen
+/// input order (the sweep's spec-declaration order, since cell rows
+/// arrive sorted by index). With no group keys it emits exactly one
+/// global row, even over empty input.
+#[derive(Debug)]
+pub struct AggregateExec {
+    input: Box<dyn Executor>,
+    keys: Vec<usize>,
+    aggs: Vec<Agg>,
+    schema: Vec<String>,
+    groups: Option<Vec<Row>>,
+    at: usize,
+}
+
+impl AggregateExec {
+    /// Groups `input` by the `keys` columns and computes `aggs`;
+    /// `names` is the full output schema (key names then agg names).
+    #[must_use]
+    pub fn new(
+        input: Box<dyn Executor>,
+        keys: Vec<usize>,
+        aggs: Vec<Agg>,
+        names: Vec<String>,
+    ) -> AggregateExec {
+        AggregateExec {
+            input,
+            keys,
+            aggs,
+            schema: names,
+            groups: None,
+            at: 0,
+        }
+    }
+
+    fn compute(&mut self) -> Result<Vec<Row>, EngineError> {
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut accums: Vec<Vec<Accum>> = Vec::new();
+        while let Some(row) = self.input.next() {
+            let row = row?;
+            let key: Vec<Value> = self.keys.iter().map(|&i| row[i].clone()).collect();
+            let at = match group_keys.iter().position(|k| *k == key) {
+                Some(at) => at,
+                None => {
+                    group_keys.push(key);
+                    accums.push(vec![Accum::new(); self.aggs.len()]);
+                    group_keys.len() - 1
+                }
+            };
+            for (accum, &agg) in accums[at].iter_mut().zip(&self.aggs) {
+                accum.feed(agg, &row);
+            }
+        }
+        if group_keys.is_empty() && self.keys.is_empty() {
+            // A global aggregate always has one row: count 0, null
+            // everything else.
+            group_keys.push(Vec::new());
+            accums.push(vec![Accum::new(); self.aggs.len()]);
+        }
+        Ok(group_keys
+            .into_iter()
+            .zip(accums)
+            .map(|(mut key, accum)| {
+                key.extend(accum.iter().zip(&self.aggs).map(|(a, &agg)| a.finish(agg)));
+                key
+            })
+            .collect())
+    }
+
+    fn materialized(&mut self) -> Result<&Vec<Row>, EngineError> {
+        if self.groups.is_none() {
+            self.groups = Some(self.compute()?);
+        }
+        Ok(self.groups.as_ref().expect("just materialized"))
+    }
+}
+
+impl Executor for AggregateExec {
+    fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Row, EngineError>> {
+        let at = self.at;
+        let row = match self.materialized() {
+            Ok(groups) => groups.get(at)?.clone(),
+            Err(e) => return Some(Err(e)),
+        };
+        self.at += 1;
+        Some(Ok(row))
+    }
+
+    fn rewind(&mut self) -> Result<(), EngineError> {
+        self.input.rewind()?;
+        self.groups = None;
+        self.at = 0;
+        Ok(())
+    }
+}
+
+/// Drains an executor into a row vector, stopping at the first error.
+///
+/// # Errors
+///
+/// The first in-band error the plan yields.
+pub fn collect(exec: &mut dyn Executor) -> Result<Vec<Row>, EngineError> {
+    let mut out = Vec::new();
+    while let Some(row) = exec.next() {
+        out.push(row?);
+    }
+    Ok(out)
+}
+
+fn summary_agg(agg: SummaryAgg) -> Agg {
+    match agg {
+        SummaryAgg::Count => Agg::CountStar,
+        SummaryAgg::MeanCompleted(col) => Agg::AvgCompleted {
+            metric: col.index(),
+            completed: Column::Completed.index(),
+        },
+        SummaryAgg::CompletedFraction => Agg::CompletedFrac(Column::Completed.index()),
+    }
+}
+
+/// The sweep summary as a pipeline plan: scan the cells, group by
+/// `SUMMARY_KEYS`, compute `SUMMARY_AGGREGATES`. This *is* the
+/// `summarize` every caller (merge, sweep reports, the CLI, `helios
+/// query`) shares; its output is field-for-field the legacy
+/// sequential loop.
+#[must_use]
+pub fn summarize_cells(cells: &[CellResult]) -> Vec<SummaryRow> {
+    let scan = ScanExec::over_cells(cells);
+    let keys: Vec<usize> = SUMMARY_KEYS.iter().map(|&(c, _)| c.index()).collect();
+    let aggs: Vec<Agg> = SUMMARY_AGGREGATES
+        .iter()
+        .map(|c| summary_agg(c.agg))
+        .collect();
+    let names: Vec<String> = SUMMARY_KEYS
+        .iter()
+        .map(|&(c, _)| c.name().to_owned())
+        .chain(SUMMARY_AGGREGATES.iter().map(|c| c.name.to_owned()))
+        .collect();
+    let mut plan = AggregateExec::new(Box::new(scan), keys, aggs, names);
+    let mut out = Vec::new();
+    while let Some(row) = plan.next() {
+        let row = row.expect("in-memory summary scan cannot fail");
+        out.push(
+            summary_row_from_values(&row).expect("the summary plan emits summary-shaped rows"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(i: usize, scheduler: &str, completed: bool, makespan: f64) -> CellResult {
+        CellResult {
+            cell: i,
+            family: "montage".into(),
+            platform: "workstation".into(),
+            scheduler: scheduler.into(),
+            seed: i as u64,
+            makespan_secs: makespan,
+            slr: makespan / 2.0,
+            energy_j: makespan * 3.0,
+            transfers: 1,
+            transfer_bytes: 10.0,
+            failures: 0,
+            retries: 0,
+            completed,
+            wasted_work_secs: 0.0,
+            recovery_overhead_secs: 0.0,
+            makespan_degradation: 0.0,
+            reroutes: 0,
+            partition_downtime_secs: 0.0,
+            rematerialized_tasks: 0,
+            rematerialized_bytes: 0.0,
+            incomplete_reason: if completed {
+                None
+            } else {
+                Some("lost_workload".into())
+            },
+            capacity_secs: 0.0,
+            preemptions: 0,
+            drain_migrated_tasks: 0,
+            join_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn filter_project_pipeline_selects_rows() {
+        let cells = vec![
+            cell(0, "heft", true, 4.0),
+            cell(1, "olb", true, 9.0),
+            cell(2, "heft", false, 5.0),
+        ];
+        let scan = ScanExec::over_cells(&cells);
+        let filter = FilterExec::new(
+            Box::new(scan),
+            vec![Predicate {
+                col: Column::Scheduler.index(),
+                op: CmpOp::Eq,
+                literal: Literal::Str("heft".into()),
+            }],
+        );
+        let mut plan = ProjectExec::new(
+            Box::new(filter),
+            vec![Column::Cell.index(), Column::MakespanSecs.index()],
+            vec!["cell".into(), "makespan_secs".into()],
+        );
+        let rows = collect(&mut plan).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::U64(0), Value::F64(4.0)],
+                vec![Value::U64(2), Value::F64(5.0)],
+            ]
+        );
+        plan.rewind().unwrap();
+        assert_eq!(collect(&mut plan).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn predicates_cover_ordering_strings_bools_and_null() {
+        let cells = [cell(0, "heft", true, 4.0), cell(1, "olb", false, 9.0)];
+        let rows: Vec<Row> = cells.iter().map(row_from_cell).collect();
+        let pred = |col: Column, op, literal| Predicate {
+            col: col.index(),
+            op,
+            literal,
+        };
+        assert!(pred(Column::MakespanSecs, CmpOp::Lt, Literal::Num(5.0)).matches(&rows[0]));
+        assert!(!pred(Column::MakespanSecs, CmpOp::Ge, Literal::Num(5.0)).matches(&rows[0]));
+        assert!(pred(Column::Completed, CmpOp::Eq, Literal::Bool(true)).matches(&rows[0]));
+        assert!(pred(Column::IncompleteReason, CmpOp::Eq, Literal::Null).matches(&rows[0]));
+        assert!(!pred(Column::IncompleteReason, CmpOp::Eq, Literal::Null).matches(&rows[1]));
+        assert!(pred(
+            Column::IncompleteReason,
+            CmpOp::Eq,
+            Literal::Str("lost_workload".into())
+        )
+        .matches(&rows[1]));
+        // A null value never equals a string literal, and != is true.
+        assert!(!pred(
+            Column::IncompleteReason,
+            CmpOp::Eq,
+            Literal::Str("lost_workload".into())
+        )
+        .matches(&rows[0]));
+        assert!(pred(
+            Column::IncompleteReason,
+            CmpOp::Ne,
+            Literal::Str("lost_workload".into())
+        )
+        .matches(&rows[0]));
+    }
+
+    #[test]
+    fn aggregate_matches_the_legacy_summarize_loop() {
+        let cells = vec![
+            cell(0, "heft", true, 4.0),
+            cell(1, "olb", false, 9.0),
+            cell(2, "heft", true, 6.0),
+            cell(3, "olb", false, 1.0),
+        ];
+        let rows = summarize_cells(&cells);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].scheduler, "heft");
+        assert_eq!(rows[0].cells, 2);
+        assert_eq!(rows[0].mean_makespan_secs, Some(5.0));
+        assert_eq!(rows[0].completion_probability, 1.0);
+        // olb never completed: null means, zero completion.
+        assert_eq!(rows[1].scheduler, "olb");
+        assert_eq!(rows[1].mean_makespan_secs, None);
+        assert_eq!(rows[1].mean_slr, None);
+        assert_eq!(rows[1].mean_energy_j, None);
+        assert_eq!(rows[1].completion_probability, 0.0);
+    }
+
+    #[test]
+    fn summarize_over_no_cells_is_empty() {
+        assert!(summarize_cells(&[]).is_empty());
+    }
+
+    #[test]
+    fn global_aggregate_emits_one_row_even_when_empty() {
+        let scan = ScanExec::over_cells(&[]);
+        let mut plan = AggregateExec::new(
+            Box::new(scan),
+            vec![],
+            vec![Agg::CountStar, Agg::Avg(Column::MakespanSecs.index())],
+            vec!["count(*)".into(), "avg(makespan_secs)".into()],
+        );
+        let rows = collect(&mut plan).unwrap();
+        assert_eq!(rows, vec![vec![Value::U64(0), Value::Null]]);
+    }
+
+    #[test]
+    fn min_max_sum_cover_numeric_columns() {
+        let cells = vec![cell(0, "heft", true, 4.0), cell(1, "heft", true, 9.0)];
+        let scan = ScanExec::over_cells(&cells);
+        let m = Column::MakespanSecs.index();
+        let mut plan = AggregateExec::new(
+            Box::new(scan),
+            vec![],
+            vec![Agg::Min(m), Agg::Max(m), Agg::Sum(m)],
+            vec!["min".into(), "max".into(), "sum".into()],
+        );
+        let rows = collect(&mut plan).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::F64(4.0), Value::F64(9.0), Value::F64(13.0)]]
+        );
+    }
+}

@@ -1,0 +1,658 @@
+//! The sweep row schema, defined once.
+//!
+//! [`Column`] enumerates every field of a [`CellResult`] in declaration
+//! (= serialization) order; everything that consumes cell rows — the
+//! segment codec, the executor pipeline, the query planner, the summary
+//! aggregation and the CLI printer — derives its column list from this
+//! enum instead of hand-maintaining its own. The bridges
+//! [`row_from_cell`] / [`cell_from_row`] and [`summary_row_values`] /
+//! [`summary_row_from_values`] destructure or construct the structs
+//! field by field with no `..` rest pattern, so adding a sweep field
+//! without teaching the schema about it is a compile error, not a
+//! silently dropped column.
+
+use crate::campaign::sweep::{CellResult, SummaryRow};
+use crate::EngineError;
+
+/// One column of the cell-row schema, in [`CellResult`] field order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// Global cell index in spec expansion order.
+    Cell,
+    /// Workflow family name.
+    Family,
+    /// Platform preset name.
+    Platform,
+    /// Scheduler name.
+    Scheduler,
+    /// Cell seed.
+    Seed,
+    /// Realized makespan, seconds.
+    MakespanSecs,
+    /// Schedule length ratio.
+    Slr,
+    /// Total energy, joules.
+    EnergyJ,
+    /// Inter-device transfers performed.
+    Transfers,
+    /// Bytes moved across links.
+    TransferBytes,
+    /// Injected fault count.
+    Failures,
+    /// Retries performed.
+    Retries,
+    /// Whether the cell ran to completion.
+    Completed,
+    /// Non-contributing executed device-seconds.
+    WastedWorkSecs,
+    /// Restart/backoff/re-planning overhead, seconds.
+    RecoveryOverheadSecs,
+    /// `makespan / fault_free_makespan - 1`.
+    MakespanDegradation,
+    /// Transfers rerouted over the default link.
+    Reroutes,
+    /// Seconds transfers stalled on downed links.
+    PartitionDowntimeSecs,
+    /// Tasks re-executed after data-product loss.
+    RematerializedTasks,
+    /// Dependency bytes re-staged for re-executions.
+    RematerializedBytes,
+    /// Why an incomplete cell stopped (`None` for completed cells).
+    IncompleteReason,
+    /// Device-seconds of live capacity integrated over the run.
+    CapacitySecs,
+    /// Spot-preemption kills executed.
+    Preemptions,
+    /// Task copies migrated off draining or preempted devices.
+    DrainMigratedTasks,
+    /// Busy fraction of capacity contributed by mid-run joins.
+    JoinUtilization,
+}
+
+/// The physical type of a column's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Unsigned 64-bit integer (also carries `usize` fields).
+    U64,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// IEEE double.
+    F64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+    /// Nullable UTF-8 string.
+    OptStr,
+}
+
+impl Column {
+    /// Every column, in [`CellResult`] field order — the canonical
+    /// schema of store segments and scan executors.
+    pub const ALL: [Column; 25] = [
+        Column::Cell,
+        Column::Family,
+        Column::Platform,
+        Column::Scheduler,
+        Column::Seed,
+        Column::MakespanSecs,
+        Column::Slr,
+        Column::EnergyJ,
+        Column::Transfers,
+        Column::TransferBytes,
+        Column::Failures,
+        Column::Retries,
+        Column::Completed,
+        Column::WastedWorkSecs,
+        Column::RecoveryOverheadSecs,
+        Column::MakespanDegradation,
+        Column::Reroutes,
+        Column::PartitionDowntimeSecs,
+        Column::RematerializedTasks,
+        Column::RematerializedBytes,
+        Column::IncompleteReason,
+        Column::CapacitySecs,
+        Column::Preemptions,
+        Column::DrainMigratedTasks,
+        Column::JoinUtilization,
+    ];
+
+    /// The column's position in [`Column::ALL`] (= its index in a
+    /// full-schema row).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The column's name — identical to the [`CellResult`] field name
+    /// and the JSON report key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Column::Cell => "cell",
+            Column::Family => "family",
+            Column::Platform => "platform",
+            Column::Scheduler => "scheduler",
+            Column::Seed => "seed",
+            Column::MakespanSecs => "makespan_secs",
+            Column::Slr => "slr",
+            Column::EnergyJ => "energy_j",
+            Column::Transfers => "transfers",
+            Column::TransferBytes => "transfer_bytes",
+            Column::Failures => "failures",
+            Column::Retries => "retries",
+            Column::Completed => "completed",
+            Column::WastedWorkSecs => "wasted_work_secs",
+            Column::RecoveryOverheadSecs => "recovery_overhead_secs",
+            Column::MakespanDegradation => "makespan_degradation",
+            Column::Reroutes => "reroutes",
+            Column::PartitionDowntimeSecs => "partition_downtime_secs",
+            Column::RematerializedTasks => "rematerialized_tasks",
+            Column::RematerializedBytes => "rematerialized_bytes",
+            Column::IncompleteReason => "incomplete_reason",
+            Column::CapacitySecs => "capacity_secs",
+            Column::Preemptions => "preemptions",
+            Column::DrainMigratedTasks => "drain_migrated_tasks",
+            Column::JoinUtilization => "join_utilization",
+        }
+    }
+
+    /// The column's physical type.
+    #[must_use]
+    pub fn column_type(self) -> ColumnType {
+        match self {
+            Column::Cell | Column::Seed | Column::Transfers => ColumnType::U64,
+            Column::Failures
+            | Column::Retries
+            | Column::Reroutes
+            | Column::RematerializedTasks
+            | Column::Preemptions
+            | Column::DrainMigratedTasks => ColumnType::U32,
+            Column::MakespanSecs
+            | Column::Slr
+            | Column::EnergyJ
+            | Column::TransferBytes
+            | Column::WastedWorkSecs
+            | Column::RecoveryOverheadSecs
+            | Column::MakespanDegradation
+            | Column::PartitionDowntimeSecs
+            | Column::RematerializedBytes
+            | Column::CapacitySecs
+            | Column::JoinUtilization => ColumnType::F64,
+            Column::Completed => ColumnType::Bool,
+            Column::Family | Column::Platform | Column::Scheduler => ColumnType::Str,
+            Column::IncompleteReason => ColumnType::OptStr,
+        }
+    }
+
+    /// Resolves a column by its name; `None` for unknown names.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Column> {
+        Column::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// The schema's column names in order — the `schema()` of a full scan.
+#[must_use]
+pub fn schema_names() -> Vec<String> {
+    Column::ALL.iter().map(|c| c.name().to_owned()).collect()
+}
+
+/// One cell value flowing through the executor pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// Unsigned 32-bit integer.
+    U32(u32),
+    /// IEEE double.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// Absent value (a null `incomplete_reason`, or an aggregate over
+    /// zero contributing rows).
+    Null,
+}
+
+impl Value {
+    /// The value as an `f64` when it is numeric; `None` otherwise.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::U32(v) => Some(f64::from(*v)),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One row of the pipeline: one [`Value`] per schema column.
+pub type Row = Vec<Value>;
+
+/// Converts a [`CellResult`] into a full-schema row. The exhaustive
+/// destructuring (no `..`) is deliberate: a new sweep field fails to
+/// compile here until the schema learns its column.
+#[must_use]
+pub fn row_from_cell(cell: &CellResult) -> Row {
+    let CellResult {
+        cell,
+        family,
+        platform,
+        scheduler,
+        seed,
+        makespan_secs,
+        slr,
+        energy_j,
+        transfers,
+        transfer_bytes,
+        failures,
+        retries,
+        completed,
+        wasted_work_secs,
+        recovery_overhead_secs,
+        makespan_degradation,
+        reroutes,
+        partition_downtime_secs,
+        rematerialized_tasks,
+        rematerialized_bytes,
+        incomplete_reason,
+        capacity_secs,
+        preemptions,
+        drain_migrated_tasks,
+        join_utilization,
+    } = cell;
+    vec![
+        Value::U64(*cell as u64),
+        Value::Str(family.clone()),
+        Value::Str(platform.clone()),
+        Value::Str(scheduler.clone()),
+        Value::U64(*seed),
+        Value::F64(*makespan_secs),
+        Value::F64(*slr),
+        Value::F64(*energy_j),
+        Value::U64(*transfers as u64),
+        Value::F64(*transfer_bytes),
+        Value::U32(*failures),
+        Value::U32(*retries),
+        Value::Bool(*completed),
+        Value::F64(*wasted_work_secs),
+        Value::F64(*recovery_overhead_secs),
+        Value::F64(*makespan_degradation),
+        Value::U32(*reroutes),
+        Value::F64(*partition_downtime_secs),
+        Value::U32(*rematerialized_tasks),
+        Value::F64(*rematerialized_bytes),
+        match incomplete_reason {
+            Some(r) => Value::Str(r.clone()),
+            None => Value::Null,
+        },
+        Value::F64(*capacity_secs),
+        Value::U32(*preemptions),
+        Value::U32(*drain_migrated_tasks),
+        Value::F64(*join_utilization),
+    ]
+}
+
+fn type_err(col: Column, got: &Value) -> EngineError {
+    EngineError::Config(format!(
+        "store row: column {:?} expected a {:?} value, got {got:?}",
+        col.name(),
+        col.column_type()
+    ))
+}
+
+fn u64_at(row: &[Value], col: Column) -> Result<u64, EngineError> {
+    match &row[col.index()] {
+        Value::U64(v) => Ok(*v),
+        other => Err(type_err(col, other)),
+    }
+}
+
+fn u32_at(row: &[Value], col: Column) -> Result<u32, EngineError> {
+    match &row[col.index()] {
+        Value::U32(v) => Ok(*v),
+        other => Err(type_err(col, other)),
+    }
+}
+
+fn f64_at(row: &[Value], col: Column) -> Result<f64, EngineError> {
+    match &row[col.index()] {
+        Value::F64(v) => Ok(*v),
+        other => Err(type_err(col, other)),
+    }
+}
+
+fn bool_at(row: &[Value], col: Column) -> Result<bool, EngineError> {
+    match &row[col.index()] {
+        Value::Bool(v) => Ok(*v),
+        other => Err(type_err(col, other)),
+    }
+}
+
+fn str_at(row: &[Value], col: Column) -> Result<String, EngineError> {
+    match &row[col.index()] {
+        Value::Str(v) => Ok(v.clone()),
+        other => Err(type_err(col, other)),
+    }
+}
+
+fn opt_str_at(row: &[Value], col: Column) -> Result<Option<String>, EngineError> {
+    match &row[col.index()] {
+        Value::Str(v) => Ok(Some(v.clone())),
+        Value::Null => Ok(None),
+        other => Err(type_err(col, other)),
+    }
+}
+
+/// Reconstructs a [`CellResult`] from a full-schema row — the exact
+/// inverse of [`row_from_cell`].
+///
+/// # Errors
+///
+/// [`EngineError::Config`] when the row is too short or a value does
+/// not carry its column's type.
+pub fn cell_from_row(row: &[Value]) -> Result<CellResult, EngineError> {
+    if row.len() != Column::ALL.len() {
+        return Err(EngineError::Config(format!(
+            "store row has {} values, the schema has {} columns",
+            row.len(),
+            Column::ALL.len()
+        )));
+    }
+    Ok(CellResult {
+        cell: u64_at(row, Column::Cell)? as usize,
+        family: str_at(row, Column::Family)?,
+        platform: str_at(row, Column::Platform)?,
+        scheduler: str_at(row, Column::Scheduler)?,
+        seed: u64_at(row, Column::Seed)?,
+        makespan_secs: f64_at(row, Column::MakespanSecs)?,
+        slr: f64_at(row, Column::Slr)?,
+        energy_j: f64_at(row, Column::EnergyJ)?,
+        transfers: u64_at(row, Column::Transfers)? as usize,
+        transfer_bytes: f64_at(row, Column::TransferBytes)?,
+        failures: u32_at(row, Column::Failures)?,
+        retries: u32_at(row, Column::Retries)?,
+        completed: bool_at(row, Column::Completed)?,
+        wasted_work_secs: f64_at(row, Column::WastedWorkSecs)?,
+        recovery_overhead_secs: f64_at(row, Column::RecoveryOverheadSecs)?,
+        makespan_degradation: f64_at(row, Column::MakespanDegradation)?,
+        reroutes: u32_at(row, Column::Reroutes)?,
+        partition_downtime_secs: f64_at(row, Column::PartitionDowntimeSecs)?,
+        rematerialized_tasks: u32_at(row, Column::RematerializedTasks)?,
+        rematerialized_bytes: f64_at(row, Column::RematerializedBytes)?,
+        incomplete_reason: opt_str_at(row, Column::IncompleteReason)?,
+        capacity_secs: f64_at(row, Column::CapacitySecs)?,
+        preemptions: u32_at(row, Column::Preemptions)?,
+        drain_migrated_tasks: u32_at(row, Column::DrainMigratedTasks)?,
+        join_utilization: f64_at(row, Column::JoinUtilization)?,
+    })
+}
+
+/// How one summary column is aggregated from cell rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryAgg {
+    /// Row count of the group.
+    Count,
+    /// Mean of the column over completed cells; null when none
+    /// completed (the PR 6 null-mean semantics).
+    MeanCompleted(Column),
+    /// Fraction of the group's cells with `completed = true`.
+    CompletedFraction,
+}
+
+/// One aggregated column of a [`SummaryRow`]: JSON field name, CLI
+/// header, CLI column width and float precision, and the aggregation
+/// that produces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryColumn {
+    /// The [`SummaryRow`] field (= JSON key) this column fills.
+    pub name: &'static str,
+    /// The CLI table header.
+    pub header: &'static str,
+    /// The CLI column width (right-aligned).
+    pub width: usize,
+    /// Float precision for the CLI cell; `None` renders as an integer.
+    pub precision: Option<usize>,
+    /// The aggregation producing the value.
+    pub agg: SummaryAgg,
+}
+
+/// The summary group-by keys with their CLI column widths
+/// (left-aligned), in [`SummaryRow`] field order.
+pub const SUMMARY_KEYS: [(Column, usize); 3] = [
+    (Column::Family, 14),
+    (Column::Platform, 14),
+    (Column::Scheduler, 12),
+];
+
+/// The aggregated summary columns, in [`SummaryRow`] field order — the
+/// one description `merge`, `summarize` and the CLI printer all share.
+pub const SUMMARY_AGGREGATES: [SummaryColumn; 5] = [
+    SummaryColumn {
+        name: "cells",
+        header: "cells",
+        width: 6,
+        precision: None,
+        agg: SummaryAgg::Count,
+    },
+    SummaryColumn {
+        name: "mean_makespan_secs",
+        header: "makespan (s)",
+        width: 16,
+        precision: Some(6),
+        agg: SummaryAgg::MeanCompleted(Column::MakespanSecs),
+    },
+    SummaryColumn {
+        name: "mean_slr",
+        header: "SLR",
+        width: 10,
+        precision: Some(3),
+        agg: SummaryAgg::MeanCompleted(Column::Slr),
+    },
+    SummaryColumn {
+        name: "mean_energy_j",
+        header: "energy (J)",
+        width: 14,
+        precision: Some(1),
+        agg: SummaryAgg::MeanCompleted(Column::EnergyJ),
+    },
+    SummaryColumn {
+        name: "completion_probability",
+        header: "compl",
+        width: 8,
+        precision: Some(2),
+        agg: SummaryAgg::CompletedFraction,
+    },
+];
+
+/// A [`SummaryRow`]'s values in `SUMMARY_KEYS ++ SUMMARY_AGGREGATES`
+/// order. Exhaustive destructuring: a new summary field fails to
+/// compile here until the plan above learns its column.
+#[must_use]
+pub fn summary_row_values(row: &SummaryRow) -> Vec<Value> {
+    let SummaryRow {
+        family,
+        platform,
+        scheduler,
+        cells,
+        mean_makespan_secs,
+        mean_slr,
+        mean_energy_j,
+        completion_probability,
+    } = row;
+    let opt = |v: &Option<f64>| match v {
+        Some(v) => Value::F64(*v),
+        None => Value::Null,
+    };
+    vec![
+        Value::Str(family.clone()),
+        Value::Str(platform.clone()),
+        Value::Str(scheduler.clone()),
+        Value::U64(*cells as u64),
+        opt(mean_makespan_secs),
+        opt(mean_slr),
+        opt(mean_energy_j),
+        Value::F64(*completion_probability),
+    ]
+}
+
+/// Rebuilds a [`SummaryRow`] from values in `SUMMARY_KEYS ++
+/// SUMMARY_AGGREGATES` order — the inverse of [`summary_row_values`],
+/// and the bridge the group-by plan uses to emit summary rows.
+///
+/// # Errors
+///
+/// [`EngineError::Config`] when the value list is the wrong length or a
+/// value has the wrong type for its slot.
+pub fn summary_row_from_values(values: &[Value]) -> Result<SummaryRow, EngineError> {
+    let expect = SUMMARY_KEYS.len() + SUMMARY_AGGREGATES.len();
+    if values.len() != expect {
+        return Err(EngineError::Config(format!(
+            "summary row has {} values, the plan has {expect} columns",
+            values.len()
+        )));
+    }
+    let str_v = |at: usize, what: &str| match &values[at] {
+        Value::Str(v) => Ok(v.clone()),
+        other => Err(EngineError::Config(format!(
+            "summary {what}: expected a string, got {other:?}"
+        ))),
+    };
+    let f64_opt = |at: usize, what: &str| match &values[at] {
+        Value::F64(v) => Ok(Some(*v)),
+        Value::Null => Ok(None),
+        other => Err(EngineError::Config(format!(
+            "summary {what}: expected a float or null, got {other:?}"
+        ))),
+    };
+    let cells = match &values[3] {
+        Value::U64(v) => *v as usize,
+        other => {
+            return Err(EngineError::Config(format!(
+                "summary cells: expected an integer, got {other:?}"
+            )))
+        }
+    };
+    let completion_probability = match &values[7] {
+        Value::F64(v) => *v,
+        other => {
+            return Err(EngineError::Config(format!(
+                "summary completion_probability: expected a float, got {other:?}"
+            )))
+        }
+    };
+    Ok(SummaryRow {
+        family: str_v(0, "family")?,
+        platform: str_v(1, "platform")?,
+        scheduler: str_v(2, "scheduler")?,
+        cells,
+        mean_makespan_secs: f64_opt(4, "mean_makespan_secs")?,
+        mean_slr: f64_opt(5, "mean_slr")?,
+        mean_energy_j: f64_opt(6, "mean_energy_j")?,
+        completion_probability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> CellResult {
+        CellResult {
+            cell: 7,
+            family: "montage".into(),
+            platform: "workstation".into(),
+            scheduler: "heft".into(),
+            seed: 42,
+            makespan_secs: 1.5,
+            slr: 1.1,
+            energy_j: 2.25,
+            transfers: 3,
+            transfer_bytes: 1e6,
+            failures: 1,
+            retries: 2,
+            completed: false,
+            wasted_work_secs: 0.5,
+            recovery_overhead_secs: 0.25,
+            makespan_degradation: 0.1,
+            reroutes: 4,
+            partition_downtime_secs: 0.125,
+            rematerialized_tasks: 5,
+            rematerialized_bytes: 2e6,
+            incomplete_reason: Some("retries_exhausted".into()),
+            capacity_secs: 9.0,
+            preemptions: 6,
+            drain_migrated_tasks: 7,
+            join_utilization: 0.75,
+        }
+    }
+
+    #[test]
+    fn schema_order_matches_cell_result_fields() {
+        // The schema names must be exactly the serde field names in
+        // declaration order: the JSON report and the store describe the
+        // same row.
+        let json = serde_json::to_string(&sample_cell()).unwrap();
+        let mut at = 0;
+        for col in Column::ALL {
+            let key = format!("\"{}\":", col.name());
+            let pos = json[at..]
+                .find(&key)
+                .unwrap_or_else(|| panic!("{} not after byte {at} in {json}", col.name()));
+            at += pos;
+        }
+    }
+
+    #[test]
+    fn cell_row_round_trip_is_exact() {
+        for cell in [sample_cell(), {
+            let mut c = sample_cell();
+            c.completed = true;
+            c.incomplete_reason = None;
+            c
+        }] {
+            let row = row_from_cell(&cell);
+            assert_eq!(row.len(), Column::ALL.len());
+            assert_eq!(cell_from_row(&row).unwrap(), cell);
+        }
+    }
+
+    #[test]
+    fn column_lookup_round_trips() {
+        for col in Column::ALL {
+            assert_eq!(Column::by_name(col.name()), Some(col));
+            assert_eq!(Column::ALL[col.index()], col);
+        }
+        assert_eq!(Column::by_name("no_such_column"), None);
+    }
+
+    #[test]
+    fn summary_row_bridges_round_trip() {
+        let row = SummaryRow {
+            family: "montage".into(),
+            platform: "workstation".into(),
+            scheduler: "heft".into(),
+            cells: 5,
+            mean_makespan_secs: Some(1.5),
+            mean_slr: None,
+            mean_energy_j: Some(2.0),
+            completion_probability: 0.8,
+        };
+        let values = summary_row_values(&row);
+        assert_eq!(values.len(), SUMMARY_KEYS.len() + SUMMARY_AGGREGATES.len());
+        assert_eq!(summary_row_from_values(&values).unwrap(), row);
+    }
+
+    #[test]
+    fn cell_from_row_rejects_bad_shapes() {
+        let short = vec![Value::U64(1)];
+        assert!(cell_from_row(&short).is_err());
+        let mut wrong = row_from_cell(&sample_cell());
+        wrong[Column::MakespanSecs.index()] = Value::Str("oops".into());
+        let err = cell_from_row(&wrong).unwrap_err().to_string();
+        assert!(err.contains("makespan_secs"), "{err}");
+    }
+}

@@ -1,13 +1,14 @@
-//! Negative-validation property test for the campaign spec surface the
-//! fuzz harness generates over: every malformed spec must come back as
-//! a *typed* [`CampaignError`] naming the offending field — never a
+//! Negative-validation property tests for the campaign spec surface the
+//! fuzz harness generates over, and for the `helios query` expression
+//! language: every malformed input must come back as a *typed*
+//! [`CampaignError`] naming the offending field (or token) — never a
 //! panic, and never a silent acceptance. This is the flip side of the
 //! generator's valid-by-construction guarantee: `helios fuzz` only
 //! explores legal specs, so this test patrols the illegal border.
 
 use proptest::prelude::*;
 
-use helios_core::{CampaignError, CampaignSpec, EngineError};
+use helios_core::{run_query, CampaignError, CampaignSpec, EngineError};
 
 /// A minimal valid spec with a hole for extra top-level fields.
 fn spec_with(extra: &str) -> String {
@@ -250,6 +251,90 @@ fn corruptions(bad: &str, poison: f64) -> Vec<Corruption> {
     ]
 }
 
+/// One query corruption class: a label, the corrupted expression, and
+/// the exact token the typed error must name.
+fn query_corruptions(bad: &str) -> Vec<(&'static str, String, String)> {
+    vec![
+        (
+            "unknown projected column",
+            format!("SELECT {bad}"),
+            bad.to_owned(),
+        ),
+        (
+            "unknown aggregate function",
+            format!("SELECT {bad}(makespan_secs)"),
+            bad.to_owned(),
+        ),
+        (
+            "unknown WHERE column",
+            format!("SELECT * WHERE {bad} = 1"),
+            bad.to_owned(),
+        ),
+        (
+            "unknown GROUP BY column",
+            format!("SELECT count(*) GROUP BY {bad}"),
+            bad.to_owned(),
+        ),
+        (
+            "string literal against a numeric column",
+            format!("SELECT * WHERE makespan_secs = '{bad}'"),
+            format!("'{bad}'"),
+        ),
+        (
+            "ordering comparison on a string column",
+            format!("SELECT cell WHERE family < '{bad}'"),
+            format!("'{bad}'"),
+        ),
+        (
+            "grouped SELECT *",
+            "SELECT * GROUP BY scheduler".into(),
+            "*".into(),
+        ),
+        (
+            "bare column mixed with an aggregate",
+            "SELECT cell, count(*)".into(),
+            "cell".into(),
+        ),
+        (
+            "selected column missing from GROUP BY",
+            "SELECT cell GROUP BY scheduler".into(),
+            "cell".into(),
+        ),
+        (
+            "count with an argument",
+            "SELECT count(cell)".into(),
+            "cell".into(),
+        ),
+        (
+            "aggregate over a string column",
+            "SELECT avg(scheduler)".into(),
+            "scheduler".into(),
+        ),
+        (
+            "frac of a non-boolean column",
+            "SELECT frac(makespan_secs)".into(),
+            "makespan_secs".into(),
+        ),
+        (
+            "trailing garbage",
+            format!("SELECT cell {bad}"),
+            bad.to_owned(),
+        ),
+        (
+            "unterminated string literal",
+            "SELECT cell WHERE scheduler = 'oops".into(),
+            "'oops".into(),
+        ),
+        ("empty expression", String::new(), String::new()),
+        ("unknown verb", format!("{bad} *"), bad.to_owned()),
+    ]
+}
+
+/// Garbage identifiers substituted into query expressions; indexed by
+/// the proptest-drawn tag. Curated to collide with nothing legal: not a
+/// column, not an aggregate function, not a keyword.
+const QUERY_BAD: [&str; 5] = ["frobnicate", "median", "makespanx", "cellz", "zz_quux"];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(BAD_NAMES.len() as u32))]
 
@@ -282,6 +367,36 @@ proptest! {
                 "{}: error does not name {:?}: {msg}",
                 c.label,
                 c.needle
+            );
+        }
+    }
+
+    /// Every query corruption class yields a typed [`InvalidQuery`]
+    /// error carrying exactly the offending token — across a spread of
+    /// garbage identifiers, and never a panic.
+    #[test]
+    fn malformed_queries_fail_typed_and_name_the_token(tag in 0usize..QUERY_BAD.len()) {
+        let bad = QUERY_BAD[tag];
+        prop_assert!(helios_core::store::Column::by_name(bad).is_none());
+        for (label, expr, want) in query_corruptions(bad) {
+            let err = match run_query(&expr, &[]) {
+                Err(e) => e,
+                Ok(_) => panic!("{label}: corrupted query was accepted: {expr:?}"),
+            };
+            let token = match &err {
+                EngineError::Campaign(CampaignError::InvalidQuery { token, .. }) => token.clone(),
+                other => panic!("{label}: wrong error type: {other:?}"),
+            };
+            prop_assert_eq!(
+                &token, &want,
+                "{}: error names token {:?}, expected {:?} ({})",
+                label, token, want, err
+            );
+            let msg = err.to_string();
+            prop_assert!(
+                msg.contains("invalid query at"),
+                "{}: message is not the typed rendering: {msg}",
+                label
             );
         }
     }
